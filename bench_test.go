@@ -1,0 +1,211 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md section 4 for the experiment index). Each benchmark runs
+// the corresponding experiment driver at paper scale, prints the
+// paper-style rows/series once, and reports the headline numbers as
+// benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Expensive shared experiments are
+// memoized across benchmarks within one process.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var benchCtx = experiments.DefaultContext()
+
+var printOnce sync.Map
+
+func printEach(key, text string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println(text)
+	}
+}
+
+func BenchmarkFig7StimulusOptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSimExperiment(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("fig7", res.RenderFig7())
+		b.ReportMetric(res.Opt.Objective.F, "objective")
+		b.ReportMetric(float64(len(res.Opt.Trace)-1), "generations")
+	}
+}
+
+func benchScatter(b *testing.B, specIdx int, figKey string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSimExperiment(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach(figKey, res.RenderScatterFig(specIdx)+"\n"+res.Summary())
+		sp := res.Report.Specs[specIdx]
+		b.ReportMetric(sp.RMSErr, "rms_dB")
+		b.ReportMetric(sp.StdErr, "stderr_dB")
+		b.ReportMetric(sp.Correlation, "corr")
+	}
+}
+
+func BenchmarkFig8GainPrediction(b *testing.B) { benchScatter(b, 0, "fig8") }
+func BenchmarkFig9IIP3Prediction(b *testing.B) { benchScatter(b, 2, "fig9") }
+func BenchmarkFig10NFPrediction(b *testing.B)  { benchScatter(b, 1, "fig10") }
+
+func benchHardware(b *testing.B, specIdx int, figKey string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHardwareExperiment(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach(figKey, res.RenderFig(specIdx)+"\n"+res.Summary())
+		sp := res.Report.Specs[specIdx]
+		b.ReportMetric(sp.RMSErr, "rms_dB")
+		b.ReportMetric(sp.Correlation, "corr")
+	}
+}
+
+func BenchmarkFig12HardwareGain(b *testing.B) { benchHardware(b, 0, "fig12") }
+func BenchmarkFig13HardwareIIP3(b *testing.B) { benchHardware(b, 2, "fig13") }
+
+func BenchmarkTimeComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTimeComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("time", res.Render())
+		b.ReportMetric(res.NoHandler.Speedup, "speedup")
+		b.ReportMetric(res.NoHandler.SignatureS*1e3, "sig_ms")
+	}
+}
+
+func BenchmarkPhaseRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPhaseStudy(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("phase", res.Render())
+		worst := 0.0
+		for _, p := range res.Points {
+			if p.OffsetSigChange > worst {
+				worst = p.OffsetSigChange
+			}
+		}
+		b.ReportMetric(worst, "worst_sig_change")
+	}
+}
+
+func BenchmarkAblationStimulus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunStimulusAblation(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("astim", res.Render())
+		b.ReportMetric(res.Rows[0].RMS[2], "optimized_iip3_rms_dB")
+		b.ReportMetric(res.Rows[2].RMS[2], "tone_iip3_rms_dB")
+	}
+}
+
+func BenchmarkAblationTrainingSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTrainingSizeAblation(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("atrain", res.Render())
+		b.ReportMetric(res.Rows[0].RMS[0], "small_gain_rms_dB")
+		b.ReportMetric(res.Rows[len(res.Rows)-1].RMS[0], "large_gain_rms_dB")
+	}
+}
+
+func BenchmarkAblationNoise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunNoiseAblation(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("anoise", res.Render())
+		b.ReportMetric(res.Rows[len(res.Rows)-1].RMS[0], "noisy_gain_rms_dB")
+	}
+}
+
+func BenchmarkAblationRegression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRegressionAblation(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("areg", res.Render())
+	}
+}
+
+func BenchmarkAblationADC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunADCAblation(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("aadc", res.Render())
+		b.ReportMetric(res.Rows[0].RMS[0], "coarse_gain_rms_dB")
+		b.ReportMetric(res.Rows[len(res.Rows)-1].RMS[0], "ideal_gain_rms_dB")
+	}
+}
+
+func BenchmarkDiagnosis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDiagnosisExperiment(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("diag", res.Render())
+		b.ReportMetric(float64(res.Correct)/float64(res.Trials), "exact_accuracy")
+		b.ReportMetric(float64(res.Correct+res.CorrectGroup)/float64(res.Trials), "group_accuracy")
+	}
+}
+
+func BenchmarkAblationTester(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTesterVariationAblation(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("atester", res.Render())
+		b.ReportMetric(res.DriftedRMS[0], "drifted_gain_rms_dB")
+		b.ReportMetric(res.RecalRMS[0], "recal_gain_rms_dB")
+	}
+}
+
+func BenchmarkS11Prediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunS11Experiment(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("s11", res.Render())
+		b.ReportMetric(res.RMSDB, "rms_dB")
+		b.ReportMetric(res.Corr, "corr")
+	}
+}
+
+func BenchmarkAblationEnvelope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunEnvelopeAblation(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printEach("aenv", res.Render())
+		b.ReportMetric(res.Speedup, "speedup")
+		b.ReportMetric(res.SignatureRelErr, "rel_err")
+	}
+}

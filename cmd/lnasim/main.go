@@ -1,0 +1,106 @@
+// Command lnasim is the circuit-simulator front end for the built-in
+// 900 MHz LNA (the paper's Fig. 6 device): it prints the DC operating
+// point, an AC gain sweep across the signature band, the noise breakdown
+// and the three data-sheet specifications.
+//
+// Usage:
+//
+//	lnasim                      # nominal device
+//	lnasim -set Rb=+20 -set Bf=-10   # perturb parameters by percent
+//	lnasim -sweep               # AC sweep table 850..950 MHz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/lna"
+)
+
+type setFlags []string
+
+func (s *setFlags) String() string     { return strings.Join(*s, ",") }
+func (s *setFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var sets setFlags
+	flag.Var(&sets, "set", "perturb a parameter by percent, e.g. -set Rb=+20 (repeatable)")
+	sweep := flag.Bool("sweep", false, "print an AC gain sweep across 850..950 MHz")
+	flag.Parse()
+
+	rel := make([]float64, lna.NumParams)
+	names := lna.ParamNames()
+	for _, s := range sets {
+		parts := strings.SplitN(s, "=", 2)
+		if len(parts) != 2 {
+			fail("bad -set %q, want name=percent", s)
+		}
+		pct, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			fail("bad percentage in %q: %v", s, err)
+		}
+		idx := -1
+		for i, n := range names {
+			if strings.EqualFold(n, parts[0]) {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			fail("unknown parameter %q (have %v)", parts[0], names)
+		}
+		rel[idx] = pct / 100
+	}
+
+	params, err := lna.Nominal().Perturb(rel)
+	if err != nil {
+		fail("%v", err)
+	}
+	dev, err := lna.Build(params)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Println("900 MHz LNA (paper Fig. 6 substitute)")
+	fmt.Println("parameters:")
+	vec := params.Vector()
+	for i, n := range names {
+		mark := ""
+		if rel[i] != 0 {
+			mark = fmt.Sprintf("  (%+.0f%%)", rel[i]*100)
+		}
+		fmt.Printf("  %-5s = %.4g%s\n", n, vec[i], mark)
+	}
+	fmt.Printf("\nDC operating point:\n  Ic = %.3f mA\n", dev.CollectorCurrent()*1e3)
+
+	specs, err := dev.Specs()
+	if err != nil {
+		fail("%v", err)
+	}
+	s11, err := dev.InputReturnLossDB(900e6)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("\nspecifications @ 900 MHz:\n  gain = %.2f dB\n  NF   = %.2f dB\n  IIP3 = %.2f dBm\n  S11  = %.1f dB\n",
+		specs.GainDB, specs.NFDB, specs.IIP3DBm, s11)
+
+	if *sweep {
+		fmt.Printf("\nAC sweep (transducer gain):\n")
+		for f := 850e6; f <= 950e6+1; f += 10e6 {
+			g, err := dev.GainAt(f)
+			if err != nil {
+				fail("%v", err)
+			}
+			db := 20 * math.Log10(2*cmplx.Abs(g))
+			fmt.Printf("  %6.0f MHz  %7.2f dB  %s\n", f/1e6, db, strings.Repeat("#", int(math.Max(0, db))))
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lnasim: "+format+"\n", args...)
+	os.Exit(1)
+}

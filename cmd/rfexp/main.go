@@ -1,0 +1,136 @@
+// Command rfexp regenerates the paper's experiments by id and prints the
+// paper-shaped tables and ASCII scatter plots.
+//
+// Usage:
+//
+//	rfexp -exp fig8            # one experiment
+//	rfexp -exp all -quick      # everything, reduced sizes
+//
+// Experiment ids: fig7 fig8 fig9 fig10 fig12 fig13 time phase
+// a-stim a-train a-noise a-reg a-env a-adc a-tester diag s11 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig7..fig13, time, phase, a-stim, a-train, a-noise, a-reg, a-env, a-adc, diag, all)")
+	seed := flag.Int64("seed", 2002, "random seed")
+	quick := flag.Bool("quick", false, "reduced population sizes / GA budget")
+	flag.Parse()
+
+	ctx := experiments.Context{Seed: *seed, Quick: *quick}
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "time", "phase",
+			"a-stim", "a-train", "a-noise", "a-reg", "a-env", "a-adc", "a-tester", "diag", "s11"}
+	}
+	for _, id := range ids {
+		if err := run(ctx, strings.TrimSpace(id)); err != nil {
+			fmt.Fprintf(os.Stderr, "rfexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(ctx experiments.Context, id string) error {
+	switch id {
+	case "fig7":
+		res, err := experiments.RunSimExperiment(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.RenderFig7())
+	case "fig8", "fig9", "fig10":
+		res, err := experiments.RunSimExperiment(ctx)
+		if err != nil {
+			return err
+		}
+		idx := map[string]int{"fig8": 0, "fig9": 2, "fig10": 1}[id]
+		fmt.Println(res.RenderScatterFig(idx))
+		fmt.Println(res.Summary())
+	case "fig12", "fig13":
+		res, err := experiments.RunHardwareExperiment(ctx)
+		if err != nil {
+			return err
+		}
+		idx := map[string]int{"fig12": 0, "fig13": 2}[id]
+		fmt.Println(res.RenderFig(idx))
+		fmt.Println(res.Summary())
+	case "time":
+		res, err := experiments.RunTimeComparison()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "phase":
+		res, err := experiments.RunPhaseStudy(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "a-stim":
+		res, err := experiments.RunStimulusAblation(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "a-train":
+		res, err := experiments.RunTrainingSizeAblation(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "a-noise":
+		res, err := experiments.RunNoiseAblation(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "a-reg":
+		res, err := experiments.RunRegressionAblation(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "a-env":
+		res, err := experiments.RunEnvelopeAblation(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "a-adc":
+		res, err := experiments.RunADCAblation(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "diag":
+		res, err := experiments.RunDiagnosisExperiment(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "s11":
+		res, err := experiments.RunS11Experiment(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "a-tester":
+		res, err := experiments.RunTesterVariationAblation(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+// Command sigtest runs the production signature-test flow end to end:
+// stimulus optimization, calibration on a training lot, validation, and a
+// simulated production run with pass/fail binning against data-sheet
+// limits.
+//
+// Usage:
+//
+//	sigtest -dut lna                 # circuit-level LNA, paper scale
+//	sigtest -dut rf2401 -produce 200 # behavioral front end, 200-device lot
+//	sigtest -stimulus out.json       # also save the optimized stimulus
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/lna"
+)
+
+// SpecLimits is the pass/fail window applied at production time.
+type SpecLimits struct {
+	MinGainDB  float64
+	MaxNFDB    float64
+	MinIIP3DBm float64
+}
+
+func limitsFor(dut string) SpecLimits {
+	if dut == "rf2401" {
+		return SpecLimits{MinGainDB: 10.0, MaxNFDB: 4.2, MinIIP3DBm: -9.5}
+	}
+	return SpecLimits{MinGainDB: 14.5, MaxNFDB: 2.7, MinIIP3DBm: 0.0}
+}
+
+func (l SpecLimits) pass(s lna.Specs) bool {
+	return s.GainDB >= l.MinGainDB && s.NFDB <= l.MaxNFDB && s.IIP3DBm >= l.MinIIP3DBm
+}
+
+func main() {
+	dut := flag.String("dut", "lna", "device family: lna (circuit-level) or rf2401 (behavioral)")
+	seed := flag.Int64("seed", 1, "random seed")
+	train := flag.Int("train", 0, "training devices (default 100 lna / 28 rf2401)")
+	produce := flag.Int("produce", 50, "production devices to test")
+	stimOut := flag.String("stimulus", "", "write the optimized stimulus breakpoints as JSON")
+	quick := flag.Bool("quick", false, "smaller GA budget")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var model core.DeviceModel
+	var cfg *core.TestConfig
+	var spread float64
+	switch *dut {
+	case "lna":
+		model = core.NewLNAModel()
+		cfg = core.DefaultSimConfig()
+		spread = 0.20
+		if *train == 0 {
+			*train = 100
+		}
+	case "rf2401":
+		model = core.RF2401Model{}
+		cfg = core.DefaultHardwareConfig()
+		spread = 0.9
+		if *train == 0 {
+			*train = 28
+		}
+	default:
+		fail("unknown -dut %q", *dut)
+	}
+
+	opt := core.OptimizerOptions{PopSize: 20, Generations: 5}
+	if *quick {
+		opt = core.OptimizerOptions{PopSize: 8, Generations: 2}
+	}
+	fmt.Printf("[1/4] optimizing stimulus (GA %dx%d, Eq. 10 objective)...\n", opt.PopSize, opt.Generations)
+	res, err := core.OptimizeStimulus(rng, model, cfg, opt)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("      objective trace: %v\n", res.Trace)
+	if *stimOut != "" {
+		data, err := json.MarshalIndent(map[string]any{
+			"duration_s": res.Stimulus.Duration,
+			"levels_v":   res.Stimulus.Levels,
+		}, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(*stimOut, data, 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("      stimulus written to %s\n", *stimOut)
+	}
+
+	fmt.Printf("[2/4] calibrating on %d training devices...\n", *train)
+	trainPop, err := core.GeneratePopulation(rng, model, *train, spread)
+	if err != nil {
+		fail("%v", err)
+	}
+	td, err := core.AcquireTrainingSet(rng, cfg, res.Stimulus, trainPop, func(d *core.Device) lna.Specs { return d.Specs })
+	if err != nil {
+		fail("%v", err)
+	}
+	cal, err := core.Calibrate(rng, res.Stimulus, td, core.CalibrationOptions{})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("      regression per spec: %v\n", cal.Trainers)
+
+	fmt.Println("[3/4] validating on a held-out lot...")
+	valPop, err := core.GeneratePopulation(rng, model, 25, spread)
+	if err != nil {
+		fail("%v", err)
+	}
+	rep, err := core.Validate(rng, cfg, cal, res.Stimulus, valPop)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Print(rep)
+
+	fmt.Printf("[4/4] production run: %d devices against limits...\n", *produce)
+	limits := limitsFor(*dut)
+	prod, err := core.GeneratePopulation(rng, model, *produce, spread)
+	if err != nil {
+		fail("%v", err)
+	}
+	var pass, escape, overkill int
+	for _, d := range prod {
+		sig, err := cfg.Acquire(d.Behavioral, res.Stimulus, rng)
+		if err != nil {
+			fail("%v", err)
+		}
+		pred := cal.Predict(sig)
+		predPass := limits.pass(pred)
+		truePass := limits.pass(d.Specs)
+		if predPass {
+			pass++
+		}
+		if predPass && !truePass {
+			escape++
+		}
+		if !predPass && truePass {
+			overkill++
+		}
+	}
+	fmt.Printf("      yield (signature test): %d/%d (%.1f%%)\n", pass, *produce, 100*float64(pass)/float64(*produce))
+	fmt.Printf("      test escapes: %d, overkill: %d\n", escape, overkill)
+	fmt.Printf("      limits: gain >= %.1f dB, NF <= %.1f dB, IIP3 >= %.1f dBm\n",
+		limits.MinGainDB, limits.MaxNFDB, limits.MinIIP3DBm)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sigtest: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces "A Signature Test Framework for Rapid
+// Production Testing of RF Circuits" (Voorakaranam, Cherubal, Chatterjee —
+// DATE 2002) as a pure-Go library: an analog circuit simulator substrate,
+// behavioral RF load-board models, the sensitivity/SVD test-optimization
+// theory, a genetic stimulus optimizer, nonlinear regression calibration,
+// and a benchmark harness regenerating every figure and table of the
+// paper's evaluation. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// The public surface lives under internal/ packages (core is the paper's
+// contribution); cmd/ holds the executables and examples/ runnable
+// demonstrations.
+package repro

@@ -1,0 +1,147 @@
+package ate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rf"
+)
+
+func TestConventionalSuiteTimes(t *testing.T) {
+	suite := ConventionalSuite()
+	if len(suite) != 4 {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	total := SuiteDuration(suite)
+	if total < 0.3 || total > 2 {
+		t.Fatalf("conventional suite %g s implausible", total)
+	}
+	// NF test should dominate.
+	var nf SpecTest
+	for _, s := range suite {
+		if s.Name == "Noise figure" {
+			nf = s
+		}
+	}
+	if nf.Duration() < total/4 {
+		t.Fatal("NF test should be the largest single contributor")
+	}
+}
+
+func TestSignatureTesterTimes(t *testing.T) {
+	// The paper's hardware experiment: 5 ms capture at 1 MHz = 5000 samples.
+	sig, err := NewSignatureTester(5000, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sig.CaptureS(); math.Abs(got-0.005) > 1e-12 {
+		t.Fatalf("capture time %g, want 5 ms", got)
+	}
+	if sig.InsertionS() > 0.03 {
+		t.Fatalf("signature insertion %g s should be tens of ms at most", sig.InsertionS())
+	}
+	// Low-cost tester should be far cheaper than the high-end ATE.
+	if sig.CapitalUSD() > HighEndRFATE.CapitalUSD/5 {
+		t.Fatalf("signature tester capital %g not low-cost", sig.CapitalUSD())
+	}
+	if _, err := NewSignatureTester(0, 1e6); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestCompareTestTimeSpeedup(t *testing.T) {
+	sig, _ := NewSignatureTester(5000, 1e6)
+	cmp := CompareTestTime(ConventionalSuite(), sig, 0.2)
+	if cmp.Speedup < 2 {
+		t.Fatalf("expected a clear speedup, got %.2f", cmp.Speedup)
+	}
+	// Without handler overhead the speedup is much larger.
+	raw := CompareTestTime(ConventionalSuite(), sig, 0)
+	if raw.Speedup < 10 {
+		t.Fatalf("raw test-time speedup %.1f, want > 10x", raw.Speedup)
+	}
+	if raw.ThroughputSignature <= raw.ThroughputConventional {
+		t.Fatal("throughput must improve")
+	}
+}
+
+func TestEconomics(t *testing.T) {
+	conv := Economics{CapitalUSD: 1.2e6, DepreciationYrs: 5, UtilizationPct: 0.8, OverheadPerHr: 50}
+	sig := Economics{CapitalUSD: 90e3, DepreciationYrs: 5, UtilizationPct: 0.8, OverheadPerHr: 50}
+	c1, err := conv.CostPerDevice(0.77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sig.CostPerDevice(0.022)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 >= c1 {
+		t.Fatalf("signature test should be cheaper: %g vs %g", c2, c1)
+	}
+	f, err := CostReductionFactor(conv, sig, 0.77, 0.022)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 10 {
+		t.Fatalf("cost reduction factor %.1f, want order-of-magnitude", f)
+	}
+	bad := Economics{}
+	if _, err := bad.CostPerDevice(1); err == nil {
+		t.Fatal("invalid economics must error")
+	}
+}
+
+func TestRFATEGainMeasurement(t *testing.T) {
+	ate := NewRFATE(nil) // no noise: exact measurement
+	dut := rf.NewAmplifier(rf.PolyFromSpecs(16, 3))
+	// At low drive the measured gain equals the small-signal gain.
+	if got := ate.MeasureGainDB(dut, -30); math.Abs(got-16) > 0.05 {
+		t.Fatalf("measured gain %g, want 16", got)
+	}
+	// Near P1dB the measured gain compresses below small-signal.
+	if got := ate.MeasureGainDB(dut, -7); got > 15.5 {
+		t.Fatalf("gain should compress at high drive: %g", got)
+	}
+}
+
+func TestRFATEIIP3Measurement(t *testing.T) {
+	ate := NewRFATE(nil)
+	for _, want := range []float64{-8, 0, 3} {
+		dut := rf.NewAmplifier(rf.PolyFromSpecs(12, want))
+		got, err := ate.MeasureIIP3DBm(dut, want-25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.3 {
+			t.Fatalf("measured IIP3 %g, want %g", got, want)
+		}
+	}
+	// Linear DUT: no IM3 -> measurement must error, not lie.
+	lin := rf.NewAmplifier(rf.Poly{C: []float64{5}})
+	if _, err := ate.MeasureIIP3DBm(lin, -20); err == nil {
+		t.Fatal("expected error for unmeasurable IM3")
+	}
+}
+
+func TestRFATERepeatabilityNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ate := NewRFATE(rng)
+	dut := rf.NewAmplifier(rf.PolyFromSpecs(16, 3))
+	dut.NFDB = 2.3
+	m1, err := ate.Characterize(dut, -22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ate.Characterize(dut, -22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 {
+		t.Fatal("repeated measurements should differ by repeatability noise")
+	}
+	if math.Abs(m1.GainDB-16) > 0.2 || math.Abs(m1.NFDB-2.3) > 0.5 {
+		t.Fatalf("measurement far from truth: %+v", m1)
+	}
+}

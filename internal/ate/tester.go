@@ -1,0 +1,179 @@
+// Package ate models the test equipment side of the paper's cost argument:
+// a conventional high-end RF ATE running one specification test per
+// insertion state (each with instrument setup overhead), and the proposed
+// low-cost signature tester (RF signal generator + arbitrary waveform
+// generator + baseband digitizer on a load board) that captures one short
+// signature and post-processes it. It also provides the test-time and
+// test-economics accounting behind the paper's Section 4.2 throughput
+// claim.
+package ate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Instrument is a piece of test equipment with a capital cost and a
+// per-configuration settling/setup time.
+type Instrument struct {
+	Name       string
+	CapitalUSD float64
+	SetupS     float64 // time to (re)configure and settle, seconds
+}
+
+// Standard instrument models. Costs reflect the paper's era (2002):
+// "Today's RF measurement systems are extremely complex million-dollar
+// ATEs" vs the proposed RF source + AWG + digitizer.
+var (
+	HighEndRFATE = Instrument{Name: "high-end RF ATE", CapitalUSD: 1.2e6, SetupS: 0.030}
+	RFSource     = Instrument{Name: "RF signal generator", CapitalUSD: 45e3, SetupS: 0.008}
+	BasebandAWG  = Instrument{Name: "arbitrary waveform generator", CapitalUSD: 20e3, SetupS: 0.004}
+	Digitizer    = Instrument{Name: "baseband digitizer", CapitalUSD: 25e3, SetupS: 0.004}
+)
+
+// SpecTest is one conventional specification test with its time budget.
+type SpecTest struct {
+	Name     string
+	SetupS   float64 // instrument reconfiguration before the measurement
+	MeasureS float64 // acquisition/averaging time
+}
+
+// Duration returns the test's total insertion time.
+func (t SpecTest) Duration() float64 { return t.SetupS + t.MeasureS }
+
+// ConventionalSuite returns the paper's Fig. 1 test list — gain, noise
+// figure, IIP3 and 1 dB compression — with representative production time
+// budgets. The NF test dominates: Y-factor measurements need a noise
+// source, narrow IF bandwidth and heavy averaging; the compression test
+// needs a stepped power sweep.
+func ConventionalSuite() []SpecTest {
+	return []SpecTest{
+		{Name: "Gain", SetupS: 0.050, MeasureS: 0.020},
+		{Name: "Noise figure", SetupS: 0.080, MeasureS: 0.300},
+		{Name: "IIP3", SetupS: 0.080, MeasureS: 0.040},
+		{Name: "P1dB", SetupS: 0.050, MeasureS: 0.150},
+	}
+}
+
+// SuiteDuration sums the per-test durations.
+func SuiteDuration(suite []SpecTest) float64 {
+	s := 0.0
+	for _, t := range suite {
+		s += t.Duration()
+	}
+	return s
+}
+
+// SignatureTester models the proposed low-cost configuration.
+type SignatureTester struct {
+	Instruments []Instrument
+	CaptureN    int     // digitized samples
+	DigitizerFs float64 // Hz
+	TransferS   float64 // data upload time
+	ComputeS    float64 // FFT + normalization time
+}
+
+// NewSignatureTester returns the paper's configuration: one setup, a
+// CaptureN/Fs second capture, "negligible time for data transfer and
+// computation of the FFT".
+func NewSignatureTester(captureN int, fs float64) (*SignatureTester, error) {
+	if captureN <= 0 || fs <= 0 {
+		return nil, fmt.Errorf("ate: invalid signature tester config (n=%d fs=%g)", captureN, fs)
+	}
+	return &SignatureTester{
+		Instruments: []Instrument{RFSource, BasebandAWG, Digitizer},
+		CaptureN:    captureN,
+		DigitizerFs: fs,
+		TransferS:   0.0005,
+		ComputeS:    0.0005,
+	}, nil
+}
+
+// CaptureS returns the signature acquisition time.
+func (s *SignatureTester) CaptureS() float64 {
+	return float64(s.CaptureN) / s.DigitizerFs
+}
+
+// SetupS returns the single-configuration setup time (the signature test
+// uses "a single test configuration and a single test stimulus").
+func (s *SignatureTester) SetupS() float64 {
+	total := 0.0
+	for _, in := range s.Instruments {
+		total += in.SetupS
+	}
+	return total
+}
+
+// InsertionS returns the total per-device test time.
+func (s *SignatureTester) InsertionS() float64 {
+	return s.SetupS() + s.CaptureS() + s.TransferS + s.ComputeS
+}
+
+// CapitalUSD sums the tester's instrument costs.
+func (s *SignatureTester) CapitalUSD() float64 {
+	total := 0.0
+	for _, in := range s.Instruments {
+		total += in.CapitalUSD
+	}
+	return total
+}
+
+// TimeComparison is a row of the test-time table (the Section 4.2 claim
+// regenerated as data).
+type TimeComparison struct {
+	ConventionalS          float64
+	SignatureS             float64
+	Speedup                float64
+	ThroughputConventional float64 // devices/hour
+	ThroughputSignature    float64
+}
+
+// CompareTestTime computes the throughput comparison for a handler with
+// the given index (part placement) time.
+func CompareTestTime(suite []SpecTest, sig *SignatureTester, handlerS float64) TimeComparison {
+	conv := SuiteDuration(suite) + handlerS
+	sigT := sig.InsertionS() + handlerS
+	return TimeComparison{
+		ConventionalS:          conv,
+		SignatureS:             sigT,
+		Speedup:                conv / sigT,
+		ThroughputConventional: 3600 / conv,
+		ThroughputSignature:    3600 / sigT,
+	}
+}
+
+// Economics models cost-per-device for a tester.
+type Economics struct {
+	CapitalUSD      float64
+	DepreciationYrs float64 // straight-line depreciation period
+	UtilizationPct  float64 // fraction of wall-clock the tester runs (0..1)
+	OverheadPerHr   float64 // floor space, operator, maintenance USD/hour
+}
+
+// CostPerDevice returns the all-in test cost for the given per-device
+// insertion time (seconds).
+func (e Economics) CostPerDevice(insertionS float64) (float64, error) {
+	if e.DepreciationYrs <= 0 || e.UtilizationPct <= 0 || e.UtilizationPct > 1 {
+		return 0, fmt.Errorf("ate: invalid economics %+v", e)
+	}
+	hours := e.DepreciationYrs * 365 * 24 * e.UtilizationPct
+	ratePerHr := e.CapitalUSD/hours + e.OverheadPerHr
+	return ratePerHr * insertionS / 3600, nil
+}
+
+// CostReductionFactor compares conventional vs signature economics at the
+// given insertion times.
+func CostReductionFactor(conv, sig Economics, convS, sigS float64) (float64, error) {
+	c1, err := conv.CostPerDevice(convS)
+	if err != nil {
+		return 0, err
+	}
+	c2, err := sig.CostPerDevice(sigS)
+	if err != nil {
+		return 0, err
+	}
+	if c2 == 0 {
+		return math.Inf(1), nil
+	}
+	return c1 / c2, nil
+}

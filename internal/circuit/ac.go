@@ -1,0 +1,175 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// acSystem is the complex MNA system A x = b at one frequency.
+type acSystem struct {
+	n          int
+	branchBase int
+	A          [][]complex128
+	b          []complex128
+}
+
+func newACSystem(n, branchBase int) *acSystem {
+	s := &acSystem{n: n, branchBase: branchBase, A: make([][]complex128, n), b: make([]complex128, n)}
+	for i := range s.A {
+		s.A[i] = make([]complex128, n)
+	}
+	return s
+}
+
+func (s *acSystem) addA(i, j int, v complex128) {
+	if i < 0 || j < 0 {
+		return
+	}
+	s.A[i][j] += v
+}
+
+func (s *acSystem) addB(i int, v complex128) {
+	if i < 0 {
+		return
+	}
+	s.b[i] += v
+}
+
+// stampAdmittance stamps a two-terminal admittance y between a and b.
+func (s *acSystem) stampAdmittance(a, b int, y complex128) {
+	s.addA(a, a, y)
+	s.addA(b, b, y)
+	s.addA(a, b, -y)
+	s.addA(b, a, -y)
+}
+
+// complexLU is an LU factorization with partial pivoting, retained so noise
+// analysis can back-substitute many right-hand sides against one factored
+// system.
+type complexLU struct {
+	lu  [][]complex128
+	piv []int
+	n   int
+}
+
+func factorize(a [][]complex128) (*complexLU, error) {
+	n := len(a)
+	lu := make([][]complex128, n)
+	for i := range lu {
+		lu[i] = make([]complex128, n)
+		copy(lu[i], a[i])
+	}
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p := k
+		mx := cmplx.Abs(lu[k][k])
+		for i := k + 1; i < n; i++ {
+			if m := cmplx.Abs(lu[i][k]); m > mx {
+				mx, p = m, i
+			}
+		}
+		if mx == 0 {
+			return nil, fmt.Errorf("circuit: singular AC system at column %d", k)
+		}
+		if p != k {
+			lu[p], lu[k] = lu[k], lu[p]
+			piv[p], piv[k] = piv[k], piv[p]
+		}
+		inv := 1 / lu[k][k]
+		for i := k + 1; i < n; i++ {
+			f := lu[i][k] * inv
+			lu[i][k] = f
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i][j] -= f * lu[k][j]
+			}
+		}
+	}
+	return &complexLU{lu: lu, piv: piv, n: n}, nil
+}
+
+func (f *complexLU) solve(b []complex128) []complex128 {
+	n := f.n
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution.
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= f.lu[i][j] * x[j]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= f.lu[i][j] * x[j]
+		}
+		x[i] /= f.lu[i][i]
+	}
+	return x
+}
+
+// ACResult is the small-signal solution at one frequency.
+type ACResult struct {
+	circuit *Circuit
+	freq    float64
+	x       []complex128
+	lu      *complexLU
+}
+
+// Voltage returns the complex node voltage phasor.
+func (r *ACResult) Voltage(node string) complex128 {
+	idx, ok := r.circuit.nodeIndex[node]
+	if !ok {
+		panic(fmt.Sprintf("circuit: unknown node %q", node))
+	}
+	if idx < 0 {
+		return 0
+	}
+	return r.x[idx]
+}
+
+// Freq returns the analysis frequency in Hz.
+func (r *ACResult) Freq() float64 { return r.freq }
+
+// SolveAC performs a small-signal analysis at freq Hz around the given
+// operating point (which must come from the same circuit's SolveDC; the
+// nonlinear devices hold their linearization internally).
+func (c *Circuit) SolveAC(op *OperatingPoint, freq float64) (*ACResult, error) {
+	if op == nil || op.circuit != c {
+		return nil, fmt.Errorf("circuit: AC analysis requires an operating point of this circuit")
+	}
+	w := 2 * math.Pi * freq
+	s := newACSystem(c.size(), len(c.nodeNames))
+	for _, e := range c.elems {
+		e.stampAC(s, w)
+	}
+	lu, err := factorize(s.A)
+	if err != nil {
+		return nil, err
+	}
+	x := lu.solve(s.b)
+	return &ACResult{circuit: c, freq: freq, x: x, lu: lu}, nil
+}
+
+// ACSweep analyzes the circuit at each frequency, returning the complex
+// voltage at outNode.
+func (c *Circuit) ACSweep(op *OperatingPoint, freqs []float64, outNode string) ([]complex128, error) {
+	out := make([]complex128, len(freqs))
+	for i, f := range freqs {
+		r, err := c.SolveAC(op, f)
+		if err != nil {
+			return nil, fmt.Errorf("at %g Hz: %w", f, err)
+		}
+		out[i] = r.Voltage(outNode)
+	}
+	return out, nil
+}

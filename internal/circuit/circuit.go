@@ -1,0 +1,276 @@
+// Package circuit is a small analog circuit simulator: modified nodal
+// analysis with nonlinear Newton-Raphson DC operating point, complex-valued
+// AC small-signal analysis, spot-noise analysis and weakly-nonlinear
+// (Volterra) distortion analysis. It stands in for the Cadence SpectreRF
+// runs in the paper's simulation experiment: the 900 MHz LNA of Fig. 6 is
+// described as a netlist of these elements and its gain, noise figure and
+// IIP3 are extracted per process-parameter instance.
+//
+// Supported elements: resistor, capacitor, inductor, independent voltage
+// and current sources, voltage-controlled current source, and a simplified
+// Gummel-Poon bipolar transistor (Is, Bf, Vaf, Rb, Ikf, junction
+// capacitances) — exactly the parameter set the paper varies.
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Boltzmann constant times nominal temperature over electron charge:
+// thermal voltage at 300 K.
+const (
+	Vt        = 0.025852 // thermal voltage, volts
+	KBoltz    = 1.380649e-23
+	TempK     = 300.0
+	QElectron = 1.602176634e-19
+	gmin      = 1e-12 // convergence conductance across junctions
+)
+
+// Circuit is a netlist under construction. Node "0" (or "gnd") is ground.
+type Circuit struct {
+	nodeIndex map[string]int // node name -> unknown index (-1 for ground)
+	nodeNames []string       // index -> name
+	elems     []element
+	nBranch   int // extra unknowns for V sources and inductors
+}
+
+// element is the internal device interface.
+type element interface {
+	name() string
+	// prepare registers internal nodes and branch unknowns.
+	prepare(c *Circuit)
+	// stampDC adds the element's contribution to the Newton system given
+	// the current solution guess x.
+	stampDC(s *system, x []float64)
+	// stampAC adds the element's small-signal contribution at angular
+	// frequency w, linearized around the operating point.
+	stampAC(s *acSystem, w float64)
+}
+
+// limitedElement is implemented by nonlinear devices whose internal
+// limiting (SPICE pnjlim) may evaluate the model away from the requested
+// solution; Newton polls it to avoid declaring false convergence.
+type limitedElement interface {
+	limitedNow() bool
+}
+
+// noiseContributor enumerates a device's noise current sources.
+type noiseContributor interface {
+	noiseSources(freq float64) []NoiseSource
+}
+
+// NoiseSource is a white (or shaped) noise current source between two
+// unknown indices (-1 = ground) with power spectral density PSD (A^2/Hz).
+type NoiseSource struct {
+	Label    string
+	From, To int
+	PSD      float64
+}
+
+// New creates an empty circuit.
+func New() *Circuit {
+	return &Circuit{nodeIndex: map[string]int{"0": -1, "gnd": -1}}
+}
+
+// Node returns (creating if necessary) the unknown index for a node name;
+// ground returns -1.
+func (c *Circuit) Node(name string) int {
+	if idx, ok := c.nodeIndex[name]; ok {
+		return idx
+	}
+	idx := len(c.nodeNames)
+	c.nodeIndex[name] = idx
+	c.nodeNames = append(c.nodeNames, name)
+	return idx
+}
+
+// NodeNames returns the non-ground node names in unknown order.
+func (c *Circuit) NodeNames() []string {
+	out := make([]string, len(c.nodeNames))
+	copy(out, c.nodeNames)
+	return out
+}
+
+// newBranch allocates a branch-current unknown (V sources, inductors).
+func (c *Circuit) newBranch() int {
+	idx := c.nBranch
+	c.nBranch++
+	return idx
+}
+
+// size returns the total unknown count after prepare.
+func (c *Circuit) size() int { return len(c.nodeNames) + c.nBranch }
+
+// branchIndex converts a branch id to an unknown index.
+func (c *Circuit) branchIndex(b int) int { return len(c.nodeNames) + b }
+
+func (c *Circuit) add(e element) {
+	e.prepare(c)
+	c.elems = append(c.elems, e)
+}
+
+// AddResistor adds resistance ohms between nodes a and b.
+func (c *Circuit) AddResistor(name, a, b string, ohms float64) {
+	if ohms <= 0 {
+		panic(fmt.Sprintf("circuit: resistor %s must be positive, got %g", name, ohms))
+	}
+	c.add(&resistor{label: name, na: c.Node(a), nb: c.Node(b), r: ohms})
+}
+
+// AddCapacitor adds capacitance farads between a and b.
+func (c *Circuit) AddCapacitor(name, a, b string, farads float64) {
+	if farads <= 0 {
+		panic(fmt.Sprintf("circuit: capacitor %s must be positive, got %g", name, farads))
+	}
+	c.add(&capacitor{label: name, na: c.Node(a), nb: c.Node(b), cap: farads})
+}
+
+// AddInductor adds inductance henries between a and b.
+func (c *Circuit) AddInductor(name, a, b string, henries float64) {
+	if henries <= 0 {
+		panic(fmt.Sprintf("circuit: inductor %s must be positive, got %g", name, henries))
+	}
+	c.add(&inductor{label: name, na: c.Node(a), nb: c.Node(b), l: henries})
+}
+
+// AddVSource adds an independent voltage source a-b with DC value dc volts
+// and AC magnitude acMag volts (phase 0). Positive terminal is a.
+func (c *Circuit) AddVSource(name, a, b string, dc, acMag float64) {
+	c.add(&vsource{label: name, na: c.Node(a), nb: c.Node(b), dc: dc, ac: acMag})
+}
+
+// AddISource adds an independent current source flowing from a to b.
+func (c *Circuit) AddISource(name, a, b string, dc, acMag float64) {
+	c.add(&isource{label: name, na: c.Node(a), nb: c.Node(b), dc: dc, ac: acMag})
+}
+
+// AddVCCS adds a voltage-controlled current source: current gm*(V(cp)-V(cn))
+// flows from a to b.
+func (c *Circuit) AddVCCS(name, a, b, cp, cn string, gm float64) {
+	c.add(&vccs{label: name, na: c.Node(a), nb: c.Node(b), ncp: c.Node(cp), ncn: c.Node(cn), gm: gm})
+}
+
+// BJTParams is the simplified Gummel-Poon parameter set — the statistical
+// transistor parameters the paper varies (Is, Bf, Vaf, Rb, Ikf) plus fixed
+// junction capacitances.
+type BJTParams struct {
+	Is  float64 // saturation current, A
+	Bf  float64 // forward beta
+	Vaf float64 // forward Early voltage, V
+	Rb  float64 // base resistance, ohms
+	Ikf float64 // forward knee current, A
+	Br  float64 // reverse beta
+	Cje float64 // base-emitter capacitance, F
+	Cjc float64 // base-collector capacitance, F
+}
+
+// DefaultBJT returns nominal parameters for the LNA device.
+func DefaultBJT() BJTParams {
+	return BJTParams{
+		Is:  2e-16,
+		Bf:  100,
+		Vaf: 60,
+		Rb:  18,
+		Ikf: 0.04,
+		Br:  2,
+		Cje: 1.1e-12,
+		Cjc: 0.22e-12,
+	}
+}
+
+// AddBJT adds an npn transistor with terminals (collector, base, emitter).
+// A base-resistance internal node is created automatically.
+func (c *Circuit) AddBJT(name, col, base, emit string, p BJTParams) *BJT {
+	if p.Is <= 0 || p.Bf <= 0 || p.Vaf <= 0 || p.Ikf <= 0 || p.Br <= 0 {
+		panic(fmt.Sprintf("circuit: BJT %s has non-positive parameters: %+v", name, p))
+	}
+	q := &BJT{label: name, p: p}
+	q.nc = c.Node(col)
+	q.nb = c.Node(base)
+	q.ne = c.Node(emit)
+	if p.Rb > 0 {
+		q.nbi = c.Node(name + ".bi")
+	} else {
+		q.nbi = q.nb
+	}
+	c.add(q)
+	return q
+}
+
+// Elements returns the element names (diagnostics).
+func (c *Circuit) Elements() []string {
+	out := make([]string, len(c.elems))
+	for i, e := range c.elems {
+		out[i] = e.name()
+	}
+	return out
+}
+
+// findElement returns the named element or nil.
+func (c *Circuit) findElement(name string) element {
+	for _, e := range c.elems {
+		if e.name() == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// voltageAt reads a node voltage from a solution vector (0 for ground).
+func voltageAt(x []float64, n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	return x[n]
+}
+
+// system is the real-valued Newton linear system J*dx = -f, expressed in
+// the standard MNA "stamp" form: J accumulates conductances, rhs
+// accumulates equivalent currents such that J*x_new = rhs.
+type system struct {
+	n          int
+	branchBase int // index of the first branch unknown
+	J          [][]float64
+	rhs        []float64
+}
+
+func newSystem(n, branchBase int) *system {
+	s := &system{n: n, branchBase: branchBase, J: make([][]float64, n), rhs: make([]float64, n)}
+	for i := range s.J {
+		s.J[i] = make([]float64, n)
+	}
+	return s
+}
+
+// addJ accumulates J[i][j] += v, ignoring ground (-1) indices.
+func (s *system) addJ(i, j int, v float64) {
+	if i < 0 || j < 0 {
+		return
+	}
+	s.J[i][j] += v
+}
+
+// addRHS accumulates rhs[i] += v.
+func (s *system) addRHS(i int, v float64) {
+	if i < 0 {
+		return
+	}
+	s.rhs[i] += v
+}
+
+// stampConductance stamps a two-terminal conductance g between a and b.
+func (s *system) stampConductance(a, b int, g float64) {
+	s.addJ(a, a, g)
+	s.addJ(b, b, g)
+	s.addJ(a, b, -g)
+	s.addJ(b, a, -g)
+}
+
+// stampCurrent stamps a current i flowing from a to b (out of a, into b).
+func (s *system) stampCurrent(a, b int, i float64) {
+	s.addRHS(a, -i)
+	s.addRHS(b, i)
+}
+
+func abs(x float64) float64 { return math.Abs(x) }

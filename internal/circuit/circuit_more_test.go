@@ -1,0 +1,186 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestBJTSaturationRegion(t *testing.T) {
+	// Force Vce ~ 0.05 V: both junctions forward biased; the solver must
+	// still converge and Ic must collapse versus forward active.
+	c := New()
+	c.AddVSource("VC", "c", "0", 0.05, 0)
+	c.AddVSource("VB", "vb", "0", 0.75, 0)
+	q := c.AddBJT("Q1", "c", "vb", "0", DefaultBJT())
+	op, err := c.SolveDC(DCOptions{})
+	if err != nil {
+		t.Fatalf("saturation DC failed: %v", err)
+	}
+	_ = op
+	bop := q.OperatingPoint()
+	if bop.Vbc <= 0 {
+		t.Fatalf("Vbc = %g, expected forward-biased BC junction", bop.Vbc)
+	}
+	// Compare with forward active at the same Vbe.
+	c2 := New()
+	c2.AddVSource("VC", "c", "0", 3, 0)
+	c2.AddVSource("VB", "vb", "0", 0.75, 0)
+	q2 := c2.AddBJT("Q1", "c", "vb", "0", DefaultBJT())
+	if _, err := c2.SolveDC(DCOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if bop.Ic >= q2.OperatingPoint().Ic {
+		t.Fatalf("saturated Ic %g should be below active Ic %g", bop.Ic, q2.OperatingPoint().Ic)
+	}
+}
+
+func TestVsourceBranchCurrentConsistency(t *testing.T) {
+	// Two parallel resistors across a source: node equations must satisfy
+	// the divider exactly.
+	c := New()
+	c.AddVSource("V1", "a", "0", 6, 0)
+	c.AddResistor("R1", "a", "0", 100)
+	c.AddResistor("R2", "a", "0", 200)
+	op := solveDC(t, c)
+	if got := op.Voltage("a"); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("V(a) = %g", got)
+	}
+}
+
+func TestOperatingPointUnknownNodePanics(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "a", "0", 1, 0)
+	c.AddResistor("R1", "a", "0", 100)
+	op := solveDC(t, c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown node")
+		}
+	}()
+	op.Voltage("nope")
+}
+
+func TestACResultUnknownNodePanics(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "a", "0", 1, 1)
+	c.AddResistor("R1", "a", "0", 100)
+	op := solveDC(t, c)
+	r, err := c.SolveAC(op, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Voltage("a") == 0 {
+		t.Fatal("driven node should be nonzero")
+	}
+	if r.Freq() != 1e6 {
+		t.Fatal("Freq accessor")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown node")
+		}
+	}()
+	r.Voltage("nope")
+}
+
+func TestGroundVoltageIsZero(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "a", "gnd", 1, 1)
+	c.AddResistor("R1", "a", "0", 100)
+	op := solveDC(t, c)
+	if op.Voltage("0") != 0 || op.Voltage("gnd") != 0 {
+		t.Fatal("ground must read 0")
+	}
+	r, _ := c.SolveAC(op, 1e3)
+	if r.Voltage("gnd") != 0 {
+		t.Fatal("AC ground must read 0")
+	}
+}
+
+func TestCapacitorCouplingHighpass(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", 0, 1)
+	c.AddCapacitor("C1", "in", "out", 1e-9)
+	c.AddResistor("R1", "out", "0", 1000)
+	op := solveDC(t, c)
+	fc := 1 / (2 * math.Pi * 1000 * 1e-9)
+	hi, _ := c.SolveAC(op, 100*fc)
+	lo, _ := c.SolveAC(op, fc/100)
+	if cmplx.Abs(hi.Voltage("out")) < 0.99 {
+		t.Fatalf("highpass passband %g", cmplx.Abs(hi.Voltage("out")))
+	}
+	if cmplx.Abs(lo.Voltage("out")) > 0.02 {
+		t.Fatalf("highpass stopband %g", cmplx.Abs(lo.Voltage("out")))
+	}
+}
+
+func TestNoiseScalesWithBandReference(t *testing.T) {
+	// A resistive divider: NF of a matched 6 dB pad should be ~6 dB.
+	// Use series 50 + shunt to make a simple L-pad; verify NF > 0 and
+	// grows with attenuation.
+	nfOf := func(rseries float64) float64 {
+		c := New()
+		c.AddVSource("V1", "in", "0", 0, 1)
+		c.AddResistor("Rs", "in", "x", 50)
+		c.AddResistor("Rp", "x", "out", rseries)
+		c.AddResistor("RL", "out", "0", 50)
+		op := solveDC(t, c)
+		rep, err := c.NoiseAnalysis(op, 1e6, "out", "Rs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.NoiseFigureDB
+	}
+	nf1, nf2 := nfOf(20), nfOf(200)
+	if !(nf2 > nf1 && nf1 > 0) {
+		t.Fatalf("attenuator NF should grow with loss: %g, %g", nf1, nf2)
+	}
+}
+
+func TestElementsListing(t *testing.T) {
+	c := New()
+	c.AddResistor("R1", "a", "b", 10)
+	c.AddCapacitor("C1", "b", "0", 1e-12)
+	names := c.Elements()
+	if len(names) != 2 || names[0] != "R1" || names[1] != "C1" {
+		t.Fatalf("Elements = %v", names)
+	}
+	if c.findElement("R1") == nil || c.findElement("zz") != nil {
+		t.Fatal("findElement behavior")
+	}
+}
+
+func TestVolterraOffTransistorErrors(t *testing.T) {
+	c := New()
+	c.AddVSource("VCC", "vcc", "0", 3, 0)
+	c.AddVSource("VB", "vb", "0", 0.1, 1) // device off
+	c.AddResistor("RC", "vcc", "c", 300)
+	q := c.AddBJT("Q1", "c", "vb", "0", DefaultBJT())
+	op := solveDC(t, c)
+	if _, err := c.VolterraIIP3(op, q, "vb", 900e6, 0); err == nil {
+		t.Fatal("expected error for an off transistor")
+	}
+}
+
+func TestComplexLUSingularDetected(t *testing.T) {
+	a := [][]complex128{{1, 2}, {2, 4}}
+	if _, err := factorize(a); err == nil {
+		t.Fatal("singular complex system must error")
+	}
+}
+
+func TestComplexLUSolveKnownSystem(t *testing.T) {
+	a := [][]complex128{{complex(2, 0), complex(0, 1)}, {complex(0, -1), complex(3, 0)}}
+	lu, err := factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lu.solve([]complex128{complex(1, 0), complex(0, 0)})
+	// Verify A x = b.
+	b0 := a[0][0]*x[0] + a[0][1]*x[1]
+	b1 := a[1][0]*x[0] + a[1][1]*x[1]
+	if cmplx.Abs(b0-1) > 1e-12 || cmplx.Abs(b1) > 1e-12 {
+		t.Fatalf("residual %v %v", b0, b1)
+	}
+}

@@ -1,0 +1,418 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func solveDC(t *testing.T, c *Circuit) *OperatingPoint {
+	t.Helper()
+	op, err := c.SolveDC(DCOptions{})
+	if err != nil {
+		t.Fatalf("DC solve failed: %v", err)
+	}
+	return op
+}
+
+func TestResistorDividerDC(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", 10, 0)
+	c.AddResistor("R1", "in", "mid", 1000)
+	c.AddResistor("R2", "mid", "0", 3000)
+	op := solveDC(t, c)
+	if got := op.Voltage("mid"); math.Abs(got-7.5) > 1e-9 {
+		t.Fatalf("divider voltage %g, want 7.5", got)
+	}
+	if got := op.Voltage("in"); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("source node %g, want 10", got)
+	}
+}
+
+func TestInductorIsDCShort(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", 5, 0)
+	c.AddResistor("R1", "in", "a", 100)
+	c.AddInductor("L1", "a", "b", 10e-9)
+	c.AddResistor("R2", "b", "0", 100)
+	op := solveDC(t, c)
+	if got := op.Voltage("a") - op.Voltage("b"); math.Abs(got) > 1e-9 {
+		t.Fatalf("inductor DC drop %g, want 0", got)
+	}
+	if got := op.Voltage("b"); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("V(b) = %g, want 2.5", got)
+	}
+}
+
+func TestCapacitorIsDCOpen(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", 5, 0)
+	c.AddResistor("R1", "in", "a", 100)
+	c.AddCapacitor("C1", "a", "0", 1e-12)
+	op := solveDC(t, c)
+	// No DC current: node a sits at the source voltage.
+	if got := op.Voltage("a"); math.Abs(got-5) > 1e-6 {
+		t.Fatalf("V(a) = %g, want ~5", got)
+	}
+}
+
+func TestRCLowpassACResponse(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", 0, 1)
+	c.AddResistor("R1", "in", "out", 1000)
+	c.AddCapacitor("C1", "out", "0", 1e-9)
+	op := solveDC(t, c)
+	fc := 1 / (2 * math.Pi * 1000 * 1e-9) // 159 kHz
+	r, err := c.SolveAC(op, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the pole: magnitude 1/sqrt(2), phase -45 deg.
+	v := r.Voltage("out")
+	if math.Abs(cmplx.Abs(v)-1/math.Sqrt2) > 1e-6 {
+		t.Fatalf("|H(fc)| = %g, want %g", cmplx.Abs(v), 1/math.Sqrt2)
+	}
+	if ph := cmplx.Phase(v) * 180 / math.Pi; math.Abs(ph+45) > 0.01 {
+		t.Fatalf("phase %g deg, want -45", ph)
+	}
+	// Deep stopband rolls off 20 dB/decade.
+	r2, _ := c.SolveAC(op, 100*fc)
+	if got := cmplx.Abs(r2.Voltage("out")); math.Abs(got-0.01) > 0.001 {
+		t.Fatalf("|H(100 fc)| = %g, want ~0.01", got)
+	}
+}
+
+func TestSeriesRLCResonance(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", 0, 1)
+	c.AddResistor("R1", "in", "a", 10)
+	c.AddInductor("L1", "a", "b", 100e-9)
+	c.AddCapacitor("C1", "b", "out", 10e-12)
+	c.AddResistor("RL", "out", "0", 10)
+	op := solveDC(t, c)
+	f0 := 1 / (2 * math.Pi * math.Sqrt(100e-9*10e-12)) // 159 MHz
+	r, err := c.SolveAC(op, f0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At series resonance L and C cancel: pure divider 10/(10+10) = 0.5.
+	if got := cmplx.Abs(r.Voltage("out")); math.Abs(got-0.5) > 1e-6 {
+		t.Fatalf("|H(f0)| = %g, want 0.5", got)
+	}
+	// Off resonance the response must drop.
+	r2, _ := c.SolveAC(op, f0/10)
+	if got := cmplx.Abs(r2.Voltage("out")); got > 0.05 {
+		t.Fatalf("|H(f0/10)| = %g, want << 0.5", got)
+	}
+}
+
+func TestVCCSGain(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", 0, 1)
+	c.AddResistor("Rs", "in", "x", 50)
+	c.AddVCCS("G1", "y", "0", "x", "0", 0.1)
+	c.AddResistor("RL", "y", "0", 100)
+	op := solveDC(t, c)
+	r, err := c.SolveAC(op, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No input current -> vx = 1; vy = -gm*RL*vx = -10.
+	got := r.Voltage("y")
+	if math.Abs(real(got)+10) > 1e-9 || math.Abs(imag(got)) > 1e-9 {
+		t.Fatalf("VCCS output %v, want -10", got)
+	}
+}
+
+func TestBJTForwardActiveOperatingPoint(t *testing.T) {
+	c := New()
+	c.AddVSource("VCC", "vcc", "0", 3, 0)
+	c.AddVSource("VB", "vb", "0", 0.75, 0)
+	c.AddResistor("RC", "vcc", "c", 300)
+	q := c.AddBJT("Q1", "c", "vb", "0", DefaultBJT())
+	solveDC(t, c)
+	op := q.OperatingPoint()
+
+	// Hand estimate: Ic ~ Is*exp(0.75/Vt)/qb with small corrections.
+	icIdeal := 2e-16 * math.Exp(0.75/Vt)
+	if op.Ic < 0.7*icIdeal || op.Ic > 1.3*icIdeal {
+		t.Fatalf("Ic = %g, expected near %g", op.Ic, icIdeal)
+	}
+	// Beta relation.
+	if beta := op.Ic / op.Ib; beta < 70 || beta > 130 {
+		t.Fatalf("Ic/Ib = %g, expected near Bf=100", beta)
+	}
+	// Transconductance close to Ic/Vt (within high-injection correction).
+	if op.Gm < 0.7*op.Ic/Vt || op.Gm > 1.1*op.Ic/Vt {
+		t.Fatalf("gm = %g vs Ic/Vt = %g", op.Gm, op.Ic/Vt)
+	}
+	// Forward active: Vbc negative.
+	if op.Vbc >= 0 {
+		t.Fatalf("Vbc = %g, want negative (forward active)", op.Vbc)
+	}
+}
+
+func TestBJTEarlyEffect(t *testing.T) {
+	// Higher collector voltage -> slightly higher Ic through Vaf.
+	icAt := func(vc float64) float64 {
+		c := New()
+		c.AddVSource("VC", "c", "0", vc, 0)
+		c.AddVSource("VB", "vb", "0", 0.72, 0)
+		q := c.AddBJT("Q1", "c", "vb", "0", DefaultBJT())
+		if _, err := c.SolveDC(DCOptions{}); err != nil {
+			t.Fatalf("DC at Vc=%g: %v", vc, err)
+		}
+		return q.OperatingPoint().Ic
+	}
+	i1, i3 := icAt(1), icAt(3)
+	if i3 <= i1 {
+		t.Fatalf("Early effect missing: Ic(3V)=%g <= Ic(1V)=%g", i3, i1)
+	}
+	// Slope should correspond to Vaf ~ 60 V: (i3-i1)/i1 ~ 2/60.
+	rel := (i3 - i1) / i1
+	if rel < 0.01 || rel > 0.09 {
+		t.Fatalf("Early slope %g, expected ~0.033", rel)
+	}
+}
+
+func TestBJTHighInjectionCompression(t *testing.T) {
+	// gm/Ic should drop as the device is driven past Ikf.
+	gmOverIc := func(vb float64) float64 {
+		c := New()
+		c.AddVSource("VC", "c", "0", 3, 0)
+		c.AddVSource("VB", "vb", "0", vb, 0)
+		p := DefaultBJT()
+		p.Ikf = 1e-3
+		q := c.AddBJT("Q1", "c", "vb", "0", p)
+		if _, err := c.SolveDC(DCOptions{}); err != nil {
+			t.Fatalf("DC at Vb=%g: %v", vb, err)
+		}
+		op := q.OperatingPoint()
+		return op.Gm / op.Ic
+	}
+	low := gmOverIc(0.65)  // well below knee
+	high := gmOverIc(0.85) // far above knee
+	if high >= 0.9*low {
+		t.Fatalf("high injection should compress gm/Ic: low=%g high=%g", low, high)
+	}
+}
+
+func TestBJTCommonEmitterACGain(t *testing.T) {
+	// Degenerated CE stage: |gain| ~ gm*RC/(1+gm*RE) at low frequency.
+	c := New()
+	c.AddVSource("VCC", "vcc", "0", 3, 0)
+	c.AddVSource("VIN", "vb", "0", 0.8, 1)
+	c.AddResistor("RC", "vcc", "c", 500)
+	c.AddResistor("RE", "e", "0", 100)
+	q := c.AddBJT("Q1", "c", "vb", "e", DefaultBJT())
+	op := solveDC(t, c)
+	bop := q.OperatingPoint()
+	r, err := c.SolveAC(op, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cmplx.Abs(r.Voltage("c"))
+	want := bop.Gm * 500 / (1 + bop.Gm*100)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("CE gain %g, analytic estimate %g", got, want)
+	}
+	// Output inverts.
+	if ph := cmplx.Phase(r.Voltage("c")); math.Abs(math.Abs(ph)-math.Pi) > 0.2 {
+		t.Fatalf("CE phase %g, want ~pi", ph)
+	}
+}
+
+func TestNoiseAnalysisIdealAmplifier(t *testing.T) {
+	// Noiseless VCCS amp: NF set by RL referred back through the gain.
+	c := New()
+	c.AddVSource("V1", "in", "0", 0, 1)
+	c.AddResistor("Rs", "in", "x", 50)
+	c.AddVCCS("G1", "y", "0", "x", "0", 0.1)
+	c.AddResistor("RL", "y", "0", 100)
+	op := solveDC(t, c)
+	rep, err := c.NoiseAnalysis(op, 1e6, "y", "Rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rs contribution: (4kT/50)*(50*0.1*100)^2 ; RL: (4kT/100)*100^2.
+	k4t := 4 * KBoltz * TempK
+	wantRs := k4t / 50 * 500 * 500
+	wantRL := k4t / 100 * 100 * 100
+	if math.Abs(rep.SourcePSD-wantRs)/wantRs > 1e-9 {
+		t.Fatalf("source PSD %g, want %g", rep.SourcePSD, wantRs)
+	}
+	wantNF := 10 * math.Log10((wantRs+wantRL)/wantRs)
+	if math.Abs(rep.NoiseFigureDB-wantNF) > 1e-9 {
+		t.Fatalf("NF %g dB, want %g", rep.NoiseFigureDB, wantNF)
+	}
+	if rep.OutputPSD <= rep.SourcePSD {
+		t.Fatal("total noise must exceed source-only noise")
+	}
+}
+
+func TestNoiseAnalysisUnknownSource(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", 0, 1)
+	c.AddResistor("Rs", "in", "out", 50)
+	c.AddResistor("RL", "out", "0", 50)
+	op := solveDC(t, c)
+	if _, err := c.NoiseAnalysis(op, 1e6, "out", "nope"); err == nil {
+		t.Fatal("expected error for unknown source resistor")
+	}
+}
+
+func TestBJTNoiseIncreasesWithRb(t *testing.T) {
+	nf := func(rb float64) float64 {
+		c := New()
+		c.AddVSource("VCC", "vcc", "0", 3, 0)
+		c.AddVSource("VIN", "in", "0", 0, 1)
+		c.AddResistor("Rs", "in", "x", 50)
+		c.AddCapacitor("Cc", "x", "b", 1e-9) // DC-blocks the source
+		c.AddResistor("RB1", "vcc", "b", 40000)
+		c.AddResistor("RB2", "b", "0", 13000)
+		c.AddResistor("RC", "vcc", "c", 500)
+		p := DefaultBJT()
+		p.Rb = rb
+		c.AddBJT("Q1", "c", "b", "0", p)
+		op, err := c.SolveDC(DCOptions{})
+		if err != nil {
+			t.Fatalf("DC: %v", err)
+		}
+		rep, err := c.NoiseAnalysis(op, 100e6, "c", "Rs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.NoiseFigureDB
+	}
+	lo, hi := nf(5), nf(60)
+	if hi <= lo {
+		t.Fatalf("NF must grow with base resistance: NF(5)=%g NF(60)=%g", lo, hi)
+	}
+	if lo < 0.1 || hi > 20 {
+		t.Fatalf("NF out of plausible range: %g, %g", lo, hi)
+	}
+}
+
+func TestVolterraUndegeneratedBJTClassicIIP3(t *testing.T) {
+	// Without feedback the exponential gives AIP3 = sqrt(8)*Vt at the
+	// junction: about -9.6 dBm in 50 ohms when the input transfer is 1.
+	c := New()
+	c.AddVSource("VCC", "vcc", "0", 3, 0)
+	c.AddVSource("VIN", "in", "0", 0.73, 1)
+	c.AddResistor("RC", "vcc", "c", 300)
+	p := DefaultBJT()
+	p.Rb = 0  // drive the junction directly
+	p.Ikf = 1 // knee far away
+	q := c.AddBJT("Q1", "c", "in", "0", p)
+	op := solveDC(t, c)
+	rep, err := c.VolterraIIP3(op, q, "in", 900e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(8) * Vt
+	if math.Abs(rep.AIIP3-want)/want > 0.05 {
+		t.Fatalf("AIP3 = %g, want %g", rep.AIIP3, want)
+	}
+	// sqrt(8)*Vt peak is 53.5 uW into 50 ohms: -12.7 dBm.
+	if math.Abs(rep.IIP3DBm-(-12.7)) > 0.5 {
+		t.Fatalf("IIP3 = %g dBm, want about -12.7", rep.IIP3DBm)
+	}
+}
+
+func TestVolterraDegenerationImprovesIIP3(t *testing.T) {
+	// Two real circuits at the same collector current: grounded emitter vs
+	// a 25-ohm degeneration resistor. feedbackZ must describe the actual
+	// circuit so the AC transfer and the loop model stay consistent.
+	analyze := func(re float64, vb float64) float64 {
+		c := New()
+		c.AddVSource("VCC", "vcc", "0", 3, 0)
+		c.AddVSource("VIN", "in", "0", vb, 1)
+		c.AddResistor("RC", "vcc", "c", 300)
+		q := c.AddBJT("Q1", "c", "in", "e", DefaultBJT())
+		if re > 0 {
+			c.AddResistor("RE", "e", "0", re)
+		} else {
+			c.AddResistor("RE", "e", "0", 1e-3)
+		}
+		op := solveDC(t, c)
+		rep, err := c.VolterraIIP3(op, q, "in", 900e6, complex(math.Max(re, 1e-3), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Keep bias comparable across the two circuits.
+		if ic := q.OperatingPoint().Ic; ic < 0.5e-3 || ic > 5e-3 {
+			t.Fatalf("bias Ic %g out of window at RE=%g", ic, re)
+		}
+		return rep.IIP3DBm
+	}
+	plain := analyze(0, 0.75)
+	deg := analyze(25, 0.80) // higher Vb compensates the RE drop
+	if deg <= plain+3 {
+		t.Fatalf("degeneration should clearly raise IIP3: %g vs %g dBm", deg, plain)
+	}
+}
+
+func TestBehavioralPolyReproducesIIP3(t *testing.T) {
+	rep := &DistortionReport{AIIP3: 0.5, G1: 1, G2: 0.1, InputTransfer: 1}
+	c1, _, c3 := rep.BehavioralPoly(complex(10, 0))
+	if c1 != 10 {
+		t.Fatalf("c1 = %g", c1)
+	}
+	// Recover AIP3 from the polynomial.
+	a := math.Sqrt(4.0 / 3.0 * math.Abs(c1/c3))
+	if math.Abs(a-0.5) > 1e-12 {
+		t.Fatalf("polynomial AIP3 %g, want 0.5", a)
+	}
+	if c3 >= 0 {
+		t.Fatal("c3 must be compressive (negative)")
+	}
+}
+
+func TestACSweepMonotoneLowpass(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", 0, 1)
+	c.AddResistor("R1", "in", "out", 1000)
+	c.AddCapacitor("C1", "out", "0", 1e-9)
+	op := solveDC(t, c)
+	freqs := []float64{1e3, 1e4, 1e5, 1e6, 1e7}
+	vs, err := c.ACSweep(op, freqs, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(vs); i++ {
+		if cmplx.Abs(vs[i]) >= cmplx.Abs(vs[i-1]) {
+			t.Fatalf("lowpass not monotone at %g Hz", freqs[i])
+		}
+	}
+}
+
+func TestSolveACRequiresMatchingOP(t *testing.T) {
+	c1 := New()
+	c1.AddVSource("V1", "in", "0", 1, 1)
+	c1.AddResistor("R1", "in", "0", 100)
+	op := solveDC(t, c1)
+	c2 := New()
+	c2.AddResistor("R1", "a", "0", 100)
+	if _, err := c2.SolveAC(op, 1e6); err == nil {
+		t.Fatal("expected error for foreign operating point")
+	}
+}
+
+func TestElementValidation(t *testing.T) {
+	c := New()
+	for _, fn := range []func(){
+		func() { c.AddResistor("R", "a", "b", 0) },
+		func() { c.AddCapacitor("C", "a", "b", -1) },
+		func() { c.AddInductor("L", "a", "b", 0) },
+		func() { c.AddBJT("Q", "c", "b", "e", BJTParams{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for invalid element value")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,111 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// OperatingPoint is the result of a DC analysis.
+type OperatingPoint struct {
+	circuit  *Circuit
+	solution []float64
+}
+
+// Voltage returns the DC voltage of a named node.
+func (op *OperatingPoint) Voltage(node string) float64 {
+	idx, ok := op.circuit.nodeIndex[node]
+	if !ok {
+		panic(fmt.Sprintf("circuit: unknown node %q", node))
+	}
+	return voltageAt(op.solution, idx)
+}
+
+// DCOptions tunes the Newton solve.
+type DCOptions struct {
+	MaxIter int     // per Newton attempt (default 200)
+	AbsTol  float64 // convergence on max |dx| (default 1e-9)
+}
+
+// SolveDC computes the DC operating point with Newton-Raphson iteration and
+// SPICE-style junction limiting. If plain Newton fails, the solver falls
+// back to source stepping: all independent sources are ramped from 10% to
+// 100% while reusing each converged point as the next initial guess.
+func (c *Circuit) SolveDC(opt DCOptions) (*OperatingPoint, error) {
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 200
+	}
+	if opt.AbsTol <= 0 {
+		opt.AbsTol = 1e-9
+	}
+	x := make([]float64, c.size())
+	if err := c.newton(x, opt); err == nil {
+		return &OperatingPoint{circuit: c, solution: x}, nil
+	}
+	// Source stepping homotopy.
+	for i := range x {
+		x[i] = 0
+	}
+	steps := []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+	for _, lambda := range steps {
+		c.setSourceScale(lambda)
+		if err := c.newton(x, opt); err != nil {
+			c.setSourceScale(1)
+			return nil, fmt.Errorf("circuit: DC failed at source step %.0f%%: %w", lambda*100, err)
+		}
+	}
+	c.setSourceScale(1)
+	return &OperatingPoint{circuit: c, solution: x}, nil
+}
+
+// anyLimited reports whether any nonlinear device evaluated away from the
+// requested solution during the last stamp pass.
+func (c *Circuit) anyLimited() bool {
+	for _, e := range c.elems {
+		if le, ok := e.(limitedElement); ok && le.limitedNow() {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Circuit) setSourceScale(lambda float64) {
+	for _, e := range c.elems {
+		switch s := e.(type) {
+		case *vsource:
+			s.scale = lambda
+		case *isource:
+			s.scale = lambda
+		}
+	}
+}
+
+// newton iterates J x_new = rhs to convergence, updating x in place.
+func (c *Circuit) newton(x []float64, opt DCOptions) error {
+	n := c.size()
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		s := newSystem(n, len(c.nodeNames))
+		for _, e := range c.elems {
+			e.stampDC(s, x)
+		}
+		xnew, err := linalg.SolveLinear(linalg.FromRows(s.J), s.rhs)
+		if err != nil {
+			return fmt.Errorf("circuit: singular Newton system at iteration %d: %w", iter, err)
+		}
+		maxDelta := 0.0
+		for i := range x {
+			if d := math.Abs(xnew[i] - x[i]); d > maxDelta {
+				maxDelta = d
+			}
+			if math.IsNaN(xnew[i]) || math.IsInf(xnew[i], 0) {
+				return fmt.Errorf("circuit: Newton diverged (non-finite solution) at iteration %d", iter)
+			}
+		}
+		copy(x, xnew)
+		if maxDelta < opt.AbsTol && !c.anyLimited() {
+			return nil
+		}
+	}
+	return fmt.Errorf("circuit: Newton did not converge in %d iterations", opt.MaxIter)
+}

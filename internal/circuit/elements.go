@@ -1,0 +1,336 @@
+package circuit
+
+import "math"
+
+// ---------------------------------------------------------------- resistor
+
+type resistor struct {
+	label  string
+	na, nb int
+	r      float64
+}
+
+func (e *resistor) name() string       { return e.label }
+func (e *resistor) prepare(c *Circuit) {}
+func (e *resistor) stampDC(s *system, x []float64) {
+	s.stampConductance(e.na, e.nb, 1/e.r)
+}
+func (e *resistor) stampAC(s *acSystem, w float64) {
+	s.stampAdmittance(e.na, e.nb, complex(1/e.r, 0))
+}
+
+// noiseSources: thermal current noise 4kT/R.
+func (e *resistor) noiseSources(freq float64) []NoiseSource {
+	return []NoiseSource{{Label: e.label + ".thermal", From: e.na, To: e.nb, PSD: 4 * KBoltz * TempK / e.r}}
+}
+
+// --------------------------------------------------------------- capacitor
+
+type capacitor struct {
+	label  string
+	na, nb int
+	cap    float64
+}
+
+func (e *capacitor) name() string       { return e.label }
+func (e *capacitor) prepare(c *Circuit) {}
+func (e *capacitor) stampDC(s *system, x []float64) {
+	// Open circuit at DC; a gmin leak keeps otherwise-floating nodes
+	// (e.g. behind coupling caps) numerically anchored.
+	s.stampConductance(e.na, e.nb, gmin)
+}
+func (e *capacitor) stampAC(s *acSystem, w float64) {
+	s.stampAdmittance(e.na, e.nb, complex(0, w*e.cap))
+}
+
+// ---------------------------------------------------------------- inductor
+
+type inductor struct {
+	label  string
+	na, nb int
+	l      float64
+	branch int
+}
+
+func (e *inductor) name() string { return e.label }
+func (e *inductor) prepare(c *Circuit) {
+	e.branch = c.newBranch()
+}
+
+// DC: inductor is a short — branch equation V(a) - V(b) = 0.
+func (e *inductor) stampDC(s *system, x []float64) {
+	bi := s.branchBase + e.branch
+	s.addJ(e.na, bi, 1)
+	s.addJ(e.nb, bi, -1)
+	s.addJ(bi, e.na, 1)
+	s.addJ(bi, e.nb, -1)
+}
+
+// AC: V(a) - V(b) - jwL*I = 0.
+func (e *inductor) stampAC(s *acSystem, w float64) {
+	bi := s.branchBase + e.branch
+	s.addA(e.na, bi, 1)
+	s.addA(e.nb, bi, -1)
+	s.addA(bi, e.na, 1)
+	s.addA(bi, e.nb, -1)
+	s.addA(bi, bi, complex(0, -w*e.l))
+}
+
+// ----------------------------------------------------------------- vsource
+
+type vsource struct {
+	label  string
+	na, nb int
+	dc, ac float64
+	branch int
+	// scale supports source-stepping homotopy during DC solve.
+	scale float64
+}
+
+func (e *vsource) name() string { return e.label }
+func (e *vsource) prepare(c *Circuit) {
+	e.branch = c.newBranch()
+	e.scale = 1
+}
+func (e *vsource) stampDC(s *system, x []float64) {
+	bi := s.branchBase + e.branch
+	s.addJ(e.na, bi, 1)
+	s.addJ(e.nb, bi, -1)
+	s.addJ(bi, e.na, 1)
+	s.addJ(bi, e.nb, -1)
+	s.addRHS(bi, e.dc*e.scale)
+}
+func (e *vsource) stampAC(s *acSystem, w float64) {
+	bi := s.branchBase + e.branch
+	s.addA(e.na, bi, 1)
+	s.addA(e.nb, bi, -1)
+	s.addA(bi, e.na, 1)
+	s.addA(bi, e.nb, -1)
+	s.addB(bi, complex(e.ac, 0))
+}
+
+// ----------------------------------------------------------------- isource
+
+type isource struct {
+	label  string
+	na, nb int
+	dc, ac float64
+	scale  float64
+}
+
+func (e *isource) name() string       { return e.label }
+func (e *isource) prepare(c *Circuit) { e.scale = 1 }
+func (e *isource) stampDC(s *system, x []float64) {
+	s.stampCurrent(e.na, e.nb, e.dc*e.scale)
+}
+func (e *isource) stampAC(s *acSystem, w float64) {
+	s.addB(e.na, complex(-e.ac, 0))
+	s.addB(e.nb, complex(e.ac, 0))
+}
+
+// -------------------------------------------------------------------- vccs
+
+type vccs struct {
+	label            string
+	na, nb, ncp, ncn int
+	gm               float64
+}
+
+func (e *vccs) name() string       { return e.label }
+func (e *vccs) prepare(c *Circuit) {}
+func (e *vccs) stampDC(s *system, x []float64) {
+	s.addJ(e.na, e.ncp, e.gm)
+	s.addJ(e.na, e.ncn, -e.gm)
+	s.addJ(e.nb, e.ncp, -e.gm)
+	s.addJ(e.nb, e.ncn, e.gm)
+}
+func (e *vccs) stampAC(s *acSystem, w float64) {
+	g := complex(e.gm, 0)
+	s.addA(e.na, e.ncp, g)
+	s.addA(e.na, e.ncn, -g)
+	s.addA(e.nb, e.ncp, -g)
+	s.addA(e.nb, e.ncn, g)
+}
+
+// --------------------------------------------------------------------- BJT
+
+// BJT is a simplified Gummel-Poon npn transistor. The forward-active DC
+// model includes beta, Early effect (Vaf) and high-injection knee (Ikf);
+// small-signal adds the hybrid-pi elements (gm, gpi, gmu, go, Cje, Cjc)
+// derived analytically from the DC solution, and noise adds base/collector
+// shot noise plus base-resistance thermal noise.
+type BJT struct {
+	label           string
+	p               BJTParams
+	nc, nb, ne, nbi int
+
+	// limited junction voltages (SPICE pnjlim state)
+	vbeState, vbcState float64
+	// wasLimited reports whether the last stampDC evaluated the junctions
+	// at voltages different from the ones the solution requested — Newton
+	// must not declare convergence while this is true.
+	wasLimited bool
+
+	// operating point, filled by the DC solve
+	op BJTOperatingPoint
+}
+
+// BJTOperatingPoint captures the linearization of a BJT.
+type BJTOperatingPoint struct {
+	Vbe, Vbc float64
+	Ic, Ib   float64
+	Gm       float64 // dIcc/dVbe (forward transconductance)
+	Gmr      float64 // dIcc/dVbc (includes Early effect)
+	Gpi      float64 // dIbe/dVbe
+	Gmu      float64 // dIbc/dVbc
+	Qb       float64 // normalized base charge
+}
+
+// OperatingPoint returns the transistor's linearization after a DC solve.
+func (q *BJT) OperatingPoint() BJTOperatingPoint { return q.op }
+
+// Params returns the device parameters.
+func (q *BJT) Params() BJTParams { return q.p }
+
+func (q *BJT) name() string { return q.label }
+
+func (q *BJT) prepare(c *Circuit) {
+	q.vbeState = 0.65
+	q.vbcState = -1
+}
+
+// vcrit is the junction critical voltage for pnjlim.
+func (q *BJT) vcrit() float64 {
+	return Vt * math.Log(Vt/(math.Sqrt2*q.p.Is))
+}
+
+// pnjlim is the classic SPICE junction-voltage limiter: exponential-region
+// updates are compressed logarithmically so Newton cannot overflow exp().
+func pnjlim(vnew, vold, vt, vcrit float64) float64 {
+	if vnew > vcrit && math.Abs(vnew-vold) > 2*vt {
+		if vold > 0 {
+			arg := 1 + (vnew-vold)/vt
+			if arg > 0 {
+				vnew = vold + vt*math.Log(arg)
+			} else {
+				vnew = vcrit
+			}
+		} else {
+			vnew = vt * math.Log(vnew/vt)
+		}
+	}
+	return vnew
+}
+
+// eval computes currents and conductances at junction voltages (vbe, vbc).
+func (q *BJT) eval(vbe, vbc float64) (ibe, ibc, icc, gpi, gmu, gmf, gmr float64) {
+	p := q.p
+	expbe := math.Exp(vbe / Vt)
+	expbc := math.Exp(vbc / Vt)
+	iff := p.Is * (expbe - 1)
+	ir := p.Is * (expbc - 1)
+	dif := p.Is * expbe / Vt // dIf/dVbe
+	dir := p.Is * expbc / Vt // dIr/dVbc
+
+	// Normalized base charge with Early effect and forward knee.
+	q1 := 1 / (1 - vbc/p.Vaf)
+	dq1 := q1 * q1 / p.Vaf // dq1/dVbc
+	q2 := iff / p.Ikf
+	root := math.Sqrt(1 + 4*q2)
+	qb := q1 * (1 + root) / 2
+	dqbVbe := q1 * dif / p.Ikf / root
+	dqbVbc := dq1 * (1 + root) / 2
+
+	icc = (iff - ir) / qb
+	gmf = (dif*qb - (iff-ir)*dqbVbe) / (qb * qb)
+	gmr = (-dir*qb - (iff-ir)*dqbVbc) / (qb * qb)
+
+	ibe = iff / p.Bf
+	gpi = dif / p.Bf
+	ibc = ir / p.Br
+	gmu = dir / p.Br
+
+	q.op.Qb = qb
+	return
+}
+
+func (q *BJT) stampDC(s *system, x []float64) {
+	// Base resistance as linear conductance between external and internal
+	// base nodes.
+	if q.p.Rb > 0 {
+		s.stampConductance(q.nb, q.nbi, 1/q.p.Rb)
+	}
+
+	vbeReq := voltageAt(x, q.nbi) - voltageAt(x, q.ne)
+	vbcReq := voltageAt(x, q.nbi) - voltageAt(x, q.nc)
+	vc := q.vcrit()
+	vbe := pnjlim(vbeReq, q.vbeState, Vt, vc)
+	vbc := pnjlim(vbcReq, q.vbcState, Vt, vc)
+	q.wasLimited = abs(vbe-vbeReq) > 1e-6 || abs(vbc-vbcReq) > 1e-6
+	q.vbeState, q.vbcState = vbe, vbc
+
+	ibe, ibc, icc, gpi, gmu, gmf, gmr := q.eval(vbe, vbc)
+
+	// Convergence aids.
+	gpi += gmin
+	gmu += gmin
+	ibe += gmin * vbe
+	ibc += gmin * vbc
+
+	// Base-emitter diode: current ibe from bi to e.
+	s.stampConductance(q.nbi, q.ne, gpi)
+	s.stampCurrent(q.nbi, q.ne, ibe-gpi*vbe)
+	// Base-collector diode: current ibc from bi to c.
+	s.stampConductance(q.nbi, q.nc, gmu)
+	s.stampCurrent(q.nbi, q.nc, ibc-gmu*vbc)
+	// Transport current icc into collector, out of emitter, controlled by
+	// vbe and vbc.
+	s.addJ(q.nc, q.nbi, gmf+gmr)
+	s.addJ(q.nc, q.ne, -gmf)
+	s.addJ(q.nc, q.nc, -gmr)
+	s.addRHS(q.nc, gmf*vbe+gmr*vbc-icc)
+	s.addJ(q.ne, q.nbi, -(gmf + gmr))
+	s.addJ(q.ne, q.ne, gmf)
+	s.addJ(q.ne, q.nc, gmr)
+	s.addRHS(q.ne, -(gmf*vbe + gmr*vbc - icc))
+
+	// Record the operating point (final iteration wins).
+	q.op.Vbe, q.op.Vbc = vbe, vbc
+	q.op.Ic = icc - ibc
+	q.op.Ib = ibe + ibc
+	q.op.Gm, q.op.Gmr, q.op.Gpi, q.op.Gmu = gmf, gmr, gpi, gmu
+}
+
+func (q *BJT) stampAC(s *acSystem, w float64) {
+	if q.p.Rb > 0 {
+		s.stampAdmittance(q.nb, q.nbi, complex(1/q.p.Rb, 0))
+	}
+	op := q.op
+	// Junction conductances and capacitances.
+	s.stampAdmittance(q.nbi, q.ne, complex(op.Gpi, w*q.p.Cje))
+	s.stampAdmittance(q.nbi, q.nc, complex(op.Gmu, w*q.p.Cjc))
+	// Transport transconductances.
+	gmf, gmr := complex(op.Gm, 0), complex(op.Gmr, 0)
+	s.addA(q.nc, q.nbi, gmf+gmr)
+	s.addA(q.nc, q.ne, -gmf)
+	s.addA(q.nc, q.nc, -gmr)
+	s.addA(q.ne, q.nbi, -(gmf + gmr))
+	s.addA(q.ne, q.ne, gmf)
+	s.addA(q.ne, q.nc, gmr)
+}
+
+// limitedNow reports whether the last evaluation was junction-limited.
+func (q *BJT) limitedNow() bool { return q.wasLimited }
+
+// noiseSources: base-resistance thermal, base shot, collector shot.
+func (q *BJT) noiseSources(freq float64) []NoiseSource {
+	var out []NoiseSource
+	if q.p.Rb > 0 {
+		out = append(out, NoiseSource{Label: q.label + ".rb", From: q.nb, To: q.nbi, PSD: 4 * KBoltz * TempK / q.p.Rb})
+	}
+	out = append(out,
+		NoiseSource{Label: q.label + ".ib-shot", From: q.nbi, To: q.ne, PSD: 2 * QElectron * math.Max(q.op.Ib, 0)},
+		NoiseSource{Label: q.label + ".ic-shot", From: q.nc, To: q.ne, PSD: 2 * QElectron * math.Max(q.op.Ic, 0)},
+	)
+	return out
+}

@@ -1,0 +1,72 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// NoiseReport is the result of a spot-noise analysis at one frequency.
+type NoiseReport struct {
+	Freq           float64
+	OutputPSD      float64            // total output noise voltage PSD, V^2/Hz
+	Contributions  map[string]float64 // per-source output PSD, V^2/Hz
+	SourcePSD      float64            // output PSD due to the designated source resistor
+	GainFromSource float64            // |vout/vsource-EMF| magnitude at Freq
+	NoiseFigureDB  float64            // 10*log10(total/source-only)
+}
+
+// NoiseAnalysis computes the output noise at outNode at frequency freq by
+// injecting each device noise current across the factored AC system and
+// accumulating |transimpedance|^2 * PSD. sourceName identifies the source
+// resistor whose thermal noise defines the noise-figure reference (the
+// 50-ohm generator impedance in an LNA testbench).
+func (c *Circuit) NoiseAnalysis(op *OperatingPoint, freq float64, outNode, sourceName string) (*NoiseReport, error) {
+	r, err := c.SolveAC(op, freq)
+	if err != nil {
+		return nil, err
+	}
+	outIdx, ok := c.nodeIndex[outNode]
+	if !ok || outIdx < 0 {
+		return nil, fmt.Errorf("circuit: noise output node %q unknown or ground", outNode)
+	}
+	rep := &NoiseReport{Freq: freq, Contributions: map[string]float64{}}
+	rep.GainFromSource = cmplx.Abs(r.Voltage(outNode))
+
+	sourcePrefix := sourceName + "."
+	foundSource := false
+	for _, e := range c.elems {
+		nc, ok := e.(noiseContributor)
+		if !ok {
+			continue
+		}
+		for _, src := range nc.noiseSources(freq) {
+			// Inject a unit AC current from src.From to src.To and read the
+			// output voltage: that is the transimpedance Z(out; src).
+			b := make([]complex128, c.size())
+			if src.From >= 0 {
+				b[src.From] -= 1
+			}
+			if src.To >= 0 {
+				b[src.To] += 1
+			}
+			x := r.lu.solve(b)
+			z2 := cmplx.Abs(x[outIdx])
+			contrib := z2 * z2 * src.PSD
+			rep.Contributions[src.Label] += contrib
+			rep.OutputPSD += contrib
+			if src.Label == sourcePrefix+"thermal" || src.Label == sourceName {
+				rep.SourcePSD += contrib
+				foundSource = true
+			}
+		}
+	}
+	if !foundSource {
+		return nil, fmt.Errorf("circuit: source resistor %q not found among noise contributors", sourceName)
+	}
+	if rep.SourcePSD <= 0 {
+		return nil, fmt.Errorf("circuit: source resistor %q contributes no output noise (zero gain?)", sourceName)
+	}
+	rep.NoiseFigureDB = 10 * math.Log10(rep.OutputPSD/rep.SourcePSD)
+	return rep, nil
+}

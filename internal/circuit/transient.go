@@ -1,0 +1,199 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// TransientResult holds a time-domain simulation: node voltages sampled at
+// a fixed step.
+type TransientResult struct {
+	circuit *Circuit
+	Dt      float64
+	x       [][]float64 // [step][unknown]
+}
+
+// Steps returns the number of stored time points.
+func (r *TransientResult) Steps() int { return len(r.x) }
+
+// Voltage returns the waveform of a named node.
+func (r *TransientResult) Voltage(node string) []float64 {
+	idx, ok := r.circuit.nodeIndex[node]
+	if !ok {
+		panic(fmt.Sprintf("circuit: unknown node %q", node))
+	}
+	out := make([]float64, len(r.x))
+	if idx < 0 {
+		return out
+	}
+	for i, xs := range r.x {
+		out[i] = xs[idx]
+	}
+	return out
+}
+
+// TransientOptions configures a transient run.
+type TransientOptions struct {
+	Dt      float64 // time step, seconds
+	Steps   int     // number of steps
+	MaxIter int     // Newton iterations per step (default 50)
+	AbsTol  float64 // Newton convergence (default 1e-9)
+	// Sources maps a voltage/current source name to a time-varying value
+	// that overrides its DC value during the transient.
+	Sources map[string]func(t float64) float64
+}
+
+// transientStamper is implemented by elements with dynamic (companion
+// model) transient stamps.
+type transientStamper interface {
+	// stampTransient stamps the element for the step ending at time t,
+	// given the current Newton guess x and the previous accepted solution
+	// xPrev. dt is the step size.
+	stampTransient(s *system, x, xPrev []float64, dt, t float64, src func(name string) (float64, bool))
+}
+
+// SolveTransient integrates the circuit with backward-Euler companion
+// models starting from the given operating point (use SolveDC first). It
+// is the reference engine used to validate the behavioral signature-path
+// models against "real" circuit dynamics.
+func (c *Circuit) SolveTransient(op *OperatingPoint, opt TransientOptions) (*TransientResult, error) {
+	if op == nil || op.circuit != c {
+		return nil, fmt.Errorf("circuit: transient needs an operating point of this circuit")
+	}
+	if opt.Dt <= 0 || opt.Steps <= 0 {
+		return nil, fmt.Errorf("circuit: transient needs positive Dt and Steps")
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 50
+	}
+	if opt.AbsTol <= 0 {
+		opt.AbsTol = 1e-9
+	}
+	srcLookup := func(t float64) func(string) (float64, bool) {
+		return func(name string) (float64, bool) {
+			if opt.Sources == nil {
+				return 0, false
+			}
+			f, ok := opt.Sources[name]
+			if !ok {
+				return 0, false
+			}
+			return f(t), true
+		}
+	}
+
+	n := c.size()
+	xPrev := make([]float64, n)
+	copy(xPrev, op.solution)
+	res := &TransientResult{circuit: c, Dt: opt.Dt}
+	res.x = append(res.x, append([]float64(nil), xPrev...))
+
+	x := make([]float64, n)
+	copy(x, xPrev)
+	for step := 1; step <= opt.Steps; step++ {
+		t := float64(step) * opt.Dt
+		lookup := srcLookup(t)
+		converged := false
+		for iter := 0; iter < opt.MaxIter; iter++ {
+			s := newSystem(n, len(c.nodeNames))
+			for _, e := range c.elems {
+				if ts, ok := e.(transientStamper); ok {
+					ts.stampTransient(s, x, xPrev, opt.Dt, t, lookup)
+				} else {
+					e.stampDC(s, x)
+				}
+			}
+			xNew, err := linalg.SolveLinear(linalg.FromRows(s.J), s.rhs)
+			if err != nil {
+				return nil, fmt.Errorf("circuit: transient step %d: %w", step, err)
+			}
+			maxDelta := 0.0
+			for i := range x {
+				if d := math.Abs(xNew[i] - x[i]); d > maxDelta {
+					maxDelta = d
+				}
+				if math.IsNaN(xNew[i]) || math.IsInf(xNew[i], 0) {
+					return nil, fmt.Errorf("circuit: transient diverged at step %d", step)
+				}
+			}
+			copy(x, xNew)
+			if maxDelta < opt.AbsTol && !c.anyLimited() {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			return nil, fmt.Errorf("circuit: transient Newton did not converge at step %d (t=%g s)", step, t)
+		}
+		copy(xPrev, x)
+		res.x = append(res.x, append([]float64(nil), x...))
+	}
+	return res, nil
+}
+
+// ---- transient stamps for the dynamic and source elements --------------
+
+// Capacitor backward-Euler companion: i = C/dt * (v - vPrev), i.e. a
+// conductance C/dt in parallel with a history current source.
+func (e *capacitor) stampTransient(s *system, x, xPrev []float64, dt, t float64, src func(string) (float64, bool)) {
+	g := e.cap / dt
+	vPrev := voltageAt(xPrev, e.na) - voltageAt(xPrev, e.nb)
+	s.stampConductance(e.na, e.nb, g)
+	// History current g*vPrev flowing from b to a (it opposes discharge).
+	s.stampCurrent(e.na, e.nb, -g*vPrev)
+}
+
+// Inductor backward-Euler companion using its branch current unknown:
+// v = L * di/dt  ->  V(a) - V(b) - (L/dt)*I = -(L/dt)*IPrev.
+func (e *inductor) stampTransient(s *system, x, xPrev []float64, dt, t float64, src func(string) (float64, bool)) {
+	bi := s.branchBase + e.branch
+	s.addJ(e.na, bi, 1)
+	s.addJ(e.nb, bi, -1)
+	s.addJ(bi, e.na, 1)
+	s.addJ(bi, e.nb, -1)
+	gl := e.l / dt
+	s.addJ(bi, bi, -gl)
+	s.addRHS(bi, -gl*xPrev[bi])
+}
+
+// Voltage source with optional time-varying waveform.
+func (e *vsource) stampTransient(s *system, x, xPrev []float64, dt, t float64, src func(string) (float64, bool)) {
+	bi := s.branchBase + e.branch
+	s.addJ(e.na, bi, 1)
+	s.addJ(e.nb, bi, -1)
+	s.addJ(bi, e.na, 1)
+	s.addJ(bi, e.nb, -1)
+	v := e.dc
+	if tv, ok := src(e.label); ok {
+		v = tv
+	}
+	s.addRHS(bi, v)
+}
+
+// Current source with optional time-varying waveform.
+func (e *isource) stampTransient(s *system, x, xPrev []float64, dt, t float64, src func(string) (float64, bool)) {
+	i := e.dc
+	if tv, ok := src(e.label); ok {
+		i = tv
+	}
+	s.stampCurrent(e.na, e.nb, i)
+}
+
+// BJT: static stamps plus backward-Euler companions for Cje and Cjc.
+func (q *BJT) stampTransient(s *system, x, xPrev []float64, dt, t float64, src func(string) (float64, bool)) {
+	q.stampDC(s, x)
+	stampCapCompanion(s, q.nbi, q.ne, q.p.Cje, dt, xPrev)
+	stampCapCompanion(s, q.nbi, q.nc, q.p.Cjc, dt, xPrev)
+}
+
+func stampCapCompanion(s *system, a, b int, c, dt float64, xPrev []float64) {
+	if c <= 0 {
+		return
+	}
+	g := c / dt
+	vPrev := voltageAt(xPrev, a) - voltageAt(xPrev, b)
+	s.stampConductance(a, b, g)
+	s.stampCurrent(a, b, -g*vPrev)
+}

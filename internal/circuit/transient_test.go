@@ -1,0 +1,163 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransientRCStepResponse(t *testing.T) {
+	// RC charging from 0 to 1 V: v(t) = 1 - exp(-t/RC).
+	c := New()
+	c.AddVSource("V1", "in", "0", 0, 0)
+	c.AddResistor("R1", "in", "out", 1000)
+	c.AddCapacitor("C1", "out", "0", 1e-9) // tau = 1 us
+	op := solveDC(t, c)
+	tau := 1e-6
+	res, err := c.SolveTransient(op, TransientOptions{
+		Dt:    tau / 200,
+		Steps: 1000, // 5 tau
+		Sources: map[string]func(float64) float64{
+			"V1": func(tt float64) float64 { return 1 },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Voltage("out")
+	for _, chk := range []struct{ at, want float64 }{
+		{tau, 1 - math.Exp(-1)},
+		{2 * tau, 1 - math.Exp(-2)},
+		{5 * tau, 1 - math.Exp(-5)},
+	} {
+		idx := int(chk.at / res.Dt)
+		if math.Abs(v[idx]-chk.want) > 0.01 {
+			t.Fatalf("v(%g) = %g, want %g", chk.at, v[idx], chk.want)
+		}
+	}
+}
+
+func TestTransientLCOscillation(t *testing.T) {
+	// A charged capacitor across an inductor (with tiny loss) rings at
+	// f0 = 1/(2*pi*sqrt(LC)).
+	c := New()
+	c.AddVSource("V1", "a", "0", 1, 0)    // biases L with a small DC current
+	c.AddResistor("Rsw", "a", "n", 100e3) // large: keeps the parallel tank high-Q
+	c.AddCapacitor("C1", "n", "0", 1e-9)
+	c.AddInductor("L1", "n", "0", 1e-6) // f0 ~ 5.03 MHz
+	op := solveDC(t, c)
+	// During transient, drop the source to 0 and watch the tank ring
+	// through the 1-ohm path... the source at 0 damps it; instead keep the
+	// source but verify the ringing frequency during the decay.
+	f0 := 1 / (2 * math.Pi * math.Sqrt(1e-6*1e-9))
+	res, err := c.SolveTransient(op, TransientOptions{
+		Dt:    1 / (f0 * 400),
+		Steps: 2000,
+		Sources: map[string]func(float64) float64{
+			"V1": func(tt float64) float64 { return 0 },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Voltage("n")
+	// Count zero crossings over the record to estimate frequency.
+	crossings := 0
+	for i := 1; i < len(v); i++ {
+		if (v[i-1] < 0) != (v[i] < 0) {
+			crossings++
+		}
+	}
+	dur := float64(res.Steps()-1) * res.Dt
+	fEst := float64(crossings) / 2 / dur
+	if math.Abs(fEst-f0)/f0 > 0.05 {
+		t.Fatalf("ringing at %g Hz, want %g", fEst, f0)
+	}
+}
+
+func TestTransientCEAmplifierMatchesACGain(t *testing.T) {
+	// Drive a resistively-degenerated CE stage with a small low-frequency
+	// sine; the transient output amplitude must match the AC analysis.
+	build := func() (*Circuit, *OperatingPoint) {
+		c := New()
+		c.AddVSource("VCC", "vcc", "0", 3, 0)
+		c.AddVSource("VIN", "vb", "0", 0.8, 1)
+		c.AddResistor("RC", "vcc", "c", 500)
+		c.AddResistor("RE", "e", "0", 100)
+		c.AddBJT("Q1", "c", "vb", "e", DefaultBJT())
+		op := solveDC(t, c)
+		return c, op
+	}
+	c, op := build()
+	ac, err := c.SolveAC(op, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGain := cabs(ac.Voltage("c"))
+
+	const amp = 1e-3 // stay in the linear region
+	f := 1e6
+	res, err := c.SolveTransient(op, TransientOptions{
+		Dt:    1 / (f * 200),
+		Steps: 600, // 3 periods
+		Sources: map[string]func(float64) float64{
+			"VIN": func(tt float64) float64 { return 0.8 + amp*math.Sin(2*math.Pi*f*tt) },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Voltage("c")
+	// Peak-to-peak over the last period.
+	lo, hi := v[len(v)-1], v[len(v)-1]
+	for _, x := range v[len(v)-200:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	gotGain := (hi - lo) / 2 / amp
+	if math.Abs(gotGain-wantGain)/wantGain > 0.05 {
+		t.Fatalf("transient gain %g vs AC gain %g", gotGain, wantGain)
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "a", "0", 1, 0)
+	c.AddResistor("R1", "a", "0", 100)
+	op := solveDC(t, c)
+	if _, err := c.SolveTransient(op, TransientOptions{Dt: 0, Steps: 10}); err == nil {
+		t.Fatal("zero Dt must error")
+	}
+	if _, err := c.SolveTransient(op, TransientOptions{Dt: 1e-9, Steps: 0}); err == nil {
+		t.Fatal("zero steps must error")
+	}
+	c2 := New()
+	c2.AddResistor("R1", "x", "0", 1)
+	if _, err := c2.SolveTransient(op, TransientOptions{Dt: 1e-9, Steps: 1}); err == nil {
+		t.Fatal("foreign operating point must error")
+	}
+}
+
+func TestTransientUnknownNodePanics(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "a", "0", 1, 0)
+	c.AddResistor("R1", "a", "0", 100)
+	op := solveDC(t, c)
+	res, err := c.SolveTransient(op, TransientOptions{Dt: 1e-9, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	res.Voltage("zz")
+}
+
+func cabs(v complex128) float64 {
+	return math.Hypot(real(v), imag(v))
+}

@@ -1,0 +1,147 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// DistortionReport summarizes the weakly-nonlinear (Volterra-series)
+// analysis of a single-transistor gain stage with series (emitter)
+// feedback — the dominant nonlinearity of the paper's LNA. It provides the
+// closed-loop polynomial coefficients referred to the stage input and the
+// resulting third-order intercept, plus the behavioral polynomial referred
+// to the circuit's external input port (used by the signature-path
+// simulator).
+type DistortionReport struct {
+	Freq float64
+
+	// Closed-loop transconductance coefficients i_c = G1 v + G2 v^2 + G3 v^3
+	// where v is the voltage across the intrinsic junction loop input.
+	G1 complex128
+	G2 complex128
+	G3 complex128
+
+	// InputTransfer is vbe/vin: the linear transfer from the external input
+	// port voltage to the intrinsic base-emitter voltage.
+	InputTransfer complex128
+
+	// AIIP3 is the input-referred third-order intercept amplitude (volts
+	// peak at the external input port).
+	AIIP3 float64
+	// IIP3DBm is AIIP3 expressed as power into the reference impedance.
+	IIP3DBm float64
+}
+
+// VolterraIIP3 analyzes transistor q embedded in circuit c. inNode is the
+// external input port node; feedbackZ is the series-feedback impedance seen
+// at the emitter at the analysis frequency (typically j*w*Le for inductive
+// degeneration, plus any parasitic resistance). The standard closed forms
+// for an exponential transconductor with series feedback are used:
+//
+//	G1 = g1/(1+T),  T = g1*Zf
+//	G2 = g2/(1+T)^3
+//	G3 = (g3*(1+T) - 2*g2^2*Zf) / (1+T)^5
+//
+// with the open-loop exponential coefficients g1 = gm, g2 = gm/(2*Vt*qb2),
+// g3 = gm/(6*Vt^2*qb3) where the qb terms capture the high-injection (Ikf)
+// compression of the exponential.
+func (c *Circuit) VolterraIIP3(op *OperatingPoint, q *BJT, inNode string, freq float64, feedbackZ complex128) (*DistortionReport, error) {
+	ac, err := c.SolveAC(op, freq)
+	if err != nil {
+		return nil, err
+	}
+	bjtOp := q.OperatingPoint()
+	// A transconductance below ~1 uS means the device is effectively off
+	// (sub-nA bias): the power-series model is meaningless there.
+	if bjtOp.Gm <= 1e-6 {
+		return nil, fmt.Errorf("circuit: transistor %s is off (gm=%g S)", q.name(), bjtOp.Gm)
+	}
+
+	// Open-loop power-series of the transport current about the operating
+	// point. For the ideal exponential g2 = gm/2Vt, g3 = gm/6Vt^2; the
+	// normalized base charge qb (> 1 under high injection) softens the
+	// higher-order terms faster than the first-order one.
+	g1 := bjtOp.Gm
+	qb := bjtOp.Qb
+	if qb < 1 {
+		qb = 1
+	}
+	g2 := g1 / (2 * Vt * qb)
+	g3 := g1 / (6 * Vt * Vt * qb * qb)
+
+	one := complex(1, 0)
+	T := complex(g1, 0) * feedbackZ
+	den := one + T
+	G1 := complex(g1, 0) / den
+	G2 := complex(g2, 0) / (den * den * den)
+	G3 := (complex(g3, 0)*den - 2*complex(g2*g2, 0)*feedbackZ) / (den * den * den * den * den)
+
+	// Input transfer vbe/vin from the AC solve: the AC source in the
+	// netlist must be set to 1 V so node voltages are transfer functions.
+	vin := ac.Voltage(inNode)
+	if cmplx.Abs(vin) == 0 {
+		return nil, fmt.Errorf("circuit: input node %q has zero AC drive; add an AC source", inNode)
+	}
+	vbe := ac.x[q.nbi]
+	if q.ne >= 0 {
+		vbe -= ac.x[q.ne]
+	}
+	tfr := vbe / vin
+
+	// Input-referred IP3. The closed-loop coefficients G1..G3 refer to the
+	// series-feedback loop input, which relates to the external port
+	// through the PASSIVE divider only — the measured AC transfer tfr
+	// already contains the loop suppression 1/(1+T), so that factor must
+	// be removed before referral or the feedback would be counted twice:
+	//
+	//	tfr_passive = tfr * (1+T)
+	//	A^2 = (4/3)|G1/G3| / |tfr_passive|^2
+	//
+	// (Validated against brute-force two-tone transient simulation in
+	// volterra_transient_test.go.)
+	tfrPassive := cmplx.Abs(tfr * den)
+	ratio := cmplx.Abs(G1 / G3)
+	a2 := 4.0 / 3.0 * ratio / (tfrPassive * tfrPassive)
+	a := math.Sqrt(a2)
+
+	rep := &DistortionReport{
+		Freq:          freq,
+		G1:            G1,
+		G2:            G2,
+		G3:            G3,
+		InputTransfer: tfr,
+		AIIP3:         a,
+		IIP3DBm:       voltsPeakToDBm(a),
+	}
+	return rep, nil
+}
+
+// voltsPeakToDBm converts a sinusoid peak voltage to dBm re 50 ohms.
+// (Duplicated from dsp to keep this package dependency-free.)
+func voltsPeakToDBm(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(v*v/2/50*1000)
+}
+
+// BehavioralPoly converts a linear gain (complex vout/vin at the carrier)
+// and the distortion report into a memoryless polynomial
+// y = c1 x + c2 x^2 + c3 x^3 for the envelope/passband signature
+// simulators. c3 is chosen compressive (opposite sign to c1) so that the
+// polynomial reproduces the analyzed IIP3 through the standard relation
+// AIP3^2 = (4/3)|c1/c3|; c2 is scaled from the second-order coefficient
+// ratio in the same way.
+func (r *DistortionReport) BehavioralPoly(linGain complex128) (c1, c2, c3 float64) {
+	c1 = cmplx.Abs(linGain)
+	if r.AIIP3 > 0 {
+		c3 = -4.0 / 3.0 * c1 / (r.AIIP3 * r.AIIP3)
+	}
+	// Second-order: |G2/G1| has units 1/V at the loop input; refer to the
+	// external port through the input transfer.
+	if g1 := cmplx.Abs(r.G1); g1 > 0 {
+		c2 = c1 * cmplx.Abs(r.G2) / g1 * cmplx.Abs(r.InputTransfer)
+	}
+	return c1, c2, c3
+}

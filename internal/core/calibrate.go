@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/lna"
+	"repro/internal/regress"
+	"repro/internal/wave"
+)
+
+// Calibration is the paper's "FASTest RF Runtime System" (Fig. 5): per-spec
+// normalized regression maps from the measured signature to the data-sheet
+// specifications, extracted from a training set of devices that were
+// characterized on a conventional RF ATE.
+type Calibration struct {
+	Stimulus *wave.PWL
+	Models   [3]regress.Model // gain, NF, IIP3
+	Trainers [3]string        // chosen trainer names
+	CVRMS    [3]float64       // cross-validation RMS per spec
+}
+
+// CalibrationOptions selects the regression families offered to model
+// selection (default: linear, poly-PCA, MARS — mirroring the nonlinear
+// regression of refs [4], [9]).
+type CalibrationOptions struct {
+	Trainers []regress.Trainer
+	Folds    int
+}
+
+func (o *CalibrationOptions) defaults() {
+	if len(o.Trainers) == 0 {
+		o.Trainers = []regress.Trainer{
+			regress.Ridge{Lambda: 1e-8},
+			regress.PolyPCA{Components: 8},
+			regress.MARS{MaxTerms: 13, Knots: 5},
+		}
+	}
+	if o.Folds <= 0 {
+		o.Folds = 5
+	}
+}
+
+// TrainingDevice pairs a measured signature with ATE-measured specs.
+type TrainingDevice struct {
+	Signature []float64
+	Specs     lna.Specs
+}
+
+// Calibrate fits the per-spec maps on the training set. rng seeds the
+// cross-validation fold assignment.
+func Calibrate(rng *rand.Rand, stim *wave.PWL, training []TrainingDevice, opt CalibrationOptions) (*Calibration, error) {
+	if len(training) < 6 {
+		return nil, fmt.Errorf("core: need at least 6 training devices, got %d", len(training))
+	}
+	opt.defaults()
+	m := len(training[0].Signature)
+	X := linalg.NewMatrix(len(training), m)
+	for i, td := range training {
+		if len(td.Signature) != m {
+			return nil, fmt.Errorf("core: training device %d signature length %d, want %d", i, len(td.Signature), m)
+		}
+		X.SetRow(i, td.Signature)
+	}
+	cal := &Calibration{Stimulus: stim}
+	for s := 0; s < 3; s++ {
+		y := make([]float64, len(training))
+		for i, td := range training {
+			y[i] = td.Specs.Vector()[s]
+		}
+		folds := opt.Folds
+		if folds > len(training) {
+			folds = len(training)
+		}
+		model, tr, rms, err := regress.SelectBest(opt.Trainers, X, y, folds, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: calibrating %s: %w", lna.SpecNames()[s], err)
+		}
+		cal.Models[s] = model
+		cal.Trainers[s] = tr.Name()
+		cal.CVRMS[s] = rms
+	}
+	return cal, nil
+}
+
+// Predict maps one measured signature to the three specifications — the
+// entire production-test computation.
+func (c *Calibration) Predict(signature []float64) lna.Specs {
+	return lna.Specs{
+		GainDB:  c.Models[0].Predict(signature),
+		NFDB:    c.Models[1].Predict(signature),
+		IIP3DBm: c.Models[2].Predict(signature),
+	}
+}

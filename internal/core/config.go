@@ -1,0 +1,204 @@
+// Package core is the paper's primary contribution: the signature test
+// framework. It ties together the load-board signal path (internal/rf),
+// the stimulus model (internal/wave), the sensitivity-based test
+// optimization of Section 3.1 (Eqs. 6-10, via internal/linalg and
+// internal/ga), and the calibration/runtime system of Section 3.2
+// ("FASTest", via internal/regress):
+//
+//	optimize stimulus -> acquire signatures -> calibrate on training
+//	devices -> predict every spec of a production device from one capture.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/rf"
+	"repro/internal/wave"
+)
+
+// TestConfig describes one signature test setup.
+type TestConfig struct {
+	Board *rf.Loadboard
+	// Stimulus encoding: breakpoints of the PWL waveform spanning the
+	// capture window, bounded to +/- StimAmplitude volts.
+	StimBreakpoints int
+	StimAmplitude   float64
+	// NoiseSigmaV is the Gaussian noise added to each captured sample (the
+	// paper adds 1 mV to the simulated signatures).
+	NoiseSigmaV float64
+	// DigitizerBits models the low-cost tester's ADC resolution: captured
+	// samples are quantized to this many bits over +/-DigitizerFullScaleV.
+	// 0 disables quantization (ideal digitizer).
+	DigitizerBits int
+	// DigitizerFullScaleV is the ADC full-scale range (default 2 V when
+	// quantization is enabled).
+	DigitizerFullScaleV float64
+	// Window tapers the capture before the FFT.
+	Window dsp.Window
+	// FeatureBins is the signature length m: the one-sided FFT magnitude
+	// spectrum is band-averaged down to this many features.
+	FeatureBins int
+}
+
+// DefaultSimConfig reproduces the paper's simulation experiment: 900 MHz
+// 10 dBm carrier, 100 kHz LO offset, 10 MHz LPF, 20 MHz digitizing, 5 us
+// capture (100 samples), 1 mV signature noise, 32-breakpoint PWL stimulus.
+func DefaultSimConfig() *TestConfig {
+	return &TestConfig{
+		Board:           rf.DefaultLoadboard(),
+		StimBreakpoints: 32,
+		StimAmplitude:   0.20,
+		NoiseSigmaV:     1e-3,
+		Window:          dsp.Blackman,
+		FeatureBins:     64,
+	}
+}
+
+// DefaultHardwareConfig reproduces the paper's measurement experiment: the
+// same carrier with a 100 kHz offset between the mixer LO frequencies, a
+// 1 MHz digitizing rate and a 5 ms capture.
+func DefaultHardwareConfig() *TestConfig {
+	board := rf.DefaultLoadboard()
+	board.LOOffsetHz = 100e3
+	board.DigitizerFs = 1e6
+	board.LPFCutoffHz = 450e3
+	board.CaptureN = 2000 // 2 ms simulated per insertion (of the 5 ms budget)
+	return &TestConfig{
+		Board:           board,
+		StimBreakpoints: 32,
+		// The RF2401-class front end intercepts at about -8 dBm (0.13 V):
+		// drive it gently enough to stay out of deep overdrive.
+		StimAmplitude: 0.05,
+		NoiseSigmaV:   1e-3,
+		Window:        dsp.Blackman,
+		FeatureBins:   64,
+	}
+}
+
+// Validate checks the configuration.
+func (c *TestConfig) Validate() error {
+	if c.Board == nil {
+		return fmt.Errorf("core: nil loadboard")
+	}
+	if c.StimBreakpoints < 2 {
+		return fmt.Errorf("core: need >= 2 stimulus breakpoints, got %d", c.StimBreakpoints)
+	}
+	if c.StimAmplitude <= 0 {
+		return fmt.Errorf("core: stimulus amplitude must be positive")
+	}
+	if c.FeatureBins < 2 {
+		return fmt.Errorf("core: need >= 2 feature bins, got %d", c.FeatureBins)
+	}
+	return nil
+}
+
+// StimulusDuration is the time the PWL stimulus spans: the capture window
+// plus the settle lead-in.
+func (c *TestConfig) StimulusDuration() float64 {
+	settle := 32
+	if c.Board.SettleN > 0 {
+		settle = c.Board.SettleN
+	}
+	return float64(c.Board.CaptureN+settle+8) / c.Board.DigitizerFs
+}
+
+// NewStimulus wraps breakpoint levels into the configured PWL encoding.
+func (c *TestConfig) NewStimulus(levels []float64) (*wave.PWL, error) {
+	if len(levels) != c.StimBreakpoints {
+		return nil, fmt.Errorf("core: %d breakpoints, config wants %d", len(levels), c.StimBreakpoints)
+	}
+	p, err := wave.NewPWL(levels, c.StimulusDuration())
+	if err != nil {
+		return nil, err
+	}
+	return p.Clamp(c.StimAmplitude), nil
+}
+
+// RandomStimulus draws a random bounded PWL stimulus (GA seeding, naive
+// baselines in the stimulus ablation).
+func (c *TestConfig) RandomStimulus(rng *rand.Rand) *wave.PWL {
+	return wave.RandomPWL(rng, c.StimBreakpoints, c.StimAmplitude, c.StimulusDuration())
+}
+
+// Acquire runs the signature measurement for one DUT: load-board envelope
+// simulation, additive digitizer noise, window, FFT magnitude,
+// band-averaging to FeatureBins features. rng supplies the measurement
+// noise; pass nil for a noise-free acquisition (used inside sensitivity
+// extraction, where noise enters analytically through Eq. 10 instead).
+func (c *TestConfig) Acquire(dut rf.EnvelopeDevice, stim *wave.PWL, rng *rand.Rand) ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	y, err := c.Board.RunEnvelope(dut, stim.At)
+	if err != nil {
+		return nil, err
+	}
+	if rng != nil && c.NoiseSigmaV > 0 {
+		y = wave.AddNoise(rng, y, c.NoiseSigmaV)
+	}
+	if c.DigitizerBits > 0 {
+		y = quantize(y, c.DigitizerBits, c.digitizerFullScale())
+	}
+	windowed := c.Window.Apply(y)
+	padded := dsp.ZeroPad(windowed, dsp.NextPow2(len(windowed)))
+	spec := dsp.MagnitudeSpectrum(padded)
+	return compressSpectrum(spec, c.FeatureBins), nil
+}
+
+func (c *TestConfig) digitizerFullScale() float64 {
+	if c.DigitizerFullScaleV > 0 {
+		return c.DigitizerFullScaleV
+	}
+	return 2.0
+}
+
+// quantize rounds samples to an n-bit ADC over +/-fullScale, clipping at
+// the rails — the finite resolution of the low-cost tester's digitizer.
+func quantize(x []float64, bits int, fullScale float64) []float64 {
+	levels := float64(int64(1) << uint(bits))
+	lsb := 2 * fullScale / levels
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v > fullScale {
+			v = fullScale
+		} else if v < -fullScale {
+			v = -fullScale
+		}
+		q := float64(int64(v/lsb+signOf(v)*0.5)) * lsb
+		out[i] = q
+	}
+	return out
+}
+
+func signOf(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// compressSpectrum band-averages a one-sided magnitude spectrum into nOut
+// uniform bands.
+func compressSpectrum(spec []float64, nOut int) []float64 {
+	if nOut >= len(spec) {
+		out := make([]float64, len(spec))
+		copy(out, spec)
+		return out
+	}
+	out := make([]float64, nOut)
+	for b := 0; b < nOut; b++ {
+		lo := b * len(spec) / nOut
+		hi := (b + 1) * len(spec) / nOut
+		if hi <= lo {
+			hi = lo + 1
+		}
+		s := 0.0
+		for i := lo; i < hi && i < len(spec); i++ {
+			s += spec[i]
+		}
+		out[b] = s / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/lna"
+)
+
+func TestBehavioralSetShape(t *testing.T) {
+	model := RF2401Model{}
+	set, err := NewBehavioralSet(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.K != model.NumParams() {
+		t.Fatalf("K = %d", set.K)
+	}
+	if set.Nominal == nil || len(set.Plus) != set.K || len(set.Minus) != set.K {
+		t.Fatal("incomplete behavioral set")
+	}
+}
+
+func TestSignatureSensitivityShapeAndSign(t *testing.T) {
+	model := RF2401Model{}
+	cfg := DefaultSimConfig()
+	cfg.StimAmplitude = 0.05
+	rng := rand.New(rand.NewSource(11))
+	stim := cfg.RandomStimulus(rng)
+	set, err := NewBehavioralSet(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := cfg.SignatureSensitivity(set, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Rows != cfg.FeatureBins || as.Cols != model.NumParams() {
+		t.Fatalf("As shape %dx%d", as.Rows, as.Cols)
+	}
+	// z0 raises gain, so its sensitivity column should be net positive on
+	// the energetic bins.
+	col := as.Col(0)
+	sum := 0.0
+	for _, v := range col {
+		sum += v
+	}
+	if sum <= 0 {
+		t.Fatalf("gain-driving parameter should raise signature energy (sum %g)", sum)
+	}
+}
+
+func TestSensitivityDiagnosisValidation(t *testing.T) {
+	as := linalg.NewMatrix(4, 2)
+	if _, err := NewSensitivityDiagnosis(as, make([]float64, 3), []string{"a", "b"}); err == nil {
+		t.Fatal("signature length mismatch must error")
+	}
+	if _, err := NewSensitivityDiagnosis(as, make([]float64, 4), []string{"a"}); err == nil {
+		t.Fatal("name count mismatch must error")
+	}
+}
+
+func TestSensitivityDiagnosisSyntheticExact(t *testing.T) {
+	// Orthogonal sensitivity columns: diagnosis must be exact.
+	as := linalg.FromRows([][]float64{
+		{1, 0},
+		{0, 2},
+		{0, 0},
+	})
+	nominal := []float64{5, 5, 5}
+	d, err := NewSensitivityDiagnosis(as, nominal, []string{"p", "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift q by 0.3: signature = nominal + 0.3*col(q).
+	sig := []float64{5, 5 + 0.6, 5}
+	name, drift := d.Culprit(sig)
+	if name != "q" {
+		t.Fatalf("culprit %s", name)
+	}
+	if math.Abs(drift-0.3) > 1e-12 {
+		t.Fatalf("drift %g, want 0.3", drift)
+	}
+	if d.Ambiguous(0, 1, 0.9) {
+		t.Fatal("orthogonal columns must not be ambiguous")
+	}
+	if d.IndexOf("q") != 1 || d.IndexOf("zz") != -1 {
+		t.Fatal("IndexOf")
+	}
+	// Zero deviation: scores all zero, no panic.
+	if s := d.Scores(nominal); s[0] != 0 || s[1] != 0 {
+		t.Fatalf("zero-deviation scores %v", s)
+	}
+}
+
+// Property: matched-filter estimates are exact for deviations along a
+// single sensitivity column, for any column scaling.
+func TestPropertySensitivityDiagnosisProjection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k := 4+rng.Intn(6), 2+rng.Intn(3)
+		as := linalg.NewMatrix(m, k)
+		for i := range as.Data {
+			as.Data[i] = rng.NormFloat64()
+		}
+		nominal := make([]float64, m)
+		d, err := NewSensitivityDiagnosis(as, nominal, make([]string, k))
+		if err != nil {
+			return false
+		}
+		p := rng.Intn(k)
+		drift := rng.NormFloat64()
+		sig := make([]float64, m)
+		for i := 0; i < m; i++ {
+			sig[i] = drift * as.At(i, p)
+		}
+		est := d.Estimate(sig)
+		return math.Abs(est[p]-drift) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateEmptyDevices(t *testing.T) {
+	// Validation over an empty set must not panic and yields zero metrics.
+	cfg := DefaultSimConfig()
+	rng := rand.New(rand.NewSource(1))
+	stim := cfg.RandomStimulus(rng)
+	cal := &Calibration{Stimulus: stim}
+	// Models are nil; with no devices Predict is never called.
+	rep, err := Validate(rng, cfg, cal, stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Specs[0].Points) != 0 {
+		t.Fatal("expected empty report")
+	}
+}
+
+func TestStimulusDurationCoversCaptureAndSettle(t *testing.T) {
+	cfg := DefaultSimConfig()
+	want := float64(cfg.Board.CaptureN+32+8) / cfg.Board.DigitizerFs
+	if got := cfg.StimulusDuration(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("duration %g, want %g", got, want)
+	}
+	cfg.Board.SettleN = 64
+	want = float64(cfg.Board.CaptureN+64+8) / cfg.Board.DigitizerFs
+	if got := cfg.StimulusDuration(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("duration with custom settle %g, want %g", got, want)
+	}
+}
+
+func TestLNAModelCaching(t *testing.T) {
+	m := NewLNAModel()
+	rel := make([]float64, lna.NumParams)
+	s1, err := m.Specs(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Specs(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("cached device must give identical specs")
+	}
+	if len(m.cache) != 1 {
+		t.Fatalf("cache size %d, want 1", len(m.cache))
+	}
+}
+
+func TestGeneratePopulationErrors(t *testing.T) {
+	// The LNA model rejects implausible bias; a huge spread will
+	// eventually produce an unbuildable device and must surface the error.
+	rng := rand.New(rand.NewSource(2))
+	model := NewLNAModel()
+	if _, err := GeneratePopulation(rng, model, 50, 0.99); err == nil {
+		t.Skip("all extreme devices built; acceptable")
+	}
+}
+
+func TestDefaultHardwareConfigValid(t *testing.T) {
+	cfg := DefaultHardwareConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Board.LOOffsetHz != 100e3 || cfg.Board.DigitizerFs != 1e6 {
+		t.Fatalf("hardware config %+v", cfg.Board)
+	}
+	// The paper's bandwidth rule: LPF corner below digitizer Nyquist.
+	if cfg.Board.LPFCutoffHz >= cfg.Board.DigitizerFs/2 {
+		t.Fatal("LPF above Nyquist")
+	}
+}
+
+func TestDiagnosisObservable(t *testing.T) {
+	d := &Diagnosis{Sigma: []float64{0.01, 0.2}, k: 2}
+	// Prior std of U(+/-0.2) is ~0.115; sigma 0.01 is observable at
+	// frac 0.6, sigma 0.2 is not.
+	if !d.Observable(0, 0.2, 0.6) {
+		t.Fatal("tight estimate should be observable")
+	}
+	if d.Observable(1, 0.2, 0.6) {
+		t.Fatal("loose estimate should not be observable")
+	}
+}
+
+func TestOptimizeResultString(t *testing.T) {
+	r := &OptimizeResult{Objective: &ObjectiveReport{F: 1.5}, Trace: []float64{2, 1.5}}
+	if s := r.String(); s == "" {
+		t.Fatal("empty string")
+	}
+}

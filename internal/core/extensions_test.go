@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lna"
+)
+
+func TestQuantizeBasics(t *testing.T) {
+	x := []float64{0, 0.5, -0.5, 3.0, -3.0}
+	q := quantize(x, 8, 1.0)
+	// Clipping at the rails.
+	if q[3] > 1.0+1e-12 || q[4] < -1.0-1e-12 {
+		t.Fatalf("clipping failed: %v", q)
+	}
+	// Quantization error bounded by one LSB.
+	lsb := 2.0 / 256
+	for i := 0; i < 3; i++ {
+		if math.Abs(q[i]-x[i]) > lsb {
+			t.Fatalf("quantization error at %d: %g", i, q[i]-x[i])
+		}
+	}
+	// More bits -> strictly finer.
+	fine := quantize([]float64{0.1234567}, 14, 1.0)
+	coarse := quantize([]float64{0.1234567}, 4, 1.0)
+	if math.Abs(fine[0]-0.1234567) > math.Abs(coarse[0]-0.1234567) {
+		t.Fatal("more bits should quantize finer")
+	}
+}
+
+func TestAcquireWithQuantization(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.StimAmplitude = 0.05
+	rng := rand.New(rand.NewSource(1))
+	stim := cfg.RandomStimulus(rng)
+	model := RF2401Model{}
+	dut, err := model.Behavioral(make([]float64, model.NumParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := cfg.Acquire(dut, stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DigitizerBits = 12
+	q12, err := cfg.Acquire(dut, stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DigitizerBits = 4
+	q4, err := cfg.Acquire(dut, stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err12, err4 := 0.0, 0.0
+	for i := range ideal {
+		err12 += math.Abs(q12[i] - ideal[i])
+		err4 += math.Abs(q4[i] - ideal[i])
+	}
+	if err12 == 0 {
+		t.Fatal("12-bit quantization should perturb the signature slightly")
+	}
+	if err4 <= err12 {
+		t.Fatalf("coarser ADC must distort more: 4-bit %g vs 12-bit %g", err4, err12)
+	}
+}
+
+func TestDiagnosisRecoversDominantParameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model := RF2401Model{}
+	cfg := DefaultSimConfig()
+	cfg.StimAmplitude = 0.05
+	stim := cfg.RandomStimulus(rng)
+	train, err := GeneratePopulation(rng, model, 60, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := AcquireTrainingSet(rng, cfg, stim, train, func(d *Device) lna.Specs { return d.Specs })
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"z0", "z1", "z2", "z3", "z4"}
+	diag, err := CalibrateDiagnosis(rng, td, train, names, CalibrationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A device with only z0 strongly shifted: diagnosis should name z0.
+	rel := []float64{0.8, 0, 0, 0, 0}
+	dut, err := model.Behavioral(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := cfg.Acquire(dut, stim, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, value := diag.Culprit(sig)
+	if name != "z0" {
+		t.Fatalf("culprit %s (%.2f), want z0", name, value)
+	}
+	// The point estimate is coarse near the edge of the training spread;
+	// what matters is a clearly positive, dominant deviation.
+	if value < 0.3 || value > 1.8 {
+		t.Fatalf("estimated deviation %.2f, want strongly positive (~0.8)", value)
+	}
+	// Estimate returns all parameters.
+	if got := diag.Estimate(sig); len(got) != 5 {
+		t.Fatalf("estimate length %d", len(got))
+	}
+}
+
+func TestDiagnosisValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := CalibrateDiagnosis(rng, make([]TrainingDevice, 3), make([]*Device, 4), nil, CalibrationOptions{}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	devs := make([]*Device, 3)
+	for i := range devs {
+		devs[i] = &Device{Rel: []float64{0}}
+	}
+	if _, err := CalibrateDiagnosis(rng, make([]TrainingDevice, 3), devs, []string{"p"}, CalibrationOptions{}); err == nil {
+		t.Fatal("too-small training set must error")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:    0,
+		0.8413: 1.0,
+		0.9772: 2.0,
+		0.999:  3.0902,
+		0.001:  -3.0902,
+	}
+	for p, want := range cases {
+		if got := normalQuantile(p); math.Abs(got-want) > 0.01 {
+			t.Fatalf("quantile(%g) = %g, want %g", p, got, want)
+		}
+	}
+	if !math.IsNaN(normalQuantile(0)) || !math.IsNaN(normalQuantile(1)) {
+		t.Fatal("out-of-range quantile should be NaN")
+	}
+}
+
+func TestGuardBandTightensLimits(t *testing.T) {
+	rep := &ValidationReport{}
+	rep.Specs[0] = SpecReport{Name: "Gain(dB)", StdErr: 0.1}
+	rep.Specs[1] = SpecReport{Name: "NF(dB)", StdErr: 0.15}
+	rep.Specs[2] = SpecReport{Name: "IIP3(dBm)", StdErr: 0.2}
+	limits := []SpecLimit{
+		{Name: "Gain", Value: 14.0, Upper: false},
+		{Name: "NF", Value: 2.7, Upper: true},
+		{Name: "IIP3", Value: 0.0, Upper: false},
+	}
+	gb, err := GuardBand(rep, limits, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// z(0.999) ~ 3.09: lower limits move up, upper limits move down.
+	if gb.Limits[0].Value <= 14.0 || gb.Limits[2].Value <= 0.0 {
+		t.Fatalf("lower limits not tightened: %+v", gb.Limits)
+	}
+	if gb.Limits[1].Value >= 2.7 {
+		t.Fatalf("upper limit not tightened: %+v", gb.Limits)
+	}
+	if math.Abs(gb.Limits[0].Value-(14.0+gb.Z*0.1)) > 1e-9 {
+		t.Fatalf("guard band arithmetic: %+v z=%g", gb.Limits[0], gb.Z)
+	}
+	// Pass/fail behavior.
+	good := lna.Specs{GainDB: 15.5, NFDB: 2.0, IIP3DBm: 2.0}
+	marginal := lna.Specs{GainDB: 14.05, NFDB: 2.0, IIP3DBm: 2.0} // inside raw, inside guard? 14.05 < 14+0.309
+	if !gb.Pass(good) {
+		t.Fatal("clearly-good device must pass")
+	}
+	if gb.Pass(marginal) {
+		t.Fatal("marginal device inside the guard band must be rejected")
+	}
+	// Validation.
+	if _, err := GuardBand(rep, limits, 0.9); err == nil {
+		t.Fatal("bad escape probability must error")
+	}
+	if _, err := GuardBand(rep, limits[:2], 0.01); err == nil {
+		t.Fatal("wrong limit count must error")
+	}
+}

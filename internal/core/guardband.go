@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lna"
+)
+
+// SpecLimit is one data-sheet limit: a lower bound (gain, IIP3) or an
+// upper bound (NF).
+type SpecLimit struct {
+	Name  string
+	Value float64
+	Upper bool // true: spec must be <= Value; false: spec must be >= Value
+}
+
+// GuardBandedLimits tightens production test limits so that, given the
+// validated prediction error of each spec, the probability of shipping a
+// truly failing device (test escape) stays below the target. This is the
+// standard alternate-test deployment step: the prediction error sigma from
+// validation becomes a guard band of z*sigma inside each limit.
+type GuardBandedLimits struct {
+	Limits []SpecLimit // tightened limits, same order as input
+	Z      float64     // the applied sigma multiplier
+	Sigmas []float64   // per-spec prediction error used
+}
+
+// GuardBand computes tightened limits from a validation report. escapeProb
+// is the per-spec target probability that a device just outside the true
+// limit passes the signature test (e.g. 0.001). Prediction errors are
+// assumed Gaussian with the validated std(err).
+func GuardBand(rep *ValidationReport, limits []SpecLimit, escapeProb float64) (*GuardBandedLimits, error) {
+	if escapeProb <= 0 || escapeProb >= 0.5 {
+		return nil, fmt.Errorf("core: escape probability %g outside (0, 0.5)", escapeProb)
+	}
+	if len(limits) != 3 {
+		return nil, fmt.Errorf("core: need 3 limits (gain, NF, IIP3), got %d", len(limits))
+	}
+	z := normalQuantile(1 - escapeProb)
+	out := &GuardBandedLimits{Z: z}
+	for i, lim := range limits {
+		sigma := rep.Specs[i].StdErr
+		g := lim
+		if lim.Upper {
+			g.Value = lim.Value - z*sigma
+		} else {
+			g.Value = lim.Value + z*sigma
+		}
+		out.Limits = append(out.Limits, g)
+		out.Sigmas = append(out.Sigmas, sigma)
+	}
+	return out, nil
+}
+
+// Pass applies the guard-banded limits to predicted specs.
+func (g *GuardBandedLimits) Pass(s lna.Specs) bool {
+	v := s.Vector()
+	for i, lim := range g.Limits {
+		if lim.Upper {
+			if v[i] > lim.Value {
+				return false
+			}
+		} else if v[i] < lim.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// normalQuantile computes the standard normal quantile via the
+// Beasley-Springer-Moro rational approximation (|error| < 3e-9 over the
+// useful range).
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lna"
+	"repro/internal/rf"
+)
+
+// DeviceModel abstracts a device family over its process space: given a
+// relative parameter perturbation it yields the true specifications (the
+// paper's SpectreRF runs / bench characterization) and the behavioral
+// signature-path model.
+type DeviceModel interface {
+	// NumParams is the process-space dimension k.
+	NumParams() int
+	// Specs returns the device performances at perturbation rel.
+	Specs(rel []float64) (lna.Specs, error)
+	// Behavioral returns the signature-path DUT model at perturbation rel.
+	Behavioral(rel []float64) (rf.EnvelopeDevice, error)
+}
+
+// LNAModel adapts the circuit-level 900 MHz LNA (the simulation
+// experiment's DUT). Devices are memoized per perturbation so sensitivity
+// extraction and population generation reuse circuit solutions.
+type LNAModel struct {
+	Nominal lna.Params
+	cache   map[string]*lna.Device
+}
+
+// NewLNAModel builds the adapter around the nominal design.
+func NewLNAModel() *LNAModel {
+	return &LNAModel{Nominal: lna.Nominal(), cache: map[string]*lna.Device{}}
+}
+
+// NumParams implements DeviceModel.
+func (m *LNAModel) NumParams() int { return lna.NumParams }
+
+func (m *LNAModel) device(rel []float64) (*lna.Device, error) {
+	key := fmt.Sprintf("%.9g", rel)
+	if d, ok := m.cache[key]; ok {
+		return d, nil
+	}
+	p, err := m.Nominal.Perturb(rel)
+	if err != nil {
+		return nil, err
+	}
+	d, err := lna.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	m.cache[key] = d
+	return d, nil
+}
+
+// Specs implements DeviceModel via the circuit simulator.
+func (m *LNAModel) Specs(rel []float64) (lna.Specs, error) {
+	d, err := m.device(rel)
+	if err != nil {
+		return lna.Specs{}, err
+	}
+	return d.Specs()
+}
+
+// Behavioral implements DeviceModel via behavioral extraction.
+func (m *LNAModel) Behavioral(rel []float64) (rf.EnvelopeDevice, error) {
+	d, err := m.device(rel)
+	if err != nil {
+		return nil, err
+	}
+	return d.Behavioral()
+}
+
+// RF2401Model adapts the behavioral hardware population (the measurement
+// experiment's DUT; no netlist access, latent process space).
+type RF2401Model struct{}
+
+// NumParams implements DeviceModel.
+func (RF2401Model) NumParams() int { return lna.RF2401LatentDim }
+
+// Specs implements DeviceModel.
+func (RF2401Model) Specs(rel []float64) (lna.Specs, error) {
+	d, err := lna.NewRF2401(rel)
+	if err != nil {
+		return lna.Specs{}, err
+	}
+	return d.Specs(), nil
+}
+
+// Behavioral implements DeviceModel.
+func (RF2401Model) Behavioral(rel []float64) (rf.EnvelopeDevice, error) {
+	d, err := lna.NewRF2401(rel)
+	if err != nil {
+		return nil, err
+	}
+	return d.Behavioral(), nil
+}
+
+// Device is one population member: its process point, true specs and
+// signature-path model.
+type Device struct {
+	Rel        []float64
+	Specs      lna.Specs
+	Behavioral rf.EnvelopeDevice
+}
+
+// GeneratePopulation draws n devices with uniform +/-spread process
+// perturbations (the paper's training and validation sets).
+func GeneratePopulation(rng *rand.Rand, model DeviceModel, n int, spread float64) ([]*Device, error) {
+	out := make([]*Device, 0, n)
+	for len(out) < n {
+		rel := make([]float64, model.NumParams())
+		for j := range rel {
+			rel[j] = spread * (2*rng.Float64() - 1)
+		}
+		specs, err := model.Specs(rel)
+		if err != nil {
+			return nil, fmt.Errorf("core: population device %d: %w", len(out), err)
+		}
+		beh, err := model.Behavioral(rel)
+		if err != nil {
+			return nil, fmt.Errorf("core: population device %d: %w", len(out), err)
+		}
+		out = append(out, &Device{Rel: rel, Specs: specs, Behavioral: beh})
+	}
+	return out, nil
+}

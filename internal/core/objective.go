@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ObjectiveReport breaks down the paper's test-quality objective (Eqs.
+// 8-10) for one stimulus.
+type ObjectiveReport struct {
+	// SigmaP[i] is the least-squares residual ||a_p,i^T - a_i^T As|| —
+	// the part of spec i's process sensitivity that the signature cannot
+	// express (Eq. 8).
+	SigmaP []float64
+	// NoiseGain[i] is ||a_i||, the factor by which signature measurement
+	// noise enters prediction of spec i (Eq. 10's second term).
+	NoiseGain []float64
+	// Sigma[i] is the combined error sigma_i = sqrt(sigma_p,i^2 +
+	// sigma_m^2 ||a_i||^2).
+	Sigma []float64
+	// F is the scalar objective sum(sigma_i^2)/n minimized by the GA.
+	F float64
+	// A holds the min-norm linear read-out rows a_i^T (n x m), the Eq. 9
+	// solution a_i^T = a_p,i^T * As^+.
+	A *linalg.Matrix
+}
+
+// EvaluateObjective computes the Eq. 10 objective given the two
+// sensitivity matrices and the per-feature signature noise sigmaM.
+func EvaluateObjective(ap, as *linalg.Matrix, sigmaM float64) (*ObjectiveReport, error) {
+	if ap.Cols != as.Cols {
+		return nil, fmt.Errorf("core: Ap has %d parameters, As has %d", ap.Cols, as.Cols)
+	}
+	n := ap.Rows
+	m := as.Rows
+	// Pseudoinverse of As (m x k): As^+ is k x m.
+	pinv := linalg.ComputeSVD(as).PseudoInverse(0)
+
+	rep := &ObjectiveReport{
+		SigmaP:    make([]float64, n),
+		NoiseGain: make([]float64, n),
+		Sigma:     make([]float64, n),
+		A:         linalg.NewMatrix(n, m),
+	}
+	for i := 0; i < n; i++ {
+		api := ap.Row(i) // 1 x k
+		// a_i^T = a_p,i^T As^+  (1 x m).
+		ai := make([]float64, m)
+		for c := 0; c < m; c++ {
+			s := 0.0
+			for j := 0; j < ap.Cols; j++ {
+				s += api[j] * pinv.At(j, c)
+			}
+			ai[c] = s
+		}
+		rep.A.SetRow(i, ai)
+		// Residual a_p,i^T - a_i^T As (1 x k).
+		var res2 float64
+		for j := 0; j < ap.Cols; j++ {
+			s := api[j]
+			for c := 0; c < m; c++ {
+				s -= ai[c] * as.At(c, j)
+			}
+			res2 += s * s
+		}
+		ng := linalg.Norm2(ai)
+		rep.SigmaP[i] = sqrt(res2)
+		rep.NoiseGain[i] = ng
+		sigma2 := res2 + sigmaM*sigmaM*ng*ng
+		rep.Sigma[i] = sqrt(sigma2)
+		rep.F += sigma2
+	}
+	rep.F /= float64(n)
+	return rep, nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

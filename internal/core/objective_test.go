@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func TestObjectivePerfectMappingZeroResidual(t *testing.T) {
+	// If Ap = C * As for some C, the mapping is exact: sigma_p = 0.
+	as := linalg.FromRows([][]float64{
+		{1, 0, 2},
+		{0, 1, 1},
+		{1, 1, 0},
+		{2, 0, 1},
+	}) // m=4 signatures, k=3 params
+	c := linalg.FromRows([][]float64{
+		{1, 2, 0, 0},
+		{0, 0, 3, 0},
+		{1, 0, 0, 1},
+	}) // n=3 specs from signature space
+	ap := c.Mul(as)
+	rep, err := EvaluateObjective(ap, as, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range rep.SigmaP {
+		if s > 1e-9 {
+			t.Fatalf("spec %d residual %g, want 0", i, s)
+		}
+	}
+	if rep.F > 1e-18 {
+		t.Fatalf("objective %g, want ~0", rep.F)
+	}
+}
+
+func TestObjectiveUnmappableSpec(t *testing.T) {
+	// A spec sensitive to a parameter the signature cannot see at all must
+	// keep its full sensitivity as residual.
+	as := linalg.FromRows([][]float64{
+		{1, 0},
+		{2, 0},
+	}) // signature only sees parameter 0
+	ap := linalg.FromRows([][]float64{
+		{0, 3}, // spec depends only on parameter 1
+	})
+	rep, err := EvaluateObjective(ap, as, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.SigmaP[0]-3) > 1e-9 {
+		t.Fatalf("residual %g, want 3", rep.SigmaP[0])
+	}
+}
+
+func TestObjectiveNoisePenalty(t *testing.T) {
+	// Scaling the signature down by 100x forces a 100x larger read-out
+	// vector, which the noise term must penalize quadratically.
+	as := linalg.FromRows([][]float64{{1, 0}, {0, 1}})
+	ap := linalg.FromRows([][]float64{{1, 1}})
+	repBig, err := EvaluateObjective(ap, as, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSmall, err := EvaluateObjective(ap, as.Scale(0.01), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSmall.F < 5000*repBig.F {
+		t.Fatalf("noise penalty missing: F small-signature %g vs %g", repSmall.F, repBig.F)
+	}
+	// sigma combines both terms.
+	if repBig.Sigma[0] <= repBig.SigmaP[0] {
+		t.Fatal("sigma must include the noise term")
+	}
+}
+
+func TestObjectiveDimensionMismatch(t *testing.T) {
+	as := linalg.NewMatrix(3, 2)
+	ap := linalg.NewMatrix(1, 4)
+	if _, err := EvaluateObjective(ap, as, 0); err == nil {
+		t.Fatal("parameter-count mismatch must error")
+	}
+}
+
+// Property: the Eq. 9 min-norm solution is optimal — no random alternative
+// read-out row can achieve a smaller residual.
+func TestPropertyMinNormOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k := 3+rng.Intn(5), 2+rng.Intn(3)
+		as := linalg.NewMatrix(m, k)
+		for i := range as.Data {
+			as.Data[i] = rng.NormFloat64()
+		}
+		ap := linalg.NewMatrix(1, k)
+		for i := range ap.Data {
+			ap.Data[i] = rng.NormFloat64()
+		}
+		rep, err := EvaluateObjective(ap, as, 0)
+		if err != nil {
+			return false
+		}
+		best := rep.SigmaP[0]
+		for trial := 0; trial < 30; trial++ {
+			ai := make([]float64, m)
+			for j := range ai {
+				ai[j] = rep.A.At(0, j) + 0.1*rng.NormFloat64()
+			}
+			// Residual of the perturbed read-out.
+			var res2 float64
+			for j := 0; j < k; j++ {
+				s := ap.At(0, j)
+				for c := 0; c < m; c++ {
+					s -= ai[c] * as.At(c, j)
+				}
+				res2 += s * s
+			}
+			if math.Sqrt(res2) < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressSpectrum(t *testing.T) {
+	spec := []float64{1, 1, 2, 2, 3, 3, 4, 4}
+	out := compressSpectrum(spec, 4)
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("compressSpectrum = %v", out)
+		}
+	}
+	// nOut >= len returns a copy.
+	same := compressSpectrum(spec, 100)
+	if len(same) != len(spec) {
+		t.Fatal("oversized compression should copy")
+	}
+	same[0] = 99
+	if spec[0] == 99 {
+		t.Fatal("must not alias input")
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lna"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultSimConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *cfg
+	bad.Board = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nil board must fail validation")
+	}
+	bad = *cfg
+	bad.StimBreakpoints = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("1 breakpoint must fail")
+	}
+	bad = *cfg
+	bad.FeatureBins = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("1 feature bin must fail")
+	}
+}
+
+func TestStimulusEncoding(t *testing.T) {
+	cfg := DefaultSimConfig()
+	levels := make([]float64, cfg.StimBreakpoints)
+	levels[0] = 10 // out of range, must clamp
+	p, err := cfg.NewStimulus(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxAbs() > cfg.StimAmplitude {
+		t.Fatalf("stimulus not clamped: %g", p.MaxAbs())
+	}
+	if _, err := cfg.NewStimulus(levels[:4]); err == nil {
+		t.Fatal("wrong breakpoint count must error")
+	}
+	// The stimulus must span the capture plus settle window.
+	if p.Duration < float64(cfg.Board.CaptureN)/cfg.Board.DigitizerFs {
+		t.Fatal("stimulus shorter than the capture window")
+	}
+}
+
+func TestAcquireSignatureProperties(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.StimAmplitude = 0.05 // RF2401-class DUT: gentle drive
+	rng := rand.New(rand.NewSource(1))
+	stim := cfg.RandomStimulus(rng)
+	model := RF2401Model{}
+	dut, err := model.Behavioral(make([]float64, model.NumParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := cfg.Acquire(dut, stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != cfg.FeatureBins {
+		t.Fatalf("signature length %d, want %d", len(sig), cfg.FeatureBins)
+	}
+	for i, v := range sig {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("signature bin %d invalid: %g", i, v)
+		}
+	}
+	// Noise-free acquisition is deterministic.
+	sig2, err := cfg.Acquire(dut, stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sig {
+		if sig[i] != sig2[i] {
+			t.Fatal("noise-free acquisition must be deterministic")
+		}
+	}
+	// Noisy acquisitions differ.
+	n1, _ := cfg.Acquire(dut, stim, rng)
+	n2, _ := cfg.Acquire(dut, stim, rng)
+	same := true
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("noisy acquisitions should differ")
+	}
+}
+
+func TestSignatureReflectsGain(t *testing.T) {
+	// A higher-gain device must produce a larger signature: the core
+	// premise that performance changes move the signature.
+	cfg := DefaultSimConfig()
+	cfg.StimAmplitude = 0.05
+	rng := rand.New(rand.NewSource(2))
+	stim := cfg.RandomStimulus(rng)
+	lo, err := lna.NewRF2401([]float64{-1, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := lna.NewRF2401([]float64{1, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := cfg.Acquire(lo.Behavioral(), stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := cfg.Acquire(hi.Behavioral(), stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var el, eh float64
+	for i := range sl {
+		el += sl[i] * sl[i]
+		eh += sh[i] * sh[i]
+	}
+	if eh <= el {
+		t.Fatalf("signature energy should grow with gain: %g vs %g", eh, el)
+	}
+}
+
+func TestSpecSensitivityLNA(t *testing.T) {
+	model := NewLNAModel()
+	ap, err := SpecSensitivity(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Rows != 3 || ap.Cols != lna.NumParams {
+		t.Fatalf("Ap shape %dx%d", ap.Rows, ap.Cols)
+	}
+	// NF must be sensitive to Rb (row 1), and the sign must be positive.
+	rbIdx := -1
+	for i, n := range lna.ParamNames() {
+		if n == "Rb" {
+			rbIdx = i
+		}
+	}
+	if ap.At(1, rbIdx) <= 0 {
+		t.Fatalf("dNF/dRb = %g, want positive", ap.At(1, rbIdx))
+	}
+	// Every spec must be sensitive to something.
+	for i := 0; i < 3; i++ {
+		max := 0.0
+		for j := 0; j < ap.Cols; j++ {
+			if a := math.Abs(ap.At(i, j)); a > max {
+				max = a
+			}
+		}
+		if max < 1e-3 {
+			t.Fatalf("spec %d has no process sensitivity", i)
+		}
+	}
+}
+
+func TestGeneratePopulationReproducible(t *testing.T) {
+	model := RF2401Model{}
+	p1, err := GeneratePopulation(rand.New(rand.NewSource(5)), model, 10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := GeneratePopulation(rand.New(rand.NewSource(5)), model, 10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i].Specs != p2[i].Specs {
+			t.Fatal("same seed must reproduce the population")
+		}
+	}
+	// Spread parameter respected.
+	for _, d := range p1 {
+		for _, r := range d.Rel {
+			if math.Abs(r) > 0.9 {
+				t.Fatalf("perturbation %g outside spread", r)
+			}
+		}
+	}
+}
+
+func TestCalibrateAndPredictRoundTrip(t *testing.T) {
+	// Small but complete calibration flow on the cheap RF2401 model.
+	rng := rand.New(rand.NewSource(3))
+	model := RF2401Model{}
+	cfg := DefaultSimConfig()
+	cfg.StimAmplitude = 0.05
+	stim := cfg.RandomStimulus(rng)
+	train, err := GeneratePopulation(rng, model, 30, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := AcquireTrainingSet(rng, cfg, stim, train, func(d *Device) lna.Specs { return d.Specs })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(rng, stim, td, CalibrationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, err := GeneratePopulation(rng, model, 10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Validate(rng, cfg, cal, stim, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even an unoptimized stimulus predicts gain well on this behavioral
+	// family; the assertions are deliberately loose.
+	if rep.Specs[0].RMSErr > 0.4 {
+		t.Fatalf("gain RMS %.3f dB too poor", rep.Specs[0].RMSErr)
+	}
+	if rep.Specs[0].Correlation < 0.9 {
+		t.Fatalf("gain correlation %.3f too low", rep.Specs[0].Correlation)
+	}
+	if len(rep.Specs[2].Points) != 10 {
+		t.Fatalf("scatter points %d", len(rep.Specs[2].Points))
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report rendering")
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := Calibrate(rng, nil, nil, CalibrationOptions{}); err == nil {
+		t.Fatal("too-small training set must error")
+	}
+	tds := make([]TrainingDevice, 8)
+	for i := range tds {
+		tds[i] = TrainingDevice{Signature: make([]float64, 4+i)} // ragged
+	}
+	if _, err := Calibrate(rng, nil, tds, CalibrationOptions{}); err == nil {
+		t.Fatal("ragged signatures must error")
+	}
+}
+
+func TestOptimizeStimulusImprovesObjective(t *testing.T) {
+	// On the cheap behavioral model, the GA must strictly reduce the
+	// objective versus generation zero.
+	rng := rand.New(rand.NewSource(6))
+	model := RF2401Model{}
+	cfg := DefaultSimConfig()
+	cfg.StimAmplitude = 0.05
+	res, err := OptimizeStimulus(rng, model, cfg, OptimizerOptions{PopSize: 10, Generations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 4 {
+		t.Fatalf("trace length %d", len(res.Trace))
+	}
+	if res.Trace[len(res.Trace)-1] > res.Trace[0] {
+		t.Fatal("objective must not get worse")
+	}
+	if res.Stimulus.MaxAbs() > cfg.StimAmplitude+1e-12 {
+		t.Fatal("stimulus exceeds amplitude bound")
+	}
+	if res.Objective == nil || res.Ap == nil {
+		t.Fatal("missing result fields")
+	}
+}

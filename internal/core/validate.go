@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/lna"
+	"repro/internal/stat"
+	"repro/internal/wave"
+)
+
+// ScatterPoint is one device on a paper-style correlation plot: the
+// directly measured/simulated spec (x axis) against the signature-test
+// prediction (y axis).
+type ScatterPoint struct {
+	Actual, Predicted float64
+}
+
+// SpecReport summarizes prediction quality for one specification —
+// the numbers annotated on the paper's Figs. 8-10, 12-13.
+type SpecReport struct {
+	Name        string
+	Points      []ScatterPoint
+	RMSErr      float64
+	StdErr      float64
+	MaxErr      float64
+	Correlation float64
+}
+
+// ValidationReport covers all three specs.
+type ValidationReport struct {
+	Specs [3]SpecReport
+}
+
+// Validate predicts every validation device from its signature and
+// compares against the true specs. rng supplies fresh measurement noise
+// per acquisition (each validation device is a new insertion).
+func Validate(rng *rand.Rand, cfg *TestConfig, cal *Calibration, stim *wave.PWL, devices []*Device) (*ValidationReport, error) {
+	rep := &ValidationReport{}
+	names := lna.SpecNames()
+	actual := make([][]float64, 3)
+	pred := make([][]float64, 3)
+	for _, d := range devices {
+		sig, err := cfg.Acquire(d.Behavioral, stim, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: validation acquisition: %w", err)
+		}
+		p := cal.Predict(sig)
+		av, pv := d.Specs.Vector(), p.Vector()
+		for s := 0; s < 3; s++ {
+			actual[s] = append(actual[s], av[s])
+			pred[s] = append(pred[s], pv[s])
+			rep.Specs[s].Points = append(rep.Specs[s].Points, ScatterPoint{Actual: av[s], Predicted: pv[s]})
+		}
+	}
+	for s := 0; s < 3; s++ {
+		rep.Specs[s].Name = names[s]
+		rep.Specs[s].RMSErr = stat.RMSError(pred[s], actual[s])
+		rep.Specs[s].StdErr = stat.StdError(pred[s], actual[s])
+		rep.Specs[s].MaxErr = stat.MaxAbsError(pred[s], actual[s])
+		rep.Specs[s].Correlation = stat.Correlation(pred[s], actual[s])
+	}
+	return rep, nil
+}
+
+// String renders the report as the paper-style summary table.
+func (r *ValidationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %8s\n", "Spec", "RMS err", "std(err)", "max err", "corr")
+	for _, s := range r.Specs {
+		fmt.Fprintf(&b, "%-10s %10.4f %10.4f %10.4f %8.4f\n", s.Name, s.RMSErr, s.StdErr, s.MaxErr, s.Correlation)
+	}
+	return b.String()
+}
+
+// AcquireTrainingSet measures signatures (with fresh noise per device) for
+// a population and pairs them with the given specs source. specsOf lets
+// the caller choose between true simulated specs (simulation experiment)
+// and noisy ATE characterization (hardware experiment).
+func AcquireTrainingSet(rng *rand.Rand, cfg *TestConfig, stim *wave.PWL, devices []*Device, specsOf func(*Device) lna.Specs) ([]TrainingDevice, error) {
+	out := make([]TrainingDevice, 0, len(devices))
+	for _, d := range devices {
+		sig, err := cfg.Acquire(d.Behavioral, stim, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: training acquisition: %w", err)
+		}
+		out = append(out, TrainingDevice{Signature: sig, Specs: specsOf(d)})
+	}
+	return out, nil
+}

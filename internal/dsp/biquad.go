@@ -1,0 +1,102 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Biquad is a single second-order IIR section in direct form II transposed.
+type Biquad struct {
+	B0, B1, B2 float64 // numerator
+	A1, A2     float64 // denominator (a0 normalized to 1)
+	z1, z2     float64 // state
+}
+
+// Process filters one sample.
+func (s *Biquad) Process(x float64) float64 {
+	y := s.B0*x + s.z1
+	s.z1 = s.B1*x - s.A1*y + s.z2
+	s.z2 = s.B2*x - s.A2*y
+	return y
+}
+
+// Reset clears the filter state.
+func (s *Biquad) Reset() { s.z1, s.z2 = 0, 0 }
+
+// Response returns the section's complex response at normalized angular
+// frequency w (radians/sample).
+func (s *Biquad) Response(w float64) complex128 {
+	z1 := complex(math.Cos(-w), math.Sin(-w))
+	z2 := z1 * z1
+	num := complex(s.B0, 0) + complex(s.B1, 0)*z1 + complex(s.B2, 0)*z2
+	den := complex(1, 0) + complex(s.A1, 0)*z1 + complex(s.A2, 0)*z2
+	return num / den
+}
+
+// ButterworthLowpass designs an order-n Butterworth lowpass as a cascade of
+// biquads via the bilinear transform. order must be even (each biquad
+// realizes one conjugate pole pair). It models the load board's analog
+// reconstruction/anti-alias filters.
+type ButterworthLowpass struct {
+	Sections []Biquad
+	CutoffHz float64
+	FsHz     float64
+}
+
+// NewButterworthLowpass constructs the cascade.
+func NewButterworthLowpass(order int, cutoffHz, sampleRateHz float64) (*ButterworthLowpass, error) {
+	if order < 2 || order%2 != 0 {
+		return nil, fmt.Errorf("dsp: Butterworth order must be even and >= 2, got %d", order)
+	}
+	if cutoffHz <= 0 || cutoffHz >= sampleRateHz/2 {
+		return nil, fmt.Errorf("dsp: cutoff %g Hz outside (0, fs/2) for fs %g Hz", cutoffHz, sampleRateHz)
+	}
+	// Pre-warped analog cutoff.
+	wc := 2 * sampleRateHz * math.Tan(math.Pi*cutoffHz/sampleRateHz)
+	fl := &ButterworthLowpass{CutoffHz: cutoffHz, FsHz: sampleRateHz}
+	for k := 0; k < order/2; k++ {
+		// Analog prototype pole pair angle.
+		theta := math.Pi * float64(2*k+1) / float64(2*order)
+		// Analog section: wc^2 / (s^2 + 2 sin(theta) wc s + wc^2);
+		// bilinear transform with K = 2 fs.
+		q := 2 * math.Sin(theta)
+		K := 2 * sampleRateHz
+		a0 := K*K + q*wc*K/2*2 + wc*wc // K^2 + q*wc*K + wc^2
+		b := wc * wc
+		sec := Biquad{
+			B0: b / a0,
+			B1: 2 * b / a0,
+			B2: b / a0,
+			A1: (2*wc*wc - 2*K*K) / a0,
+			A2: (K*K - q*wc*K + wc*wc) / a0,
+		}
+		fl.Sections = append(fl.Sections, sec)
+	}
+	return fl, nil
+}
+
+// Filter runs x through the cascade (state is reset first).
+func (f *ButterworthLowpass) Filter(x []float64) []float64 {
+	for i := range f.Sections {
+		f.Sections[i].Reset()
+	}
+	out := make([]float64, len(x))
+	copy(out, x)
+	for i := range f.Sections {
+		sec := &f.Sections[i]
+		for j := range out {
+			out[j] = sec.Process(out[j])
+		}
+	}
+	return out
+}
+
+// Response returns the cascade's complex response at freqHz.
+func (f *ButterworthLowpass) Response(freqHz float64) complex128 {
+	w := 2 * math.Pi * freqHz / f.FsHz
+	h := complex(1, 0)
+	for i := range f.Sections {
+		h *= f.Sections[i].Response(w)
+	}
+	return h
+}

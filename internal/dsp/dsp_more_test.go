@@ -1,0 +1,176 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBiquadProcessAndReset(t *testing.T) {
+	bw, err := NewButterworthLowpass(2, 1e6, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := bw.Sections[0]
+	// Impulse response energy must be finite and state must matter.
+	y1 := sec.Process(1)
+	y2 := sec.Process(0)
+	if y1 == 0 {
+		t.Fatal("impulse response empty")
+	}
+	if y2 == 0 {
+		t.Fatal("filter has memory; second output should be nonzero")
+	}
+	sec.Reset()
+	if got := sec.Process(1); got != y1 {
+		t.Fatalf("Reset should restore initial state: %g vs %g", got, y1)
+	}
+}
+
+func TestBiquadResponseMatchesTimeDomain(t *testing.T) {
+	fs := 50e6
+	bw, _ := NewButterworthLowpass(2, 2e6, fs)
+	// Measure amplitude at 1 MHz through time simulation and compare to
+	// the analytic response.
+	n := 4096
+	f := 1e6
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f * float64(i) / fs)
+	}
+	y := bw.Filter(x)
+	amp := ToneAmplitude(y[n/2:], f, fs)
+	want := cmplx.Abs(bw.Response(f))
+	if math.Abs(amp-want) > 0.01 {
+		t.Fatalf("time-domain %g vs analytic %g", amp, want)
+	}
+}
+
+func TestDecimatorDroop(t *testing.T) {
+	d := Decimator{Factor: 8}
+	// DC: no droop.
+	if got := d.Droop(0, 100e6); got != 1 {
+		t.Fatalf("DC droop %g", got)
+	}
+	// Droop decreases with frequency in the first lobe.
+	d1 := d.Droop(1e6, 100e6)
+	d2 := d.Droop(5e6, 100e6)
+	if !(d2 < d1 && d1 < 1) {
+		t.Fatalf("droop not monotone: %g, %g", d1, d2)
+	}
+	// Factor 1 is transparent.
+	if got := (Decimator{Factor: 1}).Droop(3e6, 100e6); got != 1 {
+		t.Fatalf("unit decimator droop %g", got)
+	}
+}
+
+func TestFIRGroupDelay(t *testing.T) {
+	fir, _ := DesignLowpassFIR(5e6, 100e6, 41, Hamming)
+	if got := fir.GroupDelaySamples(); got != 20 {
+		t.Fatalf("group delay %d, want 20", got)
+	}
+	// FilterCompensated aligns a step: output at index i tracks input.
+	x := make([]float64, 400)
+	for i := 100; i < len(x); i++ {
+		x[i] = 1
+	}
+	y := fir.FilterCompensated(x)
+	// Mid-transition should be near 0.5 at the step location.
+	if math.Abs(y[100]-0.5) > 0.2 {
+		t.Fatalf("step not aligned: y[100]=%g", y[100])
+	}
+	if math.Abs(y[200]-1) > 0.01 {
+		t.Fatalf("steady state %g", y[200])
+	}
+}
+
+// Property: FFT of a circularly shifted sequence has the same magnitude
+// spectrum (the property that makes the signature phase-immune).
+func TestPropertyFFTShiftInvariantMagnitude(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 64
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		shift := 1 + r.Intn(n-1)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = x[(i+shift)%n]
+		}
+		sx := MagnitudeSpectrum(x)
+		sy := MagnitudeSpectrum(y)
+		for i := range sx {
+			if math.Abs(sx[i]-sy[i]) > 1e-9*(1+sx[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Goertzel at bin-centered frequencies equals the FFT bin.
+func TestPropertyGoertzelMatchesFFTBin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 128
+		fs := 1e6
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		k := 1 + r.Intn(n/2-1)
+		freq := float64(k) * fs / float64(n)
+		g := Goertzel(x, freq, fs)
+		spec := FFTReal(x)
+		return cmplx.Abs(g-spec[k]) < 1e-6*(1+cmplx.Abs(spec[k]))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpectralLeakagePower(t *testing.T) {
+	spec := []float64{3, 0.1, 0.2, 4}
+	got := SpectralLeakagePower(spec, map[int]bool{0: true, 3: true})
+	want := 0.1*0.1 + 0.2*0.2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("leakage %g, want %g", got, want)
+	}
+}
+
+func TestBinFrequencyAndPeak(t *testing.T) {
+	if got := BinFrequency(4, 128, 20e6); got != 625e3 {
+		t.Fatalf("BinFrequency = %g", got)
+	}
+	spec := []float64{0, 5, 1, 9, 2}
+	if got := PeakBin(spec, 0, len(spec)); got != 3 {
+		t.Fatalf("PeakBin = %d", got)
+	}
+	if got := PeakBin(spec, 0, 3); got != 1 {
+		t.Fatalf("bounded PeakBin = %d", got)
+	}
+	if got := PeakBin(spec, -5, 99); got != 3 {
+		t.Fatalf("clamped PeakBin = %d", got)
+	}
+}
+
+func TestFromDBRoundTrip(t *testing.T) {
+	for _, db := range []float64{-40, -3, 0, 6, 20} {
+		if got := DB(FromDB(db)); math.Abs(got-db) > 1e-12 {
+			t.Fatalf("dB round trip %g -> %g", db, got)
+		}
+	}
+	if !math.IsInf(DB(0), -1) {
+		t.Fatal("DB(0) should be -inf")
+	}
+	if got := PowerDB(100); got != 20 {
+		t.Fatalf("PowerDB(100) = %g", got)
+	}
+}

@@ -1,0 +1,209 @@
+// Package dsp implements the digital signal processing substrate of the
+// signature tester: FFTs, window functions, FIR and IIR filters, multirate
+// decimation, the Goertzel algorithm, and spectrum utilities. The paper's
+// signature is the magnitude of the FFT of the demodulated baseband
+// response (Fig. 3), and its spec measurements (gain, IIP3) are tone-power
+// measurements, so this package is the measurement backbone of the repo.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x. Power-of-two lengths use
+// an iterative radix-2 Cooley-Tukey transform; other lengths fall back to
+// Bluestein's chirp-z algorithm, so any N is supported. The input is not
+// modified.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT returns the inverse DFT of x (normalized by 1/N).
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal transforms a real signal, returning the full complex spectrum.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+// fftRadix2 computes an in-place iterative radix-2 transform. inverse
+// selects the conjugate (un-normalized inverse) transform.
+func fftRadix2(a []complex128, inverse bool) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wBase
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// expressing it as a convolution evaluated with a power-of-two FFT.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp w[k] = exp(sign*i*pi*k^2/n).
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k^2 mod 2n avoids precision loss for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		b[k] = cmplx.Conj(w[k])
+		if k > 0 {
+			b[m-k] = cmplx.Conj(w[k])
+		}
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	invm := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invm * w[k]
+	}
+	return out
+}
+
+// MagnitudeSpectrum returns |FFT(x)| for the one-sided spectrum
+// (bins 0..N/2 inclusive for even N). This is exactly the paper's
+// phase-immune signature: "the magnitude of the resulting FFT spectrum".
+func MagnitudeSpectrum(x []float64) []float64 {
+	spec := FFTReal(x)
+	n := len(spec)
+	if n == 0 {
+		return nil
+	}
+	half := n/2 + 1
+	out := make([]float64, half)
+	for i := 0; i < half; i++ {
+		out[i] = cmplx.Abs(spec[i])
+	}
+	return out
+}
+
+// NextPow2 returns the smallest power of two >= n (and 1 for n <= 0).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// ZeroPad returns x extended with zeros to length n.
+func ZeroPad(x []float64, n int) []float64 {
+	if n < len(x) {
+		panic(fmt.Sprintf("dsp: ZeroPad target %d shorter than input %d", n, len(x)))
+	}
+	out := make([]float64, n)
+	copy(out, x)
+	return out
+}
+
+// Goertzel computes the DFT coefficient of x at normalized frequency
+// f = freqHz/sampleRateHz (cycles per sample) using the generalized
+// Goertzel recurrence; it is the cheap way to read a single tone's complex
+// amplitude, used by the conventional gain and IIP3 measurements.
+func Goertzel(x []float64, freqHz, sampleRateHz float64) complex128 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	k := freqHz / sampleRateHz * float64(n)
+	w := 2 * math.Pi * k / float64(n)
+	cw := math.Cos(w)
+	coeff := 2 * cw
+	var s0, s1, s2 float64
+	for i := 0; i < n; i++ {
+		s0 = x[i] + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// X[k] = s1*e^{jw} - s2 evaluated at the final state: this equals the
+	// DFT coefficient exactly for bin-centered frequencies and
+	// approximates the spectrum between bins.
+	re := s1*cw - s2
+	im := s1 * math.Sin(w)
+	return complex(re, im)
+}
+
+// ToneAmplitude returns the amplitude (volts peak) of the tone at freqHz in
+// x sampled at sampleRateHz, assuming the tone is coherent within the
+// record or dominant in its bin.
+func ToneAmplitude(x []float64, freqHz, sampleRateHz float64) float64 {
+	c := Goertzel(x, freqHz, sampleRateHz)
+	return 2 * cmplx.Abs(c) / float64(len(x))
+}

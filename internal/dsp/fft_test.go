@@ -1,0 +1,168 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownTone(t *testing.T) {
+	// 64-sample record with one cycle of a unit cosine: bin 1 should carry
+	// amplitude N/2, everything else ~0.
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * float64(i) / float64(n))
+	}
+	spec := FFTReal(x)
+	if got := cmplx.Abs(spec[1]); math.Abs(got-float64(n)/2) > 1e-9 {
+		t.Fatalf("bin 1 magnitude %g, want %g", got, float64(n)/2)
+	}
+	for k := 0; k < n; k++ {
+		if k == 1 || k == n-1 {
+			continue
+		}
+		if cmplx.Abs(spec[k]) > 1e-9 {
+			t.Fatalf("bin %d should be empty, got %g", k, cmplx.Abs(spec[k]))
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 128
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		sum[i] = a[i] + 2*b[i]
+	}
+	fa, fb, fs := FFT(a), FFT(b), FFT(sum)
+	for i := range fs {
+		want := fa[i] + 2*fb[i]
+		if cmplx.Abs(fs[i]-want) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+func TestFFTNonPowerOfTwo(t *testing.T) {
+	// Bluestein path: 100-sample record, tone at bin 5.
+	n := 100
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(2*math.Pi*5*float64(i)/float64(n)), 0)
+	}
+	spec := FFT(x)
+	if got := cmplx.Abs(spec[5]); math.Abs(got-float64(n)/2) > 1e-6 {
+		t.Fatalf("bin 5 magnitude %g, want %g", got, float64(n)/2)
+	}
+	if got := cmplx.Abs(spec[7]); got > 1e-6 {
+		t.Fatalf("bin 7 should be empty, got %g", got)
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 33, 100, 128, 255} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip failed at %d: %v vs %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+// Property: Parseval's theorem sum|x|^2 == sum|X|^2 / N.
+func TestPropertyParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		x := make([]complex128, n)
+		var tp float64
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			tp += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		spec := FFT(x)
+		var fp float64
+		for _, c := range spec {
+			fp += real(c)*real(c) + imag(c)*imag(c)
+		}
+		return math.Abs(tp-fp/float64(n)) < 1e-7*(1+tp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMagnitudeSpectrumLength(t *testing.T) {
+	x := make([]float64, 128)
+	s := MagnitudeSpectrum(x)
+	if len(s) != 65 {
+		t.Fatalf("one-sided length %d, want 65", len(s))
+	}
+}
+
+func TestGoertzelMatchesFFT(t *testing.T) {
+	n := 256
+	fs := 1000.0
+	x := make([]float64, n)
+	for i := range x {
+		ts := float64(i) / fs
+		x[i] = 0.7*math.Sin(2*math.Pi*125*ts) + 0.1*math.Sin(2*math.Pi*250*ts)
+	}
+	// Tone amplitude at 125 Hz (bin-centered: 125/1000*256 = 32).
+	if got := ToneAmplitude(x, 125, fs); math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("ToneAmplitude(125) = %g, want 0.7", got)
+	}
+	if got := ToneAmplitude(x, 250, fs); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("ToneAmplitude(250) = %g, want 0.1", got)
+	}
+}
+
+func TestGoertzelNonBinFrequency(t *testing.T) {
+	// Non-bin-centered tone with an integer number of samples still close.
+	n := 2000
+	fs := 20e6
+	f0 := 123456.0
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.5 * math.Cos(2*math.Pi*f0*float64(i)/fs)
+	}
+	got := ToneAmplitude(x, f0, fs)
+	if math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("non-bin tone amplitude %g, want ~0.5", got)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 63: 64, 64: 64, 65: 128}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Fatalf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestZeroPad(t *testing.T) {
+	out := ZeroPad([]float64{1, 2}, 4)
+	if len(out) != 4 || out[0] != 1 || out[3] != 0 {
+		t.Fatalf("ZeroPad = %v", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shrink")
+		}
+	}()
+	ZeroPad([]float64{1, 2, 3}, 2)
+}

@@ -1,0 +1,268 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tonePassThrough(t *testing.T, filt func([]float64) []float64, freq, fs float64, wantGainDB, tolDB float64) {
+	t.Helper()
+	n := 8192
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * freq * float64(i) / fs)
+	}
+	y := filt(x)
+	// Measure steady-state amplitude over the second half of the record.
+	amp := ToneAmplitude(y[n/2:], freq, fs)
+	gotDB := DB(amp / 1.0)
+	if math.Abs(gotDB-wantGainDB) > tolDB && gotDB > wantGainDB+tolDB {
+		t.Fatalf("gain at %g Hz = %.2f dB, want <= %.2f +- %.2f", freq, gotDB, wantGainDB, tolDB)
+	}
+	if wantGainDB == 0 && math.Abs(gotDB) > tolDB {
+		t.Fatalf("passband gain at %g Hz = %.2f dB, want ~0", freq, gotDB)
+	}
+}
+
+func TestFIRLowpassPassAndStop(t *testing.T) {
+	fs := 200e6
+	fir, err := DesignLowpassFIR(10e6, fs, 101, Blackman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passband tone (2 MHz) passes at ~0 dB.
+	tonePassThrough(t, fir.FilterCompensated, 2e6, fs, 0, 0.1)
+	// Stopband tone (40 MHz) heavily attenuated.
+	n := 8192
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 40e6 * float64(i) / fs)
+	}
+	y := fir.Filter(x)
+	amp := ToneAmplitude(y[n/2:], 40e6, fs)
+	if DB(amp) > -60 {
+		t.Fatalf("stopband attenuation only %.1f dB", DB(amp))
+	}
+}
+
+func TestFIRDCGainUnity(t *testing.T) {
+	fir, err := DesignLowpassFIR(1e6, 100e6, 63, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 0.0
+	for _, tap := range fir.Taps {
+		s += tap
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("DC gain %g, want 1", s)
+	}
+	if got := cmplx.Abs(fir.Response(0, 100e6)); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Response(0) = %g", got)
+	}
+}
+
+func TestFIRRejectsBadParams(t *testing.T) {
+	if _, err := DesignLowpassFIR(60e6, 100e6, 63, Hann); err == nil {
+		t.Fatal("cutoff above Nyquist must error")
+	}
+	if _, err := DesignLowpassFIR(1e6, 100e6, 1, Hann); err == nil {
+		t.Fatal("too-short filter must error")
+	}
+}
+
+func TestFIRComplexMatchesRealOnRealInput(t *testing.T) {
+	fir, _ := DesignLowpassFIR(5e6, 100e6, 31, Hann)
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 200)
+	xc := make([]complex128, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		xc[i] = complex(x[i], 0)
+	}
+	yr := fir.Filter(x)
+	yc := fir.FilterComplex(xc)
+	for i := range yr {
+		if math.Abs(yr[i]-real(yc[i])) > 1e-12 || math.Abs(imag(yc[i])) > 1e-12 {
+			t.Fatalf("complex/real mismatch at %d", i)
+		}
+	}
+}
+
+func TestButterworthPassbandAndRolloff(t *testing.T) {
+	fs := 200e6
+	bw, err := NewButterworthLowpass(4, 10e6, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -3 dB at cutoff.
+	if got := DB(cmplx.Abs(bw.Response(10e6))); math.Abs(got+3.01) > 0.2 {
+		t.Fatalf("cutoff response %.2f dB, want about -3", got)
+	}
+	// ~ -24 dB/octave: at 2x cutoff expect about -24 dB.
+	if got := DB(cmplx.Abs(bw.Response(20e6))); got > -22 {
+		t.Fatalf("one octave above cutoff %.2f dB, want < -22", got)
+	}
+	// Deep passband flat.
+	if got := DB(cmplx.Abs(bw.Response(1e6))); math.Abs(got) > 0.1 {
+		t.Fatalf("passband %.3f dB, want ~0", got)
+	}
+}
+
+func TestButterworthFilterTimeDomain(t *testing.T) {
+	fs := 200e6
+	bw, _ := NewButterworthLowpass(4, 10e6, fs)
+	n := 8192
+	x := make([]float64, n)
+	for i := range x {
+		ts := float64(i) / fs
+		x[i] = math.Sin(2*math.Pi*1e6*ts) + math.Sin(2*math.Pi*80e6*ts)
+	}
+	y := bw.Filter(x)
+	inBand := ToneAmplitude(y[n/2:], 1e6, fs)
+	outBand := ToneAmplitude(y[n/2:], 80e6, fs)
+	if math.Abs(inBand-1) > 0.02 {
+		t.Fatalf("in-band amplitude %g", inBand)
+	}
+	if DB(outBand) > -60 {
+		t.Fatalf("out-of-band leak %.1f dB", DB(outBand))
+	}
+}
+
+func TestButterworthRejectsBadParams(t *testing.T) {
+	if _, err := NewButterworthLowpass(3, 1e6, 100e6); err == nil {
+		t.Fatal("odd order must error")
+	}
+	if _, err := NewButterworthLowpass(4, 60e6, 100e6); err == nil {
+		t.Fatal("cutoff above Nyquist must error")
+	}
+}
+
+func TestDecimatorAveragesBlocks(t *testing.T) {
+	d := Decimator{Factor: 4}
+	y := d.Decimate([]float64{1, 1, 1, 1, 2, 2, 2, 2, 5})
+	if len(y) != 2 || y[0] != 1 || y[1] != 2 {
+		t.Fatalf("Decimate = %v", y)
+	}
+	one := Decimator{Factor: 1}
+	x := []float64{3, 4}
+	y = one.Decimate(x)
+	y[0] = 99
+	if x[0] != 3 {
+		t.Fatal("factor-1 decimation must copy")
+	}
+}
+
+func TestDecimationChainFactorAndTone(t *testing.T) {
+	inFs := 7.2e9
+	outFs := 20e6
+	ch, err := NewDecimationChain(inFs, outFs, 9e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.TotalFactor(); got != 360 {
+		t.Fatalf("total factor %d, want 360", got)
+	}
+	// A 1 MHz tone should survive the chain at close to unit amplitude.
+	n := 72000 // 10 us
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 1e6 * float64(i) / inFs)
+	}
+	y := ch.Process(x)
+	amp := ToneAmplitude(y[len(y)/4:], 1e6, outFs)
+	if math.Abs(amp-1) > 0.03 {
+		t.Fatalf("1 MHz tone through chain amplitude %g, want ~1", amp)
+	}
+	// A 900 MHz tone must be crushed.
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 900e6 * float64(i) / inFs)
+	}
+	y = ch.Process(x)
+	if p := SignalPower(y[len(y)/4:]); PowerDB(p/0.5) > -40 {
+		t.Fatalf("RF leak through decimation chain: %.1f dB", PowerDB(p/0.5))
+	}
+}
+
+func TestDecimationChainRejectsNonInteger(t *testing.T) {
+	if _, err := NewDecimationChain(100e6, 33e6, 0); err == nil {
+		t.Fatal("non-integer ratio must error")
+	}
+}
+
+func TestWindowProperties(t *testing.T) {
+	for _, w := range []Window{Rectangular, Hann, Hamming, Blackman} {
+		c := w.Coefficients(64)
+		if len(c) != 64 {
+			t.Fatalf("%v: wrong length", w)
+		}
+		// Symmetry.
+		for i := range c {
+			if math.Abs(c[i]-c[len(c)-1-i]) > 1e-12 {
+				t.Fatalf("%v: asymmetric at %d", w, i)
+			}
+		}
+		// Bounded in [0, 1] (tiny negative from rounding tolerated).
+		for i, v := range c {
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Fatalf("%v: coefficient %d out of range: %g", w, i, v)
+			}
+		}
+		if g := w.CoherentGain(64); g <= 0 || g > 1 {
+			t.Fatalf("%v: coherent gain %g", w, g)
+		}
+	}
+	if Rectangular.CoherentGain(10) != 1 {
+		t.Fatal("rectangular coherent gain must be 1")
+	}
+	if got := Window(99).String(); got != "unknown" {
+		t.Fatalf("unknown window name %q", got)
+	}
+}
+
+func TestDBmConversions(t *testing.T) {
+	// 0 dBm into 50 ohm is 0.3162 Vpeak... check round trip instead.
+	for _, dbm := range []float64{-30, -10, 0, 10, 17} {
+		v := DBmToVolts(dbm)
+		if got := VoltsToDBm(v); math.Abs(got-dbm) > 1e-12 {
+			t.Fatalf("round trip %g -> %g", dbm, got)
+		}
+	}
+	// 10 dBm = 10 mW: vpeak = sqrt(2*0.01*50) = 1 V.
+	if got := DBmToVolts(10); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("10 dBm = %g Vpeak, want 1", got)
+	}
+	if !math.IsInf(VoltsToDBm(0), -1) {
+		t.Fatal("0 V should be -inf dBm")
+	}
+}
+
+// Property: boxcar decimation preserves the mean of the signal.
+func TestPropertyDecimationPreservesMean(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		factor := 1 + r.Intn(8)
+		blocks := 1 + r.Intn(50)
+		x := make([]float64, factor*blocks)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		y := Decimator{Factor: factor}.Decimate(x)
+		var mx, my float64
+		for _, v := range x {
+			mx += v
+		}
+		for _, v := range y {
+			my += v
+		}
+		mx /= float64(len(x))
+		my /= float64(len(y))
+		return math.Abs(mx-my) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter described by its taps.
+type FIR struct {
+	Taps []float64
+}
+
+// DesignLowpassFIR designs a linear-phase lowpass FIR with the windowed-sinc
+// method. cutoffHz is the -6 dB corner, sampleRateHz the sample rate, taps
+// the filter length (made odd so the filter has integer group delay), and
+// win the design window. This is the load board's anti-alias / channel
+// filter in front of the digitizer.
+func DesignLowpassFIR(cutoffHz, sampleRateHz float64, taps int, win Window) (*FIR, error) {
+	if cutoffHz <= 0 || cutoffHz >= sampleRateHz/2 {
+		return nil, fmt.Errorf("dsp: cutoff %g Hz outside (0, fs/2) for fs %g Hz", cutoffHz, sampleRateHz)
+	}
+	if taps < 3 {
+		return nil, fmt.Errorf("dsp: need at least 3 taps, got %d", taps)
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	fc := cutoffHz / sampleRateHz // normalized cutoff, cycles/sample
+	mid := (taps - 1) / 2
+	h := make([]float64, taps)
+	for i := 0; i < taps; i++ {
+		m := float64(i - mid)
+		if m == 0 {
+			h[i] = 2 * fc
+		} else {
+			h[i] = math.Sin(2*math.Pi*fc*m) / (math.Pi * m)
+		}
+	}
+	w := win.Coefficients(taps)
+	sum := 0.0
+	for i := range h {
+		h[i] *= w[i]
+		sum += h[i]
+	}
+	// Normalize to unity DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return &FIR{Taps: h}, nil
+}
+
+// Filter convolves x with the filter taps, returning a signal of the same
+// length (zero initial state, group delay not compensated).
+func (f *FIR) Filter(x []float64) []float64 {
+	out := make([]float64, len(x))
+	n := len(f.Taps)
+	for i := range x {
+		s := 0.0
+		for k := 0; k < n; k++ {
+			j := i - k
+			if j < 0 {
+				break
+			}
+			s += f.Taps[k] * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// FilterCompensated filters x and removes the filter's group delay, so the
+// output aligns in time with the input. Samples beyond the input are
+// zero-padded.
+func (f *FIR) FilterCompensated(x []float64) []float64 {
+	delay := (len(f.Taps) - 1) / 2
+	padded := make([]float64, len(x)+delay)
+	copy(padded, x)
+	y := f.Filter(padded)
+	return y[delay:]
+}
+
+// FilterComplex convolves a complex signal with the real taps; used by the
+// envelope-domain simulator where channels are complex baseband envelopes.
+func (f *FIR) FilterComplex(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	n := len(f.Taps)
+	for i := range x {
+		var s complex128
+		for k := 0; k < n; k++ {
+			j := i - k
+			if j < 0 {
+				break
+			}
+			s += complex(f.Taps[k], 0) * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Response returns the filter's complex frequency response at freqHz for
+// the given sample rate.
+func (f *FIR) Response(freqHz, sampleRateHz float64) complex128 {
+	w := 2 * math.Pi * freqHz / sampleRateHz
+	var re, im float64
+	for k, t := range f.Taps {
+		re += t * math.Cos(w*float64(k))
+		im -= t * math.Sin(w*float64(k))
+	}
+	return complex(re, im)
+}
+
+// GroupDelaySamples returns the (integer) group delay of the linear-phase
+// filter in samples.
+func (f *FIR) GroupDelaySamples() int { return (len(f.Taps) - 1) / 2 }

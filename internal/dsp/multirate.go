@@ -1,0 +1,126 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decimator reduces sample rate by an integer factor after boxcar
+// (moving-average) pre-filtering, the standard CIC-style first stage for
+// very large rate changes such as the 7.2 GHz passband simulation rate down
+// to the paper's 20 MHz digitizing rate.
+type Decimator struct {
+	Factor int
+}
+
+// Decimate averages consecutive blocks of Factor samples. Averaging (rather
+// than picking) suppresses wideband content that would otherwise alias.
+func (d Decimator) Decimate(x []float64) []float64 {
+	if d.Factor <= 0 {
+		panic(fmt.Sprintf("dsp: decimation factor %d", d.Factor))
+	}
+	if d.Factor == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	n := len(x) / d.Factor
+	out := make([]float64, n)
+	inv := 1 / float64(d.Factor)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		base := i * d.Factor
+		for k := 0; k < d.Factor; k++ {
+			s += x[base+k]
+		}
+		out[i] = s * inv
+	}
+	return out
+}
+
+// Droop returns the boxcar's amplitude response at freqHz for input rate
+// fsHz — the passband droop a downstream compensation FIR must correct.
+func (d Decimator) Droop(freqHz, fsHz float64) float64 {
+	if d.Factor <= 1 || freqHz == 0 {
+		return 1
+	}
+	x := math.Pi * freqHz / fsHz
+	num := math.Sin(float64(d.Factor) * x)
+	den := float64(d.Factor) * math.Sin(x)
+	if den == 0 {
+		return 1
+	}
+	return math.Abs(num / den)
+}
+
+// DecimationChain is a cascade of boxcar decimators followed by an optional
+// cleanup FIR at the output rate. It converts the multi-GHz passband
+// simulation rate to the ATE digitizer rate in numerically safe stages.
+type DecimationChain struct {
+	Stages  []Decimator
+	Cleanup *FIR // applied at the final rate; may be nil
+	InFs    float64
+	OutFs   float64
+}
+
+// NewDecimationChain builds a chain for total factor inFs/outFs, which must
+// be an integer. The factor is split into stages no larger than 32 so each
+// boxcar keeps a flat response across the final passband. cutoffHz sets the
+// cleanup FIR corner at the output rate (0 disables the cleanup filter).
+func NewDecimationChain(inFs, outFs, cutoffHz float64) (*DecimationChain, error) {
+	ratio := inFs / outFs
+	total := int(math.Round(ratio))
+	if total < 1 || math.Abs(ratio-float64(total)) > 1e-9 {
+		return nil, fmt.Errorf("dsp: non-integer decimation %g/%g", inFs, outFs)
+	}
+	c := &DecimationChain{InFs: inFs, OutFs: outFs}
+	rem := total
+	for rem > 1 {
+		f := rem
+		if f > 32 {
+			// Pick the largest factor <= 32 dividing rem.
+			f = 1
+			for cand := 32; cand >= 2; cand-- {
+				if rem%cand == 0 {
+					f = cand
+					break
+				}
+			}
+			if f == 1 {
+				// Prime remainder > 32; take it whole.
+				f = rem
+			}
+		}
+		c.Stages = append(c.Stages, Decimator{Factor: f})
+		rem /= f
+	}
+	if cutoffHz > 0 {
+		fir, err := DesignLowpassFIR(cutoffHz, outFs, 63, Blackman)
+		if err != nil {
+			return nil, err
+		}
+		c.Cleanup = fir
+	}
+	return c, nil
+}
+
+// Process runs x (at InFs) through the chain, returning samples at OutFs.
+func (c *DecimationChain) Process(x []float64) []float64 {
+	y := x
+	for _, st := range c.Stages {
+		y = st.Decimate(y)
+	}
+	if c.Cleanup != nil {
+		y = c.Cleanup.FilterCompensated(y)
+	}
+	return y
+}
+
+// TotalFactor returns the overall decimation factor.
+func (c *DecimationChain) TotalFactor() int {
+	f := 1
+	for _, st := range c.Stages {
+		f *= st.Factor
+	}
+	return f
+}

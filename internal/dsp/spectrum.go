@@ -1,0 +1,93 @@
+package dsp
+
+import (
+	"math"
+)
+
+// Reference impedance for all dBm conversions in this repository.
+const ReferenceImpedance = 50.0 // ohms
+
+// VoltsToDBm converts a sinusoid's peak amplitude (volts) to power in dBm
+// re 50 ohms.
+func VoltsToDBm(vpeak float64) float64 {
+	if vpeak <= 0 {
+		return math.Inf(-1)
+	}
+	p := vpeak * vpeak / 2 / ReferenceImpedance // watts
+	return 10 * math.Log10(p*1000)
+}
+
+// DBmToVolts converts power in dBm re 50 ohms to sinusoid peak amplitude.
+func DBmToVolts(dbm float64) float64 {
+	p := math.Pow(10, dbm/10) / 1000 // watts
+	return math.Sqrt(2 * p * ReferenceImpedance)
+}
+
+// DB returns 20*log10(|ratio|) for an amplitude ratio.
+func DB(ratio float64) float64 {
+	if ratio == 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(math.Abs(ratio))
+}
+
+// FromDB converts an amplitude-dB value back to a linear ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/20) }
+
+// PowerDB returns 10*log10(ratio) for a power ratio.
+func PowerDB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// SignalPower returns the mean square of x (power into 1 ohm).
+func SignalPower(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s / float64(len(x))
+}
+
+// BinFrequency returns the center frequency of FFT bin k for an N-point
+// record at sampleRateHz.
+func BinFrequency(k, n int, sampleRateHz float64) float64 {
+	return float64(k) * sampleRateHz / float64(n)
+}
+
+// PeakBin returns the index of the largest magnitude in spectrum, searching
+// bins [lo, hi).
+func PeakBin(spectrum []float64, lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(spectrum) {
+		hi = len(spectrum)
+	}
+	best := lo
+	for i := lo; i < hi; i++ {
+		if spectrum[i] > spectrum[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// SpectralLeakagePower sums |spectrum|^2 outside the given protected bins —
+// a diagnostic used in tests to confirm window choice keeps signature
+// energy where the regression expects it.
+func SpectralLeakagePower(spectrum []float64, protected map[int]bool) float64 {
+	s := 0.0
+	for i, m := range spectrum {
+		if protected[i] {
+			continue
+		}
+		s += m * m
+	}
+	return s
+}

@@ -1,0 +1,81 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering window used before spectral analysis or in
+// windowed-sinc FIR design.
+type Window int
+
+const (
+	// Rectangular applies no taper.
+	Rectangular Window = iota
+	// Hann is the raised-cosine window; good general-purpose leakage control.
+	Hann
+	// Hamming minimizes the nearest sidelobe.
+	Hamming
+	// Blackman trades main-lobe width for very low sidelobes; the default
+	// for the signature FFT, where leakage between bins would couple
+	// measurement noise into the spec regression.
+	Blackman
+)
+
+// String names the window.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	}
+	return "unknown"
+}
+
+// Coefficients returns the n window coefficients (symmetric form).
+func (w Window) Coefficients(n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		switch w {
+		case Rectangular:
+			out[i] = 1
+		case Hann:
+			out[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case Hamming:
+			out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case Blackman:
+			out[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		default:
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Apply returns x multiplied pointwise by the window.
+func (w Window) Apply(x []float64) []float64 {
+	c := w.Coefficients(len(x))
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] * c[i]
+	}
+	return out
+}
+
+// CoherentGain returns the mean of the window coefficients, the factor by
+// which a coherent tone's FFT amplitude is reduced by the taper.
+func (w Window) CoherentGain(n int) float64 {
+	c := w.Coefficients(n)
+	s := 0.0
+	for _, v := range c {
+		s += v
+	}
+	return s / float64(n)
+}

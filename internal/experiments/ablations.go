@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/lna"
+	"repro/internal/regress"
+	"repro/internal/rf"
+	"repro/internal/wave"
+)
+
+// ---------------------------------------------------------------- A-STIM
+
+// StimulusAblationRow compares one stimulus family.
+type StimulusAblationRow struct {
+	Name string
+	RMS  [3]float64 // gain, NF, IIP3
+}
+
+// StimulusAblation holds the A-STIM result.
+type StimulusAblation struct {
+	Rows []StimulusAblationRow
+}
+
+// RunStimulusAblation quantifies the value of the Eq. 10 GA optimization:
+// the optimized stimulus vs a random PWL vs a single full-scale tone, all
+// calibrated and validated on the same device populations.
+func RunStimulusAblation(ctx Context) (*StimulusAblation, error) {
+	sim, err := RunSimExperiment(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(ctx.Seed + 3))
+	out := &StimulusAblation{}
+
+	evaluate := func(name string, stim *wave.PWL) error {
+		td, err := core.AcquireTrainingSet(rng, sim.Cfg, stim, sim.Train, func(d *core.Device) lna.Specs { return d.Specs })
+		if err != nil {
+			return err
+		}
+		cal, err := core.Calibrate(rng, stim, td, core.CalibrationOptions{})
+		if err != nil {
+			return err
+		}
+		rep, err := core.Validate(rng, sim.Cfg, cal, stim, sim.Val)
+		if err != nil {
+			return err
+		}
+		out.Rows = append(out.Rows, StimulusAblationRow{Name: name,
+			RMS: [3]float64{rep.Specs[0].RMSErr, rep.Specs[1].RMSErr, rep.Specs[2].RMSErr}})
+		return nil
+	}
+
+	if err := evaluate("GA-optimized PWL (Eq. 10)", sim.Opt.Stimulus); err != nil {
+		return nil, err
+	}
+	if err := evaluate("random PWL", sim.Cfg.RandomStimulus(rng)); err != nil {
+		return nil, err
+	}
+	// Single baseband tone at 2 MHz, full scale.
+	n := sim.Cfg.StimBreakpoints
+	tone := make([]float64, n)
+	dur := sim.Cfg.StimulusDuration()
+	for i := range tone {
+		t := dur * float64(i) / float64(n-1)
+		tone[i] = sim.Cfg.StimAmplitude * math.Sin(2*math.Pi*2e6*t)
+	}
+	toneStim, err := sim.Cfg.NewStimulus(tone)
+	if err != nil {
+		return nil, err
+	}
+	if err := evaluate("single 2 MHz tone", toneStim); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Render prints the A-STIM table.
+func (a *StimulusAblation) Render() string {
+	rows := [][]string{}
+	for _, r := range a.Rows {
+		rows = append(rows, []string{r.Name,
+			fmt.Sprintf("%.4f", r.RMS[0]), fmt.Sprintf("%.4f", r.RMS[1]), fmt.Sprintf("%.4f", r.RMS[2])})
+	}
+	return "A-STIM  Stimulus family vs prediction RMS error\n\n" +
+		Table([]string{"Stimulus", "gain (dB)", "NF (dB)", "IIP3 (dB)"}, rows)
+}
+
+// ---------------------------------------------------------------- A-TRAIN
+
+// TrainingSizeRow is one sweep point.
+type TrainingSizeRow struct {
+	N   int
+	RMS [3]float64
+}
+
+// TrainingSizeAblation holds the A-TRAIN result.
+type TrainingSizeAblation struct {
+	Rows []TrainingSizeRow
+}
+
+// RunTrainingSizeAblation sweeps the calibration-set size — the paper
+// expects results to "improve significantly with a larger set of
+// calibrating devices". Runs on the behavioral RF2401 family.
+func RunTrainingSizeAblation(ctx Context) (*TrainingSizeAblation, error) {
+	rng := rand.New(rand.NewSource(ctx.Seed + 4))
+	model := core.RF2401Model{}
+	cfg := core.DefaultSimConfig()
+	cfg.StimAmplitude = 0.05
+	stim := cfg.RandomStimulus(rng)
+	sizes := []int{10, 20, 40, 80}
+	if ctx.Quick {
+		sizes = []int{10, 25}
+	}
+	val, err := core.GeneratePopulation(rng, model, 25, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	out := &TrainingSizeAblation{}
+	for _, n := range sizes {
+		train, err := core.GeneratePopulation(rng, model, n, 0.9)
+		if err != nil {
+			return nil, err
+		}
+		td, err := core.AcquireTrainingSet(rng, cfg, stim, train, func(d *core.Device) lna.Specs { return d.Specs })
+		if err != nil {
+			return nil, err
+		}
+		cal, err := core.Calibrate(rng, stim, td, core.CalibrationOptions{})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.Validate(rng, cfg, cal, stim, val)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, TrainingSizeRow{N: n,
+			RMS: [3]float64{rep.Specs[0].RMSErr, rep.Specs[1].RMSErr, rep.Specs[2].RMSErr}})
+	}
+	return out, nil
+}
+
+// Render prints the A-TRAIN table.
+func (a *TrainingSizeAblation) Render() string {
+	rows := [][]string{}
+	for _, r := range a.Rows {
+		rows = append(rows, []string{fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%.4f", r.RMS[0]), fmt.Sprintf("%.4f", r.RMS[1]), fmt.Sprintf("%.4f", r.RMS[2])})
+	}
+	return "A-TRAIN  Calibration-set size vs prediction RMS error\n\n" +
+		Table([]string{"training devices", "gain (dB)", "NF (dB)", "IIP3 (dB)"}, rows)
+}
+
+// ---------------------------------------------------------------- A-NOISE
+
+// NoiseRow is one sweep point of signature noise.
+type NoiseRow struct {
+	SigmaV float64
+	RMS    [3]float64
+}
+
+// NoiseAblation holds the A-NOISE result.
+type NoiseAblation struct {
+	Rows []NoiseRow
+}
+
+// RunNoiseAblation sweeps the digitizer noise sigma_m, the quantity the
+// Eq. 10 objective trades against mapping fidelity.
+func RunNoiseAblation(ctx Context) (*NoiseAblation, error) {
+	rng := rand.New(rand.NewSource(ctx.Seed + 5))
+	model := core.RF2401Model{}
+	cfg := core.DefaultSimConfig()
+	cfg.StimAmplitude = 0.05
+	stim := cfg.RandomStimulus(rng)
+	sigmas := []float64{0, 1e-3, 5e-3, 2e-2}
+	if ctx.Quick {
+		sigmas = []float64{1e-3, 2e-2}
+	}
+	train, err := core.GeneratePopulation(rng, model, 60, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	val, err := core.GeneratePopulation(rng, model, 25, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	out := &NoiseAblation{}
+	for _, s := range sigmas {
+		c := *cfg
+		c.NoiseSigmaV = s
+		td, err := core.AcquireTrainingSet(rng, &c, stim, train, func(d *core.Device) lna.Specs { return d.Specs })
+		if err != nil {
+			return nil, err
+		}
+		cal, err := core.Calibrate(rng, stim, td, core.CalibrationOptions{})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.Validate(rng, &c, cal, stim, val)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, NoiseRow{SigmaV: s,
+			RMS: [3]float64{rep.Specs[0].RMSErr, rep.Specs[1].RMSErr, rep.Specs[2].RMSErr}})
+	}
+	return out, nil
+}
+
+// Render prints the A-NOISE table.
+func (a *NoiseAblation) Render() string {
+	rows := [][]string{}
+	for _, r := range a.Rows {
+		rows = append(rows, []string{fmt.Sprintf("%.1f", r.SigmaV*1e3),
+			fmt.Sprintf("%.4f", r.RMS[0]), fmt.Sprintf("%.4f", r.RMS[1]), fmt.Sprintf("%.4f", r.RMS[2])})
+	}
+	return "A-NOISE  Signature noise vs prediction RMS error\n\n" +
+		Table([]string{"noise (mV)", "gain (dB)", "NF (dB)", "IIP3 (dB)"}, rows)
+}
+
+// ---------------------------------------------------------------- A-REG
+
+// RegressionRow compares one trainer.
+type RegressionRow struct {
+	Name string
+	RMS  [3]float64
+}
+
+// RegressionAblation holds the A-REG result.
+type RegressionAblation struct {
+	Rows []RegressionRow
+}
+
+// RunRegressionAblation fits each regression family on the simulation
+// experiment's training set and validates on its held-out devices.
+func RunRegressionAblation(ctx Context) (*RegressionAblation, error) {
+	sim, err := RunSimExperiment(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(ctx.Seed + 6))
+	out := &RegressionAblation{}
+	for _, tr := range []regress.Trainer{
+		regress.Ridge{Lambda: 1e-8},
+		regress.Ridge{Lambda: 1e-2},
+		regress.PolyPCA{Components: 8},
+		regress.MARS{MaxTerms: 13, Knots: 5},
+	} {
+		cal, err := core.Calibrate(rng, sim.Opt.Stimulus, sim.TrainingSet,
+			core.CalibrationOptions{Trainers: []regress.Trainer{tr}})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.Validate(rng, sim.Cfg, cal, sim.Opt.Stimulus, sim.Val)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, RegressionRow{Name: tr.Name(),
+			RMS: [3]float64{rep.Specs[0].RMSErr, rep.Specs[1].RMSErr, rep.Specs[2].RMSErr}})
+	}
+	return out, nil
+}
+
+// Render prints the A-REG table.
+func (a *RegressionAblation) Render() string {
+	rows := [][]string{}
+	for _, r := range a.Rows {
+		rows = append(rows, []string{r.Name,
+			fmt.Sprintf("%.4f", r.RMS[0]), fmt.Sprintf("%.4f", r.RMS[1]), fmt.Sprintf("%.4f", r.RMS[2])})
+	}
+	return "A-REG  Regression family vs prediction RMS error\n\n" +
+		Table([]string{"Regression", "gain (dB)", "NF (dB)", "IIP3 (dB)"}, rows)
+}
+
+// ---------------------------------------------------------------- A-ENV
+
+// EnvelopeAblation holds the A-ENV result: engine agreement and speed.
+type EnvelopeAblation struct {
+	SignatureRelErr float64
+	EnvelopeS       float64
+	PassbandS       float64
+	Speedup         float64
+}
+
+// RunEnvelopeAblation cross-checks the fast multi-zone envelope engine
+// against the direct passband reference on a flat nonlinear DUT and
+// measures the speed advantage. The comparison runs at the hardware
+// experiment's timescale (1 MHz digitizing): there a millisecond capture
+// costs millions of 7.2 GHz passband samples but only thousands of
+// envelope samples, which is what makes the GA loop affordable.
+func RunEnvelopeAblation(ctx Context) (*EnvelopeAblation, error) {
+	board := rf.DefaultLoadboard()
+	board.DigitizerFs = 1e6
+	board.LPFCutoffHz = 450e3
+	board.LOOffsetHz = 100e3
+	board.CaptureN = 400
+	if ctx.Quick {
+		board.CaptureN = 150
+	}
+	board.PathPhase = 0.3
+	amp := rf.NewAmplifier(rf.PolyFromSpecs(16, 3))
+	amp.ZoneGain = map[int]float64{0: 1, 1: 1, 2: 1, 3: 1}
+	stim := func(t float64) float64 {
+		return 0.08*math.Sin(2*math.Pi*20e3*t) + 0.06*math.Sin(2*math.Pi*45e3*t+0.7)
+	}
+	t0 := time.Now()
+	env, err := board.RunEnvelope(amp, stim)
+	if err != nil {
+		return nil, err
+	}
+	envS := time.Since(t0).Seconds()
+	t0 = time.Now()
+	pass, err := board.RunPassband(amp, stim)
+	if err != nil {
+		return nil, err
+	}
+	passS := time.Since(t0).Seconds()
+	se := dsp.MagnitudeSpectrum(dsp.Blackman.Apply(env))
+	sp := dsp.MagnitudeSpectrum(dsp.Blackman.Apply(pass))
+	return &EnvelopeAblation{
+		SignatureRelErr: relL2(se, sp),
+		EnvelopeS:       envS,
+		PassbandS:       passS,
+		Speedup:         passS / math.Max(envS, 1e-9),
+	}, nil
+}
+
+// Render prints the A-ENV summary.
+func (a *EnvelopeAblation) Render() string {
+	var b strings.Builder
+	b.WriteString("A-ENV  Envelope engine vs passband reference\n\n")
+	fmt.Fprintf(&b, "  signature relative error : %.4f\n", a.SignatureRelErr)
+	fmt.Fprintf(&b, "  envelope run time        : %.1f ms\n", a.EnvelopeS*1e3)
+	fmt.Fprintf(&b, "  passband run time        : %.1f ms\n", a.PassbandS*1e3)
+	fmt.Fprintf(&b, "  speedup                  : %.1fx\n", a.Speedup)
+	return b.String()
+}

@@ -1,0 +1,138 @@
+// Package experiments contains one driver per paper figure/table plus the
+// ablation studies called out in DESIGN.md. Each driver returns a
+// structured result with a text renderer that prints the same rows/series
+// the paper reports; cmd/rfexp and the repository's benchmarks are thin
+// wrappers over these drivers.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+// Context configures an experiment run.
+type Context struct {
+	// Seed drives every RNG so runs are bit-for-bit reproducible.
+	Seed int64
+	// Quick shrinks population sizes and GA budgets for unit tests; full
+	// paper-scale runs leave it false.
+	Quick bool
+}
+
+// DefaultContext is the paper-scale configuration.
+func DefaultContext() Context { return Context{Seed: 2002} }
+
+// sizes returns (training, validation, GA population, GA generations).
+func (c Context) sizes() (train, val, pop, gens int) {
+	if c.Quick {
+		return 30, 10, 8, 2
+	}
+	// The paper: 100 training + 25 validation instances, five GA
+	// iterations.
+	return 100, 25, 20, 5
+}
+
+// hardwareSizes returns (calibration, validation) device counts for the
+// measurement experiment (the paper used 28 + 27 of 55 devices).
+func (c Context) hardwareSizes() (cal, val int) {
+	if c.Quick {
+		return 16, 10
+	}
+	return 28, 27
+}
+
+// memo caches expensive shared experiment results per context.
+var memo sync.Map
+
+func memoKey(name string, ctx Context) string {
+	return fmt.Sprintf("%s/%d/%v", name, ctx.Seed, ctx.Quick)
+}
+
+// RenderScatter draws a paper-style correlation plot (actual on x,
+// predicted on y, the ideal 45-degree line as dots) in ASCII.
+func RenderScatter(title, xlabel, ylabel string, actual, predicted []float64, width, height int) string {
+	if len(actual) == 0 || len(actual) != len(predicted) {
+		return title + ": no data\n"
+	}
+	lo, hi := actual[0], actual[0]
+	for i := range actual {
+		lo = math.Min(lo, math.Min(actual[i], predicted[i]))
+		hi = math.Max(hi, math.Max(actual[i], predicted[i]))
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := 0.05 * (hi - lo)
+	lo, hi = lo-pad, hi+pad
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(v float64) int {
+		c := int((v - lo) / (hi - lo) * float64(width-1))
+		return clampInt(c, 0, width-1)
+	}
+	toRow := func(v float64) int {
+		r := height - 1 - int((v-lo)/(hi-lo)*float64(height-1))
+		return clampInt(r, 0, height-1)
+	}
+	// Ideal 45-degree reference.
+	for c := 0; c < width; c++ {
+		v := lo + (hi-lo)*float64(c)/float64(width-1)
+		grid[toRow(v)][c] = '.'
+	}
+	for i := range actual {
+		grid[toRow(predicted[i])][toCol(actual[i])] = 'o'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s|\n", row)
+	}
+	fmt.Fprintf(&b, "   x: %s [%.3g .. %.3g], y: %s, 'o' devices, '.' ideal\n", xlabel, lo, hi, ylabel)
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Table formats rows with a header in aligned columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	dashes := make([]string, len(widths))
+	for i, w := range widths {
+		dashes[i] = strings.Repeat("-", w)
+	}
+	line(dashes)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

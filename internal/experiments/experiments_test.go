@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickCtx keeps test runtime modest; the benchmarks run paper scale.
+func quickCtx() Context { return Context{Seed: 7, Quick: true} }
+
+func TestSimExperimentQuick(t *testing.T) {
+	res, err := RunSimExperiment(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape assertions (quick sizes, loose windows): gain must be the
+	// best-predicted spec and its correlation must be strong.
+	gain := res.Report.Specs[0]
+	nf := res.Report.Specs[1]
+	iip3 := res.Report.Specs[2]
+	if gain.RMSErr > 0.15 {
+		t.Fatalf("gain RMS %.3f dB", gain.RMSErr)
+	}
+	if gain.Correlation < 0.93 {
+		t.Fatalf("gain correlation %.3f", gain.Correlation)
+	}
+	if iip3.RMSErr > 1.5 {
+		t.Fatalf("IIP3 RMS %.3f dB", iip3.RMSErr)
+	}
+	// The paper's ordering: NF predicts worst.
+	if nf.RMSErr < gain.RMSErr {
+		t.Fatal("NF should be harder to predict than gain")
+	}
+	// Memoization: a second call returns the identical object.
+	res2, err := RunSimExperiment(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res {
+		t.Fatal("sim experiment should be memoized per context")
+	}
+	// Renderers produce the paper-style artifacts.
+	if !strings.Contains(res.RenderFig7(), "FIG7") {
+		t.Fatal("Fig7 rendering")
+	}
+	for _, s := range []int{0, 1, 2} {
+		out := res.RenderScatterFig(s)
+		if !strings.Contains(out, "std(err)") || !strings.Contains(out, "o") {
+			t.Fatalf("scatter rendering for spec %d:\n%s", s, out)
+		}
+	}
+	if !strings.Contains(res.Summary(), "Spec") {
+		t.Fatal("summary rendering")
+	}
+}
+
+func TestHardwareExperimentQuick(t *testing.T) {
+	res, err := RunHardwareExperiment(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := res.Report.Specs[0]
+	iip3 := res.Report.Specs[2]
+	// Hardware-regime errors: larger than simulation but sub-dB, with
+	// clear correlation (the Figs. 12-13 shape).
+	if gain.RMSErr > 0.6 {
+		t.Fatalf("hardware gain RMS %.3f dB", gain.RMSErr)
+	}
+	if gain.Correlation < 0.85 {
+		t.Fatalf("hardware gain correlation %.3f", gain.Correlation)
+	}
+	if iip3.RMSErr > 0.8 {
+		t.Fatalf("hardware IIP3 RMS %.3f dB", iip3.RMSErr)
+	}
+	if !strings.Contains(res.RenderFig(0), "FIG12") || !strings.Contains(res.RenderFig(2), "FIG13") {
+		t.Fatal("figure rendering")
+	}
+}
+
+func TestTimeComparison(t *testing.T) {
+	res, err := RunTimeComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoHandler.Speedup < 10 {
+		t.Fatalf("raw speedup %.1f, want >10x", res.NoHandler.Speedup)
+	}
+	if res.CostFactor < 20 {
+		t.Fatalf("cost factor %.1f", res.CostFactor)
+	}
+	out := res.Render()
+	for _, want := range []string{"TIME", "Noise figure", "TOTAL signature", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("time table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhaseStudy(t *testing.T) {
+	res, err := RunPhaseStudy(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at90, at0 float64
+	for _, p := range res.Points {
+		deg := p.PhaseRad * 180 / math.Pi
+		// Same-LO power must track cos^2(phi).
+		want := math.Pow(math.Cos(p.PhaseRad), 2)
+		got := p.SameLOPower / res.Points[0].SameLOPower
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("phi=%.0f: same-LO power %.4f, want cos^2=%.4f", deg, got, want)
+		}
+		// Offset-LO magnitude signature is invariant.
+		if p.OffsetSigChange > 0.02 {
+			t.Fatalf("phi=%.0f: offset-LO signature changed %.3f", deg, p.OffsetSigChange)
+		}
+		if deg == 90 {
+			at90 = got
+		}
+		if deg == 0 {
+			at0 = got
+		}
+	}
+	if at90 > 1e-4*at0 {
+		t.Fatalf("quadrature cancellation missing: %g vs %g", at90, at0)
+	}
+	if !strings.Contains(res.Render(), "cos^2") {
+		t.Fatal("phase rendering")
+	}
+}
+
+func TestStimulusAblationQuick(t *testing.T) {
+	res, err := RunStimulusAblation(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// The optimized stimulus should beat the single tone on IIP3 (a tone
+	// carries much less compression-shape information).
+	opt, tone := res.Rows[0], res.Rows[2]
+	if opt.RMS[2] > tone.RMS[2]*1.3 {
+		t.Fatalf("optimized IIP3 RMS %.3f vs tone %.3f", opt.RMS[2], tone.RMS[2])
+	}
+	if !strings.Contains(res.Render(), "A-STIM") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestTrainingSizeAblationQuick(t *testing.T) {
+	res, err := RunTrainingSizeAblation(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	// More calibration devices must not hurt gain prediction much, and
+	// typically helps substantially.
+	if last.RMS[0] > first.RMS[0]*1.2 {
+		t.Fatalf("training size did not help: %.4f -> %.4f", first.RMS[0], last.RMS[0])
+	}
+	if !strings.Contains(res.Render(), "A-TRAIN") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestNoiseAblationQuick(t *testing.T) {
+	res, err := RunNoiseAblation(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if hi.RMS[0] < lo.RMS[0] {
+		t.Fatalf("more noise should not improve gain prediction: %.4f -> %.4f", lo.RMS[0], hi.RMS[0])
+	}
+	if !strings.Contains(res.Render(), "A-NOISE") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestEnvelopeAblation(t *testing.T) {
+	res, err := RunEnvelopeAblation(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SignatureRelErr > 0.05 {
+		t.Fatalf("engine disagreement %.3f", res.SignatureRelErr)
+	}
+	if res.Speedup < 3 {
+		t.Fatalf("envelope engine should be much faster: %.1fx", res.Speedup)
+	}
+	if !strings.Contains(res.Render(), "A-ENV") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestRegressionAblationQuick(t *testing.T) {
+	res, err := RunRegressionAblation(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	if !strings.Contains(res.Render(), "A-REG") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	out := RenderScatter("T", "x", "y", []float64{1, 2, 3}, []float64{1.1, 2.0, 2.9}, 20, 8)
+	if !strings.Contains(out, "o") || !strings.Contains(out, ".") {
+		t.Fatalf("scatter:\n%s", out)
+	}
+	if got := RenderScatter("T", "x", "y", nil, nil, 20, 8); !strings.Contains(got, "no data") {
+		t.Fatal("empty scatter")
+	}
+	header := []string{"a", "bb"}
+	tbl := Table(header, [][]string{{"1", "2"}})
+	if !strings.Contains(tbl, "--") {
+		t.Fatalf("table:\n%s", tbl)
+	}
+	if header[0] != "a" {
+		t.Fatal("Table must not mutate the header")
+	}
+}
+
+func TestADCAblationQuick(t *testing.T) {
+	res, err := RunADCAblation(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := res.Rows[0]
+	ideal := res.Rows[len(res.Rows)-1]
+	if ideal.Bits != 0 || coarse.Bits != 4 {
+		t.Fatalf("rows %+v", res.Rows)
+	}
+	if coarse.RMS[0] < ideal.RMS[0] {
+		t.Fatalf("4-bit ADC should not beat ideal: %.4f vs %.4f", coarse.RMS[0], ideal.RMS[0])
+	}
+	if !strings.Contains(res.Render(), "A-ADC") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestDiagnosisExperimentQuick(t *testing.T) {
+	res, err := RunDiagnosisExperiment(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 2*res.TotalParams {
+		t.Fatalf("trials %d for %d parameters", res.Trials, res.TotalParams)
+	}
+	// Exact culprit naming is limited by physically collinear parameters
+	// (e.g. the bias network resistors); within-ambiguity-group accuracy
+	// is the meaningful score.
+	if float64(res.Correct)/float64(res.Trials) < 0.35 {
+		t.Fatalf("exact diagnosis accuracy %d/%d too low", res.Correct, res.Trials)
+	}
+	if g := float64(res.Correct+res.CorrectGroup) / float64(res.Trials); g < 0.6 {
+		t.Fatalf("group diagnosis accuracy %.2f too low (%d+%d of %d)", g, res.Correct, res.CorrectGroup, res.Trials)
+	}
+	if !strings.Contains(res.Render(), "DIAG") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestRenderBarShapes(t *testing.T) {
+	zero := renderBar(0, 1, 5)
+	if !strings.Contains(zero, "|") || strings.Contains(zero, "#") {
+		t.Fatalf("zero bar %q", zero)
+	}
+	pos := renderBar(0.5, 1, 5)
+	neg := renderBar(-0.5, 1, 5)
+	if !strings.Contains(pos, "#") || !strings.Contains(neg, "#") {
+		t.Fatalf("bars %q %q", pos, neg)
+	}
+	if len(pos) != len(neg) || len(pos) != 11 {
+		t.Fatalf("bar widths %d %d", len(pos), len(neg))
+	}
+}
+
+func TestMemoKeyDistinguishesContexts(t *testing.T) {
+	a := memoKey("x", Context{Seed: 1})
+	b := memoKey("x", Context{Seed: 2})
+	c := memoKey("x", Context{Seed: 1, Quick: true})
+	if a == b || a == c || b == c {
+		t.Fatal("memo keys must be distinct per context")
+	}
+}
+
+func TestS11ExperimentQuick(t *testing.T) {
+	res, err := RunS11Experiment(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no validation points")
+	}
+	// S11 depends on the same process parameters; prediction should show
+	// clear correlation even at quick sizes.
+	if res.Corr < 0.5 {
+		t.Fatalf("S11 correlation %.3f too low", res.Corr)
+	}
+	if res.RMSDB > 3 {
+		t.Fatalf("S11 RMS %.3f dB implausible", res.RMSDB)
+	}
+	if !strings.Contains(res.Render(), "S11") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestTesterVariationQuick(t *testing.T) {
+	res, err := RunTesterVariationAblation(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tester drift must hurt gain prediction (a 2% carrier error is a
+	// ~0.17 dB systematic gain shift) and recalibration must restore most
+	// of it.
+	if res.DriftedRMS[0] < res.NominalRMS[0] {
+		t.Fatalf("drift should not improve accuracy: %.4f vs %.4f", res.DriftedRMS[0], res.NominalRMS[0])
+	}
+	if res.RecalRMS[0] > res.DriftedRMS[0] {
+		t.Fatalf("recalibration should help: %.4f vs %.4f", res.RecalRMS[0], res.DriftedRMS[0])
+	}
+	if !strings.Contains(res.Render(), "A-TESTER") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestDefaultContext(t *testing.T) {
+	ctx := DefaultContext()
+	if ctx.Quick {
+		t.Fatal("default context must be paper scale")
+	}
+	tr, val, pop, gens := ctx.sizes()
+	if tr != 100 || val != 25 || pop != 20 || gens != 5 {
+		t.Fatalf("paper-scale sizes %d %d %d %d", tr, val, pop, gens)
+	}
+	c, v := ctx.hardwareSizes()
+	if c != 28 || v != 27 {
+		t.Fatalf("hardware sizes %d %d", c, v)
+	}
+}
+
+func TestHardwareSummaryRendering(t *testing.T) {
+	res, err := RunHardwareExperiment(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Summary(), "calibration") {
+		t.Fatal("summary rendering")
+	}
+}

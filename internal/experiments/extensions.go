@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lna"
+)
+
+// ---------------------------------------------------------------- A-ADC
+
+// ADCRow is one digitizer-resolution sweep point.
+type ADCRow struct {
+	Bits int // 0 = ideal
+	RMS  [3]float64
+}
+
+// ADCAblation holds the A-ADC result.
+type ADCAblation struct {
+	Rows []ADCRow
+}
+
+// RunADCAblation sweeps the low-cost tester's digitizer resolution. The
+// paper's cost case rests on "a baseband digitizer" being cheap; this
+// quantifies how few bits the signature test actually needs.
+func RunADCAblation(ctx Context) (*ADCAblation, error) {
+	rng := rand.New(rand.NewSource(ctx.Seed + 7))
+	model := core.RF2401Model{}
+	base := core.DefaultSimConfig()
+	base.StimAmplitude = 0.05
+	stim := base.RandomStimulus(rng)
+	bitsList := []int{4, 6, 8, 12, 0}
+	if ctx.Quick {
+		bitsList = []int{4, 12, 0}
+	}
+	train, err := core.GeneratePopulation(rng, model, 60, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	val, err := core.GeneratePopulation(rng, model, 25, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	out := &ADCAblation{}
+	for _, bits := range bitsList {
+		cfg := *base
+		cfg.DigitizerBits = bits
+		cfg.DigitizerFullScaleV = 1.0
+		td, err := core.AcquireTrainingSet(rng, &cfg, stim, train, func(d *core.Device) lna.Specs { return d.Specs })
+		if err != nil {
+			return nil, err
+		}
+		cal, err := core.Calibrate(rng, stim, td, core.CalibrationOptions{})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.Validate(rng, &cfg, cal, stim, val)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, ADCRow{Bits: bits,
+			RMS: [3]float64{rep.Specs[0].RMSErr, rep.Specs[1].RMSErr, rep.Specs[2].RMSErr}})
+	}
+	return out, nil
+}
+
+// Render prints the A-ADC table.
+func (a *ADCAblation) Render() string {
+	rows := [][]string{}
+	for _, r := range a.Rows {
+		label := fmt.Sprintf("%d", r.Bits)
+		if r.Bits == 0 {
+			label = "ideal"
+		}
+		rows = append(rows, []string{label,
+			fmt.Sprintf("%.4f", r.RMS[0]), fmt.Sprintf("%.4f", r.RMS[1]), fmt.Sprintf("%.4f", r.RMS[2])})
+	}
+	return "A-ADC  Digitizer resolution vs prediction RMS error\n\n" +
+		Table([]string{"ADC bits", "gain (dB)", "NF (dB)", "IIP3 (dB)"}, rows)
+}
+
+// ---------------------------------------------------------------- DIAG
+
+// DiagResult is the fault-diagnosis extension (the authors' follow-on
+// work, reference [9]): identify WHICH process parameter drifted from the
+// same signature used for spec prediction. Only parameters with a usable
+// signature footprint (Observable) are scored — a parameter that does not
+// touch the signature is undiagnosable in principle.
+type DiagResult struct {
+	Trials       int
+	Correct      int     // exact culprit named
+	CorrectGroup int     // additionally: culprit inside the ambiguity group
+	MeanAbsErr   float64 // |estimated - true| for the shifted parameter
+	Observable   int     // parameters with a usable signature footprint
+	TotalParams  int
+}
+
+// RunDiagnosisExperiment builds the sensitivity-matrix inverter (Eq. 7's
+// linearization, pseudoinverted) at the simulation experiment's optimized
+// stimulus, then shifts one LNA process parameter at a time on fresh
+// devices and checks that the diagnosis names the right culprit.
+func RunDiagnosisExperiment(ctx Context) (*DiagResult, error) {
+	sim, err := RunSimExperiment(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(ctx.Seed + 8))
+	names := lna.ParamNames()
+
+	set, err := core.NewBehavioralSet(sim.Model)
+	if err != nil {
+		return nil, err
+	}
+	as, err := sim.Cfg.SignatureSensitivity(set, sim.Opt.Stimulus)
+	if err != nil {
+		return nil, err
+	}
+	nominalSig, err := sim.Cfg.Acquire(set.Nominal, sim.Opt.Stimulus, nil)
+	if err != nil {
+		return nil, err
+	}
+	diag, err := core.NewSensitivityDiagnosis(as, nominalSig, names)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DiagResult{TotalParams: len(names), Observable: len(names)}
+	shifts := []float64{0.15, -0.15}
+	for p := 0; p < len(names); p++ {
+		for _, shift := range shifts {
+			rel := make([]float64, len(names))
+			rel[p] = shift
+			dut, err := sim.Model.Behavioral(rel)
+			if err != nil {
+				return nil, err
+			}
+			sig, err := sim.Cfg.Acquire(dut, sim.Opt.Stimulus, rng)
+			if err != nil {
+				return nil, err
+			}
+			culprit, _ := diag.Culprit(sig)
+			est := diag.Estimate(sig)
+			res.Trials++
+			if culprit == names[p] {
+				res.Correct++
+			} else if q := diag.IndexOf(culprit); q >= 0 && diag.Ambiguous(p, q, 0.95) {
+				// Named a parameter whose signature direction is
+				// indistinguishable from the true one: counted as correct
+				// within the ambiguity group.
+				res.CorrectGroup++
+			}
+			if d := est[p] - shift; d >= 0 {
+				res.MeanAbsErr += d
+			} else {
+				res.MeanAbsErr -= d
+			}
+		}
+	}
+	if res.Trials > 0 {
+		res.MeanAbsErr /= float64(res.Trials)
+	}
+	return res, nil
+}
+
+// Render prints the DIAG summary.
+func (r *DiagResult) Render() string {
+	var b strings.Builder
+	b.WriteString("DIAG  Parametric fault diagnosis from the signature (extension, ref. [9])\n\n")
+	fmt.Fprintf(&b, "  single-parameter shift trials : %d (over %d parameters)\n", r.Trials, r.TotalParams)
+	fmt.Fprintf(&b, "  culprit named exactly         : %d (%.0f%%)\n", r.Correct, 100*float64(r.Correct)/float64(r.Trials))
+	fmt.Fprintf(&b, "  within ambiguity group        : %d (%.0f%%)\n", r.Correct+r.CorrectGroup, 100*float64(r.Correct+r.CorrectGroup)/float64(r.Trials))
+	fmt.Fprintf(&b, "  mean |estimate - truth|       : %.3f (relative units)\n", r.MeanAbsErr)
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/lna"
+	"repro/internal/regress"
+	"repro/internal/stat"
+)
+
+// ---------------------------------------------------------------- S11
+
+// S11Result is the fourth-spec extension: predicting the input return loss
+// (a spec the paper does not evaluate but the same framework covers — the
+// input match depends on the same process parameters the signature sees).
+type S11Result struct {
+	RMSDB  float64
+	Corr   float64
+	Points []core.ScatterPoint
+}
+
+// RunS11Experiment trains one extra regression from the simulation
+// experiment's signatures to S11 at 900 MHz and validates it on the
+// held-out devices.
+func RunS11Experiment(ctx Context) (*S11Result, error) {
+	sim, err := RunSimExperiment(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(ctx.Seed + 9))
+
+	s11Of := func(rel []float64) (float64, error) {
+		p, err := lna.Nominal().Perturb(rel)
+		if err != nil {
+			return 0, err
+		}
+		d, err := lna.Build(p)
+		if err != nil {
+			return 0, err
+		}
+		return d.InputReturnLossDB(lna.FCarrier)
+	}
+
+	// Training matrix from the cached signatures, targets from fresh S11
+	// analyses.
+	X := linalg.NewMatrix(len(sim.TrainingSet), len(sim.TrainingSet[0].Signature))
+	y := make([]float64, len(sim.TrainingSet))
+	for i, td := range sim.TrainingSet {
+		X.SetRow(i, td.Signature)
+		if y[i], err = s11Of(sim.Train[i].Rel); err != nil {
+			return nil, err
+		}
+	}
+	trainers := []regress.Trainer{
+		regress.Ridge{Lambda: 1e-8},
+		regress.MARS{MaxTerms: 13, Knots: 5},
+	}
+	model, _, _, err := regress.SelectBest(trainers, X, y, 5, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &S11Result{}
+	var actual, pred []float64
+	for _, d := range sim.Val {
+		sig, err := sim.Cfg.Acquire(d.Behavioral, sim.Opt.Stimulus, rng)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := s11Of(d.Rel)
+		if err != nil {
+			return nil, err
+		}
+		p := model.Predict(sig)
+		actual = append(actual, truth)
+		pred = append(pred, p)
+		res.Points = append(res.Points, core.ScatterPoint{Actual: truth, Predicted: p})
+	}
+	res.RMSDB = stat.RMSError(pred, actual)
+	res.Corr = stat.Correlation(pred, actual)
+	return res, nil
+}
+
+// Render prints the S11 summary.
+func (r *S11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("S11  Input return loss predicted from the same signature (extension)\n\n")
+	fmt.Fprintf(&b, "  validation devices : %d\n", len(r.Points))
+	fmt.Fprintf(&b, "  RMS error          : %.3f dB\n", r.RMSDB)
+	fmt.Fprintf(&b, "  correlation        : %.3f\n", r.Corr)
+	return b.String()
+}
+
+// ---------------------------------------------------------------- A-TESTER
+
+// TesterVariationResult quantifies the paper's "tester variations" concern
+// (Section 3.1): the calibration is built on one tester; production
+// insertions see slightly different carrier level and filter corner.
+type TesterVariationResult struct {
+	NominalRMS [3]float64 // same-tester validation
+	DriftedRMS [3]float64 // cross-tester validation
+	RecalRMS   [3]float64 // after recalibrating on the drifted tester
+	DriftPct   float64
+}
+
+// RunTesterVariationAblation validates the simulation calibration against
+// acquisitions from a drifted tester (carrier amplitude and LPF corner off
+// by DriftPct), then shows that recalibration on the drifted tester
+// restores accuracy.
+func RunTesterVariationAblation(ctx Context) (*TesterVariationResult, error) {
+	sim, err := RunSimExperiment(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(ctx.Seed + 10))
+	res := &TesterVariationResult{DriftPct: 2}
+
+	for s := 0; s < 3; s++ {
+		res.NominalRMS[s] = sim.Report.Specs[s].RMSErr
+	}
+
+	// Drifted tester: clone the board with systematic offsets.
+	drifted := *sim.Cfg
+	board := *sim.Cfg.Board
+	board.CarrierAmp *= 1 + res.DriftPct/100
+	board.LPFCutoffHz *= 1 - res.DriftPct/100
+	drifted.Board = &board
+
+	validate := func(cal *core.Calibration) ([3]float64, error) {
+		var pred, actual [3][]float64
+		for _, d := range sim.Val {
+			sig, err := drifted.Acquire(d.Behavioral, sim.Opt.Stimulus, rng)
+			if err != nil {
+				return [3]float64{}, err
+			}
+			p := cal.Predict(sig).Vector()
+			a := d.Specs.Vector()
+			for s := 0; s < 3; s++ {
+				pred[s] = append(pred[s], p[s])
+				actual[s] = append(actual[s], a[s])
+			}
+		}
+		var out [3]float64
+		for s := 0; s < 3; s++ {
+			out[s] = stat.RMSError(pred[s], actual[s])
+		}
+		return out, nil
+	}
+
+	// Cross-tester: nominal calibration, drifted acquisitions.
+	if res.DriftedRMS, err = validate(sim.Cal); err != nil {
+		return nil, err
+	}
+
+	// Recalibration on the drifted tester.
+	td, err := core.AcquireTrainingSet(rng, &drifted, sim.Opt.Stimulus, sim.Train,
+		func(d *core.Device) lna.Specs { return d.Specs })
+	if err != nil {
+		return nil, err
+	}
+	recal, err := core.Calibrate(rng, sim.Opt.Stimulus, td, core.CalibrationOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if res.RecalRMS, err = validate(recal); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the A-TESTER table.
+func (r *TesterVariationResult) Render() string {
+	rows := [][]string{
+		{"same tester", f4(r.NominalRMS[0]), f4(r.NominalRMS[1]), f4(r.NominalRMS[2])},
+		{fmt.Sprintf("drifted tester (%.0f%%)", r.DriftPct), f4(r.DriftedRMS[0]), f4(r.DriftedRMS[1]), f4(r.DriftedRMS[2])},
+		{"after recalibration", f4(r.RecalRMS[0]), f4(r.RecalRMS[1]), f4(r.RecalRMS[2])},
+	}
+	return "A-TESTER  Tester-to-tester variation vs prediction RMS error\n\n" +
+		Table([]string{"Condition", "gain (dB)", "NF (dB)", "IIP3 (dB)"}, rows)
+}
+
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }

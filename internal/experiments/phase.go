@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/rf"
+)
+
+// PhasePoint is one row of the Eq. 4/5 study.
+type PhasePoint struct {
+	PhaseRad float64
+	// SameLOPower is the captured signal power with the naive same-LO
+	// configuration (Eq. 4: proportional to cos^2 phi).
+	SameLOPower float64
+	// OffsetSigChange is the relative L2 change of the FFT-magnitude
+	// signature vs phi = 0 with the offset-LO configuration (Eq. 5: ~0).
+	OffsetSigChange float64
+	// OffsetRawChange is the relative change of the raw time capture (for
+	// contrast: large).
+	OffsetRawChange float64
+}
+
+// PhaseResult is the PHASE experiment.
+type PhaseResult struct {
+	Points []PhasePoint
+}
+
+// RunPhaseStudy sweeps the LO path phase mismatch phi and reproduces the
+// paper's Section 2.1 analysis: with a shared LO the demodulated signature
+// collapses as cos(phi) — vanishing entirely at quadrature — while the
+// offset-LO FFT-magnitude signature is invariant.
+//
+// Strict Eq. 5 invariance requires the stimulus bandwidth to sit BELOW the
+// LO offset, so the two spectral images X_t(f-delta) and X_t(f+delta)
+// never overlap: this study therefore uses the paper's hardware-style
+// configuration (100 kHz offset, 1 MHz digitizing, millisecond capture)
+// with a multitone stimulus confined below 50 kHz. DESIGN.md records this
+// bandwidth rule — implicit in the paper — as a reproduction finding.
+func RunPhaseStudy(ctx Context) (*PhaseResult, error) {
+	_ = rand.New(rand.NewSource(ctx.Seed + 2)) // study is deterministic
+	model := core.RF2401Model{}
+	dut, err := model.Behavioral(make([]float64, model.NumParams()))
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultHardwareConfig()
+	if ctx.Quick {
+		cfg.Board.CaptureN = 1000
+	}
+	// Narrowband multitone: 10/25/40 kHz, all below the 100 kHz offset and
+	// integer-cycle within the capture.
+	stim := func(t float64) float64 {
+		return 0.02*math.Sin(2*math.Pi*10e3*t) +
+			0.015*math.Sin(2*math.Pi*25e3*t+0.5) +
+			0.01*math.Sin(2*math.Pi*40e3*t+1.1)
+	}
+
+	// Textbook configuration per Eqs. 1-5: ideal multiplying mixers.
+	sameLO := *cfg.Board
+	sameLO.UpMixer = rf.IdealMixer()
+	sameLO.DownMixer = rf.IdealMixer()
+	sameLO.LOOffsetHz = 0
+	offsetLO := *cfg.Board
+	offsetLO.UpMixer = rf.IdealMixer()
+	offsetLO.DownMixer = rf.IdealMixer()
+
+	signature := func(board rf.Loadboard, phase float64) ([]float64, []float64, error) {
+		board.PathPhase = phase
+		y, err := board.RunEnvelope(dut, stim)
+		if err != nil {
+			return nil, nil, err
+		}
+		return y, dsp.MagnitudeSpectrum(dsp.Blackman.Apply(y)), nil
+	}
+
+	raw0, sig0, err := signature(offsetLO, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &PhaseResult{}
+	for _, deg := range []float64{0, 15, 30, 45, 60, 75, 90, 120, 150, 180} {
+		phi := deg * math.Pi / 180
+		ySame, _, err := signature(sameLO, phi)
+		if err != nil {
+			return nil, err
+		}
+		yOff, sigOff, err := signature(offsetLO, phi)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, PhasePoint{
+			PhaseRad:        phi,
+			SameLOPower:     dsp.SignalPower(ySame),
+			OffsetSigChange: relL2(sigOff, sig0),
+			OffsetRawChange: relL2(yOff, raw0),
+		})
+	}
+	return res, nil
+}
+
+func relL2(a, ref []float64) float64 {
+	var num, den float64
+	for i := range a {
+		d := a[i] - ref[i]
+		num += d * d
+		den += ref[i] * ref[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+// Render prints the PHASE table.
+func (r *PhaseResult) Render() string {
+	var b strings.Builder
+	b.WriteString("PHASE  LO path-phase sensitivity (Eqs. 4-5)\n\n")
+	p0 := r.Points[0].SameLOPower
+	rows := [][]string{}
+	for _, p := range r.Points {
+		deg := p.PhaseRad * 180 / math.Pi
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", deg),
+			fmt.Sprintf("%.4f", p.SameLOPower/p0),
+			fmt.Sprintf("%.4f", math.Pow(math.Cos(p.PhaseRad), 2)),
+			fmt.Sprintf("%.2e", p.OffsetSigChange),
+			fmt.Sprintf("%.3f", p.OffsetRawChange),
+		})
+	}
+	b.WriteString(Table([]string{"phi (deg)", "same-LO power (rel)", "cos^2 phi", "offset-LO |FFT| change", "offset-LO raw change"}, rows))
+	b.WriteString("\nSame-LO capture follows cos^2(phi) and vanishes at 90 deg; the offset-LO magnitude signature is phase-immune.\n")
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lna"
+)
+
+// SimResult is the shared outcome of the paper's simulation experiment
+// (Section 4.1): the optimized stimulus (Fig. 7) and the three validation
+// scatters (Figs. 8-10).
+type SimResult struct {
+	Opt       *core.OptimizeResult
+	Cal       *core.Calibration
+	Report    *core.ValidationReport
+	TrainN    int
+	ValN      int
+	NoiseV    float64
+	SpreadPct float64
+
+	// Shared state reused by the ablation studies.
+	Cfg         *core.TestConfig
+	Model       *core.LNAModel
+	Train, Val  []*core.Device
+	TrainingSet []core.TrainingDevice
+}
+
+// RunSimExperiment executes the full Section 4.1 flow on the circuit-level
+// 900 MHz LNA: optimize the PWL stimulus with the GA (Eq. 10 objective),
+// simulate 100 training + 25 validation instances with +/-20% uniform
+// parameter spread, add 1 mV Gaussian noise to the signatures, calibrate
+// the regression maps, and validate. The result is memoized per context:
+// Figs. 7-10 all read from one run, exactly as in the paper.
+func RunSimExperiment(ctx Context) (*SimResult, error) {
+	key := memoKey("sim", ctx)
+	if v, ok := memo.Load(key); ok {
+		return v.(*SimResult), nil
+	}
+	trainN, valN, pop, gens := ctx.sizes()
+	rng := rand.New(rand.NewSource(ctx.Seed))
+	model := core.NewLNAModel()
+	cfg := core.DefaultSimConfig()
+
+	opt, err := core.OptimizeStimulus(rng, model, cfg, core.OptimizerOptions{PopSize: pop, Generations: gens})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: stimulus optimization: %w", err)
+	}
+	train, err := core.GeneratePopulation(rng, model, trainN, 0.20)
+	if err != nil {
+		return nil, err
+	}
+	val, err := core.GeneratePopulation(rng, model, valN, 0.20)
+	if err != nil {
+		return nil, err
+	}
+	td, err := core.AcquireTrainingSet(rng, cfg, opt.Stimulus, train, func(d *core.Device) lna.Specs { return d.Specs })
+	if err != nil {
+		return nil, err
+	}
+	cal, err := core.Calibrate(rng, opt.Stimulus, td, core.CalibrationOptions{})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.Validate(rng, cfg, cal, opt.Stimulus, val)
+	if err != nil {
+		return nil, err
+	}
+	res := &SimResult{Opt: opt, Cal: cal, Report: rep, TrainN: trainN, ValN: valN,
+		NoiseV: cfg.NoiseSigmaV, SpreadPct: 20,
+		Cfg: cfg, Model: model, Train: train, Val: val, TrainingSet: td}
+	memo.Store(key, res)
+	return res, nil
+}
+
+// RenderFig7 prints the optimized stimulus breakpoints and the GA
+// convergence trace (the paper's Fig. 7 series).
+func (r *SimResult) RenderFig7() string {
+	var b strings.Builder
+	b.WriteString("FIG7  Optimized PWL test stimulus (volts vs microseconds)\n")
+	stim := r.Opt.Stimulus
+	n := len(stim.Levels)
+	for i, v := range stim.Levels {
+		t := stim.Duration * float64(i) / float64(n-1) * 1e6
+		bar := renderBar(v, 0.25, 24)
+		fmt.Fprintf(&b, "  t=%6.3f us  %+8.4f V  %s\n", t, v, bar)
+	}
+	b.WriteString("  GA best-objective trace (Eq. 10):")
+	for _, f := range r.Opt.Trace {
+		fmt.Fprintf(&b, " %.4g", f)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func renderBar(v, fullScale float64, half int) string {
+	pos := clampInt(int(v/fullScale*float64(half)), -half, half)
+	bar := make([]byte, 2*half+1)
+	for i := range bar {
+		bar[i] = ' '
+	}
+	bar[half] = '|'
+	step := 1
+	if pos < 0 {
+		step = -1
+	}
+	for i := step; i != pos+step; i += step {
+		bar[half+i] = '#'
+		if i == pos {
+			break
+		}
+	}
+	return string(bar)
+}
+
+// RenderScatterFig prints the paper-style scatter for spec index s
+// (0=gain -> Fig. 8, 2=IIP3 -> Fig. 9, 1=NF -> Fig. 10).
+func (r *SimResult) RenderScatterFig(s int) string {
+	sp := r.Report.Specs[s]
+	actual := make([]float64, len(sp.Points))
+	pred := make([]float64, len(sp.Points))
+	for i, p := range sp.Points {
+		actual[i] = p.Actual
+		pred[i] = p.Predicted
+	}
+	fig := map[int]string{0: "FIG8", 2: "FIG9", 1: "FIG10"}[s]
+	title := fmt.Sprintf("%s  %s: direct simulation vs signature-test prediction  (std(err)=%.3f, RMS=%.3f, corr=%.3f)",
+		fig, sp.Name, sp.StdErr, sp.RMSErr, sp.Correlation)
+	return RenderScatter(title, "direct simulation", "predicted", actual, pred, 56, 18)
+}
+
+// Summary prints the validation table plus the calibration metadata.
+func (r *SimResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulation experiment: %d training + %d validation devices, +/-%.0f%% parameters, %.0f mV signature noise\n",
+		r.TrainN, r.ValN, r.SpreadPct, r.NoiseV*1e3)
+	fmt.Fprintf(&b, "Regression per spec: %v (CV RMS %.3f / %.3f / %.3f)\n", r.Cal.Trainers, r.Cal.CVRMS[0], r.Cal.CVRMS[1], r.Cal.CVRMS[2])
+	b.WriteString(r.Report.String())
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ate"
+)
+
+// TimeResult regenerates the Section 4.2 test-time claim ("the signature
+// test in this case required only 5 milliseconds of data capture ...
+// significant improvement in test throughput is possible") as a table, plus
+// the tester-economics comparison implied by the introduction.
+type TimeResult struct {
+	Suite       []ate.SpecTest
+	Signature   *ate.SignatureTester
+	NoHandler   ate.TimeComparison
+	WithHandler ate.TimeComparison
+	CostFactor  float64
+}
+
+// RunTimeComparison builds the comparison for the paper's hardware
+// configuration (5 ms capture at 1 MHz) and a 200 ms handler index time.
+func RunTimeComparison() (*TimeResult, error) {
+	sig, err := ate.NewSignatureTester(5000, 1e6)
+	if err != nil {
+		return nil, err
+	}
+	suite := ate.ConventionalSuite()
+	res := &TimeResult{
+		Suite:       suite,
+		Signature:   sig,
+		NoHandler:   ate.CompareTestTime(suite, sig, 0),
+		WithHandler: ate.CompareTestTime(suite, sig, 0.2),
+	}
+	conv := ate.Economics{CapitalUSD: ate.HighEndRFATE.CapitalUSD, DepreciationYrs: 5, UtilizationPct: 0.8, OverheadPerHr: 50}
+	lowCost := ate.Economics{CapitalUSD: sig.CapitalUSD(), DepreciationYrs: 5, UtilizationPct: 0.8, OverheadPerHr: 50}
+	res.CostFactor, err = ate.CostReductionFactor(conv, lowCost, res.NoHandler.ConventionalS, res.NoHandler.SignatureS)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the TIME table.
+func (r *TimeResult) Render() string {
+	var b strings.Builder
+	b.WriteString("TIME  Conventional specification suite vs signature test\n\n")
+	rows := [][]string{}
+	for _, t := range r.Suite {
+		rows = append(rows, []string{t.Name, fmt.Sprintf("%.0f", t.SetupS*1e3), fmt.Sprintf("%.0f", t.MeasureS*1e3), fmt.Sprintf("%.0f", t.Duration()*1e3)})
+	}
+	rows = append(rows, []string{"TOTAL conventional", "", "", fmt.Sprintf("%.0f", ate.SuiteDuration(r.Suite)*1e3)})
+	b.WriteString(Table([]string{"Conventional test", "setup (ms)", "measure (ms)", "total (ms)"}, rows))
+	b.WriteString("\n")
+	rows = [][]string{
+		{"setup (single configuration)", fmt.Sprintf("%.1f", r.Signature.SetupS()*1e3)},
+		{"signature capture (5000 samples @ 1 MHz)", fmt.Sprintf("%.1f", r.Signature.CaptureS()*1e3)},
+		{"transfer + FFT", fmt.Sprintf("%.1f", (r.Signature.TransferS+r.Signature.ComputeS)*1e3)},
+		{"TOTAL signature", fmt.Sprintf("%.1f", r.Signature.InsertionS()*1e3)},
+	}
+	b.WriteString(Table([]string{"Signature test", "time (ms)"}, rows))
+	b.WriteString("\n")
+	rows = [][]string{
+		{"raw test time", fmt.Sprintf("%.0f ms", r.NoHandler.ConventionalS*1e3), fmt.Sprintf("%.1f ms", r.NoHandler.SignatureS*1e3), fmt.Sprintf("%.1fx", r.NoHandler.Speedup)},
+		{"incl. 200 ms handler", fmt.Sprintf("%.0f ms", r.WithHandler.ConventionalS*1e3), fmt.Sprintf("%.1f ms", r.WithHandler.SignatureS*1e3), fmt.Sprintf("%.1fx", r.WithHandler.Speedup)},
+		{"throughput (dev/hr)", fmt.Sprintf("%.0f", r.WithHandler.ThroughputConventional), fmt.Sprintf("%.0f", r.WithHandler.ThroughputSignature), ""},
+	}
+	b.WriteString(Table([]string{"Comparison", "conventional", "signature", "speedup"}, rows))
+	fmt.Fprintf(&b, "\nAll-in cost-per-device reduction (capital + overhead amortized): %.0fx\n", r.CostFactor)
+	return b.String()
+}

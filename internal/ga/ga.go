@@ -1,0 +1,197 @@
+// Package ga is a real-coded genetic algorithm, the optimizer the paper
+// uses to shape the piecewise-linear baseband test stimulus ("Breakpoints
+// of the PWL stimulus are encoded as a genetic string, and successive
+// generations of the genetic optimization yield a waveform with decreasing
+// values of the objective function", Section 3.1, citing Goldberg [8]).
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fitness evaluates a genome; the GA minimizes it.
+type Fitness func(genome []float64) float64
+
+// Options configures a run.
+type Options struct {
+	PopSize     int     // population size (default 24)
+	Generations int     // generations to evolve (the paper ran 5)
+	Elite       int     // genomes copied unchanged (default 2)
+	TournamentK int     // tournament size (default 3)
+	CrossoverP  float64 // crossover probability (default 0.9)
+	MutationP   float64 // per-gene mutation probability (default 0.15)
+	MutationStd float64 // Gaussian mutation step as a fraction of range (default 0.1)
+	Lo, Hi      float64 // gene bounds
+}
+
+func (o *Options) defaults() {
+	if o.PopSize <= 0 {
+		o.PopSize = 24
+	}
+	if o.Generations <= 0 {
+		o.Generations = 5
+	}
+	if o.Elite <= 0 {
+		o.Elite = 2
+	}
+	if o.Elite >= o.PopSize {
+		o.Elite = o.PopSize - 1
+	}
+	if o.TournamentK <= 0 {
+		o.TournamentK = 3
+	}
+	if o.CrossoverP <= 0 {
+		o.CrossoverP = 0.9
+	}
+	if o.MutationP <= 0 {
+		o.MutationP = 0.15
+	}
+	if o.MutationStd <= 0 {
+		o.MutationStd = 0.1
+	}
+	if o.Hi <= o.Lo {
+		o.Lo, o.Hi = -1, 1
+	}
+}
+
+// Result reports the best genome and the per-generation best objective
+// trace (the convergence curve shown alongside the paper's Fig. 7).
+type Result struct {
+	Best        []float64
+	BestFitness float64
+	Trace       []float64 // best fitness after each generation
+	Evaluations int
+}
+
+// Minimize evolves genomes of length n against fitness f. The RNG must be
+// provided for reproducibility. An optional seed genome (e.g. the previous
+// best stimulus) can be injected into the initial population.
+func Minimize(rng *rand.Rand, n int, f Fitness, opt Options, seeds ...[]float64) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ga: genome length must be positive, got %d", n)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("ga: nil fitness function")
+	}
+	opt.defaults()
+
+	pop := make([][]float64, opt.PopSize)
+	for i := range pop {
+		pop[i] = make([]float64, n)
+		for j := range pop[i] {
+			pop[i][j] = opt.Lo + rng.Float64()*(opt.Hi-opt.Lo)
+		}
+	}
+	for i, s := range seeds {
+		if i >= len(pop) {
+			break
+		}
+		if len(s) != n {
+			return nil, fmt.Errorf("ga: seed %d has length %d, want %d", i, len(s), n)
+		}
+		copy(pop[i], s)
+		clamp(pop[i], opt.Lo, opt.Hi)
+	}
+
+	fit := make([]float64, opt.PopSize)
+	evals := 0
+	evalAll := func() {
+		for i := range pop {
+			fit[i] = f(pop[i])
+			evals++
+		}
+	}
+	evalAll()
+
+	res := &Result{}
+	record := func() {
+		best := 0
+		for i := range fit {
+			if fit[i] < fit[best] {
+				best = i
+			}
+		}
+		if res.Best == nil || fit[best] < res.BestFitness {
+			res.Best = append([]float64(nil), pop[best]...)
+			res.BestFitness = fit[best]
+		}
+		res.Trace = append(res.Trace, res.BestFitness)
+	}
+	record()
+
+	for gen := 0; gen < opt.Generations; gen++ {
+		next := make([][]float64, 0, opt.PopSize)
+		// Elitism: carry the current best genomes.
+		order := argsort(fit)
+		for e := 0; e < opt.Elite; e++ {
+			next = append(next, append([]float64(nil), pop[order[e]]...))
+		}
+		for len(next) < opt.PopSize {
+			a := tournament(rng, fit, opt.TournamentK)
+			b := tournament(rng, fit, opt.TournamentK)
+			child := make([]float64, n)
+			if rng.Float64() < opt.CrossoverP {
+				// Blend (BLX-style) crossover.
+				for j := range child {
+					w := rng.Float64()
+					child[j] = w*pop[a][j] + (1-w)*pop[b][j]
+				}
+			} else {
+				copy(child, pop[a])
+			}
+			// Gaussian mutation.
+			step := opt.MutationStd * (opt.Hi - opt.Lo)
+			for j := range child {
+				if rng.Float64() < opt.MutationP {
+					child[j] += rng.NormFloat64() * step
+				}
+			}
+			clamp(child, opt.Lo, opt.Hi)
+			next = append(next, child)
+		}
+		pop = next
+		evalAll()
+		record()
+	}
+	res.Evaluations = evals
+	return res, nil
+}
+
+// tournament returns the index of the best of k random competitors.
+func tournament(rng *rand.Rand, fit []float64, k int) int {
+	best := rng.Intn(len(fit))
+	for i := 1; i < k; i++ {
+		c := rng.Intn(len(fit))
+		if fit[c] < fit[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+func clamp(g []float64, lo, hi float64) {
+	for i, v := range g {
+		if v < lo {
+			g[i] = lo
+		} else if v > hi {
+			g[i] = hi
+		}
+	}
+}
+
+// argsort returns indices ordering fit ascending (selection sort; tiny n).
+func argsort(fit []float64) []int {
+	idx := make([]int, len(fit))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			if fit[idx[j]] < fit[idx[i]] {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+	}
+	return idx
+}

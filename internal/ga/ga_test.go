@@ -1,0 +1,147 @@
+package ga
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sphere(g []float64) float64 {
+	s := 0.0
+	for _, x := range g {
+		s += x * x
+	}
+	return s
+}
+
+func TestMinimizeSphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	res, err := Minimize(rng, 6, sphere, Options{PopSize: 40, Generations: 60, Lo: -2, Hi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > 0.05 {
+		t.Fatalf("sphere minimum not found: %g", res.BestFitness)
+	}
+}
+
+func TestMinimizeShiftedOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	target := []float64{0.5, -0.7, 0.2}
+	f := func(g []float64) float64 {
+		s := 0.0
+		for i := range g {
+			d := g[i] - target[i]
+			s += d * d
+		}
+		return s
+	}
+	res, err := Minimize(rng, 3, f, Options{PopSize: 40, Generations: 80, Lo: -1, Hi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range target {
+		if math.Abs(res.Best[i]-target[i]) > 0.15 {
+			t.Fatalf("gene %d: %g, want %g", i, res.Best[i], target[i])
+		}
+	}
+}
+
+func TestTraceMonotoneNonIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	res, err := Minimize(rng, 8, sphere, Options{Generations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 21 { // initial + 20 generations
+		t.Fatalf("trace length %d", len(res.Trace))
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i] > res.Trace[i-1]+1e-12 {
+			t.Fatalf("best fitness increased at generation %d", i)
+		}
+	}
+}
+
+func TestSeedGenomeRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seed := []float64{0.01, -0.01}
+	// One generation, elitism keeps the (near-optimal) seed.
+	res, err := Minimize(rng, 2, sphere, Options{PopSize: 10, Generations: 1, Lo: -1, Hi: 1}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > sphere(seed)+1e-12 {
+		t.Fatalf("seed not exploited: best %g > seed %g", res.BestFitness, sphere(seed))
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	res, err := Minimize(rng, 5, func(g []float64) float64 {
+		// Reward leaving the bounds, if it were possible.
+		s := 0.0
+		for _, x := range g {
+			s -= x
+		}
+		return s
+	}, Options{PopSize: 30, Generations: 40, Lo: -0.5, Hi: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range res.Best {
+		if x < -0.5-1e-12 || x > 0.5+1e-12 {
+			t.Fatalf("gene %g outside bounds", x)
+		}
+	}
+	// The optimum is all genes at the upper bound.
+	for _, x := range res.Best {
+		if x < 0.45 {
+			t.Fatalf("optimizer failed to push genes to the bound: %v", res.Best)
+		}
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	run := func() *Result {
+		rng := rand.New(rand.NewSource(42))
+		res, err := Minimize(rng, 4, sphere, Options{Generations: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.BestFitness != b.BestFitness {
+		t.Fatal("same seed must give identical runs")
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatal("same seed must give identical genomes")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := Minimize(rng, 0, sphere, Options{}); err == nil {
+		t.Fatal("zero-length genome must error")
+	}
+	if _, err := Minimize(rng, 3, nil, Options{}); err == nil {
+		t.Fatal("nil fitness must error")
+	}
+	if _, err := Minimize(rng, 3, sphere, Options{}, []float64{1}); err == nil {
+		t.Fatal("bad seed length must error")
+	}
+}
+
+func TestEvaluationCountReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	res, err := Minimize(rng, 2, sphere, Options{PopSize: 10, Generations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 10*4 { // initial + 3 generations
+		t.Fatalf("evaluations = %d, want 40", res.Evaluations)
+	}
+}

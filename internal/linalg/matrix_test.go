@@ -1,0 +1,203 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func matricesClose(t *testing.T, a, b *Matrix, tol float64, msg string) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("%s: shape mismatch %dx%d vs %dx%d", msg, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if !almostEq(a.Data[i], b.Data[i], tol) {
+			t.Fatalf("%s: element %d differs: %g vs %g", msg, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMatrixBasicOps(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	matricesClose(t, got, want, 0, "Mul")
+
+	matricesClose(t, a.Add(b), FromRows([][]float64{{6, 8}, {10, 12}}), 0, "Add")
+	matricesClose(t, b.Sub(a), FromRows([][]float64{{4, 4}, {4, 4}}), 0, "Sub")
+	matricesClose(t, a.Scale(2), FromRows([][]float64{{2, 4}, {6, 8}}), 0, "Scale")
+	matricesClose(t, a.T(), FromRows([][]float64{{1, 3}, {2, 4}}), 0, "T")
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	v := []float64{1, 0, -1}
+	got := a.MulVec(v)
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestMatrixRowColAccess(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := a.Row(1)
+	r[0] = 99 // must be a copy
+	if a.At(1, 0) != 4 {
+		t.Fatal("Row must return a copy")
+	}
+	c := a.Col(2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Col = %v", c)
+	}
+	a.SetRow(0, []float64{7, 8, 9})
+	if a.At(0, 2) != 9 {
+		t.Fatal("SetRow did not write")
+	}
+}
+
+func TestMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched Mul")
+		}
+	}()
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	a.Mul(b)
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	a := randomMatrix(rand.New(rand.NewSource(1)), 3, 3)
+	matricesClose(t, a.Mul(id), a, 1e-15, "A*I")
+	matricesClose(t, id.Mul(a), a, 1e-15, "I*A")
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Fatal("Norm2 wrong")
+	}
+	if Norm2(nil) != 0 {
+		t.Fatal("Norm2(nil) should be 0")
+	}
+	// Scaling in Norm2 must avoid overflow.
+	big := []float64{1e200, 1e200}
+	if math.IsInf(Norm2(big), 1) {
+		t.Fatal("Norm2 overflowed")
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("AXPY = %v", y)
+	}
+}
+
+// Property: (A*B)^T == B^T * A^T for random small matrices.
+func TestPropertyTransposeOfProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := randomMatrix(r, m, k)
+		b := randomMatrix(r, k, n)
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		for i := range lhs.Data {
+			if !almostEq(lhs.Data[i], rhs.Data[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRSolveSquare(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	x, err := SolveLinear(a, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify residual.
+	r := a.MulVec(x)
+	if !almostEq(r[0], 1, 1e-12) || !almostEq(r[1], 2, 1e-12) {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestQRLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 exactly representable.
+	a := FromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	b := []float64{1, 3, 5, 7}
+	x, err := ComputeQR(a).Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 2, 1e-12) || !almostEq(x[1], 1, 1e-12) {
+		t.Fatalf("fit %v, want [2 1]", x)
+	}
+}
+
+func TestQRSingularDetected(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for singular system")
+	}
+}
+
+// Property: QR solution of random well-conditioned square systems satisfies
+// A x = b to tight tolerance.
+func TestPropertyQRSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		a := randomMatrix(r, n, n)
+		// Diagonal dominance keeps condition number moderate.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+2)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		res := a.MulVec(x)
+		for i := range res {
+			if !almostEq(res[i], b[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

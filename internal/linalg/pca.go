@@ -1,0 +1,70 @@
+package linalg
+
+// PCA holds a principal component analysis of a data matrix whose rows are
+// observations. It is used to compress high-dimensional FFT-bin signatures
+// into a handful of scores before nonlinear regression.
+type PCA struct {
+	Mean       []float64 // column means of the training data
+	Components *Matrix   // d x k, columns are principal directions
+	Variances  []float64 // variance explained by each component
+}
+
+// ComputePCA fits k principal components to data (n observations x d
+// features). k is clamped to min(n, d).
+func ComputePCA(data *Matrix, k int) *PCA {
+	n, d := data.Rows, data.Cols
+	if k > d {
+		k = d
+	}
+	if k > n {
+		k = n
+	}
+	mean := make([]float64, d)
+	for j := 0; j < d; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += data.At(i, j)
+		}
+		mean[j] = s / float64(n)
+	}
+	centered := NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			centered.Set(i, j, data.At(i, j)-mean[j])
+		}
+	}
+	svd := ComputeSVD(centered)
+	comp := NewMatrix(d, k)
+	vars := make([]float64, k)
+	for c := 0; c < k && c < len(svd.S); c++ {
+		for j := 0; j < d; j++ {
+			comp.Set(j, c, svd.V.At(j, c))
+		}
+		vars[c] = svd.S[c] * svd.S[c] / float64(max(n-1, 1))
+	}
+	return &PCA{Mean: mean, Components: comp, Variances: vars}
+}
+
+// Transform projects one observation onto the principal components.
+func (p *PCA) Transform(x []float64) []float64 {
+	d := len(p.Mean)
+	k := p.Components.Cols
+	out := make([]float64, k)
+	for c := 0; c < k; c++ {
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += (x[j] - p.Mean[j]) * p.Components.At(j, c)
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// TransformAll projects every row of data.
+func (p *PCA) TransformAll(data *Matrix) *Matrix {
+	out := NewMatrix(data.Rows, p.Components.Cols)
+	for i := 0; i < data.Rows; i++ {
+		out.SetRow(i, p.Transform(data.Row(i)))
+	}
+	return out
+}

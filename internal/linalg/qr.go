@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q R with Q m x m orthogonal
+// (stored implicitly) and R m x n upper triangular.
+type QR struct {
+	qr   *Matrix   // Householder vectors below the diagonal, R on/above
+	rdia []float64 // diagonal of R
+}
+
+// ComputeQR factors a (m >= n required for the solver paths used here).
+func ComputeQR(a *Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	for k := 0; k < n && k < m; k++ {
+		// Norm of column k below row k.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			rdia[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdia[k] = -nrm
+	}
+	return &QR{qr: qr, rdia: rdia}
+}
+
+// IsFullRank reports whether R has no (near-)zero diagonal entries.
+func (f *QR) IsFullRank() bool {
+	mx := 0.0
+	for _, d := range f.rdia {
+		if a := math.Abs(d); a > mx {
+			mx = a
+		}
+	}
+	tol := 1e-13 * mx
+	for _, d := range f.rdia {
+		if math.Abs(d) <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns x minimizing ||A x - b||_2 for full-column-rank A.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: QR solve: len(b)=%d, want %d", len(b), m)
+	}
+	if !f.IsFullRank() {
+		return nil, fmt.Errorf("linalg: QR solve: matrix is rank deficient")
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Q^T.
+	for k := 0; k < n && k < m; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < n; j++ {
+			s -= f.qr.At(k, j) * x[j]
+		}
+		x[k] = s / f.rdia[k]
+	}
+	return x, nil
+}
+
+// SolveLinear solves the square system A x = b via QR. It returns an error
+// for singular systems.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: SolveLinear needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	return ComputeQR(a).Solve(b)
+}

@@ -1,0 +1,200 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SVD holds the thin singular value decomposition A = U * diag(S) * V^T,
+// with U of size m x p, S of length p, V of size n x p, p = min(m, n).
+// Singular values are sorted in decreasing order.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// ComputeSVD computes the thin SVD of a using one-sided Jacobi rotations.
+// One-sided Jacobi is slower than Golub-Kahan bidiagonalization but is
+// simple, numerically robust, and computes small singular values to high
+// relative accuracy — which matters here because the pseudoinverse of the
+// signature sensitivity matrix A_s (Eq. 9) drives the whole optimization.
+func ComputeSVD(a *Matrix) *SVD {
+	m, n := a.Rows, a.Cols
+	// Work on the tall orientation; transpose back at the end.
+	if m < n {
+		s := ComputeSVD(a.T())
+		return &SVD{U: s.V, S: s.S, V: s.U}
+	}
+	// w starts as a copy of A; Jacobi rotations orthogonalize its columns.
+	// At convergence w = U*diag(S) and the accumulated rotations form V.
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 60
+	eps := 2.2204460492503131e-16
+	tol := 10 * float64(m) * eps
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Column inner products.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					wp := w.Data[i*n+p]
+					wq := w.Data[i*n+q]
+					app += wp * wp
+					aqq += wq * wq
+					apq += wp * wq
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || apq == 0 {
+					continue
+				}
+				rotated = true
+				// Jacobi rotation that zeroes the (p,q) inner product.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					wp := w.Data[i*n+p]
+					wq := w.Data[i*n+q]
+					w.Data[i*n+p] = c*wp - s*wq
+					w.Data[i*n+q] = s*wp + c*wq
+				}
+				for i := 0; i < n; i++ {
+					vp := v.Data[i*n+p]
+					vq := v.Data[i*n+q]
+					v.Data[i*n+p] = c*vp - s*vq
+					v.Data[i*n+q] = s*vp + c*vq
+				}
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+
+	// Extract singular values (column norms) and normalize U columns.
+	s := make([]float64, n)
+	u := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		col := make([]float64, m)
+		for i := 0; i < m; i++ {
+			col[i] = w.Data[i*n+j]
+		}
+		sj := Norm2(col)
+		s[j] = sj
+		if sj > 0 {
+			for i := 0; i < m; i++ {
+				u.Data[i*n+j] = col[i] / sj
+			}
+		}
+	}
+
+	// Sort by decreasing singular value.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return s[idx[i]] > s[idx[j]] })
+	su := NewMatrix(m, n)
+	sv := NewMatrix(n, n)
+	ss := make([]float64, n)
+	for k, j := range idx {
+		ss[k] = s[j]
+		for i := 0; i < m; i++ {
+			su.Data[i*n+k] = u.Data[i*n+j]
+		}
+		for i := 0; i < n; i++ {
+			sv.Data[i*n+k] = v.Data[i*n+j]
+		}
+	}
+	return &SVD{U: su, S: ss, V: sv}
+}
+
+// Rank returns the numerical rank using tolerance tol*max(S); if tol <= 0 a
+// default of 1e-12 is used.
+func (d *SVD) Rank(tol float64) int {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if len(d.S) == 0 {
+		return 0
+	}
+	thresh := tol * d.S[0]
+	r := 0
+	for _, s := range d.S {
+		if s > thresh {
+			r++
+		}
+	}
+	return r
+}
+
+// Cond returns the 2-norm condition number sigma_max / sigma_min.
+func (d *SVD) Cond() float64 {
+	if len(d.S) == 0 {
+		return 0
+	}
+	smin := d.S[len(d.S)-1]
+	if smin == 0 {
+		return math.Inf(1)
+	}
+	return d.S[0] / smin
+}
+
+// PseudoInverse returns the Moore-Penrose pseudoinverse A^+ = V S^+ U^T
+// (the paper's Eq. 9 machinery). Singular values below tol*max(S) are
+// treated as zero; tol <= 0 selects the default 1e-12.
+func (d *SVD) PseudoInverse(tol float64) *Matrix {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	p := len(d.S)
+	m := d.U.Rows
+	n := d.V.Rows
+	out := NewMatrix(n, m)
+	if p == 0 {
+		return out
+	}
+	thresh := tol * d.S[0]
+	// out = sum_k (1/s_k) v_k u_k^T over retained singular triplets.
+	for k := 0; k < p; k++ {
+		if d.S[k] <= thresh {
+			continue
+		}
+		inv := 1 / d.S[k]
+		for i := 0; i < n; i++ {
+			vik := d.V.Data[i*d.V.Cols+k] * inv
+			if vik == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				out.Data[i*m+j] += vik * d.U.Data[j*d.U.Cols+k]
+			}
+		}
+	}
+	return out
+}
+
+// PseudoInverse is a convenience wrapper: SVD-based pseudoinverse of a with
+// the default rank tolerance.
+func PseudoInverse(a *Matrix) *Matrix {
+	return ComputeSVD(a).PseudoInverse(0)
+}
+
+// SolveLeastSquares returns the minimum-norm x minimizing ||A x - b||_2.
+func SolveLeastSquares(a *Matrix, b []float64) []float64 {
+	if a.Rows != len(b) {
+		panic(fmt.Sprintf("linalg: SolveLeastSquares shape mismatch %dx%d vs b %d", a.Rows, a.Cols, len(b)))
+	}
+	return PseudoInverse(a).MulVec(b)
+}

@@ -1,0 +1,188 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func reconstructSVD(d *SVD) *Matrix {
+	p := len(d.S)
+	m := d.U.Rows
+	n := d.V.Rows
+	out := NewMatrix(m, n)
+	for k := 0; k < p; k++ {
+		for i := 0; i < m; i++ {
+			uik := d.U.At(i, k) * d.S[k]
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += uik * d.V.At(j, k)
+			}
+		}
+	}
+	return out
+}
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, -2}})
+	d := ComputeSVD(a)
+	if !almostEq(d.S[0], 3, 1e-12) || !almostEq(d.S[1], 2, 1e-12) {
+		t.Fatalf("singular values %v, want [3 2]", d.S)
+	}
+	matricesClose(t, reconstructSVD(d), a, 1e-12, "reconstruct")
+}
+
+func TestSVDWideMatrix(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}})
+	d := ComputeSVD(a)
+	matricesClose(t, reconstructSVD(d), a, 1e-10, "wide reconstruct")
+	if len(d.S) != 2 {
+		t.Fatalf("thin SVD of 2x4 should have 2 singular values, got %d", len(d.S))
+	}
+}
+
+func TestSVDOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 10, 4)
+	d := ComputeSVD(a)
+	utu := d.U.T().Mul(d.U)
+	matricesClose(t, utu, Identity(4), 1e-10, "U^T U")
+	vtv := d.V.T().Mul(d.V)
+	matricesClose(t, vtv, Identity(4), 1e-10, "V^T V")
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix.
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	d := ComputeSVD(a)
+	if r := d.Rank(0); r != 1 {
+		t.Fatalf("rank = %d, want 1", r)
+	}
+	if !math.IsInf(d.Cond(), 1) && d.Cond() < 1e12 {
+		t.Fatalf("condition number should be huge, got %g", d.Cond())
+	}
+}
+
+func TestPseudoInverseMoorePenrose(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomMatrix(rng, 6, 3)
+	ai := PseudoInverse(a)
+	// A A+ A = A
+	matricesClose(t, a.Mul(ai).Mul(a), a, 1e-9, "A A+ A")
+	// A+ A A+ = A+
+	matricesClose(t, ai.Mul(a).Mul(ai), ai, 1e-9, "A+ A A+")
+	// (A A+)^T = A A+
+	p := a.Mul(ai)
+	matricesClose(t, p.T(), p, 1e-9, "symmetry of A A+")
+	q := ai.Mul(a)
+	matricesClose(t, q.T(), q, 1e-9, "symmetry of A+ A")
+}
+
+func TestPseudoInverseRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	ai := PseudoInverse(a)
+	// Moore-Penrose conditions still hold on rank-deficient input.
+	matricesClose(t, a.Mul(ai).Mul(a), a, 1e-10, "A A+ A rank-deficient")
+}
+
+func TestSolveLeastSquaresMinNorm(t *testing.T) {
+	// Underdetermined: x minimizing ||x|| with x1 + x2 = 2 is [1, 1].
+	a := FromRows([][]float64{{1, 1}})
+	x := SolveLeastSquares(a, []float64{2})
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 1, 1e-12) {
+		t.Fatalf("min-norm solution %v, want [1 1]", x)
+	}
+}
+
+func TestSVDZeroMatrix(t *testing.T) {
+	a := NewMatrix(3, 2)
+	d := ComputeSVD(a)
+	if d.S[0] != 0 || d.S[1] != 0 {
+		t.Fatalf("zero matrix should have zero singular values: %v", d.S)
+	}
+	if d.Rank(0) != 0 {
+		t.Fatal("zero matrix rank should be 0")
+	}
+}
+
+// Property: SVD reconstructs random matrices and singular values are sorted
+// non-increasing and non-negative.
+func TestPropertySVDReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(10), 1+r.Intn(10)
+		a := randomMatrix(r, m, n)
+		d := ComputeSVD(a)
+		for i := 1; i < len(d.S); i++ {
+			if d.S[i] > d.S[i-1]+1e-12 || d.S[i] < 0 {
+				return false
+			}
+		}
+		rec := reconstructSVD(d)
+		for i := range rec.Data {
+			if !almostEq(rec.Data[i], a.Data[i], 1e-9*(1+a.MaxAbs())) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Frobenius norm equals sqrt(sum of squared singular values).
+func TestPropertySVDFrobenius(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 2+r.Intn(6), 2+r.Intn(6)
+		a := randomMatrix(r, m, n)
+		d := ComputeSVD(a)
+		s := 0.0
+		for _, sv := range d.S {
+			s += sv * sv
+		}
+		return almostEq(math.Sqrt(s), a.FrobNorm(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCARecoverDominantDirection(t *testing.T) {
+	// Data spread along direction (1, 1)/sqrt(2) with small noise.
+	rng := rand.New(rand.NewSource(4))
+	n := 200
+	data := NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		tv := rng.NormFloat64() * 10
+		data.Set(i, 0, tv+rng.NormFloat64()*0.01+5)
+		data.Set(i, 1, tv+rng.NormFloat64()*0.01-3)
+	}
+	p := ComputePCA(data, 1)
+	dir := []float64{p.Components.At(0, 0), p.Components.At(1, 0)}
+	if !almostEq(math.Abs(dir[0]), math.Sqrt(0.5), 1e-2) || !almostEq(math.Abs(dir[1]), math.Sqrt(0.5), 1e-2) {
+		t.Fatalf("principal direction %v, want +-[0.707 0.707]", dir)
+	}
+	if !almostEq(p.Mean[0], 5, 1.5) || !almostEq(p.Mean[1], -3, 1.5) {
+		t.Fatalf("means %v", p.Mean)
+	}
+}
+
+func TestPCATransformRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randomMatrix(rng, 30, 5)
+	p := ComputePCA(data, 5)
+	// With full components, squared norms of centered data are preserved.
+	for i := 0; i < data.Rows; i++ {
+		x := data.Row(i)
+		z := p.Transform(x)
+		cx := make([]float64, 5)
+		for j := range cx {
+			cx[j] = x[j] - p.Mean[j]
+		}
+		if !almostEq(Norm2(z), Norm2(cx), 1e-9) {
+			t.Fatalf("norm not preserved at row %d: %g vs %g", i, Norm2(z), Norm2(cx))
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package lna models the paper's devices under test. The simulation
+// experiment uses the 900 MHz bipolar low-noise amplifier of Fig. 6,
+// described here as a netlist for the internal/circuit simulator (the
+// SpectreRF substitute) and parameterized by the statistical parameters the
+// paper varies: resistor and capacitor values and the BJT parameters Is,
+// Bf, Vaf, Rb and Ikf, each uniformly distributed within +/-20% of nominal.
+// The hardware experiment (Figs. 12-13) uses a behavioral RF2401-like
+// front-end population defined in rf2401.go.
+package lna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/rf"
+)
+
+// Params is the statistical process-parameter vector of the LNA.
+type Params struct {
+	RB1  float64 // bias divider upper resistor, ohms
+	RB2  float64 // bias divider lower resistor, ohms
+	RE   float64 // emitter bias resistor (RF-bypassed), ohms
+	RT   float64 // collector tank de-Q resistor, ohms
+	CIN  float64 // input coupling capacitor, F
+	CT   float64 // collector tank capacitor, F
+	COUT float64 // output coupling capacitor, F
+	Is   float64 // BJT saturation current, A
+	Bf   float64 // BJT forward beta
+	Vaf  float64 // BJT forward Early voltage, V
+	Rb   float64 // BJT base resistance, ohms
+	Ikf  float64 // BJT knee current, A
+}
+
+// Nominal returns the nominal design point (tuned so the nominal specs sit
+// near the paper's Figs. 8-10 axes: gain ~16 dB, NF ~2.4 dB, IIP3 ~+3 dBm).
+func Nominal() Params {
+	return Params{
+		RB1:  3.9e3,
+		RB2:  3.9e3,
+		RE:   82,
+		RT:   2000,
+		CIN:  8e-12,
+		CT:   1.8e-12,
+		COUT: 8e-12,
+		Is:   2e-16,
+		Bf:   100,
+		Vaf:  60,
+		Rb:   18,
+		Ikf:  0.04,
+	}
+}
+
+// ParamNames lists the statistical parameters in Vector order.
+func ParamNames() []string {
+	return []string{"RB1", "RB2", "RE", "RT", "CIN", "CT", "COUT", "Is", "Bf", "Vaf", "Rb", "Ikf"}
+}
+
+// NumParams is the dimension of the statistical space (the paper's k).
+const NumParams = 12
+
+// Vector flattens the parameters in ParamNames order.
+func (p Params) Vector() []float64 {
+	return []float64{p.RB1, p.RB2, p.RE, p.RT, p.CIN, p.CT, p.COUT, p.Is, p.Bf, p.Vaf, p.Rb, p.Ikf}
+}
+
+// FromVector rebuilds Params from a Vector-ordered slice.
+func FromVector(v []float64) (Params, error) {
+	if len(v) != NumParams {
+		return Params{}, fmt.Errorf("lna: parameter vector length %d, want %d", len(v), NumParams)
+	}
+	return Params{RB1: v[0], RB2: v[1], RE: v[2], RT: v[3], CIN: v[4], CT: v[5], COUT: v[6],
+		Is: v[7], Bf: v[8], Vaf: v[9], Rb: v[10], Ikf: v[11]}, nil
+}
+
+// Perturb returns a copy with each parameter scaled by (1 + rel[i]); rel is
+// the paper's normalized process perturbation delta-x.
+func (p Params) Perturb(rel []float64) (Params, error) {
+	if len(rel) != NumParams {
+		return Params{}, fmt.Errorf("lna: perturbation length %d, want %d", len(rel), NumParams)
+	}
+	v := p.Vector()
+	for i := range v {
+		v[i] *= 1 + rel[i]
+	}
+	return FromVector(v)
+}
+
+// RandomPerturbation draws a uniform +/-spread perturbation vector (the
+// paper uses spread = 0.20).
+func RandomPerturbation(rng *rand.Rand, spread float64) []float64 {
+	out := make([]float64, NumParams)
+	for i := range out {
+		out[i] = spread * (2*rng.Float64() - 1)
+	}
+	return out
+}
+
+// Specs are the data-sheet performances the paper predicts.
+type Specs struct {
+	GainDB  float64 // transducer power gain at 900 MHz
+	NFDB    float64 // spot noise figure at 900 MHz
+	IIP3DBm float64 // input third-order intercept (two-tone, 900/920 MHz)
+}
+
+// Vector returns [gain, NF, IIP3] — the paper's performance vector p.
+func (s Specs) Vector() []float64 { return []float64{s.GainDB, s.NFDB, s.IIP3DBm} }
+
+// SpecNames labels the spec vector entries.
+func SpecNames() []string { return []string{"Gain(dB)", "NF(dB)", "IIP3(dBm)"} }
+
+// Fixed (non-statistical) design values.
+const (
+	VCC      = 3.0     // supply, V
+	RSource  = 50.0    // generator impedance, ohms
+	RLoad    = 50.0    // load impedance, ohms
+	LBase    = 9e-9    // input series matching inductor, H
+	LEmitter = 2.2e-9  // emitter degeneration inductor, H
+	LTank    = 10e-9   // collector tank inductor, H
+	CBypass  = 220e-12 // RE bypass capacitor, F
+	FCarrier = 900e6   // specification frequency, Hz
+)
+
+// Device is an instantiated LNA: a solved circuit plus cached analyses.
+type Device struct {
+	Params Params
+	circ   *circuit.Circuit
+	op     *circuit.OperatingPoint
+	bjt    *circuit.BJT
+}
+
+// Build constructs the netlist for the given parameters and solves the DC
+// operating point.
+func Build(p Params) (*Device, error) {
+	c := circuit.New()
+	c.AddVSource("VCC", "vcc", "0", VCC, 0)
+	c.AddVSource("VIN", "in", "0", 0, 1) // 1 V AC so node voltages are transfer functions
+	c.AddResistor("RS", "in", "n1", RSource)
+	c.AddCapacitor("CIN", "n1", "n2", p.CIN)
+	c.AddInductor("LB", "n2", "b", LBase)
+	c.AddResistor("RB1", "vcc", "b", p.RB1)
+	c.AddResistor("RB2", "b", "0", p.RB2)
+	bp := circuit.BJTParams{Is: p.Is, Bf: p.Bf, Vaf: p.Vaf, Rb: p.Rb, Ikf: p.Ikf,
+		Br: 2, Cje: 1.1e-12, Cjc: 0.22e-12}
+	q := c.AddBJT("Q1", "c", "b", "e", bp)
+	c.AddInductor("LE", "e", "ve", LEmitter)
+	c.AddResistor("RE", "ve", "0", p.RE)
+	c.AddCapacitor("CE", "ve", "0", CBypass)
+	c.AddInductor("LC", "vcc", "c", LTank)
+	c.AddResistor("RT", "c", "0", p.RT)
+	c.AddCapacitor("CT", "c", "0", p.CT)
+	c.AddCapacitor("COUT", "c", "out", p.COUT)
+	c.AddResistor("RL", "out", "0", RLoad)
+
+	op, err := c.SolveDC(circuit.DCOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("lna: %w", err)
+	}
+	d := &Device{Params: p, circ: c, op: op, bjt: q}
+	if bop := q.OperatingPoint(); bop.Ic < 1e-5 || bop.Ic > 0.1 {
+		return nil, fmt.Errorf("lna: implausible bias Ic = %g A", bop.Ic)
+	}
+	return d, nil
+}
+
+// CollectorCurrent exposes the bias point (diagnostics, tests).
+func (d *Device) CollectorCurrent() float64 { return d.bjt.OperatingPoint().Ic }
+
+// GainAt returns the complex source-EMF -> output transfer at freq.
+func (d *Device) GainAt(freq float64) (complex128, error) {
+	r, err := d.circ.SolveAC(d.op, freq)
+	if err != nil {
+		return 0, err
+	}
+	return r.Voltage("out"), nil
+}
+
+// InputImpedance returns the impedance looking into the LNA input port at
+// freq (the DUT side of the source resistor), computed from the AC solve:
+// Zin = V(n1) / I(RS) with I(RS) = (V(in) - V(n1)) / RS.
+func (d *Device) InputImpedance(freq float64) (complex128, error) {
+	r, err := d.circ.SolveAC(d.op, freq)
+	if err != nil {
+		return 0, err
+	}
+	vin := r.Voltage("in")
+	vn1 := r.Voltage("n1")
+	i := (vin - vn1) / complex(RSource, 0)
+	if i == 0 {
+		return 0, fmt.Errorf("lna: no input current at %g Hz", freq)
+	}
+	return vn1 / i, nil
+}
+
+// InputReturnLossDB returns |S11| in dB at freq re 50 ohms (more negative
+// is better matched).
+func (d *Device) InputReturnLossDB(freq float64) (float64, error) {
+	zin, err := d.InputImpedance(freq)
+	if err != nil {
+		return 0, err
+	}
+	z0 := complex(RSource, 0)
+	gamma := (zin - z0) / (zin + z0)
+	mag := cmplx.Abs(gamma)
+	if mag == 0 {
+		return math.Inf(-1), nil
+	}
+	return 20 * math.Log10(mag), nil
+}
+
+// Specs runs the three specification analyses — the conventional tests the
+// paper replaces: AC gain, spot noise figure, and Volterra IIP3.
+func (d *Device) Specs() (Specs, error) {
+	h, err := d.GainAt(FCarrier)
+	if err != nil {
+		return Specs{}, err
+	}
+	// Transducer power gain with equal source/load impedance: the
+	// available source power is |vs|^2/(8 Rs), the delivered load power is
+	// |vout|^2/(2 RL), so G_T = |2*vout/vs|^2.
+	gainDB := 20 * math.Log10(2*cmplx.Abs(h))
+
+	noise, err := d.circ.NoiseAnalysis(d.op, FCarrier, "out", "RS")
+	if err != nil {
+		return Specs{}, err
+	}
+
+	dist, err := d.volterra()
+	if err != nil {
+		return Specs{}, err
+	}
+	return Specs{GainDB: gainDB, NFDB: noise.NoiseFigureDB, IIP3DBm: dist.IIP3DBm}, nil
+}
+
+// volterra performs the weakly-nonlinear analysis with the full emitter
+// degeneration impedance at the carrier: the inductor in series with the
+// bypassed bias resistor.
+func (d *Device) volterra() (*circuit.DistortionReport, error) {
+	w := 2 * math.Pi * FCarrier
+	zc := complex(0, -1/(w*CBypass))
+	zre := complex(d.Params.RE, 0)
+	zf := complex(0, w*LEmitter) + zre*zc/(zre+zc)
+	return d.circ.VolterraIIP3(d.op, d.bjt, "in", FCarrier, zf)
+}
+
+// Behavioral extracts the signature-path model: a cubic polynomial
+// (magnitude gain referred to the input port, compressive cubic matching
+// the analyzed IIP3) plus the complex gain slope across the +/-10 MHz
+// signature band, realized by the envelope simulator's carrier-zone filter.
+func (d *Device) Behavioral() (*rf.Amplifier, error) {
+	h0, err := d.GainAt(FCarrier)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := d.volterra()
+	if err != nil {
+		return nil, err
+	}
+	c1, c2, c3 := dist.BehavioralPoly(2 * h0) // matched-voltage convention
+	amp := rf.NewAmplifier(rf.Poly{C: []float64{c1, c2, c3}})
+
+	// Gain slope across the band from a three-point AC fit.
+	const df = 5e6
+	hm, err := d.GainAt(FCarrier - df)
+	if err != nil {
+		return nil, err
+	}
+	hp, err := d.GainAt(FCarrier + df)
+	if err != nil {
+		return nil, err
+	}
+	amp.CarrierSlope = (hp - hm) / complex(2*df, 0) / h0
+
+	spec, err := d.Specs()
+	if err != nil {
+		return nil, err
+	}
+	amp.NFDB = spec.NFDB
+	return amp, nil
+}

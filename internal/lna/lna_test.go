@@ -1,0 +1,316 @@
+package lna
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNominalSpecsMatchPaperRanges(t *testing.T) {
+	d, err := Build(Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's scatter axes: gain 15-17.5 dB, NF ~2-2.7 dB, IIP3 ~3 dBm.
+	if s.GainDB < 14.0 || s.GainDB > 17.5 {
+		t.Fatalf("nominal gain %.2f dB outside paper range", s.GainDB)
+	}
+	if s.NFDB < 1.5 || s.NFDB > 3.0 {
+		t.Fatalf("nominal NF %.2f dB outside paper range", s.NFDB)
+	}
+	if math.Abs(s.IIP3DBm-2.9) > 1.0 {
+		t.Fatalf("nominal IIP3 %.2f dBm, want ~2.9", s.IIP3DBm)
+	}
+	if ic := d.CollectorCurrent(); ic < 1e-3 || ic > 20e-3 {
+		t.Fatalf("bias current %g A implausible for an LNA", ic)
+	}
+}
+
+func TestParamVectorRoundTrip(t *testing.T) {
+	p := Nominal()
+	v := p.Vector()
+	if len(v) != NumParams || len(ParamNames()) != NumParams {
+		t.Fatal("parameter count mismatch")
+	}
+	q, err := FromVector(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("round trip changed params: %+v vs %+v", q, p)
+	}
+	if _, err := FromVector(v[:3]); err == nil {
+		t.Fatal("short vector must error")
+	}
+}
+
+func TestPerturbScalesRelatively(t *testing.T) {
+	p := Nominal()
+	rel := make([]float64, NumParams)
+	rel[0] = 0.2 // RB1 +20%
+	q, err := p.Perturb(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.RB1-1.2*p.RB1) > 1e-9 {
+		t.Fatalf("RB1 = %g, want %g", q.RB1, 1.2*p.RB1)
+	}
+	if q.RB2 != p.RB2 {
+		t.Fatal("untouched parameter changed")
+	}
+	if _, err := p.Perturb(rel[:2]); err == nil {
+		t.Fatal("short perturbation must error")
+	}
+}
+
+func TestPopulationSpecsVaryAndBuildRobustly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var gains, nfs, ip3s []float64
+	for i := 0; i < 20; i++ {
+		p, err := Nominal().Perturb(RandomPerturbation(rng, 0.2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Build(p)
+		if err != nil {
+			t.Fatalf("device %d: %v", i, err)
+		}
+		s, err := d.Specs()
+		if err != nil {
+			t.Fatalf("device %d specs: %v", i, err)
+		}
+		gains = append(gains, s.GainDB)
+		nfs = append(nfs, s.NFDB)
+		ip3s = append(ip3s, s.IIP3DBm)
+	}
+	spread := func(v []float64) float64 {
+		lo, hi := v[0], v[0]
+		for _, x := range v {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return hi - lo
+	}
+	// Process variation must move the specs but keep them in plausible
+	// windows (the paper's scatter plots span ~1-2.5 dB of gain).
+	if s := spread(gains); s < 0.3 || s > 4 {
+		t.Fatalf("gain spread %.2f dB implausible", s)
+	}
+	if s := spread(nfs); s < 0.1 || s > 2 {
+		t.Fatalf("NF spread %.2f dB implausible", s)
+	}
+	if s := spread(ip3s); s < 0.5 || s > 15 {
+		t.Fatalf("IIP3 spread %.2f dB implausible", s)
+	}
+}
+
+func TestSpecSensitivityDirections(t *testing.T) {
+	// Physics checks on the sensitivity signs the signature test exploits.
+	base, err := Build(Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := base.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbOne := func(name string, rel float64) Specs {
+		t.Helper()
+		relv := make([]float64, NumParams)
+		for i, n := range ParamNames() {
+			if n == name {
+				relv[i] = rel
+			}
+		}
+		p, err := Nominal().Perturb(relv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := d.Specs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// Bigger base resistance -> worse (higher) NF.
+	if s := perturbOne("Rb", 0.2); s.NFDB <= s0.NFDB {
+		t.Fatalf("NF should rise with Rb: %.3f vs %.3f", s.NFDB, s0.NFDB)
+	}
+	// Bigger RE -> less bias current -> lower IIP3.
+	if s := perturbOne("RE", 0.2); s.IIP3DBm >= s0.IIP3DBm {
+		t.Fatalf("IIP3 should drop with RE: %.3f vs %.3f", s.IIP3DBm, s0.IIP3DBm)
+	}
+	// Is up -> slightly more current -> gain should not fall.
+	if s := perturbOne("Is", 0.2); s.GainDB < s0.GainDB-0.2 {
+		t.Fatalf("gain fell unexpectedly with Is: %.3f vs %.3f", s.GainDB, s0.GainDB)
+	}
+}
+
+func TestBehavioralModelConsistentWithSpecs(t *testing.T) {
+	d, err := Build(Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp, err := d.Behavioral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The polynomial's linear gain must equal the transducer gain.
+	gotGain := 20 * math.Log10(amp.Poly.Gain())
+	if math.Abs(gotGain-s.GainDB) > 0.01 {
+		t.Fatalf("behavioral gain %.3f dB vs spec %.3f dB", gotGain, s.GainDB)
+	}
+	// The polynomial's IIP3 must match the Volterra analysis.
+	if math.Abs(amp.Poly.IIP3DBm()-s.IIP3DBm) > 0.01 {
+		t.Fatalf("behavioral IIP3 %.3f vs spec %.3f", amp.Poly.IIP3DBm(), s.IIP3DBm)
+	}
+	if amp.NFDB != s.NFDB {
+		t.Fatal("behavioral NF mismatch")
+	}
+	if amp.CarrierSlope == 0 {
+		t.Fatal("band slope should be extracted")
+	}
+}
+
+func TestRF2401PopulationProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pop := RF2401Population(rng, 55)
+	if len(pop) != 55 {
+		t.Fatal("population size")
+	}
+	var gmin, gmax = math.Inf(1), math.Inf(-1)
+	for _, d := range pop {
+		s := d.Specs()
+		if s.GainDB < 8 || s.GainDB > 14 {
+			t.Fatalf("RF2401 gain %.2f outside plausible window", s.GainDB)
+		}
+		if s.IIP3DBm < -12 || s.IIP3DBm > -4 {
+			t.Fatalf("RF2401 IIP3 %.2f outside plausible window", s.IIP3DBm)
+		}
+		if s.GainDB < gmin {
+			gmin = s.GainDB
+		}
+		if s.GainDB > gmax {
+			gmax = s.GainDB
+		}
+	}
+	// Fig. 12's axis spans ~3 dB of gain.
+	if gmax-gmin < 1 {
+		t.Fatalf("population gain spread %.2f dB too small", gmax-gmin)
+	}
+	// Specs must be correlated through the latent space (alternate-test
+	// premise): gain and IIP3 share z[0] with opposite signs.
+	var sg, si, sgi, sgg, sii float64
+	n := float64(len(pop))
+	for _, d := range pop {
+		sg += d.GainDB
+		si += d.IIP3DBm
+	}
+	mg, mi := sg/n, si/n
+	for _, d := range pop {
+		sgi += (d.GainDB - mg) * (d.IIP3DBm - mi)
+		sgg += (d.GainDB - mg) * (d.GainDB - mg)
+		sii += (d.IIP3DBm - mi) * (d.IIP3DBm - mi)
+	}
+	if corr := sgi / math.Sqrt(sgg*sii); corr > -0.2 {
+		t.Fatalf("gain/IIP3 correlation %.2f, want clearly negative", corr)
+	}
+}
+
+func TestRF2401Validation(t *testing.T) {
+	if _, err := NewRF2401([]float64{1, 2}); err == nil {
+		t.Fatal("wrong latent dimension must error")
+	}
+	typ := RF2401Typical()
+	if math.Abs(typ.GainDB-11) > 1e-9 || math.Abs(typ.IIP3DBm+8) > 1e-9 {
+		t.Fatalf("typical part specs %+v", typ.Specs())
+	}
+}
+
+func TestRF2401SocketPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := RF2401Typical()
+	a1 := d.PerturbedBehavioral(rng, 0.05, 1e-10)
+	a2 := d.PerturbedBehavioral(rng, 0.05, 1e-10)
+	if a1.Poly.Gain() == a2.Poly.Gain() {
+		t.Fatal("socket perturbation should vary between insertions")
+	}
+	g := 20 * math.Log10(a1.Poly.Gain())
+	if math.Abs(g-d.GainDB) > 0.5 {
+		t.Fatalf("socket gain ripple too large: %.2f vs %.2f", g, d.GainDB)
+	}
+}
+
+func TestInputMatch(t *testing.T) {
+	d, err := Build(Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zin, err := d.InputImpedance(FCarrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A working LNA input: impedance with positive real part, same order
+	// as the 50-ohm system.
+	if real(zin) <= 0 || real(zin) > 500 {
+		t.Fatalf("Zin = %v implausible", zin)
+	}
+	s11, err := d.InputReturnLossDB(FCarrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s11 >= 0 {
+		t.Fatalf("S11 = %g dB, must be negative", s11)
+	}
+	// The input network is tuned near the carrier: in-band match must be
+	// better (more negative) than far out of band.
+	far, err := d.InputReturnLossDB(300e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s11 >= far {
+		t.Fatalf("match at carrier (%.1f dB) should beat out-of-band (%.1f dB)", s11, far)
+	}
+}
+
+func TestSpecsVectorAndNames(t *testing.T) {
+	s := Specs{GainDB: 1, NFDB: 2, IIP3DBm: 3}
+	v := s.Vector()
+	if v[0] != 1 || v[1] != 2 || v[2] != 3 {
+		t.Fatalf("Vector = %v", v)
+	}
+	names := SpecNames()
+	if len(names) != 3 || names[0] != "Gain(dB)" {
+		t.Fatalf("SpecNames = %v", names)
+	}
+}
+
+func TestRF2401BehavioralReflectsSpecs(t *testing.T) {
+	d := RF2401Typical()
+	amp := d.Behavioral()
+	if math.Abs(20*math.Log10(amp.Poly.Gain())-d.GainDB) > 1e-9 {
+		t.Fatal("behavioral gain mismatch")
+	}
+	if math.Abs(amp.Poly.IIP3DBm()-d.IIP3DBm) > 1e-9 {
+		t.Fatal("behavioral IIP3 mismatch")
+	}
+	if amp.NFDB != d.NFDB {
+		t.Fatal("behavioral NF mismatch")
+	}
+}

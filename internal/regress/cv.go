@@ -1,0 +1,74 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// CrossValidate estimates a trainer's out-of-sample RMS error with k-fold
+// cross-validation (folds assigned by a seeded shuffle for repeatability).
+func CrossValidate(tr Trainer, X *linalg.Matrix, y []float64, k int, rng *rand.Rand) (float64, error) {
+	n := X.Rows
+	if n != len(y) {
+		return 0, fmt.Errorf("regress: %d rows vs %d targets", n, len(y))
+	}
+	if k < 2 || k > n {
+		return 0, fmt.Errorf("regress: fold count %d invalid for %d rows", k, n)
+	}
+	perm := rng.Perm(n)
+	var sse float64
+	var count int
+	for f := 0; f < k; f++ {
+		var trainIdx, testIdx []int
+		for i, p := range perm {
+			if i%k == f {
+				testIdx = append(testIdx, p)
+			} else {
+				trainIdx = append(trainIdx, p)
+			}
+		}
+		Xt := linalg.NewMatrix(len(trainIdx), X.Cols)
+		yt := make([]float64, len(trainIdx))
+		for i, p := range trainIdx {
+			Xt.SetRow(i, X.Row(p))
+			yt[i] = y[p]
+		}
+		model, err := tr.Fit(Xt, yt)
+		if err != nil {
+			return 0, fmt.Errorf("regress: fold %d: %w", f, err)
+		}
+		for _, p := range testIdx {
+			r := model.Predict(X.Row(p)) - y[p]
+			sse += r * r
+			count++
+		}
+	}
+	return math.Sqrt(sse / float64(count)), nil
+}
+
+// SelectBest cross-validates every trainer and returns the one with the
+// lowest CV RMS error, fitted on the full data.
+func SelectBest(trainers []Trainer, X *linalg.Matrix, y []float64, k int, rng *rand.Rand) (Model, Trainer, float64, error) {
+	if len(trainers) == 0 {
+		return nil, nil, 0, fmt.Errorf("regress: no trainers given")
+	}
+	bestRMS := math.Inf(1)
+	var bestTr Trainer
+	for _, tr := range trainers {
+		rms, err := CrossValidate(tr, X, y, k, rng)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("regress: %s: %w", tr.Name(), err)
+		}
+		if rms < bestRMS {
+			bestRMS, bestTr = rms, tr
+		}
+	}
+	model, err := bestTr.Fit(X, y)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return model, bestTr, bestRMS, nil
+}

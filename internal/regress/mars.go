@@ -1,0 +1,245 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// MARS is a simplified Multivariate Adaptive Regression Splines trainer —
+// the regression family of the papers the calibration flow cites ([4],
+// [9]). The forward pass greedily adds reflected-pair hinge bases
+// max(0, x_j - t) / max(0, t - x_j) (optionally in two-way products with an
+// existing basis); the backward pass prunes terms by generalized
+// cross-validation (GCV).
+type MARS struct {
+	MaxTerms     int  // maximum basis functions incl. intercept (default 13)
+	Knots        int  // candidate knots per variable (default 5, at quantiles)
+	Interactions bool // allow two-way hinge products
+}
+
+// Name implements Trainer.
+func (m MARS) Name() string { return "mars" }
+
+func (m MARS) maxTerms() int {
+	if m.MaxTerms <= 1 {
+		return 13
+	}
+	return m.MaxTerms
+}
+
+func (m MARS) knots() int {
+	if m.Knots <= 0 {
+		return 5
+	}
+	return m.Knots
+}
+
+// hinge is one factor of a basis function.
+type hinge struct {
+	Var  int
+	Knot float64
+	Sign int // +1: max(0, x-t); -1: max(0, t-x)
+}
+
+func (h hinge) eval(x []float64) float64 {
+	v := float64(h.Sign) * (x[h.Var] - h.Knot)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// basis is a product of hinges (empty = intercept).
+type basis []hinge
+
+func (b basis) eval(x []float64) float64 {
+	v := 1.0
+	for _, h := range b {
+		v *= h.eval(x)
+		if v == 0 {
+			return 0
+		}
+	}
+	return v
+}
+
+type marsModel struct {
+	nz    *Normalizer
+	bases []basis
+	coef  []float64
+}
+
+func (m *marsModel) Predict(x []float64) float64 {
+	z := m.nz.Apply(x)
+	s := 0.0
+	for i, b := range m.bases {
+		s += m.coef[i] * b.eval(z)
+	}
+	return s
+}
+
+// Fit implements Trainer.
+func (m MARS) Fit(X *linalg.Matrix, y []float64) (Model, error) {
+	if X.Rows != len(y) {
+		return nil, fmt.Errorf("regress: %d rows vs %d targets", X.Rows, len(y))
+	}
+	if X.Rows < 4 {
+		return nil, fmt.Errorf("regress: MARS needs at least 4 rows, got %d", X.Rows)
+	}
+	nz := FitNormalizer(X)
+	Z := nz.ApplyAll(X)
+	n, d := Z.Rows, Z.Cols
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = Z.Row(i)
+	}
+
+	// Candidate knots per variable at quantiles of the training data.
+	knots := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		col := Z.Col(j)
+		sort.Float64s(col)
+		ks := make([]float64, 0, m.knots())
+		for q := 1; q <= m.knots(); q++ {
+			ks = append(ks, col[(q*(n-1))/(m.knots()+1)])
+		}
+		knots[j] = dedupFloats(ks)
+	}
+
+	bases := []basis{{}} // intercept
+	cols := [][]float64{ones(n)}
+	coef, sse := solveLS(cols, y)
+
+	// Forward pass.
+	for len(bases) < m.maxTerms() {
+		type cand struct {
+			b1, b2 basis
+			sse    float64
+			coef   []float64
+		}
+		var best *cand
+		parents := []basis{{}}
+		if m.Interactions {
+			parents = bases
+		}
+		for _, parent := range parents {
+			if len(parent) >= 2 {
+				continue // limit interaction order to 2
+			}
+			for j := 0; j < d; j++ {
+				if usesVar(parent, j) {
+					continue
+				}
+				for _, t := range knots[j] {
+					b1 := append(append(basis{}, parent...), hinge{Var: j, Knot: t, Sign: +1})
+					b2 := append(append(basis{}, parent...), hinge{Var: j, Knot: t, Sign: -1})
+					c1 := evalColumn(b1, rows)
+					c2 := evalColumn(b2, rows)
+					trial := append(append([][]float64{}, cols...), c1, c2)
+					co, s := solveLS(trial, y)
+					if best == nil || s < best.sse {
+						best = &cand{b1: b1, b2: b2, sse: s, coef: co}
+					}
+				}
+			}
+		}
+		if best == nil || best.sse > sse*(1-1e-6) {
+			break // no meaningful improvement
+		}
+		bases = append(bases, best.b1, best.b2)
+		cols = append(cols, evalColumn(best.b1, rows), evalColumn(best.b2, rows))
+		coef, sse = best.coef, best.sse
+	}
+
+	// Backward pruning by GCV.
+	gcv := func(sse float64, nterms int) float64 {
+		c := float64(nterms) + 2*float64(nterms-1) // effective parameters
+		den := 1 - c/float64(n)
+		if den <= 0 {
+			return math.Inf(1)
+		}
+		return sse / float64(n) / (den * den)
+	}
+	bestGCV := gcv(sse, len(bases))
+	improved := true
+	for improved && len(bases) > 1 {
+		improved = false
+		for drop := 1; drop < len(bases); drop++ {
+			tb := make([][]float64, 0, len(cols)-1)
+			bb := make([]basis, 0, len(bases)-1)
+			for i := range bases {
+				if i == drop {
+					continue
+				}
+				tb = append(tb, cols[i])
+				bb = append(bb, bases[i])
+			}
+			co, s := solveLS(tb, y)
+			if g := gcv(s, len(bb)); g < bestGCV {
+				bestGCV = g
+				bases, cols, coef, sse = bb, tb, co, s
+				improved = true
+				break
+			}
+		}
+	}
+	return &marsModel{nz: nz, bases: bases, coef: coef}, nil
+}
+
+// solveLS fits y against the given columns (least squares via
+// pseudoinverse) and returns coefficients and SSE.
+func solveLS(cols [][]float64, y []float64) ([]float64, float64) {
+	n := len(y)
+	A := linalg.NewMatrix(n, len(cols))
+	for j, c := range cols {
+		for i := 0; i < n; i++ {
+			A.Set(i, j, c[i])
+		}
+	}
+	w := linalg.SolveLeastSquares(A, y)
+	pred := A.MulVec(w)
+	sse := 0.0
+	for i := range y {
+		r := y[i] - pred[i]
+		sse += r * r
+	}
+	return w, sse
+}
+
+func evalColumn(b basis, rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = b.eval(r)
+	}
+	return out
+}
+
+func usesVar(b basis, j int) bool {
+	for _, h := range b {
+		if h.Var == j {
+			return true
+		}
+	}
+	return false
+}
+
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func dedupFloats(v []float64) []float64 {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package regress
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// PolyPCA reduces features to nComp principal components, expands them with
+// quadratic terms (squares and pairwise products), and fits ridge
+// regression on the expansion. This is the workhorse "nonlinear regression"
+// for high-dimensional FFT-bin signatures: PCA tames the collinear bins,
+// the quadratic terms capture the mild curvature of the spec maps.
+type PolyPCA struct {
+	Components int     // principal components kept (default 8)
+	Lambda     float64 // ridge strength on the expanded features (default 1e-6)
+}
+
+// Name implements Trainer.
+func (p PolyPCA) Name() string { return fmt.Sprintf("poly-pca(%d)", p.components()) }
+
+func (p PolyPCA) components() int {
+	if p.Components <= 0 {
+		return 8
+	}
+	return p.Components
+}
+
+func (p PolyPCA) lambda() float64 {
+	if p.Lambda <= 0 {
+		return 1e-6
+	}
+	return p.Lambda
+}
+
+type polyPCAModel struct {
+	nz    *Normalizer
+	pca   *linalg.PCA
+	inner Model
+}
+
+func (m *polyPCAModel) Predict(x []float64) float64 {
+	z := m.pca.Transform(m.nz.Apply(x))
+	return m.inner.Predict(quadExpand(z))
+}
+
+// quadExpand appends squares and pairwise products to z.
+func quadExpand(z []float64) []float64 {
+	k := len(z)
+	out := make([]float64, 0, k+k*(k+1)/2)
+	out = append(out, z...)
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			out = append(out, z[i]*z[j])
+		}
+	}
+	return out
+}
+
+// Fit implements Trainer.
+func (p PolyPCA) Fit(X *linalg.Matrix, y []float64) (Model, error) {
+	if X.Rows != len(y) {
+		return nil, fmt.Errorf("regress: %d rows vs %d targets", X.Rows, len(y))
+	}
+	nz := FitNormalizer(X)
+	Z := nz.ApplyAll(X)
+	ncomp := p.components()
+	if ncomp > Z.Rows-2 {
+		ncomp = max(Z.Rows-2, 1)
+	}
+	pca := linalg.ComputePCA(Z, ncomp)
+	scores := pca.TransformAll(Z)
+	// Quadratic expansion.
+	first := quadExpand(scores.Row(0))
+	E := linalg.NewMatrix(scores.Rows, len(first))
+	for i := 0; i < scores.Rows; i++ {
+		E.SetRow(i, quadExpand(scores.Row(i)))
+	}
+	inner, err := Ridge{Lambda: p.lambda()}.Fit(E, y)
+	if err != nil {
+		return nil, err
+	}
+	return &polyPCAModel{nz: nz, pca: pca, inner: inner}, nil
+}

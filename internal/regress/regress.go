@@ -1,0 +1,148 @@
+// Package regress implements the nonlinear regression used to map measured
+// signatures into data-sheet specifications (the paper's Section 3.2:
+// "Using nonlinear regression techniques on the measured data, normalized
+// calibration relationships between the specifications and signatures are
+// extracted", citing [4] and [9]). It provides z-score normalization,
+// linear and ridge least squares, polynomial feature expansion, a
+// MARS-style hinge regression with GCV pruning, and k-fold cross-validation
+// for model selection.
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Model predicts a scalar specification from a feature vector.
+type Model interface {
+	Predict(x []float64) float64
+}
+
+// Trainer fits a Model to rows of X (n x d) against targets y (n).
+type Trainer interface {
+	Fit(X *linalg.Matrix, y []float64) (Model, error)
+	Name() string
+}
+
+// Normalizer performs the paper's "process of normalization": features are
+// shifted and scaled to zero mean, unit variance using training statistics.
+type Normalizer struct {
+	Mean, Std []float64
+}
+
+// FitNormalizer computes column statistics of X. Constant columns get
+// Std = 1 so they pass through harmlessly.
+func FitNormalizer(X *linalg.Matrix) *Normalizer {
+	n, d := X.Rows, X.Cols
+	nz := &Normalizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += X.At(i, j)
+		}
+		m := s / float64(n)
+		v := 0.0
+		for i := 0; i < n; i++ {
+			dv := X.At(i, j) - m
+			v += dv * dv
+		}
+		sd := math.Sqrt(v / float64(max(n-1, 1)))
+		if sd == 0 {
+			sd = 1
+		}
+		nz.Mean[j], nz.Std[j] = m, sd
+	}
+	return nz
+}
+
+// Apply normalizes one feature vector.
+func (nz *Normalizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = (x[j] - nz.Mean[j]) / nz.Std[j]
+	}
+	return out
+}
+
+// ApplyAll normalizes every row.
+func (nz *Normalizer) ApplyAll(X *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(X.Rows, X.Cols)
+	for i := 0; i < X.Rows; i++ {
+		out.SetRow(i, nz.Apply(X.Row(i)))
+	}
+	return out
+}
+
+// linearModel is w^T x + b on normalized features.
+type linearModel struct {
+	nz *Normalizer
+	w  []float64
+	b  float64
+}
+
+func (m *linearModel) Predict(x []float64) float64 {
+	z := m.nz.Apply(x)
+	return linalg.Dot(m.w, z) + m.b
+}
+
+// Ridge is linear least squares with L2 penalty lambda (0 = plain least
+// squares via pseudoinverse, safe for collinear FFT-bin features).
+type Ridge struct {
+	Lambda float64
+}
+
+// Name implements Trainer.
+func (r Ridge) Name() string {
+	if r.Lambda == 0 {
+		return "linear"
+	}
+	return fmt.Sprintf("ridge(%.3g)", r.Lambda)
+}
+
+// Fit solves (Z^T Z + lambda I) w = Z^T y on normalized, centered data.
+func (r Ridge) Fit(X *linalg.Matrix, y []float64) (Model, error) {
+	if X.Rows != len(y) {
+		return nil, fmt.Errorf("regress: %d rows vs %d targets", X.Rows, len(y))
+	}
+	if X.Rows < 2 {
+		return nil, fmt.Errorf("regress: need at least 2 training rows, got %d", X.Rows)
+	}
+	nz := FitNormalizer(X)
+	Z := nz.ApplyAll(X)
+	n, d := Z.Rows, Z.Cols
+	ymean := 0.0
+	for _, v := range y {
+		ymean += v
+	}
+	ymean /= float64(n)
+	yc := make([]float64, n)
+	for i := range y {
+		yc[i] = y[i] - ymean
+	}
+	var w []float64
+	if r.Lambda <= 0 {
+		w = linalg.SolveLeastSquares(Z, yc)
+	} else {
+		// Normal equations with Tikhonov term.
+		g := Z.T().Mul(Z)
+		for i := 0; i < d; i++ {
+			g.Set(i, i, g.At(i, i)+r.Lambda)
+		}
+		rhs := Z.T().MulVec(yc)
+		var err error
+		w, err = linalg.SolveLinear(g, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("regress: ridge solve: %w", err)
+		}
+	}
+	return &linearModel{nz: nz, w: w, b: ymean}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+// makeData generates n samples of a known function of d features.
+func makeData(rng *rand.Rand, n, d int, f func([]float64) float64, noise float64) (*linalg.Matrix, []float64) {
+	X := linalg.NewMatrix(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X.SetRow(i, row)
+		y[i] = f(row) + noise*rng.NormFloat64()
+	}
+	return X, y
+}
+
+func linearFn(x []float64) float64 {
+	return 3 + 2*x[0] - 1.5*x[1] + 0.5*x[2]
+}
+
+func TestLinearRecoversExactModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := makeData(rng, 80, 4, linearFn, 0)
+	m, err := Ridge{}.Fit(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := makeData(rng, 30, 4, linearFn, 0)
+	for i := 0; i < Xt.Rows; i++ {
+		if p := m.Predict(Xt.Row(i)); math.Abs(p-yt[i]) > 1e-9 {
+			t.Fatalf("prediction %g vs %g", p, yt[i])
+		}
+	}
+}
+
+func TestRidgeShrinksAndStabilizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Perfectly collinear features: plain normal equations would be
+	// singular; pinv and ridge must both survive.
+	n := 40
+	X := linalg.NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		X.SetRow(i, []float64{v, 2 * v})
+		y[i] = 3 * v
+	}
+	for _, tr := range []Trainer{Ridge{}, Ridge{Lambda: 1e-3}} {
+		m, err := tr.Fit(X, y)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if p := m.Predict([]float64{1, 2}); math.Abs(p-3) > 0.05 {
+			t.Fatalf("%s: collinear prediction %g, want 3", tr.Name(), p)
+		}
+	}
+}
+
+func TestNormalizerStats(t *testing.T) {
+	X := linalg.FromRows([][]float64{{1, 10}, {3, 10}, {5, 10}})
+	nz := FitNormalizer(X)
+	if nz.Mean[0] != 3 {
+		t.Fatalf("mean %v", nz.Mean)
+	}
+	if nz.Std[1] != 1 {
+		t.Fatal("constant column must get unit std")
+	}
+	z := nz.Apply([]float64{5, 10})
+	if math.Abs(z[0]-1) > 1e-12 || z[1] != 0 {
+		t.Fatalf("normalized %v", z)
+	}
+}
+
+func TestPolyPCARecoversQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(x []float64) float64 { return 1 + x[0] + 0.8*x[1]*x[1] - 0.5*x[0]*x[2] }
+	X, y := makeData(rng, 150, 5, f, 0.01)
+	m, err := PolyPCA{Components: 5}.Fit(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := makeData(rng, 50, 5, f, 0)
+	pred := make([]float64, Xt.Rows)
+	for i := range pred {
+		pred[i] = m.Predict(Xt.Row(i))
+	}
+	rms := 0.0
+	for i := range pred {
+		r := pred[i] - yt[i]
+		rms += r * r
+	}
+	rms = math.Sqrt(rms / float64(len(pred)))
+	if rms > 0.1 {
+		t.Fatalf("PolyPCA RMS %g on quadratic target", rms)
+	}
+}
+
+func TestMARSFitsPiecewiseLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(x []float64) float64 {
+		// A genuinely hinge-shaped target.
+		return 2 + 3*math.Max(0, x[0]-0.2) - 2*math.Max(0, -x[1])
+	}
+	X, y := makeData(rng, 200, 4, f, 0.02)
+	m, err := MARS{MaxTerms: 13, Knots: 7}.Fit(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := makeData(rng, 60, 4, f, 0)
+	var sse, ssy, my float64
+	for i := range yt {
+		my += yt[i]
+	}
+	my /= float64(len(yt))
+	for i := 0; i < Xt.Rows; i++ {
+		r := m.Predict(Xt.Row(i)) - yt[i]
+		sse += r * r
+		d := yt[i] - my
+		ssy += d * d
+	}
+	if r2 := 1 - sse/ssy; r2 < 0.95 {
+		t.Fatalf("MARS R^2 = %g on hinge target", r2)
+	}
+}
+
+func TestMARSInteractions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(x []float64) float64 {
+		return math.Max(0, x[0]) * math.Max(0, x[1])
+	}
+	X, y := makeData(rng, 250, 3, f, 0.01)
+	additive, err := MARS{MaxTerms: 13}.Fit(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := MARS{MaxTerms: 13, Interactions: true}.Fit(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := makeData(rng, 80, 3, f, 0)
+	rms := func(m Model) float64 {
+		s := 0.0
+		for i := 0; i < Xt.Rows; i++ {
+			r := m.Predict(Xt.Row(i)) - yt[i]
+			s += r * r
+		}
+		return math.Sqrt(s / float64(Xt.Rows))
+	}
+	if rms(inter) > rms(additive)*1.05 {
+		t.Fatalf("interactions should help on a product target: %g vs %g", rms(inter), rms(additive))
+	}
+}
+
+func TestCrossValidatePrefersTrueModelClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, y := makeData(rng, 60, 4, linearFn, 0.05)
+	cvLin, err := CrossValidate(Ridge{}, X, y, 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvLin > 0.12 {
+		t.Fatalf("linear CV RMS %g on linear target", cvLin)
+	}
+	model, tr, rms, err := SelectBest([]Trainer{Ridge{}, PolyPCA{Components: 4}}, X, y, 5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil || tr == nil || rms > 0.2 {
+		t.Fatalf("SelectBest failed: %v %v %g", model, tr, rms)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	X := linalg.NewMatrix(3, 2)
+	ridge := Ridge{}
+	mars := MARS{}
+	if _, err := ridge.Fit(X, []float64{1}); err == nil {
+		t.Fatal("row mismatch must error")
+	}
+	if _, err := mars.Fit(X, []float64{1, 2, 3}); err == nil {
+		t.Fatal("too few rows for MARS must error")
+	}
+	if _, err := CrossValidate(ridge, X, []float64{1, 2, 3}, 9, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("bad fold count must error")
+	}
+	if _, _, _, err := SelectBest(nil, X, []float64{1, 2, 3}, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("no trainers must error")
+	}
+}
+
+// Property: predictions of a fitted linear model are invariant to feature
+// scaling (normalization must absorb units).
+func TestPropertyScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		X, y := makeData(rng, 40, 3, linearFn, 0)
+		m1, err := Ridge{}.Fit(X, y)
+		if err != nil {
+			return false
+		}
+		// Scale feature 0 by 1000.
+		X2 := X.Clone()
+		for i := 0; i < X2.Rows; i++ {
+			X2.Set(i, 0, X2.At(i, 0)*1000)
+		}
+		m2, err := Ridge{}.Fit(X2, y)
+		if err != nil {
+			return false
+		}
+		probe := []float64{0.3, -0.2, 0.7}
+		probe2 := []float64{300, -0.2, 0.7}
+		return math.Abs(m1.Predict(probe)-m2.Predict(probe2)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Poly is a memoryless polynomial nonlinearity y = sum_{k>=1} C[k-1]*x^k.
+// There is no constant term: a DUT with no input produces no output.
+type Poly struct {
+	C []float64
+}
+
+// Eval evaluates the polynomial at x (Horner form).
+func (p Poly) Eval(x float64) float64 {
+	y := 0.0
+	for k := len(p.C) - 1; k >= 0; k-- {
+		y = (y + p.C[k]) * x
+	}
+	return y
+}
+
+// EvalSlice maps Eval over a waveform.
+func (p Poly) EvalSlice(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = p.Eval(v)
+	}
+	return out
+}
+
+// Gain returns the small-signal (first-order) gain.
+func (p Poly) Gain() float64 {
+	if len(p.C) == 0 {
+		return 0
+	}
+	return p.C[0]
+}
+
+// IIP3DBm returns the polynomial's input third-order intercept in dBm re
+// 50 ohms via AIP3^2 = (4/3)|c1/c3| (+inf if the cubic term is zero).
+func (p Poly) IIP3DBm() float64 {
+	if len(p.C) < 3 || p.C[2] == 0 || p.C[0] == 0 {
+		return math.Inf(1)
+	}
+	a2 := 4.0 / 3.0 * math.Abs(p.C[0]/p.C[2])
+	return voltsPeakToDBm(math.Sqrt(a2))
+}
+
+// P1dBDBm returns the input 1 dB compression point of the cubic polynomial
+// (the classic A1dB = AIP3 - 9.64 dB relation).
+func (p Poly) P1dBDBm() float64 {
+	ip3 := p.IIP3DBm()
+	if math.IsInf(ip3, 1) {
+		return math.Inf(1)
+	}
+	return ip3 - 9.6
+}
+
+// PolyFromSpecs builds a cubic polynomial with the given voltage gain (dB)
+// and input IIP3 (dBm re 50 ohms); the cubic coefficient is compressive.
+// This is the inverse of the measurements above and is used for behavioral
+// DUTs when no netlist is available (the paper's hardware experiment).
+func PolyFromSpecs(gainDB, iip3DBm float64) Poly {
+	c1 := math.Pow(10, gainDB/20)
+	a := dbmToVoltsPeak(iip3DBm)
+	c3 := -4.0 / 3.0 * c1 / (a * a)
+	return Poly{C: []float64{c1, 0, c3}}
+}
+
+// Amplifier is the behavioral DUT used on the signature path. The linear
+// path applies a per-zone response (the LNA's tank passes the carrier zone
+// and rejects baseband and harmonic zones) with an optional linear gain
+// slope across the carrier zone; the nonlinear path applies Poly through
+// the zone algebra, which regenerates harmonic-zone and baseband products.
+type Amplifier struct {
+	Poly Poly
+	// CarrierSlope is the normalized complex gain slope dH/df / H0 (1/Hz)
+	// across the carrier zone; 0 means flat response.
+	CarrierSlope complex128
+	// ZoneGain scales the linear response of each zone relative to the
+	// carrier zone; missing zones default to OutOfBandRejection.
+	ZoneGain map[int]float64
+	// OutOfBandRejection is the default linear gain multiplier for
+	// non-carrier zones (e.g. 0.05 for a tuned LNA).
+	OutOfBandRejection float64
+	// NFDB is the amplifier noise figure (dB); used by noise-aware paths.
+	NFDB float64
+}
+
+// NewAmplifier builds an amplifier with sensible defaults.
+func NewAmplifier(p Poly) *Amplifier {
+	return &Amplifier{Poly: p, OutOfBandRejection: 0.05, ZoneGain: map[int]float64{1: 1}}
+}
+
+// zoneScale returns the linear-path multiplier for zone k.
+func (a *Amplifier) zoneScale(k int) float64 {
+	if g, ok := a.ZoneGain[k]; ok {
+		return g
+	}
+	return a.OutOfBandRejection
+}
+
+// ProcessEnvelope drives the amplifier with a multi-zone envelope signal,
+// producing zones up to maxZone.
+func (a *Amplifier) ProcessEnvelope(in *EnvSignal, maxZone int) *EnvSignal {
+	// Split the polynomial: the linear term goes through the shaped path,
+	// higher orders through the memoryless path.
+	out := NewEnvSignal(in.Fs, in.Fref, in.N, maxZone)
+	c1 := a.Poly.Gain()
+	for k := 0; k <= maxZone && k <= in.MaxZone; k++ {
+		scale := complex(c1*a.zoneScale(k), 0)
+		for t := 0; t < in.N; t++ {
+			out.Z[k][t] = scale * in.Z[k][t]
+		}
+	}
+	// Gain slope on the carrier zone: y += H0*slope * x'/(2*pi*j).
+	if a.CarrierSlope != 0 && in.MaxZone >= 1 && maxZone >= 1 {
+		d := in.DifferentiateZone(1)
+		f := complex(c1*a.zoneScale(1), 0) * a.CarrierSlope / complex(0, 1)
+		for t := 0; t < in.N; t++ {
+			out.Z[1][t] += f * d[t]
+		}
+	}
+	// Higher-order terms.
+	if len(a.Poly.C) > 1 {
+		rest := Poly{C: append([]float64{0}, a.Poly.C[1:]...)}
+		nl := in.ApplyPoly(rest, maxZone)
+		out.AddScaled(nl, 1)
+	}
+	return out
+}
+
+// ProcessPassband drives the amplifier sample-by-sample in the passband
+// domain (memoryless: the zone shaping and slope are envelope-domain
+// conveniences; passband validation uses flat amplifiers).
+func (a *Amplifier) ProcessPassband(x []float64) []float64 {
+	return a.Poly.EvalSlice(x)
+}
+
+// voltsPeakToDBm converts sinusoid peak volts to dBm re 50 ohms.
+func voltsPeakToDBm(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(v*v/2/50*1000)
+}
+
+// dbmToVoltsPeak converts dBm re 50 ohms to sinusoid peak volts.
+func dbmToVoltsPeak(dbm float64) float64 {
+	return math.Sqrt(2 * math.Pow(10, dbm/10) / 1000 * 50)
+}
+
+// String summarizes the amplifier.
+func (a *Amplifier) String() string {
+	return fmt.Sprintf("Amplifier{gain=%.2f dB, IIP3=%.2f dBm, NF=%.2f dB}",
+		20*math.Log10(math.Abs(a.Poly.Gain())), a.Poly.IIP3DBm(), a.NFDB)
+}

@@ -1,0 +1,63 @@
+package rf
+
+import "math"
+
+// Chain cascades behavioral stages (e.g. LNA followed by an on-chip mixer
+// buffer in the front-end example). It implements both simulation
+// interfaces when every stage does.
+type Chain struct {
+	Stages []*Amplifier
+}
+
+// ProcessEnvelope runs the signal through every stage.
+func (c *Chain) ProcessEnvelope(in *EnvSignal, maxZone int) *EnvSignal {
+	s := in
+	for _, st := range c.Stages {
+		s = st.ProcessEnvelope(s, maxZone)
+	}
+	return s
+}
+
+// ProcessPassband runs the samples through every stage.
+func (c *Chain) ProcessPassband(x []float64) []float64 {
+	for _, st := range c.Stages {
+		x = st.ProcessPassband(x)
+	}
+	return x
+}
+
+// CascadeSpecs returns the chain's overall gain (dB), noise figure (dB,
+// Friis) and input IIP3 (dBm, reciprocal power combination) from the
+// per-stage specs — the standard RF budget formulas, used by the front-end
+// example to compare chain-level predictions against the per-stage specs.
+func (c *Chain) CascadeSpecs() (gainDB, nfDB, iip3DBm float64) {
+	gainLin := 1.0
+	fTotal := 0.0
+	invIP3 := 0.0
+	first := true
+	for _, st := range c.Stages {
+		g := st.Poly.Gain() * st.Poly.Gain() // power gain
+		f := math.Pow(10, st.NFDB/10)
+		if first {
+			fTotal = f
+			first = false
+		} else {
+			fTotal += (f - 1) / gainLin
+		}
+		// Input-referred IP3 of the cascade (powers in mW):
+		// 1/ip3 = sum 1/(ip3_k / gain_before_k).
+		ip3k := math.Pow(10, st.Poly.IIP3DBm()/10)
+		if !math.IsInf(ip3k, 1) {
+			invIP3 += gainLin / ip3k
+		}
+		gainLin *= g
+	}
+	gainDB = 10 * math.Log10(gainLin)
+	nfDB = 10 * math.Log10(fTotal)
+	if invIP3 > 0 {
+		iip3DBm = 10 * math.Log10(1/invIP3)
+	} else {
+		iip3DBm = math.Inf(1)
+	}
+	return
+}

@@ -1,0 +1,96 @@
+package rf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChainEnvelopeEqualsSequentialStages(t *testing.T) {
+	a := NewAmplifier(PolyFromSpecs(10, 0))
+	b := NewAmplifier(PolyFromSpecs(6, 5))
+	chain := &Chain{Stages: []*Amplifier{a, b}}
+	in := EnvTone(80e6, 900e6, 64, 3, 1, 0.05, 1e6, 0.2)
+	viaChain := chain.ProcessEnvelope(in, 3)
+	manual := b.ProcessEnvelope(a.ProcessEnvelope(in, 3), 3)
+	for k := 0; k <= 3; k++ {
+		for i := 0; i < in.N; i++ {
+			if d := viaChain.Z[k][i] - manual.Z[k][i]; real(d)*real(d)+imag(d)*imag(d) > 1e-24 {
+				t.Fatalf("zone %d sample %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestChainPassbandComposition(t *testing.T) {
+	a := NewAmplifier(Poly{C: []float64{2}})
+	b := NewAmplifier(Poly{C: []float64{3}})
+	chain := &Chain{Stages: []*Amplifier{a, b}}
+	out := chain.ProcessPassband([]float64{1, -0.5})
+	if out[0] != 6 || out[1] != -3 {
+		t.Fatalf("chain passband %v", out)
+	}
+}
+
+func TestChainCascadeGainOnly(t *testing.T) {
+	// Single linear stage: cascade specs must reduce to stage specs.
+	a := NewAmplifier(PolyFromSpecs(12, 4))
+	a.NFDB = 3
+	c := &Chain{Stages: []*Amplifier{a}}
+	g, nf, ip3 := c.CascadeSpecs()
+	if math.Abs(g-12) > 1e-9 || math.Abs(nf-3) > 1e-9 || math.Abs(ip3-4) > 1e-6 {
+		t.Fatalf("single-stage cascade %g %g %g", g, nf, ip3)
+	}
+}
+
+func TestAmplifierZoneRejection(t *testing.T) {
+	// Content in a rejected zone must be attenuated by the configured
+	// factor on the linear path.
+	amp := NewAmplifier(Poly{C: []float64{10}})
+	amp.OutOfBandRejection = 0.01
+	in := NewEnvSignal(80e6, 900e6, 16, 3)
+	for i := 0; i < in.N; i++ {
+		in.Z[1][i] = complex(0.1, 0)
+		in.Z[2][i] = complex(0.1, 0)
+	}
+	out := amp.ProcessEnvelope(in, 3)
+	// Carrier zone: full gain. Zone 2: rejected.
+	if math.Abs(real(out.Z[1][0])-1.0) > 1e-12 {
+		t.Fatalf("carrier zone gain %v", out.Z[1][0])
+	}
+	if math.Abs(real(out.Z[2][0])-0.01) > 1e-12 {
+		t.Fatalf("rejected zone %v, want 0.01", out.Z[2][0])
+	}
+}
+
+func TestAmplifierCarrierSlopeTiltsBand(t *testing.T) {
+	// With a positive real slope, a tone above the carrier must come out
+	// larger than a tone below it.
+	amp := NewAmplifier(Poly{C: []float64{1}})
+	amp.CarrierSlope = complex(2e-8, 0) // 2%/MHz
+	fs, fref := 80e6, 900e6
+	n := 512
+	up := EnvTone(fs, fref, n, 3, 1, 0.1, 5e6, 0)  // +5 MHz
+	dn := EnvTone(fs, fref, n, 3, 1, 0.1, -5e6, 0) // -5 MHz
+	outUp := amp.ProcessEnvelope(up, 3)
+	outDn := amp.ProcessEnvelope(dn, 3)
+	// Compare steady-state envelope magnitudes mid-record.
+	mid := n / 2
+	mu := real(outUp.Z[1][mid])*real(outUp.Z[1][mid]) + imag(outUp.Z[1][mid])*imag(outUp.Z[1][mid])
+	md := real(outDn.Z[1][mid])*real(outDn.Z[1][mid]) + imag(outDn.Z[1][mid])*imag(outDn.Z[1][mid])
+	if mu <= md {
+		t.Fatalf("positive slope should favor the upper tone: %g vs %g", mu, md)
+	}
+	wantUp := 0.1 * (1 + 2e-8*5e6) // |H| = |1 + slope*df|
+	if math.Abs(math.Sqrt(mu)-wantUp) > 0.002 {
+		t.Fatalf("upper tone envelope %g, want ~%g", math.Sqrt(mu), wantUp)
+	}
+}
+
+func TestAmplifierString(t *testing.T) {
+	a := NewAmplifier(PolyFromSpecs(16, 3))
+	a.NFDB = 2.2
+	s := a.String()
+	if len(s) == 0 || s[0] != 'A' {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,215 @@
+// Package rf provides the behavioral RF signal-path models of the
+// signature tester's load board (paper Figs. 2-3): memoryless polynomial
+// nonlinearities, amplifiers, mixers that generate RF x LO cross products
+// including their second and third harmonics (the paper's mixer model), and
+// two simulation engines for the chain — a direct passband time-domain
+// simulator (reference) and a fast multi-zone complex-envelope simulator
+// used inside the optimization loop. The two are cross-validated in tests.
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// EnvSignal is a multi-zone complex-envelope signal. The represented real
+// passband signal is
+//
+//	x(t) = Z[0](t)/2 + sum_{k>=1} Re[ Z[k](t) * exp(j*2*pi*k*Fref*t) ]
+//
+// i.e. Z[k] is the complex envelope of the spectral zone centered at
+// k*Fref. Zone 0 carries a (nominally real) baseband envelope with the
+// factor-of-two convention above, which makes products close under the
+// zone algebra. Fs is the envelope sample rate, shared by all zones.
+type EnvSignal struct {
+	Fs      float64 // envelope sample rate, Hz
+	Fref    float64 // zone spacing (the carrier), Hz
+	N       int     // samples per zone
+	MaxZone int
+	Z       [][]complex128 // [zone][sample]
+}
+
+// NewEnvSignal allocates a zero signal.
+func NewEnvSignal(fs, fref float64, n, maxZone int) *EnvSignal {
+	if fs <= 0 || fref <= 0 || n <= 0 || maxZone < 0 {
+		panic(fmt.Sprintf("rf: invalid envelope signal (fs=%g fref=%g n=%d zones=%d)", fs, fref, n, maxZone))
+	}
+	z := make([][]complex128, maxZone+1)
+	for k := range z {
+		z[k] = make([]complex128, n)
+	}
+	return &EnvSignal{Fs: fs, Fref: fref, N: n, MaxZone: maxZone, Z: z}
+}
+
+// Clone deep-copies the signal.
+func (s *EnvSignal) Clone() *EnvSignal {
+	out := NewEnvSignal(s.Fs, s.Fref, s.N, s.MaxZone)
+	for k := range s.Z {
+		copy(out.Z[k], s.Z[k])
+	}
+	return out
+}
+
+// zoneAt returns Z[k][i] honoring the conjugate-symmetry convention for
+// negative zones.
+func (s *EnvSignal) zoneAt(k, i int) complex128 {
+	if k < 0 {
+		k = -k
+		if k > s.MaxZone {
+			return 0
+		}
+		return cmplx.Conj(s.Z[k][i])
+	}
+	if k > s.MaxZone {
+		return 0
+	}
+	return s.Z[k][i]
+}
+
+func (s *EnvSignal) compatible(o *EnvSignal) error {
+	if s.Fs != o.Fs || s.Fref != o.Fref || s.N != o.N {
+		return fmt.Errorf("rf: incompatible envelope signals (fs %g/%g, fref %g/%g, n %d/%d)",
+			s.Fs, o.Fs, s.Fref, o.Fref, s.N, o.N)
+	}
+	return nil
+}
+
+// Mul returns the zone-algebra product of a and b, keeping zones up to
+// maxZone. With the representation x = (1/2) sum_k c_k e^{jkwt}
+// (c_{-k} = conj(c_k)), the product's coefficients are
+// c_m = (1/2) * sum_{i+j=m} a_i * b_j.
+func Mul(a, b *EnvSignal, maxZone int) *EnvSignal {
+	if err := a.compatible(b); err != nil {
+		panic(err)
+	}
+	out := NewEnvSignal(a.Fs, a.Fref, a.N, maxZone)
+	for m := 0; m <= maxZone; m++ {
+		zm := out.Z[m]
+		for i := -a.MaxZone; i <= a.MaxZone; i++ {
+			j := m - i
+			if j < -b.MaxZone || j > b.MaxZone {
+				continue
+			}
+			for t := 0; t < a.N; t++ {
+				zm[t] += 0.5 * a.zoneAt(i, t) * b.zoneAt(j, t)
+			}
+		}
+	}
+	return out
+}
+
+// AddScaled accumulates s += c*o in place (zones above s.MaxZone in o are
+// dropped; zones missing in o contribute nothing).
+func (s *EnvSignal) AddScaled(o *EnvSignal, c float64) {
+	if err := s.compatible(o); err != nil {
+		panic(err)
+	}
+	kmax := s.MaxZone
+	if o.MaxZone < kmax {
+		kmax = o.MaxZone
+	}
+	cc := complex(c, 0)
+	for k := 0; k <= kmax; k++ {
+		for t := 0; t < s.N; t++ {
+			s.Z[k][t] += cc * o.Z[k][t]
+		}
+	}
+}
+
+// ScaleZone multiplies one zone by a complex factor (a per-zone linear
+// filter with flat response).
+func (s *EnvSignal) ScaleZone(k int, c complex128) {
+	if k < 0 || k > s.MaxZone {
+		return
+	}
+	for t := range s.Z[k] {
+		s.Z[k][t] *= c
+	}
+}
+
+// BasebandReal returns the zone-0 signal as the real baseband waveform
+// (value convention Z[0]/2) and reports the worst-case imaginary residue,
+// which should be numerically tiny for physically real signals.
+func (s *EnvSignal) BasebandReal() ([]float64, float64) {
+	out := make([]float64, s.N)
+	worst := 0.0
+	for t, v := range s.Z[0] {
+		out[t] = real(v) / 2
+		if im := math.Abs(imag(v)); im > worst {
+			worst = im
+		}
+	}
+	return out, worst
+}
+
+// EnvTone places a tone at frequency k*Fref + offset with the given peak
+// amplitude and phase into zone k of a fresh signal: the LO generator.
+func EnvTone(fs, fref float64, n, maxZone, k int, amp, offsetHz, phase float64) *EnvSignal {
+	s := NewEnvSignal(fs, fref, n, maxZone)
+	if k < 0 || k > maxZone {
+		panic(fmt.Sprintf("rf: tone zone %d outside 0..%d", k, maxZone))
+	}
+	for t := 0; t < n; t++ {
+		ph := 2*math.Pi*offsetHz*float64(t)/fs + phase
+		if k == 0 {
+			// Zone-0 value convention: signal value = Z[0]/2.
+			s.Z[0][t] = complex(2*amp*math.Cos(ph), 0)
+		} else {
+			s.Z[k][t] = cmplx.Rect(amp, ph)
+		}
+	}
+	return s
+}
+
+// EnvFromBaseband wraps a real baseband waveform into zone 0.
+func EnvFromBaseband(x []float64, fs, fref float64, maxZone int) *EnvSignal {
+	s := NewEnvSignal(fs, fref, len(x), maxZone)
+	for t, v := range x {
+		s.Z[0][t] = complex(2*v, 0)
+	}
+	return s
+}
+
+// ApplyPoly evaluates the memoryless polynomial y = sum_k C[k-1] x^k using
+// the zone algebra, keeping zones up to maxZone.
+func (s *EnvSignal) ApplyPoly(p Poly, maxZone int) *EnvSignal {
+	out := NewEnvSignal(s.Fs, s.Fref, s.N, maxZone)
+	if len(p.C) == 0 {
+		return out
+	}
+	power := s.Clone()
+	out.AddScaled(power, p.C[0])
+	for k := 1; k < len(p.C); k++ {
+		power = Mul(power, s, maxZone)
+		if p.C[k] != 0 {
+			out.AddScaled(power, p.C[k])
+		}
+	}
+	return out
+}
+
+// DifferentiateZone replaces zone k with its time derivative scaled by
+// 1/(2*pi): used to realize a linear-in-frequency gain slope H(df) =
+// H0*(1 + slope*df) as y = H0*(x + slope * x'/(2*pi*j)).
+func (s *EnvSignal) DifferentiateZone(k int) []complex128 {
+	if k < 0 || k > s.MaxZone {
+		return nil
+	}
+	src := s.Z[k]
+	out := make([]complex128, s.N)
+	dt := 1 / s.Fs
+	for t := 0; t < s.N; t++ {
+		var d complex128
+		switch {
+		case t == 0:
+			d = (src[1] - src[0]) / complex(dt, 0)
+		case t == s.N-1:
+			d = (src[t] - src[t-1]) / complex(dt, 0)
+		default:
+			d = (src[t+1] - src[t-1]) / complex(2*dt, 0)
+		}
+		out[t] = d / complex(2*math.Pi, 0)
+	}
+	return out
+}

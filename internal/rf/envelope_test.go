@@ -1,0 +1,177 @@
+package rf
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// reconstruct evaluates the represented passband signal at time index i
+// given an exact time base (for algebra validation at coarse carrier
+// ratios, where the envelope rate resolves the carrier).
+func reconstruct(s *EnvSignal, i int) float64 {
+	t := float64(i) / s.Fs
+	v := real(s.Z[0][i]) / 2
+	for k := 1; k <= s.MaxZone; k++ {
+		v += real(s.Z[k][i] * cmplx.Exp(complex(0, 2*math.Pi*float64(k)*s.Fref*t)))
+	}
+	return v
+}
+
+func TestEnvToneReconstruction(t *testing.T) {
+	// A zone-1 tone with offset and phase must reconstruct as
+	// amp*cos(2*pi*(fref+off)*t + phase).
+	fs, fref := 64.0, 4.0
+	n := 64
+	s := EnvTone(fs, fref, n, 3, 1, 0.8, 0.5, 0.3)
+	for i := 0; i < n; i++ {
+		tt := float64(i) / fs
+		want := 0.8 * math.Cos(2*math.Pi*(fref+0.5)*tt+0.3)
+		if got := reconstruct(s, i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("sample %d: %g vs %g", i, got, want)
+		}
+	}
+}
+
+func TestEnvZone0Convention(t *testing.T) {
+	s := EnvTone(64, 4, 16, 2, 0, 1.5, 0, 0)
+	bb, resid := s.BasebandReal()
+	if resid > 1e-12 {
+		t.Fatalf("imaginary residue %g", resid)
+	}
+	for _, v := range bb {
+		if math.Abs(v-1.5) > 1e-12 {
+			t.Fatalf("zone-0 DC value %g, want 1.5", v)
+		}
+	}
+}
+
+func TestEnvMulSquareOfCosine(t *testing.T) {
+	// cos^2(wt) = 1/2 + cos(2wt)/2.
+	fs, fref := 64.0, 4.0
+	n := 32
+	s := EnvTone(fs, fref, n, 2, 1, 1, 0, 0)
+	sq := Mul(s, s, 2)
+	for i := 0; i < n; i++ {
+		if math.Abs(real(sq.Z[0][i])-1) > 1e-12 { // value = Z0/2 = 0.5
+			t.Fatalf("DC zone value %v", sq.Z[0][i])
+		}
+		if cmplx.Abs(sq.Z[2][i]-complex(0.5, 0)) > 1e-12 {
+			t.Fatalf("2nd harmonic envelope %v, want 0.5", sq.Z[2][i])
+		}
+		if cmplx.Abs(sq.Z[1][i]) > 1e-12 {
+			t.Fatalf("fundamental should vanish in cos^2")
+		}
+	}
+}
+
+func TestEnvMulMatchesTimeDomain(t *testing.T) {
+	// Product of two offset tones, validated against pointwise products of
+	// the reconstructed signals.
+	fs, fref := 128.0, 8.0
+	n := 128
+	a := EnvTone(fs, fref, n, 3, 1, 0.7, 0.9, 0.2)
+	b := EnvTone(fs, fref, n, 3, 1, 1.1, -0.4, 1.0)
+	p := Mul(a, b, 3)
+	for i := 0; i < n; i++ {
+		want := reconstruct(a, i) * reconstruct(b, i)
+		if got := reconstruct(p, i); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("sample %d: product %g vs %g", i, got, want)
+		}
+	}
+}
+
+func TestEnvApplyPolyMatchesTimeDomain(t *testing.T) {
+	fs, fref := 128.0, 8.0
+	n := 64
+	x := EnvTone(fs, fref, n, 3, 1, 0.5, 1.3, 0.4)
+	poly := Poly{C: []float64{2, 0.3, -0.8}}
+	y := x.ApplyPoly(poly, 3)
+	for i := 0; i < n; i++ {
+		xv := reconstruct(x, i)
+		want := poly.Eval(xv)
+		got := reconstruct(y, i)
+		// Zone truncation loses nothing for a cubic of a zone-1 input with
+		// MaxZone 3.
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("sample %d: poly %g vs %g", i, got, want)
+		}
+	}
+}
+
+func TestEnvAddScaledAndScaleZone(t *testing.T) {
+	fs, fref := 64.0, 4.0
+	a := EnvTone(fs, fref, 8, 2, 1, 1, 0, 0)
+	b := EnvTone(fs, fref, 8, 2, 1, 2, 0, 0)
+	a.AddScaled(b, 0.5)
+	for i := 0; i < 8; i++ {
+		if cmplx.Abs(a.Z[1][i]-complex(2, 0)) > 1e-12 {
+			t.Fatalf("AddScaled result %v", a.Z[1][i])
+		}
+	}
+	a.ScaleZone(1, complex(0, 1))
+	if cmplx.Abs(a.Z[1][0]-complex(0, 2)) > 1e-12 {
+		t.Fatalf("ScaleZone result %v", a.Z[1][0])
+	}
+}
+
+func TestEnvIncompatiblePanics(t *testing.T) {
+	a := NewEnvSignal(10, 1, 4, 1)
+	b := NewEnvSignal(20, 1, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for incompatible signals")
+		}
+	}()
+	Mul(a, b, 1)
+}
+
+func TestPolyEvalAndSpecs(t *testing.T) {
+	p := Poly{C: []float64{10, 0, -1}}
+	if got := p.Eval(2); got != 20-8 {
+		t.Fatalf("Eval = %g", got)
+	}
+	if p.Gain() != 10 {
+		t.Fatal("Gain wrong")
+	}
+	// AIP3 = sqrt(4/3*10) -> check round trip with PolyFromSpecs.
+	ip3 := p.IIP3DBm()
+	q := PolyFromSpecs(20, ip3)
+	if math.Abs(q.C[0]-10) > 1e-9 {
+		t.Fatalf("gain round trip %g", q.C[0])
+	}
+	if math.Abs(q.C[2]-p.C[2])/math.Abs(p.C[2]) > 1e-9 {
+		t.Fatalf("c3 round trip %g vs %g", q.C[2], p.C[2])
+	}
+	// P1dB sits ~9.6 dB below IIP3.
+	if math.Abs(p.P1dBDBm()-(ip3-9.6)) > 1e-12 {
+		t.Fatal("P1dB relation broken")
+	}
+	lin := Poly{C: []float64{5}}
+	if !math.IsInf(lin.IIP3DBm(), 1) {
+		t.Fatal("linear poly should have infinite IIP3")
+	}
+}
+
+func TestChainCascadeSpecs(t *testing.T) {
+	// Two identical 10 dB / NF 3 dB stages: Friis NF = 10log10(2 + 1/10).
+	st := func() *Amplifier {
+		a := NewAmplifier(PolyFromSpecs(10, 10))
+		a.NFDB = 3
+		return a
+	}
+	c := &Chain{Stages: []*Amplifier{st(), st()}}
+	g, nf, ip3 := c.CascadeSpecs()
+	if math.Abs(g-20) > 1e-9 {
+		t.Fatalf("cascade gain %g", g)
+	}
+	f := math.Pow(10, 0.3) // NF 3 dB as a factor
+	wantNF := 10 * math.Log10(f+(f-1)/10.0)
+	if math.Abs(nf-wantNF) > 1e-9 {
+		t.Fatalf("cascade NF %g, want %g", nf, wantNF)
+	}
+	// Cascade IIP3 must be worse (lower) than a single stage's 10 dBm.
+	if ip3 >= 10 {
+		t.Fatalf("cascade IIP3 %g, want < 10", ip3)
+	}
+}

@@ -1,0 +1,208 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+)
+
+// EnvelopeDevice is a DUT that can be simulated in the zone-envelope domain.
+type EnvelopeDevice interface {
+	ProcessEnvelope(in *EnvSignal, maxZone int) *EnvSignal
+}
+
+// PassbandDevice is a DUT that can be simulated sample-by-sample at the
+// passband rate.
+type PassbandDevice interface {
+	ProcessPassband(x []float64) []float64
+}
+
+// StimFunc is a baseband stimulus waveform as a function of time (seconds).
+type StimFunc func(t float64) float64
+
+// Loadboard is the paper's Fig. 3 configuration: an upconversion mixer
+// driven by LO1 at CarrierHz, the DUT, a downconversion mixer driven by LO2
+// at CarrierHz+LOOffsetHz (with a path phase phi), a lowpass filter and the
+// digitizer. LOOffsetHz = 0 with PathPhase != 0 reproduces the Eq. 4
+// cancellation problem; a nonzero offset plus the FFT-magnitude signature
+// is the paper's fix (Eq. 5).
+type Loadboard struct {
+	CarrierHz   float64 // LO1 frequency f1
+	LOOffsetHz  float64 // f2 - f1 (e.g. 100 kHz in the hardware experiment)
+	CarrierAmp  float64 // LO peak amplitude, volts (10 dBm -> 1.0 V)
+	PathPhase   float64 // phi: phase mismatch between the LO paths, radians
+	UpMixer     *Mixer
+	DownMixer   *Mixer
+	LPFCutoffHz float64 // channel filter corner (10 MHz in the paper)
+	DigitizerFs float64 // capture rate (20 MHz simulation / 1 MHz hardware)
+	CaptureN    int     // samples captured
+	// SettleN digitizer samples are simulated and discarded before the
+	// capture starts, letting filter start-up transients die out (default
+	// 32).
+	SettleN int
+
+	// EnvOversample sets the envelope simulation rate as a multiple of
+	// DigitizerFs (default 4).
+	EnvOversample int
+	// MaxZone is the number of carrier harmonics tracked (default 3,
+	// matching the paper's mixer model).
+	MaxZone int
+	// PassbandFs is the direct passband simulation rate (default 8x
+	// carrier).
+	PassbandFs float64
+}
+
+// DefaultLoadboard returns the paper's simulation-experiment configuration:
+// 900 MHz 10 dBm carrier, 100 kHz LO offset, 10 MHz LPF, 20 MHz digitizing,
+// 5 us capture (100 samples).
+func DefaultLoadboard() *Loadboard {
+	return &Loadboard{
+		CarrierHz:   900e6,
+		LOOffsetHz:  100e3,
+		CarrierAmp:  1.0, // 10 dBm into 50 ohms
+		UpMixer:     DefaultMixer(),
+		DownMixer:   DefaultMixer(),
+		LPFCutoffHz: 10e6,
+		DigitizerFs: 20e6,
+		CaptureN:    100,
+	}
+}
+
+func (lb *Loadboard) envFs() float64 {
+	os := lb.EnvOversample
+	if os <= 0 {
+		os = 4
+	}
+	return lb.DigitizerFs * float64(os)
+}
+
+func (lb *Loadboard) maxZone() int {
+	if lb.MaxZone <= 0 {
+		return 3
+	}
+	return lb.MaxZone
+}
+
+func (lb *Loadboard) passbandFs() float64 {
+	if lb.PassbandFs > 0 {
+		return lb.PassbandFs
+	}
+	return 8 * lb.CarrierHz
+}
+
+func (lb *Loadboard) validate() error {
+	if lb.CarrierHz <= 0 || lb.DigitizerFs <= 0 || lb.CaptureN <= 0 {
+		return fmt.Errorf("rf: loadboard needs carrier, digitizer rate and capture length")
+	}
+	if lb.LPFCutoffHz <= 0 || lb.LPFCutoffHz > lb.DigitizerFs/2 {
+		return fmt.Errorf("rf: LPF cutoff %g Hz outside (0, digitizer Nyquist %g]", lb.LPFCutoffHz, lb.DigitizerFs/2)
+	}
+	if lb.UpMixer == nil || lb.DownMixer == nil {
+		return fmt.Errorf("rf: loadboard mixers not configured")
+	}
+	return nil
+}
+
+// finalFilter designs the shared channel filter at the envelope rate; both
+// simulation paths use it so their responses match.
+func (lb *Loadboard) finalFilter() (*dsp.FIR, error) {
+	cutoff := lb.LPFCutoffHz * 0.95
+	return dsp.DesignLowpassFIR(cutoff, lb.envFs(), 95, dsp.Blackman)
+}
+
+// strideDecimate picks every k-th sample starting at offset (input must
+// already be band-limited by the channel filter).
+func strideDecimate(x []float64, k, offset, n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := offset; i < len(x) && len(out) < n; i += k {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+func (lb *Loadboard) settleN() int {
+	if lb.SettleN > 0 {
+		return lb.SettleN
+	}
+	return 32
+}
+
+// RunEnvelope simulates the chain in the zone-envelope domain and returns
+// the CaptureN baseband samples the digitizer records.
+func (lb *Loadboard) RunEnvelope(dut EnvelopeDevice, stim StimFunc) ([]float64, error) {
+	if err := lb.validate(); err != nil {
+		return nil, err
+	}
+	fs := lb.envFs()
+	os := int(math.Round(fs / lb.DigitizerFs))
+	// Extra samples cover the channel-filter group delay.
+	fir, err := lb.finalFilter()
+	if err != nil {
+		return nil, err
+	}
+	settle := lb.settleN()
+	n := (lb.CaptureN+settle)*os + fir.GroupDelaySamples() + os
+	mz := lb.maxZone()
+
+	bb := make([]float64, n)
+	for i := range bb {
+		bb[i] = stim(float64(i) / fs)
+	}
+	x := EnvFromBaseband(bb, fs, lb.CarrierHz, mz)
+	lo1 := EnvTone(fs, lb.CarrierHz, n, mz, 1, lb.CarrierAmp, 0, 0)
+	rfIn := lb.UpMixer.ProcessEnvelope(x, lo1, mz)
+	y := dut.ProcessEnvelope(rfIn, mz)
+	lo2 := EnvTone(fs, lb.CarrierHz, n, mz, 1, lb.CarrierAmp, lb.LOOffsetHz, lb.PathPhase)
+	down := lb.DownMixer.ProcessEnvelope(y, lo2, mz)
+	base, _ := down.BasebandReal()
+	filtered := fir.FilterCompensated(base)
+	return strideDecimate(filtered, os, settle*os, lb.CaptureN), nil
+}
+
+// RunPassband simulates the chain by direct time-domain sampling at
+// PassbandFs — the reference implementation used to validate the envelope
+// engine. The passband stream is decimated to the envelope rate with
+// boxcar stages, then shares the envelope path's channel filter.
+func (lb *Loadboard) RunPassband(dut PassbandDevice, stim StimFunc) ([]float64, error) {
+	if err := lb.validate(); err != nil {
+		return nil, err
+	}
+	pfs := lb.passbandFs()
+	envRate := lb.envFs()
+	ratio := pfs / envRate
+	if math.Abs(ratio-math.Round(ratio)) > 1e-9 {
+		return nil, fmt.Errorf("rf: passband rate %g not an integer multiple of envelope rate %g", pfs, envRate)
+	}
+	fir, err := lb.finalFilter()
+	if err != nil {
+		return nil, err
+	}
+	os := int(math.Round(envRate / lb.DigitizerFs))
+	settle := lb.settleN()
+	nEnv := (lb.CaptureN+settle)*os + fir.GroupDelaySamples() + os
+	n := nEnv * int(math.Round(ratio))
+
+	x := make([]float64, n)
+	lo1 := make([]float64, n)
+	lo2 := make([]float64, n)
+	w1 := 2 * math.Pi * lb.CarrierHz
+	w2 := 2 * math.Pi * (lb.CarrierHz + lb.LOOffsetHz)
+	for i := range x {
+		t := float64(i) / pfs
+		x[i] = stim(t)
+		lo1[i] = lb.CarrierAmp * math.Cos(w1*t)
+		lo2[i] = lb.CarrierAmp * math.Cos(w2*t+lb.PathPhase)
+	}
+	rfIn := lb.UpMixer.ProcessPassband(x, lo1)
+	y := dut.ProcessPassband(rfIn)
+	down := lb.DownMixer.ProcessPassband(y, lo2)
+
+	chain, err := dsp.NewDecimationChain(pfs, envRate, 0)
+	if err != nil {
+		return nil, err
+	}
+	atEnv := chain.Process(down)
+	filtered := fir.FilterCompensated(atEnv)
+	return strideDecimate(filtered, os, settle*os, lb.CaptureN), nil
+}

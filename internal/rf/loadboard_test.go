@@ -1,0 +1,290 @@
+package rf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+// testStim is a smooth two-component baseband waveform inside the LPF band.
+// Peak ~0.14 V: after upconversion with a 1 V carrier this drives a
+// 3 dBm-IIP3 DUT near its 1 dB compression point (A1dB ~ 0.15 V) without
+// pushing it into deep, unphysical overdrive.
+func testStim(t float64) float64 {
+	return 0.08*math.Sin(2*math.Pi*1e6*t) + 0.06*math.Sin(2*math.Pi*2.5e6*t+0.7)
+}
+
+func TestMixerIdealProductEnvelope(t *testing.T) {
+	// Ideal mixer x * lo with x a baseband tone and lo the carrier: output
+	// zone 1 envelope must equal x's baseband value times carrier envelope.
+	fs, fref := 80e6, 900e6
+	n := 160
+	bb := make([]float64, n)
+	for i := range bb {
+		bb[i] = 0.5 * math.Sin(2*math.Pi*1e6*float64(i)/fs)
+	}
+	x := EnvFromBaseband(bb, fs, fref, 3)
+	lo := EnvTone(fs, fref, n, 3, 1, 1, 0, 0)
+	y := IdealMixer().ProcessEnvelope(x, lo, 3)
+	for i := 0; i < n; i++ {
+		// x(t)*cos(wt): zone-1 envelope = x(t) (real).
+		want := bb[i]
+		if math.Abs(real(y.Z[1][i])-want) > 1e-9 || math.Abs(imag(y.Z[1][i])) > 1e-9 {
+			t.Fatalf("sample %d: zone1 %v, want %g", i, y.Z[1][i], want)
+		}
+	}
+}
+
+func TestMixerPassbandMatchesDirectComputation(t *testing.T) {
+	m := DefaultMixer()
+	rf := []float64{0.1, -0.2, 0.3}
+	lo := []float64{1, -1, 0.5}
+	out := m.ProcessPassband(rf, lo)
+	for i := range rf {
+		r, l := rf[i], lo[i]
+		want := m.RFFeedthrough*r + m.LOFeedthrough*l
+		for p := 1; p <= 3; p++ {
+			for q := 1; q <= 3; q++ {
+				want += m.K[p-1][q-1] * math.Pow(r, float64(p)) * math.Pow(l, float64(q))
+			}
+		}
+		if math.Abs(out[i]-want) > 1e-12 {
+			t.Fatalf("sample %d: %g vs %g", i, out[i], want)
+		}
+	}
+}
+
+func TestLoadboardGainDeviceRoundTrip(t *testing.T) {
+	// Ideal mixers, linear DUT of gain A, same LO, phase 0: the captured
+	// baseband should be (A/2)*CarrierAmp^2*stim within filter accuracy
+	// (Eq. 2-4 of the paper with phi = 0: x_s = A x_t cos(phi) with the
+	// 1/2 from each multiplication absorbed into the LO amplitudes).
+	lb := DefaultLoadboard()
+	lb.UpMixer = IdealMixer()
+	lb.DownMixer = IdealMixer()
+	lb.LOOffsetHz = 0
+	lb.CaptureN = 200
+	amp := NewAmplifier(Poly{C: []float64{4}})
+	got, err := lb.RunEnvelope(amp, testStim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: up = x*cos(wt) -> zone1 env = x; DUT: 4x; down mixes with
+	// cos(wt): zone0 value = 4x/2 = 2x. Captured sample i corresponds to
+	// time (settle + i)/fs.
+	fs := lb.DigitizerFs
+	for i := range got {
+		want := 2 * testStim(float64(i+32)/fs)
+		if math.Abs(got[i]-want) > 0.02 {
+			t.Fatalf("sample %d: %g vs %g", i, got[i], want)
+		}
+	}
+}
+
+func TestLoadboardPhaseCancellationEq4(t *testing.T) {
+	// Same-LO configuration: signature amplitude scales with cos(phi) and
+	// collapses at phi = pi/2 (the paper's Eq. 4 problem).
+	lb := DefaultLoadboard()
+	lb.UpMixer = IdealMixer()
+	lb.DownMixer = IdealMixer()
+	lb.LOOffsetHz = 0
+	amp := NewAmplifier(Poly{C: []float64{4}})
+
+	power := func(phase float64) float64 {
+		lb.PathPhase = phase
+		y, err := lb.RunEnvelope(amp, testStim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dsp.SignalPower(y)
+	}
+	p0 := power(0)
+	p90 := power(math.Pi / 2)
+	p60 := power(math.Pi / 3)
+	if p90 > 1e-6*p0 {
+		t.Fatalf("quadrature phase should cancel the signature: p0=%g p90=%g", p0, p90)
+	}
+	// cos^2(60 deg) = 1/4.
+	if math.Abs(p60/p0-0.25) > 0.02 {
+		t.Fatalf("cos^2 law violated: p60/p0 = %g", p60/p0)
+	}
+}
+
+// relChange is the relative L2 difference between two equal-length vectors.
+func relChange(a, b []float64) float64 {
+	var num, den float64
+	for i := range a {
+		d := a[i] - b[i]
+		num += d * d
+		den += a[i] * a[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+func TestLoadboardOffsetLOMagnitudeInvariantToPhase(t *testing.T) {
+	// With the LO offset, ideal multipliers and an FFT-magnitude signature,
+	// phase variations must not change the signature (paper Eq. 5 /
+	// Fig. 3). Real mixers add a small residual through their 2*phi cross
+	// products — checked separately below.
+	lb := DefaultLoadboard()
+	lb.UpMixer = IdealMixer()
+	lb.DownMixer = IdealMixer()
+	lb.CaptureN = 400
+	amp := NewAmplifier(PolyFromSpecs(16, 3))
+
+	sig := func(phase float64) []float64 {
+		lb.PathPhase = phase
+		y, err := lb.RunEnvelope(amp, testStim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dsp.MagnitudeSpectrum(dsp.Blackman.Apply(y))
+	}
+	if rel := relChange(sig(0), sig(1.2)); rel > 0.02 {
+		t.Fatalf("FFT-magnitude signature changed by %.2f%% under phase shift", rel*100)
+	}
+	// Sanity: the raw time-domain capture DOES change with phase.
+	lb.PathPhase = 0
+	y0, _ := lb.RunEnvelope(amp, testStim)
+	lb.PathPhase = 1.2
+	y1, _ := lb.RunEnvelope(amp, testStim)
+	if relChange(y0, y1) < 0.1 {
+		t.Fatal("time-domain capture should depend on phase; only the magnitude signature is invariant")
+	}
+}
+
+func TestLoadboardRealMixersSmallPhaseResidual(t *testing.T) {
+	// With harmonic-generating mixers the magnitude signature retains a
+	// small phase dependence (interference between phi and 2*phi cross
+	// products), but it must remain far smaller than the raw waveform's
+	// phase dependence — this is exactly why the paper normalizes through a
+	// regression calibration rather than assuming perfect invariance.
+	lb := DefaultLoadboard()
+	lb.CaptureN = 400
+	amp := NewAmplifier(PolyFromSpecs(16, 3))
+	run := func(phase float64) ([]float64, []float64) {
+		lb.PathPhase = phase
+		y, err := lb.RunEnvelope(amp, testStim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return y, dsp.MagnitudeSpectrum(dsp.Blackman.Apply(y))
+	}
+	y0, s0 := run(0)
+	y1, s1 := run(1.2)
+	rawRel := relChange(y0, y1)
+	sigRel := relChange(s0, s1)
+	if sigRel > rawRel/5 {
+		t.Fatalf("signature phase residual %.3f not much smaller than raw %.3f", sigRel, rawRel)
+	}
+	if sigRel > 0.1 {
+		t.Fatalf("signature phase residual too large: %.3f", sigRel)
+	}
+}
+
+func TestLoadboardEnvelopeMatchesPassbandIdealMixers(t *testing.T) {
+	// Cross-validation of the two simulation engines where both are exact:
+	// ideal multipliers and a cubic DUT keep every spectral product within
+	// the tracked zones and below the passband Nyquist.
+	lb := DefaultLoadboard()
+	lb.UpMixer = IdealMixer()
+	lb.DownMixer = IdealMixer()
+	lb.CaptureN = 150
+	lb.PathPhase = 0.4
+	amp := NewAmplifier(PolyFromSpecs(16, 3))
+	// Passband engine is memoryless/flat: align the envelope engine.
+	amp.ZoneGain = map[int]float64{0: 1, 1: 1, 2: 1, 3: 1}
+
+	env, err := lb.RunEnvelope(amp, testStim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, err := lb.RunPassband(amp, testStim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env) != len(pass) {
+		t.Fatalf("length mismatch %d vs %d", len(env), len(pass))
+	}
+	// Compare FFT magnitudes: the two engines differ by a sub-sample group
+	// delay (boxcar decimation stages), which the magnitude signature — the
+	// quantity the framework actually uses — is immune to.
+	se := dsp.MagnitudeSpectrum(dsp.Blackman.Apply(env))
+	sp := dsp.MagnitudeSpectrum(dsp.Blackman.Apply(pass))
+	if rel := relChange(se, sp); rel > 0.03 {
+		t.Fatalf("envelope vs passband signature relative error %.3f, want < 0.03", rel)
+	}
+}
+
+func TestLoadboardEnvelopeMatchesPassbandRealMixers(t *testing.T) {
+	// With harmonic-generating mixers the engines approximate the same
+	// infinite-bandwidth system differently (zone truncation vs sample-rate
+	// aliasing); agreement is looser but must stay within a few percent.
+	lb := DefaultLoadboard()
+	lb.CaptureN = 120
+	lb.PathPhase = 0.4
+	lb.PassbandFs = 16 * lb.CarrierHz
+	amp := NewAmplifier(PolyFromSpecs(16, 3))
+	amp.ZoneGain = map[int]float64{0: 1, 1: 1, 2: 1, 3: 1}
+
+	env, err := lb.RunEnvelope(amp, testStim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, err := lb.RunPassband(amp, testStim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := dsp.MagnitudeSpectrum(dsp.Blackman.Apply(env))
+	sp := dsp.MagnitudeSpectrum(dsp.Blackman.Apply(pass))
+	if rel := relChange(se, sp); rel > 0.08 {
+		t.Fatalf("envelope vs passband signature relative error %.3f, want < 0.08", rel)
+	}
+}
+
+func TestLoadboardValidation(t *testing.T) {
+	lb := DefaultLoadboard()
+	lb.LPFCutoffHz = 50e6 // above digitizer Nyquist
+	if _, err := lb.RunEnvelope(NewAmplifier(Poly{C: []float64{1}}), testStim); err == nil {
+		t.Fatal("expected validation error")
+	}
+	lb = DefaultLoadboard()
+	lb.UpMixer = nil
+	if _, err := lb.RunEnvelope(NewAmplifier(Poly{C: []float64{1}}), testStim); err == nil {
+		t.Fatal("expected mixer validation error")
+	}
+}
+
+func TestLoadboardNonlinearDUTGeneratesIMProducts(t *testing.T) {
+	// Two-tone baseband stimulus through a compressive DUT must show IM3
+	// products in the captured spectrum at 2*f1-f2 and 2*f2-f1.
+	lb := DefaultLoadboard()
+	lb.LOOffsetHz = 0
+	lb.UpMixer = IdealMixer()
+	lb.DownMixer = IdealMixer()
+	lb.CaptureN = 400
+	amp := NewAmplifier(PolyFromSpecs(16, -8)) // quite nonlinear
+	f1, f2 := 2.0e6, 2.5e6
+	stim := func(t float64) float64 {
+		return 0.04*math.Sin(2*math.Pi*f1*t) + 0.04*math.Sin(2*math.Pi*f2*t)
+	}
+	y, err := lb.RunEnvelope(amp, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fund := dsp.ToneAmplitude(y, f1, lb.DigitizerFs)
+	im3 := dsp.ToneAmplitude(y, 2*f1-f2, lb.DigitizerFs)
+	if fund < 0.01 {
+		t.Fatalf("fundamental missing: %g", fund)
+	}
+	if im3 < 1e-5*fund {
+		t.Fatalf("IM3 product missing: fund=%g im3=%g", fund, im3)
+	}
+	if im3 > fund {
+		t.Fatal("IM3 should remain below the fundamental")
+	}
+}

@@ -1,0 +1,102 @@
+package rf
+
+import "fmt"
+
+// Mixer is the paper's behavioral mixer: it "generates cross products of
+// the RF and LO signals and their second and third harmonics". The output
+// is
+//
+//	y = sum_{p=1..3, q=1..3} K[p-1][q-1] * rf^p * lo^q
+//	    + RFFeedthrough*rf + LOFeedthrough*lo
+//
+// K[0][0] is the fundamental multiplicative conversion term.
+type Mixer struct {
+	K             [3][3]float64
+	RFFeedthrough float64
+	LOFeedthrough float64
+}
+
+// DefaultMixer returns a realistic diode-ring-like mixer: full fundamental
+// product, progressively weaker harmonic cross products, small feedthrough.
+func DefaultMixer() *Mixer {
+	return &Mixer{
+		K: [3][3]float64{
+			{1.0, 0.10, 0.05},
+			{0.05, 0.010, 0.004},
+			{0.02, 0.004, 0.002},
+		},
+		RFFeedthrough: 0.02,
+		LOFeedthrough: 0.02,
+	}
+}
+
+// IdealMixer returns a pure multiplier (used in unit tests and the phase
+// study, where the textbook Eqs. 1-5 assume ideal multiplication).
+func IdealMixer() *Mixer {
+	return &Mixer{K: [3][3]float64{{1, 0, 0}, {0, 0, 0}, {0, 0, 0}}}
+}
+
+// ProcessEnvelope mixes rf with lo in the zone-envelope domain, keeping
+// output zones up to maxZone.
+func (m *Mixer) ProcessEnvelope(rf, lo *EnvSignal, maxZone int) *EnvSignal {
+	if err := rf.compatible(lo); err != nil {
+		panic(fmt.Errorf("rf: mixer inputs: %w", err))
+	}
+	out := NewEnvSignal(rf.Fs, rf.Fref, rf.N, maxZone)
+	// Powers of rf and lo, computed once.
+	rfPows := powers(rf, 3, maxZone+lo.MaxZone*3)
+	loPows := powers(lo, 3, maxZone+rf.MaxZone*3)
+	for p := 1; p <= 3; p++ {
+		for q := 1; q <= 3; q++ {
+			k := m.K[p-1][q-1]
+			if k == 0 {
+				continue
+			}
+			prod := Mul(rfPows[p-1], loPows[q-1], maxZone)
+			out.AddScaled(prod, k)
+		}
+	}
+	if m.RFFeedthrough != 0 {
+		out.AddScaled(rf, m.RFFeedthrough)
+	}
+	if m.LOFeedthrough != 0 {
+		out.AddScaled(lo, m.LOFeedthrough)
+	}
+	return out
+}
+
+// powers returns s^1..s^n in the zone algebra (intermediate zones capped).
+func powers(s *EnvSignal, n, zoneCap int) []*EnvSignal {
+	if zoneCap > 3*s.MaxZone {
+		zoneCap = 3 * s.MaxZone
+	}
+	out := make([]*EnvSignal, n)
+	out[0] = s
+	for k := 1; k < n; k++ {
+		out[k] = Mul(out[k-1], s, zoneCap)
+	}
+	return out
+}
+
+// ProcessPassband mixes sample streams directly.
+func (m *Mixer) ProcessPassband(rf, lo []float64) []float64 {
+	if len(rf) != len(lo) {
+		panic(fmt.Sprintf("rf: mixer passband inputs differ in length: %d vs %d", len(rf), len(lo)))
+	}
+	out := make([]float64, len(rf))
+	for i := range rf {
+		r, l := rf[i], lo[i]
+		rp := [3]float64{r, r * r, r * r * r}
+		lp := [3]float64{l, l * l, l * l * l}
+		y := m.RFFeedthrough*r + m.LOFeedthrough*l
+		for p := 0; p < 3; p++ {
+			for q := 0; q < 3; q++ {
+				if k := m.K[p][q]; k != 0 {
+					y += k * rp[p] * lp[q]
+				}
+			}
+		}
+		out[i] = y
+	}
+	return out
+}

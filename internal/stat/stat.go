@@ -1,0 +1,240 @@
+// Package stat provides the statistics utilities shared across the
+// signature-test framework: metrics (RMS error, correlation, R²),
+// descriptive statistics, and sampling plans (uniform Monte Carlo and
+// Latin hypercube) used to generate process-variation populations.
+package stat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of v (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func Variance(v []float64) float64 {
+	n := len(v)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(v []float64) float64 { return math.Sqrt(Variance(v)) }
+
+// RMS returns sqrt(mean(v_i^2)).
+func RMS(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// RMSError returns the RMS of pointwise differences between predicted and
+// actual. It panics on length mismatch.
+func RMSError(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic(fmt.Sprintf("stat: RMSError length mismatch %d vs %d", len(pred), len(actual)))
+	}
+	d := make([]float64, len(pred))
+	for i := range pred {
+		d[i] = pred[i] - actual[i]
+	}
+	return RMS(d)
+}
+
+// StdError returns the standard deviation of the prediction error — the
+// "std(err)" annotation on the paper's scatter plots (Figs. 8-10).
+func StdError(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("stat: StdError length mismatch")
+	}
+	d := make([]float64, len(pred))
+	for i := range pred {
+		d[i] = pred[i] - actual[i]
+	}
+	return StdDev(d)
+}
+
+// MaxAbsError returns the worst-case |pred-actual|.
+func MaxAbsError(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("stat: MaxAbsError length mismatch")
+	}
+	mx := 0.0
+	for i := range pred {
+		if a := math.Abs(pred[i] - actual[i]); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Correlation returns the Pearson correlation coefficient of x and y
+// (0 if either input is constant).
+func Correlation(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stat: Correlation length mismatch")
+	}
+	if len(x) < 2 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// RSquared returns the coefficient of determination of predictions against
+// actual values: 1 - SS_res/SS_tot.
+func RSquared(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic("stat: RSquared length mismatch")
+	}
+	m := Mean(actual)
+	var ssRes, ssTot float64
+	for i := range actual {
+		r := actual[i] - pred[i]
+		d := actual[i] - m
+		ssRes += r * r
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MinMax returns the extrema of v.
+func MinMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Percentile returns the p-quantile (0..1) of v using linear interpolation.
+func Percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	f := p * float64(len(s)-1)
+	i := int(f)
+	frac := f - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// UniformSample fills a k-dimensional sample with independent uniform draws
+// in [lo_i, hi_i].
+func UniformSample(rng *rand.Rand, lo, hi []float64) []float64 {
+	if len(lo) != len(hi) {
+		panic("stat: UniformSample bounds length mismatch")
+	}
+	out := make([]float64, len(lo))
+	for i := range out {
+		out[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+	}
+	return out
+}
+
+// LatinHypercube returns n samples in k dimensions with bounds lo/hi using
+// a Latin hypercube plan: each dimension is divided into n equal strata and
+// each stratum is sampled exactly once, giving better space coverage than
+// plain Monte Carlo for the same n. Used for training-device populations.
+func LatinHypercube(rng *rand.Rand, n int, lo, hi []float64) [][]float64 {
+	if len(lo) != len(hi) {
+		panic("stat: LatinHypercube bounds length mismatch")
+	}
+	k := len(lo)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, k)
+	}
+	perm := make([]int, n)
+	for d := 0; d < k; d++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := 0; i < n; i++ {
+			u := (float64(perm[i]) + rng.Float64()) / float64(n)
+			out[i][d] = lo[d] + u*(hi[d]-lo[d])
+		}
+	}
+	return out
+}
+
+// Histogram bins v into nbins equal-width bins over [lo, hi] and returns
+// the counts. Values outside the range are clamped into the edge bins.
+func Histogram(v []float64, lo, hi float64, nbins int) []int {
+	counts := make([]int, nbins)
+	if nbins == 0 || hi <= lo {
+		return counts
+	}
+	w := (hi - lo) / float64(nbins)
+	for _, x := range v {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}

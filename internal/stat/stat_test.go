@@ -1,0 +1,183 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(v) != 5 {
+		t.Fatalf("Mean = %g, want 5", Mean(v))
+	}
+	if got := Variance(v); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Fatalf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should return 0")
+	}
+}
+
+func TestRMSAndErrors(t *testing.T) {
+	if RMS([]float64{3, 4}) != 5/math.Sqrt2 {
+		t.Fatalf("RMS = %g", RMS([]float64{3, 4}))
+	}
+	pred := []float64{1, 2, 3}
+	act := []float64{1, 2, 4}
+	if got := RMSError(pred, act); math.Abs(got-1/math.Sqrt(3)) > 1e-12 {
+		t.Fatalf("RMSError = %g", got)
+	}
+	if got := MaxAbsError(pred, act); got != 1 {
+		t.Fatalf("MaxAbsError = %g", got)
+	}
+	// Constant bias: std of error should be ~0, RMS equals the bias.
+	bias := []float64{2, 3, 4}
+	if got := StdError(bias, []float64{1, 2, 3}); math.Abs(got) > 1e-12 {
+		t.Fatalf("StdError of constant bias = %g, want 0", got)
+	}
+	if got := RMSError(bias, []float64{1, 2, 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("RMSError of constant bias = %g, want 1", got)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if got := Correlation(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %g", got)
+	}
+	yneg := []float64{8, 6, 4, 2}
+	if got := Correlation(x, yneg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %g", got)
+	}
+	if Correlation(x, []float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("constant series correlation should be 0")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	act := []float64{1, 2, 3, 4}
+	if got := RSquared(act, act); got != 1 {
+		t.Fatalf("perfect fit R2 = %g", got)
+	}
+	meanPred := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := RSquared(meanPred, act); math.Abs(got) > 1e-12 {
+		t.Fatalf("mean prediction R2 = %g, want 0", got)
+	}
+}
+
+func TestMinMaxPercentile(t *testing.T) {
+	v := []float64{5, 1, 9, 3}
+	lo, hi := MinMax(v)
+	if lo != 1 || hi != 9 {
+		t.Fatalf("MinMax = %g, %g", lo, hi)
+	}
+	if Percentile(v, 0) != 1 || Percentile(v, 1) != 9 {
+		t.Fatal("percentile extremes wrong")
+	}
+	if got := Percentile(v, 0.5); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("median = %g, want 4", got)
+	}
+}
+
+func TestUniformSampleBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lo := []float64{-1, 10}
+	hi := []float64{1, 20}
+	for i := 0; i < 100; i++ {
+		s := UniformSample(rng, lo, hi)
+		for d := range s {
+			if s[d] < lo[d] || s[d] > hi[d] {
+				t.Fatalf("sample %v outside bounds", s)
+			}
+		}
+	}
+}
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 20
+	lo := []float64{0, -5}
+	hi := []float64{1, 5}
+	samples := LatinHypercube(rng, n, lo, hi)
+	if len(samples) != n {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	// Each dimension: exactly one sample per stratum.
+	for d := 0; d < 2; d++ {
+		seen := make([]bool, n)
+		for _, s := range samples {
+			u := (s[d] - lo[d]) / (hi[d] - lo[d])
+			b := int(u * float64(n))
+			if b == n {
+				b = n - 1
+			}
+			if seen[b] {
+				t.Fatalf("dimension %d stratum %d sampled twice", d, b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{0.1, 0.2, 0.9, -5, 99}, 0, 1, 2)
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Fatalf("Histogram = %v", counts)
+	}
+}
+
+// Property: RMSError is invariant under common shifts of both series, and
+// zero iff the series are identical.
+func TestPropertyRMSErrorShiftInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		e1 := RMSError(a, b)
+		shift := r.NormFloat64() * 10
+		as := make([]float64, n)
+		bs := make([]float64, n)
+		for i := range a {
+			as[i] = a[i] + shift
+			bs[i] = b[i] + shift
+		}
+		e2 := RMSError(as, bs)
+		if math.Abs(e1-e2) > 1e-9 {
+			return false
+		}
+		return RMSError(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: correlation is bounded in [-1, 1] and symmetric.
+func TestPropertyCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		c := Correlation(x, y)
+		if c < -1-1e-12 || c > 1+1e-12 {
+			return false
+		}
+		return math.Abs(c-Correlation(y, x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

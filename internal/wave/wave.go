@@ -1,0 +1,180 @@
+// Package wave provides the test-stimulus waveform models. The paper's
+// optimized stimulus is a piecewise-linear (PWL) baseband waveform whose
+// breakpoint amplitudes are the genome of the genetic optimization
+// (Section 3.1); this package also supplies the carriers, multitone and
+// noise sources used by the conventional tests and by ablation studies.
+package wave
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PWL is a piecewise-linear waveform: Levels[i] is the value at time
+// i*Duration/(len(Levels)-1), with linear interpolation between breakpoints.
+// This matches the paper's "breakpoints of the PWL stimulus are encoded as
+// a genetic string".
+type PWL struct {
+	Levels   []float64 // breakpoint values, len >= 2
+	Duration float64   // seconds
+}
+
+// NewPWL validates and builds a PWL waveform.
+func NewPWL(levels []float64, duration float64) (*PWL, error) {
+	if len(levels) < 2 {
+		return nil, fmt.Errorf("wave: PWL needs >= 2 breakpoints, got %d", len(levels))
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("wave: PWL duration must be positive, got %g", duration)
+	}
+	out := make([]float64, len(levels))
+	copy(out, levels)
+	return &PWL{Levels: out, Duration: duration}, nil
+}
+
+// At evaluates the waveform at time t (clamped to [0, Duration]).
+func (p *PWL) At(t float64) float64 {
+	if t <= 0 {
+		return p.Levels[0]
+	}
+	if t >= p.Duration {
+		return p.Levels[len(p.Levels)-1]
+	}
+	nseg := len(p.Levels) - 1
+	pos := t / p.Duration * float64(nseg)
+	i := int(pos)
+	if i >= nseg {
+		i = nseg - 1
+	}
+	frac := pos - float64(i)
+	return p.Levels[i]*(1-frac) + p.Levels[i+1]*frac
+}
+
+// Sample returns n samples at sample rate fs starting at t=0.
+func (p *PWL) Sample(fs float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.At(float64(i) / fs)
+	}
+	return out
+}
+
+// MaxAbs returns the waveform's peak magnitude.
+func (p *PWL) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range p.Levels {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Clamp limits every breakpoint into [-limit, limit], in place, and returns
+// the receiver. Used to enforce AWG full-scale range on GA offspring.
+func (p *PWL) Clamp(limit float64) *PWL {
+	for i, v := range p.Levels {
+		if v > limit {
+			p.Levels[i] = limit
+		} else if v < -limit {
+			p.Levels[i] = -limit
+		}
+	}
+	return p
+}
+
+// Clone deep-copies the waveform.
+func (p *PWL) Clone() *PWL {
+	lv := make([]float64, len(p.Levels))
+	copy(lv, p.Levels)
+	return &PWL{Levels: lv, Duration: p.Duration}
+}
+
+// RandomPWL draws breakpoints uniformly from [-amp, amp]; the GA's initial
+// population.
+func RandomPWL(rng *rand.Rand, nbreak int, amp, duration float64) *PWL {
+	lv := make([]float64, nbreak)
+	for i := range lv {
+		lv[i] = amp * (2*rng.Float64() - 1)
+	}
+	p, err := NewPWL(lv, duration)
+	if err != nil {
+		panic(err) // nbreak/duration validated by callers
+	}
+	return p
+}
+
+// Tone is a single sinusoid.
+type Tone struct {
+	Freq  float64 // Hz
+	Amp   float64 // volts peak
+	Phase float64 // radians
+}
+
+// Multitone is a sum of sinusoids, e.g. the two-tone stimulus used by the
+// conventional IIP3 test (900 MHz and 920 MHz in the paper's simulation).
+type Multitone struct {
+	Tones []Tone
+}
+
+// At evaluates the multitone at time t.
+func (m *Multitone) At(t float64) float64 {
+	s := 0.0
+	for _, tn := range m.Tones {
+		s += tn.Amp * math.Sin(2*math.Pi*tn.Freq*t+tn.Phase)
+	}
+	return s
+}
+
+// Sample returns n samples at sample rate fs.
+func (m *Multitone) Sample(fs float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.At(float64(i) / fs)
+	}
+	return out
+}
+
+// Sine returns n samples of a sinusoid.
+func Sine(freq, amp, phase, fs float64, n int) []float64 {
+	out := make([]float64, n)
+	w := 2 * math.Pi * freq / fs
+	for i := range out {
+		out[i] = amp * math.Sin(w*float64(i)+phase)
+	}
+	return out
+}
+
+// GaussianNoise returns n samples of white Gaussian noise with the given
+// standard deviation (volts). Used for digitizer noise and for the 1 mV
+// signature noise in the paper's simulation experiment.
+func GaussianNoise(rng *rand.Rand, sigma float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = sigma * rng.NormFloat64()
+	}
+	return out
+}
+
+// AddNoise returns x + white Gaussian noise of the given sigma.
+func AddNoise(rng *rand.Rand, x []float64, sigma float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+// Chirp returns a linear frequency sweep from f0 to f1 Hz over n samples;
+// one of the naive comparison stimuli in the stimulus ablation.
+func Chirp(f0, f1, amp, fs float64, n int) []float64 {
+	out := make([]float64, n)
+	dur := float64(n) / fs
+	k := (f1 - f0) / dur
+	for i := range out {
+		t := float64(i) / fs
+		out[i] = amp * math.Sin(2*math.Pi*(f0*t+0.5*k*t*t))
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package wave
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPWLEndpointsAndInterpolation(t *testing.T) {
+	p, err := NewPWL([]float64{0, 1, -1}, 2e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0) != 0 || p.At(2e-6) != -1 {
+		t.Fatal("endpoint values wrong")
+	}
+	// Midpoint of first segment.
+	if got := p.At(0.5e-6); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("At(0.5us) = %g, want 0.5", got)
+	}
+	// Clamping outside the duration.
+	if p.At(-1) != 0 || p.At(5e-6) != -1 {
+		t.Fatal("out-of-range clamp wrong")
+	}
+}
+
+func TestPWLValidation(t *testing.T) {
+	if _, err := NewPWL([]float64{1}, 1e-6); err == nil {
+		t.Fatal("single breakpoint must error")
+	}
+	if _, err := NewPWL([]float64{1, 2}, 0); err == nil {
+		t.Fatal("zero duration must error")
+	}
+}
+
+func TestPWLSampleCount(t *testing.T) {
+	p, _ := NewPWL([]float64{0, 1}, 1e-6)
+	s := p.Sample(100e6, 100)
+	if len(s) != 100 {
+		t.Fatalf("sample count %d", len(s))
+	}
+	// Monotone ramp.
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1]-1e-12 {
+			t.Fatalf("ramp not monotone at %d", i)
+		}
+	}
+}
+
+func TestPWLClampAndClone(t *testing.T) {
+	p, _ := NewPWL([]float64{-3, 0.5, 3}, 1e-6)
+	q := p.Clone()
+	p.Clamp(1)
+	if p.Levels[0] != -1 || p.Levels[2] != 1 || p.Levels[1] != 0.5 {
+		t.Fatalf("Clamp = %v", p.Levels)
+	}
+	if q.Levels[0] != -3 {
+		t.Fatal("Clone should be independent of Clamp")
+	}
+	if p.MaxAbs() != 1 {
+		t.Fatalf("MaxAbs = %g", p.MaxAbs())
+	}
+}
+
+func TestRandomPWLBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		p := RandomPWL(rng, 16, 0.8, 5e-6)
+		if len(p.Levels) != 16 || p.Duration != 5e-6 {
+			t.Fatal("shape wrong")
+		}
+		if p.MaxAbs() > 0.8 {
+			t.Fatalf("amplitude bound violated: %g", p.MaxAbs())
+		}
+	}
+}
+
+func TestMultitoneSuperposition(t *testing.T) {
+	m := &Multitone{Tones: []Tone{{Freq: 1e6, Amp: 1}, {Freq: 2e6, Amp: 0.5}}}
+	fs := 100e6
+	got := m.Sample(fs, 64)
+	for i := range got {
+		ts := float64(i) / fs
+		want := math.Sin(2*math.Pi*1e6*ts) + 0.5*math.Sin(2*math.Pi*2e6*ts)
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Fatalf("sample %d: %g vs %g", i, got[i], want)
+		}
+	}
+}
+
+func TestSinePhase(t *testing.T) {
+	s := Sine(0, 2, math.Pi/2, 1, 4)
+	for _, v := range s {
+		if math.Abs(v-2) > 1e-12 {
+			t.Fatalf("DC-from-phase wrong: %v", s)
+		}
+	}
+}
+
+func TestGaussianNoiseStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 100000
+	x := GaussianNoise(rng, 0.001, n)
+	var mean, ms float64
+	for _, v := range x {
+		mean += v
+		ms += v * v
+	}
+	mean /= float64(n)
+	ms /= float64(n)
+	if math.Abs(mean) > 1e-4 {
+		t.Fatalf("noise mean %g", mean)
+	}
+	if math.Abs(math.Sqrt(ms)-0.001) > 5e-5 {
+		t.Fatalf("noise sigma %g, want 0.001", math.Sqrt(ms))
+	}
+}
+
+func TestAddNoiseZeroSigmaIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := []float64{1, 2, 3}
+	y := AddNoise(rng, x, 0)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("zero-sigma noise changed the signal")
+		}
+	}
+}
+
+func TestChirpFrequencyProgression(t *testing.T) {
+	fs := 100e6
+	n := 10000
+	x := Chirp(1e6, 10e6, 1, fs, n)
+	// Count zero crossings in first and last quarter; the last quarter must
+	// have more (higher instantaneous frequency).
+	count := func(seg []float64) int {
+		c := 0
+		for i := 1; i < len(seg); i++ {
+			if (seg[i-1] < 0) != (seg[i] < 0) {
+				c++
+			}
+		}
+		return c
+	}
+	early := count(x[:n/4])
+	late := count(x[3*n/4:])
+	if late <= early {
+		t.Fatalf("chirp not sweeping up: early=%d late=%d", early, late)
+	}
+}
+
+// Property: PWL evaluation lies within the min/max of its breakpoints.
+func TestPropertyPWLBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		lv := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range lv {
+			lv[i] = r.NormFloat64()
+			if lv[i] < lo {
+				lo = lv[i]
+			}
+			if lv[i] > hi {
+				hi = lv[i]
+			}
+		}
+		p, err := NewPWL(lv, 1e-6)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 50; k++ {
+			v := p.At(r.Float64() * 1e-6)
+			if v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
