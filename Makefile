@@ -1,0 +1,25 @@
+# Repo-wide build/test entry points. `make ci` is what the CI script runs:
+# vet, build, and the full test suite under the race detector (the floor
+# engine's fault injector and retest loop must stay race-clean).
+
+GO ?= go
+
+.PHONY: all vet build test race ci
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows internal/experiments ~10x past go test's default
+# 10-minute per-package timeout, hence the explicit budget.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+ci: vet build race

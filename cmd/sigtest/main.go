@@ -8,6 +8,8 @@
 //	sigtest -dut lna                 # circuit-level LNA, paper scale
 //	sigtest -dut rf2401 -produce 200 # behavioral front end, 200-device lot
 //	sigtest -stimulus out.json       # also save the optimized stimulus
+//	sigtest -faults -faultp 0.1      # fault-tolerant floor: inject faults,
+//	                                 # gate captures, retest, fall back
 package main
 
 import (
@@ -18,7 +20,9 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/floor"
 	"repro/internal/lna"
+	"repro/internal/wave"
 )
 
 // SpecLimits is the pass/fail window applied at production time.
@@ -46,6 +50,8 @@ func main() {
 	produce := flag.Int("produce", 50, "production devices to test")
 	stimOut := flag.String("stimulus", "", "write the optimized stimulus breakpoints as JSON")
 	quick := flag.Bool("quick", false, "smaller GA budget")
+	withFaults := flag.Bool("faults", false, "run production on the fault-tolerant floor engine")
+	faultP := flag.Float64("faultp", 0.10, "total per-insertion fault probability (with -faults)")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -127,6 +133,10 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if *withFaults {
+		runFaultyFloor(rng, cfg, cal, res.Stimulus, td, prod, limits, *faultP)
+		return
+	}
 	var pass, escape, overkill int
 	for _, d := range prod {
 		sig, err := cfg.Acquire(d.Behavioral, res.Stimulus, rng)
@@ -148,6 +158,40 @@ func main() {
 	}
 	fmt.Printf("      yield (signature test): %d/%d (%.1f%%)\n", pass, *produce, 100*float64(pass)/float64(*produce))
 	fmt.Printf("      test escapes: %d, overkill: %d\n", escape, overkill)
+	fmt.Printf("      limits: gain >= %.1f dB, NF <= %.1f dB, IIP3 >= %.1f dBm\n",
+		limits.MinGainDB, limits.MaxNFDB, limits.MinIIP3DBm)
+}
+
+// runFaultyFloor screens the production lot on the fault-tolerant floor
+// engine: seeded fault injection into the acquisition path, signature
+// sanity gating, bounded retests with backoff, and fallback to the
+// conventional spec test for devices that never capture cleanly.
+func runFaultyFloor(rng *rand.Rand, cfg *core.TestConfig, cal *core.Calibration, stim *wave.PWL,
+	td []core.TrainingDevice, prod []*core.Device, limits SpecLimits, faultP float64) {
+	sigs := make([][]float64, len(td))
+	for i := range td {
+		sigs[i] = td[i].Signature
+	}
+	gate, err := floor.FitGate(sigs, floor.GateOptions{})
+	if err != nil {
+		fail("%v", err)
+	}
+	engine := &floor.Engine{
+		Cfg:      cfg,
+		Cal:      cal,
+		Stim:     stim,
+		Gate:     gate,
+		PredPass: limits.pass,
+		TruePass: limits.pass,
+		Policy:   floor.DefaultPolicy(),
+	}
+	fmt.Printf("      fault-tolerant floor: %.0f%% per-insertion fault probability, gate with %d components\n",
+		100*faultP, gate.Components())
+	rep, err := engine.RunLot(rng, prod, floor.DefaultFaultModel(faultP))
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Print(rep)
 	fmt.Printf("      limits: gain >= %.1f dB, NF <= %.1f dB, IIP3 >= %.1f dBm\n",
 		limits.MinGainDB, limits.MaxNFDB, limits.MinIIP3DBm)
 }

@@ -1,18 +1,26 @@
 // Production-line simulation: the economic argument of the paper's
-// introduction, played out on a simulated test floor.
+// introduction, played out on a simulated test floor — including the part
+// the paper leaves out, which is that real insertions are not all clean.
 //
 // A lot of circuit-level 900 MHz LNAs is screened two ways:
 //
 //  1. conventional specification testing (per-spec setup + measure on a
 //     high-end RF ATE), and
 //  2. signature testing on the low-cost tester (one capture, regression
-//     read-out),
+//     read-out), run on the fault-tolerant floor engine: a seeded fault
+//     model injects contactor/digitizer/LO/stimulus faults into the
+//     acquisition path, a sanity gate screens each capture before
+//     prediction, gated-out devices are retested with backoff, and
+//     devices that never produce a clean capture fall back to the
+//     conventional spec test instead of being mis-binned.
 //
-// and the example reports yield, test escapes/overkill of the signature
-// flow against the conventional verdicts, throughput, and all-in cost per
-// device.
+// The example reports the gated and ungated lot outcomes side by side
+// (yield, escapes/overkill, retests, fallbacks) and the throughput/cost
+// figures charged for the retest load. A single bad acquisition no longer
+// kills the lot: errors are counted per device and the device is retested
+// or routed to fallback.
 //
-//	go run ./examples/production [-n 60]
+//	go run ./examples/production [-n 60] [-faultp 0.10]
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 
 	"repro/internal/ate"
 	"repro/internal/core"
+	"repro/internal/floor"
 	"repro/internal/lna"
 )
 
@@ -36,6 +45,7 @@ func (l limits) pass(s lna.Specs) bool {
 
 func main() {
 	n := flag.Int("n", 60, "production lot size")
+	faultP := flag.Float64("faultp", 0.10, "total per-insertion fault probability")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(7))
@@ -83,60 +93,63 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("guard bands (z=%.2f): gain >= %.2f, NF <= %.2f, IIP3 >= %.2f\n\n",
+	fmt.Printf("guard bands (z=%.2f): gain >= %.2f, NF <= %.2f, IIP3 >= %.2f\n",
 		gb.Z, gb.Limits[0].Value, gb.Limits[1].Value, gb.Limits[2].Value)
 
-	// Production phase: bin against raw limits and guard-banded limits.
-	fmt.Printf("== production phase: %d devices ==\n", *n)
+	// The sanity gate is fit on the same signatures the regression was
+	// trained on: anything it flags is outside the validated region.
+	sigs := make([][]float64, len(td))
+	for i := range td {
+		sigs[i] = td[i].Signature
+	}
+	gate, err := floor.FitGate(sigs, floor.GateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sanity gate: %d-component reduced space, suspect/invalid distance %.2f/%.2f\n\n",
+		gate.Components(), gate.SuspectD, gate.InvalidD)
+
+	// Production phase on the fault-tolerant floor. The same seeded lot and
+	// fault sequence is screened twice: once trusting every capture
+	// blindly, once with the gate + bounded retests + spec-test fallback.
+	fmt.Printf("== production phase: %d devices, %.0f%% per-insertion fault probability ==\n",
+		*n, 100**faultP)
 	lot, err := core.GeneratePopulation(rng, model, *n, 0.2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var passSig, passGB, passConv, escapes, escapesGB, overkill, overkillGB int
-	for _, d := range lot {
-		sig, err := cfg.Acquire(d.Behavioral, opt.Stimulus, rng)
-		if err != nil {
-			log.Fatal(err)
-		}
-		pred := cal.Predict(sig)
-		sigPass := lim.pass(pred)
-		gbPass := gb.Pass(pred)
-		convPass := lim.pass(d.Specs) // conventional test measures the truth
-		if sigPass {
-			passSig++
-		}
-		if gbPass {
-			passGB++
-		}
-		if convPass {
-			passConv++
-		}
-		if sigPass && !convPass {
-			escapes++
-		}
-		if gbPass && !convPass {
-			escapesGB++
-		}
-		if !sigPass && convPass {
-			overkill++
-		}
-		if !gbPass && convPass {
-			overkillGB++
-		}
+	faults := floor.DefaultFaultModel(*faultP)
+	engine := &floor.Engine{
+		Cfg:      cfg,
+		Cal:      cal,
+		Stim:     opt.Stimulus,
+		PredPass: gb.Pass,
+		TruePass: lim.pass,
+		Policy:   floor.DefaultPolicy(),
 	}
-	pct := func(k int) float64 { return 100 * float64(k) / float64(*n) }
-	fmt.Printf("conventional yield          : %d/%d (%.1f%%)\n", passConv, *n, pct(passConv))
-	fmt.Printf("signature yield (raw)       : %d/%d  escapes %d, overkill %d\n", passSig, *n, escapes, overkill)
-	fmt.Printf("signature yield (guarded)   : %d/%d  escapes %d, overkill %d\n", passGB, *n, escapesGB, overkillGB)
-	fmt.Printf("(guard-banding buys near-zero escapes at the price of overkill on the worst-predicted spec)\n\n")
+	ungated, err := engine.RunLot(rand.New(rand.NewSource(1001)), lot, faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine.Gate = gate
+	gated, err := engine.RunLot(rand.New(rand.NewSource(1001)), lot, faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- ungated (every capture trusted) --")
+	fmt.Print(ungated)
+	fmt.Println("-- gated + retest + fallback --")
+	fmt.Print(gated)
+	fmt.Println()
 
-	// Floor economics.
-	fmt.Println("== test floor economics ==")
+	// Floor economics, charged for the retest/fallback load the gated flow
+	// actually incurred.
+	fmt.Println("== test floor economics (under fault load) ==")
 	sigTester, err := ate.NewSignatureTester(cfg.Board.CaptureN, cfg.Board.DigitizerFs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cmp := ate.CompareTestTime(ate.ConventionalSuite(), sigTester, 0.2)
+	cmp := gated.Time
 	fmt.Printf("insertion time     : %.0f ms conventional vs %.1f ms signature (%.1fx)\n",
 		cmp.ConventionalS*1e3, cmp.SignatureS*1e3, cmp.Speedup)
 	fmt.Printf("throughput         : %.0f vs %.0f devices/hour\n",

@@ -1,0 +1,67 @@
+package ate
+
+import "fmt"
+
+// RetestLoad summarizes what a fault-tolerant lot actually cost the floor:
+// how many signature insertions were spent across all devices (first
+// attempts plus retests), how much extra settle time the retest backoff
+// added, and how many devices fell back to the conventional spec-test
+// suite. It is the bridge between the floor engine's accounting and the
+// Section 4.2 throughput/cost tables, keeping the economics honest when
+// insertions are not all clean.
+type RetestLoad struct {
+	Devices         int     // devices in the lot
+	Insertions      int     // total signature insertions (>= Devices)
+	ExtraSettleS    float64 // total backoff settle time added before retests
+	FallbackDevices int     // devices routed to the conventional suite
+}
+
+// Validate checks the load for internal consistency.
+func (l RetestLoad) Validate() error {
+	if l.Devices <= 0 {
+		return fmt.Errorf("ate: retest load needs devices > 0, got %d", l.Devices)
+	}
+	if l.Insertions < l.Devices {
+		return fmt.Errorf("ate: %d insertions for %d devices (every device needs at least one)", l.Insertions, l.Devices)
+	}
+	if l.ExtraSettleS < 0 {
+		return fmt.Errorf("ate: negative backoff settle time %g", l.ExtraSettleS)
+	}
+	if l.FallbackDevices < 0 || l.FallbackDevices > l.Devices {
+		return fmt.Errorf("ate: %d fallback devices outside [0, %d]", l.FallbackDevices, l.Devices)
+	}
+	return nil
+}
+
+// EffectiveSignatureS returns the average per-device wall time of the
+// signature flow under the given retest/fallback load: every insertion
+// pays the full signature insertion plus handler index time, backoff
+// settle is added on top, and fallback devices additionally pay the whole
+// conventional suite (they were already inserted on the signature tester).
+func EffectiveSignatureS(sig *SignatureTester, conv []SpecTest, handlerS float64, l RetestLoad) (float64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	total := float64(l.Insertions)*(sig.InsertionS()+handlerS) +
+		l.ExtraSettleS +
+		float64(l.FallbackDevices)*(SuiteDuration(conv)+handlerS)
+	return total / float64(l.Devices), nil
+}
+
+// CompareTestTimeUnderLoad is CompareTestTime with the signature flow
+// charged for its retests and fallbacks — the throughput comparison a
+// faulty production floor would actually see.
+func CompareTestTimeUnderLoad(suite []SpecTest, sig *SignatureTester, handlerS float64, l RetestLoad) (TimeComparison, error) {
+	sigS, err := EffectiveSignatureS(sig, suite, handlerS, l)
+	if err != nil {
+		return TimeComparison{}, err
+	}
+	conv := SuiteDuration(suite) + handlerS
+	return TimeComparison{
+		ConventionalS:          conv,
+		SignatureS:             sigS,
+		Speedup:                conv / sigS,
+		ThroughputConventional: 3600 / conv,
+		ThroughputSignature:    3600 / sigS,
+	}, nil
+}

@@ -1,0 +1,97 @@
+package ate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEconomicsInvalidConfigs(t *testing.T) {
+	bad := []Economics{
+		{CapitalUSD: 1e6, DepreciationYrs: 0, UtilizationPct: 0.8},
+		{CapitalUSD: 1e6, DepreciationYrs: -2, UtilizationPct: 0.8},
+		{CapitalUSD: 1e6, DepreciationYrs: 5, UtilizationPct: 0},
+		{CapitalUSD: 1e6, DepreciationYrs: 5, UtilizationPct: -0.1},
+		{CapitalUSD: 1e6, DepreciationYrs: 5, UtilizationPct: 1.2},
+	}
+	for i, e := range bad {
+		if _, err := e.CostPerDevice(1.0); err == nil {
+			t.Errorf("config %d (%+v) must be rejected", i, e)
+		}
+	}
+	// CostReductionFactor propagates the same errors from either side.
+	good := Economics{CapitalUSD: 1e6, DepreciationYrs: 5, UtilizationPct: 0.8}
+	if _, err := CostReductionFactor(bad[0], good, 1, 1); err == nil {
+		t.Error("invalid conventional economics must propagate")
+	}
+	if _, err := CostReductionFactor(good, bad[2], 1, 1); err == nil {
+		t.Error("invalid signature economics must propagate")
+	}
+}
+
+func TestRetestLoadValidation(t *testing.T) {
+	bad := []RetestLoad{
+		{Devices: 0, Insertions: 0},
+		{Devices: 10, Insertions: 9},
+		{Devices: 10, Insertions: 10, ExtraSettleS: -1},
+		{Devices: 10, Insertions: 10, FallbackDevices: 11},
+		{Devices: 10, Insertions: 10, FallbackDevices: -1},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("load %d (%+v) must be rejected", i, l)
+		}
+	}
+	if err := (RetestLoad{Devices: 10, Insertions: 13, FallbackDevices: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveSignatureTimeUnderLoad(t *testing.T) {
+	sig, err := NewSignatureTester(100, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := ConventionalSuite()
+	handler := 0.2
+
+	clean := RetestLoad{Devices: 100, Insertions: 100}
+	cleanS, err := EffectiveSignatureS(sig, suite, handler, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sig.InsertionS() + handler; math.Abs(cleanS-want) > 1e-12 {
+		t.Fatalf("clean load per-device time %g, want %g", cleanS, want)
+	}
+
+	// 20 retests, 3 fallbacks and some settle time must all be charged.
+	loaded := RetestLoad{Devices: 100, Insertions: 120, ExtraSettleS: 0.5, FallbackDevices: 3}
+	loadedS, err := EffectiveSignatureS(sig, suite, handler, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (120*(sig.InsertionS()+handler) + 0.5 + 3*(SuiteDuration(suite)+handler)) / 100
+	if math.Abs(loadedS-want) > 1e-12 {
+		t.Fatalf("loaded per-device time %g, want %g", loadedS, want)
+	}
+	if loadedS <= cleanS {
+		t.Fatal("fault load must cost wall time")
+	}
+
+	cmp, err := CompareTestTimeUnderLoad(suite, sig, handler, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SignatureS != loadedS {
+		t.Fatalf("comparison signature time %g, want %g", cmp.SignatureS, loadedS)
+	}
+	if cmp.Speedup <= 1 {
+		t.Fatalf("signature flow should still win under this load, speedup %g", cmp.Speedup)
+	}
+	cleanCmp := CompareTestTime(suite, sig, handler)
+	if cmp.ThroughputSignature >= cleanCmp.ThroughputSignature {
+		t.Fatal("loaded throughput must drop below the clean figure")
+	}
+	if _, err := CompareTestTimeUnderLoad(suite, sig, handler, RetestLoad{}); err == nil {
+		t.Fatal("invalid load must be rejected")
+	}
+}

@@ -128,10 +128,19 @@ func (c *TestConfig) RandomStimulus(rng *rand.Rand) *wave.PWL {
 // noise; pass nil for a noise-free acquisition (used inside sensitivity
 // extraction, where noise enters analytically through Eq. 10 instead).
 func (c *TestConfig) Acquire(dut rf.EnvelopeDevice, stim *wave.PWL, rng *rand.Rand) ([]float64, error) {
+	return c.AcquireWithFaults(dut, stim, rng, nil)
+}
+
+// AcquireWithFaults is Acquire with per-insertion faults injected into the
+// load-board signal path (see rf.InsertionFaults). The measurement noise,
+// quantization and feature extraction are identical to the clean path, so
+// a faulted capture is exactly what the production tester would hand the
+// regression. A nil flt is a clean insertion.
+func (c *TestConfig) AcquireWithFaults(dut rf.EnvelopeDevice, stim *wave.PWL, rng *rand.Rand, flt *rf.InsertionFaults) ([]float64, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	y, err := c.Board.RunEnvelope(dut, stim.At)
+	y, err := c.Board.RunEnvelopeFaulted(dut, stim.At, flt)
 	if err != nil {
 		return nil, err
 	}

@@ -34,8 +34,8 @@ func GuardBand(rep *ValidationReport, limits []SpecLimit, escapeProb float64) (*
 	if escapeProb <= 0 || escapeProb >= 0.5 {
 		return nil, fmt.Errorf("core: escape probability %g outside (0, 0.5)", escapeProb)
 	}
-	if len(limits) != 3 {
-		return nil, fmt.Errorf("core: need 3 limits (gain, NF, IIP3), got %d", len(limits))
+	if len(limits) != len(rep.Specs) {
+		return nil, fmt.Errorf("core: %d limits for %d validated specs", len(limits), len(rep.Specs))
 	}
 	z := normalQuantile(1 - escapeProb)
 	out := &GuardBandedLimits{Z: z}

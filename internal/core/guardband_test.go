@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lna"
+)
+
+func validationReportWithSigmas(sig [3]float64) *ValidationReport {
+	rep := &ValidationReport{}
+	names := lna.SpecNames()
+	for i := range rep.Specs {
+		rep.Specs[i].Name = names[i]
+		rep.Specs[i].StdErr = sig[i]
+	}
+	return rep
+}
+
+func TestGuardBandErrorPaths(t *testing.T) {
+	rep := validationReportWithSigmas([3]float64{0.1, 0.1, 0.1})
+	limits := []SpecLimit{
+		{Name: "Gain", Value: 14.5, Upper: false},
+		{Name: "NF", Value: 2.7, Upper: true},
+		{Name: "IIP3", Value: 0.0, Upper: false},
+	}
+	for _, p := range []float64{0, -0.1, 0.5, 0.7} {
+		if _, err := GuardBand(rep, limits, p); err == nil {
+			t.Errorf("escape probability %g must be rejected", p)
+		}
+	}
+	// The limit count must match the validated spec count — not a
+	// hardcoded 3.
+	if _, err := GuardBand(rep, limits[:2], 0.001); err == nil {
+		t.Error("limit count mismatch must be rejected")
+	}
+	if _, err := GuardBand(rep, append(limits, SpecLimit{Name: "P1dB"}), 0.001); err == nil {
+		t.Error("extra limit must be rejected")
+	}
+}
+
+func TestGuardBandTightensTowardSafety(t *testing.T) {
+	rep := validationReportWithSigmas([3]float64{0.2, 0.05, 0.5})
+	limits := []SpecLimit{
+		{Name: "Gain", Value: 14.5, Upper: false},
+		{Name: "NF", Value: 2.7, Upper: true},
+		{Name: "IIP3", Value: 0.0, Upper: false},
+	}
+	gb, err := GuardBand(rep, limits, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// z(0.999) ~= 3.090.
+	if math.Abs(gb.Z-3.090) > 5e-3 {
+		t.Fatalf("z = %g, want ~3.090", gb.Z)
+	}
+	// Lower-bounded specs move up, upper-bounded specs move down.
+	if gb.Limits[0].Value <= limits[0].Value {
+		t.Error("lower-bound gain limit must tighten upward")
+	}
+	if gb.Limits[1].Value >= limits[1].Value {
+		t.Error("upper-bound NF limit must tighten downward")
+	}
+	for i := range gb.Sigmas {
+		if gb.Sigmas[i] != rep.Specs[i].StdErr {
+			t.Errorf("sigma %d not taken from the validation report", i)
+		}
+	}
+	// A device exactly on the raw limits fails the guarded ones.
+	edge := lna.Specs{GainDB: 14.5, NFDB: 2.7, IIP3DBm: 0.0}
+	if gb.Pass(edge) {
+		t.Error("edge device must fail guard-banded limits")
+	}
+	comfortable := lna.Specs{GainDB: 16, NFDB: 2.0, IIP3DBm: 3}
+	if !gb.Pass(comfortable) {
+		t.Error("comfortable device must pass guard-banded limits")
+	}
+}
+
+func TestNormalQuantileTailsAndRoundTrip(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.999, 3.090},  // central branch upper tail reference
+		{0.001, -3.090}, // tail branch below plow
+		{0.01, -2.326},  // below plow
+		{0.99, 2.326},   // above 1-plow
+		{0.975, 1.960},
+		{0.025, -1.960},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.z) > 2e-3 {
+			t.Errorf("normalQuantile(%g) = %g, want %g", c.p, got, c.z)
+		}
+	}
+	// Symmetry round-trip across the tail branches.
+	for _, p := range []float64{1e-6, 1e-4, 0.02, 0.3, 0.7, 0.98, 0.9999} {
+		if got, want := normalQuantile(p), -normalQuantile(1-p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("normalQuantile(%g) = %g breaks symmetry with %g", p, got, -want)
+		}
+	}
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		if got := normalQuantile(p); !math.IsNaN(got) {
+			t.Errorf("normalQuantile(%g) = %g, want NaN", p, got)
+		}
+	}
+}

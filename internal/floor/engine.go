@@ -1,0 +1,222 @@
+package floor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ate"
+	"repro/internal/core"
+	"repro/internal/lna"
+	"repro/internal/rf"
+	"repro/internal/wave"
+)
+
+// Policy bounds the retest loop: how many re-insertions a device may get
+// after a gated-out capture, and how much extra settle time each retest
+// adds (exponential backoff lets thermal/contact transients die out).
+type Policy struct {
+	// MaxRetests is the number of additional insertions after the first
+	// (default 2, so at most 3 insertions per device).
+	MaxRetests int
+	// SettleBaseS is the extra settle time before the first retest
+	// (default 2 ms).
+	SettleBaseS float64
+	// BackoffFactor multiplies the settle time per further retest
+	// (default 2).
+	BackoffFactor float64
+	// HandlerS is the part placement time per insertion, shared with the
+	// throughput tables (default 0.2 s).
+	HandlerS float64
+}
+
+// DefaultPolicy returns the retest policy used by the examples.
+func DefaultPolicy() Policy {
+	return Policy{MaxRetests: 2, SettleBaseS: 2e-3, BackoffFactor: 2, HandlerS: 0.2}
+}
+
+func (p *Policy) defaults() {
+	if p.MaxRetests < 0 {
+		p.MaxRetests = 0
+	}
+	if p.SettleBaseS <= 0 {
+		p.SettleBaseS = 2e-3
+	}
+	if p.BackoffFactor < 1 {
+		p.BackoffFactor = 2
+	}
+	if p.HandlerS <= 0 {
+		p.HandlerS = 0.2
+	}
+}
+
+// Bin is where a device ends up. Every device lands in exactly one bin —
+// the engine never silently drops a device.
+type Bin int
+
+const (
+	// BinPass ships on the signature tester's verdict.
+	BinPass Bin = iota
+	// BinFail is rejected on the signature tester's verdict.
+	BinFail
+	// BinFallback is routed to the conventional spec-test suite because no
+	// clean capture was obtained within the retest budget; the
+	// conventional test then bins it correctly at conventional cost.
+	BinFallback
+)
+
+// String names the bin.
+func (b Bin) String() string {
+	switch b {
+	case BinPass:
+		return "pass"
+	case BinFail:
+		return "fail"
+	case BinFallback:
+		return "fallback-to-spec-test"
+	default:
+		return fmt.Sprintf("bin(%d)", int(b))
+	}
+}
+
+// DeviceResult records one device's path across the floor.
+type DeviceResult struct {
+	Index      int
+	Bin        Bin
+	Insertions int
+	Faults     []FaultKind // drawn fault per insertion
+	Verdicts   []Verdict   // gate verdict per insertion (VerdictClean when ungated)
+	AcqErrors  int         // insertions lost to acquisition errors
+	Pred       lna.Specs   // signature prediction (valid unless BinFallback)
+	TruePass   bool        // conventional-ATE verdict on the true specs
+}
+
+// Engine is the fault-tolerant test-floor engine. Gate == nil degrades it
+// to the naive flow (first capture trusted blindly, no retests) — that
+// configuration exists so the gated flow's benefit is measurable against
+// it on the same lot.
+type Engine struct {
+	Cfg  *core.TestConfig
+	Cal  *core.Calibration
+	Stim *wave.PWL
+	Gate *Gate
+	// PredPass bins a signature prediction (typically guard-banded limits).
+	PredPass func(lna.Specs) bool
+	// TruePass is the conventional-ATE verdict on true specs: it scores
+	// escapes/overkill and bins the fallback devices.
+	TruePass func(lna.Specs) bool
+	Policy   Policy
+}
+
+func (e *Engine) validate() error {
+	if e.Cfg == nil || e.Cal == nil || e.Stim == nil {
+		return fmt.Errorf("floor: engine needs config, calibration and stimulus")
+	}
+	if e.PredPass == nil || e.TruePass == nil {
+		return fmt.Errorf("floor: engine needs PredPass and TruePass limit functions")
+	}
+	return nil
+}
+
+// RunLot screens every device in the lot. faults may be nil (clean floor).
+// All randomness — measurement noise and fault draws — flows through rng,
+// so a fixed seed reproduces the lot exactly. The engine does not mutate
+// Cfg, Cal, Stim or Gate, so engines sharing them may run concurrently
+// as long as each call gets its own rng.
+func (e *Engine) RunLot(rng *rand.Rand, lot []*core.Device, faults *FaultModel) (*LotReport, error) {
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	if len(lot) == 0 {
+		return nil, fmt.Errorf("floor: empty lot")
+	}
+	if faults != nil {
+		if err := faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	pol := e.Policy
+	pol.defaults()
+	maxAttempts := 1
+	if e.Gate != nil {
+		maxAttempts = 1 + pol.MaxRetests
+	}
+	windowS := e.Cfg.StimulusDuration()
+
+	rep := newLotReport(len(lot), maxAttempts)
+	for i, d := range lot {
+		res := DeviceResult{Index: i, TruePass: e.TruePass(d.Specs)}
+		var sig []float64
+		resolved := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			if attempt > 0 {
+				rep.Load.ExtraSettleS += pol.SettleBaseS * math.Pow(pol.BackoffFactor, float64(attempt-1))
+			}
+			var kind FaultKind
+			var flt *rf.InsertionFaults
+			if faults != nil {
+				kind, flt = faults.Draw(rng, windowS)
+			}
+			res.Insertions++
+			rep.Load.Insertions++
+			res.Faults = append(res.Faults, kind)
+			rep.FaultCounts[kind]++
+
+			capture, err := e.Cfg.AcquireWithFaults(d.Behavioral, e.Stim, rng, flt)
+			if err != nil {
+				// A lost capture is handled like an INVALID one: count it
+				// and retest; the device is never dropped.
+				res.AcqErrors++
+				rep.AcqErrors++
+				res.Verdicts = append(res.Verdicts, VerdictInvalid)
+				continue
+			}
+			verdict := VerdictClean
+			if e.Gate != nil {
+				verdict = e.Gate.Classify(capture)
+			}
+			res.Verdicts = append(res.Verdicts, verdict)
+			rep.GateCounts[verdict]++
+			if verdict == VerdictClean {
+				sig = capture
+				resolved = true
+				break
+			}
+		}
+		rep.RetestHist[res.Insertions-1]++
+		if resolved {
+			res.Pred = e.Cal.Predict(sig)
+			if e.PredPass(res.Pred) {
+				res.Bin = BinPass
+			} else {
+				res.Bin = BinFail
+			}
+		} else {
+			res.Bin = BinFallback
+			rep.Load.FallbackDevices++
+		}
+		rep.tally(res)
+		rep.Results = append(rep.Results, res)
+	}
+
+	if err := rep.finishEconomics(e.Cfg, pol); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// finishEconomics fills the throughput comparison under the accumulated
+// retest/fallback load.
+func (r *LotReport) finishEconomics(cfg *core.TestConfig, pol Policy) error {
+	tester, err := ate.NewSignatureTester(cfg.Board.CaptureN, cfg.Board.DigitizerFs)
+	if err != nil {
+		return err
+	}
+	r.Load.Devices = r.Devices
+	cmp, err := ate.CompareTestTimeUnderLoad(ate.ConventionalSuite(), tester, pol.HandlerS, r.Load)
+	if err != nil {
+		return err
+	}
+	r.Time = cmp
+	return nil
+}

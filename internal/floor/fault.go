@@ -1,0 +1,282 @@
+// Package floor is a fault-tolerant production test-floor engine wrapped
+// around the signature-test runtime (internal/core) and the load-board
+// acquisition path (internal/rf). The paper's throughput and cost claims
+// assume every capture is clean; a real insertion sees contactor faults,
+// digitizer clipping, LO drift and dropped samples. This package makes the
+// flow production-credible in four steps:
+//
+//  1. a seeded FaultModel injects per-insertion faults into the signal
+//     path (rf.InsertionFaults), so a bad insertion corrupts the capture
+//     the way the physical mechanism would;
+//  2. a Gate fit on the training-set signatures classifies each capture
+//     CLEAN / SUSPECT / INVALID before any spec is predicted;
+//  3. a bounded retest Policy re-inserts gated-out devices with
+//     exponential settle backoff, with the time charged to the economics
+//     via ate.RetestLoad;
+//  4. devices still unresolved after the retest budget fall back to the
+//     conventional spec test instead of being mis-binned, and the engine
+//     emits a structured LotReport.
+package floor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/rf"
+)
+
+// FaultKind labels the physical fault mechanisms the model can inject.
+type FaultKind int
+
+const (
+	// FaultNone is a clean insertion.
+	FaultNone FaultKind = iota
+	// FaultContactorOpen is a fully open contactor: the DUT output never
+	// reaches the downconverter.
+	FaultContactorOpen
+	// FaultContactorResistive is an intermittent resistive contact: the
+	// path gain flickers between clean and a series loss.
+	FaultContactorResistive
+	// FaultDigitizerSaturation is a mis-ranged digitizer clipping the
+	// capture well inside the signal swing.
+	FaultDigitizerSaturation
+	// FaultSampleDropout is a block of digitizer samples lost in transfer.
+	FaultSampleDropout
+	// FaultLODrift is downconversion-LO amplitude/phase drift.
+	FaultLODrift
+	// FaultStimGlitch is a stimulus DAC glitch riding on the PWL waveform.
+	FaultStimGlitch
+	// FaultBurstNoise is an additive noise burst over part of the capture.
+	FaultBurstNoise
+
+	numFaultKinds
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "clean"
+	case FaultContactorOpen:
+		return "contactor-open"
+	case FaultContactorResistive:
+		return "contactor-resistive"
+	case FaultDigitizerSaturation:
+		return "digitizer-saturation"
+	case FaultSampleDropout:
+		return "sample-dropout"
+	case FaultLODrift:
+		return "lo-drift"
+	case FaultStimGlitch:
+		return "stim-glitch"
+	case FaultBurstNoise:
+		return "burst-noise"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// FaultKinds lists the injectable kinds (excluding FaultNone) in the order
+// the model rolls them.
+func FaultKinds() []FaultKind {
+	out := make([]FaultKind, 0, numFaultKinds-1)
+	for k := FaultContactorOpen; k < numFaultKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// FaultModel draws at most one fault per insertion, each kind with its own
+// probability; the severity parameters control how hard a drawn fault hits
+// the capture. All randomness flows through the *rand.Rand passed to Draw,
+// so a fixed seed reproduces the exact fault sequence.
+type FaultModel struct {
+	// Per-insertion probability of each kind. Their sum is the total
+	// per-insertion fault probability and must stay <= 1.
+	P map[FaultKind]float64
+
+	// ResistiveLossDB is the series loss of a resistive contact (default 8).
+	ResistiveLossDB float64
+	// FlickerHz is the intermittent-contact flicker rate relative to the
+	// capture window: cycles over the capture (default 3).
+	FlickerCycles float64
+	// SaturationFrac clips the capture at this fraction of its own peak
+	// (default 0.35).
+	SaturationFrac float64
+	// DropoutFrac zeroes this fraction of the capture (default 0.15).
+	DropoutFrac float64
+	// LOAmpSigma is the relative LO amplitude drift sigma (default 0.15).
+	LOAmpSigma float64
+	// LOPhaseSigma is the LO phase drift sigma in radians (default 0.4).
+	LOPhaseSigma float64
+	// GlitchAmpV is the stimulus DAC glitch amplitude (default 0.1 V).
+	GlitchAmpV float64
+	// GlitchFrac is the glitch width as a fraction of the window (default 0.1).
+	GlitchFrac float64
+	// BurstSigmaV is the burst-noise sigma (default 0.05 V).
+	BurstSigmaV float64
+	// BurstFrac is the burst length as a fraction of the capture (default 0.25).
+	BurstFrac float64
+}
+
+// DefaultFaultModel spreads a total per-insertion fault probability
+// pTotal uniformly across every fault kind, with default severities.
+func DefaultFaultModel(pTotal float64) *FaultModel {
+	kinds := FaultKinds()
+	p := make(map[FaultKind]float64, len(kinds))
+	for _, k := range kinds {
+		p[k] = pTotal / float64(len(kinds))
+	}
+	return &FaultModel{P: p}
+}
+
+// Validate checks the probability table.
+func (m *FaultModel) Validate() error {
+	total := 0.0
+	for k, p := range m.P {
+		if k <= FaultNone || k >= numFaultKinds {
+			return fmt.Errorf("floor: probability assigned to invalid fault kind %d", int(k))
+		}
+		if p < 0 || p > 1 {
+			return fmt.Errorf("floor: fault probability %g for %s outside [0,1]", p, k)
+		}
+		total += p
+	}
+	if total > 1 {
+		return fmt.Errorf("floor: total fault probability %g exceeds 1", total)
+	}
+	return nil
+}
+
+// TotalP returns the per-insertion probability of any fault.
+func (m *FaultModel) TotalP() float64 {
+	total := 0.0
+	for _, p := range m.P {
+		total += p
+	}
+	return total
+}
+
+func (m *FaultModel) resistiveLossDB() float64 { return defaultIf(m.ResistiveLossDB, 8) }
+func (m *FaultModel) flickerCycles() float64   { return defaultIf(m.FlickerCycles, 3) }
+func (m *FaultModel) saturationFrac() float64  { return defaultIf(m.SaturationFrac, 0.35) }
+func (m *FaultModel) dropoutFrac() float64     { return defaultIf(m.DropoutFrac, 0.15) }
+func (m *FaultModel) loAmpSigma() float64      { return defaultIf(m.LOAmpSigma, 0.15) }
+func (m *FaultModel) loPhaseSigma() float64    { return defaultIf(m.LOPhaseSigma, 0.4) }
+func (m *FaultModel) glitchAmpV() float64      { return defaultIf(m.GlitchAmpV, 0.1) }
+func (m *FaultModel) glitchFrac() float64      { return defaultIf(m.GlitchFrac, 0.1) }
+func (m *FaultModel) burstSigmaV() float64     { return defaultIf(m.BurstSigmaV, 0.05) }
+func (m *FaultModel) burstFrac() float64       { return defaultIf(m.BurstFrac, 0.25) }
+
+func defaultIf(v, def float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// Draw rolls the per-insertion fault for one insertion. windowS is the
+// stimulus/capture window in seconds (used to place time-domain faults).
+// It returns the drawn kind and the signal-path hooks to hand to the
+// acquisition; FaultNone comes with a nil hook set.
+func (m *FaultModel) Draw(rng *rand.Rand, windowS float64) (FaultKind, *rf.InsertionFaults) {
+	u := rng.Float64()
+	cum := 0.0
+	for _, k := range FaultKinds() {
+		cum += m.P[k]
+		if u < cum {
+			return k, m.build(k, rng, windowS)
+		}
+	}
+	return FaultNone, nil
+}
+
+// build materializes the signal-path hooks for one drawn fault.
+func (m *FaultModel) build(k FaultKind, rng *rand.Rand, windowS float64) *rf.InsertionFaults {
+	switch k {
+	case FaultContactorOpen:
+		return &rf.InsertionFaults{ContactGain: func(float64) float64 { return 0 }}
+	case FaultContactorResistive:
+		loss := math.Pow(10, -m.resistiveLossDB()/20)
+		freq := m.flickerCycles() / math.Max(windowS, 1e-12)
+		phase := 2 * math.Pi * rng.Float64()
+		return &rf.InsertionFaults{ContactGain: func(t float64) float64 {
+			if math.Sin(2*math.Pi*freq*t+phase) > 0 {
+				return loss
+			}
+			return 1
+		}}
+	case FaultDigitizerSaturation:
+		frac := m.saturationFrac()
+		return &rf.InsertionFaults{CaptureTransform: func(x []float64) []float64 {
+			peak := 0.0
+			for _, v := range x {
+				if a := math.Abs(v); a > peak {
+					peak = a
+				}
+			}
+			clip := frac * peak
+			out := make([]float64, len(x))
+			for i, v := range x {
+				out[i] = math.Max(-clip, math.Min(clip, v))
+			}
+			return out
+		}}
+	case FaultSampleDropout:
+		frac := m.dropoutFrac()
+		start := rng.Float64() * (1 - frac)
+		return &rf.InsertionFaults{CaptureTransform: func(x []float64) []float64 {
+			out := append([]float64(nil), x...)
+			lo := int(start * float64(len(x)))
+			hi := lo + int(frac*float64(len(x)))
+			for i := lo; i < hi && i < len(out); i++ {
+				out[i] = 0
+			}
+			return out
+		}}
+	case FaultLODrift:
+		amp := 1 + m.loAmpSigma()*rng.NormFloat64()
+		if amp < 0.1 {
+			amp = 0.1
+		}
+		return &rf.InsertionFaults{
+			LOAmpScale: amp,
+			LOPhaseRad: m.loPhaseSigma() * rng.NormFloat64(),
+		}
+	case FaultStimGlitch:
+		ampV := m.glitchAmpV()
+		if rng.Float64() < 0.5 {
+			ampV = -ampV
+		}
+		width := m.glitchFrac() * windowS
+		t0 := rng.Float64() * (windowS - width)
+		return &rf.InsertionFaults{StimTransform: func(s rf.StimFunc) rf.StimFunc {
+			return func(t float64) float64 {
+				v := s(t)
+				if t >= t0 && t < t0+width {
+					v += ampV
+				}
+				return v
+			}
+		}}
+	case FaultBurstNoise:
+		sigma := m.burstSigmaV()
+		frac := m.burstFrac()
+		start := rng.Float64() * (1 - frac)
+		// The noise samples draw from rng when the capture transform runs;
+		// the engine acquires strictly sequentially, so the stream stays
+		// deterministic under a fixed seed.
+		return &rf.InsertionFaults{CaptureTransform: func(x []float64) []float64 {
+			out := append([]float64(nil), x...)
+			lo := int(start * float64(len(x)))
+			hi := lo + int(frac*float64(len(x)))
+			for i := lo; i < hi && i < len(out); i++ {
+				out[i] += sigma * rng.NormFloat64()
+			}
+			return out
+		}}
+	default:
+		return nil
+	}
+}

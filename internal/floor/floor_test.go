@@ -1,0 +1,359 @@
+package floor
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lna"
+	"repro/internal/wave"
+)
+
+// fixture is the shared engineering phase: a calibrated signature test for
+// the RF2401 behavioral population, plus a gate fit on the training
+// signatures. Built once — the lot tests only differ in floor policy.
+type fixture struct {
+	cfg   *core.TestConfig
+	cal   *core.Calibration
+	stim  *wave.PWL
+	gate  *Gate
+	model core.DeviceModel
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		rng := rand.New(rand.NewSource(11))
+		model := core.RF2401Model{}
+		cfg := core.DefaultSimConfig()
+		stim := cfg.RandomStimulus(rng)
+		train, err := core.GeneratePopulation(rng, model, 60, 0.9)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		td, err := core.AcquireTrainingSet(rng, cfg, stim, train,
+			func(d *core.Device) lna.Specs { return d.Specs })
+		if err != nil {
+			fixErr = err
+			return
+		}
+		cal, err := core.Calibrate(rng, stim, td, core.CalibrationOptions{})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		sigs := make([][]float64, len(td))
+		for i := range td {
+			sigs[i] = td[i].Signature
+		}
+		gate, err := FitGate(sigs, GateOptions{})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix = &fixture{cfg: cfg, cal: cal, stim: stim, gate: gate, model: model}
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
+	}
+	return fix
+}
+
+// rf2401Limits is the datasheet window used across the lot tests.
+func rf2401Pass(s lna.Specs) bool {
+	return s.GainDB >= 10.0 && s.NFDB <= 4.2 && s.IIP3DBm >= -9.5
+}
+
+func (f *fixture) engine(gated bool) *Engine {
+	e := &Engine{
+		Cfg:      f.cfg,
+		Cal:      f.cal,
+		Stim:     f.stim,
+		PredPass: rf2401Pass,
+		TruePass: rf2401Pass,
+		Policy:   DefaultPolicy(),
+	}
+	if gated {
+		e.Gate = f.gate
+	}
+	return e
+}
+
+func lot200(t *testing.T, f *fixture) []*core.Device {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	lot, err := core.GeneratePopulation(rng, f.model, 200, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lot
+}
+
+func TestFaultModelValidateAndDeterminism(t *testing.T) {
+	m := DefaultFaultModel(0.14)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.TotalP(); math.Abs(p-0.14) > 1e-12 {
+		t.Fatalf("total probability %g, want 0.14", p)
+	}
+	bad := DefaultFaultModel(1.5)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("total probability > 1 should not validate")
+	}
+	bad2 := &FaultModel{P: map[FaultKind]float64{FaultContactorOpen: -0.1}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("negative probability should not validate")
+	}
+
+	// The drawn fault sequence must reproduce exactly under a fixed seed.
+	a := rand.New(rand.NewSource(5))
+	b := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		ka, _ := m.Draw(a, 1e-5)
+		kb, _ := m.Draw(b, 1e-5)
+		if ka != kb {
+			t.Fatalf("draw %d: %v vs %v under the same seed", i, ka, kb)
+		}
+	}
+}
+
+// TestFaultsActOnSignalPath forces each fault kind in turn and checks the
+// acquired signature moves measurably away from the clean capture — i.e.
+// the hooks really act inside the rf chain, not as a no-op.
+func TestFaultsActOnSignalPath(t *testing.T) {
+	f := getFixture(t)
+	dut := lna.RF2401Typical().Behavioral()
+	clean, err := f.cfg.Acquire(dut, f.stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x * x
+		}
+		return math.Sqrt(s)
+	}
+	for _, kind := range FaultKinds() {
+		m := &FaultModel{P: map[FaultKind]float64{kind: 1}}
+		rng := rand.New(rand.NewSource(3))
+		k, flt := m.Draw(rng, f.cfg.StimulusDuration())
+		if k != kind {
+			t.Fatalf("forced model drew %v, want %v", k, kind)
+		}
+		if flt == nil {
+			t.Fatalf("%v: nil insertion faults", kind)
+		}
+		faulted, err := f.cfg.AcquireWithFaults(dut, f.stim, nil, flt)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		diff := make([]float64, len(clean))
+		for i := range clean {
+			diff[i] = clean[i] - faulted[i]
+		}
+		if rel := norm(diff) / norm(clean); rel < 1e-4 {
+			t.Errorf("%v: faulted signature within %.2g of clean — fault not reaching the signal path", kind, rel)
+		}
+	}
+}
+
+func TestGateClassifiesCleanAndFaulted(t *testing.T) {
+	f := getFixture(t)
+	rng := rand.New(rand.NewSource(77))
+	pop, err := core.GeneratePopulation(rng, f.model, 30, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanOK := 0
+	for _, d := range pop {
+		sig, err := f.cfg.Acquire(d.Behavioral, f.stim, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.gate.Classify(sig) == VerdictClean {
+			cleanOK++
+		}
+	}
+	if cleanOK < 27 {
+		t.Fatalf("gate passed only %d/30 clean captures", cleanOK)
+	}
+
+	// A contactor-open capture is pure noise and must gate INVALID.
+	open := &FaultModel{P: map[FaultKind]float64{FaultContactorOpen: 1}}
+	for i := 0; i < 5; i++ {
+		_, flt := open.Draw(rng, f.cfg.StimulusDuration())
+		sig, err := f.cfg.AcquireWithFaults(pop[i].Behavioral, f.stim, rng, flt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := f.gate.Classify(sig); v != VerdictInvalid {
+			t.Fatalf("contactor-open capture classified %v, want INVALID", v)
+		}
+	}
+}
+
+// TestGatedBeatsUngated is the acceptance criterion: on a seeded
+// 200-device lot with faults injected above 5% per insertion, the
+// gated+retest flow mis-bins strictly fewer devices than the ungated
+// flow, and neither flow drops a single device.
+func TestGatedBeatsUngated(t *testing.T) {
+	f := getFixture(t)
+	lot := lot200(t, f)
+	faults := DefaultFaultModel(0.14) // 2% per kind, 14% per insertion
+	if faults.TotalP() < 0.05 {
+		t.Fatalf("fault load %g below the 5%% the test claims", faults.TotalP())
+	}
+
+	ungated, err := f.engine(false).RunLot(rand.New(rand.NewSource(99)), lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := f.engine(true).RunLot(rand.New(rand.NewSource(99)), lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, rep := range []*LotReport{ungated, gated} {
+		if rep.Binned() != len(lot) {
+			t.Fatalf("devices dropped: %d binned of %d", rep.Binned(), len(lot))
+		}
+		if rep.Pass+rep.Fail+rep.Fallback != rep.Devices {
+			t.Fatalf("bins don't partition the lot: %d+%d+%d != %d",
+				rep.Pass, rep.Fail, rep.Fallback, rep.Devices)
+		}
+		if len(rep.Results) != len(lot) {
+			t.Fatalf("missing per-device results: %d of %d", len(rep.Results), len(lot))
+		}
+	}
+	if ungated.Fallback != 0 {
+		// The ungated flow has no gate, so nothing routes to fallback
+		// unless an acquisition error occurred.
+		if ungated.AcqErrors == 0 {
+			t.Fatalf("ungated flow sent %d devices to fallback without errors", ungated.Fallback)
+		}
+	}
+	t.Logf("ungated: %d mis-bins (escapes %d, overkill %d); gated: %d mis-bins (escapes %d, overkill %d), %d fallback",
+		ungated.MisBins(), ungated.Escapes, ungated.Overkill,
+		gated.MisBins(), gated.Escapes, gated.Overkill, gated.Fallback)
+	if gated.MisBins() >= ungated.MisBins() {
+		t.Fatalf("gated flow mis-binned %d (escapes %d overkill %d), ungated %d (escapes %d overkill %d): gating must strictly help",
+			gated.MisBins(), gated.Escapes, gated.Overkill,
+			ungated.MisBins(), ungated.Escapes, ungated.Overkill)
+	}
+
+	// Determinism: the same seed reproduces the lot report exactly.
+	again, err := f.engine(true).RunLot(rand.New(rand.NewSource(99)), lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Pass != gated.Pass || again.Fail != gated.Fail || again.Fallback != gated.Fallback ||
+		again.MisBins() != gated.MisBins() || again.Load.Insertions != gated.Load.Insertions {
+		t.Fatalf("seeded rerun diverged: %+v vs %+v", again.Load, gated.Load)
+	}
+}
+
+func TestRetestAccountingAndEconomics(t *testing.T) {
+	f := getFixture(t)
+	lot := lot200(t, f)[:60]
+	faults := DefaultFaultModel(0.25)
+	rep, err := f.engine(true).RunLot(rand.New(rand.NewSource(4)), lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Load.Insertions < rep.Devices {
+		t.Fatalf("%d insertions for %d devices", rep.Load.Insertions, rep.Devices)
+	}
+	retested := 0
+	for k, n := range rep.RetestHist {
+		if k > 0 {
+			retested += n
+		}
+	}
+	if retested == 0 {
+		t.Fatal("25% fault load produced no retests")
+	}
+	if rep.Load.ExtraSettleS <= 0 {
+		t.Fatal("retests must accrue backoff settle time")
+	}
+	// The loaded flow must be charged more time than a clean lot would be.
+	clean, err := f.engine(true).RunLot(rand.New(rand.NewSource(4)), lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Time.SignatureS <= clean.Time.SignatureS {
+		t.Fatalf("fault load not charged: %.4fs loaded vs %.4fs clean",
+			rep.Time.SignatureS, clean.Time.SignatureS)
+	}
+	if rep.Time.ThroughputSignature >= clean.Time.ThroughputSignature {
+		t.Fatal("throughput should drop under fault load")
+	}
+	if s := rep.String(); len(s) == 0 {
+		t.Fatal("empty report rendering")
+	}
+}
+
+func TestEngineInputValidation(t *testing.T) {
+	f := getFixture(t)
+	e := f.engine(true)
+	if _, err := e.RunLot(rand.New(rand.NewSource(1)), nil, nil); err == nil {
+		t.Fatal("empty lot must error")
+	}
+	bad := &Engine{}
+	if _, err := bad.RunLot(rand.New(rand.NewSource(1)), lot200(t, f)[:1], nil); err == nil {
+		t.Fatal("unconfigured engine must error")
+	}
+	overP := &FaultModel{P: map[FaultKind]float64{FaultBurstNoise: 2}}
+	if _, err := e.RunLot(rand.New(rand.NewSource(1)), lot200(t, f)[:1], overP); err == nil {
+		t.Fatal("invalid fault model must error")
+	}
+}
+
+// TestConcurrentLots runs two lots through engines sharing the same
+// calibration, gate and config from separate goroutines — the fault
+// injector and retest loop must be race-clean (run with -race).
+func TestConcurrentLots(t *testing.T) {
+	f := getFixture(t)
+	lot := lot200(t, f)[:30]
+	faults := DefaultFaultModel(0.2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = f.engine(true).RunLot(rand.New(rand.NewSource(int64(i+1))), lot, faults)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGateFitErrors(t *testing.T) {
+	if _, err := FitGate(nil, GateOptions{}); err == nil {
+		t.Fatal("no signatures must error")
+	}
+	sigs := make([][]float64, 10)
+	for i := range sigs {
+		sigs[i] = make([]float64, 8)
+		sigs[i][0] = float64(i)
+	}
+	sigs[3] = make([]float64, 5)
+	if _, err := FitGate(sigs, GateOptions{}); err == nil {
+		t.Fatal("ragged signatures must error")
+	}
+}

@@ -1,0 +1,246 @@
+package floor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stat"
+)
+
+// Verdict is the gate's classification of one captured signature.
+type Verdict int
+
+const (
+	// VerdictClean means the capture sits inside the training envelope and
+	// the reduced-space distance band: hand it to the regression.
+	VerdictClean Verdict = iota
+	// VerdictSuspect means the capture is marginally outside the training
+	// statistics: retest before trusting a prediction.
+	VerdictSuspect
+	// VerdictInvalid means the capture cannot have come from a healthy
+	// insertion (envelope blown or far outside the signature manifold).
+	VerdictInvalid
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictClean:
+		return "CLEAN"
+	case VerdictSuspect:
+		return "SUSPECT"
+	case VerdictInvalid:
+		return "INVALID"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// GateOptions tunes the sanity gate.
+type GateOptions struct {
+	// MaxComponents caps the reduced space dimension (default 12).
+	MaxComponents int
+	// EnvelopeZ is the per-bin outlier threshold in training sigmas
+	// (default 8 — the per-bin spread across training devices includes
+	// process variation, so healthy captures stay well inside it).
+	EnvelopeZ float64
+	// MaxOutlierFrac is the fraction of envelope-outlier bins beyond which
+	// a capture is INVALID outright (default 0.25).
+	MaxOutlierFrac float64
+	// SuspectMargin and InvalidMargin scale the worst training distance
+	// into the SUSPECT and INVALID thresholds (defaults 1.5 and 4).
+	SuspectMargin float64
+	InvalidMargin float64
+}
+
+func (o *GateOptions) defaults() {
+	if o.MaxComponents <= 0 {
+		o.MaxComponents = 12
+	}
+	if o.EnvelopeZ <= 0 {
+		o.EnvelopeZ = 8
+	}
+	if o.MaxOutlierFrac <= 0 {
+		o.MaxOutlierFrac = 0.25
+	}
+	if o.SuspectMargin <= 0 {
+		o.SuspectMargin = 1.5
+	}
+	if o.InvalidMargin <= 0 {
+		o.InvalidMargin = 4
+	}
+}
+
+// Gate is the signature sanity gate: a per-bin mean/sigma envelope plus a
+// Mahalanobis-style distance in the SVD-reduced space of the training
+// signatures. Both views are fit once on the calibration training set —
+// the same signatures the regression was trained on — so anything the
+// gate flags is by construction outside the region where the regression
+// was ever validated.
+type Gate struct {
+	Mean  []float64 // per-bin training mean
+	Sigma []float64 // per-bin training sigma (floored)
+
+	basis     *linalg.Matrix // m x p, columns are principal directions
+	compSigma []float64      // per-component training sigma
+	resSigma  float64        // training residual RMS (floored)
+
+	// Thresholds calibrated from the training distances.
+	SuspectD, InvalidD     float64
+	SuspectRes, InvalidRes float64
+
+	opt GateOptions
+}
+
+// FitGate fits the gate on the training-set signatures.
+func FitGate(signatures [][]float64, opt GateOptions) (*Gate, error) {
+	opt.defaults()
+	n := len(signatures)
+	if n < 8 {
+		return nil, fmt.Errorf("floor: need >= 8 training signatures to fit a gate, got %d", n)
+	}
+	m := len(signatures[0])
+	X := linalg.NewMatrix(n, m)
+	for i, s := range signatures {
+		if len(s) != m {
+			return nil, fmt.Errorf("floor: training signature %d has length %d, want %d", i, len(s), m)
+		}
+		X.SetRow(i, s)
+	}
+
+	g := &Gate{opt: opt, Mean: make([]float64, m), Sigma: make([]float64, m)}
+	sigmaFloor := 0.0
+	for j := 0; j < m; j++ {
+		col := X.Col(j)
+		g.Mean[j] = stat.Mean(col)
+		g.Sigma[j] = stat.StdDev(col)
+		sigmaFloor += g.Sigma[j]
+	}
+	// Floor degenerate bins at a fraction of the average spread so a
+	// constant training bin cannot turn every capture into an outlier.
+	sigmaFloor = math.Max(sigmaFloor/float64(m)*1e-3, 1e-15)
+	for j := range g.Sigma {
+		if g.Sigma[j] < sigmaFloor {
+			g.Sigma[j] = sigmaFloor
+		}
+	}
+
+	centered := linalg.NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			centered.Set(i, j, X.At(i, j)-g.Mean[j])
+		}
+	}
+	svd := linalg.ComputeSVD(centered)
+	p := 0
+	for p < len(svd.S) && p < opt.MaxComponents && svd.S[p] > 1e-9*svd.S[0] {
+		p++
+	}
+	if p == 0 {
+		return nil, fmt.Errorf("floor: training signatures are rank-deficient, cannot fit gate")
+	}
+	g.basis = linalg.NewMatrix(m, p)
+	g.compSigma = make([]float64, p)
+	for c := 0; c < p; c++ {
+		for j := 0; j < m; j++ {
+			g.basis.Set(j, c, svd.V.At(j, c))
+		}
+		g.compSigma[c] = svd.S[c] / math.Sqrt(float64(n-1))
+	}
+
+	// Calibrate thresholds on the training set's own distances.
+	dTrain := make([]float64, n)
+	resTrain := make([]float64, n)
+	for i := range signatures {
+		dTrain[i], resTrain[i] = g.Distance(signatures[i])
+	}
+	g.resSigma = math.Max(stat.RMS(resTrain), 1e-15)
+	for i := range resTrain {
+		resTrain[i] /= g.resSigma
+	}
+	dMax, resMax := maxOf(dTrain), maxOf(resTrain)
+	g.SuspectD = dMax * opt.SuspectMargin
+	g.InvalidD = dMax * opt.InvalidMargin
+	g.SuspectRes = resMax * opt.SuspectMargin
+	g.InvalidRes = resMax * opt.InvalidMargin
+	return g, nil
+}
+
+func maxOf(v []float64) float64 {
+	mx := 0.0
+	for _, x := range v {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+// Components returns the reduced-space dimension.
+func (g *Gate) Components() int { return g.basis.Cols }
+
+// Distance returns the normalized Mahalanobis-style distance of sig in the
+// reduced space and the out-of-subspace residual norm. Before threshold
+// calibration completes the residual is raw; afterwards Classify compares
+// it against resSigma-normalized thresholds.
+func (g *Gate) Distance(sig []float64) (d, residual float64) {
+	m := len(g.Mean)
+	if len(sig) != m {
+		return math.Inf(1), math.Inf(1)
+	}
+	dx := make([]float64, m)
+	for j := range dx {
+		dx[j] = sig[j] - g.Mean[j]
+	}
+	p := g.basis.Cols
+	proj := make([]float64, m)
+	sum := 0.0
+	for c := 0; c < p; c++ {
+		z := 0.0
+		for j := 0; j < m; j++ {
+			z += dx[j] * g.basis.At(j, c)
+		}
+		w := z / g.compSigma[c]
+		sum += w * w
+		for j := 0; j < m; j++ {
+			proj[j] += z * g.basis.At(j, c)
+		}
+	}
+	res := 0.0
+	for j := 0; j < m; j++ {
+		r := dx[j] - proj[j]
+		res += r * r
+	}
+	return math.Sqrt(sum / float64(p)), math.Sqrt(res)
+}
+
+// EnvelopeOutliers counts signature bins outside Mean +/- EnvelopeZ*Sigma.
+func (g *Gate) EnvelopeOutliers(sig []float64) int {
+	if len(sig) != len(g.Mean) {
+		return len(g.Mean)
+	}
+	out := 0
+	for j := range sig {
+		if math.Abs(sig[j]-g.Mean[j]) > g.opt.EnvelopeZ*g.Sigma[j] {
+			out++
+		}
+	}
+	return out
+}
+
+// Classify gates one capture before prediction.
+func (g *Gate) Classify(sig []float64) Verdict {
+	outliers := g.EnvelopeOutliers(sig)
+	d, res := g.Distance(sig)
+	res /= g.resSigma
+	frac := float64(outliers) / float64(len(g.Mean))
+	switch {
+	case frac > g.opt.MaxOutlierFrac || d > g.InvalidD || res > g.InvalidRes:
+		return VerdictInvalid
+	case outliers > 0 || d > g.SuspectD || res > g.SuspectRes:
+		return VerdictSuspect
+	default:
+		return VerdictClean
+	}
+}

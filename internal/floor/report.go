@@ -1,0 +1,115 @@
+package floor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ate"
+)
+
+// LotReport is the structured outcome of one lot on the fault-tolerant
+// floor: binning, mis-bin scoring against the conventional verdicts,
+// per-fault-type counts, the retest histogram, gate statistics, and the
+// throughput comparison charged for retests and fallbacks.
+type LotReport struct {
+	Devices int
+
+	// Binning. Pass+Fail+Fallback == Devices, always.
+	Pass, Fail, Fallback int
+	// FallbackPass/FallbackFail split the fallback bin by the conventional
+	// test's verdict (the fallback path measures the truth).
+	FallbackPass, FallbackFail int
+
+	// Mis-bins among signature-binned devices, scored against TruePass.
+	Escapes  int // shipped but truly failing
+	Overkill int // rejected but truly passing
+	// TrueYield is the lot's conventional yield.
+	TrueYield int
+
+	// Fault and gate accounting.
+	FaultCounts map[FaultKind]int
+	GateCounts  map[Verdict]int
+	AcqErrors   int
+	// RetestHist[k] counts devices that needed k+1 insertions.
+	RetestHist []int
+
+	// Economics.
+	Load ate.RetestLoad
+	Time ate.TimeComparison
+
+	Results []DeviceResult
+}
+
+func newLotReport(devices, maxAttempts int) *LotReport {
+	return &LotReport{
+		Devices:     devices,
+		FaultCounts: make(map[FaultKind]int),
+		GateCounts:  make(map[Verdict]int),
+		RetestHist:  make([]int, maxAttempts),
+	}
+}
+
+// tally folds one device outcome into the lot counters.
+func (r *LotReport) tally(res DeviceResult) {
+	if res.TruePass {
+		r.TrueYield++
+	}
+	switch res.Bin {
+	case BinPass:
+		r.Pass++
+		if !res.TruePass {
+			r.Escapes++
+		}
+	case BinFail:
+		r.Fail++
+		if res.TruePass {
+			r.Overkill++
+		}
+	case BinFallback:
+		r.Fallback++
+		if res.TruePass {
+			r.FallbackPass++
+		} else {
+			r.FallbackFail++
+		}
+	}
+}
+
+// MisBins returns escapes + overkill — the headline robustness metric.
+func (r *LotReport) MisBins() int { return r.Escapes + r.Overkill }
+
+// Binned returns how many devices landed in any bin; always Devices.
+func (r *LotReport) Binned() int { return r.Pass + r.Fail + r.Fallback }
+
+// String renders the report as a floor summary table.
+func (r *LotReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lot: %d devices, %d insertions (%.2f per device), conventional yield %d\n",
+		r.Devices, r.Load.Insertions, float64(r.Load.Insertions)/float64(r.Devices), r.TrueYield)
+	fmt.Fprintf(&b, "bins: pass %d, fail %d, fallback-to-spec-test %d (of which %d pass / %d fail on the ATE)\n",
+		r.Pass, r.Fail, r.Fallback, r.FallbackPass, r.FallbackFail)
+	fmt.Fprintf(&b, "mis-bins: %d escapes + %d overkill = %d\n", r.Escapes, r.Overkill, r.MisBins())
+	if len(r.FaultCounts) > 0 {
+		fmt.Fprintf(&b, "faults injected:")
+		for _, k := range FaultKinds() {
+			if n := r.FaultCounts[k]; n > 0 {
+				fmt.Fprintf(&b, " %s=%d", k, n)
+			}
+		}
+		if n := r.FaultCounts[FaultNone]; n > 0 {
+			fmt.Fprintf(&b, " (clean=%d)", n)
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "gate: clean %d, suspect %d, invalid %d, acquisition errors %d\n",
+		r.GateCounts[VerdictClean], r.GateCounts[VerdictSuspect], r.GateCounts[VerdictInvalid], r.AcqErrors)
+	fmt.Fprintf(&b, "retest histogram (insertions -> devices):")
+	for k, n := range r.RetestHist {
+		fmt.Fprintf(&b, " %d->%d", k+1, n)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "effective insertion: %.1f ms signature vs %.0f ms conventional (%.1fx, %.0f vs %.0f devices/hour)\n",
+		r.Time.SignatureS*1e3, r.Time.ConventionalS*1e3, r.Time.Speedup,
+		r.Time.ThroughputSignature, r.Time.ThroughputConventional)
+	return b.String()
+}

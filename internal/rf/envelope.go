@@ -117,6 +117,19 @@ func (s *EnvSignal) AddScaled(o *EnvSignal, c float64) {
 	}
 }
 
+// ScaleTime multiplies every zone of s by the real gain g(t), sample by
+// sample — a wideband time-varying series loss in the signal path (e.g. a
+// resistive or intermittent contactor fault), which attenuates all
+// spectral zones identically.
+func (s *EnvSignal) ScaleTime(g func(t float64) float64) {
+	for i := 0; i < s.N; i++ {
+		c := complex(g(float64(i)/s.Fs), 0)
+		for k := range s.Z {
+			s.Z[k][i] *= c
+		}
+	}
+}
+
 // ScaleZone multiplies one zone by a complex factor (a per-zone linear
 // filter with flat response).
 func (s *EnvSignal) ScaleZone(k int, c complex128) {

@@ -1,0 +1,52 @@
+package rf
+
+// InsertionFaults describes per-insertion perturbations applied along the
+// acquisition signal path of a Loadboard run. A production insertion can go
+// wrong in several physically distinct places — the stimulus DAC, the
+// contactor between DUT and load board, the LO distribution, and the
+// digitizer — and each hook below acts at the corresponding point of the
+// chain, so a fault corrupts the capture the way the real mechanism would
+// (filtered, mixed and decimated along with the signal) rather than as a
+// perturbation bolted onto the output vector.
+//
+// A nil *InsertionFaults (or a zero value) is a clean insertion.
+type InsertionFaults struct {
+	// StimTransform wraps the baseband stimulus waveform — a stimulus DAC
+	// glitch or droop. Applied before upconversion.
+	StimTransform func(StimFunc) StimFunc
+	// ContactGain is a time-varying wideband gain applied to the DUT output
+	// envelope (series contactor loss: 1 = clean contact, 0 = open,
+	// flickering values = intermittent resistive contact). nil = clean.
+	ContactGain func(t float64) float64
+	// LOAmpScale scales the downconversion LO amplitude (LO drift).
+	// Values <= 0 are treated as the nominal 1.
+	LOAmpScale float64
+	// LOPhaseRad is added to the LO path phase (LO phase drift).
+	LOPhaseRad float64
+	// CaptureTransform perturbs the digitized capture after decimation —
+	// digitizer range saturation, sample dropout, additive burst noise.
+	CaptureTransform func([]float64) []float64
+}
+
+// clean reports whether the fault set leaves the insertion unperturbed.
+func (f *InsertionFaults) clean() bool {
+	return f == nil || (f.StimTransform == nil && f.ContactGain == nil &&
+		(f.LOAmpScale <= 0 || f.LOAmpScale == 1) && f.LOPhaseRad == 0 &&
+		f.CaptureTransform == nil)
+}
+
+// loAmp returns the effective LO amplitude for nominal amp a.
+func (f *InsertionFaults) loAmp(a float64) float64 {
+	if f == nil || f.LOAmpScale <= 0 {
+		return a
+	}
+	return a * f.LOAmpScale
+}
+
+// loPhase returns the effective LO path phase for nominal phase p.
+func (f *InsertionFaults) loPhase(p float64) float64 {
+	if f == nil {
+		return p
+	}
+	return p + f.LOPhaseRad
+}

@@ -1,0 +1,148 @@
+package rf
+
+import (
+	"math"
+	"testing"
+)
+
+func faultTestBoard() (*Loadboard, *Amplifier) {
+	lb := DefaultLoadboard()
+	lb.CaptureN = 64
+	return lb, NewAmplifier(PolyFromSpecs(15, 3))
+}
+
+func captureRMS(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+func TestRunEnvelopeFaultedNilMatchesClean(t *testing.T) {
+	lb, dut := faultTestBoard()
+	clean, err := lb.RunEnvelope(dut, testStim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := lb.RunEnvelopeFaulted(dut, testStim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := lb.RunEnvelopeFaulted(dut, testStim, &InsertionFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if clean[i] != faulted[i] || clean[i] != zero[i] {
+			t.Fatalf("sample %d: nil/zero fault sets must be bit-identical to the clean path", i)
+		}
+	}
+}
+
+func TestContactGainActsOnPath(t *testing.T) {
+	lb, dut := faultTestBoard()
+	clean, err := lb.RunEnvelope(dut, testStim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open contact: nothing reaches the digitizer.
+	open, err := lb.RunEnvelopeFaulted(dut, testStim, &InsertionFaults{
+		ContactGain: func(float64) float64 { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms := captureRMS(open); rms > 1e-12*captureRMS(clean) {
+		t.Fatalf("open contactor capture RMS %g, want ~0", rms)
+	}
+	// A constant 6 dB series loss scales the linear capture by ~0.5.
+	half, err := lb.RunEnvelopeFaulted(dut, testStim, &InsertionFaults{
+		ContactGain: func(float64) float64 { return 0.5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := captureRMS(half) / captureRMS(clean)
+	if math.Abs(ratio-0.5) > 0.05 {
+		t.Fatalf("6 dB series loss scaled capture by %g, want ~0.5", ratio)
+	}
+}
+
+func TestLOFaultsChangeCapture(t *testing.T) {
+	lb, dut := faultTestBoard()
+	clean, err := lb.RunEnvelope(dut, testStim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LO amplitude scale: downmix product scales linearly with LO drive on
+	// an ideal-ish path, so the capture RMS must move with it.
+	drift, err := lb.RunEnvelopeFaulted(dut, testStim, &InsertionFaults{LOAmpScale: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := captureRMS(drift) / captureRMS(clean); r > 0.95 || r < 0.3 {
+		t.Fatalf("LO amplitude drift ratio %g, want noticeably below 1", r)
+	}
+	// Phase drift with zero LO offset shifts the downconverted phase.
+	lb2, _ := faultTestBoard()
+	lb2.LOOffsetHz = 0
+	base, err := lb2.RunEnvelope(dut, testStim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := lb2.RunEnvelopeFaulted(dut, testStim, &InsertionFaults{LOPhaseRad: math.Pi / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for i := range base {
+		d := base[i] - shifted[i]
+		diff += d * d
+	}
+	if math.Sqrt(diff/float64(len(base))) < 0.1*captureRMS(base) {
+		t.Fatal("quadrature LO phase drift barely moved the capture")
+	}
+}
+
+func TestStimAndCaptureTransformsApplied(t *testing.T) {
+	lb, dut := faultTestBoard()
+	clean, err := lb.RunEnvelope(dut, testStim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling the stimulus through the hook at least changes the capture
+	// (the DUT is nonlinear, so exact 2x is not expected).
+	boosted, err := lb.RunEnvelopeFaulted(dut, testStim, &InsertionFaults{
+		StimTransform: func(s StimFunc) StimFunc {
+			return func(t float64) float64 { return 2 * s(t) }
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := captureRMS(boosted) / captureRMS(clean); r < 1.2 {
+		t.Fatalf("boosted stimulus ratio %g, hook not reaching the DAC", r)
+	}
+	// The capture transform sees exactly the digitized vector.
+	marked, err := lb.RunEnvelopeFaulted(dut, testStim, &InsertionFaults{
+		CaptureTransform: func(x []float64) []float64 {
+			if len(x) != lb.CaptureN {
+				t.Fatalf("capture transform got %d samples, want %d", len(x), lb.CaptureN)
+			}
+			out := append([]float64(nil), x...)
+			for i := range out {
+				out[i] = 42
+			}
+			return out
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range marked {
+		if v != 42 {
+			t.Fatalf("sample %d: capture transform output not returned (%g)", i, v)
+		}
+	}
+}

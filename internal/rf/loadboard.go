@@ -131,8 +131,21 @@ func (lb *Loadboard) settleN() int {
 // RunEnvelope simulates the chain in the zone-envelope domain and returns
 // the CaptureN baseband samples the digitizer records.
 func (lb *Loadboard) RunEnvelope(dut EnvelopeDevice, stim StimFunc) ([]float64, error) {
+	return lb.RunEnvelopeFaulted(dut, stim, nil)
+}
+
+// RunEnvelopeFaulted is RunEnvelope with per-insertion faults injected at
+// the physically corresponding points of the chain: the stimulus before
+// upconversion, the contactor between DUT and downconverter, the
+// downconversion LO, and the digitized capture. A nil flt is a clean
+// insertion. The Loadboard itself is not mutated, so concurrent runs that
+// share a board stay race-free.
+func (lb *Loadboard) RunEnvelopeFaulted(dut EnvelopeDevice, stim StimFunc, flt *InsertionFaults) ([]float64, error) {
 	if err := lb.validate(); err != nil {
 		return nil, err
+	}
+	if flt != nil && flt.StimTransform != nil {
+		stim = flt.StimTransform(stim)
 	}
 	fs := lb.envFs()
 	os := int(math.Round(fs / lb.DigitizerFs))
@@ -153,11 +166,18 @@ func (lb *Loadboard) RunEnvelope(dut EnvelopeDevice, stim StimFunc) ([]float64, 
 	lo1 := EnvTone(fs, lb.CarrierHz, n, mz, 1, lb.CarrierAmp, 0, 0)
 	rfIn := lb.UpMixer.ProcessEnvelope(x, lo1, mz)
 	y := dut.ProcessEnvelope(rfIn, mz)
-	lo2 := EnvTone(fs, lb.CarrierHz, n, mz, 1, lb.CarrierAmp, lb.LOOffsetHz, lb.PathPhase)
+	if flt != nil && flt.ContactGain != nil {
+		y.ScaleTime(flt.ContactGain)
+	}
+	lo2 := EnvTone(fs, lb.CarrierHz, n, mz, 1, flt.loAmp(lb.CarrierAmp), lb.LOOffsetHz, flt.loPhase(lb.PathPhase))
 	down := lb.DownMixer.ProcessEnvelope(y, lo2, mz)
 	base, _ := down.BasebandReal()
 	filtered := fir.FilterCompensated(base)
-	return strideDecimate(filtered, os, settle*os, lb.CaptureN), nil
+	capture := strideDecimate(filtered, os, settle*os, lb.CaptureN)
+	if flt != nil && flt.CaptureTransform != nil {
+		capture = flt.CaptureTransform(capture)
+	}
+	return capture, nil
 }
 
 // RunPassband simulates the chain by direct time-domain sampling at

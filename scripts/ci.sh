@@ -1,0 +1,12 @@
+#!/bin/sh
+# CI entry point: vet, build, and the full test suite under the race
+# detector. Mirrors `make ci` for environments without make.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+# Explicit timeout: the race detector slows internal/experiments ~10x past
+# go test's default 10-minute per-package budget.
+go test -race -timeout 45m ./...
