@@ -1,12 +1,20 @@
 # Repo-wide build/test entry points. `make ci` is what the CI script runs:
-# vet, build, and the full test suite under the race detector (the floor
-# engine's fault injector and retest loop must stay race-clean).
+# formatting check, vet, build, and the full test suite under the race
+# detector (the floor engine's fault injector, the lotrun orchestrator's
+# worker pool and the retest loop must stay race-clean).
 
 GO ?= go
 
-.PHONY: all vet build test race ci
+.PHONY: all fmt fmtcheck vet build test race bench ci
 
 all: build
+
+fmt:
+	gofmt -w .
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -22,4 +30,8 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-ci: vet build race
+# Serial-vs-concurrent lot orchestration benchmark; writes BENCH_lotrun.json.
+bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkLot$$' -benchtime 2x .
+
+ci: fmtcheck vet build race

@@ -1,0 +1,168 @@
+// Serial-vs-concurrent lot orchestration benchmark (`make bench`). One
+// seeded production lot is screened by the serial floor engine and by the
+// lotrun orchestrator at increasing site counts; the per-device wall time
+// and speedup land in BENCH_lotrun.json. The bins are asserted identical
+// across all runs — the speedup must come from scheduling alone.
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floor"
+	"repro/internal/lna"
+	"repro/internal/lotrun"
+)
+
+const (
+	benchLotDevices = 64
+	benchLotSeed    = 101
+	benchLotFaultP  = 0.10
+)
+
+type lotBench struct {
+	engine *floor.Engine
+	lot    []*core.Device
+	faults *floor.FaultModel
+}
+
+var (
+	lotBenchOnce sync.Once
+	lotBenchFix  *lotBench
+	lotBenchErr  error
+)
+
+func getLotBench(b *testing.B) *lotBench {
+	b.Helper()
+	lotBenchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(11))
+		model := core.RF2401Model{}
+		cfg := core.DefaultSimConfig()
+		stim := cfg.RandomStimulus(rng)
+		train, err := core.GeneratePopulation(rng, model, 60, 0.9)
+		if err != nil {
+			lotBenchErr = err
+			return
+		}
+		td, err := core.AcquireTrainingSet(rng, cfg, stim, train,
+			func(d *core.Device) lna.Specs { return d.Specs })
+		if err != nil {
+			lotBenchErr = err
+			return
+		}
+		cal, err := core.Calibrate(rng, stim, td, core.CalibrationOptions{})
+		if err != nil {
+			lotBenchErr = err
+			return
+		}
+		sigs := make([][]float64, len(td))
+		for i := range td {
+			sigs[i] = td[i].Signature
+		}
+		gate, err := floor.FitGate(sigs, floor.GateOptions{})
+		if err != nil {
+			lotBenchErr = err
+			return
+		}
+		pass := func(s lna.Specs) bool {
+			return s.GainDB >= 10.0 && s.NFDB <= 4.2 && s.IIP3DBm >= -9.5
+		}
+		lot, err := core.GeneratePopulation(rng, model, benchLotDevices, 0.9)
+		if err != nil {
+			lotBenchErr = err
+			return
+		}
+		lotBenchFix = &lotBench{
+			engine: &floor.Engine{
+				Cfg: cfg, Cal: cal, Stim: stim, Gate: gate,
+				PredPass: pass, TruePass: pass, Policy: floor.DefaultPolicy(),
+			},
+			lot:    lot,
+			faults: floor.DefaultFaultModel(benchLotFaultP),
+		}
+	})
+	if lotBenchErr != nil {
+		b.Fatalf("lot benchmark fixture: %v", lotBenchErr)
+	}
+	return lotBenchFix
+}
+
+func lotBins(rep *floor.LotReport) []floor.Bin {
+	bins := make([]floor.Bin, len(rep.Results))
+	for i, r := range rep.Results {
+		bins[i] = r.Bin
+	}
+	return bins
+}
+
+// BenchmarkLot screens the same seeded lot serially and across concurrent
+// tester sites, then writes the per-device times to BENCH_lotrun.json.
+func BenchmarkLot(b *testing.B) {
+	f := getLotBench(b)
+	out := map[string]any{
+		"devices": benchLotDevices,
+		"faultp":  benchLotFaultP,
+		"seed":    benchLotSeed,
+	}
+	var refBins []floor.Bin
+
+	b.Run("serial", func(b *testing.B) {
+		var rep *floor.LotReport
+		for i := 0; i < b.N; i++ {
+			var err error
+			rep, err = f.engine.RunLot(benchLotSeed, f.lot, f.faults)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		refBins = lotBins(rep)
+		perDev := float64(b.Elapsed().Nanoseconds()) / float64(b.N*benchLotDevices)
+		b.ReportMetric(perDev, "ns/device")
+		out["serial_ns_per_device"] = perDev
+	})
+
+	for _, sites := range []int{2, 4, 8} {
+		sites := sites
+		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
+			o := &lotrun.Orchestrator{Engine: f.engine, Opt: lotrun.Options{
+				Sites:   sites,
+				Breaker: lotrun.BreakerConfig{TripConsecutive: 1 << 20},
+			}}
+			var rep *lotrun.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = o.Run(context.Background(), benchLotSeed, f.lot, f.faults)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			bins := lotBins(rep.Lot)
+			for i := range bins {
+				if refBins != nil && bins[i] != refBins[i] {
+					b.Fatalf("device %d binned %v concurrently vs %v serially", i, bins[i], refBins[i])
+				}
+			}
+			perDev := float64(b.Elapsed().Nanoseconds()) / float64(b.N*benchLotDevices)
+			b.ReportMetric(perDev, "ns/device")
+			if s, ok := out["serial_ns_per_device"].(float64); ok && perDev > 0 {
+				b.ReportMetric(s/perDev, "speedup")
+				out[fmt.Sprintf("sites%d_speedup", sites)] = s / perDev
+			}
+			out[fmt.Sprintf("sites%d_ns_per_device", sites)] = perDev
+		})
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_lotrun.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

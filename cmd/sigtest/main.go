@@ -10,9 +10,13 @@
 //	sigtest -stimulus out.json       # also save the optimized stimulus
 //	sigtest -faults -faultp 0.1      # fault-tolerant floor: inject faults,
 //	                                 # gate captures, retest, fall back
+//	sigtest -faults -sites 4         # concurrent multi-site orchestrator
+//	sigtest -faults -journal lot.journal           # crash-safe journal
+//	sigtest -faults -journal lot.journal -resume   # continue a killed lot
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/floor"
 	"repro/internal/lna"
+	"repro/internal/lotrun"
 	"repro/internal/wave"
 )
 
@@ -52,7 +57,23 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller GA budget")
 	withFaults := flag.Bool("faults", false, "run production on the fault-tolerant floor engine")
 	faultP := flag.Float64("faultp", 0.10, "total per-insertion fault probability (with -faults)")
+	sites := flag.Int("sites", 1, "concurrent tester sites for the production lot (with -faults)")
+	journal := flag.String("journal", "", "crash-safe lot journal path (with -faults)")
+	resume := flag.Bool("resume", false, "resume an interrupted lot from -journal instead of starting fresh")
 	flag.Parse()
+
+	if *faultP < 0 || *faultP > 1 {
+		usageFail("-faultp %g is not a probability; need a value in [0, 1]", *faultP)
+	}
+	if *sites < 1 {
+		usageFail("-sites %d is not a tester count; need an integer >= 1", *sites)
+	}
+	if *resume && *journal == "" {
+		usageFail("-resume needs -journal: there is no journal to resume from")
+	}
+	if (*sites > 1 || *journal != "" || *resume) && !*withFaults {
+		usageFail("-sites/-journal/-resume orchestrate the fault-tolerant floor; add -faults")
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var model core.DeviceModel
@@ -134,7 +155,11 @@ func main() {
 		fail("%v", err)
 	}
 	if *withFaults {
-		runFaultyFloor(rng, cfg, cal, res.Stimulus, td, prod, limits, *faultP)
+		runFaultyFloor(floorRun{
+			lotSeed: *seed, cfg: cfg, cal: cal, stim: res.Stimulus, td: td,
+			prod: prod, limits: limits, faultP: *faultP,
+			sites: *sites, journal: *journal, resume: *resume,
+		})
 		return
 	}
 	var pass, escape, overkill int
@@ -162,38 +187,79 @@ func main() {
 		limits.MinGainDB, limits.MaxNFDB, limits.MinIIP3DBm)
 }
 
-// runFaultyFloor screens the production lot on the fault-tolerant floor
-// engine: seeded fault injection into the acquisition path, signature
-// sanity gating, bounded retests with backoff, and fallback to the
-// conventional spec test for devices that never capture cleanly.
-func runFaultyFloor(rng *rand.Rand, cfg *core.TestConfig, cal *core.Calibration, stim *wave.PWL,
-	td []core.TrainingDevice, prod []*core.Device, limits SpecLimits, faultP float64) {
-	sigs := make([][]float64, len(td))
-	for i := range td {
-		sigs[i] = td[i].Signature
+// floorRun bundles the fault-tolerant production run's inputs.
+type floorRun struct {
+	lotSeed int64
+	cfg     *core.TestConfig
+	cal     *core.Calibration
+	stim    *wave.PWL
+	td      []core.TrainingDevice
+	prod    []*core.Device
+	limits  SpecLimits
+	faultP  float64
+	sites   int
+	journal string
+	resume  bool
+}
+
+// runFaultyFloor screens the production lot on the fault-tolerant floor:
+// seeded fault injection into the acquisition path, signature sanity
+// gating, bounded retests with backoff, and fallback to the conventional
+// spec test for devices that never capture cleanly. With -sites > 1 or a
+// -journal the lot runs under the supervised concurrent orchestrator
+// (multi-site workers, crash-safe journal, circuit breakers, drift
+// watchdog); bins are identical either way.
+func runFaultyFloor(r floorRun) {
+	sigs := make([][]float64, len(r.td))
+	for i := range r.td {
+		sigs[i] = r.td[i].Signature
 	}
 	gate, err := floor.FitGate(sigs, floor.GateOptions{})
 	if err != nil {
 		fail("%v", err)
 	}
 	engine := &floor.Engine{
-		Cfg:      cfg,
-		Cal:      cal,
-		Stim:     stim,
+		Cfg:      r.cfg,
+		Cal:      r.cal,
+		Stim:     r.stim,
 		Gate:     gate,
-		PredPass: limits.pass,
-		TruePass: limits.pass,
+		PredPass: r.limits.pass,
+		TruePass: r.limits.pass,
 		Policy:   floor.DefaultPolicy(),
 	}
 	fmt.Printf("      fault-tolerant floor: %.0f%% per-insertion fault probability, gate with %d components\n",
-		100*faultP, gate.Components())
-	rep, err := engine.RunLot(rng, prod, floor.DefaultFaultModel(faultP))
-	if err != nil {
-		fail("%v", err)
+		100*r.faultP, gate.Components())
+	faults := floor.DefaultFaultModel(r.faultP)
+
+	if r.sites > 1 || r.journal != "" {
+		o := &lotrun.Orchestrator{Engine: engine, Opt: lotrun.Options{
+			Sites: r.sites, JournalPath: r.journal,
+		}}
+		run := o.Run
+		if r.resume {
+			run = o.Resume
+		}
+		orep, err := run(context.Background(), r.lotSeed, r.prod, faults)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(orep.Lot)
+		fmt.Print(orep)
+	} else {
+		rep, err := engine.RunLot(r.lotSeed, r.prod, faults)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(rep)
 	}
-	fmt.Print(rep)
 	fmt.Printf("      limits: gain >= %.1f dB, NF <= %.1f dB, IIP3 >= %.1f dBm\n",
-		limits.MinGainDB, limits.MaxNFDB, limits.MinIIP3DBm)
+		r.limits.MinGainDB, r.limits.MaxNFDB, r.limits.MinIIP3DBm)
+}
+
+func usageFail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sigtest: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fail(format string, args ...any) {

@@ -1,38 +1,45 @@
 // Production-line simulation: the economic argument of the paper's
-// introduction, played out on a simulated test floor — including the part
-// the paper leaves out, which is that real insertions are not all clean.
+// introduction, played out on a simulated test floor — including the parts
+// the paper leaves out: real insertions are not all clean, real testers
+// run many sites in parallel, and real lots get interrupted.
 //
 // A lot of circuit-level 900 MHz LNAs is screened two ways:
 //
 //  1. conventional specification testing (per-spec setup + measure on a
 //     high-end RF ATE), and
 //  2. signature testing on the low-cost tester (one capture, regression
-//     read-out), run on the fault-tolerant floor engine: a seeded fault
-//     model injects contactor/digitizer/LO/stimulus faults into the
-//     acquisition path, a sanity gate screens each capture before
-//     prediction, gated-out devices are retested with backoff, and
-//     devices that never produce a clean capture fall back to the
-//     conventional spec test instead of being mis-binned.
+//     read-out), run under the supervised concurrent orchestrator: four
+//     tester sites share the lot queue, a seeded fault model injects
+//     contactor/digitizer/LO/stimulus faults into the acquisition path, a
+//     sanity gate screens each capture before prediction, gated-out
+//     devices are retested with backoff, devices that never capture
+//     cleanly fall back to the conventional spec test, per-site circuit
+//     breakers quarantine misbehaving sites, and a drift watchdog charts
+//     the accepted-capture distances.
 //
-// The example reports the gated and ungated lot outcomes side by side
-// (yield, escapes/overkill, retests, fallbacks) and the throughput/cost
-// figures charged for the retest load. A single bad acquisition no longer
-// kills the lot: errors are counted per device and the device is retested
-// or routed to fallback.
+// The orchestrated run is journaled and deliberately killed mid-lot
+// (a simulated power cut), then resumed from the journal: the resumed
+// lot's bins are bit-identical to an uninterrupted serial run, because
+// every device's randomness derives from (lot seed, device index) alone.
 //
-//	go run ./examples/production [-n 60] [-faultp 0.10]
+//	go run ./examples/production [-n 60] [-faultp 0.10] [-sites 4]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/ate"
 	"repro/internal/core"
 	"repro/internal/floor"
 	"repro/internal/lna"
+	"repro/internal/lotrun"
 )
 
 type limits struct {
@@ -46,6 +53,7 @@ func (l limits) pass(s lna.Specs) bool {
 func main() {
 	n := flag.Int("n", 60, "production lot size")
 	faultP := flag.Float64("faultp", 0.10, "total per-insertion fault probability")
+	sites := flag.Int("sites", 4, "concurrent tester sites")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(7))
@@ -109,16 +117,17 @@ func main() {
 	fmt.Printf("sanity gate: %d-component reduced space, suspect/invalid distance %.2f/%.2f\n\n",
 		gate.Components(), gate.SuspectD, gate.InvalidD)
 
-	// Production phase on the fault-tolerant floor. The same seeded lot and
-	// fault sequence is screened twice: once trusting every capture
-	// blindly, once with the gate + bounded retests + spec-test fallback.
-	fmt.Printf("== production phase: %d devices, %.0f%% per-insertion fault probability ==\n",
-		*n, 100**faultP)
+	// Production phase. The same seeded lot and per-device fault streams
+	// are screened twice: once trusting every capture blindly (serial),
+	// once gated under the concurrent orchestrator.
+	fmt.Printf("== production phase: %d devices, %.0f%% per-insertion fault probability, %d sites ==\n",
+		*n, 100**faultP, *sites)
 	lot, err := core.GeneratePopulation(rng, model, *n, 0.2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	faults := floor.DefaultFaultModel(*faultP)
+	const lotSeed = 1001
 	engine := &floor.Engine{
 		Cfg:      cfg,
 		Cal:      cal,
@@ -127,29 +136,72 @@ func main() {
 		TruePass: lim.pass,
 		Policy:   floor.DefaultPolicy(),
 	}
-	ungated, err := engine.RunLot(rand.New(rand.NewSource(1001)), lot, faults)
+	ungated, err := engine.RunLot(lotSeed, lot, faults)
 	if err != nil {
 		log.Fatal(err)
 	}
 	engine.Gate = gate
-	gated, err := engine.RunLot(rand.New(rand.NewSource(1001)), lot, faults)
+	serial, err := engine.RunLot(lotSeed, lot, faults)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("-- ungated (every capture trusted) --")
+	fmt.Println("-- ungated (every capture trusted), serial --")
 	fmt.Print(ungated)
-	fmt.Println("-- gated + retest + fallback --")
-	fmt.Print(gated)
+	fmt.Println("-- gated + retest + fallback, serial reference --")
+	fmt.Print(serial)
 	fmt.Println()
 
+	// Kill-and-resume: run the same gated lot under the orchestrator with
+	// a crash-safe journal, cut the power mid-lot, then resume. The
+	// journal replays every committed device; the rest are re-screened
+	// from their (lot seed, index) streams.
+	fmt.Println("== orchestrated run with a simulated power cut ==")
+	journalPath := filepath.Join(os.TempDir(), fmt.Sprintf("production-%d.journal", os.Getpid()))
+	defer os.Remove(journalPath)
+
+	ctx, cut := context.WithCancel(context.Background())
+	var started atomic.Int64
+	killAt := int64(*n) / 2
+	o := &lotrun.Orchestrator{Engine: engine, Opt: lotrun.Options{
+		Sites:       *sites,
+		JournalPath: journalPath,
+		Hook: func(site, device int) {
+			if started.Add(1) == killAt {
+				cut() // the "power cut": every site stops taking devices
+			}
+		},
+	}}
+	if _, err := o.Run(ctx, lotSeed, lot, faults); err != nil {
+		fmt.Printf("power cut: %v\n", err)
+	} else {
+		fmt.Println("(lot too small to interrupt; completed before the cut)")
+	}
+
+	o.Opt.Hook = nil
+	resumed, err := o.Resume(context.Background(), lotSeed, lot, faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed: %d devices replayed from the journal, %d corrupt lines skipped\n",
+		resumed.Replayed, resumed.Replay.Corrupt)
+	fmt.Print(resumed)
+
+	identical := true
+	for i := range serial.Results {
+		if serial.Results[i].Bin != resumed.Lot.Results[i].Bin {
+			identical = false
+		}
+	}
+	fmt.Printf("resumed %d-site bins == uninterrupted serial bins: %v\n\n", *sites, identical)
+
 	// Floor economics, charged for the retest/fallback load the gated flow
-	// actually incurred.
+	// actually incurred plus the orchestrator's journal-sync overhead.
 	fmt.Println("== test floor economics (under fault load) ==")
 	sigTester, err := ate.NewSignatureTester(cfg.Board.CaptureN, cfg.Board.DigitizerFs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cmp := gated.Time
+	cmp := resumed.Lot.Time
 	fmt.Printf("insertion time     : %.0f ms conventional vs %.1f ms signature (%.1fx)\n",
 		cmp.ConventionalS*1e3, cmp.SignatureS*1e3, cmp.Speedup)
 	fmt.Printf("throughput         : %.0f vs %.0f devices/hour\n",

@@ -14,6 +14,14 @@ type RetestLoad struct {
 	Insertions      int     // total signature insertions (>= Devices)
 	ExtraSettleS    float64 // total backoff settle time added before retests
 	FallbackDevices int     // devices routed to the conventional suite
+	// QuarantineS is tester-site time lost to circuit-breaker quarantine
+	// (backoff before half-open re-probe insertions) on the concurrent
+	// lot orchestrator; 0 on the serial floor.
+	QuarantineS float64
+	// JournalS is the time spent fsyncing the crash-recovery lot journal
+	// (modeled per record, so serial, concurrent and resumed lots charge
+	// identically); 0 when journaling is off.
+	JournalS float64
 }
 
 // Validate checks the load for internal consistency.
@@ -30,21 +38,31 @@ func (l RetestLoad) Validate() error {
 	if l.FallbackDevices < 0 || l.FallbackDevices > l.Devices {
 		return fmt.Errorf("ate: %d fallback devices outside [0, %d]", l.FallbackDevices, l.Devices)
 	}
+	if l.QuarantineS < 0 {
+		return fmt.Errorf("ate: negative quarantine time %g", l.QuarantineS)
+	}
+	if l.JournalS < 0 {
+		return fmt.Errorf("ate: negative journal time %g", l.JournalS)
+	}
 	return nil
 }
 
 // EffectiveSignatureS returns the average per-device wall time of the
 // signature flow under the given retest/fallback load: every insertion
 // pays the full signature insertion plus handler index time, backoff
-// settle is added on top, and fallback devices additionally pay the whole
-// conventional suite (they were already inserted on the signature tester).
+// settle is added on top, fallback devices additionally pay the whole
+// conventional suite (they were already inserted on the signature tester),
+// and the orchestrator overheads — site quarantine and journal fsyncs —
+// are amortized over the lot so the cost comparison stays honest about
+// what crash recovery and circuit breaking actually cost.
 func EffectiveSignatureS(sig *SignatureTester, conv []SpecTest, handlerS float64, l RetestLoad) (float64, error) {
 	if err := l.Validate(); err != nil {
 		return 0, err
 	}
 	total := float64(l.Insertions)*(sig.InsertionS()+handlerS) +
 		l.ExtraSettleS +
-		float64(l.FallbackDevices)*(SuiteDuration(conv)+handlerS)
+		float64(l.FallbackDevices)*(SuiteDuration(conv)+handlerS) +
+		l.QuarantineS + l.JournalS
 	return total / float64(l.Devices), nil
 }
 

@@ -35,6 +35,8 @@ func TestRetestLoadValidation(t *testing.T) {
 		{Devices: 10, Insertions: 10, ExtraSettleS: -1},
 		{Devices: 10, Insertions: 10, FallbackDevices: 11},
 		{Devices: 10, Insertions: 10, FallbackDevices: -1},
+		{Devices: 10, Insertions: 10, QuarantineS: -0.1},
+		{Devices: 10, Insertions: 10, JournalS: -1e-9},
 	}
 	for i, l := range bad {
 		if err := l.Validate(); err == nil {
@@ -75,6 +77,19 @@ func TestEffectiveSignatureTimeUnderLoad(t *testing.T) {
 	}
 	if loadedS <= cleanS {
 		t.Fatal("fault load must cost wall time")
+	}
+
+	// Orchestrator overheads — breaker quarantine and journal fsyncs — are
+	// amortized over the lot on top of the retest/fallback load.
+	orch := loaded
+	orch.QuarantineS = 2.0
+	orch.JournalS = 100 * 0.5e-3
+	orchS, err := EffectiveSignatureS(sig, suite, handler, orch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := loadedS + (2.0+0.05)/100; math.Abs(orchS-want) > 1e-12 {
+		t.Fatalf("orchestrated per-device time %g, want %g", orchS, want)
 	}
 
 	cmp, err := CompareTestTimeUnderLoad(suite, sig, handler, loaded)

@@ -1,6 +1,7 @@
 package floor
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -60,8 +61,9 @@ const (
 	// BinFail is rejected on the signature tester's verdict.
 	BinFail
 	// BinFallback is routed to the conventional spec-test suite because no
-	// clean capture was obtained within the retest budget; the
-	// conventional test then bins it correctly at conventional cost.
+	// clean capture was obtained within the retest budget (or the device's
+	// screening panicked or timed out); the conventional test then bins it
+	// correctly at conventional cost.
 	BinFallback
 )
 
@@ -79,7 +81,11 @@ func (b Bin) String() string {
 	}
 }
 
-// DeviceResult records one device's path across the floor.
+// DeviceResult records one device's path across the floor. It is
+// self-contained: everything the lot accounting needs — insertions, settle
+// backoff, fault draws, verdicts — is carried here, so results produced by
+// concurrent workers (or replayed from a journal) fold into an identical
+// LotReport regardless of completion order.
 type DeviceResult struct {
 	Index      int
 	Bin        Bin
@@ -89,6 +95,19 @@ type DeviceResult struct {
 	AcqErrors  int         // insertions lost to acquisition errors
 	Pred       lna.Specs   // signature prediction (valid unless BinFallback)
 	TruePass   bool        // conventional-ATE verdict on the true specs
+
+	// ExtraSettleS is the backoff settle time this device's retests added.
+	ExtraSettleS float64
+	// CleanD is the gate distance of the accepted capture (-1 when no
+	// capture was accepted or the engine runs ungated) — the drift
+	// watchdog's raw observable.
+	CleanD float64
+	// Err carries a structured supervision error (recovered panic, missed
+	// deadline) that routed the device to BinFallback; empty otherwise.
+	Err string
+	// Site is the tester site that screened the device (0 on the serial
+	// engine; set by the lot orchestrator).
+	Site int
 }
 
 // Engine is the fault-tolerant test-floor engine. Gate == nil degrades it
@@ -108,7 +127,8 @@ type Engine struct {
 	Policy   Policy
 }
 
-func (e *Engine) validate() error {
+// Validate checks that the engine is fully configured.
+func (e *Engine) Validate() error {
 	if e.Cfg == nil || e.Cal == nil || e.Stim == nil {
 		return fmt.Errorf("floor: engine needs config, calibration and stimulus")
 	}
@@ -118,13 +138,119 @@ func (e *Engine) validate() error {
 	return nil
 }
 
-// RunLot screens every device in the lot. faults may be nil (clean floor).
-// All randomness — measurement noise and fault draws — flows through rng,
-// so a fixed seed reproduces the lot exactly. The engine does not mutate
-// Cfg, Cal, Stim or Gate, so engines sharing them may run concurrently
-// as long as each call gets its own rng.
-func (e *Engine) RunLot(rng *rand.Rand, lot []*core.Device, faults *FaultModel) (*LotReport, error) {
-	if err := e.validate(); err != nil {
+// MaxAttempts is the per-device insertion budget under the engine's policy:
+// 1 when ungated (first capture trusted), 1+MaxRetests when gated.
+func (e *Engine) MaxAttempts() int {
+	pol := e.Policy
+	pol.defaults()
+	if e.Gate == nil {
+		return 1
+	}
+	return 1 + pol.MaxRetests
+}
+
+// NewReport allocates an empty LotReport sized for this engine's retest
+// budget; DeviceResults are folded in with Fold and the economics closed
+// with Finish.
+func (e *Engine) NewReport(devices int) *LotReport {
+	return newLotReport(devices, e.MaxAttempts())
+}
+
+// ScreenDevice runs one device through the full floor path — fault draw,
+// acquisition, gate, bounded retests — and returns its DeviceResult. All
+// randomness the device sees flows from seed (derive it with
+// core.DeviceSeed so the stream depends only on lot seed and index), which
+// is what keeps serial, concurrent and resumed lots identical.
+//
+// ScreenDevice never panics: a panic escaping the rf/linalg hot paths
+// (e.g. a fault hook corrupting the capture contract) is recovered into a
+// structured DeviceResult.Err and the device is routed to the fallback
+// bin — supervision costs one device, never the lot. ctx bounds the
+// device's wall time: an expired deadline stops further retests and routes
+// the device to fallback (the first insertion always runs, so every
+// device is inserted at least once).
+func (e *Engine) ScreenDevice(ctx context.Context, index int, d *core.Device, seed int64, faults *FaultModel) (res DeviceResult) {
+	res = DeviceResult{Index: index, CleanD: -1, TruePass: e.TruePass(d.Specs)}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Bin = BinFallback
+			res.Err = fmt.Sprintf("panic: %v", r)
+			if res.Insertions == 0 {
+				// The panicked insertion was still an insertion: the part
+				// was placed and the capture attempted.
+				res.Insertions = 1
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(seed))
+	pol := e.Policy
+	pol.defaults()
+	maxAttempts := e.MaxAttempts()
+	windowS := e.Cfg.StimulusDuration()
+
+	var sig []float64
+	resolved := false
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			if ctx != nil && ctx.Err() != nil {
+				res.Err = fmt.Sprintf("deadline: %v after %d insertions", ctx.Err(), res.Insertions)
+				break
+			}
+			res.ExtraSettleS += pol.SettleBaseS * math.Pow(pol.BackoffFactor, float64(attempt-1))
+		}
+		var kind FaultKind
+		var flt *rf.InsertionFaults
+		if faults != nil {
+			kind, flt = faults.Draw(rng, windowS)
+		}
+		res.Insertions++
+		res.Faults = append(res.Faults, kind)
+
+		capture, err := e.Cfg.AcquireWithFaults(d.Behavioral, e.Stim, rng, flt)
+		if err != nil {
+			// A lost capture is handled like an INVALID one: count it and
+			// retest; the device is never dropped.
+			res.AcqErrors++
+			res.Verdicts = append(res.Verdicts, VerdictInvalid)
+			continue
+		}
+		verdict := VerdictClean
+		if e.Gate != nil {
+			verdict = e.Gate.Classify(capture)
+		}
+		res.Verdicts = append(res.Verdicts, verdict)
+		if verdict == VerdictClean {
+			sig = capture
+			resolved = true
+			break
+		}
+	}
+	if resolved {
+		if e.Gate != nil {
+			res.CleanD, _ = e.Gate.Distance(sig)
+		}
+		res.Pred = e.Cal.Predict(sig)
+		if e.PredPass(res.Pred) {
+			res.Bin = BinPass
+		} else {
+			res.Bin = BinFail
+		}
+	} else {
+		res.Bin = BinFallback
+	}
+	return res
+}
+
+// RunLot screens every device in the lot serially. faults may be nil
+// (clean floor). All randomness — measurement noise and fault draws — is
+// derived per device from (lotSeed, index) via core.DeviceSeed, so a fixed
+// lot seed reproduces the lot exactly and the result is bit-identical to
+// the concurrent orchestrator screening the same seeded lot. The engine
+// does not mutate Cfg, Cal, Stim or Gate, so engines sharing them may run
+// concurrently.
+func (e *Engine) RunLot(lotSeed int64, lot []*core.Device, faults *FaultModel) (*LotReport, error) {
+	if err := e.Validate(); err != nil {
 		return nil, err
 	}
 	if len(lot) == 0 {
@@ -135,80 +261,24 @@ func (e *Engine) RunLot(rng *rand.Rand, lot []*core.Device, faults *FaultModel) 
 			return nil, err
 		}
 	}
-	pol := e.Policy
-	pol.defaults()
-	maxAttempts := 1
-	if e.Gate != nil {
-		maxAttempts = 1 + pol.MaxRetests
-	}
-	windowS := e.Cfg.StimulusDuration()
-
-	rep := newLotReport(len(lot), maxAttempts)
+	rep := e.NewReport(len(lot))
 	for i, d := range lot {
-		res := DeviceResult{Index: i, TruePass: e.TruePass(d.Specs)}
-		var sig []float64
-		resolved := false
-		for attempt := 0; attempt < maxAttempts; attempt++ {
-			if attempt > 0 {
-				rep.Load.ExtraSettleS += pol.SettleBaseS * math.Pow(pol.BackoffFactor, float64(attempt-1))
-			}
-			var kind FaultKind
-			var flt *rf.InsertionFaults
-			if faults != nil {
-				kind, flt = faults.Draw(rng, windowS)
-			}
-			res.Insertions++
-			rep.Load.Insertions++
-			res.Faults = append(res.Faults, kind)
-			rep.FaultCounts[kind]++
-
-			capture, err := e.Cfg.AcquireWithFaults(d.Behavioral, e.Stim, rng, flt)
-			if err != nil {
-				// A lost capture is handled like an INVALID one: count it
-				// and retest; the device is never dropped.
-				res.AcqErrors++
-				rep.AcqErrors++
-				res.Verdicts = append(res.Verdicts, VerdictInvalid)
-				continue
-			}
-			verdict := VerdictClean
-			if e.Gate != nil {
-				verdict = e.Gate.Classify(capture)
-			}
-			res.Verdicts = append(res.Verdicts, verdict)
-			rep.GateCounts[verdict]++
-			if verdict == VerdictClean {
-				sig = capture
-				resolved = true
-				break
-			}
-		}
-		rep.RetestHist[res.Insertions-1]++
-		if resolved {
-			res.Pred = e.Cal.Predict(sig)
-			if e.PredPass(res.Pred) {
-				res.Bin = BinPass
-			} else {
-				res.Bin = BinFail
-			}
-		} else {
-			res.Bin = BinFallback
-			rep.Load.FallbackDevices++
-		}
-		rep.tally(res)
-		rep.Results = append(rep.Results, res)
+		res := e.ScreenDevice(context.Background(), i, d, core.DeviceSeed(lotSeed, i), faults)
+		rep.Fold(res)
 	}
-
-	if err := rep.finishEconomics(e.Cfg, pol); err != nil {
+	if err := e.Finish(rep); err != nil {
 		return nil, err
 	}
 	return rep, nil
 }
 
-// finishEconomics fills the throughput comparison under the accumulated
-// retest/fallback load.
-func (r *LotReport) finishEconomics(cfg *core.TestConfig, pol Policy) error {
-	tester, err := ate.NewSignatureTester(cfg.Board.CaptureN, cfg.Board.DigitizerFs)
+// Finish closes the lot economics: the throughput comparison under the
+// accumulated retest/fallback (and, on the orchestrator, quarantine and
+// journal) load.
+func (e *Engine) Finish(r *LotReport) error {
+	pol := e.Policy
+	pol.defaults()
+	tester, err := ate.NewSignatureTester(e.Cfg.Board.CaptureN, e.Cfg.Board.DigitizerFs)
 	if err != nil {
 		return err
 	}

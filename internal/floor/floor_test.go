@@ -215,11 +215,11 @@ func TestGatedBeatsUngated(t *testing.T) {
 		t.Fatalf("fault load %g below the 5%% the test claims", faults.TotalP())
 	}
 
-	ungated, err := f.engine(false).RunLot(rand.New(rand.NewSource(99)), lot, faults)
+	ungated, err := f.engine(false).RunLot(99, lot, faults)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gated, err := f.engine(true).RunLot(rand.New(rand.NewSource(99)), lot, faults)
+	gated, err := f.engine(true).RunLot(99, lot, faults)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestGatedBeatsUngated(t *testing.T) {
 	}
 
 	// Determinism: the same seed reproduces the lot report exactly.
-	again, err := f.engine(true).RunLot(rand.New(rand.NewSource(99)), lot, faults)
+	again, err := f.engine(true).RunLot(99, lot, faults)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestRetestAccountingAndEconomics(t *testing.T) {
 	f := getFixture(t)
 	lot := lot200(t, f)[:60]
 	faults := DefaultFaultModel(0.25)
-	rep, err := f.engine(true).RunLot(rand.New(rand.NewSource(4)), lot, faults)
+	rep, err := f.engine(true).RunLot(4, lot, faults)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestRetestAccountingAndEconomics(t *testing.T) {
 		t.Fatal("retests must accrue backoff settle time")
 	}
 	// The loaded flow must be charged more time than a clean lot would be.
-	clean, err := f.engine(true).RunLot(rand.New(rand.NewSource(4)), lot, nil)
+	clean, err := f.engine(true).RunLot(4, lot, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,15 +306,15 @@ func TestRetestAccountingAndEconomics(t *testing.T) {
 func TestEngineInputValidation(t *testing.T) {
 	f := getFixture(t)
 	e := f.engine(true)
-	if _, err := e.RunLot(rand.New(rand.NewSource(1)), nil, nil); err == nil {
+	if _, err := e.RunLot(1, nil, nil); err == nil {
 		t.Fatal("empty lot must error")
 	}
 	bad := &Engine{}
-	if _, err := bad.RunLot(rand.New(rand.NewSource(1)), lot200(t, f)[:1], nil); err == nil {
+	if _, err := bad.RunLot(1, lot200(t, f)[:1], nil); err == nil {
 		t.Fatal("unconfigured engine must error")
 	}
 	overP := &FaultModel{P: map[FaultKind]float64{FaultBurstNoise: 2}}
-	if _, err := e.RunLot(rand.New(rand.NewSource(1)), lot200(t, f)[:1], overP); err == nil {
+	if _, err := e.RunLot(1, lot200(t, f)[:1], overP); err == nil {
 		t.Fatal("invalid fault model must error")
 	}
 }
@@ -332,7 +332,7 @@ func TestConcurrentLots(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = f.engine(true).RunLot(rand.New(rand.NewSource(int64(i+1))), lot, faults)
+			_, errs[i] = f.engine(true).RunLot(int64(i+1), lot, faults)
 		}(i)
 	}
 	wg.Wait()

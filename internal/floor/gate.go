@@ -90,6 +90,11 @@ type Gate struct {
 	SuspectD, InvalidD     float64
 	SuspectRes, InvalidRes float64
 
+	// TrainMeanD and TrainSigmaD are the mean and standard deviation of
+	// the training set's own reduced-space distances — the baseline the
+	// drift watchdog standardizes production distances against.
+	TrainMeanD, TrainSigmaD float64
+
 	opt GateOptions
 }
 
@@ -155,6 +160,8 @@ func FitGate(signatures [][]float64, opt GateOptions) (*Gate, error) {
 	for i := range signatures {
 		dTrain[i], resTrain[i] = g.Distance(signatures[i])
 	}
+	g.TrainMeanD = stat.Mean(dTrain)
+	g.TrainSigmaD = math.Max(stat.StdDev(dTrain), 1e-15)
 	g.resSigma = math.Max(stat.RMS(resTrain), 1e-15)
 	for i := range resTrain {
 		resTrain[i] /= g.resSigma

@@ -30,6 +30,10 @@ type LotReport struct {
 	FaultCounts map[FaultKind]int
 	GateCounts  map[Verdict]int
 	AcqErrors   int
+	// SupervisionErrs counts devices routed to fallback by the supervisor
+	// (recovered panics, missed per-device deadlines) rather than by the
+	// gate's retest budget.
+	SupervisionErrs int
 	// RetestHist[k] counts devices that needed k+1 insertions.
 	RetestHist []int
 
@@ -47,6 +51,42 @@ func newLotReport(devices, maxAttempts int) *LotReport {
 		GateCounts:  make(map[Verdict]int),
 		RetestHist:  make([]int, maxAttempts),
 	}
+}
+
+// Fold accumulates one DeviceResult into the report: insertion and settle
+// load, fault and gate counts, retest histogram, binning and mis-bin
+// scoring. The result is self-contained, so folding a set of results in
+// index order yields the same report no matter which worker produced each
+// one or in what order they completed. Call Finish (on the engine) after
+// the last Fold to close the economics.
+func (r *LotReport) Fold(res DeviceResult) {
+	r.Load.Insertions += res.Insertions
+	r.Load.ExtraSettleS += res.ExtraSettleS
+	for _, k := range res.Faults {
+		r.FaultCounts[k]++
+	}
+	// Acquisition-error attempts record a VerdictInvalid placeholder in
+	// res.Verdicts but are accounted separately from gate verdicts.
+	for _, v := range res.Verdicts {
+		r.GateCounts[v]++
+	}
+	r.GateCounts[VerdictInvalid] -= res.AcqErrors
+	r.AcqErrors += res.AcqErrors
+	if res.Insertions > 0 {
+		k := res.Insertions - 1
+		for k >= len(r.RetestHist) {
+			r.RetestHist = append(r.RetestHist, 0)
+		}
+		r.RetestHist[k]++
+	}
+	if res.Bin == BinFallback {
+		r.Load.FallbackDevices++
+	}
+	if res.Err != "" {
+		r.SupervisionErrs++
+	}
+	r.tally(res)
+	r.Results = append(r.Results, res)
 }
 
 // tally folds one device outcome into the lot counters.
@@ -103,6 +143,9 @@ func (r *LotReport) String() string {
 	}
 	fmt.Fprintf(&b, "gate: clean %d, suspect %d, invalid %d, acquisition errors %d\n",
 		r.GateCounts[VerdictClean], r.GateCounts[VerdictSuspect], r.GateCounts[VerdictInvalid], r.AcqErrors)
+	if r.SupervisionErrs > 0 {
+		fmt.Fprintf(&b, "supervision: %d devices recovered to fallback (panic/deadline)\n", r.SupervisionErrs)
+	}
 	fmt.Fprintf(&b, "retest histogram (insertions -> devices):")
 	for k, n := range r.RetestHist {
 		fmt.Fprintf(&b, " %d->%d", k+1, n)

@@ -1,0 +1,183 @@
+package lotrun
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/floor"
+)
+
+// The lot journal is a JSON-lines file: one header line, then one line per
+// completed device, each fsync'd before the result is considered
+// committed. A SIGKILL mid-lot therefore loses at most the record being
+// written — which replay treats as corruption and re-screens — and never a
+// committed device. Because every device's randomness derives from
+// (lot seed, index), re-screening an uncommitted device on resume
+// reproduces exactly the result the killed run was about to write.
+const journalVersion = 1
+
+// journalHeader is the first line of a lot journal: enough identity to
+// refuse resuming the wrong lot.
+type journalHeader struct {
+	Type    string  `json:"type"` // "header"
+	Version int     `json:"version"`
+	LotSeed int64   `json:"lot_seed"`
+	Devices int     `json:"devices"`
+	FaultP  float64 `json:"fault_p"` // total per-insertion fault probability
+}
+
+// journalRecord is one committed device line.
+type journalRecord struct {
+	Type   string             `json:"type"` // "device"
+	Result floor.DeviceResult `json:"result"`
+}
+
+// ReplayStats summarizes what journal replay found.
+type ReplayStats struct {
+	// Records is the number of valid device records replayed.
+	Records int
+	// Corrupt counts unparseable or invalid lines skipped (a truncated
+	// tail from a crash mid-write lands here).
+	Corrupt int
+	// Duplicates counts device indices journaled more than once; the
+	// first committed record wins, so a device is never double-counted.
+	Duplicates int
+}
+
+// journal is the append side. Writes go through a single collector
+// goroutine, so no locking is needed here.
+type journal struct {
+	f *os.File
+}
+
+// createJournal starts a fresh journal (truncating any previous file) and
+// commits the header.
+func createJournal(path string, hdr journalHeader) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lotrun: create journal: %w", err)
+	}
+	j := &journal{f: f}
+	if err := j.writeLine(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *journal) writeLine(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("lotrun: journal marshal: %w", err)
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("lotrun: journal write: %w", err)
+	}
+	// fsync per record: the crash-safety contract. The cost is modeled
+	// into the lot economics as RetestLoad.JournalS.
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("lotrun: journal fsync: %w", err)
+	}
+	return nil
+}
+
+// commit appends one device result.
+func (j *journal) commit(res floor.DeviceResult) error {
+	return j.writeLine(journalRecord{Type: "device", Result: res})
+}
+
+func (j *journal) close() error { return j.f.Close() }
+
+// validResult rejects records whose payload cannot be a committed device:
+// replaying them would corrupt the lot accounting.
+func validResult(res floor.DeviceResult, devices int) bool {
+	return res.Index >= 0 && res.Index < devices &&
+		res.Insertions >= 1 &&
+		res.Bin >= floor.BinPass && res.Bin <= floor.BinFallback
+}
+
+// replayJournal reads a journal tolerantly: garbage lines and a truncated
+// last line are skipped (counted in stats.Corrupt), duplicate device
+// indices keep the first committed record, and the returned offset is the
+// end of the last valid line — the point a resumed journal truncates to
+// before appending, so a torn tail can never corrupt later records.
+func replayJournal(path string) (journalHeader, map[int]floor.DeviceResult, int64, ReplayStats, error) {
+	var hdr journalHeader
+	var stats ReplayStats
+	results := make(map[int]floor.DeviceResult)
+
+	f, err := os.Open(path)
+	if err != nil {
+		return hdr, nil, 0, stats, fmt.Errorf("lotrun: open journal: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	var offset, validEnd int64
+	haveHeader := false
+	for {
+		line, err := r.ReadBytes('\n')
+		offset += int64(len(line))
+		if len(line) > 0 {
+			ok := false
+			if !haveHeader {
+				// The header must be the first valid line.
+				var h journalHeader
+				if json.Unmarshal(line, &h) == nil && h.Type == "header" &&
+					h.Version == journalVersion && h.Devices > 0 {
+					hdr = h
+					haveHeader = true
+					ok = true
+				}
+			} else {
+				var rec journalRecord
+				if json.Unmarshal(line, &rec) == nil && rec.Type == "device" &&
+					validResult(rec.Result, hdr.Devices) {
+					if _, dup := results[rec.Result.Index]; dup {
+						stats.Duplicates++
+					} else {
+						results[rec.Result.Index] = rec.Result
+						stats.Records++
+					}
+					ok = true
+				}
+			}
+			if ok {
+				validEnd = offset
+			} else {
+				stats.Corrupt++
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return hdr, nil, 0, stats, fmt.Errorf("lotrun: read journal: %w", err)
+		}
+	}
+	if !haveHeader {
+		return hdr, nil, 0, stats, fmt.Errorf("lotrun: journal %s has no valid header", path)
+	}
+	return hdr, results, validEnd, stats, nil
+}
+
+// resumeJournal reopens a journal for appending, truncated to the end of
+// its last valid line so new records always start on a fresh line.
+func resumeJournal(path string, validEnd int64) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lotrun: reopen journal: %w", err)
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lotrun: truncate journal tail: %w", err)
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lotrun: seek journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}

@@ -1,0 +1,548 @@
+package lotrun
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/floor"
+	"repro/internal/lna"
+	"repro/internal/wave"
+)
+
+// fixture is the shared engineering phase (stimulus, calibration, gate),
+// built once for the whole package.
+type fixture struct {
+	cfg   *core.TestConfig
+	cal   *core.Calibration
+	stim  *wave.PWL
+	gate  *floor.Gate
+	model core.DeviceModel
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		rng := rand.New(rand.NewSource(11))
+		model := core.RF2401Model{}
+		cfg := core.DefaultSimConfig()
+		stim := cfg.RandomStimulus(rng)
+		train, err := core.GeneratePopulation(rng, model, 60, 0.9)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		td, err := core.AcquireTrainingSet(rng, cfg, stim, train,
+			func(d *core.Device) lna.Specs { return d.Specs })
+		if err != nil {
+			fixErr = err
+			return
+		}
+		cal, err := core.Calibrate(rng, stim, td, core.CalibrationOptions{})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		sigs := make([][]float64, len(td))
+		for i := range td {
+			sigs[i] = td[i].Signature
+		}
+		gate, err := floor.FitGate(sigs, floor.GateOptions{})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix = &fixture{cfg: cfg, cal: cal, stim: stim, gate: gate, model: model}
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
+	}
+	return fix
+}
+
+func rf2401Pass(s lna.Specs) bool {
+	return s.GainDB >= 10.0 && s.NFDB <= 4.2 && s.IIP3DBm >= -9.5
+}
+
+func (f *fixture) engine() *floor.Engine {
+	return &floor.Engine{
+		Cfg:      f.cfg,
+		Cal:      f.cal,
+		Stim:     f.stim,
+		Gate:     f.gate,
+		PredPass: rf2401Pass,
+		TruePass: rf2401Pass,
+		Policy:   floor.DefaultPolicy(),
+	}
+}
+
+func testLot(t *testing.T, f *fixture, n int) []*core.Device {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	lot, err := core.GeneratePopulation(rng, f.model, n, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lot
+}
+
+// quietBreaker never trips, so lot economics carry no scheduling-dependent
+// quarantine charge — used by the determinism tests.
+func quietBreaker() BreakerConfig { return BreakerConfig{TripConsecutive: 1 << 20} }
+
+// stripSites zeroes the per-result Site field — the only LotReport content
+// that legitimately depends on worker scheduling.
+func stripSites(rep *floor.LotReport) {
+	for i := range rep.Results {
+		rep.Results[i].Site = 0
+	}
+}
+
+func reportsEqual(t *testing.T, label string, a, b *floor.LotReport) {
+	t.Helper()
+	stripSites(a)
+	stripSites(b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: lot reports diverge:\n%v\nvs\n%v", label, a, b)
+	}
+}
+
+// TestSerialVsConcurrentByteIdentical is the reproducibility acceptance:
+// screening the same seeded lot serially, serially again, and across 4
+// concurrent sites yields byte-identical LotReports (modulo the Site tag),
+// because every device's RNG stream derives from (lot seed, index) alone.
+func TestSerialVsConcurrentByteIdentical(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 80)
+	faults := floor.DefaultFaultModel(0.15)
+	const seed = 99
+
+	serial, err := f.engine().RunLot(seed, lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := f.engine().RunLot(seed, lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "serial rerun", serial, again)
+
+	for _, sites := range []int{1, 4} {
+		o := &Orchestrator{Engine: f.engine(), Opt: Options{Sites: sites, Breaker: quietBreaker()}}
+		rep, err := o.Run(context.Background(), seed, lot, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, fmt.Sprintf("%d-site orchestrator", sites), serial, rep.Lot)
+	}
+}
+
+// TestKillAndResume is the crash-recovery acceptance: a run killed mid-lot
+// (context cancellation — SIGKILL-equivalent for the journal, which only
+// contains fsync'd committed records) followed by Resume produces the same
+// final LotReport as an uninterrupted run with the same seed.
+func TestKillAndResume(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 60)
+	faults := floor.DefaultFaultModel(0.15)
+	const seed = 7
+	dir := t.TempDir()
+
+	refPath := filepath.Join(dir, "ref.journal")
+	ref, err := (&Orchestrator{Engine: f.engine(),
+		Opt: Options{Sites: 3, JournalPath: refPath, Breaker: quietBreaker()}}).
+		Run(context.Background(), seed, lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill: cancel after 20 devices have started screening.
+	killPath := filepath.Join(dir, "kill.journal")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	o := &Orchestrator{Engine: f.engine(), Opt: Options{
+		Sites: 3, JournalPath: killPath, Breaker: quietBreaker(),
+		Hook: func(site, device int) {
+			if started.Add(1) == 20 {
+				cancel()
+			}
+		},
+	}}
+	if _, err := o.Run(ctx, seed, lot, faults); err == nil {
+		t.Fatal("killed run must report interruption")
+	}
+
+	// Resume with a fresh orchestrator (new process equivalent).
+	o2 := &Orchestrator{Engine: f.engine(),
+		Opt: Options{Sites: 3, JournalPath: killPath, Breaker: quietBreaker()}}
+	rep, err := o2.Resume(context.Background(), seed, lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replayed == 0 || rep.Replayed >= len(lot) {
+		t.Fatalf("resume replayed %d of %d devices; want partial progress", rep.Replayed, len(lot))
+	}
+	reportsEqual(t, "kill-and-resume", ref.Lot, rep.Lot)
+
+	// Idempotence: resuming the now-complete journal replays everything
+	// and screens nothing.
+	rep2, err := o2.Resume(context.Background(), seed, lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Replayed != len(lot) {
+		t.Fatalf("complete journal replayed %d of %d", rep2.Replayed, len(lot))
+	}
+	reportsEqual(t, "resume of complete journal", ref.Lot, rep2.Lot)
+}
+
+// TestPanicCostsOneDevice: a worker panic injected via the fault hook is
+// recovered into a fallback-binned device; the lot completes and no other
+// device is affected.
+func TestPanicCostsOneDevice(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 40)
+	const seed = 5
+	const victim = 17
+
+	ref, err := f.engine().RunLot(seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Orchestrator{Engine: f.engine(), Opt: Options{
+		Sites: 4, Breaker: quietBreaker(),
+		Hook: func(site, device int) {
+			if device == victim {
+				panic("injected contactor firmware fault")
+			}
+		},
+	}}
+	rep, err := o.Run(context.Background(), seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lot.Binned() != len(lot) {
+		t.Fatalf("%d of %d devices binned after panic", rep.Lot.Binned(), len(lot))
+	}
+	var got floor.DeviceResult
+	for _, r := range rep.Lot.Results {
+		if r.Index == victim {
+			got = r
+		}
+	}
+	if got.Bin != floor.BinFallback || !strings.Contains(got.Err, "injected contactor firmware fault") {
+		t.Fatalf("panicked device result: bin %v err %q; want fallback with structured panic", got.Bin, got.Err)
+	}
+	if rep.Lot.SupervisionErrs != 1 {
+		t.Fatalf("supervision errors %d, want 1", rep.Lot.SupervisionErrs)
+	}
+	// Every other device matches the panic-free reference exactly.
+	for _, r := range rep.Lot.Results {
+		if r.Index == victim {
+			continue
+		}
+		want := ref.Results[r.Index]
+		r.Site = 0
+		if !reflect.DeepEqual(r, want) {
+			t.Fatalf("device %d perturbed by device %d's panic:\n%+v\nvs\n%+v", r.Index, victim, r, want)
+		}
+	}
+}
+
+// TestEnginePanicRecovery: a panic from inside the rf hot path (nil
+// behavioral model dereferenced by the load board) is recovered by
+// ScreenDevice itself, so even the serial floor never loses a lot.
+func TestEnginePanicRecovery(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 10)
+	broken := *lot[4]
+	broken.Behavioral = nil
+	lot[4] = &broken
+
+	rep, err := f.engine().RunLot(3, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Binned() != len(lot) {
+		t.Fatalf("%d of %d binned", rep.Binned(), len(lot))
+	}
+	res := rep.Results[4]
+	if res.Bin != floor.BinFallback || !strings.Contains(res.Err, "panic") {
+		t.Fatalf("rf-path panic not supervised: bin %v err %q", res.Bin, res.Err)
+	}
+	if rep.SupervisionErrs != 1 {
+		t.Fatalf("supervision errors %d, want 1", rep.SupervisionErrs)
+	}
+}
+
+// TestDeviceDeadline: an expired per-device deadline stops retesting after
+// the first insertion and routes unresolved devices to fallback.
+func TestDeviceDeadline(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 30)
+	faults := floor.DefaultFaultModel(0.5)
+	o := &Orchestrator{Engine: f.engine(), Opt: Options{
+		Sites: 2, Breaker: quietBreaker(), DeviceTimeout: time.Nanosecond,
+	}}
+	rep, err := o.Run(context.Background(), 12, lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lot.Binned() != len(lot) {
+		t.Fatalf("%d of %d binned", rep.Lot.Binned(), len(lot))
+	}
+	deadlined := 0
+	for _, r := range rep.Lot.Results {
+		if r.Insertions != 1 {
+			t.Fatalf("device %d got %d insertions under a 1 ns deadline", r.Index, r.Insertions)
+		}
+		if strings.Contains(r.Err, "deadline") {
+			deadlined++
+			if r.Bin != floor.BinFallback {
+				t.Fatalf("deadlined device %d binned %v", r.Index, r.Bin)
+			}
+		}
+	}
+	if deadlined == 0 {
+		t.Fatal("50% fault load under a 1 ns deadline produced no deadline fallbacks")
+	}
+}
+
+// TestBreakerQuarantinesFailingSite: with every insertion faulted to a
+// contactor-open, sites trip, re-probe half-open, re-trip with growing
+// backoff, and the quarantine time is charged to the lot economics.
+func TestBreakerQuarantinesFailingSite(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 24)
+	allOpen := &floor.FaultModel{P: map[floor.FaultKind]float64{floor.FaultContactorOpen: 1}}
+	cfg := BreakerConfig{TripConsecutive: 3, ProbeBackoffS: 2, BackoffFactor: 2, MaxBackoffS: 16}
+	o := &Orchestrator{Engine: f.engine(), Opt: Options{Sites: 2, Breaker: cfg}}
+	rep, err := o.Run(context.Background(), 8, lot, allOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lot.Fallback != len(lot) {
+		t.Fatalf("all-open lot binned %d fallbacks of %d", rep.Lot.Fallback, len(lot))
+	}
+	if len(rep.Trips) < 2 {
+		t.Fatalf("breakers tripped %d times on an all-failing floor", len(rep.Trips))
+	}
+	if rep.Lot.Load.QuarantineS <= 0 {
+		t.Fatal("quarantine time not charged to the lot economics")
+	}
+	grew := false
+	for _, tr := range rep.Trips {
+		if tr.QuarantineS > cfg.ProbeBackoffS {
+			grew = true
+		}
+		if tr.QuarantineS > cfg.MaxBackoffS {
+			t.Fatalf("backoff %g exceeds cap %g", tr.QuarantineS, cfg.MaxBackoffS)
+		}
+	}
+	if !grew {
+		t.Fatal("failed half-open probes must grow the backoff")
+	}
+	total := 0.0
+	for _, s := range rep.Sites {
+		total += s.QuarantineS
+	}
+	if total != rep.Lot.Load.QuarantineS {
+		t.Fatalf("site quarantine %g != charged %g", total, rep.Lot.Load.QuarantineS)
+	}
+	if s := rep.String(); !strings.Contains(s, "trips") {
+		t.Fatalf("report rendering lost the breaker story: %q", s)
+	}
+}
+
+// TestBreakerStateMachine unit-tests the closed -> open -> half-open
+// transitions directly.
+func TestBreakerStateMachine(t *testing.T) {
+	br := newBreaker(BreakerConfig{TripConsecutive: 2, ProbeBackoffS: 1, BackoffFactor: 2, MaxBackoffS: 4})
+	gated := floor.DeviceResult{Verdicts: []floor.Verdict{floor.VerdictInvalid, floor.VerdictInvalid}}
+	clean := floor.DeviceResult{Verdicts: []floor.Verdict{floor.VerdictClean}}
+
+	if br.record(clean); br.state != stateClosed {
+		t.Fatalf("clean outcome moved state to %v", br.state)
+	}
+	if !br.record(gated) || br.state != stateOpen {
+		t.Fatalf("2 consecutive gated verdicts must trip; state %v", br.state)
+	}
+	if q := br.beginProbe(); q != 1 || br.state != stateHalfOpen {
+		t.Fatalf("first probe backoff %g state %v", q, br.state)
+	}
+	// Failed probe: re-open with doubled backoff.
+	if !br.record(gated) || br.state != stateOpen {
+		t.Fatalf("failed probe must re-open; state %v", br.state)
+	}
+	if q := br.beginProbe(); q != 2 {
+		t.Fatalf("second backoff %g, want 2", q)
+	}
+	// Successful probe closes and resets the backoff history.
+	if br.record(clean); br.state != stateClosed || br.failedOpens != 0 {
+		t.Fatalf("clean probe must close; state %v failedOpens %d", br.state, br.failedOpens)
+	}
+	if br.trips != 2 {
+		t.Fatalf("trips %d, want 2", br.trips)
+	}
+	// Backoff saturates at the cap.
+	br.failedOpens = 10
+	if q := br.backoff(); q != 4 {
+		t.Fatalf("backoff %g, want cap 4", q)
+	}
+}
+
+// TestWatchdogCharts unit-tests the EWMA/CUSUM change detectors on
+// synthetic standardized streams.
+func TestWatchdogCharts(t *testing.T) {
+	g := &floor.Gate{TrainMeanD: 1, TrainSigmaD: 0.5}
+	cfg := WatchdogConfig{Lambda: 0.2, EWMALimit: 3, CUSUMSlack: 0.5, CUSUMLimit: 8, MinSamples: 10}
+
+	// An in-control stream (distances at the training mean) never alarms.
+	w := NewWatchdog(g, cfg)
+	for i := 0; i < 500; i++ {
+		if a := w.Observe(i, 1.0); a != nil {
+			t.Fatalf("in-control stream alarmed at %d: %+v", i, a)
+		}
+	}
+
+	// A 2-sigma mean shift alarms, but not before the warm-up.
+	w = NewWatchdog(g, cfg)
+	var alarm *DriftAlarm
+	for i := 0; i < 100 && alarm == nil; i++ {
+		alarm = w.Observe(i, 2.0) // z = +2
+		if alarm != nil && alarm.Samples < cfg.MinSamples {
+			t.Fatalf("alarm before warm-up: %+v", alarm)
+		}
+	}
+	if alarm == nil {
+		t.Fatal("2-sigma shift never alarmed")
+	}
+	if len(w.Alarms()) != 1 {
+		t.Fatalf("alarms recorded: %d", len(w.Alarms()))
+	}
+	// The charts reset after an alarm and re-arm.
+	if w.n != 0 || w.ewma != 0 || w.cusum != 0 {
+		t.Fatal("charts must reset after an alarm")
+	}
+	for i := 0; i < 100; i++ {
+		w.Observe(100+i, 2.0)
+	}
+	if len(w.Alarms()) < 2 {
+		t.Fatal("watchdog did not re-arm after the first alarm")
+	}
+
+	// Disabled watchdog observes nothing.
+	w = NewWatchdog(g, WatchdogConfig{Disabled: true})
+	for i := 0; i < 200; i++ {
+		if a := w.Observe(i, 100); a != nil {
+			t.Fatal("disabled watchdog alarmed")
+		}
+	}
+}
+
+// TestDriftAlarmTriggersRecalibration: a watchdog whose baseline is shifted
+// far below the production distances (simulating a drifted process) raises
+// an alarm and auto-triggers the recalibration hook, which swaps the
+// regression map for the rest of the lot.
+func TestDriftAlarmTriggersRecalibration(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 50)
+
+	drifted := *f.gate
+	drifted.TrainMeanD = f.gate.TrainMeanD - 20*f.gate.TrainSigmaD
+	eng := f.engine()
+	eng.Gate = &drifted
+
+	var onDrift atomic.Int64
+	recal := 0
+	o := &Orchestrator{Engine: eng, Opt: Options{
+		Sites:    2,
+		Breaker:  quietBreaker(),
+		Watchdog: WatchdogConfig{MinSamples: 5},
+		OnDrift:  func(DriftAlarm) { onDrift.Add(1) },
+		Recalibrate: func(a DriftAlarm) (*core.Calibration, *floor.Gate, error) {
+			recal++
+			// "Retrain": hand back the healthy baseline gate and map.
+			return f.cal, f.gate, nil
+		},
+	}}
+	rep, err := o.Run(context.Background(), 31, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Alarms) == 0 {
+		t.Fatal("20-sigma baseline shift raised no drift alarm")
+	}
+	if rep.Alarms[0].Samples < 5 {
+		t.Fatalf("alarm before warm-up: %+v", rep.Alarms[0])
+	}
+	if onDrift.Load() == 0 || recal == 0 || rep.Recalibrations == 0 {
+		t.Fatalf("alarm did not propagate: onDrift %d recal %d report %d",
+			onDrift.Load(), recal, rep.Recalibrations)
+	}
+	if rep.Lot.Binned() != len(lot) {
+		t.Fatalf("%d of %d binned across the recalibration", rep.Lot.Binned(), len(lot))
+	}
+	if s := rep.String(); !strings.Contains(s, "drift alarm") {
+		t.Fatalf("report rendering lost the alarm: %q", s)
+	}
+}
+
+func TestOrchestratorInputValidation(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 4)
+	ctx := context.Background()
+
+	if _, err := (&Orchestrator{}).Run(ctx, 1, lot, nil); err == nil {
+		t.Fatal("nil engine must error")
+	}
+	if _, err := (&Orchestrator{Engine: f.engine()}).Run(ctx, 1, nil, nil); err == nil {
+		t.Fatal("empty lot must error")
+	}
+	if _, err := (&Orchestrator{Engine: f.engine(), Opt: Options{Sites: -2}}).Run(ctx, 1, lot, nil); err == nil {
+		t.Fatal("negative site count must error")
+	}
+	if _, err := (&Orchestrator{Engine: f.engine()}).Resume(ctx, 1, lot, nil); err == nil {
+		t.Fatal("resume without a journal path must error")
+	}
+	bad := &floor.FaultModel{P: map[floor.FaultKind]float64{floor.FaultBurstNoise: 2}}
+	if _, err := (&Orchestrator{Engine: f.engine()}).Run(ctx, 1, lot, bad); err == nil {
+		t.Fatal("invalid fault model must error")
+	}
+}
+
+// TestResumeRejectsWrongLot: the journal header pins (seed, lot size,
+// fault load); resuming anything else must be refused.
+func TestResumeRejectsWrongLot(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 8)
+	path := filepath.Join(t.TempDir(), "lot.journal")
+	o := &Orchestrator{Engine: f.engine(), Opt: Options{JournalPath: path, Breaker: quietBreaker()}}
+	if _, err := o.Run(context.Background(), 42, lot, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Resume(context.Background(), 43, lot, nil); err == nil {
+		t.Fatal("wrong seed must be refused")
+	}
+	if _, err := o.Resume(context.Background(), 42, lot[:6], nil); err == nil {
+		t.Fatal("wrong lot size must be refused")
+	}
+	if _, err := o.Resume(context.Background(), 42, lot, floor.DefaultFaultModel(0.1)); err == nil {
+		t.Fatal("wrong fault load must be refused")
+	}
+}

@@ -146,3 +146,19 @@ func TestStimAndCaptureTransformsApplied(t *testing.T) {
 		}
 	}
 }
+
+// TestCaptureTransformLengthContract: a fault hook that changes the
+// capture length must panic loudly (the supervisor layers recover it into
+// a fallback-binned device) instead of silently corrupting the feature
+// extraction downstream.
+func TestCaptureTransformLengthContract(t *testing.T) {
+	lb, dut := faultTestBoard()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("length-changing capture transform must panic")
+		}
+	}()
+	_, _ = lb.RunEnvelopeFaulted(dut, testStim, &InsertionFaults{
+		CaptureTransform: func(x []float64) []float64 { return x[:len(x)/2] },
+	})
+}

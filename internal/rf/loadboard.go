@@ -176,6 +176,16 @@ func (lb *Loadboard) RunEnvelopeFaulted(dut EnvelopeDevice, stim StimFunc, flt *
 	capture := strideDecimate(filtered, os, settle*os, lb.CaptureN)
 	if flt != nil && flt.CaptureTransform != nil {
 		capture = flt.CaptureTransform(capture)
+		// A transform that changes the capture length violates the
+		// digitizer contract: every downstream stage (window, FFT, feature
+		// bins, regression input) is sized for CaptureN samples, and a
+		// silently shortened capture would corrupt predictions instead of
+		// failing. Fail loudly; the floor/orchestrator supervisors recover
+		// this into a fallback-binned device.
+		if len(capture) != lb.CaptureN {
+			panic(fmt.Sprintf("rf: capture transform changed length %d -> %d (CaptureN contract)",
+				lb.CaptureN, len(capture)))
+		}
 	}
 	return capture, nil
 }

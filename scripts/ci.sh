@@ -1,9 +1,16 @@
 #!/bin/sh
-# CI entry point: vet, build, and the full test suite under the race
-# detector. Mirrors `make ci` for environments without make.
+# CI entry point: formatting check, vet, build, and the full test suite
+# under the race detector. Mirrors `make ci` for environments without make.
 set -eux
 
 cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 go vet ./...
 go build ./...
