@@ -30,8 +30,12 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-# Serial-vs-concurrent lot orchestration benchmark; writes BENCH_lotrun.json.
+# Serial-vs-parallel benchmarks: lot orchestration (BENCH_lotrun.json) and
+# the off-line calibration pipeline (BENCH_pipeline.json). Both assert the
+# parallel results bit-identical to the serial ones before reporting.
 bench:
-	$(GO) test -run '^$$' -bench '^BenchmarkLot$$' -benchtime 2x .
+	$(GO) test -run '^$$' -bench '^(BenchmarkLot|BenchmarkCalibrate|BenchmarkGA)$$' -benchtime 2x .
+	@echo "--- BENCH_lotrun.json"; cat BENCH_lotrun.json
+	@echo "--- BENCH_pipeline.json"; cat BENCH_pipeline.json
 
 ci: fmtcheck vet build race

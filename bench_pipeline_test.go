@@ -1,0 +1,207 @@
+// Serial-vs-parallel off-line pipeline benchmarks (`make bench`). The two
+// hot phases of test preparation — training-set calibration and GA
+// stimulus optimization — run serially and on worker pools of increasing
+// size; the wall times and speedups land in BENCH_pipeline.json. Every
+// parallel run is asserted bit-identical to the serial one: the worker
+// pool buys wall-clock time, never different numbers.
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lna"
+	"repro/internal/wave"
+)
+
+const (
+	benchPipeSeed    = 31
+	benchPipeDevices = 48
+)
+
+type pipeBench struct {
+	cfg   *core.TestConfig
+	stim  *wave.PWL
+	train []*core.Device
+}
+
+var (
+	pipeBenchOnce sync.Once
+	pipeBenchFix  *pipeBench
+	pipeBenchErr  error
+)
+
+func getPipeBench(b *testing.B) *pipeBench {
+	b.Helper()
+	pipeBenchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(benchPipeSeed))
+		model := core.RF2401Model{}
+		cfg := core.DefaultSimConfig()
+		stim := cfg.RandomStimulus(rng)
+		train, err := core.GeneratePopulation(rng, model, benchPipeDevices, 0.9)
+		if err != nil {
+			pipeBenchErr = err
+			return
+		}
+		pipeBenchFix = &pipeBench{cfg: cfg, stim: stim, train: train}
+	})
+	if pipeBenchErr != nil {
+		b.Fatalf("pipeline benchmark fixture: %v", pipeBenchErr)
+	}
+	return pipeBenchFix
+}
+
+// mergeBenchJSON read-modify-writes BENCH_pipeline.json so that
+// BenchmarkCalibrate and BenchmarkGA each contribute their section
+// regardless of which one ran, or in which order.
+func mergeBenchJSON(b *testing.B, section string, values map[string]any) {
+	b.Helper()
+	out := map[string]any{}
+	if data, err := os.ReadFile("BENCH_pipeline.json"); err == nil {
+		_ = json.Unmarshal(data, &out)
+	}
+	out[section] = values
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pipeline.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCalibrate acquires the training set and fits the calibration
+// map for the same seeded lot serially and on worker pools, asserting the
+// training signatures and CV errors bit-identical throughout.
+func BenchmarkCalibrate(b *testing.B) {
+	f := getPipeBench(b)
+	specsOf := func(d *core.Device) lna.Specs { return d.Specs }
+	out := map[string]any{
+		"devices": benchPipeDevices,
+		"seed":    benchPipeSeed,
+	}
+	var refSigs [][]float64
+	var refRMS [3]float64
+
+	runOnce := func(b *testing.B, workers int) (*core.Calibration, []core.TrainingDevice) {
+		td, err := core.AcquireTrainingSetSeeded(benchPipeSeed, f.cfg, f.stim, f.train, specsOf, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cal, err := core.Calibrate(rand.New(rand.NewSource(benchPipeSeed)), f.stim, td,
+			core.CalibrationOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cal, td
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		var cal *core.Calibration
+		var td []core.TrainingDevice
+		for i := 0; i < b.N; i++ {
+			cal, td = runOnce(b, 1)
+		}
+		refSigs = make([][]float64, len(td))
+		for i := range td {
+			refSigs[i] = td[i].Signature
+		}
+		refRMS = cal.CVRMS
+		perDev := float64(b.Elapsed().Nanoseconds()) / float64(b.N*benchPipeDevices)
+		b.ReportMetric(perDev, "ns/device")
+		out["serial_ns_per_device"] = perDev
+	})
+
+	for _, w := range []int{2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var cal *core.Calibration
+			var td []core.TrainingDevice
+			for i := 0; i < b.N; i++ {
+				cal, td = runOnce(b, w)
+			}
+			for i := range td {
+				for j := range td[i].Signature {
+					if refSigs != nil && td[i].Signature[j] != refSigs[i][j] {
+						b.Fatalf("workers=%d: training device %d bin %d differs from serial", w, i, j)
+					}
+				}
+			}
+			if cal.CVRMS != refRMS {
+				b.Fatalf("workers=%d: CV RMS %v differs from serial %v", w, cal.CVRMS, refRMS)
+			}
+			perDev := float64(b.Elapsed().Nanoseconds()) / float64(b.N*benchPipeDevices)
+			b.ReportMetric(perDev, "ns/device")
+			if s, ok := out["serial_ns_per_device"].(float64); ok && perDev > 0 {
+				b.ReportMetric(s/perDev, "speedup")
+				out[fmt.Sprintf("workers%d_speedup", w)] = s / perDev
+			}
+			out[fmt.Sprintf("workers%d_ns_per_device", w)] = perDev
+		})
+	}
+
+	mergeBenchJSON(b, "calibrate", out)
+}
+
+// BenchmarkGA evolves the stimulus with the real signature-sensitivity
+// fitness (the dominant off-line cost) serially and on a worker pool,
+// asserting the objective trace bit-identical.
+func BenchmarkGA(b *testing.B) {
+	model := core.RF2401Model{}
+	cfg := core.DefaultSimConfig()
+	const pop, gens = 8, 2
+	out := map[string]any{
+		"popsize":     pop,
+		"generations": gens,
+		"seed":        benchPipeSeed,
+	}
+	var refTrace []float64
+
+	runOnce := func(b *testing.B, workers int) *core.OptimizeResult {
+		rng := rand.New(rand.NewSource(benchPipeSeed))
+		res, err := core.OptimizeStimulus(rng, model, cfg, core.OptimizerOptions{
+			PopSize: pop, Generations: gens, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		var res *core.OptimizeResult
+		for i := 0; i < b.N; i++ {
+			res = runOnce(b, 1)
+		}
+		refTrace = res.Trace
+		perGen := float64(b.Elapsed().Nanoseconds()) / float64(b.N*gens)
+		b.ReportMetric(perGen, "ns/generation")
+		out["serial_ns_per_generation"] = perGen
+	})
+
+	b.Run("workers=4", func(b *testing.B) {
+		var res *core.OptimizeResult
+		for i := 0; i < b.N; i++ {
+			res = runOnce(b, 4)
+		}
+		for i := range res.Trace {
+			if refTrace != nil && res.Trace[i] != refTrace[i] {
+				b.Fatalf("workers=4: GA trace[%d] %g differs from serial %g", i, res.Trace[i], refTrace[i])
+			}
+		}
+		perGen := float64(b.Elapsed().Nanoseconds()) / float64(b.N*gens)
+		b.ReportMetric(perGen, "ns/generation")
+		if s, ok := out["serial_ns_per_generation"].(float64); ok && perGen > 0 {
+			b.ReportMetric(s/perGen, "speedup")
+			out["workers4_speedup"] = s / perGen
+		}
+		out["workers4_ns_per_generation"] = perGen
+	})
+
+	mergeBenchJSON(b, "ga", out)
+}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -23,9 +24,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig7..fig13, time, phase, a-stim, a-train, a-noise, a-reg, a-env, a-adc, diag, all)")
 	seed := flag.Int64("seed", 2002, "random seed")
 	quick := flag.Bool("quick", false, "reduced population sizes / GA budget")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the off-line phase (GA fitness, training acquisition, cross-validation); results are identical for any value")
 	flag.Parse()
 
-	ctx := experiments.Context{Seed: *seed, Quick: *quick}
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "rfexp: -workers %d is not a pool size; need an integer >= 1\n", *workers)
+		os.Exit(2)
+	}
+	ctx := experiments.Context{Seed: *seed, Quick: *quick, Workers: *workers}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "time", "phase",

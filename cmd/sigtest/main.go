@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/floor"
@@ -60,6 +61,7 @@ func main() {
 	sites := flag.Int("sites", 1, "concurrent tester sites for the production lot (with -faults)")
 	journal := flag.String("journal", "", "crash-safe lot journal path (with -faults)")
 	resume := flag.Bool("resume", false, "resume an interrupted lot from -journal instead of starting fresh")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the off-line phase (GA fitness, training acquisition, cross-validation); results are identical for any value")
 	flag.Parse()
 
 	if *faultP < 0 || *faultP > 1 {
@@ -70,6 +72,9 @@ func main() {
 	}
 	if *resume && *journal == "" {
 		usageFail("-resume needs -journal: there is no journal to resume from")
+	}
+	if *workers < 1 {
+		usageFail("-workers %d is not a pool size; need an integer >= 1", *workers)
 	}
 	if (*sites > 1 || *journal != "" || *resume) && !*withFaults {
 		usageFail("-sites/-journal/-resume orchestrate the fault-tolerant floor; add -faults")
@@ -98,11 +103,11 @@ func main() {
 		fail("unknown -dut %q", *dut)
 	}
 
-	opt := core.OptimizerOptions{PopSize: 20, Generations: 5}
+	opt := core.OptimizerOptions{PopSize: 20, Generations: 5, Workers: *workers}
 	if *quick {
-		opt = core.OptimizerOptions{PopSize: 8, Generations: 2}
+		opt = core.OptimizerOptions{PopSize: 8, Generations: 2, Workers: *workers}
 	}
-	fmt.Printf("[1/4] optimizing stimulus (GA %dx%d, Eq. 10 objective)...\n", opt.PopSize, opt.Generations)
+	fmt.Printf("[1/4] optimizing stimulus (GA %dx%d, Eq. 10 objective, %d workers)...\n", opt.PopSize, opt.Generations, *workers)
 	res, err := core.OptimizeStimulus(rng, model, cfg, opt)
 	if err != nil {
 		fail("%v", err)
@@ -127,11 +132,11 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	td, err := core.AcquireTrainingSet(rng, cfg, res.Stimulus, trainPop, func(d *core.Device) lna.Specs { return d.Specs })
+	td, err := core.AcquireTrainingSetSeeded(rng.Int63(), cfg, res.Stimulus, trainPop, func(d *core.Device) lna.Specs { return d.Specs }, *workers)
 	if err != nil {
 		fail("%v", err)
 	}
-	cal, err := core.Calibrate(rng, res.Stimulus, td, core.CalibrationOptions{})
+	cal, err := core.Calibrate(rng, res.Stimulus, td, core.CalibrationOptions{Workers: *workers})
 	if err != nil {
 		fail("%v", err)
 	}

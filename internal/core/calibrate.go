@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/lna"
+	"repro/internal/parallel"
 	"repro/internal/regress"
 	"repro/internal/wave"
 )
@@ -27,6 +28,9 @@ type Calibration struct {
 type CalibrationOptions struct {
 	Trainers []regress.Trainer
 	Folds    int
+	// Workers fans the cross-validation out over (trainer, fold) pairs;
+	// <= 1 evaluates serially. Results are bit-identical either way.
+	Workers int
 }
 
 func (o *CalibrationOptions) defaults() {
@@ -49,7 +53,9 @@ type TrainingDevice struct {
 }
 
 // Calibrate fits the per-spec maps on the training set. rng seeds the
-// cross-validation fold assignment.
+// cross-validation fold assignments: one base seed is drawn and every
+// (spec, trainer) pair derives its own sub-stream from it, so CV scores
+// are independent of evaluation order and of opt.Workers.
 func Calibrate(rng *rand.Rand, stim *wave.PWL, training []TrainingDevice, opt CalibrationOptions) (*Calibration, error) {
 	if len(training) < 6 {
 		return nil, fmt.Errorf("core: need at least 6 training devices, got %d", len(training))
@@ -64,6 +70,7 @@ func Calibrate(rng *rand.Rand, stim *wave.PWL, training []TrainingDevice, opt Ca
 		X.SetRow(i, td.Signature)
 	}
 	cal := &Calibration{Stimulus: stim}
+	base := rng.Int63()
 	for s := 0; s < 3; s++ {
 		y := make([]float64, len(training))
 		for i, td := range training {
@@ -73,7 +80,7 @@ func Calibrate(rng *rand.Rand, stim *wave.PWL, training []TrainingDevice, opt Ca
 		if folds > len(training) {
 			folds = len(training)
 		}
-		model, tr, rms, err := regress.SelectBest(opt.Trainers, X, y, folds, rng)
+		model, tr, rms, err := regress.SelectBestSeeded(opt.Trainers, X, y, folds, parallel.SubSeed(base, s), opt.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: calibrating %s: %w", lna.SpecNames()[s], err)
 		}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/regress"
 )
 
@@ -47,6 +48,7 @@ func CalibrateDiagnosis(rng *rand.Rand, training []TrainingDevice, devices []*De
 		X.SetRow(i, td.Signature)
 	}
 	d := &Diagnosis{k: k, names: append([]string(nil), names...)}
+	base := rng.Int63()
 	for p := 0; p < k; p++ {
 		y := make([]float64, len(devices))
 		for i, dev := range devices {
@@ -56,7 +58,7 @@ func CalibrateDiagnosis(rng *rand.Rand, training []TrainingDevice, devices []*De
 		if folds > len(training) {
 			folds = len(training)
 		}
-		model, _, rms, err := regress.SelectBest(opt.Trainers, X, y, folds, rng)
+		model, _, rms, err := regress.SelectBestSeeded(opt.Trainers, X, y, folds, parallel.SubSeed(base, p), opt.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: diagnosing %s: %w", names[p], err)
 		}

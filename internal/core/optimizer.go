@@ -23,6 +23,11 @@ type OptimizeResult struct {
 type OptimizerOptions struct {
 	PopSize     int
 	Generations int
+	// Workers evaluates the GA population concurrently (each candidate
+	// stimulus costs a full signature-sensitivity extraction, the
+	// dominant off-line expense); <= 1 runs serially. The evolved
+	// stimulus is bit-identical for every worker count.
+	Workers int
 }
 
 // OptimizeStimulus runs the paper's test-generation loop: for each PWL
@@ -80,17 +85,29 @@ func OptimizeStimulus(rng *rand.Rand, model DeviceModel, cfg *TestConfig, opt Op
 		Generations: opt.Generations,
 		Lo:          -cfg.StimAmplitude,
 		Hi:          cfg.StimAmplitude,
+		Workers:     opt.Workers,
 	}
 	if gaOpt.Generations == 0 {
 		gaOpt.Generations = 5 // the paper's iteration count
 	}
-	// Seed with a full-scale multitone-like ramp so generation zero already
-	// exercises the DUT.
-	seed := make([]float64, cfg.StimBreakpoints)
-	for i := range seed {
-		seed[i] = cfg.StimAmplitude * math.Sin(2*math.Pi*3*float64(i)/float64(len(seed)))
+	// Seed generation zero with deterministic full-scale shapes that
+	// already exercise the DUT: slow and fast sines (multitone-like) and a
+	// bipolar ramp (sweeps the compression curve). Elitism keeps the best
+	// of them alive, so even a tiny GA budget starts from a sensible
+	// stimulus instead of pure noise.
+	nb := cfg.StimBreakpoints
+	sine := func(cycles float64) []float64 {
+		s := make([]float64, nb)
+		for i := range s {
+			s[i] = cfg.StimAmplitude * math.Sin(2*math.Pi*cycles*float64(i)/float64(nb))
+		}
+		return s
 	}
-	res, err := ga.Minimize(rng, cfg.StimBreakpoints, fitness, gaOpt, seed)
+	ramp := make([]float64, nb)
+	for i := range ramp {
+		ramp[i] = cfg.StimAmplitude * (2*float64(i)/float64(nb-1) - 1)
+	}
+	res, err := ga.Minimize(rng, nb, fitness, gaOpt, sine(3), sine(7), ramp)
 	if err != nil {
 		return nil, err
 	}

@@ -1,24 +1,21 @@
 package core
 
+import "repro/internal/parallel"
+
 // DeviceSeed derives the RNG seed for one device of a seeded lot from the
 // lot seed and the device index. Every consumer of lot randomness — the
-// serial floor engine, the concurrent lot orchestrator, a resumed lot —
-// derives each device's stream through this function, so the noise and
-// fault draws a device sees depend only on (lot seed, index), never on
-// draw order, worker scheduling or which devices ran before it. That is
-// what makes serial and N-site-concurrent screenings of the same lot
-// byte-identical, and a crash-resumed lot identical to an uninterrupted
-// one.
+// serial floor engine, the concurrent lot orchestrator, a resumed lot,
+// the parallel training-set acquisition — derives each device's stream
+// through this function, so the noise and fault draws a device sees
+// depend only on (lot seed, index), never on draw order, worker
+// scheduling or which devices ran before it. That is what makes serial
+// and N-site-concurrent screenings of the same lot byte-identical, and a
+// crash-resumed lot identical to an uninterrupted one.
 //
-// The mix is SplitMix64 (Steele et al., "Fast splittable pseudorandom
-// number generators"): a bijective avalanche over the combined key, so
-// adjacent indices yield statistically unrelated seeds.
+// The mix is parallel.SubSeed — SplitMix64 (Steele et al., "Fast
+// splittable pseudorandom number generators"), sign bit cleared so
+// journal headers stay readable — shared with every other seeded fan-out
+// in the repo (GA slots, CV trainers).
 func DeviceSeed(lotSeed int64, index int) int64 {
-	z := uint64(lotSeed) + uint64(index+1)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	// Clear the sign bit: rand.NewSource seeds are int64 and a stable
-	// non-negative value keeps journal headers readable.
-	return int64(z &^ (1 << 63))
+	return parallel.SubSeed(lotSeed, index)
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/lna"
+	"repro/internal/parallel"
 	"repro/internal/stat"
 	"repro/internal/wave"
 )
@@ -77,7 +78,9 @@ func (r *ValidationReport) String() string {
 // AcquireTrainingSet measures signatures (with fresh noise per device) for
 // a population and pairs them with the given specs source. specsOf lets
 // the caller choose between true simulated specs (simulation experiment)
-// and noisy ATE characterization (hardware experiment).
+// and noisy ATE characterization (hardware experiment). The devices draw
+// noise sequentially from one shared rng; use AcquireTrainingSetSeeded
+// for the order-independent, parallelizable acquisition.
 func AcquireTrainingSet(rng *rand.Rand, cfg *TestConfig, stim *wave.PWL, devices []*Device, specsOf func(*Device) lna.Specs) ([]TrainingDevice, error) {
 	out := make([]TrainingDevice, 0, len(devices))
 	for _, d := range devices {
@@ -86,6 +89,37 @@ func AcquireTrainingSet(rng *rand.Rand, cfg *TestConfig, stim *wave.PWL, devices
 			return nil, fmt.Errorf("core: training acquisition: %w", err)
 		}
 		out = append(out, TrainingDevice{Signature: sig, Specs: specsOf(d)})
+	}
+	return out, nil
+}
+
+// AcquireTrainingSetSeeded measures the training set on a worker pool:
+// device i's circuit sim -> RF envelope -> FFT signature runs as an
+// independent task whose measurement noise comes from an RNG seeded with
+// DeviceSeed(lotSeed, i). Signatures depend only on (lotSeed, device), so
+// serial (workers=1) and N-way-parallel acquisitions are bit-identical.
+// workers <= 0 uses one worker per CPU.
+func AcquireTrainingSetSeeded(lotSeed int64, cfg *TestConfig, stim *wave.PWL, devices []*Device, specsOf func(*Device) lna.Specs, workers int) ([]TrainingDevice, error) {
+	return AcquireTrainingSetAt(lotSeed, 0, cfg, stim, devices, specsOf, workers)
+}
+
+// AcquireTrainingSetAt is AcquireTrainingSetSeeded for a window of a
+// larger lot: device j of devices is seeded as lot index start+j. A lot
+// acquired in chunks — e.g. resuming an interrupted acquisition — is
+// therefore bit-identical to one acquired in a single pass.
+func AcquireTrainingSetAt(lotSeed int64, start int, cfg *TestConfig, stim *wave.PWL, devices []*Device, specsOf func(*Device) lna.Specs, workers int) ([]TrainingDevice, error) {
+	out := make([]TrainingDevice, len(devices))
+	err := parallel.ForEach(workers, len(devices), func(i int) error {
+		rng := rand.New(rand.NewSource(DeviceSeed(lotSeed, start+i)))
+		sig, err := cfg.Acquire(devices[i].Behavioral, stim, rng)
+		if err != nil {
+			return fmt.Errorf("core: training acquisition %d: %w", start+i, err)
+		}
+		out[i] = TrainingDevice{Signature: sig, Specs: specsOf(devices[i])}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

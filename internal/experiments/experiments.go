@@ -19,6 +19,12 @@ type Context struct {
 	// Quick shrinks population sizes and GA budgets for unit tests; full
 	// paper-scale runs leave it false.
 	Quick bool
+	// Workers fans out the off-line phase (training-set acquisition, GA
+	// fitness evaluation, cross-validation) over a worker pool; <= 1
+	// runs serially. Every experiment result is bit-identical for every
+	// worker count — parallelism buys wall-clock time, never different
+	// numbers.
+	Workers int
 }
 
 // DefaultContext is the paper-scale configuration.
@@ -27,7 +33,7 @@ func DefaultContext() Context { return Context{Seed: 2002} }
 // sizes returns (training, validation, GA population, GA generations).
 func (c Context) sizes() (train, val, pop, gens int) {
 	if c.Quick {
-		return 30, 10, 8, 2
+		return 30, 16, 10, 3
 	}
 	// The paper: 100 training + 25 validation instances, five GA
 	// iterations.
@@ -47,7 +53,10 @@ func (c Context) hardwareSizes() (cal, val int) {
 var memo sync.Map
 
 func memoKey(name string, ctx Context) string {
-	return fmt.Sprintf("%s/%d/%v", name, ctx.Seed, ctx.Quick)
+	// Workers is part of the key even though results are worker-count
+	// independent, so bit-identity tests comparing worker counts exercise
+	// real recomputation instead of a cache hit.
+	return fmt.Sprintf("%s/%d/%v/%d", name, ctx.Seed, ctx.Quick, ctx.Workers)
 }
 
 // RenderScatter draws a paper-style correlation plot (actual on x,

@@ -46,7 +46,7 @@ func RunHardwareExperiment(ctx Context) (*HardwareResult, error) {
 	model := core.RF2401Model{}
 	cfg := core.DefaultHardwareConfig()
 
-	opt, err := core.OptimizeStimulus(rng, model, cfg, core.OptimizerOptions{PopSize: pop, Generations: gens})
+	opt, err := core.OptimizeStimulus(rng, model, cfg, core.OptimizerOptions{PopSize: pop, Generations: gens, Workers: ctx.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: hardware stimulus optimization: %w", err)
 	}
@@ -81,11 +81,14 @@ func RunHardwareExperiment(ctx Context) (*HardwareResult, error) {
 		}
 	}
 
-	td, err := core.AcquireTrainingSet(rng, cfg, opt.Stimulus, calDevs, func(d *core.Device) lna.Specs { return d.Specs })
+	// Each calibration insertion is an independent seeded task; the ATE
+	// characterization above stays serial because the bench RNG models one
+	// physical instrument shared across insertions.
+	td, err := core.AcquireTrainingSetSeeded(rng.Int63(), cfg, opt.Stimulus, calDevs, func(d *core.Device) lna.Specs { return d.Specs }, ctx.Workers)
 	if err != nil {
 		return nil, err
 	}
-	cal, err := core.Calibrate(rng, opt.Stimulus, td, core.CalibrationOptions{})
+	cal, err := core.Calibrate(rng, opt.Stimulus, td, core.CalibrationOptions{Workers: ctx.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// The end-to-end determinism contract over the whole off-line pipeline:
+// GA-optimized stimulus, training signatures, trainer selection and CV
+// RMS must be bit-identical whether the pipeline ran serially or on a
+// worker pool.
+func TestSimExperimentWorkerBitIdentity(t *testing.T) {
+	run := func(workers int) *SimResult {
+		res, err := RunSimExperiment(Context{Seed: 71, Quick: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range []int{4, 8} {
+		got := run(w)
+		for i := range ref.Opt.Stimulus.Levels {
+			if got.Opt.Stimulus.Levels[i] != ref.Opt.Stimulus.Levels[i] {
+				t.Fatalf("workers=%d: stimulus breakpoint %d differs", w, i)
+			}
+		}
+		for i := range ref.Opt.Trace {
+			if got.Opt.Trace[i] != ref.Opt.Trace[i] {
+				t.Fatalf("workers=%d: GA trace[%d] differs: %g vs %g", w, i, got.Opt.Trace[i], ref.Opt.Trace[i])
+			}
+		}
+		for i := range ref.TrainingSet {
+			for j := range ref.TrainingSet[i].Signature {
+				if got.TrainingSet[i].Signature[j] != ref.TrainingSet[i].Signature[j] {
+					t.Fatalf("workers=%d: training device %d bin %d differs", w, i, j)
+				}
+			}
+		}
+		for s := 0; s < 3; s++ {
+			if got.Cal.CVRMS[s] != ref.Cal.CVRMS[s] {
+				t.Fatalf("workers=%d: CV RMS for spec %d differs: %v vs %v", w, s, got.Cal.CVRMS[s], ref.Cal.CVRMS[s])
+			}
+			if got.Cal.Trainers[s] != ref.Cal.Trainers[s] {
+				t.Fatalf("workers=%d: trainer for spec %d differs: %s vs %s", w, s, got.Cal.Trainers[s], ref.Cal.Trainers[s])
+			}
+		}
+		if got.Report.String() != ref.Report.String() {
+			t.Fatalf("workers=%d: validation report differs:\n%s\nvs\n%s", w, got.Report, ref.Report)
+		}
+	}
+}

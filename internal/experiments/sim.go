@@ -44,7 +44,8 @@ func RunSimExperiment(ctx Context) (*SimResult, error) {
 	model := core.NewLNAModel()
 	cfg := core.DefaultSimConfig()
 
-	opt, err := core.OptimizeStimulus(rng, model, cfg, core.OptimizerOptions{PopSize: pop, Generations: gens})
+	workers := ctx.Workers
+	opt, err := core.OptimizeStimulus(rng, model, cfg, core.OptimizerOptions{PopSize: pop, Generations: gens, Workers: workers})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: stimulus optimization: %w", err)
 	}
@@ -56,11 +57,13 @@ func RunSimExperiment(ctx Context) (*SimResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	td, err := core.AcquireTrainingSet(rng, cfg, opt.Stimulus, train, func(d *core.Device) lna.Specs { return d.Specs })
+	// Training acquisition fans out per device, seeded via
+	// core.DeviceSeed so the set is identical at every worker count.
+	td, err := core.AcquireTrainingSetSeeded(rng.Int63(), cfg, opt.Stimulus, train, func(d *core.Device) lna.Specs { return d.Specs }, workers)
 	if err != nil {
 		return nil, err
 	}
-	cal, err := core.Calibrate(rng, opt.Stimulus, td, core.CalibrationOptions{})
+	cal, err := core.Calibrate(rng, opt.Stimulus, td, core.CalibrationOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}

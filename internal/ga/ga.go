@@ -3,56 +3,117 @@
 // of the PWL stimulus are encoded as a genetic string, and successive
 // generations of the genetic optimization yield a waveform with decreasing
 // values of the objective function", Section 3.1, citing Goldberg [8]).
+//
+// Determinism contract: every random draw a genome slot consumes comes
+// from an RNG stream derived (via parallel.SubSeed) from the caller's RNG
+// and the slot index, and fitness evaluations write only into per-slot
+// result cells. A run therefore depends only on the caller's seed — never
+// on Options.Workers or goroutine scheduling — so serial and parallel
+// minimizations of the same problem are bit-identical.
 package ga
 
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
-// Fitness evaluates a genome; the GA minimizes it.
+// Fitness evaluates a genome; the GA minimizes it. With Options.Workers
+// greater than one the function is called from multiple goroutines
+// concurrently and must be safe for that (the core objective is a pure
+// computation over immutable sensitivity state, which qualifies).
 type Fitness func(genome []float64) float64
 
-// Options configures a run.
+// Options configures a run. Elite, CrossoverP and MutationP are pointers
+// so that an explicit zero is distinguishable from "use the default": nil
+// means default (2 / 0.9 / 0.15), a pointer means exactly that value —
+// ga.Int(0) disables elitism, ga.Float(0) disables crossover or mutation.
+// (They were plain values once, and a configured zero was silently
+// rewritten to the default, making those configurations inexpressible.)
 type Options struct {
-	PopSize     int     // population size (default 24)
-	Generations int     // generations to evolve (the paper ran 5)
-	Elite       int     // genomes copied unchanged (default 2)
-	TournamentK int     // tournament size (default 3)
-	CrossoverP  float64 // crossover probability (default 0.9)
-	MutationP   float64 // per-gene mutation probability (default 0.15)
-	MutationStd float64 // Gaussian mutation step as a fraction of range (default 0.1)
-	Lo, Hi      float64 // gene bounds
+	PopSize     int      // population size (default 24)
+	Generations int      // generations to evolve (the paper ran 5)
+	Elite       *int     // genomes copied unchanged (nil = default 2)
+	TournamentK int      // tournament size (default 3)
+	CrossoverP  *float64 // crossover probability (nil = default 0.9)
+	MutationP   *float64 // per-gene mutation probability (nil = default 0.15)
+	MutationStd float64  // Gaussian mutation step as a fraction of range (default 0.1)
+	Lo, Hi      float64  // gene bounds
+	// Workers sets the fan-out for population construction and fitness
+	// evaluation: 1 (or less) runs inline, 0 is treated as 1 so existing
+	// zero-value configurations stay serial. The result is identical for
+	// every worker count.
+	Workers int
 }
 
-func (o *Options) defaults() {
-	if o.PopSize <= 0 {
-		o.PopSize = 24
+// Int returns a pointer to v, for explicit Options.Elite values.
+func Int(v int) *int { return &v }
+
+// Float returns a pointer to v, for explicit Options probabilities.
+func Float(v float64) *float64 { return &v }
+
+// resolved is Options with every default applied and validated.
+type resolved struct {
+	popSize, generations, elite, tournamentK, workers int
+	crossoverP, mutationP, mutationStd, lo, hi        float64
+}
+
+func (o Options) resolve() (resolved, error) {
+	r := resolved{
+		popSize:     o.PopSize,
+		generations: o.Generations,
+		tournamentK: o.TournamentK,
+		mutationStd: o.MutationStd,
+		lo:          o.Lo,
+		hi:          o.Hi,
+		workers:     o.Workers,
 	}
-	if o.Generations <= 0 {
-		o.Generations = 5
+	if r.popSize <= 0 {
+		r.popSize = 24
 	}
-	if o.Elite <= 0 {
-		o.Elite = 2
+	if r.generations <= 0 {
+		r.generations = 5
 	}
-	if o.Elite >= o.PopSize {
-		o.Elite = o.PopSize - 1
+	if r.tournamentK <= 0 {
+		r.tournamentK = 3
 	}
-	if o.TournamentK <= 0 {
-		o.TournamentK = 3
+	if r.mutationStd <= 0 {
+		r.mutationStd = 0.1
 	}
-	if o.CrossoverP <= 0 {
-		o.CrossoverP = 0.9
+	if r.hi <= r.lo {
+		r.lo, r.hi = -1, 1
 	}
-	if o.MutationP <= 0 {
-		o.MutationP = 0.15
+	if r.workers < 1 {
+		r.workers = 1
 	}
-	if o.MutationStd <= 0 {
-		o.MutationStd = 0.1
+	r.elite = 2
+	if o.Elite != nil {
+		if *o.Elite < 0 {
+			return r, fmt.Errorf("ga: Elite %d must be >= 0", *o.Elite)
+		}
+		r.elite = *o.Elite
 	}
-	if o.Hi <= o.Lo {
-		o.Lo, o.Hi = -1, 1
+	// Elite >= PopSize would leave zero slots for selection and the
+	// population could never move; keep at least one bred child.
+	if r.elite >= r.popSize {
+		r.elite = r.popSize - 1
 	}
+	r.crossoverP = 0.9
+	if o.CrossoverP != nil {
+		if *o.CrossoverP < 0 || *o.CrossoverP > 1 {
+			return r, fmt.Errorf("ga: CrossoverP %g must be in [0, 1]", *o.CrossoverP)
+		}
+		r.crossoverP = *o.CrossoverP
+	}
+	r.mutationP = 0.15
+	if o.MutationP != nil {
+		if *o.MutationP < 0 || *o.MutationP > 1 {
+			return r, fmt.Errorf("ga: MutationP %g must be in [0, 1]", *o.MutationP)
+		}
+		r.mutationP = *o.MutationP
+	}
+	return r, nil
 }
 
 // Result reports the best genome and the per-generation best objective
@@ -65,8 +126,11 @@ type Result struct {
 }
 
 // Minimize evolves genomes of length n against fitness f. The RNG must be
-// provided for reproducibility. An optional seed genome (e.g. the previous
-// best stimulus) can be injected into the initial population.
+// provided for reproducibility; it is consumed only to derive per-slot
+// sub-seeds, so a run is reproducible from the caller's seed alone. An
+// optional seed genome (e.g. the previous best stimulus) can be injected
+// into the initial population; it is clamped to [Lo, Hi] and its
+// evaluation is counted in Result.Evaluations like any other genome's.
 func Minimize(rng *rand.Rand, n int, f Fitness, opt Options, seeds ...[]float64) (*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("ga: genome length must be positive, got %d", n)
@@ -74,33 +138,45 @@ func Minimize(rng *rand.Rand, n int, f Fitness, opt Options, seeds ...[]float64)
 	if f == nil {
 		return nil, fmt.Errorf("ga: nil fitness function")
 	}
-	opt.defaults()
-
-	pop := make([][]float64, opt.PopSize)
-	for i := range pop {
-		pop[i] = make([]float64, n)
-		for j := range pop[i] {
-			pop[i][j] = opt.Lo + rng.Float64()*(opt.Hi-opt.Lo)
-		}
+	r, err := opt.resolve()
+	if err != nil {
+		return nil, err
 	}
 	for i, s := range seeds {
-		if i >= len(pop) {
-			break
-		}
 		if len(s) != n {
 			return nil, fmt.Errorf("ga: seed %d has length %d, want %d", i, len(s), n)
 		}
-		copy(pop[i], s)
-		clamp(pop[i], opt.Lo, opt.Hi)
 	}
 
-	fit := make([]float64, opt.PopSize)
+	// Initial population: slot i draws its genes from its own derived
+	// stream, so initialization parallelizes without reordering draws.
+	initSeed := rng.Int63()
+	pop := make([][]float64, r.popSize)
+	fit := make([]float64, r.popSize)
 	evals := 0
-	evalAll := func() {
-		for i := range pop {
-			fit[i] = f(pop[i])
-			evals++
+	if err := parallel.ForEach(r.workers, r.popSize, func(i int) error {
+		g := make([]float64, n)
+		if i < len(seeds) {
+			copy(g, seeds[i])
+		} else {
+			srng := rand.New(rand.NewSource(parallel.SubSeed(initSeed, i)))
+			for j := range g {
+				g[j] = r.lo + srng.Float64()*(r.hi-r.lo)
+			}
 		}
+		clamp(g, r.lo, r.hi)
+		pop[i] = g
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	evalAll := func() {
+		_ = parallel.ForEach(r.workers, r.popSize, func(i int) error {
+			fit[i] = f(pop[i])
+			return nil
+		})
+		evals += r.popSize
 	}
 	evalAll()
 
@@ -120,35 +196,44 @@ func Minimize(rng *rand.Rand, n int, f Fitness, opt Options, seeds ...[]float64)
 	}
 	record()
 
-	for gen := 0; gen < opt.Generations; gen++ {
-		next := make([][]float64, 0, opt.PopSize)
+	for gen := 0; gen < r.generations; gen++ {
+		next := make([][]float64, r.popSize)
 		// Elitism: carry the current best genomes.
 		order := argsort(fit)
-		for e := 0; e < opt.Elite; e++ {
-			next = append(next, append([]float64(nil), pop[order[e]]...))
+		for e := 0; e < r.elite; e++ {
+			next[e] = append([]float64(nil), pop[order[e]]...)
 		}
-		for len(next) < opt.PopSize {
-			a := tournament(rng, fit, opt.TournamentK)
-			b := tournament(rng, fit, opt.TournamentK)
+		// Breed the remaining slots, each from its own derived stream so
+		// the children are identical whatever the worker count. pop and
+		// fit are read-only here.
+		genSeed := rng.Int63()
+		if err := parallel.ForEach(r.workers, r.popSize-r.elite, func(c int) error {
+			slot := r.elite + c
+			srng := rand.New(rand.NewSource(parallel.SubSeed(genSeed, slot)))
+			a := tournament(srng, fit, r.tournamentK)
+			b := tournament(srng, fit, r.tournamentK)
 			child := make([]float64, n)
-			if rng.Float64() < opt.CrossoverP {
+			if srng.Float64() < r.crossoverP {
 				// Blend (BLX-style) crossover.
 				for j := range child {
-					w := rng.Float64()
+					w := srng.Float64()
 					child[j] = w*pop[a][j] + (1-w)*pop[b][j]
 				}
 			} else {
 				copy(child, pop[a])
 			}
 			// Gaussian mutation.
-			step := opt.MutationStd * (opt.Hi - opt.Lo)
+			step := r.mutationStd * (r.hi - r.lo)
 			for j := range child {
-				if rng.Float64() < opt.MutationP {
-					child[j] += rng.NormFloat64() * step
+				if srng.Float64() < r.mutationP {
+					child[j] += srng.NormFloat64() * step
 				}
 			}
-			clamp(child, opt.Lo, opt.Hi)
-			next = append(next, child)
+			clamp(child, r.lo, r.hi)
+			next[slot] = child
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		pop = next
 		evalAll()

@@ -3,6 +3,7 @@ package ga
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -143,5 +144,154 @@ func TestEvaluationCountReported(t *testing.T) {
 	}
 	if res.Evaluations != 10*4 { // initial + 3 generations
 		t.Fatalf("evaluations = %d, want 40", res.Evaluations)
+	}
+}
+
+// Regression: an explicit zero used to be conflated with "unset" and
+// silently rewritten to the default (0.9 / 0.15 / 2), making crossover-free,
+// mutation-free and elitism-free configurations inexpressible.
+func TestExplicitZeroOptionsHonored(t *testing.T) {
+	// CrossoverP=0, MutationP=0: children are pure tournament-winner
+	// copies, so after any number of generations every genome must equal
+	// some member of the initial population.
+	rng := rand.New(rand.NewSource(8))
+	var initial [][]float64
+	var mu sync.Mutex
+	probe := func(g []float64) float64 {
+		mu.Lock()
+		initial = append(initial, append([]float64(nil), g...))
+		mu.Unlock()
+		return sphere(g)
+	}
+	res, err := Minimize(rng, 3, probe, Options{
+		PopSize: 8, Generations: 4, Lo: -1, Hi: 1,
+		CrossoverP: Float(0), MutationP: Float(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := initial[:8]
+	found := false
+	for _, g := range gen0 {
+		match := true
+		for j := range g {
+			if g[j] != res.Best[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("with CrossoverP=0 and MutationP=0 the best genome %v must be one of the initial genomes", res.Best)
+	}
+
+	// Elite=0 must run (no elitism) and still report a monotone trace,
+	// since the best-so-far is tracked across generations.
+	rng = rand.New(rand.NewSource(9))
+	res, err = Minimize(rng, 4, sphere, Options{PopSize: 10, Generations: 10, Elite: Int(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i] > res.Trace[i-1] {
+			t.Fatalf("trace increased at generation %d with Elite=0", i)
+		}
+	}
+}
+
+func TestNilOptionPointersTakeDefaults(t *testing.T) {
+	// The zero-value Options must behave like the historical defaults:
+	// with crossover and mutation active, a long run on the sphere must
+	// improve well past the best initial random genome.
+	rng := rand.New(rand.NewSource(10))
+	res, err := Minimize(rng, 5, sphere, Options{PopSize: 30, Generations: 40, Lo: -2, Hi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > 0.5 {
+		t.Fatalf("defaults inactive? best %g", res.BestFitness)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	if _, err := Minimize(rng, 2, sphere, Options{CrossoverP: Float(-0.1)}); err == nil {
+		t.Fatal("negative CrossoverP must error")
+	}
+	if _, err := Minimize(rng, 2, sphere, Options{MutationP: Float(1.5)}); err == nil {
+		t.Fatal("MutationP > 1 must error")
+	}
+	if _, err := Minimize(rng, 2, sphere, Options{Elite: Int(-1)}); err == nil {
+		t.Fatal("negative Elite must error")
+	}
+}
+
+// Regression: an injected seed genome outside [Lo, Hi] must be clamped
+// into range, counted in Result.Evaluations, and the optimizer must not
+// report a genome outside the bounds.
+func TestSeedGenomeClampedAndCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	wild := []float64{5, -5, 5} // far outside [-1, 1]
+	res, err := Minimize(rng, 3, sphere, Options{PopSize: 6, Generations: 2, Lo: -1, Hi: 1}, wild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 6*3 { // initial + 2 generations, seed included
+		t.Fatalf("evaluations = %d, want 18", res.Evaluations)
+	}
+	for _, x := range res.Best {
+		if x < -1 || x > 1 {
+			t.Fatalf("best genome %v escaped the bounds", res.Best)
+		}
+	}
+}
+
+// Regression: Elite >= PopSize must not produce a zero-selection
+// population (the run would never move); at least one bred child is kept.
+func TestEliteClampedBelowPopSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	res, err := Minimize(rng, 2, sphere, Options{PopSize: 4, Generations: 30, Elite: Int(10), Lo: -1, Hi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With selection alive, 30 generations on a 2-sphere must improve on
+	// the initial best.
+	if res.Trace[len(res.Trace)-1] >= res.Trace[0] {
+		t.Fatalf("population never moved: trace %v", res.Trace)
+	}
+}
+
+// The core determinism contract of the parallel pipeline: identical
+// results (Best, Trace, Evaluations) for every worker count.
+func TestParallelMinimizeBitIdentical(t *testing.T) {
+	run := func(workers int) *Result {
+		rng := rand.New(rand.NewSource(99))
+		res, err := Minimize(rng, 6, sphere, Options{PopSize: 20, Generations: 15, Lo: -2, Hi: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range []int{4, 8} {
+		got := run(w)
+		if got.BestFitness != ref.BestFitness || got.Evaluations != ref.Evaluations {
+			t.Fatalf("workers=%d: fitness/evals %g/%d vs serial %g/%d",
+				w, got.BestFitness, got.Evaluations, ref.BestFitness, ref.Evaluations)
+		}
+		for i := range ref.Best {
+			if got.Best[i] != ref.Best[i] {
+				t.Fatalf("workers=%d: gene %d differs: %g vs %g", w, i, got.Best[i], ref.Best[i])
+			}
+		}
+		for i := range ref.Trace {
+			if got.Trace[i] != ref.Trace[i] {
+				t.Fatalf("workers=%d: trace[%d] differs: %g vs %g", w, i, got.Trace[i], ref.Trace[i])
+			}
+		}
 	}
 }

@@ -1,0 +1,108 @@
+// Package parallel is the deterministic fan-out engine shared by the
+// calibration pipeline's hot paths: training-set acquisition, GA fitness
+// evaluation and cross-validation. Work is split by index, every index
+// owns its output slot and (when it needs randomness) its own RNG stream
+// derived with SubSeed, so the result of a fan-out depends only on the
+// inputs — never on the worker count, goroutine scheduling or completion
+// order. Serial (workers=1) and N-way-parallel runs of the same job are
+// bit-identical, which is the repo-wide determinism contract established
+// by core.DeviceSeed for lot screening.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: values <= 0 mean "one worker
+// per available CPU" (GOMAXPROCS), anything else is taken literally.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// SubSeed derives the seed for sub-stream index of a seeded computation.
+// It is the SplitMix64 finalizer (Steele et al., "Fast splittable
+// pseudorandom number generators"): a bijective avalanche over the
+// combined key, so adjacent indices yield statistically unrelated seeds.
+// The sign bit is cleared so derived seeds stay stable, non-negative and
+// readable in journals. core.DeviceSeed is this same mix, so every seeded
+// fan-out in the repo shares one derivation scheme.
+func SubSeed(seed int64, index int) int64 {
+	z := uint64(seed) + uint64(index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z &^ (1 << 63))
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of workers (resolved
+// via Workers; capped at n). Determinism contract: fn must write its
+// results only into per-index slots owned by the caller; under that
+// contract the outcome is identical for every worker count. All indices
+// are attempted even when some fail; the returned error is the one from
+// the lowest failing index, so error reporting is scheduling-independent
+// too. With one worker (or n <= 1) everything runs inline on the calling
+// goroutine. A panic in fn is re-raised on the caller.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	errs := make([]error, n)
+	var mu sync.Mutex
+	var panicked any // first panic by discovery order, re-raised on the caller
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if panicked == nil {
+								panicked = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+							}
+							mu.Unlock()
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

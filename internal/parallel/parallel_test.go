@@ -1,0 +1,139 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{0, 1, 3, 16} {
+		counts := make([]int64, 100)
+		if err := ForEach(w, len(counts), func(i int) error {
+			atomic.AddInt64(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []float64 {
+		out := make([]float64, 64)
+		if err := ForEach(workers, len(out), func(i int) error {
+			rng := rand.New(rand.NewSource(SubSeed(7, i)))
+			s := 0.0
+			for k := 0; k < 100; k++ {
+				s += rng.NormFloat64()
+			}
+			out[i] = s
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, 8} {
+		got := run(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d differs: %g vs %g", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		err := ForEach(w, 32, func(i int) error {
+			if i%5 == 2 { // fails at 2, 7, 12, ...
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 2 failed" {
+			t.Fatalf("workers=%d: got %v, want the index-2 error", w, err)
+		}
+	}
+}
+
+func TestForEachRunsAllIndicesDespiteErrors(t *testing.T) {
+	var ran int64
+	err := ForEach(4, 20, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ran != 20 {
+		t.Fatalf("ran %d of 20 indices", ran)
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", w)
+				}
+				if w > 1 {
+					if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "panicked") {
+						t.Fatalf("workers=%d: unexpected panic payload %v", w, r)
+					}
+				}
+			}()
+			_ = ForEach(w, 8, func(i int) error {
+				if i == 3 {
+					panic("kaboom")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubSeedMatchesDeviceSeedContract(t *testing.T) {
+	// Non-negative, index-sensitive, seed-sensitive.
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := SubSeed(42, i)
+		if s < 0 {
+			t.Fatalf("negative sub-seed at index %d", i)
+		}
+		if seen[s] {
+			t.Fatalf("sub-seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Fatal("sub-seed ignores the base seed")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("non-positive requests must resolve to at least one worker")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("positive requests are literal")
+	}
+}

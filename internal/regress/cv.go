@@ -6,69 +6,147 @@ import (
 	"math/rand"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
-// CrossValidate estimates a trainer's out-of-sample RMS error with k-fold
-// cross-validation (folds assigned by a seeded shuffle for repeatability).
-func CrossValidate(tr Trainer, X *linalg.Matrix, y []float64, k int, rng *rand.Rand) (float64, error) {
-	n := X.Rows
-	if n != len(y) {
-		return 0, fmt.Errorf("regress: %d rows vs %d targets", n, len(y))
+// foldEval fits tr on every row outside fold f of the permuted assignment
+// and returns the squared-error sum and count over the held-out rows. It
+// touches only its arguments, so folds evaluate concurrently.
+func foldEval(tr Trainer, X *linalg.Matrix, y []float64, perm []int, k, f int) (float64, int, error) {
+	var trainIdx, testIdx []int
+	for i, p := range perm {
+		if i%k == f {
+			testIdx = append(testIdx, p)
+		} else {
+			trainIdx = append(trainIdx, p)
+		}
 	}
-	if k < 2 || k > n {
-		return 0, fmt.Errorf("regress: fold count %d invalid for %d rows", k, n)
+	Xt := linalg.NewMatrix(len(trainIdx), X.Cols)
+	yt := make([]float64, len(trainIdx))
+	for i, p := range trainIdx {
+		Xt.SetRow(i, X.Row(p))
+		yt[i] = y[p]
 	}
-	perm := rng.Perm(n)
+	model, err := tr.Fit(Xt, yt)
+	if err != nil {
+		return 0, 0, fmt.Errorf("regress: fold %d: %w", f, err)
+	}
 	var sse float64
-	var count int
-	for f := 0; f < k; f++ {
-		var trainIdx, testIdx []int
-		for i, p := range perm {
-			if i%k == f {
-				testIdx = append(testIdx, p)
-			} else {
-				trainIdx = append(trainIdx, p)
-			}
-		}
-		Xt := linalg.NewMatrix(len(trainIdx), X.Cols)
-		yt := make([]float64, len(trainIdx))
-		for i, p := range trainIdx {
-			Xt.SetRow(i, X.Row(p))
-			yt[i] = y[p]
-		}
-		model, err := tr.Fit(Xt, yt)
-		if err != nil {
-			return 0, fmt.Errorf("regress: fold %d: %w", f, err)
-		}
-		for _, p := range testIdx {
-			r := model.Predict(X.Row(p)) - y[p]
-			sse += r * r
-			count++
-		}
+	for _, p := range testIdx {
+		r := model.Predict(X.Row(p)) - y[p]
+		sse += r * r
 	}
-	return math.Sqrt(sse / float64(count)), nil
+	return sse, len(testIdx), nil
 }
 
-// SelectBest cross-validates every trainer and returns the one with the
-// lowest CV RMS error, fitted on the full data.
-func SelectBest(trainers []Trainer, X *linalg.Matrix, y []float64, k int, rng *rand.Rand) (Model, Trainer, float64, error) {
+func validateCV(X *linalg.Matrix, y []float64, k int) error {
+	if X.Rows != len(y) {
+		return fmt.Errorf("regress: %d rows vs %d targets", X.Rows, len(y))
+	}
+	if k < 2 || k > X.Rows {
+		return fmt.Errorf("regress: fold count %d invalid for %d rows", k, X.Rows)
+	}
+	return nil
+}
+
+// CrossValidateSeeded estimates a trainer's out-of-sample RMS error with
+// k-fold cross-validation. The fold assignment is a shuffle drawn from
+// seed alone and the folds evaluate concurrently on workers goroutines
+// (1 = inline), accumulating per-fold partial sums that are reduced in
+// fold order — so the estimate is bit-identical for every worker count.
+func CrossValidateSeeded(tr Trainer, X *linalg.Matrix, y []float64, k int, seed int64, workers int) (float64, error) {
+	if err := validateCV(X, y, k); err != nil {
+		return 0, err
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(X.Rows)
+	sse := make([]float64, k)
+	count := make([]int, k)
+	if err := parallel.ForEach(workers, k, func(f int) error {
+		s, c, err := foldEval(tr, X, y, perm, k, f)
+		if err != nil {
+			return err
+		}
+		sse[f], count[f] = s, c
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	var totSSE float64
+	var tot int
+	for f := 0; f < k; f++ {
+		totSSE += sse[f]
+		tot += count[f]
+	}
+	return math.Sqrt(totSSE / float64(tot)), nil
+}
+
+// CrossValidate is CrossValidateSeeded with the fold-assignment seed drawn
+// from rng, evaluated serially (kept for callers that thread one RNG
+// through a larger experiment).
+func CrossValidate(tr Trainer, X *linalg.Matrix, y []float64, k int, rng *rand.Rand) (float64, error) {
+	return CrossValidateSeeded(tr, X, y, k, rng.Int63(), 1)
+}
+
+// SelectBestSeeded cross-validates every trainer and returns the one with
+// the lowest CV RMS error, fitted on the full data. Trainer i's fold
+// assignment derives from parallel.SubSeed(seed, i) — its own stream, so
+// a trainer's score does not depend on how many trainers ran before it
+// (one shared *rand.Rand used to make every later trainer's folds shift
+// whenever a trainer was added). All (trainer, fold) pairs evaluate
+// concurrently on workers goroutines; scores reduce in index order and
+// ties break toward the earlier trainer, so selection is deterministic
+// and worker-count-independent.
+func SelectBestSeeded(trainers []Trainer, X *linalg.Matrix, y []float64, k int, seed int64, workers int) (Model, Trainer, float64, error) {
 	if len(trainers) == 0 {
 		return nil, nil, 0, fmt.Errorf("regress: no trainers given")
 	}
-	bestRMS := math.Inf(1)
-	var bestTr Trainer
-	for _, tr := range trainers {
-		rms, err := CrossValidate(tr, X, y, k, rng)
+	if err := validateCV(X, y, k); err != nil {
+		return nil, nil, 0, err
+	}
+	nt := len(trainers)
+	perms := make([][]int, nt)
+	for i := range trainers {
+		perms[i] = rand.New(rand.NewSource(parallel.SubSeed(seed, i))).Perm(X.Rows)
+	}
+	sse := make([]float64, nt*k)
+	count := make([]int, nt*k)
+	errf := func(i int, err error) error {
+		return fmt.Errorf("regress: %s: %w", trainers[i].Name(), err)
+	}
+	if err := parallel.ForEach(workers, nt*k, func(t int) error {
+		i, f := t/k, t%k
+		s, c, err := foldEval(trainers[i], X, y, perms[i], k, f)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("regress: %s: %w", tr.Name(), err)
+			return errf(i, err)
 		}
-		if rms < bestRMS {
-			bestRMS, bestTr = rms, tr
+		sse[t], count[t] = s, c
+		return nil
+	}); err != nil {
+		return nil, nil, 0, err
+	}
+	bestRMS := math.Inf(1)
+	best := -1
+	for i := 0; i < nt; i++ {
+		var s float64
+		var c int
+		for f := 0; f < k; f++ {
+			s += sse[i*k+f]
+			c += count[i*k+f]
+		}
+		if rms := math.Sqrt(s / float64(c)); rms < bestRMS {
+			bestRMS, best = rms, i
 		}
 	}
-	model, err := bestTr.Fit(X, y)
+	model, err := trainers[best].Fit(X, y)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	return model, bestTr, bestRMS, nil
+	return model, trainers[best], bestRMS, nil
+}
+
+// SelectBest is SelectBestSeeded with the base seed drawn from rng and
+// serial evaluation (compatibility entry point; per-trainer sub-seeding
+// applies either way, so scores are order-independent here too).
+func SelectBest(trainers []Trainer, X *linalg.Matrix, y []float64, k int, rng *rand.Rand) (Model, Trainer, float64, error) {
+	return SelectBestSeeded(trainers, X, y, k, rng.Int63(), 1)
 }

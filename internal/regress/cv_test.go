@@ -1,0 +1,106 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// cvFixture builds a small noisy linear problem.
+func cvFixture(seed int64, n, d int) (*linalg.Matrix, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := linalg.NewMatrix(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		s := 0.0
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			s += float64(j+1) * row[j]
+		}
+		X.SetRow(i, row)
+		y[i] = s + 0.05*rng.NormFloat64()
+	}
+	return X, y
+}
+
+// Regression for the shared-RNG bug: a trainer's CV score must not depend
+// on how many trainers were evaluated before it.
+func TestSelectBestScoresOrderIndependent(t *testing.T) {
+	X, y := cvFixture(1, 40, 3)
+	score := func(trainers []Trainer, want Trainer) float64 {
+		_, tr, rms, err := SelectBestSeeded(trainers, X, y, 5, 123, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Name() != want.Name() {
+			t.Fatalf("expected %s to win, got %s", want.Name(), tr.Name())
+		}
+		return rms
+	}
+	// Plain ridge wins on a linear problem against an absurdly
+	// over-regularized competitor; appending more losing trainers must not
+	// move its winning score — under the old shared-RNG scheme every
+	// trainer evaluated earlier shifted the fold assignment of the ones
+	// after it.
+	awful := Ridge{Lambda: 1e9} // shrinks to the mean, always loses
+	a := score([]Trainer{Ridge{}}, Ridge{})
+	b := score([]Trainer{Ridge{}, awful}, Ridge{})
+	c := score([]Trainer{Ridge{}, awful, awful}, Ridge{})
+	if a != b || b != c {
+		t.Fatalf("ridge CV score depends on the trainer line-up: %g / %g / %g", a, b, c)
+	}
+}
+
+func TestSelectBestSeededWorkerBitIdentity(t *testing.T) {
+	X, y := cvFixture(2, 36, 4)
+	trainers := []Trainer{Ridge{}, Ridge{Lambda: 0.5}, PolyPCA{Components: 3}}
+	run := func(workers int) (string, float64) {
+		_, tr, rms, err := SelectBestSeeded(trainers, X, y, 6, 77, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Name(), rms
+	}
+	refName, refRMS := run(1)
+	for _, w := range []int{4, 8} {
+		name, rms := run(w)
+		if name != refName || rms != refRMS {
+			t.Fatalf("workers=%d: %s/%v vs serial %s/%v", w, name, rms, refName, refRMS)
+		}
+	}
+}
+
+func TestCrossValidateSeededWorkerBitIdentity(t *testing.T) {
+	X, y := cvFixture(3, 30, 3)
+	ref, err := CrossValidateSeeded(Ridge{}, X, y, 5, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 8} {
+		got, err := CrossValidateSeeded(Ridge{}, X, y, 5, 7, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("workers=%d: RMS %v vs serial %v", w, got, ref)
+		}
+	}
+}
+
+func TestCrossValidateSeededStableAcrossCalls(t *testing.T) {
+	X, y := cvFixture(4, 24, 2)
+	a, err := CrossValidateSeeded(Ridge{}, X, y, 4, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidateSeeded(Ridge{}, X, y, 4, 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || math.IsNaN(a) {
+		t.Fatalf("same seed must give one score: %v vs %v", a, b)
+	}
+}

@@ -17,3 +17,6 @@ go build ./...
 # Explicit timeout: the race detector slows internal/experiments ~10x past
 # go test's default 10-minute per-package budget.
 go test -race -timeout 45m ./...
+# Bench smoke: one iteration of the pipeline benchmarks, which also assert
+# parallel results bit-identical to serial.
+go test -run '^$' -bench 'Calibrate|GA' -benchtime 1x .
