@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmtcheck vet build test race bench ci
+.PHONY: all fmt fmtcheck vet build test race netsoak bench ci
 
 all: build
 
@@ -26,16 +26,26 @@ test:
 	$(GO) test ./...
 
 # The race detector slows internal/experiments ~10x past go test's default
-# 10-minute per-package timeout, hence the explicit budget.
+# 10-minute per-package timeout, hence the explicit budget. -shuffle=on
+# randomizes test order so inter-test state dependencies cannot hide.
 race:
-	$(GO) test -race -timeout 45m ./...
+	$(GO) test -race -shuffle=on -timeout 45m ./...
 
-# Serial-vs-parallel benchmarks: lot orchestration (BENCH_lotrun.json) and
-# the off-line calibration pipeline (BENCH_pipeline.json). Both assert the
-# parallel results bit-identical to the serial ones before reporting.
+# Distributed-floor soak: the netfloor suite repeated under the race
+# detector, so its timing-sensitive failover/partition paths see more than
+# one scheduling.
+netsoak:
+	$(GO) test -race -short -count=2 -timeout 30m ./internal/netfloor/
+
+# Serial-vs-parallel benchmarks: lot orchestration (BENCH_lotrun.json),
+# the off-line calibration pipeline (BENCH_pipeline.json) and the
+# distributed floor over in-process pipes (BENCH_netfloor.json). All
+# assert the parallel/distributed results bit-identical to the serial ones
+# before reporting.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkLot|BenchmarkCalibrate|BenchmarkGA)$$' -benchtime 2x .
+	$(GO) test -run '^$$' -bench '^(BenchmarkLot|BenchmarkNetLot|BenchmarkCalibrate|BenchmarkGA)$$' -benchtime 2x .
 	@echo "--- BENCH_lotrun.json"; cat BENCH_lotrun.json
 	@echo "--- BENCH_pipeline.json"; cat BENCH_pipeline.json
+	@echo "--- BENCH_netfloor.json"; cat BENCH_netfloor.json
 
-ci: fmtcheck vet build race
+ci: fmtcheck vet build race netsoak

@@ -1,0 +1,149 @@
+// Distributed-floor benchmark (`make bench`). The same seeded lot is
+// screened serially and by the netfloor coordinator over in-process
+// net.Pipe "sites" at increasing site counts and fault loads; per-device
+// wall time and the wire-level retry counts land in BENCH_netfloor.json.
+// Bins are asserted identical to the serial reference on every
+// configuration — throughput must come from scheduling, never from
+// skipping or double-committing devices.
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netfloor"
+	"repro/internal/parallel"
+)
+
+// benchFarm serves fresh netfloor.Sites over net.Pipe, one per address,
+// optionally injecting transport faults on the coordinator side.
+type benchFarm struct {
+	fix   *lotBench
+	prof  netfloor.FaultProfile
+	ctx   context.Context
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	sites map[string]*netfloor.Site
+	conns int
+}
+
+func (bf *benchFarm) dial(ctx context.Context, addr string) (net.Conn, error) {
+	bf.mu.Lock()
+	s, ok := bf.sites[addr]
+	if !ok {
+		s = &netfloor.Site{
+			Name:              addr,
+			Engine:            bf.fix.engine,
+			Lot:               bf.fix.lot,
+			Faults:            bf.fix.faults,
+			LotSeed:           benchLotSeed,
+			HeartbeatInterval: 10 * time.Millisecond,
+		}
+		bf.sites[addr] = s
+	}
+	k := bf.conns
+	bf.conns++
+	bf.mu.Unlock()
+
+	cli, srv := net.Pipe()
+	bf.wg.Add(1)
+	go func() {
+		defer bf.wg.Done()
+		s.ServeConn(bf.ctx, srv)
+	}()
+	if bf.prof.Zero() {
+		return cli, nil
+	}
+	return netfloor.NewFaultConn(cli, parallel.SubSeed(777, k), bf.prof), nil
+}
+
+// BenchmarkNetLot screens the lot on the distributed floor at 1/2/4 sites,
+// clean and under a drop+duplicate fault load, and writes the results to
+// BENCH_netfloor.json.
+func BenchmarkNetLot(b *testing.B) {
+	f := getLotBench(b)
+	ref, err := f.engine.RunLot(benchLotSeed, f.lot, f.faults)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refBins := lotBins(ref)
+	out := map[string]any{
+		"devices": benchLotDevices,
+		"faultp":  benchLotFaultP,
+		"seed":    benchLotSeed,
+	}
+
+	configs := []struct {
+		name  string
+		sites int
+		prof  netfloor.FaultProfile
+	}{
+		{"sites=1", 1, netfloor.FaultProfile{}},
+		{"sites=2", 2, netfloor.FaultProfile{}},
+		{"sites=4", 4, netfloor.FaultProfile{}},
+		{"sites=4/faulty", 4, netfloor.FaultProfile{DropP: 0.03, DupP: 0.05}},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			var rep *netfloor.Report
+			for i := 0; i < b.N; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				bf := &benchFarm{fix: f, prof: cfg.prof, ctx: ctx, sites: map[string]*netfloor.Site{}}
+				remotes := make([]string, cfg.sites)
+				for s := range remotes {
+					remotes[s] = fmt.Sprintf("pipe-%d", s)
+				}
+				c := &netfloor.Coordinator{Engine: f.engine, Opt: netfloor.Options{
+					Remotes:           remotes,
+					Dialer:            bf.dial,
+					RequestTimeout:    5 * time.Second,
+					HeartbeatInterval: 10 * time.Millisecond,
+					IdleTimeout:       200 * time.Millisecond,
+					RetryBase:         5 * time.Millisecond,
+					RetryMax:          50 * time.Millisecond,
+					NetSeed:           benchLotSeed,
+				}}
+				var err error
+				rep, err = c.Run(ctx, benchLotSeed, f.lot, f.faults)
+				cancel()
+				bf.wg.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			bins := lotBins(rep.Lot)
+			for i := range bins {
+				if bins[i] != refBins[i] {
+					b.Fatalf("device %d binned %v on %s vs %v serially", i, bins[i], cfg.name, refBins[i])
+				}
+			}
+			perDev := float64(b.Elapsed().Nanoseconds()) / float64(b.N*benchLotDevices)
+			b.ReportMetric(perDev, "ns/device")
+			b.ReportMetric(float64(rep.Net.Retries), "retries")
+			key := cfg.name
+			out[key] = map[string]any{
+				"ns_per_device": perDev,
+				"assigns":       rep.Net.Assigns,
+				"retries":       rep.Net.Retries,
+				"reconnects":    rep.Net.Reconnects,
+				"dup_results":   rep.Net.DupResults,
+				"local_devices": rep.Net.LocalDevices,
+			}
+		})
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_netfloor.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

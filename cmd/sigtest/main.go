@@ -13,6 +13,9 @@
 //	sigtest -faults -sites 4         # concurrent multi-site orchestrator
 //	sigtest -faults -journal lot.journal           # crash-safe journal
 //	sigtest -faults -journal lot.journal -resume   # continue a killed lot
+//	sigtest -faults -remote :7101,:7102            # distributed floor:
+//	                                 # screen on networked sitetester
+//	                                 # processes (same flags on each site)
 package main
 
 import (
@@ -20,34 +23,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/floor"
-	"repro/internal/lna"
 	"repro/internal/lotrun"
-	"repro/internal/wave"
+	"repro/internal/netfloor"
+	"repro/internal/rig"
 )
-
-// SpecLimits is the pass/fail window applied at production time.
-type SpecLimits struct {
-	MinGainDB  float64
-	MaxNFDB    float64
-	MinIIP3DBm float64
-}
-
-func limitsFor(dut string) SpecLimits {
-	if dut == "rf2401" {
-		return SpecLimits{MinGainDB: 10.0, MaxNFDB: 4.2, MinIIP3DBm: -9.5}
-	}
-	return SpecLimits{MinGainDB: 14.5, MaxNFDB: 2.7, MinIIP3DBm: 0.0}
-}
-
-func (l SpecLimits) pass(s lna.Specs) bool {
-	return s.GainDB >= l.MinGainDB && s.NFDB <= l.MaxNFDB && s.IIP3DBm >= l.MinIIP3DBm
-}
 
 func main() {
 	dut := flag.String("dut", "lna", "device family: lna (circuit-level) or rf2401 (behavioral)")
@@ -62,6 +45,7 @@ func main() {
 	journal := flag.String("journal", "", "crash-safe lot journal path (with -faults)")
 	resume := flag.Bool("resume", false, "resume an interrupted lot from -journal instead of starting fresh")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the off-line phase (GA fitness, training acquisition, cross-validation); results are identical for any value")
+	remote := flag.String("remote", "", "comma-separated sitetester addresses: screen the lot on the distributed floor (with -faults); each site must run with the same -dut/-seed/-train/-produce/-quick/-faultp")
 	flag.Parse()
 
 	if *faultP < 0 || *faultP > 1 {
@@ -76,47 +60,36 @@ func main() {
 	if *workers < 1 {
 		usageFail("-workers %d is not a pool size; need an integer >= 1", *workers)
 	}
-	if (*sites > 1 || *journal != "" || *resume) && !*withFaults {
-		usageFail("-sites/-journal/-resume orchestrate the fault-tolerant floor; add -faults")
+	if *produce < 1 {
+		usageFail("-produce %d is not a lot size; need an integer >= 1", *produce)
+	}
+	if (*sites > 1 || *journal != "" || *resume || *remote != "") && !*withFaults {
+		usageFail("-sites/-journal/-resume/-remote orchestrate the fault-tolerant floor; add -faults")
+	}
+	if *remote != "" && *sites > 1 {
+		usageFail("-remote and -sites are different floors: remote screening has one site per address")
+	}
+	var remotes []string
+	for _, a := range strings.Split(*remote, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			remotes = append(remotes, a)
+		}
+	}
+	if *remote != "" && len(remotes) == 0 {
+		usageFail("-remote %q names no addresses", *remote)
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	var model core.DeviceModel
-	var cfg *core.TestConfig
-	var spread float64
-	switch *dut {
-	case "lna":
-		model = core.NewLNAModel()
-		cfg = core.DefaultSimConfig()
-		spread = 0.20
-		if *train == 0 {
-			*train = 100
-		}
-	case "rf2401":
-		model = core.RF2401Model{}
-		cfg = core.DefaultHardwareConfig()
-		spread = 0.9
-		if *train == 0 {
-			*train = 28
-		}
-	default:
-		fail("unknown -dut %q", *dut)
-	}
-
-	opt := core.OptimizerOptions{PopSize: 20, Generations: 5, Workers: *workers}
-	if *quick {
-		opt = core.OptimizerOptions{PopSize: 8, Generations: 2, Workers: *workers}
-	}
-	fmt.Printf("[1/4] optimizing stimulus (GA %dx%d, Eq. 10 objective, %d workers)...\n", opt.PopSize, opt.Generations, *workers)
-	res, err := core.OptimizeStimulus(rng, model, cfg, opt)
+	r, err := rig.Build(rig.Params{
+		DUT: *dut, Seed: *seed, Train: *train, Produce: *produce,
+		Quick: *quick, FaultP: *faultP, Workers: *workers,
+	}, logf)
 	if err != nil {
 		fail("%v", err)
 	}
-	fmt.Printf("      objective trace: %v\n", res.Trace)
 	if *stimOut != "" {
 		data, err := json.MarshalIndent(map[string]any{
-			"duration_s": res.Stimulus.Duration,
-			"levels_v":   res.Stimulus.Levels,
+			"duration_s": r.Stim.Duration,
+			"levels_v":   r.Stim.Levels,
 		}, "", "  ")
 		if err != nil {
 			fail("%v", err)
@@ -126,56 +99,22 @@ func main() {
 		}
 		fmt.Printf("      stimulus written to %s\n", *stimOut)
 	}
-
-	fmt.Printf("[2/4] calibrating on %d training devices...\n", *train)
-	trainPop, err := core.GeneratePopulation(rng, model, *train, spread)
-	if err != nil {
-		fail("%v", err)
-	}
-	td, err := core.AcquireTrainingSetSeeded(rng.Int63(), cfg, res.Stimulus, trainPop, func(d *core.Device) lna.Specs { return d.Specs }, *workers)
-	if err != nil {
-		fail("%v", err)
-	}
-	cal, err := core.Calibrate(rng, res.Stimulus, td, core.CalibrationOptions{Workers: *workers})
-	if err != nil {
-		fail("%v", err)
-	}
-	fmt.Printf("      regression per spec: %v\n", cal.Trainers)
-
-	fmt.Println("[3/4] validating on a held-out lot...")
-	valPop, err := core.GeneratePopulation(rng, model, 25, spread)
-	if err != nil {
-		fail("%v", err)
-	}
-	rep, err := core.Validate(rng, cfg, cal, res.Stimulus, valPop)
-	if err != nil {
-		fail("%v", err)
-	}
-	fmt.Print(rep)
+	fmt.Print(r.Validation)
 
 	fmt.Printf("[4/4] production run: %d devices against limits...\n", *produce)
-	limits := limitsFor(*dut)
-	prod, err := core.GeneratePopulation(rng, model, *produce, spread)
-	if err != nil {
-		fail("%v", err)
-	}
 	if *withFaults {
-		runFaultyFloor(floorRun{
-			lotSeed: *seed, cfg: cfg, cal: cal, stim: res.Stimulus, td: td,
-			prod: prod, limits: limits, faultP: *faultP,
-			sites: *sites, journal: *journal, resume: *resume,
-		})
+		runFaultyFloor(r, *sites, *journal, *resume, remotes)
 		return
 	}
 	var pass, escape, overkill int
-	for _, d := range prod {
-		sig, err := cfg.Acquire(d.Behavioral, res.Stimulus, rng)
+	for _, d := range r.Lot {
+		sig, err := r.Cfg.Acquire(d.Behavioral, r.Stim, r.Rng)
 		if err != nil {
 			fail("%v", err)
 		}
-		pred := cal.Predict(sig)
-		predPass := limits.pass(pred)
-		truePass := limits.pass(d.Specs)
+		pred := r.Cal.Predict(sig)
+		predPass := r.Limits.Pass(pred)
+		truePass := r.Limits.Pass(d.Specs)
 		if predPass {
 			pass++
 		}
@@ -188,77 +127,69 @@ func main() {
 	}
 	fmt.Printf("      yield (signature test): %d/%d (%.1f%%)\n", pass, *produce, 100*float64(pass)/float64(*produce))
 	fmt.Printf("      test escapes: %d, overkill: %d\n", escape, overkill)
-	fmt.Printf("      limits: gain >= %.1f dB, NF <= %.1f dB, IIP3 >= %.1f dBm\n",
-		limits.MinGainDB, limits.MaxNFDB, limits.MinIIP3DBm)
-}
-
-// floorRun bundles the fault-tolerant production run's inputs.
-type floorRun struct {
-	lotSeed int64
-	cfg     *core.TestConfig
-	cal     *core.Calibration
-	stim    *wave.PWL
-	td      []core.TrainingDevice
-	prod    []*core.Device
-	limits  SpecLimits
-	faultP  float64
-	sites   int
-	journal string
-	resume  bool
+	printLimits(r.Limits)
 }
 
 // runFaultyFloor screens the production lot on the fault-tolerant floor:
 // seeded fault injection into the acquisition path, signature sanity
 // gating, bounded retests with backoff, and fallback to the conventional
 // spec test for devices that never capture cleanly. With -sites > 1 or a
-// -journal the lot runs under the supervised concurrent orchestrator
-// (multi-site workers, crash-safe journal, circuit breakers, drift
-// watchdog); bins are identical either way.
-func runFaultyFloor(r floorRun) {
-	sigs := make([][]float64, len(r.td))
-	for i := range r.td {
-		sigs[i] = r.td[i].Signature
-	}
-	gate, err := floor.FitGate(sigs, floor.GateOptions{})
-	if err != nil {
-		fail("%v", err)
-	}
-	engine := &floor.Engine{
-		Cfg:      r.cfg,
-		Cal:      r.cal,
-		Stim:     r.stim,
-		Gate:     gate,
-		PredPass: r.limits.pass,
-		TruePass: r.limits.pass,
-		Policy:   floor.DefaultPolicy(),
-	}
+// -journal the lot runs under the supervised concurrent orchestrator;
+// with -remote it runs on the distributed floor across networked
+// sitetester processes. Bins are identical on every floor.
+func runFaultyFloor(r *rig.Rig, sites int, journal string, resume bool, remotes []string) {
 	fmt.Printf("      fault-tolerant floor: %.0f%% per-insertion fault probability, gate with %d components\n",
-		100*r.faultP, gate.Components())
-	faults := floor.DefaultFaultModel(r.faultP)
+		100*r.Params.FaultP, r.Gate.Components())
 
-	if r.sites > 1 || r.journal != "" {
-		o := &lotrun.Orchestrator{Engine: engine, Opt: lotrun.Options{
-			Sites: r.sites, JournalPath: r.journal,
+	switch {
+	case len(remotes) > 0:
+		c := &netfloor.Coordinator{Engine: r.Engine, Opt: netfloor.Options{
+			Remotes:     remotes,
+			JournalPath: journal,
+			NetSeed:     r.Params.Seed,
+			Logf:        logf,
+		}}
+		run := c.Run
+		if resume {
+			run = c.Resume
+		}
+		nrep, err := run(context.Background(), r.Params.Seed, r.Lot, r.Faults)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(nrep.Lot)
+		fmt.Print(nrep)
+	case sites > 1 || journal != "":
+		o := &lotrun.Orchestrator{Engine: r.Engine, Opt: lotrun.Options{
+			Sites: sites, JournalPath: journal,
 		}}
 		run := o.Run
-		if r.resume {
+		if resume {
 			run = o.Resume
 		}
-		orep, err := run(context.Background(), r.lotSeed, r.prod, faults)
+		orep, err := run(context.Background(), r.Params.Seed, r.Lot, r.Faults)
 		if err != nil {
 			fail("%v", err)
 		}
 		fmt.Print(orep.Lot)
 		fmt.Print(orep)
-	} else {
-		rep, err := engine.RunLot(r.lotSeed, r.prod, faults)
+	default:
+		rep, err := r.Engine.RunLot(r.Params.Seed, r.Lot, r.Faults)
 		if err != nil {
 			fail("%v", err)
 		}
 		fmt.Print(rep)
 	}
+	printLimits(r.Limits)
+}
+
+func printLimits(l rig.SpecLimits) {
 	fmt.Printf("      limits: gain >= %.1f dB, NF <= %.1f dB, IIP3 >= %.1f dBm\n",
-		r.limits.MinGainDB, r.limits.MaxNFDB, r.limits.MinIIP3DBm)
+		l.MinGainDB, l.MaxNFDB, l.MinIIP3DBm)
+}
+
+func logf(format string, args ...any) {
+	fmt.Printf(format+"\n", args...)
 }
 
 func usageFail(format string, args ...any) {

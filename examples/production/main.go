@@ -22,6 +22,12 @@
 // lot's bins are bit-identical to an uninterrupted serial run, because
 // every device's randomness derives from (lot seed, device index) alone.
 //
+// Finally the same lot is screened on the distributed floor: the
+// coordinator drives in-process netfloor sites over net.Pipe connections
+// whose transport drops, duplicates and partitions messages — and the
+// bins still come out identical, because delivery is at-least-once and
+// commit is exactly-once.
+//
 //	go run ./examples/production [-n 60] [-faultp 0.10] [-sites 4]
 package main
 
@@ -31,15 +37,19 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ate"
 	"repro/internal/core"
 	"repro/internal/floor"
 	"repro/internal/lna"
 	"repro/internal/lotrun"
+	"repro/internal/netfloor"
 )
 
 type limits struct {
@@ -55,6 +65,16 @@ func main() {
 	faultP := flag.Float64("faultp", 0.10, "total per-insertion fault probability")
 	sites := flag.Int("sites", 4, "concurrent tester sites")
 	flag.Parse()
+
+	if *n < 1 {
+		usageFail("-n %d is not a lot size; need an integer >= 1", *n)
+	}
+	if *faultP < 0 || *faultP > 1 {
+		usageFail("-faultp %g is not a probability; need a value in [0, 1]", *faultP)
+	}
+	if *sites < 1 {
+		usageFail("-sites %d is not a tester count; need an integer >= 1", *sites)
+	}
 
 	rng := rand.New(rand.NewSource(7))
 	model := core.NewLNAModel()
@@ -194,6 +214,62 @@ func main() {
 	}
 	fmt.Printf("resumed %d-site bins == uninterrupted serial bins: %v\n\n", *sites, identical)
 
+	// Distributed floor: the same lot screened across networked tester
+	// sites — here in-process over net.Pipe, with the transport injecting
+	// drops, duplicates and a mid-lot partition. Exactly-once commit and
+	// the per-device determinism keep the bins identical anyway.
+	fmt.Printf("== distributed floor: %d remote sites over a faulty transport ==\n", *sites)
+	netCtx, netStop := context.WithCancel(context.Background())
+	defer netStop()
+	var farmWG sync.WaitGroup
+	farm := make(map[string]*netfloor.Site, *sites)
+	remotes := make([]string, *sites)
+	for s := range remotes {
+		addr := fmt.Sprintf("pipe-%d", s)
+		remotes[s] = addr
+		farm[addr] = &netfloor.Site{
+			Name: addr, Engine: engine, Lot: lot, Faults: faults,
+			LotSeed: lotSeed, HeartbeatInterval: 20 * time.Millisecond,
+		}
+	}
+	var farmMu sync.Mutex
+	pipeDialer := func(ctx context.Context, addr string) (net.Conn, error) {
+		farmMu.Lock()
+		site := farm[addr]
+		farmMu.Unlock()
+		cli, srv := net.Pipe()
+		farmWG.Add(1)
+		go func() {
+			defer farmWG.Done()
+			site.ServeConn(netCtx, srv)
+		}()
+		return cli, nil
+	}
+	prof := netfloor.FaultProfile{DropP: 0.02, DupP: 0.05, PartitionAfter: 40}
+	coord := &netfloor.Coordinator{Engine: engine, Opt: netfloor.Options{
+		Remotes:           remotes,
+		Dialer:            netfloor.FaultyDialer(pipeDialer, lotSeed, prof),
+		RequestTimeout:    5 * time.Second,
+		HeartbeatInterval: 20 * time.Millisecond,
+		IdleTimeout:       200 * time.Millisecond,
+		RetryBase:         10 * time.Millisecond,
+		NetSeed:           lotSeed,
+	}}
+	netRep, err := coord.Run(context.Background(), lotSeed, lot, faults)
+	netStop()
+	farmWG.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(netRep)
+	netIdentical := true
+	for i := range serial.Results {
+		if serial.Results[i].Bin != netRep.Lot.Results[i].Bin {
+			netIdentical = false
+		}
+	}
+	fmt.Printf("distributed bins == uninterrupted serial bins: %v\n\n", netIdentical)
+
 	// Floor economics, charged for the retest/fallback load the gated flow
 	// actually incurred plus the orchestrator's journal-sync overhead.
 	fmt.Println("== test floor economics (under fault load) ==")
@@ -213,4 +289,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("cost per device    : %.0fx cheaper with the signature tester\n", factor)
+}
+
+func usageFail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "production: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -22,6 +22,12 @@ type RetestLoad struct {
 	// (modeled per record, so serial, concurrent and resumed lots charge
 	// identically); 0 when journaling is off.
 	JournalS float64
+	// NetworkS is the modeled wire time of a distributed floor: one RPC
+	// round-trip per device assignment plus every retry forced by a
+	// timeout, reconnect or reassignment. Modeled (per-request constant ×
+	// request count) rather than measured, like JournalS, so the economics
+	// stay comparable across runs; 0 on a single-process floor.
+	NetworkS float64
 }
 
 // Validate checks the load for internal consistency.
@@ -44,6 +50,9 @@ func (l RetestLoad) Validate() error {
 	if l.JournalS < 0 {
 		return fmt.Errorf("ate: negative journal time %g", l.JournalS)
 	}
+	if l.NetworkS < 0 {
+		return fmt.Errorf("ate: negative network time %g", l.NetworkS)
+	}
 	return nil
 }
 
@@ -52,9 +61,10 @@ func (l RetestLoad) Validate() error {
 // pays the full signature insertion plus handler index time, backoff
 // settle is added on top, fallback devices additionally pay the whole
 // conventional suite (they were already inserted on the signature tester),
-// and the orchestrator overheads — site quarantine and journal fsyncs —
-// are amortized over the lot so the cost comparison stays honest about
-// what crash recovery and circuit breaking actually cost.
+// and the orchestrator overheads — site quarantine, journal fsyncs and
+// distributed-floor wire time — are amortized over the lot so the cost
+// comparison stays honest about what crash recovery, circuit breaking and
+// networking actually cost.
 func EffectiveSignatureS(sig *SignatureTester, conv []SpecTest, handlerS float64, l RetestLoad) (float64, error) {
 	if err := l.Validate(); err != nil {
 		return 0, err
@@ -62,7 +72,7 @@ func EffectiveSignatureS(sig *SignatureTester, conv []SpecTest, handlerS float64
 	total := float64(l.Insertions)*(sig.InsertionS()+handlerS) +
 		l.ExtraSettleS +
 		float64(l.FallbackDevices)*(SuiteDuration(conv)+handlerS) +
-		l.QuarantineS + l.JournalS
+		l.QuarantineS + l.JournalS + l.NetworkS
 	return total / float64(l.Devices), nil
 }
 

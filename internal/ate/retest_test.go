@@ -37,6 +37,7 @@ func TestRetestLoadValidation(t *testing.T) {
 		{Devices: 10, Insertions: 10, FallbackDevices: -1},
 		{Devices: 10, Insertions: 10, QuarantineS: -0.1},
 		{Devices: 10, Insertions: 10, JournalS: -1e-9},
+		{Devices: 10, Insertions: 10, NetworkS: -1e-9},
 	}
 	for i, l := range bad {
 		if err := l.Validate(); err == nil {
@@ -90,6 +91,18 @@ func TestEffectiveSignatureTimeUnderLoad(t *testing.T) {
 	}
 	if want := loadedS + (2.0+0.05)/100; math.Abs(orchS-want) > 1e-12 {
 		t.Fatalf("orchestrated per-device time %g, want %g", orchS, want)
+	}
+
+	// The distributed floor's wire time amortizes the same way: one RPC per
+	// assignment (here 130 requests at 2 ms) on top of everything else.
+	dist := orch
+	dist.NetworkS = 130 * 2e-3
+	distS, err := EffectiveSignatureS(sig, suite, handler, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := orchS + 0.26/100; math.Abs(distS-want) > 1e-12 {
+		t.Fatalf("distributed per-device time %g, want %g", distS, want)
 	}
 
 	cmp, err := CompareTestTimeUnderLoad(suite, sig, handler, loaded)

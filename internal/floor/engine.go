@@ -2,7 +2,9 @@ package floor
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -136,6 +138,59 @@ func (e *Engine) Validate() error {
 		return fmt.Errorf("floor: engine needs PredPass and TruePass limit functions")
 	}
 	return nil
+}
+
+// Fingerprint hashes the engine's screening-relevant configuration —
+// retest policy, board capture geometry, calibration trainers and their
+// cross-validation errors, and the gate's thresholds and training
+// statistics — into one FNV-1a value. Two processes that rebuilt the same
+// engineering phase (same seed, same flags) get the same fingerprint, so
+// a distributed test floor can refuse to pair a coordinator with a site
+// that was calibrated differently: matching (lot seed, device index)
+// streams are not enough if the regression maps disagree.
+func (e *Engine) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	putI := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	pol := e.Policy
+	pol.defaults()
+	putI(pol.MaxRetests)
+	putF(pol.SettleBaseS)
+	putF(pol.BackoffFactor)
+	putF(pol.HandlerS)
+	if e.Cfg != nil {
+		putI(e.Cfg.Board.CaptureN)
+		putF(e.Cfg.Board.DigitizerFs)
+	}
+	if e.Cal != nil {
+		for i, tr := range e.Cal.Trainers {
+			h.Write([]byte(tr))
+			putF(e.Cal.CVRMS[i])
+		}
+	}
+	if e.Gate == nil {
+		h.Write([]byte("ungated"))
+	} else {
+		g := e.Gate
+		putI(g.Components())
+		putF(g.SuspectD)
+		putF(g.InvalidD)
+		putF(g.SuspectRes)
+		putF(g.InvalidRes)
+		putF(g.TrainMeanD)
+		putF(g.TrainSigmaD)
+		for _, m := range g.Mean {
+			putF(m)
+		}
+	}
+	return h.Sum64()
 }
 
 // MaxAttempts is the per-device insertion budget under the engine's policy:

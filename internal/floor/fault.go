@@ -133,7 +133,6 @@ func DefaultFaultModel(pTotal float64) *FaultModel {
 
 // Validate checks the probability table.
 func (m *FaultModel) Validate() error {
-	total := 0.0
 	for k, p := range m.P {
 		if k <= FaultNone || k >= numFaultKinds {
 			return fmt.Errorf("floor: probability assigned to invalid fault kind %d", int(k))
@@ -141,19 +140,21 @@ func (m *FaultModel) Validate() error {
 		if p < 0 || p > 1 {
 			return fmt.Errorf("floor: fault probability %g for %s outside [0,1]", p, k)
 		}
-		total += p
 	}
-	if total > 1 {
+	if total := m.TotalP(); total > 1 {
 		return fmt.Errorf("floor: total fault probability %g exceeds 1", total)
 	}
 	return nil
 }
 
-// TotalP returns the per-insertion probability of any fault.
+// TotalP returns the per-insertion probability of any fault. The sum runs
+// in FaultKinds() order, not map order: the total identifies the lot in
+// the crash-recovery journal and the distributed-floor handshake, so two
+// processes summing the same table must get the bit-identical float.
 func (m *FaultModel) TotalP() float64 {
 	total := 0.0
-	for _, p := range m.P {
-		total += p
+	for _, k := range FaultKinds() {
+		total += m.P[k]
 	}
 	return total
 }

@@ -78,9 +78,11 @@ type TripEvent struct {
 	QuarantineS float64
 }
 
-// breaker is one site's circuit breaker. It is owned by a single worker
-// goroutine; the orchestrator collects its stats after the workers join.
-type breaker struct {
+// Breaker is one site's circuit breaker. It is owned by a single worker
+// goroutine (the in-process orchestrator's site worker, or the
+// distributed coordinator's per-remote loop); the orchestrator collects
+// its stats after the workers join.
+type Breaker struct {
 	cfg         BreakerConfig
 	state       breakerState
 	consecutive int     // current gated-out insertion run
@@ -90,13 +92,14 @@ type breaker struct {
 	events      []TripEvent
 }
 
-func newBreaker(cfg BreakerConfig) *breaker {
+// NewBreaker builds a breaker with the config's defaults applied.
+func NewBreaker(cfg BreakerConfig) *Breaker {
 	cfg.defaults()
-	return &breaker{cfg: cfg}
+	return &Breaker{cfg: cfg}
 }
 
 // backoff is the modeled quarantine for the current open period.
-func (b *breaker) backoff() float64 {
+func (b *Breaker) backoff() float64 {
 	q := b.cfg.ProbeBackoffS
 	for i := 0; i < b.failedOpens-1; i++ {
 		q *= b.cfg.BackoffFactor
@@ -107,10 +110,10 @@ func (b *breaker) backoff() float64 {
 	return q
 }
 
-// beginProbe transitions open -> half-open, charging the quarantine
+// BeginProbe transitions open -> half-open, charging the quarantine
 // backoff. The worker calls it before pulling the next device; the device
 // it then screens is the probe insertion.
-func (b *breaker) beginProbe() float64 {
+func (b *Breaker) BeginProbe() float64 {
 	if b.state != stateOpen {
 		return 0
 	}
@@ -120,12 +123,12 @@ func (b *breaker) beginProbe() float64 {
 	return q
 }
 
-// record folds one device outcome into the state machine. Each insertion
+// Record folds one device outcome into the state machine. Each insertion
 // verdict counts individually: CLEAN resets the gated-out run, anything
 // else extends it; a supervision fault (panic, deadline) counts as one
 // more failure. Returns true if this outcome tripped (or re-tripped) the
 // breaker.
-func (b *breaker) record(res floor.DeviceResult) bool {
+func (b *Breaker) Record(res floor.DeviceResult) bool {
 	for _, v := range res.Verdicts {
 		if v == floor.VerdictClean {
 			b.consecutive = 0
@@ -171,3 +174,16 @@ func (b *breaker) record(res floor.DeviceResult) bool {
 	}
 	return false
 }
+
+// Open reports whether the site is quarantined (waiting out the backoff);
+// the worker must BeginProbe before screening its next device.
+func (b *Breaker) Open() bool { return b.state == stateOpen }
+
+// TotalTrips returns how many times the breaker has tripped.
+func (b *Breaker) TotalTrips() int { return b.trips }
+
+// QuarantineTotalS returns the total modeled quarantine charged.
+func (b *Breaker) QuarantineTotalS() float64 { return b.quarantineS }
+
+// Events returns every trip recorded so far.
+func (b *Breaker) Events() []TripEvent { return b.events }

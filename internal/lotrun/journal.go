@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -17,16 +18,33 @@ import (
 // committed device. Because every device's randomness derives from
 // (lot seed, index), re-screening an uncommitted device on resume
 // reproduces exactly the result the killed run was about to write.
-const journalVersion = 1
+//
+// Each line written today is a CRC envelope `{"crc":C,"rec":R}` where C is
+// the IEEE CRC32 of the raw bytes of R: a torn or scribbled-over write
+// that still happens to parse as JSON (a flipped digit inside a float, a
+// partial overwrite landing on a syntactically valid prefix) is detected
+// by the checksum instead of being silently committed. The reader stays
+// tolerant of legacy CRC-less lines, which carry the record directly.
+//
+// The journal is shared infrastructure: the in-process orchestrator
+// (Orchestrator) and the distributed coordinator (internal/netfloor)
+// commit through the same exported API, so a lot started locally can even
+// be resumed distributed — the journal only speaks (lot identity,
+// DeviceResult).
+const JournalVersion = 1
 
-// journalHeader is the first line of a lot journal: enough identity to
+// JournalHeader is the first line of a lot journal: enough identity to
 // refuse resuming the wrong lot.
-type journalHeader struct {
+type JournalHeader struct {
 	Type    string  `json:"type"` // "header"
 	Version int     `json:"version"`
 	LotSeed int64   `json:"lot_seed"`
 	Devices int     `json:"devices"`
 	FaultP  float64 `json:"fault_p"` // total per-insertion fault probability
+	// Fingerprint is the screening engine's floor.Engine.Fingerprint —
+	// calibration, gate and policy identity. 0 on legacy journals (then
+	// the check is skipped on resume).
+	Fingerprint uint64 `json:"fingerprint,omitempty"`
 }
 
 // journalRecord is one committed device line.
@@ -35,32 +53,39 @@ type journalRecord struct {
 	Result floor.DeviceResult `json:"result"`
 }
 
+// crcEnvelope wraps every written line: Crc is the IEEE CRC32 of the raw
+// Rec bytes.
+type crcEnvelope struct {
+	Crc *uint32         `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
 // ReplayStats summarizes what journal replay found.
 type ReplayStats struct {
 	// Records is the number of valid device records replayed.
 	Records int
 	// Corrupt counts unparseable or invalid lines skipped (a truncated
-	// tail from a crash mid-write lands here).
+	// tail from a crash mid-write, or a CRC mismatch, lands here).
 	Corrupt int
 	// Duplicates counts device indices journaled more than once; the
 	// first committed record wins, so a device is never double-counted.
 	Duplicates int
 }
 
-// journal is the append side. Writes go through a single collector
+// Journal is the append side. Writes go through a single collector
 // goroutine, so no locking is needed here.
-type journal struct {
+type Journal struct {
 	f *os.File
 }
 
-// createJournal starts a fresh journal (truncating any previous file) and
+// CreateJournal starts a fresh journal (truncating any previous file) and
 // commits the header.
-func createJournal(path string, hdr journalHeader) (*journal, error) {
+func CreateJournal(path string, hdr JournalHeader) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("lotrun: create journal: %w", err)
 	}
-	j := &journal{f: f}
+	j := &Journal{f: f}
 	if err := j.writeLine(hdr); err != nil {
 		f.Close()
 		return nil, err
@@ -68,10 +93,15 @@ func createJournal(path string, hdr journalHeader) (*journal, error) {
 	return j, nil
 }
 
-func (j *journal) writeLine(v any) error {
-	data, err := json.Marshal(v)
+func (j *Journal) writeLine(v any) error {
+	rec, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("lotrun: journal marshal: %w", err)
+	}
+	crc := crc32.ChecksumIEEE(rec)
+	data, err := json.Marshal(crcEnvelope{Crc: &crc, Rec: rec})
+	if err != nil {
+		return fmt.Errorf("lotrun: journal envelope: %w", err)
 	}
 	if _, err := j.f.Write(append(data, '\n')); err != nil {
 		return fmt.Errorf("lotrun: journal write: %w", err)
@@ -84,12 +114,13 @@ func (j *journal) writeLine(v any) error {
 	return nil
 }
 
-// commit appends one device result.
-func (j *journal) commit(res floor.DeviceResult) error {
+// Commit appends one device result.
+func (j *Journal) Commit(res floor.DeviceResult) error {
 	return j.writeLine(journalRecord{Type: "device", Result: res})
 }
 
-func (j *journal) close() error { return j.f.Close() }
+// Close closes the underlying file (committed records are already synced).
+func (j *Journal) Close() error { return j.f.Close() }
 
 // validResult rejects records whose payload cannot be a committed device:
 // replaying them would corrupt the lot accounting.
@@ -99,13 +130,28 @@ func validResult(res floor.DeviceResult, devices int) bool {
 		res.Bin >= floor.BinPass && res.Bin <= floor.BinFallback
 }
 
-// replayJournal reads a journal tolerantly: garbage lines and a truncated
-// last line are skipped (counted in stats.Corrupt), duplicate device
-// indices keep the first committed record, and the returned offset is the
-// end of the last valid line — the point a resumed journal truncates to
-// before appending, so a torn tail can never corrupt later records.
-func replayJournal(path string) (journalHeader, map[int]floor.DeviceResult, int64, ReplayStats, error) {
-	var hdr journalHeader
+// unwrapLine returns the record payload of one journal line: the CRC
+// envelope's Rec when the checksum verifies, the line itself for legacy
+// CRC-less journals, and nil when the line is corrupt.
+func unwrapLine(line []byte) []byte {
+	var env crcEnvelope
+	if json.Unmarshal(line, &env) == nil && env.Rec != nil {
+		if env.Crc == nil || crc32.ChecksumIEEE(env.Rec) != *env.Crc {
+			return nil
+		}
+		return env.Rec
+	}
+	return line
+}
+
+// ReplayJournal reads a journal tolerantly: garbage lines, CRC-mismatched
+// lines and a truncated last line are skipped (counted in stats.Corrupt),
+// duplicate device indices keep the first committed record, and the
+// returned offset is the end of the last valid line — the point a resumed
+// journal truncates to before appending, so a torn tail can never corrupt
+// later records.
+func ReplayJournal(path string) (JournalHeader, map[int]floor.DeviceResult, int64, ReplayStats, error) {
+	var hdr JournalHeader
 	var stats ReplayStats
 	results := make(map[int]floor.DeviceResult)
 
@@ -123,26 +169,28 @@ func replayJournal(path string) (journalHeader, map[int]floor.DeviceResult, int6
 		offset += int64(len(line))
 		if len(line) > 0 {
 			ok := false
-			if !haveHeader {
-				// The header must be the first valid line.
-				var h journalHeader
-				if json.Unmarshal(line, &h) == nil && h.Type == "header" &&
-					h.Version == journalVersion && h.Devices > 0 {
-					hdr = h
-					haveHeader = true
-					ok = true
-				}
-			} else {
-				var rec journalRecord
-				if json.Unmarshal(line, &rec) == nil && rec.Type == "device" &&
-					validResult(rec.Result, hdr.Devices) {
-					if _, dup := results[rec.Result.Index]; dup {
-						stats.Duplicates++
-					} else {
-						results[rec.Result.Index] = rec.Result
-						stats.Records++
+			if rec := unwrapLine(line); rec != nil {
+				if !haveHeader {
+					// The header must be the first valid line.
+					var h JournalHeader
+					if json.Unmarshal(rec, &h) == nil && h.Type == "header" &&
+						h.Version == JournalVersion && h.Devices > 0 {
+						hdr = h
+						haveHeader = true
+						ok = true
 					}
-					ok = true
+				} else {
+					var jr journalRecord
+					if json.Unmarshal(rec, &jr) == nil && jr.Type == "device" &&
+						validResult(jr.Result, hdr.Devices) {
+						if _, dup := results[jr.Result.Index]; dup {
+							stats.Duplicates++
+						} else {
+							results[jr.Result.Index] = jr.Result
+							stats.Records++
+						}
+						ok = true
+					}
 				}
 			}
 			if ok {
@@ -164,9 +212,9 @@ func replayJournal(path string) (journalHeader, map[int]floor.DeviceResult, int6
 	return hdr, results, validEnd, stats, nil
 }
 
-// resumeJournal reopens a journal for appending, truncated to the end of
+// ResumeJournal reopens a journal for appending, truncated to the end of
 // its last valid line so new records always start on a fresh line.
-func resumeJournal(path string, validEnd int64) (*journal, error) {
+func ResumeJournal(path string, validEnd int64) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("lotrun: reopen journal: %w", err)
@@ -179,5 +227,5 @@ func resumeJournal(path string, validEnd int64) (*journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("lotrun: seek journal: %w", err)
 	}
-	return &journal{f: f}, nil
+	return &Journal{f: f}, nil
 }

@@ -22,15 +22,15 @@ func mkResult(index int, bin floor.Bin) floor.DeviceResult {
 
 func writeTestJournal(t *testing.T, path string, n int) {
 	t.Helper()
-	j, err := createJournal(path, journalHeader{
-		Type: "header", Version: journalVersion, LotSeed: 9, Devices: 100, FaultP: 0.1,
+	j, err := CreateJournal(path, JournalHeader{
+		Type: "header", Version: JournalVersion, LotSeed: 9, Devices: 100, FaultP: 0.1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer j.close()
+	defer j.Close()
 	for i := 0; i < n; i++ {
-		if err := j.commit(mkResult(i, floor.BinPass)); err != nil {
+		if err := j.Commit(mkResult(i, floor.BinPass)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -41,7 +41,7 @@ func writeTestJournal(t *testing.T, path string, n int) {
 func TestJournalRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "lot.journal")
 	writeTestJournal(t, path, 5)
-	hdr, results, _, stats, err := replayJournal(path)
+	hdr, results, _, stats, err := ReplayJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestJournalTruncatedTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	hdr, results, validEnd, stats, err := replayJournal(path)
+	hdr, results, validEnd, stats, err := ReplayJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,15 +93,15 @@ func TestJournalTruncatedTail(t *testing.T) {
 	}
 
 	// Resume truncates the torn tail and appends cleanly.
-	j, err := resumeJournal(path, validEnd)
+	j, err := ResumeJournal(path, validEnd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.commit(mkResult(3, floor.BinFail)); err != nil {
+	if err := j.Commit(mkResult(3, floor.BinFail)); err != nil {
 		t.Fatal(err)
 	}
-	j.close()
-	_, results, _, stats, err = replayJournal(path)
+	j.Close()
+	_, results, _, stats, err = ReplayJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,8 +127,8 @@ func TestJournalGarbageAndDuplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	j, err := resumeJournal(path, func() int64 {
-		_, _, end, _, err := replayJournal(path)
+	j, err := ResumeJournal(path, func() int64 {
+		_, _, end, _, err := ReplayJournal(path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,15 +138,15 @@ func TestJournalGarbageAndDuplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Duplicate of device 1 with a different bin, then a fresh device 2.
-	if err := j.commit(mkResult(1, floor.BinFail)); err != nil {
+	if err := j.Commit(mkResult(1, floor.BinFail)); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.commit(mkResult(2, floor.BinFallback)); err != nil {
+	if err := j.Commit(mkResult(2, floor.BinFallback)); err != nil {
 		t.Fatal(err)
 	}
-	j.close()
+	j.Close()
 
-	_, results, _, stats, err := replayJournal(path)
+	_, results, _, stats, err := ReplayJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,8 +169,8 @@ func TestJournalGarbageAndDuplicates(t *testing.T) {
 // treated as corruption, not replayed.
 func TestJournalRejectsInvalidRecords(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "lot.journal")
-	j, err := createJournal(path, journalHeader{
-		Type: "header", Version: journalVersion, LotSeed: 1, Devices: 3, FaultP: 0,
+	j, err := CreateJournal(path, JournalHeader{
+		Type: "header", Version: JournalVersion, LotSeed: 1, Devices: 3, FaultP: 0,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -182,15 +182,15 @@ func TestJournalRejectsInvalidRecords(t *testing.T) {
 		{Index: 1, Insertions: 1, Bin: 9}, // bogus bin
 	}
 	for _, r := range bad {
-		if err := j.commit(r); err != nil {
+		if err := j.Commit(r); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := j.commit(mkResult(2, floor.BinPass)); err != nil {
+	if err := j.Commit(mkResult(2, floor.BinPass)); err != nil {
 		t.Fatal(err)
 	}
-	j.close()
-	_, results, _, stats, err := replayJournal(path)
+	j.Close()
+	_, results, _, stats, err := ReplayJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,10 +209,10 @@ func TestJournalNoHeader(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not a journal\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, _, err := replayJournal(path); err == nil {
+	if _, _, _, _, err := ReplayJournal(path); err == nil {
 		t.Fatal("headerless journal must be refused")
 	}
-	if _, _, _, _, err := replayJournal(filepath.Join(t.TempDir(), "missing")); err == nil {
+	if _, _, _, _, err := ReplayJournal(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("missing journal must be refused")
 	}
 }

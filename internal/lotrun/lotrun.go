@@ -206,7 +206,7 @@ func (h *engineHolder) swap(e *floor.Engine, wd *Watchdog) {
 // siteState is one worker's breaker and counters; owned by the worker
 // goroutine, read by the orchestrator after the workers join.
 type siteState struct {
-	br         *breaker
+	br         *Breaker
 	devices    int
 	insertions int
 }
@@ -242,12 +242,12 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 	results := make([]*floor.DeviceResult, len(lot))
 
 	// Journal setup: fresh on Run, replay + append on Resume.
-	var jr *journal
+	var jr *Journal
 	if resume {
 		if opt.JournalPath == "" {
 			return nil, fmt.Errorf("lotrun: resume needs Options.JournalPath")
 		}
-		hdr, done, validEnd, stats, err := replayJournal(opt.JournalPath)
+		hdr, done, validEnd, stats, err := ReplayJournal(opt.JournalPath)
 		if err != nil {
 			return nil, err
 		}
@@ -255,27 +255,32 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 			return nil, fmt.Errorf("lotrun: journal is for a different lot (seed %d devices %d faultp %g; resuming seed %d devices %d faultp %g)",
 				hdr.LotSeed, hdr.Devices, hdr.FaultP, lotSeed, len(lot), faultP)
 		}
+		if hdr.Fingerprint != 0 && hdr.Fingerprint != o.Engine.Fingerprint() {
+			return nil, fmt.Errorf("lotrun: journal was written by a differently calibrated engine (fingerprint %x, resuming %x)",
+				hdr.Fingerprint, o.Engine.Fingerprint())
+		}
 		for i, res := range done {
 			res := res
 			results[i] = &res
 		}
 		rep.Replayed = stats.Records
 		rep.Replay = stats
-		if jr, err = resumeJournal(opt.JournalPath, validEnd); err != nil {
+		if jr, err = ResumeJournal(opt.JournalPath, validEnd); err != nil {
 			return nil, err
 		}
 	} else if opt.JournalPath != "" {
 		var err error
-		jr, err = createJournal(opt.JournalPath, journalHeader{
-			Type: "header", Version: journalVersion,
+		jr, err = CreateJournal(opt.JournalPath, JournalHeader{
+			Type: "header", Version: JournalVersion,
 			LotSeed: lotSeed, Devices: len(lot), FaultP: faultP,
+			Fingerprint: o.Engine.Fingerprint(),
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
 	if jr != nil {
-		defer jr.close()
+		defer jr.Close()
 	}
 
 	holder := &engineHolder{cur: o.Engine}
@@ -292,7 +297,7 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 
 	sites := make([]*siteState, opt.Sites)
 	for s := range sites {
-		sites[s] = &siteState{br: newBreaker(opt.Breaker)}
+		sites[s] = &siteState{br: NewBreaker(opt.Breaker)}
 	}
 
 	if len(pending) > 0 {
@@ -328,7 +333,7 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 		for res := range out {
 			res := res
 			if jr != nil && journalErr == nil {
-				if journalErr = jr.commit(res); journalErr != nil {
+				if journalErr = jr.Commit(res); journalErr != nil {
 					// The crash-safety contract is broken: stop taking new
 					// devices (committed ones remain resumable).
 					cancel()
@@ -419,7 +424,7 @@ func (o *Orchestrator) worker(ctx context.Context, site int, st *siteState, hold
 			return
 		}
 		if st.br.state == stateOpen {
-			q := st.br.beginProbe()
+			q := st.br.BeginProbe()
 			if scale := o.Opt.QuarantineSleepScale; scale > 0 && q > 0 {
 				select {
 				case <-time.After(time.Duration(q * scale * float64(time.Second))):
@@ -437,7 +442,7 @@ func (o *Orchestrator) worker(ctx context.Context, site int, st *siteState, hold
 		}
 		st.devices++
 		st.insertions += res.Insertions
-		st.br.record(res)
+		st.br.Record(res)
 		select {
 		case out <- res:
 		case <-ctx.Done():

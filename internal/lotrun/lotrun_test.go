@@ -372,28 +372,28 @@ func TestBreakerQuarantinesFailingSite(t *testing.T) {
 // TestBreakerStateMachine unit-tests the closed -> open -> half-open
 // transitions directly.
 func TestBreakerStateMachine(t *testing.T) {
-	br := newBreaker(BreakerConfig{TripConsecutive: 2, ProbeBackoffS: 1, BackoffFactor: 2, MaxBackoffS: 4})
+	br := NewBreaker(BreakerConfig{TripConsecutive: 2, ProbeBackoffS: 1, BackoffFactor: 2, MaxBackoffS: 4})
 	gated := floor.DeviceResult{Verdicts: []floor.Verdict{floor.VerdictInvalid, floor.VerdictInvalid}}
 	clean := floor.DeviceResult{Verdicts: []floor.Verdict{floor.VerdictClean}}
 
-	if br.record(clean); br.state != stateClosed {
+	if br.Record(clean); br.state != stateClosed {
 		t.Fatalf("clean outcome moved state to %v", br.state)
 	}
-	if !br.record(gated) || br.state != stateOpen {
+	if !br.Record(gated) || br.state != stateOpen {
 		t.Fatalf("2 consecutive gated verdicts must trip; state %v", br.state)
 	}
-	if q := br.beginProbe(); q != 1 || br.state != stateHalfOpen {
+	if q := br.BeginProbe(); q != 1 || br.state != stateHalfOpen {
 		t.Fatalf("first probe backoff %g state %v", q, br.state)
 	}
 	// Failed probe: re-open with doubled backoff.
-	if !br.record(gated) || br.state != stateOpen {
+	if !br.Record(gated) || br.state != stateOpen {
 		t.Fatalf("failed probe must re-open; state %v", br.state)
 	}
-	if q := br.beginProbe(); q != 2 {
+	if q := br.BeginProbe(); q != 2 {
 		t.Fatalf("second backoff %g, want 2", q)
 	}
 	// Successful probe closes and resets the backoff history.
-	if br.record(clean); br.state != stateClosed || br.failedOpens != 0 {
+	if br.Record(clean); br.state != stateClosed || br.failedOpens != 0 {
 		t.Fatalf("clean probe must close; state %v failedOpens %d", br.state, br.failedOpens)
 	}
 	if br.trips != 2 {

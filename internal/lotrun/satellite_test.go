@@ -1,0 +1,214 @@
+package lotrun
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floor"
+)
+
+// TestJournalCRCDetectsBitFlip: a flipped digit inside a committed record
+// leaves the line perfectly valid JSON — only the CRC envelope catches it.
+// The tampered record must be skipped as corrupt, not silently replayed
+// with the wrong value.
+func TestJournalCRCDetectsBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lot.journal")
+	writeTestJournal(t, path, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one digit of device 1's predicted gain (12.25 -> 12.35). The
+	// line still parses; only the checksum knows.
+	lines := bytes.Split(data, []byte("\n"))
+	tampered := false
+	for i, ln := range lines {
+		if bytes.Contains(ln, []byte(`"Index":1,`)) {
+			lines[i] = bytes.Replace(ln, []byte("12.25"), []byte("12.35"), 1)
+			tampered = !bytes.Equal(lines[i], ln)
+		}
+	}
+	if !tampered {
+		t.Fatal("test fixture drifted: device 1's record no longer carries 12.25")
+	}
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, results, _, stats, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 2 || stats.Corrupt != 1 {
+		t.Fatalf("stats %+v, want 2 records 1 corrupt", stats)
+	}
+	if _, ok := results[1]; ok {
+		t.Fatal("the bit-flipped record replayed instead of being caught by its CRC")
+	}
+	for _, i := range []int{0, 2} {
+		if got := results[i]; got.Pred != mkResult(i, floor.BinPass).Pred {
+			t.Fatalf("untampered record %d mangled: %+v", i, got)
+		}
+	}
+}
+
+// TestJournalLegacyCRCLessAccepted: journals written before the CRC
+// envelope carry records directly on each line; the reader must replay
+// them, and a resumed journal may append CRC'd lines after them.
+func TestJournalLegacyCRCLessAccepted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lot.journal")
+	legacy := `{"type":"header","version":1,"lot_seed":9,"devices":100,"fault_p":0.1}
+{"type":"device","result":{"Index":0,"Bin":0,"Insertions":1,"CleanD":0.5,"TruePass":true}}
+`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hdr, results, validEnd, stats, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.LotSeed != 9 || hdr.Fingerprint != 0 {
+		t.Fatalf("legacy header mangled: %+v", hdr)
+	}
+	if stats.Records != 1 || stats.Corrupt != 0 {
+		t.Fatalf("legacy stats %+v, want 1 record 0 corrupt", stats)
+	}
+	if results[0].CleanD != 0.5 {
+		t.Fatalf("legacy record mangled: %+v", results[0])
+	}
+
+	// Mixed journal: CRC'd records appended after legacy lines.
+	j, err := ResumeJournal(path, validEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(mkResult(1, floor.BinFail)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, results, _, stats, err = ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 2 || results[1].Bin != floor.BinFail {
+		t.Fatalf("mixed journal: stats %+v results[1] %+v", stats, results[1])
+	}
+}
+
+// TestBreakerHalfOpenRecoveryConcurrent: with every early device panicking,
+// all four sites trip, quarantine (with real sleep so open breakers overlap
+// concurrent probes), fail their half-open probes on more early devices,
+// and finally close when the healthy tail of the lot arrives. The lot must
+// complete, the backoff growth must show failed probes happened, and every
+// post-recovery device must match the hook-free reference bit for bit.
+func TestBreakerHalfOpenRecoveryConcurrent(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 48)
+	const seed = 17
+	const victims = 24 // devices [0, victims) panic on the tester
+
+	ref, err := f.engine().RunLot(seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := BreakerConfig{TripConsecutive: 2, ProbeBackoffS: 2, BackoffFactor: 2, MaxBackoffS: 16}
+	o := &Orchestrator{Engine: f.engine(), Opt: Options{
+		Sites:                4,
+		Breaker:              cfg,
+		QuarantineSleepScale: 1e-4, // 2 s modeled -> 0.2 ms real: probes overlap
+		Hook: func(site, device int) {
+			if device < victims {
+				panic("early-lot contactor fault")
+			}
+		},
+	}}
+	rep, err := o.Run(context.Background(), seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lot.Binned() != len(lot) {
+		t.Fatalf("%d of %d binned after breaker recovery", rep.Lot.Binned(), len(lot))
+	}
+	if len(rep.Trips) < 2 {
+		t.Fatalf("%d trips across a 24-device failure run; want the breakers exercised", len(rep.Trips))
+	}
+	grew := false
+	for _, tr := range rep.Trips {
+		if tr.QuarantineS > cfg.ProbeBackoffS {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("no trip shows grown backoff: half-open probes never failed")
+	}
+	if rep.Lot.Load.QuarantineS <= 0 {
+		t.Fatal("quarantine time not charged to the lot economics")
+	}
+	for _, r := range rep.Lot.Results {
+		if r.Index < victims {
+			if r.Bin != floor.BinFallback || !strings.Contains(r.Err, "contactor fault") {
+				t.Fatalf("victim %d: bin %v err %q", r.Index, r.Bin, r.Err)
+			}
+			continue
+		}
+		want := ref.Results[r.Index]
+		r.Site = 0
+		if !reflect.DeepEqual(r, want) {
+			t.Fatalf("post-recovery device %d diverges from the hook-free reference:\n%+v\nvs\n%+v",
+				r.Index, r, want)
+		}
+	}
+}
+
+// TestWatchdogCUSUMResetAfterRecalibration: a Recalibrate hook that hands
+// back the SAME drifted gate does not fix anything — the swapped-in
+// watchdog re-accumulates against the same bad baseline and must alarm
+// again. Every alarm carrying Samples >= MinSamples proves the charts
+// (including the CUSUM sum) were fully reset by the swap rather than
+// re-firing on stale accumulation.
+func TestWatchdogCUSUMResetAfterRecalibration(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 50)
+
+	drifted := *f.gate
+	drifted.TrainMeanD = f.gate.TrainMeanD - 20*f.gate.TrainSigmaD
+	eng := f.engine()
+	eng.Gate = &drifted
+
+	const minSamples = 5
+	o := &Orchestrator{Engine: eng, Opt: Options{
+		Sites:    2,
+		Breaker:  quietBreaker(),
+		Watchdog: WatchdogConfig{MinSamples: minSamples},
+		Recalibrate: func(a DriftAlarm) (*core.Calibration, *floor.Gate, error) {
+			// A retrain that converges on the same drifted baseline.
+			return f.cal, &drifted, nil
+		},
+	}}
+	rep, err := o.Run(context.Background(), 31, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Alarms) < 2 {
+		t.Fatalf("%d alarms; an unfixed drift must re-alarm after recalibration", len(rep.Alarms))
+	}
+	if rep.Recalibrations < 2 {
+		t.Fatalf("%d recalibrations for %d alarms", rep.Recalibrations, len(rep.Alarms))
+	}
+	for i, a := range rep.Alarms {
+		if a.Samples < minSamples {
+			t.Fatalf("alarm %d fired on %d samples (< MinSamples %d): charts not reset by the recalibration swap: %+v",
+				i, a.Samples, minSamples, a)
+		}
+	}
+	if rep.Lot.Binned() != len(lot) {
+		t.Fatalf("%d of %d binned across repeated recalibrations", rep.Lot.Binned(), len(lot))
+	}
+}

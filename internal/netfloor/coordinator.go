@@ -1,0 +1,925 @@
+package netfloor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/floor"
+	"repro/internal/lotrun"
+	"repro/internal/parallel"
+)
+
+// Options configures the distributed coordinator.
+type Options struct {
+	// Remotes are the site addresses to dial. At least one is required
+	// unless the local fallback is allowed to carry the whole lot.
+	Remotes []string
+	// Dialer opens connections to remotes (default TCPDialer). Tests swap
+	// in net.Pipe dialers wrapped in FaultConns.
+	Dialer Dialer
+	// JournalPath enables the crash-safe lot journal when non-empty —
+	// the same fsync'd, CRC-checked journal the in-process orchestrator
+	// writes, so a distributed lot can be killed and resumed (even by a
+	// local run, and vice versa).
+	JournalPath string
+	// RequestTimeout bounds one assignment round-trip including the
+	// device's screening time (default 60s). An overdue request is retried
+	// — at-least-once delivery; the commit path dedups.
+	RequestTimeout time.Duration
+	// HeartbeatInterval is the coordinator's idle beacon period and its
+	// read-poll granularity (default 1s).
+	HeartbeatInterval time.Duration
+	// IdleTimeout is how long without hearing anything from a site (not
+	// even a heartbeat) before the connection is declared dead (default
+	// 4 × HeartbeatInterval). This is the partition detector: a
+	// black-holed connection never errors, it only goes silent.
+	IdleTimeout time.Duration
+	// RetryBase/RetryFactor/RetryMax/RetryJitter shape the exponential
+	// backoff between reconnect attempts (defaults 100ms / 2 / 5s / 0.5).
+	// Jitter is seeded from NetSeed so runs are reproducible.
+	RetryBase   time.Duration
+	RetryFactor float64
+	RetryMax    time.Duration
+	RetryJitter float64
+	// NetSeed seeds the retry jitter (per site, via SplitMix). It has no
+	// effect on bins — only on timing.
+	NetSeed int64
+	// ModelRTTS is the modeled wall time of one assignment round-trip
+	// charged to the lot economics (default 2ms), covering request,
+	// response and framing. Modeled rather than measured, like the
+	// journal fsync cost, so the economics stay comparable across runs:
+	// NetworkS = ModelRTTS × assignments (including every retry).
+	ModelRTTS float64
+	// JournalSyncS is the modeled per-record fsync cost (default 0.5ms),
+	// identical to lotrun's.
+	JournalSyncS float64
+	// DisableLocalFallback prevents the coordinator from screening devices
+	// itself when every remote is down. With the fallback enabled
+	// (default), the lot always finishes — the local engine is the same
+	// deterministic function the sites run.
+	DisableLocalFallback bool
+	// DeviceTimeout bounds a locally screened device's wall time.
+	DeviceTimeout time.Duration
+	// Breaker tunes the per-site circuit breakers (same machine as
+	// lotrun's: consecutive gated-out insertions quarantine the site).
+	Breaker lotrun.BreakerConfig
+	// Watchdog tunes the drift watchdog running on the collector. Remote
+	// auto-recalibration is not supported — the coordinator cannot swap a
+	// remote site's engine — so alarms only report (and fire OnDrift).
+	Watchdog lotrun.WatchdogConfig
+	// OnDrift, when set, is called for every drift alarm.
+	OnDrift func(lotrun.DriftAlarm)
+	// OnResult, when set, is called by the collector after each device's
+	// result is committed (journaled when a journal is configured) — test
+	// instrumentation for observing or interrupting the lot mid-flight.
+	OnResult func(floor.DeviceResult)
+	// Logf, when set, receives coordinator progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.Dialer == nil {
+		o.Dialer = TCPDialer
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 4 * o.HeartbeatInterval
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 100 * time.Millisecond
+	}
+	if o.RetryFactor < 1 {
+		o.RetryFactor = 2
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 5 * time.Second
+	}
+	if o.RetryJitter <= 0 {
+		o.RetryJitter = 0.5
+	}
+	if o.ModelRTTS <= 0 {
+		o.ModelRTTS = 2e-3
+	}
+	if o.JournalSyncS <= 0 {
+		o.JournalSyncS = 0.5e-3
+	}
+}
+
+// SiteNetStats is one remote site's share of the lot plus its network
+// history.
+type SiteNetStats struct {
+	Site        int
+	Addr        string
+	Devices     int // results from this site that were committed first
+	Insertions  int
+	Assigns     int // assignments sent (including retries and hedges)
+	Retries     int // assignments that timed out or died and were retried
+	Reconnects  int // successful re-dials after the first connection
+	DialFails   int
+	Trips       int
+	QuarantineS float64
+	// Err is set when the site was permanently abandoned (identity
+	// mismatch during the handshake).
+	Err string
+}
+
+// NetStats aggregates the lot's network story.
+type NetStats struct {
+	Assigns      int // total assignments sent
+	Retries      int // assignment attempts that failed and were retried
+	Reassigned   int // devices requeued from a failed site
+	Hedges       int // straggler hedges (device assigned to a second site)
+	DupResults   int // results dropped by the exactly-once dedup
+	Reconnects   int
+	DialFails    int
+	LocalDevices int // devices screened by the coordinator's local fallback
+}
+
+// Report is the distributed lot outcome: the floor LotReport plus the
+// supervision and network story.
+type Report struct {
+	Lot    *floor.LotReport
+	Sites  []SiteNetStats
+	Net    NetStats
+	Trips  []lotrun.TripEvent
+	Alarms []lotrun.DriftAlarm
+	// Replayed is how many devices came from the journal (0 on a fresh
+	// run); Replay details what replay found.
+	Replayed int
+	Replay   lotrun.ReplayStats
+}
+
+// String renders the distributed-floor summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distributed floor: %d remote sites\n", len(r.Sites))
+	if r.Replayed > 0 {
+		fmt.Fprintf(&b, "  %d devices replayed from journal (%d corrupt lines skipped)\n",
+			r.Replayed, r.Replay.Corrupt)
+	}
+	for _, s := range r.Sites {
+		fmt.Fprintf(&b, "  site %d (%s): %d devices, %d assigns, %d retries, %d reconnects, %d trips, %.1fs quarantine",
+			s.Site, s.Addr, s.Devices, s.Assigns, s.Retries, s.Reconnects, s.Trips, s.QuarantineS)
+		if s.Err != "" {
+			fmt.Fprintf(&b, " [abandoned: %s]", s.Err)
+		}
+		fmt.Fprintln(&b)
+	}
+	if r.Net.LocalDevices > 0 {
+		fmt.Fprintf(&b, "  local fallback screened %d devices\n", r.Net.LocalDevices)
+	}
+	fmt.Fprintf(&b, "  net: %d assigns, %d retries, %d reassigned, %d hedges, %d duplicate results absorbed\n",
+		r.Net.Assigns, r.Net.Retries, r.Net.Reassigned, r.Net.Hedges, r.Net.DupResults)
+	for _, a := range r.Alarms {
+		fmt.Fprintf(&b, "  drift alarm (%s) at device %d: ewma %.2f, cusum %.2f over %d samples\n",
+			a.Detector, a.Device, a.EWMA, a.CUSUM, a.Samples)
+	}
+	return b.String()
+}
+
+// dispatcher owns the exactly-once assignment state. Delivery is
+// at-least-once (retries, reconnects, hedges, duplicated frames), so the
+// same index can be in flight on several sites at once; complete() is the
+// single commit point — first result wins, everything after is a counted
+// duplicate that never reaches the journal.
+type dispatcher struct {
+	mu      sync.Mutex
+	queue   []int // pending indices, FIFO
+	holders []int // in-flight holder count per index
+	done    []bool
+	left    int // indices not yet completed
+}
+
+func newDispatcher(pending []int, devices int) *dispatcher {
+	d := &dispatcher{
+		queue:   append([]int(nil), pending...),
+		holders: make([]int, devices),
+		done:    make([]bool, devices),
+		left:    len(pending),
+	}
+	for i := range d.done {
+		d.done[i] = true
+	}
+	for _, idx := range pending {
+		d.done[idx] = false
+	}
+	return d
+}
+
+// next hands out the front pending index. When the queue is empty and
+// hedge is set, it instead picks the lowest in-flight index held by
+// exactly one site — straggler hedging: a second site races the (possibly
+// dead or slow) holder, and the dedup absorbs whichever result loses.
+// Returns (index, hedged, ok).
+func (d *dispatcher) next(hedge bool) (int, bool, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.queue) > 0 {
+		idx := d.queue[0]
+		d.queue = d.queue[1:]
+		if d.done[idx] {
+			continue
+		}
+		d.holders[idx]++
+		return idx, false, true
+	}
+	if hedge {
+		for idx := range d.holders {
+			if d.holders[idx] == 1 && !d.done[idx] {
+				d.holders[idx]++
+				return idx, true, true
+			}
+		}
+	}
+	return 0, false, false
+}
+
+// release drops one hold on idx; an undone index with no holders left is
+// requeued at the front (it has waited longest). Reports whether the
+// index was requeued — i.e. reassigned away from a failed site.
+func (d *dispatcher) release(idx int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.holders[idx] > 0 {
+		d.holders[idx]--
+	}
+	if !d.done[idx] && d.holders[idx] == 0 {
+		d.queue = append([]int{idx}, d.queue...)
+		return true
+	}
+	return false
+}
+
+// complete marks idx done; only the first caller wins.
+func (d *dispatcher) complete(idx int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.done[idx] {
+		return false
+	}
+	d.done[idx] = true
+	d.left--
+	return true
+}
+
+func (d *dispatcher) remaining() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.left
+}
+
+// runState is the shared state of one distributed lot run.
+type runState struct {
+	disp   *dispatcher
+	out    chan floor.DeviceResult
+	doneCh chan struct{} // closed by the collector when every device is committed
+	alive  atomic.Int32  // connected remote sites; local fallback screens at 0
+	// settled counts sites whose first connection attempt has resolved
+	// (either way). The local fallback waits for all of them before
+	// reading alive == 0 as "every remote is down" — otherwise it would
+	// steal the whole lot during the initial dial/handshake window.
+	settled atomic.Int32
+
+	mu  sync.Mutex
+	net NetStats
+}
+
+func (rs *runState) addNet(f func(*NetStats)) {
+	rs.mu.Lock()
+	f(&rs.net)
+	rs.mu.Unlock()
+}
+
+// deliver routes one screened result through the exactly-once gate: the
+// first result for an index goes to the collector, later ones are counted
+// and dropped.
+func (rs *runState) deliver(res floor.DeviceResult, siteOrdinal int) bool {
+	if !rs.disp.complete(res.Index) {
+		rs.addNet(func(n *NetStats) { n.DupResults++ })
+		return false
+	}
+	res.Site = siteOrdinal
+	rs.out <- res // buffered to lot size: never blocks
+	return true
+}
+
+// Coordinator screens lots across remote sites.
+type Coordinator struct {
+	Engine *floor.Engine
+	Opt    Options
+}
+
+// Run screens the lot from scratch across the configured remotes. If a
+// journal is configured it is started fresh.
+func (c *Coordinator) Run(ctx context.Context, lotSeed int64, lot []*core.Device, faults *floor.FaultModel) (*Report, error) {
+	return c.run(ctx, lotSeed, lot, faults, false)
+}
+
+// Resume replays the configured journal and screens only the devices it
+// does not already contain — the journal format is shared with lotrun, so
+// a lot started locally can resume distributed and vice versa.
+func (c *Coordinator) Resume(ctx context.Context, lotSeed int64, lot []*core.Device, faults *floor.FaultModel) (*Report, error) {
+	return c.run(ctx, lotSeed, lot, faults, true)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Opt.Logf != nil {
+		c.Opt.Logf(format, args...)
+	}
+}
+
+var (
+	errRequestTimeout = errors.New("netfloor: assignment overdue (request timeout)")
+	errConnDead       = errors.New("netfloor: connection dead")
+	errLotDone        = errors.New("netfloor: lot complete")
+)
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func (c *Coordinator) run(ctx context.Context, lotSeed int64, lot []*core.Device, faults *floor.FaultModel, resume bool) (*Report, error) {
+	if c.Engine == nil {
+		return nil, fmt.Errorf("netfloor: coordinator needs an engine")
+	}
+	if err := c.Engine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(lot) == 0 {
+		return nil, fmt.Errorf("netfloor: empty lot")
+	}
+	if faults != nil {
+		if err := faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	opt := c.Opt
+	opt.defaults()
+	if len(opt.Remotes) == 0 && opt.DisableLocalFallback {
+		return nil, fmt.Errorf("netfloor: no remotes and local fallback disabled — nothing can screen")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	faultP := 0.0
+	if faults != nil {
+		faultP = faults.TotalP()
+	}
+	hello := Hello{
+		Version:     ProtocolVersion,
+		LotSeed:     lotSeed,
+		Devices:     len(lot),
+		FaultP:      faultP,
+		Fingerprint: c.Engine.Fingerprint(),
+	}
+
+	rep := &Report{}
+	results := make([]*floor.DeviceResult, len(lot))
+
+	// Journal: fresh on Run, replay + append on Resume — byte-compatible
+	// with lotrun's, including the identity checks.
+	var jr *lotrun.Journal
+	if resume {
+		if opt.JournalPath == "" {
+			return nil, fmt.Errorf("netfloor: resume needs Options.JournalPath")
+		}
+		hdr, done, validEnd, stats, err := lotrun.ReplayJournal(opt.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		if hdr.LotSeed != lotSeed || hdr.Devices != len(lot) || hdr.FaultP != faultP {
+			return nil, fmt.Errorf("netfloor: journal is for a different lot (seed %d devices %d faultp %g; resuming seed %d devices %d faultp %g)",
+				hdr.LotSeed, hdr.Devices, hdr.FaultP, lotSeed, len(lot), faultP)
+		}
+		if hdr.Fingerprint != 0 && hdr.Fingerprint != c.Engine.Fingerprint() {
+			return nil, fmt.Errorf("netfloor: journal was written by a differently calibrated engine (fingerprint %x, resuming %x)",
+				hdr.Fingerprint, c.Engine.Fingerprint())
+		}
+		for i, res := range done {
+			res := res
+			results[i] = &res
+		}
+		rep.Replayed = stats.Records
+		rep.Replay = stats
+		if jr, err = lotrun.ResumeJournal(opt.JournalPath, validEnd); err != nil {
+			return nil, err
+		}
+	} else if opt.JournalPath != "" {
+		var err error
+		jr, err = lotrun.CreateJournal(opt.JournalPath, lotrun.JournalHeader{
+			Type: "header", Version: lotrun.JournalVersion,
+			LotSeed: lotSeed, Devices: len(lot), FaultP: faultP,
+			Fingerprint: c.Engine.Fingerprint(),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if jr != nil {
+		defer jr.Close()
+	}
+
+	var pending []int
+	for i := range lot {
+		if results[i] == nil {
+			pending = append(pending, i)
+		}
+	}
+
+	rs := &runState{
+		disp:   newDispatcher(pending, len(lot)),
+		out:    make(chan floor.DeviceResult, len(lot)),
+		doneCh: make(chan struct{}),
+	}
+
+	var wd *lotrun.Watchdog
+	if c.Engine.Gate != nil && !opt.Watchdog.Disabled {
+		wd = lotrun.NewWatchdog(c.Engine.Gate, opt.Watchdog)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	siteStats := make([]*SiteNetStats, len(opt.Remotes))
+	breakers := make([]*lotrun.Breaker, len(opt.Remotes))
+	var wg sync.WaitGroup
+	for s, addr := range opt.Remotes {
+		siteStats[s] = &SiteNetStats{Site: s, Addr: addr}
+		breakers[s] = lotrun.NewBreaker(opt.Breaker)
+		wg.Add(1)
+		go func(s int, addr string) {
+			defer wg.Done()
+			c.siteLoop(runCtx, rs, &opt, hello, s, addr, siteStats[s], breakers[s], lotSeed, lot, faults)
+		}(s, addr)
+	}
+	if !opt.DisableLocalFallback {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.localFallback(runCtx, rs, &opt, lotSeed, lot, faults, len(opt.Remotes))
+		}()
+	}
+
+	// Collector: the single goroutine path that commits results. Dedup
+	// already happened in deliver(); everything read here is
+	// exactly-once.
+	needed := len(pending)
+	received := 0
+	var journalErr error
+collect:
+	for received < needed {
+		select {
+		case res := <-rs.out:
+			if jr != nil && journalErr == nil {
+				if journalErr = jr.Commit(res); journalErr != nil {
+					cancel()
+					break collect
+				}
+			}
+			results[res.Index] = &res
+			received++
+			if opt.OnResult != nil {
+				opt.OnResult(res)
+			}
+			if wd != nil && res.CleanD >= 0 {
+				if alarm := wd.Observe(res.Index, res.CleanD); alarm != nil {
+					rep.Alarms = append(rep.Alarms, *alarm)
+					if opt.OnDrift != nil {
+						opt.OnDrift(*alarm)
+					}
+				}
+			}
+		case <-runCtx.Done():
+			break collect
+		}
+	}
+	close(rs.doneCh)
+	wg.Wait()
+	if journalErr != nil {
+		return nil, journalErr
+	}
+	if err := ctx.Err(); err != nil {
+		committed := 0
+		for _, r := range results {
+			if r != nil {
+				committed++
+			}
+		}
+		return nil, fmt.Errorf("netfloor: lot interrupted with %d of %d devices committed: %w",
+			committed, len(lot), err)
+	}
+	for i, r := range results {
+		if r == nil {
+			return nil, fmt.Errorf("netfloor: device %d was never screened", i)
+		}
+	}
+
+	// Fold in index order: bins are identical no matter which site (or
+	// the local fallback) screened each device.
+	lotRep := c.Engine.NewReport(len(lot))
+	for _, r := range results {
+		lotRep.Fold(*r)
+	}
+	if jr != nil {
+		lotRep.Load.JournalS = float64(len(lot)) * opt.JournalSyncS
+	}
+	rs.mu.Lock()
+	rep.Net = rs.net
+	rs.mu.Unlock()
+	lotRep.Load.NetworkS = float64(rep.Net.Assigns) * opt.ModelRTTS
+	for s, st := range siteStats {
+		st.Trips = breakers[s].TotalTrips()
+		st.QuarantineS = breakers[s].QuarantineTotalS()
+		lotRep.Load.QuarantineS += st.QuarantineS
+		rep.Sites = append(rep.Sites, *st)
+		rep.Trips = append(rep.Trips, breakers[s].Events()...)
+	}
+	sort.Slice(rep.Trips, func(i, j int) bool { return rep.Trips[i].AfterDevice < rep.Trips[j].AfterDevice })
+	if err := c.Engine.Finish(lotRep); err != nil {
+		return nil, err
+	}
+	rep.Lot = lotRep
+	return rep, nil
+}
+
+// siteLoop owns one remote for the duration of the lot: connect,
+// handshake, assign until the lot drains, reconnect with backoff on any
+// failure, release-and-requeue anything in flight when the connection
+// dies.
+func (c *Coordinator) siteLoop(ctx context.Context, rs *runState, opt *Options, hello Hello,
+	site int, addr string, st *SiteNetStats, br *lotrun.Breaker,
+	lotSeed int64, lot []*core.Device, faults *floor.FaultModel) {
+
+	jitter := rand.New(rand.NewSource(parallel.SubSeed(opt.NetSeed, site)))
+	attempt := 0
+	connected := false
+	settled := false
+	defer func() {
+		if !settled {
+			rs.settled.Add(1)
+		}
+	}()
+
+	backoffSleep := func() bool {
+		d := float64(opt.RetryBase)
+		for i := 0; i < attempt; i++ {
+			d *= opt.RetryFactor
+			if d >= float64(opt.RetryMax) {
+				d = float64(opt.RetryMax)
+				break
+			}
+		}
+		d *= 1 + opt.RetryJitter*jitter.Float64()
+		select {
+		case <-time.After(time.Duration(d)):
+			return true
+		case <-rs.doneCh:
+			return false
+		case <-ctx.Done():
+			return false
+		}
+	}
+
+	for {
+		select {
+		case <-rs.doneCh:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+
+		mc, err := c.connect(ctx, opt, hello, addr)
+		if !settled {
+			settled = true
+			rs.settled.Add(1)
+		}
+		if err != nil {
+			var perm *permanentError
+			if errors.As(err, &perm) {
+				st.Err = perm.msg
+				c.logf("site %d (%s): abandoned: %s", site, addr, perm.msg)
+				return
+			}
+			st.DialFails++
+			rs.addNet(func(n *NetStats) { n.DialFails++ })
+			attempt++
+			if !backoffSleep() {
+				return
+			}
+			continue
+		}
+		if connected {
+			st.Reconnects++
+			rs.addNet(func(n *NetStats) { n.Reconnects++ })
+		}
+		connected = true
+		attempt = 0
+		rs.alive.Add(1)
+		err = c.serveAssignments(ctx, rs, opt, site, st, br, mc)
+		rs.alive.Add(-1)
+		mc.close()
+		if errors.Is(err, errLotDone) || ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-rs.doneCh:
+			return
+		default:
+		}
+		c.logf("site %d (%s): connection lost (%v), reconnecting", site, addr, err)
+		attempt++
+		if !backoffSleep() {
+			return
+		}
+	}
+}
+
+// permanentError marks a site that must not be retried (identity
+// mismatch: its engine would bin differently).
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+// connect dials and handshakes one site.
+func (c *Coordinator) connect(ctx context.Context, opt *Options, hello Hello, addr string) (*msgConn, error) {
+	dctx, cancel := context.WithTimeout(ctx, opt.RequestTimeout)
+	defer cancel()
+	conn, err := opt.Dialer(dctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	mc := newMsgConn(conn)
+	if err := mc.write(&Envelope{Type: MsgHello, Hello: &hello}, opt.IdleTimeout); err != nil {
+		mc.close()
+		return nil, err
+	}
+	env, err := mc.read(opt.IdleTimeout)
+	if err != nil {
+		mc.close()
+		return nil, err
+	}
+	switch env.Type {
+	case MsgHelloAck:
+		if env.Hello == nil || *env.Hello != hello {
+			mc.close()
+			return nil, &permanentError{msg: fmt.Sprintf("site %s acked a different identity", addr)}
+		}
+		return mc, nil
+	case MsgError:
+		mc.close()
+		return nil, &permanentError{msg: env.Err}
+	default:
+		mc.close()
+		return nil, fmt.Errorf("netfloor: handshake: expected hello_ack, got %s", env.Type)
+	}
+}
+
+// serveAssignments drives one healthy connection: pull an index (hedging
+// stragglers when the queue is dry), assign it, await the result. Returns
+// errLotDone after a graceful drain, or the connection's fatal error.
+func (c *Coordinator) serveAssignments(ctx context.Context, rs *runState, opt *Options,
+	site int, st *SiteNetStats, br *lotrun.Breaker, mc *msgConn) error {
+
+	var seq uint64
+	lastHeard := time.Now()
+	lastBeat := time.Now()
+
+	for {
+		select {
+		case <-rs.doneCh:
+			c.drain(mc, opt)
+			return errLotDone
+		case <-ctx.Done():
+			c.drain(mc, opt)
+			return ctx.Err()
+		default:
+		}
+
+		// Quarantined site: charge the modeled backoff and let the next
+		// device be the half-open probe insertion.
+		if br.Open() {
+			br.BeginProbe()
+		}
+
+		idx, hedged, ok := rs.disp.next(true)
+		if !ok {
+			// Nothing to hand out: either the lot is finishing elsewhere
+			// or every in-flight index is already hedged. Idle-poll: keep
+			// reading (draining the site's heartbeats — with a synchronous
+			// in-memory transport an unread beacon would block the site)
+			// and beacon back so the site's idle timer stays fresh.
+			if time.Since(lastBeat) >= opt.HeartbeatInterval {
+				if err := mc.write(&Envelope{Type: MsgHeartbeat}, opt.HeartbeatInterval); err != nil {
+					return err
+				}
+				lastBeat = time.Now()
+			}
+			env, err := mc.read(opt.HeartbeatInterval)
+			if err != nil {
+				if isTimeout(err) {
+					if time.Since(lastHeard) > opt.IdleTimeout {
+						return errConnDead
+					}
+					continue
+				}
+				return err
+			}
+			lastHeard = time.Now()
+			if env.Type == MsgResult && env.Result != nil {
+				// A straggler result from a previous assignment on this
+				// connection: commit-or-dedup it like any other.
+				if rs.deliver(*env.Result, site) {
+					st.Devices++
+					st.Insertions += env.Result.Insertions
+				}
+			}
+			continue
+		}
+
+		seq++
+		st.Assigns++
+		rs.addNet(func(n *NetStats) {
+			n.Assigns++
+			if hedged {
+				n.Hedges++
+			}
+		})
+		err := c.assignAwait(rs, opt, site, st, br, mc, idx, seq, &lastHeard, &lastBeat)
+		requeued := rs.disp.release(idx)
+		if err == nil {
+			continue
+		}
+		if requeued {
+			rs.addNet(func(n *NetStats) { n.Reassigned++ })
+		}
+		rs.addNet(func(n *NetStats) { n.Retries++ })
+		st.Retries++
+		if errors.Is(err, errRequestTimeout) {
+			// The connection is alive (heartbeats flowed) but the result
+			// never came — a dropped frame. Retry on the same connection;
+			// the site's result cache makes the re-screen free.
+			continue
+		}
+		return err
+	}
+}
+
+// assignAwait sends one assignment and waits for its result, absorbing
+// heartbeats and stray results meanwhile.
+func (c *Coordinator) assignAwait(rs *runState, opt *Options, site int, st *SiteNetStats,
+	br *lotrun.Breaker, mc *msgConn, idx int, seq uint64, lastHeard, lastBeat *time.Time) error {
+
+	if err := mc.write(&Envelope{Type: MsgAssign, Seq: seq, Device: idx}, opt.IdleTimeout); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(opt.RequestTimeout)
+	for {
+		if time.Now().After(deadline) {
+			return errRequestTimeout
+		}
+		select {
+		case <-rs.doneCh:
+			// Lot finished elsewhere while this (possibly hedged) request
+			// was in flight.
+			return errRequestTimeout
+		default:
+		}
+		env, err := mc.read(opt.HeartbeatInterval)
+		if err != nil {
+			if isTimeout(err) {
+				if time.Since(*lastHeard) > opt.IdleTimeout {
+					return errConnDead
+				}
+				continue
+			}
+			return err
+		}
+		*lastHeard = time.Now()
+		switch env.Type {
+		case MsgHeartbeat:
+		case MsgResult:
+			if env.Result == nil {
+				continue
+			}
+			res := *env.Result
+			br.Record(res)
+			if rs.deliver(res, site) {
+				st.Devices++
+				st.Insertions += res.Insertions
+			}
+			if env.Device == idx {
+				return nil
+			}
+		case MsgError:
+			if env.Device == idx {
+				return fmt.Errorf("netfloor: site rejected device %d: %s", idx, env.Err)
+			}
+		}
+	}
+}
+
+// drain tells the site no more assignments are coming, waiting briefly
+// for the ack; purely a courtesy — the site would time out on its own.
+func (c *Coordinator) drain(mc *msgConn, opt *Options) {
+	if err := mc.write(&Envelope{Type: MsgDrain}, opt.HeartbeatInterval); err != nil {
+		return
+	}
+	deadline := time.Now().Add(2 * opt.HeartbeatInterval)
+	for time.Now().Before(deadline) {
+		env, err := mc.read(opt.HeartbeatInterval)
+		if err != nil {
+			return
+		}
+		if env.Type == MsgDrainAck {
+			return
+		}
+	}
+}
+
+// localFallback screens devices on the coordinator itself, but only while
+// no remote is connected — the availability backstop: with every site
+// down or partitioned, the lot still finishes, bit-identically, because
+// the local engine computes the same deterministic function.
+func (c *Coordinator) localFallback(ctx context.Context, rs *runState, opt *Options,
+	lotSeed int64, lot []*core.Device, faults *floor.FaultModel, remotes int) {
+
+	localOrdinal := remotes // local results carry the next ordinal after the sites
+	poll := opt.HeartbeatInterval
+	// zeroSince tracks how long the floor has been remote-less. The
+	// fallback waits out one IdleTimeout before screening — the same
+	// threshold that declares a single connection dead — so a transient
+	// dip (a site mid-reconnect) does not pull the lot local.
+	var zeroSince time.Time
+	for {
+		select {
+		case <-rs.doneCh:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if rs.alive.Load() != 0 || int(rs.settled.Load()) < remotes {
+			zeroSince = time.Time{}
+			select {
+			case <-time.After(poll):
+			case <-rs.doneCh:
+				return
+			case <-ctx.Done():
+				return
+			}
+			continue
+		}
+		if remotes > 0 {
+			if zeroSince.IsZero() {
+				zeroSince = time.Now()
+			}
+			if time.Since(zeroSince) < opt.IdleTimeout {
+				select {
+				case <-time.After(poll):
+				case <-rs.doneCh:
+					return
+				case <-ctx.Done():
+					return
+				}
+				continue
+			}
+		}
+		idx, _, got := rs.disp.next(true)
+		if !got {
+			select {
+			case <-time.After(poll):
+			case <-rs.doneCh:
+				return
+			case <-ctx.Done():
+				return
+			}
+			continue
+		}
+		res := superviseScreen(ctx, c.Engine, lotSeed, idx, lot[idx], faults, opt.DeviceTimeout)
+		if res.Err != "" && ctx.Err() != nil {
+			rs.disp.release(idx)
+			return // truncated by shutdown: never commit
+		}
+		if rs.deliver(res, localOrdinal) {
+			rs.addNet(func(n *NetStats) { n.LocalDevices++ })
+		}
+		rs.disp.release(idx)
+	}
+}

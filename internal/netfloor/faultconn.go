@@ -1,0 +1,278 @@
+package netfloor
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// FaultProfile parameterizes the fault-injecting transport, in the spirit
+// of floor.FaultModel but for the wire instead of the signal path. Faults
+// are rolled per Write call; because msgConn emits exactly one frame per
+// Write, each roll decides the fate of one whole protocol message:
+//
+//   - DropP: the frame is silently discarded (the sender believes it was
+//     delivered — the receiver times out);
+//   - DupP: the frame is delivered twice (at-least-once delivery made
+//     literal — the dedup path must absorb it);
+//   - CorruptP: one byte of the frame is flipped (caught by the frame
+//     CRC, surfacing as ErrCorruptFrame on the receiver);
+//   - DelayP/DelayMax: the frame is held back before delivery (stragglers
+//     and head-of-line blocking);
+//   - PartitionAfter/PartitionP: the connection goes dark — writes are
+//     black-holed and reads block until their deadline — without either
+//     side seeing a close. Only heartbeat timeouts get anyone out.
+//
+// All randomness flows from the seed given to NewFaultConn, so a fixed
+// seed reproduces the exact fault sequence on a given connection.
+type FaultProfile struct {
+	DropP    float64
+	DupP     float64
+	CorruptP float64
+	DelayP   float64
+	DelayMax time.Duration
+	// PartitionAfter partitions the connection after this many writes
+	// (0 = never).
+	PartitionAfter int
+	// PartitionP is a per-write probability of entering a partition.
+	PartitionP float64
+}
+
+// Zero reports whether the profile injects nothing.
+func (p FaultProfile) Zero() bool {
+	return p.DropP == 0 && p.DupP == 0 && p.CorruptP == 0 && p.DelayP == 0 &&
+		p.PartitionAfter == 0 && p.PartitionP == 0
+}
+
+// FaultConn wraps a net.Conn with seeded, deterministic fault injection.
+// It implements net.Conn; all faults are injected on the write side of
+// this end, and a partition additionally blinds this end's reads.
+//
+// Writes are buffered: Write rolls the fault and enqueues the frame(s);
+// a single pump goroutine delivers them in order to the inner connection.
+// This models a real network's send buffer — the sender never blocks on a
+// peer that is momentarily busy — and it is what lets a duplicated or
+// delayed frame ride behind the original without interleaving bytes, even
+// over a fully synchronous transport like net.Pipe.
+type FaultConn struct {
+	inner net.Conn
+	prof  FaultProfile
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	writes      int
+	partitioned bool
+
+	dmu          sync.Mutex
+	readDeadline time.Time
+
+	queue  chan queuedFrame
+	closed chan struct{}
+	once   sync.Once
+}
+
+// queuedFrame is one buffered write and the delay to apply before
+// delivering it.
+type queuedFrame struct {
+	b     []byte
+	delay time.Duration
+}
+
+// NewFaultConn wraps inner with the profile, seeding the fault stream.
+func NewFaultConn(inner net.Conn, seed int64, prof FaultProfile) *FaultConn {
+	c := &FaultConn{
+		inner:  inner,
+		prof:   prof,
+		rng:    rand.New(rand.NewSource(seed)),
+		queue:  make(chan queuedFrame, 1024),
+		closed: make(chan struct{}),
+	}
+	go c.pump()
+	return c
+}
+
+// pump is the single delivery goroutine: frames drain to the inner
+// connection in order. A delivery error (including a write deadline
+// expiring because the peer stopped reading for good) closes the
+// connection — the sender finds out the way it would on a real socket,
+// by the connection dying.
+func (c *FaultConn) pump() {
+	for {
+		select {
+		case <-c.closed:
+			return
+		case q := <-c.queue:
+			if q.delay > 0 {
+				select {
+				case <-time.After(q.delay):
+				case <-c.closed:
+					return
+				}
+			}
+			if _, err := c.inner.Write(q.b); err != nil {
+				c.Close()
+				return
+			}
+		}
+	}
+}
+
+// Partitioned reports whether the connection has gone dark.
+func (c *FaultConn) Partitioned() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.partitioned
+}
+
+// Write rolls the per-message fault and forwards (or doesn't) to the
+// inner connection.
+func (c *FaultConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.partitioned {
+		c.mu.Unlock()
+		return len(b), nil // black hole
+	}
+	c.writes++
+	if (c.prof.PartitionAfter > 0 && c.writes > c.prof.PartitionAfter) ||
+		(c.prof.PartitionP > 0 && c.rng.Float64() < c.prof.PartitionP) {
+		c.partitioned = true
+		c.mu.Unlock()
+		return len(b), nil
+	}
+	drop := c.prof.DropP > 0 && c.rng.Float64() < c.prof.DropP
+	dup := c.prof.DupP > 0 && c.rng.Float64() < c.prof.DupP
+	corrupt := c.prof.CorruptP > 0 && c.rng.Float64() < c.prof.CorruptP
+	var delay time.Duration
+	if c.prof.DelayP > 0 && c.rng.Float64() < c.prof.DelayP && c.prof.DelayMax > 0 {
+		delay = time.Duration(c.rng.Int63n(int64(c.prof.DelayMax)))
+	}
+	var flipAt int
+	if corrupt && len(b) > 0 {
+		flipAt = c.rng.Intn(len(b))
+	}
+	c.mu.Unlock()
+
+	if drop {
+		return len(b), nil
+	}
+	out := append([]byte(nil), b...) // the caller may reuse b after Write returns
+	if corrupt && len(out) > 0 {
+		out[flipAt] ^= 0x40
+	}
+	if err := c.enqueue(queuedFrame{b: out, delay: delay}); err != nil {
+		return 0, err
+	}
+	if dup {
+		if err := c.enqueue(queuedFrame{b: out, delay: delay}); err != nil {
+			return 0, err
+		}
+	}
+	return len(b), nil
+}
+
+func (c *FaultConn) enqueue(q queuedFrame) error {
+	select {
+	case c.queue <- q:
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+// Read passes through until a partition, then blocks until the read
+// deadline (or Close) exactly like a dark network path would.
+func (c *FaultConn) Read(b []byte) (int, error) {
+	for {
+		c.mu.Lock()
+		part := c.partitioned
+		c.mu.Unlock()
+		if !part {
+			return c.inner.Read(b)
+		}
+		c.dmu.Lock()
+		dl := c.readDeadline
+		c.dmu.Unlock()
+		if !dl.IsZero() && !time.Now().Before(dl) {
+			return 0, timeoutError{}
+		}
+		// Poll: the deadline may be (re)set while we wait.
+		wait := 2 * time.Millisecond
+		if !dl.IsZero() {
+			if until := time.Until(dl); until < wait {
+				wait = until
+			}
+		}
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+		select {
+		case <-time.After(wait):
+		case <-c.closed:
+			return 0, net.ErrClosed
+		}
+	}
+}
+
+func (c *FaultConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+func (c *FaultConn) LocalAddr() net.Addr  { return c.inner.LocalAddr() }
+func (c *FaultConn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+func (c *FaultConn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t)
+	return c.inner.SetDeadline(t)
+}
+
+func (c *FaultConn) SetReadDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.readDeadline = t
+	c.dmu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+func (c *FaultConn) SetWriteDeadline(t time.Time) error {
+	return c.inner.SetWriteDeadline(t)
+}
+
+// timeoutError satisfies net.Error the way a real read timeout does.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "netfloor: i/o timeout (partitioned)" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// Dialer opens a connection to a remote site. The default dials TCP; test
+// dialers hand back net.Pipe ends wrapped in FaultConns.
+type Dialer func(ctx context.Context, addr string) (net.Conn, error)
+
+// TCPDialer dials addr over TCP with the context's deadline.
+func TCPDialer(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// FaultyDialer wraps a dialer so every connection it produces injects the
+// profile's faults, each connection with its own deterministic stream:
+// connection k of this dialer uses SplitMix(seed, k).
+func FaultyDialer(inner Dialer, seed int64, prof FaultProfile) Dialer {
+	var mu sync.Mutex
+	conns := 0
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		c, err := inner(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		k := conns
+		conns++
+		mu.Unlock()
+		return NewFaultConn(c, parallel.SubSeed(seed, k), prof), nil
+	}
+}

@@ -1,0 +1,550 @@
+package netfloor
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ate"
+	"repro/internal/core"
+	"repro/internal/floor"
+	"repro/internal/lna"
+	"repro/internal/lotrun"
+	"repro/internal/parallel"
+	"repro/internal/wave"
+)
+
+// fixture is the shared engineering phase (stimulus, calibration, gate),
+// built once for the whole package — the same recipe as lotrun's tests,
+// so bit-identity claims span both orchestrators.
+type fixture struct {
+	cfg   *core.TestConfig
+	cal   *core.Calibration
+	stim  *wave.PWL
+	gate  *floor.Gate
+	model core.DeviceModel
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		rng := rand.New(rand.NewSource(11))
+		model := core.RF2401Model{}
+		cfg := core.DefaultSimConfig()
+		stim := cfg.RandomStimulus(rng)
+		train, err := core.GeneratePopulation(rng, model, 60, 0.9)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		td, err := core.AcquireTrainingSet(rng, cfg, stim, train,
+			func(d *core.Device) lna.Specs { return d.Specs })
+		if err != nil {
+			fixErr = err
+			return
+		}
+		cal, err := core.Calibrate(rng, stim, td, core.CalibrationOptions{})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		sigs := make([][]float64, len(td))
+		for i := range td {
+			sigs[i] = td[i].Signature
+		}
+		gate, err := floor.FitGate(sigs, floor.GateOptions{})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix = &fixture{cfg: cfg, cal: cal, stim: stim, gate: gate, model: model}
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
+	}
+	return fix
+}
+
+func rf2401Pass(s lna.Specs) bool {
+	return s.GainDB >= 10.0 && s.NFDB <= 4.2 && s.IIP3DBm >= -9.5
+}
+
+func (f *fixture) engine() *floor.Engine {
+	return &floor.Engine{
+		Cfg:      f.cfg,
+		Cal:      f.cal,
+		Stim:     f.stim,
+		Gate:     f.gate,
+		PredPass: rf2401Pass,
+		TruePass: rf2401Pass,
+		Policy:   floor.DefaultPolicy(),
+	}
+}
+
+func testLot(t *testing.T, f *fixture, n int) []*core.Device {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	lot, err := core.GeneratePopulation(rng, f.model, n, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lot
+}
+
+func quietBreaker() lotrun.BreakerConfig { return lotrun.BreakerConfig{TripConsecutive: 1 << 20} }
+
+// stripSites zeroes the per-result Site field — the only LotReport content
+// that legitimately depends on which site screened which device — and the
+// floor-dependent economics charges (network time scales with the retry
+// count, quarantine with device placement, journal time with journaling),
+// plus the Time comparison derived from them. Everything else — bins,
+// mis-bins, fault counts, verdicts, retest histogram, per-device results —
+// must be bit-identical across floors.
+func stripSites(rep *floor.LotReport) {
+	for i := range rep.Results {
+		rep.Results[i].Site = 0
+	}
+	rep.Load.NetworkS = 0
+	rep.Load.QuarantineS = 0
+	rep.Load.JournalS = 0
+	rep.Time = ate.TimeComparison{}
+}
+
+func reportsEqual(t *testing.T, label string, a, b *floor.LotReport) {
+	t.Helper()
+	ca, cb := *a, *b
+	ca.Results = append([]floor.DeviceResult(nil), a.Results...)
+	cb.Results = append([]floor.DeviceResult(nil), b.Results...)
+	stripSites(&ca)
+	stripSites(&cb)
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("%s: lot reports diverge:\n%v\nvs\n%v", label, ca, cb)
+	}
+}
+
+// farm is an in-process test floor: persistent Sites reachable through a
+// net.Pipe dialer, with independent fault streams on each end of every
+// connection. Sites persist across reconnects, exactly like separate
+// sitetester processes would.
+type farm struct {
+	t      *testing.T
+	ctx    context.Context
+	cancel context.CancelFunc
+	sites  map[string]*Site
+	addrs  []string
+
+	mu    sync.Mutex
+	conns int
+	wg    sync.WaitGroup
+}
+
+func newFarm(t *testing.T, f *fixture, lot []*core.Device, faults *floor.FaultModel, lotSeed int64, n int) *farm {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	fm := &farm{t: t, ctx: ctx, cancel: cancel, sites: make(map[string]*Site)}
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("site%d", i)
+		fm.addrs = append(fm.addrs, addr)
+		fm.sites[addr] = &Site{
+			Name: addr, Engine: f.engine(), Lot: lot, Faults: faults, LotSeed: lotSeed,
+			HeartbeatInterval: 10 * time.Millisecond,
+		}
+	}
+	t.Cleanup(func() {
+		cancel()
+		fm.wg.Wait()
+	})
+	return fm
+}
+
+// dialer returns a Dialer producing net.Pipe connections to the farm's
+// sites; a non-zero profile faults BOTH directions, each with its own
+// deterministic stream.
+func (fm *farm) dialer(prof FaultProfile, seed int64) Dialer {
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		site, ok := fm.sites[addr]
+		if !ok {
+			return nil, fmt.Errorf("farm: no site at %q", addr)
+		}
+		if fm.ctx.Err() != nil {
+			return nil, fmt.Errorf("farm: shut down")
+		}
+		fm.mu.Lock()
+		k := fm.conns
+		fm.conns++
+		fm.mu.Unlock()
+		cli, srv := net.Pipe()
+		var srvConn net.Conn = srv
+		var cliConn net.Conn = cli
+		if !prof.Zero() {
+			srvConn = NewFaultConn(srv, parallel.SubSeed(seed, 2*k+1), prof)
+			cliConn = NewFaultConn(cli, parallel.SubSeed(seed, 2*k), prof)
+		}
+		fm.wg.Add(1)
+		go func() {
+			defer fm.wg.Done()
+			site.ServeConn(fm.ctx, srvConn)
+		}()
+		return cliConn, nil
+	}
+}
+
+// coordOpts is the fast-timing Options base used across the tests.
+func coordOpts(fm *farm, d Dialer) Options {
+	return Options{
+		Remotes:           fm.addrs,
+		Dialer:            d,
+		RequestTimeout:    2 * time.Second,
+		HeartbeatInterval: 10 * time.Millisecond,
+		IdleTimeout:       80 * time.Millisecond,
+		RetryBase:         5 * time.Millisecond,
+		RetryMax:          50 * time.Millisecond,
+		Breaker:           quietBreaker(),
+	}
+}
+
+// TestDistributedBitIdentity is the acceptance test: for a fixed lot
+// seed, the bins from (a) the serial engine, (b) the in-process
+// orchestrator, (c) the distributed coordinator at 1, 4 and 8 sites
+// under injected drop/duplicate/partition faults, and (d) a coordinator
+// killed mid-lot and resumed, are all identical.
+func TestDistributedBitIdentity(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 48)
+	faults := floor.DefaultFaultModel(0.15)
+	const seed = 99
+
+	serial, err := f.engine().RunLot(seed, lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := (&lotrun.Orchestrator{Engine: f.engine(),
+		Opt: lotrun.Options{Sites: 4, Breaker: quietBreaker()}}).
+		Run(context.Background(), seed, lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "serial vs 4-site local", serial, local.Lot)
+
+	prof := FaultProfile{DropP: 0.03, DupP: 0.05, PartitionAfter: 150}
+	for _, sites := range []int{1, 4, 8} {
+		sites := sites
+		t.Run(fmt.Sprintf("sites=%d", sites), func(t *testing.T) {
+			fm := newFarm(t, f, lot, faults, seed, sites)
+			c := &Coordinator{Engine: f.engine(), Opt: coordOpts(fm, fm.dialer(prof, int64(sites)))}
+			rep, err := c.Run(context.Background(), seed, lot, faults)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reportsEqual(t, fmt.Sprintf("serial vs %d-site distributed", sites), serial, rep.Lot)
+			if rep.Lot.Load.NetworkS <= 0 {
+				t.Fatal("distributed lot charged no network time")
+			}
+		})
+	}
+
+	// Kill-and-resume: interrupt the distributed run after 15 commits,
+	// then resume it (fresh coordinator, same rig) — same bins again.
+	t.Run("kill-and-resume", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "net.journal")
+		fm := newFarm(t, f, lot, faults, seed, 4)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var committed atomic.Int64
+		opt := coordOpts(fm, fm.dialer(prof, 77))
+		opt.JournalPath = path
+		opt.OnResult = func(floor.DeviceResult) {
+			if committed.Add(1) == 15 {
+				cancel()
+			}
+		}
+		c := &Coordinator{Engine: f.engine(), Opt: opt}
+		if _, err := c.Run(ctx, seed, lot, faults); err == nil {
+			t.Fatal("killed distributed run must report interruption")
+		}
+
+		fm2 := newFarm(t, f, lot, faults, seed, 4)
+		opt2 := coordOpts(fm2, fm2.dialer(prof, 78))
+		opt2.JournalPath = path
+		c2 := &Coordinator{Engine: f.engine(), Opt: opt2}
+		rep, err := c2.Resume(context.Background(), seed, lot, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Replayed == 0 || rep.Replayed >= len(lot) {
+			t.Fatalf("resume replayed %d of %d devices; want partial progress", rep.Replayed, len(lot))
+		}
+		reportsEqual(t, "distributed kill-and-resume", serial, rep.Lot)
+	})
+}
+
+// TestPartitionFailover: every connection black-holes after a few
+// messages. The coordinator must detect the silence via the idle timeout,
+// reconnect, reassign what was in flight, and still finish with the
+// serial bins — and the report must show the network actually failed.
+func TestPartitionFailover(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 24)
+	const seed = 41
+
+	serial, err := f.engine().RunLot(seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fm := newFarm(t, f, lot, nil, seed, 2)
+	prof := FaultProfile{PartitionAfter: 12}
+	opt := coordOpts(fm, fm.dialer(prof, 5))
+	opt.DisableLocalFallback = true // force recovery through the network
+	c := &Coordinator{Engine: f.engine(), Opt: opt}
+
+	start := time.Now()
+	rep, err := c.Run(context.Background(), seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	reportsEqual(t, "partition failover", serial, rep.Lot)
+	if rep.Net.Reconnects == 0 {
+		t.Fatal("partitioned floor finished without a single reconnect")
+	}
+	if rep.Net.LocalDevices != 0 {
+		t.Fatalf("local fallback screened %d devices with fallback disabled", rep.Net.LocalDevices)
+	}
+	t.Logf("partition failover: %d reconnects, %d retries, %d reassigned, %d hedges, %d dups absorbed in %v",
+		rep.Net.Reconnects, rep.Net.Retries, rep.Net.Reassigned, rep.Net.Hedges, rep.Net.DupResults, elapsed)
+}
+
+// TestAllRemotesDownLocalFallback: with every dial failing, the local
+// fallback screens the entire lot — same bins, and the report says who
+// did the work.
+func TestAllRemotesDownLocalFallback(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 16)
+	const seed = 13
+
+	serial, err := f.engine().RunLot(seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	down := func(ctx context.Context, addr string) (net.Conn, error) {
+		return nil, fmt.Errorf("connection refused")
+	}
+	opt := Options{
+		Remotes:           []string{"deadsite"},
+		Dialer:            down,
+		RequestTimeout:    time.Second,
+		HeartbeatInterval: 5 * time.Millisecond,
+		RetryBase:         5 * time.Millisecond,
+		RetryMax:          20 * time.Millisecond,
+		Breaker:           quietBreaker(),
+	}
+	c := &Coordinator{Engine: f.engine(), Opt: opt}
+	rep, err := c.Run(context.Background(), seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "all-remotes-down fallback", serial, rep.Lot)
+	if rep.Net.LocalDevices != len(lot) {
+		t.Fatalf("local fallback screened %d of %d devices", rep.Net.LocalDevices, len(lot))
+	}
+	if rep.Net.DialFails == 0 {
+		t.Fatal("dead remote produced no dial failures")
+	}
+	if !strings.Contains(rep.String(), "local fallback") {
+		t.Fatalf("report rendering lost the fallback story: %q", rep.String())
+	}
+
+	// And with the fallback disabled and no remotes, the run must refuse
+	// to start rather than hang.
+	c2 := &Coordinator{Engine: f.engine(), Opt: Options{DisableLocalFallback: true}}
+	if _, err := c2.Run(context.Background(), seed, lot, nil); err == nil {
+		t.Fatal("no remotes + no fallback must error")
+	}
+}
+
+// TestHelloRejectsMismatchedSite: a site serving a different lot (wrong
+// seed → different fingerprinted lot identity) is permanently abandoned
+// after the handshake; the lot still finishes via the local fallback and
+// the report names the abandonment.
+func TestHelloRejectsMismatchedSite(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 8)
+	const seed = 3
+
+	fm := newFarm(t, f, lot, nil, seed+1, 1) // site built for the WRONG lot seed
+	opt := coordOpts(fm, fm.dialer(FaultProfile{}, 0))
+	c := &Coordinator{Engine: f.engine(), Opt: opt}
+	rep, err := c.Run(context.Background(), seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sites[0].Err == "" {
+		t.Fatal("mismatched site was not abandoned")
+	}
+	if rep.Net.LocalDevices != len(lot) {
+		t.Fatalf("local fallback screened %d of %d after abandonment", rep.Net.LocalDevices, len(lot))
+	}
+
+	serial, err := f.engine().RunLot(seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "abandoned-site lot", serial, rep.Lot)
+}
+
+// TestExactlyOnceUnderDuplication: a duplication-heavy transport delivers
+// results (and assignments) twice; the journal must still contain each
+// device exactly once, and the dedup counter must show the machinery
+// actually absorbed something.
+func TestExactlyOnceUnderDuplication(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 24)
+	const seed = 21
+	path := filepath.Join(t.TempDir(), "dup.journal")
+
+	fm := newFarm(t, f, lot, nil, seed, 3)
+	prof := FaultProfile{DupP: 0.5}
+	opt := coordOpts(fm, fm.dialer(prof, 9))
+	opt.JournalPath = path
+	c := &Coordinator{Engine: f.engine(), Opt: opt}
+	rep, err := c.Run(context.Background(), seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hdr, results, _, stats, err := lotrun.ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Duplicates != 0 {
+		t.Fatalf("journal holds %d duplicate records; commit is not exactly-once", stats.Duplicates)
+	}
+	if len(results) != len(lot) || stats.Records != len(lot) {
+		t.Fatalf("journal holds %d records for %d devices", stats.Records, len(lot))
+	}
+	if hdr.Fingerprint != f.engine().Fingerprint() {
+		t.Fatal("journal header lost the engine fingerprint")
+	}
+
+	serial, err := f.engine().RunLot(seed, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "duplication-heavy lot", serial, rep.Lot)
+	if rep.Net.LocalDevices > len(lot)/4 {
+		t.Fatalf("local fallback screened %d of %d devices while every remote was healthy", rep.Net.LocalDevices, len(lot))
+	}
+	if rep.Net.Assigns < len(lot)-rep.Net.LocalDevices {
+		t.Fatalf("%d assigns for %d remote devices: the lot was not screened remotely",
+			rep.Net.Assigns, len(lot)-rep.Net.LocalDevices)
+	}
+	if rep.Net.DupResults == 0 {
+		t.Fatal("a 50% duplication transport exercised no dedup at all")
+	}
+	t.Logf("dup lot: %d duplicate results absorbed, %d assigns", rep.Net.DupResults, rep.Net.Assigns)
+}
+
+// TestNetSoak is the -race soak: the full fault cocktail — drop,
+// duplicate, corrupt, delay and recurring partitions — on both directions
+// of every connection, across reconnect epochs, still converges to the
+// serial bins. Kept small enough for -short CI.
+func TestNetSoak(t *testing.T) {
+	f := getFixture(t)
+	n := 24
+	if testing.Short() {
+		n = 12
+	}
+	lot := testLot(t, f, n)
+	faults := floor.DefaultFaultModel(0.1)
+	const seed = 77
+
+	serial, err := f.engine().RunLot(seed, lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fm := newFarm(t, f, lot, faults, seed, 4)
+	prof := FaultProfile{
+		DropP:          0.05,
+		DupP:           0.05,
+		CorruptP:       0.02,
+		DelayP:         0.1,
+		DelayMax:       3 * time.Millisecond,
+		PartitionAfter: 60,
+	}
+	opt := coordOpts(fm, fm.dialer(prof, 1234))
+	opt.RequestTimeout = time.Second
+	c := &Coordinator{Engine: f.engine(), Opt: opt}
+	rep, err := c.Run(context.Background(), seed, lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "soak", serial, rep.Lot)
+	t.Logf("soak: %d assigns, %d retries, %d reconnects, %d dups absorbed, %d local",
+		rep.Net.Assigns, rep.Net.Retries, rep.Net.Reconnects, rep.Net.DupResults, rep.Net.LocalDevices)
+}
+
+// TestCoordinatorInputValidation covers the refuse-early paths.
+func TestCoordinatorInputValidation(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 4)
+	ctx := context.Background()
+
+	if _, err := (&Coordinator{}).Run(ctx, 1, lot, nil); err == nil {
+		t.Fatal("nil engine must error")
+	}
+	if _, err := (&Coordinator{Engine: f.engine()}).Run(ctx, 1, nil, nil); err == nil {
+		t.Fatal("empty lot must error")
+	}
+	if _, err := (&Coordinator{Engine: f.engine()}).Resume(ctx, 1, lot, nil); err == nil {
+		t.Fatal("resume without a journal path must error")
+	}
+	bad := &floor.FaultModel{P: map[floor.FaultKind]float64{floor.FaultBurstNoise: 2}}
+	if _, err := (&Coordinator{Engine: f.engine()}).Run(ctx, 1, lot, bad); err == nil {
+		t.Fatal("invalid fault model must error")
+	}
+}
+
+// TestResumeRejectsWrongRig: the journal pins the lot identity AND the
+// engine fingerprint; a resume from a differently calibrated coordinator
+// must be refused.
+func TestResumeRejectsWrongRig(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 8)
+	const seed = 55
+	path := filepath.Join(t.TempDir(), "rig.journal")
+
+	fm := newFarm(t, f, lot, nil, seed, 1)
+	opt := coordOpts(fm, fm.dialer(FaultProfile{}, 0))
+	opt.JournalPath = path
+	c := &Coordinator{Engine: f.engine(), Opt: opt}
+	if _, err := c.Run(context.Background(), seed, lot, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Resume(context.Background(), seed+1, lot, nil); err == nil {
+		t.Fatal("wrong seed must be refused")
+	}
+	eng := f.engine()
+	eng.Policy.MaxRetests = eng.Policy.MaxRetests + 3 // different policy → different fingerprint
+	c2 := &Coordinator{Engine: eng, Opt: opt}
+	if _, err := c2.Resume(context.Background(), seed, lot, nil); err == nil {
+		t.Fatal("differently calibrated engine must be refused")
+	}
+}

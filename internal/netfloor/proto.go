@@ -1,0 +1,168 @@
+// Package netfloor is the distributed test floor: one coordinator screens
+// a production lot across N remote tester sites over TCP, and stays
+// correct when the network does not. The design extends the determinism
+// contract of internal/lotrun across the wire:
+//
+//   - assignments are keyed by (lot seed, device index) alone — a site
+//     rebuilds the identical lot and engine from the shared engineering
+//     seed, so the wire never carries a device, only its index;
+//   - delivery is at-least-once (timeouts retry, reconnects re-send,
+//     faulty transports duplicate), and screening is a deterministic pure
+//     function of the key, so any two results for the same index agree;
+//   - commit is exactly-once: a single collector dedups results by device
+//     index before the fsync'd lotrun journal sees them.
+//
+// Together these make serial, local-concurrent, distributed and
+// killed-and-resumed runs produce bit-identical bins under arbitrary
+// message drop, duplication, corruption, delay and partition.
+package netfloor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/floor"
+)
+
+// ProtocolVersion is carried in every Hello; coordinator and site must
+// match exactly.
+const ProtocolVersion = 1
+
+// maxFrame bounds one message on the wire. A corrupted length prefix is
+// overwhelmingly likely to exceed it, turning bit rot into a clean
+// connection reset instead of a multi-gigabyte allocation.
+const maxFrame = 4 << 20
+
+// MsgType tags the wire messages.
+type MsgType string
+
+const (
+	// MsgHello opens a connection: the coordinator states the lot identity
+	// (seed, size, fault load, engine fingerprint) it intends to screen.
+	MsgHello MsgType = "hello"
+	// MsgHelloAck accepts the Hello, echoing the identity and naming the
+	// site.
+	MsgHelloAck MsgType = "hello_ack"
+	// MsgAssign asks the site to screen one device index.
+	MsgAssign MsgType = "assign"
+	// MsgResult returns a screened DeviceResult.
+	MsgResult MsgType = "result"
+	// MsgHeartbeat is the liveness beacon either side sends while idle or
+	// busy; it carries no payload and resets the receiver's idle timer.
+	MsgHeartbeat MsgType = "heartbeat"
+	// MsgDrain announces a graceful shutdown: no more assignments follow.
+	MsgDrain MsgType = "drain"
+	// MsgDrainAck confirms the drain; the site closes after sending it.
+	MsgDrainAck MsgType = "drain_ack"
+	// MsgError rejects the peer (identity mismatch, bad assignment).
+	MsgError MsgType = "error"
+)
+
+// Hello is the lot identity both sides must agree on before any device is
+// assigned.
+type Hello struct {
+	Version     int     `json:"version"`
+	LotSeed     int64   `json:"lot_seed"`
+	Devices     int     `json:"devices"`
+	FaultP      float64 `json:"fault_p"`
+	Fingerprint uint64  `json:"fingerprint"`
+}
+
+// Envelope is the one wire message shape; Type selects which fields are
+// meaningful.
+type Envelope struct {
+	Type   MsgType             `json:"type"`
+	Seq    uint64              `json:"seq,omitempty"`
+	Hello  *Hello              `json:"hello,omitempty"`
+	Device int                 `json:"device"`
+	Result *floor.DeviceResult `json:"result,omitempty"`
+	Site   string              `json:"site,omitempty"`
+	Err    string              `json:"err,omitempty"`
+}
+
+// ErrCorruptFrame reports a frame whose payload CRC did not verify — the
+// stream can no longer be trusted and the connection must be reset.
+var ErrCorruptFrame = errors.New("netfloor: corrupt frame (payload CRC mismatch)")
+
+// msgConn frames Envelopes over a net.Conn: a 4-byte big-endian payload
+// length, a 4-byte IEEE CRC32 of the payload, then the JSON payload. Each
+// frame goes out in a single Write, which keeps the fault-injecting
+// transport's per-write faults aligned with whole messages (a dropped
+// write is a lost message, a doubled write a duplicated one — exactly the
+// failure modes a datagram network would produce).
+type msgConn struct {
+	c net.Conn
+	r *bufio.Reader
+
+	wmu sync.Mutex
+}
+
+func newMsgConn(c net.Conn) *msgConn {
+	return &msgConn{c: c, r: bufio.NewReader(c)}
+}
+
+// write sends one envelope; safe for concurrent use (heartbeat senders
+// share the conn with the request path). writeTimeout bounds how long a
+// stalled peer can block the sender (0 = no deadline).
+func (m *msgConn) write(env *Envelope, writeTimeout time.Duration) error {
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("netfloor: marshal %s: %w", env.Type, err)
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("netfloor: %s frame of %d bytes exceeds %d", env.Type, len(payload), maxFrame)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	if writeTimeout > 0 {
+		m.c.SetWriteDeadline(time.Now().Add(writeTimeout))
+	}
+	if _, err := m.c.Write(frame); err != nil {
+		return fmt.Errorf("netfloor: write %s: %w", env.Type, err)
+	}
+	return nil
+}
+
+// read receives one envelope, waiting at most idle for bytes to arrive —
+// the liveness contract: a healthy peer heartbeats well inside idle, so
+// an expired deadline means dead or partitioned, not slow.
+func (m *msgConn) read(idle time.Duration) (*Envelope, error) {
+	if idle > 0 {
+		m.c.SetReadDeadline(time.Now().Add(idle))
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(m.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("netfloor: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > maxFrame {
+		return nil, fmt.Errorf("netfloor: frame of %d bytes exceeds %d (corrupt length?)", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(m.r, payload); err != nil {
+		return nil, fmt.Errorf("netfloor: read frame payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return nil, ErrCorruptFrame
+	}
+	var env Envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return nil, fmt.Errorf("netfloor: decode frame: %w", err)
+	}
+	return &env, nil
+}
+
+func (m *msgConn) close() error { return m.c.Close() }

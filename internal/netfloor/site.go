@@ -1,0 +1,305 @@
+package netfloor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/floor"
+)
+
+// Site is one remote tester site: it owns a screening engine and the full
+// lot (rebuilt locally from the shared engineering seed — the wire never
+// carries a device), and serves Assign requests by screening the named
+// index. Screening is a deterministic pure function of (lot seed, index),
+// so re-screening a re-delivered assignment is harmless; the result cache
+// just makes it instant.
+type Site struct {
+	// Name identifies the site in coordinator reports (default the
+	// listener address).
+	Name string
+	// Engine is the screening engine; its Fingerprint must match the
+	// coordinator's.
+	Engine *floor.Engine
+	// Lot is the full production lot, index-aligned with the coordinator's.
+	Lot []*core.Device
+	// Faults is the insertion fault model (may be nil); its TotalP must
+	// match the coordinator's.
+	Faults *floor.FaultModel
+	// LotSeed is the lot's device-seed root.
+	LotSeed int64
+	// HeartbeatInterval is how often the site beacons while screening or
+	// idle (default 1s).
+	HeartbeatInterval time.Duration
+	// IdleTimeout is how long the site waits without hearing anything from
+	// the coordinator (not even a heartbeat) before dropping the
+	// connection (default 10 × HeartbeatInterval).
+	IdleTimeout time.Duration
+	// DeviceTimeout bounds one device's screening wall time (0 = none),
+	// mirroring lotrun.Options.DeviceTimeout.
+	DeviceTimeout time.Duration
+	// Logf, when set, receives site-side progress lines.
+	Logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	cache map[int]floor.DeviceResult
+}
+
+func (s *Site) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Site) heartbeat() time.Duration {
+	if s.HeartbeatInterval > 0 {
+		return s.HeartbeatInterval
+	}
+	return time.Second
+}
+
+func (s *Site) idle() time.Duration {
+	if s.IdleTimeout > 0 {
+		return s.IdleTimeout
+	}
+	return 10 * s.heartbeat()
+}
+
+// Hello is the identity this site will insist on during the handshake.
+func (s *Site) hello() Hello {
+	faultP := 0.0
+	if s.Faults != nil {
+		faultP = s.Faults.TotalP()
+	}
+	return Hello{
+		Version:     ProtocolVersion,
+		LotSeed:     s.LotSeed,
+		Devices:     len(s.Lot),
+		FaultP:      faultP,
+		Fingerprint: s.Engine.Fingerprint(),
+	}
+}
+
+// Validate checks the site is runnable.
+func (s *Site) Validate() error {
+	if s.Engine == nil {
+		return fmt.Errorf("netfloor: site needs an engine")
+	}
+	if err := s.Engine.Validate(); err != nil {
+		return err
+	}
+	if len(s.Lot) == 0 {
+		return fmt.Errorf("netfloor: site has an empty lot")
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Serve accepts coordinator connections on ln until ctx is cancelled,
+// handling each on its own goroutine (a coordinator reconnecting after a
+// partition gets a fresh connection while the old one times out).
+func (s *Site) Serve(ctx context.Context, ln net.Listener) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Name == "" {
+		s.Name = ln.Addr().String()
+	}
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("netfloor: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.ServeConn(ctx, conn); err != nil && ctx.Err() == nil {
+				s.logf("site %s: connection ended: %v", s.Name, err)
+			}
+		}()
+	}
+}
+
+// ServeConn handles one coordinator connection: handshake, then a serial
+// Assign → screen → Result loop until Drain, error or idle timeout. A
+// heartbeat goroutine beacons throughout so the coordinator can tell a
+// long-running screen from a dead site.
+func (s *Site) ServeConn(ctx context.Context, conn net.Conn) error {
+	if err := s.Validate(); err != nil {
+		conn.Close()
+		return err
+	}
+	if s.Name == "" {
+		s.Name = conn.LocalAddr().String()
+	}
+	mc := newMsgConn(conn)
+	defer mc.close()
+
+	// Handshake: the coordinator speaks first; refuse any identity
+	// mismatch — a differently calibrated engine would bin differently,
+	// silently breaking the lot's determinism contract.
+	env, err := mc.read(s.idle())
+	if err != nil {
+		return fmt.Errorf("netfloor: handshake read: %w", err)
+	}
+	if env.Type != MsgHello || env.Hello == nil {
+		return fmt.Errorf("netfloor: expected hello, got %s", env.Type)
+	}
+	want := s.hello()
+	if *env.Hello != want {
+		mc.write(&Envelope{Type: MsgError, Site: s.Name,
+			Err: fmt.Sprintf("identity mismatch: coordinator %+v, site %+v", *env.Hello, want)}, s.heartbeat())
+		return fmt.Errorf("netfloor: identity mismatch: coordinator %+v, site %+v", *env.Hello, want)
+	}
+	if err := mc.write(&Envelope{Type: MsgHelloAck, Hello: &want, Site: s.Name}, s.idle()); err != nil {
+		return err
+	}
+
+	// Heartbeat beacon: a separate goroutine so beacons keep flowing while
+	// a device is on the (simulated) tester. A failed beacon write closes
+	// the conn, which unblocks the read loop below.
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	defer hbCancel()
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(s.heartbeat())
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if err := mc.write(&Envelope{Type: MsgHeartbeat, Site: s.Name}, s.heartbeat()); err != nil {
+					conn.Close()
+					return
+				}
+			}
+		}
+	}()
+	defer hbWG.Wait()
+
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		env, err := mc.read(s.idle())
+		if err != nil {
+			if errors.Is(err, ErrCorruptFrame) {
+				// The stream is desynchronized; only a reset recovers it.
+				return err
+			}
+			return err
+		}
+		switch env.Type {
+		case MsgHeartbeat:
+			// Liveness only; the read deadline was already refreshed.
+		case MsgAssign:
+			if env.Device < 0 || env.Device >= len(s.Lot) {
+				mc.write(&Envelope{Type: MsgError, Seq: env.Seq, Device: env.Device, Site: s.Name,
+					Err: fmt.Sprintf("device %d outside lot [0,%d)", env.Device, len(s.Lot))}, s.heartbeat())
+				continue
+			}
+			res := s.screen(ctx, env.Device)
+			if res.Err != "" && ctx.Err() != nil {
+				// The site is shutting down mid-device: the result is a
+				// truncation, not an outcome. Never send it — the coordinator
+				// reassigns and re-screens from the same per-device seed.
+				return ctx.Err()
+			}
+			if err := mc.write(&Envelope{Type: MsgResult, Seq: env.Seq, Device: env.Device,
+				Result: &res, Site: s.Name}, s.idle()); err != nil {
+				return err
+			}
+		case MsgDrain:
+			mc.write(&Envelope{Type: MsgDrainAck, Seq: env.Seq, Site: s.Name}, s.heartbeat())
+			return nil
+		default:
+			// Unknown or misdirected message: ignore — a future protocol
+			// may add message types old sites can skip.
+		}
+	}
+}
+
+// screen produces the device's result, from cache when this site has
+// already screened it (a re-delivered assignment after a reconnect or a
+// duplicated frame). The cache is shared across connections on purpose:
+// the coordinator that reconnects after a partition gets the same answer
+// instantly.
+func (s *Site) screen(ctx context.Context, idx int) floor.DeviceResult {
+	s.mu.Lock()
+	if res, ok := s.cache[idx]; ok {
+		s.mu.Unlock()
+		return res
+	}
+	s.mu.Unlock()
+
+	res := s.screenSupervised(ctx, idx)
+	if res.Err != "" && ctx.Err() != nil {
+		return res // truncated by shutdown: never cache
+	}
+
+	s.mu.Lock()
+	if s.cache == nil {
+		s.cache = make(map[int]floor.DeviceResult)
+	}
+	if prev, ok := s.cache[idx]; ok {
+		res = prev // two connections raced; keep the first
+	} else {
+		s.cache[idx] = res
+	}
+	s.mu.Unlock()
+	return res
+}
+
+func (s *Site) screenSupervised(ctx context.Context, idx int) floor.DeviceResult {
+	return superviseScreen(ctx, s.Engine, s.LotSeed, idx, s.Lot[idx], s.Faults, s.DeviceTimeout)
+}
+
+// superviseScreen mirrors lotrun's per-device supervision: a deadline
+// bounds the device's wall time and a recover() turns any panic escaping
+// the screening path into a fallback-binned device instead of a dead site.
+// Both the remote site and the coordinator's local fallback screen through
+// it, so a device bins identically wherever it lands.
+func superviseScreen(ctx context.Context, eng *floor.Engine, lotSeed int64, idx int,
+	d *core.Device, faults *floor.FaultModel, timeout time.Duration) (res floor.DeviceResult) {
+	res = floor.DeviceResult{Index: idx, CleanD: -1, TruePass: eng.TruePass(d.Specs)}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Bin = floor.BinFallback
+			res.Err = fmt.Sprintf("panic: %v", r)
+			if res.Insertions == 0 {
+				res.Insertions = 1
+			}
+		}
+	}()
+	dctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res = eng.ScreenDevice(dctx, idx, d, core.DeviceSeed(lotSeed, idx), faults)
+	return res
+}

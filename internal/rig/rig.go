@@ -1,0 +1,208 @@
+// Package rig builds the full signature-test engineering rig — optimized
+// stimulus, calibration, gate, floor engine and production lot — from a
+// handful of scalar parameters. It exists so that every process on a
+// distributed test floor derives a bit-identical rig from the same flags:
+// the coordinator (cmd/sigtest -remote) and each remote site
+// (cmd/sitetester) run Build with the same Params and end up with the
+// same engine fingerprint, the same lot, and therefore the same bins —
+// the wire only ever needs to carry device indices.
+//
+// The RNG discipline is the contract: Build consumes the seeded stream in
+// exactly the order the original sigtest pipeline did (stimulus GA,
+// training population, training-lot seed, calibration, validation
+// population, validation, production population), so a rig built here is
+// bit-identical to one built by the historical inline code.
+package rig
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/floor"
+	"repro/internal/lna"
+	"repro/internal/wave"
+)
+
+// SpecLimits is the pass/fail window applied at production time.
+type SpecLimits struct {
+	MinGainDB  float64
+	MaxNFDB    float64
+	MinIIP3DBm float64
+}
+
+// LimitsFor returns the data-sheet window for a device family.
+func LimitsFor(dut string) SpecLimits {
+	if dut == "rf2401" {
+		return SpecLimits{MinGainDB: 10.0, MaxNFDB: 4.2, MinIIP3DBm: -9.5}
+	}
+	return SpecLimits{MinGainDB: 14.5, MaxNFDB: 2.7, MinIIP3DBm: 0.0}
+}
+
+// Pass applies the window.
+func (l SpecLimits) Pass(s lna.Specs) bool {
+	return s.GainDB >= l.MinGainDB && s.NFDB <= l.MaxNFDB && s.IIP3DBm >= l.MinIIP3DBm
+}
+
+// Params selects what to build. Two processes with equal Params build
+// bit-identical rigs.
+type Params struct {
+	// DUT is the device family: "lna" (circuit-level) or "rf2401"
+	// (behavioral).
+	DUT string
+	// Seed is the master seed for the whole engineering phase and the lot.
+	Seed int64
+	// Train is the training lot size (0 = family default: 100 lna,
+	// 28 rf2401).
+	Train int
+	// Produce is the production lot size.
+	Produce int
+	// Quick shrinks the GA budget.
+	Quick bool
+	// FaultP is the total per-insertion fault probability for the
+	// fault-tolerant floor.
+	FaultP float64
+	// Workers sizes the off-line worker pools (GA fitness, training
+	// acquisition, cross-validation); results are identical for any
+	// value >= 1 (0 = 1).
+	Workers int
+}
+
+// Rig is the built engineering state.
+type Rig struct {
+	Params Params
+	Model  core.DeviceModel
+	Cfg    *core.TestConfig
+	Spread float64
+	// Stim is the GA-optimized stimulus; Trace its per-generation
+	// objective.
+	Stim  *wave.PWL
+	Trace []float64
+	// Train is the acquired training set, Cal the regression map fit on
+	// it.
+	Train []core.TrainingDevice
+	Cal   *core.Calibration
+	// Validation is the held-out-lot report.
+	Validation *core.ValidationReport
+	// Lot is the production lot.
+	Lot []*core.Device
+	// Limits is the data-sheet window; Gate the signature sanity gate fit
+	// on the training signatures; Engine the fault-tolerant floor engine;
+	// Faults the insertion fault model.
+	Limits SpecLimits
+	Gate   *floor.Gate
+	Engine *floor.Engine
+	Faults *floor.FaultModel
+	// Rng is the master stream, positioned exactly where the engineering
+	// phase left it — callers that keep drawing from it (the plain
+	// production path) stay bit-identical to the historical inline code.
+	Rng *rand.Rand
+}
+
+// Logf receives progress lines during Build (nil = silent).
+type Logf func(format string, args ...any)
+
+// Build runs the engineering phase: stimulus optimization, calibration,
+// validation, production-lot generation, gate fit and engine assembly.
+func Build(p Params, logf Logf) (*Rig, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if p.Workers < 1 {
+		p.Workers = 1
+	}
+	if p.FaultP < 0 || p.FaultP > 1 {
+		return nil, fmt.Errorf("rig: fault probability %g outside [0, 1]", p.FaultP)
+	}
+	if p.Produce < 1 {
+		return nil, fmt.Errorf("rig: production lot of %d devices; need >= 1", p.Produce)
+	}
+
+	r := &Rig{Params: p}
+	defer func() { r.Params.Train = p.Train }()
+	switch p.DUT {
+	case "lna":
+		r.Model = core.NewLNAModel()
+		r.Cfg = core.DefaultSimConfig()
+		r.Spread = 0.20
+		if p.Train == 0 {
+			p.Train = 100
+		}
+	case "rf2401":
+		r.Model = core.RF2401Model{}
+		r.Cfg = core.DefaultHardwareConfig()
+		r.Spread = 0.9
+		if p.Train == 0 {
+			p.Train = 28
+		}
+	default:
+		return nil, fmt.Errorf("rig: unknown device family %q", p.DUT)
+	}
+	r.Limits = LimitsFor(p.DUT)
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	r.Rng = rng
+
+	opt := core.OptimizerOptions{PopSize: 20, Generations: 5, Workers: p.Workers}
+	if p.Quick {
+		opt = core.OptimizerOptions{PopSize: 8, Generations: 2, Workers: p.Workers}
+	}
+	logf("[1/4] optimizing stimulus (GA %dx%d, Eq. 10 objective, %d workers)...", opt.PopSize, opt.Generations, p.Workers)
+	res, err := core.OptimizeStimulus(rng, r.Model, r.Cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	r.Stim, r.Trace = res.Stimulus, res.Trace
+	logf("      objective trace: %v", res.Trace)
+
+	logf("[2/4] calibrating on %d training devices...", p.Train)
+	trainPop, err := core.GeneratePopulation(rng, r.Model, p.Train, r.Spread)
+	if err != nil {
+		return nil, err
+	}
+	r.Train, err = core.AcquireTrainingSetSeeded(rng.Int63(), r.Cfg, r.Stim, trainPop,
+		func(d *core.Device) lna.Specs { return d.Specs }, p.Workers)
+	if err != nil {
+		return nil, err
+	}
+	r.Cal, err = core.Calibrate(rng, r.Stim, r.Train, core.CalibrationOptions{Workers: p.Workers})
+	if err != nil {
+		return nil, err
+	}
+	logf("      regression per spec: %v", r.Cal.Trainers)
+
+	logf("[3/4] validating on a held-out lot...")
+	valPop, err := core.GeneratePopulation(rng, r.Model, 25, r.Spread)
+	if err != nil {
+		return nil, err
+	}
+	r.Validation, err = core.Validate(rng, r.Cfg, r.Cal, r.Stim, valPop)
+	if err != nil {
+		return nil, err
+	}
+
+	r.Lot, err = core.GeneratePopulation(rng, r.Model, p.Produce, r.Spread)
+	if err != nil {
+		return nil, err
+	}
+
+	sigs := make([][]float64, len(r.Train))
+	for i := range r.Train {
+		sigs[i] = r.Train[i].Signature
+	}
+	r.Gate, err = floor.FitGate(sigs, floor.GateOptions{})
+	if err != nil {
+		return nil, err
+	}
+	r.Engine = &floor.Engine{
+		Cfg:      r.Cfg,
+		Cal:      r.Cal,
+		Stim:     r.Stim,
+		Gate:     r.Gate,
+		PredPass: r.Limits.Pass,
+		TruePass: r.Limits.Pass,
+		Policy:   floor.DefaultPolicy(),
+	}
+	r.Faults = floor.DefaultFaultModel(p.FaultP)
+	return r, nil
+}

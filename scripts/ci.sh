@@ -15,8 +15,13 @@ fi
 go vet ./...
 go build ./...
 # Explicit timeout: the race detector slows internal/experiments ~10x past
-# go test's default 10-minute per-package budget.
-go test -race -timeout 45m ./...
+# go test's default 10-minute per-package budget. -shuffle=on randomizes
+# test order so inter-test state dependencies cannot hide.
+go test -race -shuffle=on -timeout 45m ./...
+# Distributed-floor soak: repeat the netfloor suite under the race detector
+# so its timing-sensitive failover/partition paths see more than one
+# scheduling.
+go test -race -short -count=2 -timeout 30m ./internal/netfloor/
 # Bench smoke: one iteration of the pipeline benchmarks, which also assert
 # parallel results bit-identical to serial.
 go test -run '^$' -bench 'Calibrate|GA' -benchtime 1x .
