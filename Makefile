@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmtcheck vet build test race netsoak bench ci
+.PHONY: all fmt fmtcheck vet build test race netsoak lotsoak bench ci
 
 all: build
 
@@ -37,15 +37,23 @@ race:
 netsoak:
 	$(GO) test -race -short -count=2 -timeout 30m ./internal/netfloor/
 
+# Multi-lot service soak: the lotserver suite repeated under the race
+# detector — admission races, concurrent drain, crash-restart-resume and
+# fair scheduling see more than one goroutine interleaving.
+lotsoak:
+	$(GO) test -race -count=2 -timeout 30m ./internal/lotserver/
+
 # Serial-vs-parallel benchmarks: lot orchestration (BENCH_lotrun.json),
-# the off-line calibration pipeline (BENCH_pipeline.json) and the
-# distributed floor over in-process pipes (BENCH_netfloor.json). All
-# assert the parallel/distributed results bit-identical to the serial ones
-# before reporting.
+# the off-line calibration pipeline (BENCH_pipeline.json), the
+# distributed floor over in-process pipes (BENCH_netfloor.json) and the
+# multi-lot screening service (BENCH_server.json: throughput plus
+# p50/p95/p99 device latency). All assert the parallel/distributed results
+# bit-identical to the serial ones before reporting.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkLot|BenchmarkNetLot|BenchmarkCalibrate|BenchmarkGA)$$' -benchtime 2x .
+	$(GO) test -run '^$$' -bench '^(BenchmarkLot|BenchmarkNetLot|BenchmarkCalibrate|BenchmarkGA|BenchmarkServe)$$' -benchtime 2x .
 	@echo "--- BENCH_lotrun.json"; cat BENCH_lotrun.json
 	@echo "--- BENCH_pipeline.json"; cat BENCH_pipeline.json
 	@echo "--- BENCH_netfloor.json"; cat BENCH_netfloor.json
+	@echo "--- BENCH_server.json"; cat BENCH_server.json
 
-ci: fmtcheck vet build race netsoak
+ci: fmtcheck vet build race netsoak lotsoak

@@ -1,0 +1,110 @@
+// Multi-lot screening service benchmark (`make bench`). A lotserver with
+// local workers screens several concurrent lots submitted together; the
+// aggregate device throughput and the p50/p95/p99 device latency
+// (first assignment → journal commit) from the server's own /statusz ring
+// land in BENCH_server.json. The bins of every lot are asserted identical
+// to a serial single-lot run — concurrency must buy throughput, never
+// different screening.
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/floor"
+	"repro/internal/lotrun"
+	"repro/internal/lotserver"
+)
+
+// BenchmarkServe runs three concurrent lots through the multi-lot server
+// at increasing local-worker counts and writes throughput plus latency
+// percentiles to BENCH_server.json.
+func BenchmarkServe(b *testing.B) {
+	f := getLotBench(b)
+	specs := []lotserver.LotSpec{
+		{ID: "bench-a", Seed: benchLotSeed, Devices: benchLotDevices},
+		{ID: "bench-b", Seed: benchLotSeed + 1, Devices: benchLotDevices / 2},
+		{ID: "bench-c", Seed: benchLotSeed + 2, Devices: benchLotDevices / 4},
+	}
+	totalDevices := 0
+	for _, s := range specs {
+		totalDevices += s.Devices
+	}
+
+	// Serial references: the bins every served lot must reproduce.
+	refs := make(map[string][]floor.Bin, len(specs))
+	for _, spec := range specs {
+		rep, err := f.engine.RunLot(spec.Seed, f.lot[:spec.Devices], f.faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs[spec.ID] = lotBins(rep)
+	}
+
+	out := map[string]any{
+		"lots":          len(specs),
+		"total_devices": totalDevices,
+		"faultp":        benchLotFaultP,
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var st lotserver.Status
+			for i := 0; i < b.N; i++ {
+				s, err := lotserver.New(lotserver.Options{
+					Engine: f.engine, Pool: f.lot, Faults: f.faults,
+					LocalWorkers:  workers,
+					MaxActiveLots: len(specs),
+					Breaker:       lotrun.BreakerConfig{TripConsecutive: 1 << 20},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles := make([]*lotserver.LotHandle, len(specs))
+				for j, spec := range specs {
+					h, err := s.Submit(context.Background(), spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles[j] = h
+				}
+				for j, h := range handles {
+					res, err := h.Wait(context.Background())
+					if err != nil {
+						b.Fatal(err)
+					}
+					bins := lotBins(res.Report)
+					for k, bin := range bins {
+						if bin != refs[specs[j].ID][k] {
+							b.Fatalf("lot %s device %d binned %v served vs %v serially",
+								specs[j].ID, k, bin, refs[specs[j].ID][k])
+						}
+					}
+				}
+				st = s.Status()
+				s.Kill()
+			}
+			perDev := float64(b.Elapsed().Nanoseconds()) / float64(b.N*totalDevices)
+			b.ReportMetric(perDev, "ns/device")
+			b.ReportMetric(st.LatencyP99Ms, "p99-ms")
+			key := fmt.Sprintf("workers%d", workers)
+			out[key+"_ns_per_device"] = perDev
+			out[key+"_devices_per_s"] = 1e9 / perDev
+			out[key+"_latency_p50_ms"] = st.LatencyP50Ms
+			out[key+"_latency_p95_ms"] = st.LatencyP95Ms
+			out[key+"_latency_p99_ms"] = st.LatencyP99Ms
+		})
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_server.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

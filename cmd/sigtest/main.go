@@ -16,18 +16,25 @@
 //	sigtest -faults -remote :7101,:7102            # distributed floor:
 //	                                 # screen on networked sitetester
 //	                                 # processes (same flags on each site)
+//	sigtest -server :7200 -lot waferA -lotseed 99 -produce 120
+//	                                 # thin client: submit a lot to a
+//	                                 # running lotserverd and await bins
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"repro/internal/lotrun"
+	"repro/internal/lotserver"
 	"repro/internal/netfloor"
 	"repro/internal/rig"
 )
@@ -46,6 +53,9 @@ func main() {
 	resume := flag.Bool("resume", false, "resume an interrupted lot from -journal instead of starting fresh")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the off-line phase (GA fitness, training acquisition, cross-validation); results are identical for any value")
 	remote := flag.String("remote", "", "comma-separated sitetester addresses: screen the lot on the distributed floor (with -faults); each site must run with the same -dut/-seed/-train/-produce/-quick/-faultp")
+	server := flag.String("server", "", "lotserverd address: submit the lot as a thin client — no rig is built here; the server and its sites own the engine")
+	lotID := flag.String("lot", "", "lot ID for -server submission (journaled under this name; resubmitting resumes it)")
+	lotSeed := flag.Int64("lotseed", 0, "lot seed for -server submission (default -seed)")
 	flag.Parse()
 
 	if *faultP < 0 || *faultP > 1 {
@@ -77,6 +87,20 @@ func main() {
 	}
 	if *remote != "" && len(remotes) == 0 {
 		usageFail("-remote %q names no addresses", *remote)
+	}
+	if *server != "" {
+		if *lotID == "" {
+			usageFail("-server needs -lot: the lot ID names the journal and the resume key")
+		}
+		if *withFaults || *remote != "" {
+			usageFail("-server is a thin client; the server owns the floor (drop -faults/-remote)")
+		}
+		ls := *lotSeed
+		if ls == 0 {
+			ls = *seed
+		}
+		runServerClient(*server, *lotID, ls, *produce)
+		return
 	}
 
 	r, err := rig.Build(rig.Params{
@@ -181,6 +205,46 @@ func runFaultyFloor(r *rig.Rig, sites int, journal string, resume bool, remotes 
 		fmt.Print(rep)
 	}
 	printLimits(r.Limits)
+}
+
+// runServerClient submits one lot to a running lotserverd and waits for
+// its bins. SIGINT/SIGTERM cancels the submission (the server checkpoints
+// the lot's journal; resubmitting the same -lot resumes it).
+func runServerClient(addr, id string, lotSeed int64, devices int) {
+	cli, err := lotserver.Dial(addr, lotserver.ClientOptions{})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer cli.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("sigtest: submitting lot %q (seed=%d, %d devices) to %s\n", id, lotSeed, devices, addr)
+	sum, err := cli.Run(ctx, lotserver.LotSpec{ID: id, Seed: lotSeed, Devices: devices})
+	if err != nil {
+		var rej *lotserver.RejectionError
+		if errors.As(err, &rej) && rej.Code == lotserver.CodeSaturated {
+			fail("server saturated (backpressure): retry later — nothing was admitted")
+		}
+		if ctx.Err() != nil {
+			fail("cancelled: the server checkpoints lot %q; resubmit to resume", id)
+		}
+		fail("%v", err)
+	}
+	fmt.Printf("      lot %q done: %d devices, %d pass / %d fail (%d via fallback)\n",
+		id, sum.Devices, sum.Pass, sum.Fail, sum.Fallback)
+	fmt.Printf("      escapes: %d, overkill: %d", sum.Escapes, sum.Overkill)
+	if sum.Replayed > 0 {
+		fmt.Printf(", replayed from journal: %d", sum.Replayed)
+	}
+	if sum.Trips > 0 {
+		fmt.Printf(", breaker trips: %d", sum.Trips)
+	}
+	if sum.Alarms > 0 {
+		fmt.Printf(", drift alarms: %d", sum.Alarms)
+	}
+	fmt.Println()
 }
 
 func printLimits(l rig.SpecLimits) {

@@ -88,10 +88,32 @@ func main() {
 	fmt.Printf("sitetester: serving lot (seed=%d, %d devices, engine fingerprint %x) on %s\n",
 		r.Params.Seed, len(r.Lot), r.Engine.Fingerprint(), ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Graceful drain: the first SIGINT/SIGTERM stops accepting new
+	// connections and announces a drain to connected coordinators, but
+	// lets every in-flight device finish screening and its Result flush —
+	// the coordinator reassigns nothing and the lot's bins are untouched.
+	// A second signal abandons the drain and exits immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Printf("sitetester: %v: draining (in-flight devices will finish; signal again to force exit)\n", sig)
+		site.Drain()
+		ln.Close()
+		sig = <-sigs
+		fmt.Printf("sitetester: %v: forcing exit\n", sig)
+		cancel()
+	}()
+
 	if err := site.Serve(ctx, ln); err != nil {
 		fail("%v", err)
+	}
+	st := site.Stats()
+	if st.HeartbeatFails+st.DrainAckFails+st.ErrorSendFails+st.DrainNotifyFails > 0 {
+		fmt.Printf("sitetester: send failures during service: heartbeat=%d drain-ack=%d error=%d drain-notify=%d\n",
+			st.HeartbeatFails, st.DrainAckFails, st.ErrorSendFails, st.DrainNotifyFails)
 	}
 	fmt.Println("sitetester: shut down")
 }

@@ -179,6 +179,11 @@ func (b *Breaker) Record(res floor.DeviceResult) bool {
 // the worker must BeginProbe before screening its next device.
 func (b *Breaker) Open() bool { return b.state == stateOpen }
 
+// State names the current state ("closed", "open", "half-open") for
+// status endpoints. Like every Breaker method it must be called by the
+// owning goroutine (or under the owner's lock).
+func (b *Breaker) State() string { return b.state.String() }
+
 // TotalTrips returns how many times the breaker has tripped.
 func (b *Breaker) TotalTrips() int { return b.trips }
 

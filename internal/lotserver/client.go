@@ -1,0 +1,187 @@
+package lotserver
+
+// Client is the submitting side of the client protocol: dial a lotserverd,
+// Run lots (concurrently if desired), read back summaries. It is what
+// `sigtest -server` uses — a thin client that never builds the rig.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netfloor"
+)
+
+// Client is one connection to a lot server. Safe for concurrent Run
+// calls; each lot's replies are demultiplexed by lot ID.
+type Client struct {
+	mc   *netfloor.MsgConn
+	hb   time.Duration
+	idle time.Duration
+
+	mu      sync.Mutex
+	waiters map[string]chan *clientMsg
+	readErr error
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// ClientOptions tunes the client connection.
+type ClientOptions struct {
+	// HeartbeatInterval is the client's beacon period (default 1s);
+	// IdleTimeout how long without hearing the server before the
+	// connection is declared dead (default 10 × HeartbeatInterval).
+	HeartbeatInterval time.Duration
+	IdleTimeout       time.Duration
+}
+
+// Dial connects to a lot server's client listener.
+func Dial(addr string, opt ClientOptions) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("lotserver: dial %s: %w", addr, err)
+	}
+	return NewClient(conn, opt), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe).
+func NewClient(conn net.Conn, opt ClientOptions) *Client {
+	if opt.HeartbeatInterval <= 0 {
+		opt.HeartbeatInterval = time.Second
+	}
+	if opt.IdleTimeout <= 0 {
+		opt.IdleTimeout = 10 * opt.HeartbeatInterval
+	}
+	c := &Client{
+		mc:      netfloor.NewMsgConn(conn),
+		hb:      opt.HeartbeatInterval,
+		idle:    opt.IdleTimeout,
+		waiters: make(map[string]chan *clientMsg),
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	go c.heartbeatLoop()
+	return c
+}
+
+// Close drops the connection; the server cancels this client's
+// still-running lots (their journals keep all progress).
+func (c *Client) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.mc.Close()
+}
+
+func (c *Client) heartbeatLoop() {
+	t := time.NewTicker(c.hb)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			// Budget the write with the idle window: a slow scheduler is
+			// not a dead connection.
+			if err := writeClientMsg(c.mc, &clientMsg{Type: "heartbeat"}, c.idle); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// readLoop demultiplexes server frames to the per-lot waiters.
+func (c *Client) readLoop() {
+	for {
+		m, err := readClientMsg(c.mc, c.idle)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for _, ch := range c.waiters {
+				close(ch)
+			}
+			c.waiters = make(map[string]chan *clientMsg)
+			c.mu.Unlock()
+			c.once.Do(func() { close(c.closed) })
+			return
+		}
+		if m.Type == "heartbeat" || m.Lot == "" {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.waiters[m.Lot]
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+}
+
+// RejectionError is a typed admission refusal from the server; Code is
+// one of the Code* constants ("saturated" means backpressure: retry
+// later).
+type RejectionError struct {
+	Lot  string
+	Code string
+	Msg  string
+}
+
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("lotserver: lot %s rejected (%s): %s", e.Lot, e.Code, e.Msg)
+}
+
+// ErrConnectionLost reports the server connection dying mid-lot.
+var ErrConnectionLost = errors.New("lotserver: connection to server lost")
+
+// Run submits one lot and waits for its outcome. Cancelling ctx sends a
+// cancel for the lot and returns; the server checkpoints the lot's
+// journal so a resubmission resumes it.
+func (c *Client) Run(ctx context.Context, spec LotSpec) (*LotSummary, error) {
+	ch := make(chan *clientMsg, 4)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrConnectionLost, err)
+	}
+	if _, dup := c.waiters[spec.ID]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("lotserver: lot %q already submitted on this connection", spec.ID)
+	}
+	c.waiters[spec.ID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, spec.ID)
+		c.mu.Unlock()
+	}()
+
+	if err := writeClientMsg(c.mc, &clientMsg{
+		Type: "submit", Lot: spec.ID, Seed: spec.Seed, Devices: spec.Devices,
+	}, c.idle); err != nil {
+		return nil, err
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			writeClientMsg(c.mc, &clientMsg{Type: "cancel", Lot: spec.ID}, c.hb)
+			return nil, ctx.Err()
+		case m, ok := <-ch:
+			if !ok {
+				return nil, ErrConnectionLost
+			}
+			switch m.Type {
+			case "accepted":
+				// Keep waiting for the terminal frame.
+			case "rejected":
+				return nil, &RejectionError{Lot: spec.ID, Code: m.Code, Msg: m.Err}
+			case "aborted":
+				return nil, fmt.Errorf("%w: %s", ErrAborted, m.Err)
+			case "done":
+				return m.Summary, nil
+			}
+		}
+	}
+}

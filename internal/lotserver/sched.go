@@ -1,0 +1,92 @@
+package lotserver
+
+// The fair scheduler: a round-robin cursor over the active lots, so every
+// worker (remote site loop or local screener) pulls its next assignment
+// from the lot that has waited longest. A mega-lot cannot starve a small
+// one — each scheduling round hands the small lot exactly as many devices
+// as the big one — and because each lot's Dispatcher alone decides which
+// of its indices goes next, the interleaving has no effect on bins.
+
+import "sync"
+
+// scheduler interleaves device assignments across the active lots.
+type scheduler struct {
+	mu       sync.Mutex
+	lots     []*lot
+	cursor   int
+	paused   bool
+	inflight int
+}
+
+// add puts a lot into the rotation.
+func (sc *scheduler) add(l *lot) {
+	sc.mu.Lock()
+	sc.lots = append(sc.lots, l)
+	sc.mu.Unlock()
+}
+
+// remove takes a lot out of the rotation (completed, cancelled or failed).
+func (sc *scheduler) remove(l *lot) {
+	sc.mu.Lock()
+	for i, x := range sc.lots {
+		if x == l {
+			sc.lots = append(sc.lots[:i], sc.lots[i+1:]...)
+			if sc.cursor > i {
+				sc.cursor--
+			}
+			break
+		}
+	}
+	sc.mu.Unlock()
+}
+
+// pause stops handing out assignments (stage two of a graceful drain);
+// in-flight assignments finish normally.
+func (sc *scheduler) pause() {
+	sc.mu.Lock()
+	sc.paused = true
+	sc.mu.Unlock()
+}
+
+// next picks the next assignment: one full round-robin pass over the
+// active lots for fresh (unassigned) indices first, then a second pass
+// allowing straggler hedges — a worker only races an in-flight device
+// when no lot anywhere has fresh work. Each successful pull advances the
+// cursor past the chosen lot, which is the fairness guarantee. The caller
+// must call done() when the assignment resolves (result delivered or
+// released back).
+func (sc *scheduler) next() (l *lot, idx int, hedged bool, ok bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.paused || len(sc.lots) == 0 {
+		return nil, 0, false, false
+	}
+	n := len(sc.lots)
+	for pass := 0; pass < 2; pass++ {
+		hedge := pass == 1
+		for i := 0; i < n; i++ {
+			cand := sc.lots[(sc.cursor+i)%n]
+			if idx, hedged, ok := cand.disp.Next(hedge); ok {
+				sc.cursor = (sc.cursor + i + 1) % n
+				sc.inflight++
+				return cand, idx, hedged, true
+			}
+		}
+	}
+	return nil, 0, false, false
+}
+
+// done releases the in-flight slot taken by next.
+func (sc *scheduler) done() {
+	sc.mu.Lock()
+	sc.inflight--
+	sc.mu.Unlock()
+}
+
+// inflightCount reports how many assignments are currently held by
+// workers; a paused scheduler with zero in flight is fully quiesced.
+func (sc *scheduler) inflightCount() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.inflight
+}

@@ -1,0 +1,1231 @@
+// Package lotserver is the long-lived multi-lot screening service: it
+// turns "screen a lot" into "serve traffic". One server owns a shared rig
+// (engine, device pool, fault model) plus the tester sites, and runs many
+// concurrent lots from many clients over the netfloor wire protocol.
+//
+// The pillars, in the order they matter:
+//
+//   - Determinism per lot: a lot's bins are a pure function of (lot seed,
+//     device index) — the same contract lotrun and netfloor enforce — so
+//     any interleaving of any number of lots produces bins bit-identical
+//     to a serial single-lot run. That is what makes the service testable.
+//   - Isolation per lot: own seed, own fsync'd journal, own drift
+//     watchdog, own per-site circuit breakers. One lot's panic, drift
+//     alarm, poisoned devices or journal failure never touches another.
+//   - Admission control: a bounded active set and a bounded queue; when
+//     both are full the server sheds with an explicit ErrSaturated — the
+//     backpressure is a typed answer, never a silent hang.
+//   - Fairness: a round-robin scheduler interleaves assignments across
+//     active lots, so a mega-lot cannot starve a small one.
+//   - Graceful degradation: Shutdown is a staged drain (stop admitting →
+//     finish in-flight devices → checkpoint journals → answer clients),
+//     and every accepted lot remains crash-safe resumable from its
+//     journal — resubmitting after a crash replays committed devices and
+//     screens only the rest.
+package lotserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/floor"
+	"repro/internal/lotrun"
+	"repro/internal/netfloor"
+	"repro/internal/parallel"
+)
+
+// Admission and lifecycle sentinel errors — clients match on these to
+// tell backpressure (retry later) from rejection (fix the request).
+var (
+	// ErrDraining rejects submissions while the server is shutting down.
+	ErrDraining = errors.New("lotserver: draining, not admitting lots")
+	// ErrSaturated sheds a submission because both the active set and the
+	// admission queue are full — explicit backpressure, retry later.
+	ErrSaturated = errors.New("lotserver: saturated, admission queue full")
+	// ErrDuplicateLot rejects a lot ID that is already admitted.
+	ErrDuplicateLot = errors.New("lotserver: lot ID already admitted")
+	// ErrAborted reports a lot that was cancelled before completing (client
+	// cancel, journal failure, server drain); the journal keeps its
+	// progress, so resubmitting resumes it.
+	ErrAborted = errors.New("lotserver: lot aborted")
+)
+
+// LotSpec names one lot: an identity, a seed, and how many devices of the
+// server's shared pool it screens (pool[0:Devices]). Two lots may share a
+// seed; screening is a pure function of (seed, index), so their bins
+// agree device for device.
+type LotSpec struct {
+	ID      string
+	Seed    int64
+	Devices int
+}
+
+// LotResult is one completed lot's outcome.
+type LotResult struct {
+	Spec   LotSpec
+	Report *floor.LotReport
+	Trips  []lotrun.TripEvent
+	Alarms []lotrun.DriftAlarm
+	// Replayed counts devices restored from the journal instead of
+	// screened (non-zero when the lot resumed after a crash or drain).
+	Replayed int
+	Replay   lotrun.ReplayStats
+	// Assigns counts remote assignment round-trips (including retries and
+	// hedges); Dups counts duplicate results absorbed by the
+	// exactly-once gate.
+	Assigns int
+	Dups    int
+}
+
+// Options configures a Server.
+type Options struct {
+	// Engine is the shared screening engine; Pool the shared device pool a
+	// lot draws its prefix from; Faults the shared insertion fault model
+	// (may be nil). Remote sites must be built from the same rig — the
+	// handshake pins the engine fingerprint, fault load and pool size.
+	Engine *floor.Engine
+	Pool   []*core.Device
+	Faults *floor.FaultModel
+	// JournalDir, when non-empty, holds one fsync'd journal per lot
+	// (<ID>.journal) making every lot crash-safe resumable. Empty disables
+	// journaling (benchmarks).
+	JournalDir string
+	// Sites are remote tester addresses; Dialer opens connections to them
+	// (default TCPDialer; tests inject fault-wrapped pipes).
+	Sites  []string
+	Dialer netfloor.Dialer
+	// LocalWorkers screens devices on the server itself (default 1 when no
+	// Sites are configured, else 0).
+	LocalWorkers int
+	// MaxActiveLots bounds concurrently screening lots (default 4);
+	// MaxQueuedLots bounds admitted-but-waiting lots (default 8). Beyond
+	// both, Submit sheds with ErrSaturated.
+	MaxActiveLots int
+	MaxQueuedLots int
+	// RequestTimeout bounds one remote assignment round-trip (default 60s);
+	// HeartbeatInterval the beacon period (default 1s); IdleTimeout the
+	// partition detector (default 4 × HeartbeatInterval).
+	RequestTimeout    time.Duration
+	HeartbeatInterval time.Duration
+	IdleTimeout       time.Duration
+	// RetryBase/RetryMax shape reconnect backoff (defaults 100ms / 5s);
+	// NetSeed seeds its jitter.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	NetSeed   int64
+	// Breaker tunes the per-(lot, site) circuit breakers; Watchdog the
+	// per-lot drift watchdog.
+	Breaker  lotrun.BreakerConfig
+	Watchdog lotrun.WatchdogConfig
+	// ModelRTTS and JournalSyncS are the modeled per-assignment round-trip
+	// and per-record fsync costs charged to lot economics (defaults 2ms /
+	// 0.5ms, as in netfloor and lotrun).
+	ModelRTTS    float64
+	JournalSyncS float64
+	// DeviceTimeout bounds one device's screening wall time (0 = none).
+	DeviceTimeout time.Duration
+	// OnDrift, when set, receives every drift alarm with its lot ID.
+	OnDrift func(lotID string, a lotrun.DriftAlarm)
+	// Logf, when set, receives server progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.Dialer == nil {
+		o.Dialer = netfloor.TCPDialer
+	}
+	if o.LocalWorkers <= 0 && len(o.Sites) == 0 {
+		o.LocalWorkers = 1
+	}
+	if o.MaxActiveLots <= 0 {
+		o.MaxActiveLots = 4
+	}
+	if o.MaxQueuedLots <= 0 {
+		o.MaxQueuedLots = 8
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 4 * o.HeartbeatInterval
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 100 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 5 * time.Second
+	}
+	if o.ModelRTTS <= 0 {
+		o.ModelRTTS = 2e-3
+	}
+	if o.JournalSyncS <= 0 {
+		o.JournalSyncS = 0.5e-3
+	}
+}
+
+// lotState is the admission lifecycle, guarded by Server.mu.
+type lotState int
+
+const (
+	lotAdmitting lotState = iota // reserved, journal not yet open
+	lotQueued                    // admitted, waiting for an active slot
+	lotActive                    // in the scheduler rotation
+	lotDone                      // finalized (result or error set)
+)
+
+// lot is one admitted lot's full isolated state.
+type lot struct {
+	spec        LotSpec
+	journalPath string
+
+	disp *netfloor.Dispatcher
+	out  chan floor.DeviceResult
+	// stopDrain checkpoints the lot during a graceful server drain (closed
+	// only after the scheduler is quiesced); cancelCh aborts it (client
+	// cancel or journal failure).
+	stopDrain  chan struct{}
+	cancelCh   chan struct{}
+	cancelOnce sync.Once
+	cancelErr  error
+	// done closes when the lot is finalized; result/err are then readable.
+	done   chan struct{}
+	result *LotResult
+	err    error
+
+	journal  *lotrun.Journal
+	wd       *lotrun.Watchdog
+	results  []*floor.DeviceResult
+	needed   int
+	replayed int
+	replay   lotrun.ReplayStats
+
+	state lotState // guarded by Server.mu
+
+	mu       sync.Mutex // guards everything below
+	breakers map[int]*lotrun.Breaker
+	started  map[int]time.Time
+	commits  int
+	assigns  int // remote assignment round-trips
+	dups     int
+	alarms   []lotrun.DriftAlarm
+}
+
+// breakerFor returns the lot's circuit breaker for one worker ordinal,
+// creating it on first use. lotrun.Breaker is single-owner; all access
+// goes through the lot mutex because Status() reads states cross-thread.
+func (l *lot) breakerFor(ordinal int, cfg lotrun.BreakerConfig) *lotrun.Breaker {
+	if l.breakers[ordinal] == nil {
+		l.breakers[ordinal] = lotrun.NewBreaker(cfg)
+	}
+	return l.breakers[ordinal]
+}
+
+// chargeProbe runs the breaker's open → half-open transition for this
+// worker if it is quarantined; the next device is the probe insertion.
+func (l *lot) chargeProbe(ordinal int, cfg lotrun.BreakerConfig) {
+	l.mu.Lock()
+	br := l.breakerFor(ordinal, cfg)
+	if br.Open() {
+		br.BeginProbe()
+	}
+	l.mu.Unlock()
+}
+
+// recordBreaker folds one result into this worker's breaker for the lot.
+func (l *lot) recordBreaker(ordinal int, cfg lotrun.BreakerConfig, res floor.DeviceResult) {
+	l.mu.Lock()
+	l.breakerFor(ordinal, cfg).Record(res)
+	l.mu.Unlock()
+}
+
+// markAssigned stamps the device's first assignment time (the latency
+// clock) and counts remote round-trips.
+func (l *lot) markAssigned(idx int, remote bool) {
+	l.mu.Lock()
+	if _, ok := l.started[idx]; !ok {
+		l.started[idx] = time.Now()
+	}
+	if remote {
+		l.assigns++
+	}
+	l.mu.Unlock()
+}
+
+func (l *lot) addDup() {
+	l.mu.Lock()
+	l.dups++
+	l.mu.Unlock()
+}
+
+func (l *lot) cancel(err error) {
+	l.cancelOnce.Do(func() {
+		l.cancelErr = err
+		close(l.cancelCh)
+	})
+}
+
+// LotHandle is a submitted lot's future.
+type LotHandle struct{ l *lot }
+
+// ID names the lot.
+func (h *LotHandle) ID() string { return h.l.spec.ID }
+
+// Done closes when the lot finalizes (completed or aborted).
+func (h *LotHandle) Done() <-chan struct{} { return h.l.done }
+
+// Wait blocks for the lot's outcome. On abort the returned error wraps
+// ErrAborted and the journal keeps the lot's progress for a resume.
+func (h *LotHandle) Wait(ctx context.Context) (*LotResult, error) {
+	select {
+	case <-h.l.done:
+		return h.l.result, h.l.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// siteStats is one remote site's connection history.
+type siteStats struct {
+	addr string
+
+	mu         sync.Mutex
+	connected  bool
+	assigns    int
+	retries    int
+	reassigns  int
+	reconnects int
+	dialFails  int
+	drainFails int
+	abandoned  string
+}
+
+func (st *siteStats) update(f func(*siteStats)) {
+	st.mu.Lock()
+	f(st)
+	st.mu.Unlock()
+}
+
+// Server is the multi-lot screening service.
+type Server struct {
+	opt   Options
+	hello netfloor.Hello
+	ctx   context.Context
+	stop  context.CancelFunc
+	start time.Time
+
+	sched *scheduler
+	lat   *latRing
+	sites []*siteStats
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	lots      map[string]*lot // admitted: admitting + queued + active
+	queue     []*lot
+	active    int
+	draining  bool
+	sheds     int // ErrSaturated rejections
+	dupRejs   int // ErrDuplicateLot rejections
+	drainRejs int // ErrDraining rejections
+	lotsDone  int // lots finalized successfully
+	devices   int // devices committed across all lots
+}
+
+// New validates the options, starts the site loops and local workers, and
+// returns a serving Server. Pair with Shutdown (graceful) or Kill (hard).
+func New(opt Options) (*Server, error) {
+	if opt.Engine == nil {
+		return nil, fmt.Errorf("lotserver: needs an engine")
+	}
+	if err := opt.Engine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opt.Pool) == 0 {
+		return nil, fmt.Errorf("lotserver: empty device pool")
+	}
+	if opt.Faults != nil {
+		if err := opt.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	opt.defaults()
+	if opt.JournalDir != "" {
+		if err := os.MkdirAll(opt.JournalDir, 0o755); err != nil {
+			return nil, fmt.Errorf("lotserver: journal dir: %w", err)
+		}
+	}
+	faultP := 0.0
+	if opt.Faults != nil {
+		faultP = opt.Faults.TotalP()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opt: opt,
+		hello: netfloor.Hello{
+			Version:     netfloor.ProtocolVersion,
+			Devices:     len(opt.Pool),
+			FaultP:      faultP,
+			Fingerprint: opt.Engine.Fingerprint(),
+			MultiLot:    true,
+		},
+		ctx:   ctx,
+		stop:  cancel,
+		start: time.Now(),
+		sched: &scheduler{},
+		lat:   newLatRing(4096),
+		lots:  make(map[string]*lot),
+	}
+	for si, addr := range opt.Sites {
+		st := &siteStats{addr: addr}
+		s.sites = append(s.sites, st)
+		s.wg.Add(1)
+		go func(si int, addr string, st *siteStats) {
+			defer s.wg.Done()
+			s.siteLoop(si, addr, st)
+		}(si, addr, st)
+	}
+	for w := 0; w < opt.LocalWorkers; w++ {
+		ordinal := len(opt.Sites) + w
+		s.wg.Add(1)
+		go func(ordinal int) {
+			defer s.wg.Done()
+			s.localWorker(ordinal)
+		}(ordinal)
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// pollInterval paces idle workers; short and fixed — an idle server
+// spinning once a millisecond is cheaper than a lot waiting a heartbeat.
+const pollInterval = time.Millisecond
+
+// validSpec gates the lot identity. The ID becomes a journal filename, so
+// its alphabet is restricted — no separators, no traversal.
+func (s *Server) validSpec(spec LotSpec) error {
+	if spec.ID == "" || len(spec.ID) > 64 {
+		return fmt.Errorf("lotserver: lot ID must be 1–64 characters")
+	}
+	for _, r := range spec.ID {
+		ok := r == '.' || r == '_' || r == '-' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			return fmt.Errorf("lotserver: lot ID %q: only [A-Za-z0-9._-] allowed", spec.ID)
+		}
+	}
+	if spec.Devices < 1 || spec.Devices > len(s.opt.Pool) {
+		return fmt.Errorf("lotserver: lot of %d devices outside pool [1, %d]", spec.Devices, len(s.opt.Pool))
+	}
+	return nil
+}
+
+// Submit admits one lot. Admission is two-phase: reserve the ID and a
+// capacity slot under the lock, then do the journal IO (create, or replay
+// for a resume) unlocked, then finish admission — so a slow fsync never
+// serializes the front door, and a duplicate ID is caught immediately.
+// ctx is the client's interest: cancelling it aborts the lot (the journal
+// keeps its progress).
+func (s *Server) Submit(ctx context.Context, spec LotSpec) (*LotHandle, error) {
+	if err := s.validSpec(spec); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	l := &lot{
+		spec:      spec,
+		out:       nil, // sized after replay
+		stopDrain: make(chan struct{}),
+		cancelCh:  make(chan struct{}),
+		done:      make(chan struct{}),
+		results:   make([]*floor.DeviceResult, spec.Devices),
+		state:     lotAdmitting,
+		breakers:  make(map[int]*lotrun.Breaker),
+		started:   make(map[int]time.Time),
+	}
+
+	// Phase one: reserve.
+	s.mu.Lock()
+	if s.draining {
+		s.drainRejs++
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if _, dup := s.lots[spec.ID]; dup {
+		s.dupRejs++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateLot, spec.ID)
+	}
+	if active, queued := s.active, len(s.queue); active+queued >= s.opt.MaxActiveLots+s.opt.MaxQueuedLots {
+		s.sheds++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d active, %d queued)", ErrSaturated, active, queued)
+	}
+	s.lots[spec.ID] = l
+	s.mu.Unlock()
+
+	// Phase two: journal IO, unlocked.
+	if err := s.openJournal(l); err != nil {
+		s.mu.Lock()
+		delete(s.lots, spec.ID)
+		s.mu.Unlock()
+		return nil, err
+	}
+
+	// Phase three: finish admission. The only thing that can have changed
+	// is a drain starting mid-IO.
+	s.mu.Lock()
+	if s.draining {
+		delete(s.lots, spec.ID)
+		s.drainRejs++
+		s.mu.Unlock()
+		if l.journal != nil {
+			l.journal.Close() // progress stays on disk for a resume
+		}
+		return nil, ErrDraining
+	}
+	if s.active < s.opt.MaxActiveLots {
+		s.activateLocked(l)
+	} else {
+		l.state = lotQueued
+		s.queue = append(s.queue, l)
+	}
+	s.mu.Unlock()
+
+	// Client-cancel watcher: the submitting context's death aborts the lot.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-ctx.Done():
+			s.cancelLot(l, fmt.Errorf("%w: client cancelled: %v", ErrAborted, ctx.Err()))
+		case <-l.done:
+		case <-s.ctx.Done():
+		}
+	}()
+
+	s.logf("lot %s admitted: seed %d, %d devices (%d replayed)",
+		spec.ID, spec.Seed, spec.Devices, l.replayed)
+	return &LotHandle{l: l}, nil
+}
+
+// openJournal creates the lot's journal, or — when a journal for this ID
+// already exists — replays it and resumes: committed devices are restored
+// and only the remainder will be screened. Identity mismatches (same ID,
+// different lot) are rejected rather than resumed.
+func (s *Server) openJournal(l *lot) error {
+	pending := make([]int, 0, l.spec.Devices)
+	faultP := s.hello.FaultP
+	if s.opt.JournalDir == "" {
+		for i := 0; i < l.spec.Devices; i++ {
+			pending = append(pending, i)
+		}
+		l.disp = netfloor.NewDispatcher(pending, l.spec.Devices)
+		l.out = make(chan floor.DeviceResult, l.spec.Devices)
+		l.needed = len(pending)
+		l.initWatchdog(s)
+		return nil
+	}
+	l.journalPath = filepath.Join(s.opt.JournalDir, l.spec.ID+".journal")
+	if _, err := os.Stat(l.journalPath); err == nil {
+		hdr, done, validEnd, stats, err := lotrun.ReplayJournal(l.journalPath)
+		if err != nil {
+			return fmt.Errorf("lotserver: lot %s: %w", l.spec.ID, err)
+		}
+		if hdr.LotSeed != l.spec.Seed || hdr.Devices != l.spec.Devices || hdr.FaultP != faultP {
+			return fmt.Errorf("lotserver: lot %s: journal is for a different lot (seed %d devices %d faultp %g; submitted seed %d devices %d faultp %g)",
+				l.spec.ID, hdr.LotSeed, hdr.Devices, hdr.FaultP, l.spec.Seed, l.spec.Devices, faultP)
+		}
+		if hdr.Fingerprint != 0 && hdr.Fingerprint != s.hello.Fingerprint {
+			return fmt.Errorf("lotserver: lot %s: journal was written by a differently calibrated engine", l.spec.ID)
+		}
+		for i, res := range done {
+			res := res
+			l.results[i] = &res
+		}
+		l.replayed = stats.Records
+		l.replay = stats
+		if l.journal, err = lotrun.ResumeJournal(l.journalPath, validEnd); err != nil {
+			return fmt.Errorf("lotserver: lot %s: %w", l.spec.ID, err)
+		}
+	} else {
+		jr, err := lotrun.CreateJournal(l.journalPath, lotrun.JournalHeader{
+			Type: "header", Version: lotrun.JournalVersion,
+			LotSeed: l.spec.Seed, Devices: l.spec.Devices, FaultP: faultP,
+			Fingerprint: s.hello.Fingerprint,
+		})
+		if err != nil {
+			return fmt.Errorf("lotserver: lot %s: %w", l.spec.ID, err)
+		}
+		l.journal = jr
+	}
+	for i := 0; i < l.spec.Devices; i++ {
+		if l.results[i] == nil {
+			pending = append(pending, i)
+		}
+	}
+	l.disp = netfloor.NewDispatcher(pending, l.spec.Devices)
+	l.out = make(chan floor.DeviceResult, l.spec.Devices)
+	l.needed = len(pending)
+	l.initWatchdog(s)
+	return nil
+}
+
+func (l *lot) initWatchdog(s *Server) {
+	if s.opt.Engine.Gate != nil && !s.opt.Watchdog.Disabled {
+		l.wd = lotrun.NewWatchdog(s.opt.Engine.Gate, s.opt.Watchdog)
+	}
+}
+
+// activateLocked puts the lot into the scheduler rotation and starts its
+// collector. Caller holds s.mu.
+func (s *Server) activateLocked(l *lot) {
+	l.state = lotActive
+	s.active++
+	s.sched.add(l)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.runLot(l)
+	}()
+}
+
+// runLot is the lot's collector: the single goroutine that commits
+// results — journal, watchdog, latency — until the lot completes, is
+// cancelled, or the server drains or dies. Exactly-once is already
+// guaranteed upstream (Dispatcher.Complete), so everything read here
+// commits.
+func (s *Server) runLot(l *lot) {
+	received := 0
+	for received < l.needed {
+		select {
+		case res := <-l.out:
+			if err := s.commit(l, res); err != nil {
+				// Journal failure: this lot dies, the server lives. The
+				// journal's committed prefix stays valid for a resume.
+				s.logf("lot %s: journal failed: %v", l.spec.ID, err)
+				s.finishLot(l, nil, fmt.Errorf("%w: journal: %v", ErrAborted, err))
+				return
+			}
+			received++
+		case <-l.cancelCh:
+			// Client cancel (or deliberate abort): flush what workers
+			// already delivered so the journal holds maximum progress,
+			// then finalize as aborted.
+			s.flush(l)
+			s.finishLot(l, nil, l.cancelErr)
+			return
+		case <-l.stopDrain:
+			// Staged server drain. The scheduler is paused and quiesced, so
+			// every result is already buffered: flush, checkpoint, answer.
+			s.flush(l)
+			if l.remainingUncommitted() == 0 {
+				break // drain raced completion; fall through to finalize
+			}
+			s.finishLot(l, nil, fmt.Errorf("%w: server draining (%d of %d devices committed)",
+				ErrAborted, l.committedCount(), l.spec.Devices))
+			return
+		case <-s.ctx.Done():
+			// Hard stop (Kill): journals are fsync'd per record, so closing
+			// without a flush models a crash — the resume path recovers.
+			s.finishLot(l, nil, fmt.Errorf("%w: server stopped: %v", ErrAborted, s.ctx.Err()))
+			return
+		}
+		if l.remainingUncommitted() == 0 {
+			break
+		}
+	}
+	s.finalize(l)
+}
+
+// flush commits every result already buffered in the lot's channel.
+func (s *Server) flush(l *lot) {
+	for {
+		select {
+		case res := <-l.out:
+			if err := s.commit(l, res); err != nil {
+				s.logf("lot %s: journal failed during flush: %v", l.spec.ID, err)
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lot) committedCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.commits + l.replayed
+}
+
+func (l *lot) remainingUncommitted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.spec.Devices - l.replayed - l.commits
+}
+
+// commit journals one result and folds it into the lot's running state.
+// Runs only on the lot's collector goroutine.
+func (s *Server) commit(l *lot, res floor.DeviceResult) error {
+	if l.journal != nil {
+		if err := l.journal.Commit(res); err != nil {
+			return err
+		}
+	}
+	r := res
+	l.results[res.Index] = &r
+	l.mu.Lock()
+	l.commits++
+	startAt := l.started[res.Index]
+	l.mu.Unlock()
+	if !startAt.IsZero() {
+		s.lat.add(float64(time.Since(startAt)) / float64(time.Millisecond))
+	}
+	s.mu.Lock()
+	s.devices++
+	s.mu.Unlock()
+	if l.wd != nil && res.CleanD >= 0 {
+		if alarm := l.wd.Observe(res.Index, res.CleanD); alarm != nil {
+			l.mu.Lock()
+			l.alarms = append(l.alarms, *alarm)
+			l.mu.Unlock()
+			s.logf("lot %s: drift alarm (%s) at device %d", l.spec.ID, alarm.Detector, alarm.Device)
+			if s.opt.OnDrift != nil {
+				s.opt.OnDrift(l.spec.ID, *alarm)
+			}
+		}
+	}
+	return nil
+}
+
+// finalize builds the completed lot's report — folding results in index
+// order, so bins are independent of which worker screened what, in what
+// order, interleaved with whichever other lots.
+func (s *Server) finalize(l *lot) {
+	rep := s.opt.Engine.NewReport(l.spec.Devices)
+	for i := 0; i < l.spec.Devices; i++ {
+		r := l.results[i]
+		if r == nil {
+			s.finishLot(l, nil, fmt.Errorf("%w: device %d was never screened", ErrAborted, i))
+			return
+		}
+		rep.Fold(*r)
+	}
+	if l.journal != nil {
+		rep.Load.JournalS = float64(l.spec.Devices) * s.opt.JournalSyncS
+	}
+	l.mu.Lock()
+	assigns, dups := l.assigns, l.dups
+	alarms := append([]lotrun.DriftAlarm(nil), l.alarms...)
+	var trips []lotrun.TripEvent
+	for _, br := range l.breakers {
+		rep.Load.QuarantineS += br.QuarantineTotalS()
+		trips = append(trips, br.Events()...)
+	}
+	l.mu.Unlock()
+	sort.Slice(trips, func(i, j int) bool { return trips[i].AfterDevice < trips[j].AfterDevice })
+	rep.Load.NetworkS = float64(assigns) * s.opt.ModelRTTS
+	if err := s.opt.Engine.Finish(rep); err != nil {
+		s.finishLot(l, nil, fmt.Errorf("%w: %v", ErrAborted, err))
+		return
+	}
+	s.finishLot(l, &LotResult{
+		Spec: l.spec, Report: rep, Trips: trips, Alarms: alarms,
+		Replayed: l.replayed, Replay: l.replay, Assigns: assigns, Dups: dups,
+	}, nil)
+}
+
+// finishLot closes the journal, retires the lot's slot (promoting a
+// queued lot if one is waiting), and wakes every waiter.
+func (s *Server) finishLot(l *lot, result *LotResult, err error) {
+	if l.journal != nil {
+		l.journal.Close()
+	}
+	l.result, l.err = result, err
+	s.mu.Lock()
+	wasActive := l.state == lotActive
+	l.state = lotDone
+	delete(s.lots, l.spec.ID)
+	if wasActive {
+		s.active--
+		s.sched.remove(l)
+		if !s.draining && len(s.queue) > 0 && s.active < s.opt.MaxActiveLots {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.activateLocked(next)
+		}
+	}
+	if err == nil {
+		s.lotsDone++
+	}
+	s.mu.Unlock()
+	close(l.done)
+	if err != nil {
+		s.logf("lot %s: %v", l.spec.ID, err)
+	} else {
+		s.logf("lot %s: complete (%d devices, %d replayed)", l.spec.ID, l.spec.Devices, l.replayed)
+	}
+}
+
+// cancelLot aborts one lot without touching any other: an active lot's
+// collector flushes and checkpoints, a queued lot is simply withdrawn.
+func (s *Server) cancelLot(l *lot, reason error) {
+	s.mu.Lock()
+	switch l.state {
+	case lotDone:
+		s.mu.Unlock()
+		return
+	case lotQueued:
+		for i, x := range s.queue {
+			if x == l {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		l.state = lotDone
+		delete(s.lots, l.spec.ID)
+		s.mu.Unlock()
+		if l.journal != nil {
+			l.journal.Close()
+		}
+		l.err = reason
+		close(l.done)
+		s.logf("lot %s: %v", l.spec.ID, reason)
+		return
+	default: // active (or still admitting): the collector owns the teardown
+		s.mu.Unlock()
+		l.cancel(reason)
+	}
+}
+
+// lookupLot resolves a lot ID to its live lot (nil when unknown or
+// already finalized) — the router for stray multi-lot results.
+func (s *Server) lookupLot(id string) *lot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lots[id]
+	if l == nil || l.state != lotActive {
+		return nil
+	}
+	return l
+}
+
+// deliver routes one screened result through the lot's exactly-once gate.
+func (s *Server) deliver(l *lot, res floor.DeviceResult, ordinal int) bool {
+	if !l.disp.Complete(res.Index) {
+		l.addDup()
+		return false
+	}
+	res.Site = ordinal
+	l.out <- res // buffered to lot size: never blocks
+	return true
+}
+
+// localWorker screens devices on the server itself, pulling fairly across
+// lots exactly like a remote site does.
+func (s *Server) localWorker(ordinal int) {
+	for {
+		if s.ctx.Err() != nil {
+			return
+		}
+		l, idx, _, ok := s.sched.next()
+		if !ok {
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-time.After(pollInterval):
+			}
+			continue
+		}
+		l.markAssigned(idx, false)
+		l.chargeProbe(ordinal, s.opt.Breaker)
+		res := netfloor.ScreenSupervised(s.ctx, s.opt.Engine, l.spec.Seed, idx,
+			s.opt.Pool[idx], s.opt.Faults, s.opt.DeviceTimeout)
+		if res.Err != "" && s.ctx.Err() != nil {
+			l.disp.Release(idx) // truncated by shutdown: never commit
+			s.sched.done()
+			return
+		}
+		l.recordBreaker(ordinal, s.opt.Breaker, res)
+		s.deliver(l, res, ordinal)
+		l.disp.Release(idx)
+		s.sched.done()
+	}
+}
+
+var (
+	errOverdue     = errors.New("lotserver: assignment overdue")
+	errConnDead    = errors.New("lotserver: connection dead")
+	errSiteDrained = errors.New("lotserver: site announced drain")
+)
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// siteLoop owns one remote site for the server's lifetime: connect with a
+// multi-lot handshake, serve assignments from the fair scheduler,
+// reconnect with jittered backoff on any failure.
+func (s *Server) siteLoop(si int, addr string, st *siteStats) {
+	jitter := rand.New(rand.NewSource(parallel.SubSeed(s.opt.NetSeed, si)))
+	attempt := 0
+	connected := false
+	for {
+		if s.ctx.Err() != nil {
+			return
+		}
+		mc, err := s.connect(addr)
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return
+			}
+			var perm *permanentError
+			if errors.As(err, &perm) {
+				st.update(func(st *siteStats) { st.abandoned = perm.msg })
+				s.logf("site %d (%s): abandoned: %s", si, addr, perm.msg)
+				return
+			}
+			st.update(func(st *siteStats) { st.dialFails++ })
+			attempt++
+			if !s.backoffSleep(jitter, attempt) {
+				return
+			}
+			continue
+		}
+		if connected {
+			st.update(func(st *siteStats) { st.reconnects++ })
+		}
+		connected = true
+		attempt = 0
+		st.update(func(st *siteStats) { st.connected = true })
+		err = s.serveSite(si, st, mc)
+		st.update(func(st *siteStats) { st.connected = false })
+		mc.Close()
+		if s.ctx.Err() != nil {
+			return
+		}
+		s.logf("site %d (%s): connection lost (%v), reconnecting", si, addr, err)
+		attempt++
+		if !s.backoffSleep(jitter, attempt) {
+			return
+		}
+	}
+}
+
+func (s *Server) backoffSleep(jitter *rand.Rand, attempt int) bool {
+	d := float64(s.opt.RetryBase)
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= float64(s.opt.RetryMax) {
+			d = float64(s.opt.RetryMax)
+			break
+		}
+	}
+	d *= 1 + 0.5*jitter.Float64()
+	select {
+	case <-time.After(time.Duration(d)):
+		return true
+	case <-s.ctx.Done():
+		return false
+	}
+}
+
+// permanentError marks a site that must not be redialed (identity
+// mismatch: its engine would bin differently).
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+// connect dials and handshakes one site in multi-lot mode.
+func (s *Server) connect(addr string) (*netfloor.MsgConn, error) {
+	dctx, cancel := context.WithTimeout(s.ctx, s.opt.RequestTimeout)
+	defer cancel()
+	conn, err := s.opt.Dialer(dctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	mc := netfloor.NewMsgConn(conn)
+	hello := s.hello
+	if err := mc.Write(&netfloor.Envelope{Type: netfloor.MsgHello, Hello: &hello}, s.opt.IdleTimeout); err != nil {
+		mc.Close()
+		return nil, err
+	}
+	env, err := mc.Read(s.opt.IdleTimeout)
+	if err != nil {
+		mc.Close()
+		return nil, err
+	}
+	switch env.Type {
+	case netfloor.MsgHelloAck:
+		if env.Hello == nil || *env.Hello != hello {
+			mc.Close()
+			return nil, &permanentError{msg: fmt.Sprintf("site %s acked a different identity", addr)}
+		}
+		return mc, nil
+	case netfloor.MsgError:
+		mc.Close()
+		return nil, &permanentError{msg: env.Err}
+	default:
+		mc.Close()
+		return nil, fmt.Errorf("lotserver: handshake: expected hello_ack, got %s", env.Type)
+	}
+}
+
+// serveSite drives one healthy connection: pull (lot, device) pairs from
+// the fair scheduler, assign, await. Stray results — from overdue retries
+// or other lots' earlier assignments — are routed to their lots by ID.
+func (s *Server) serveSite(si int, st *siteStats, mc *netfloor.MsgConn) error {
+	var seq uint64
+	lastHeard := time.Now()
+	lastBeat := time.Now()
+	for {
+		if s.ctx.Err() != nil {
+			s.drainConn(si, st, mc)
+			return s.ctx.Err()
+		}
+		l, idx, _, ok := s.sched.next()
+		if !ok {
+			// Idle: beacon, and keep reading (draining the site's own
+			// heartbeats; with a synchronous in-memory transport an unread
+			// beacon would block the site).
+			if time.Since(lastBeat) >= s.opt.HeartbeatInterval {
+				if err := mc.Write(&netfloor.Envelope{Type: netfloor.MsgHeartbeat}, s.opt.HeartbeatInterval); err != nil {
+					return err
+				}
+				lastBeat = time.Now()
+			}
+			env, err := mc.Read(s.opt.HeartbeatInterval)
+			if err != nil {
+				if isTimeout(err) {
+					if time.Since(lastHeard) > s.opt.IdleTimeout {
+						return errConnDead
+					}
+					continue
+				}
+				return err
+			}
+			lastHeard = time.Now()
+			if env.Type == netfloor.MsgDrain {
+				return errSiteDrained
+			}
+			s.routeStray(si, env)
+			continue
+		}
+
+		seq++
+		l.markAssigned(idx, true)
+		l.chargeProbe(siteOrdinal(si), s.opt.Breaker)
+		st.update(func(st *siteStats) { st.assigns++ })
+		err := s.assignAwait(si, st, mc, l, idx, seq, &lastHeard)
+		requeued := l.disp.Release(idx)
+		s.sched.done()
+		if err == nil {
+			continue
+		}
+		st.update(func(st *siteStats) {
+			st.retries++
+			if requeued {
+				st.reassigns++
+			}
+		})
+		if errors.Is(err, errOverdue) {
+			// Connection alive but the result never came (dropped frame):
+			// retry on the same connection; the site's cache makes the
+			// re-screen free.
+			continue
+		}
+		return err
+	}
+}
+
+// siteOrdinal is the worker ordinal of remote site si (locals follow).
+func siteOrdinal(si int) int { return si }
+
+// assignAwait sends one assignment and waits for its result, absorbing
+// heartbeats and routing stray results meanwhile.
+func (s *Server) assignAwait(si int, st *siteStats, mc *netfloor.MsgConn,
+	l *lot, idx int, seq uint64, lastHeard *time.Time) error {
+
+	if err := mc.Write(&netfloor.Envelope{
+		Type: netfloor.MsgAssign, Seq: seq, Device: idx,
+		Seed: l.spec.Seed, Lot: l.spec.ID,
+	}, s.opt.IdleTimeout); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(s.opt.RequestTimeout)
+	for {
+		if time.Now().After(deadline) {
+			return errOverdue
+		}
+		if s.ctx.Err() != nil {
+			return errOverdue
+		}
+		env, err := mc.Read(s.opt.HeartbeatInterval)
+		if err != nil {
+			if isTimeout(err) {
+				if time.Since(*lastHeard) > s.opt.IdleTimeout {
+					return errConnDead
+				}
+				continue
+			}
+			return err
+		}
+		*lastHeard = time.Now()
+		switch env.Type {
+		case netfloor.MsgHeartbeat:
+		case netfloor.MsgResult:
+			if env.Result == nil {
+				continue
+			}
+			if env.Lot == l.spec.ID && env.Device == idx && env.Seq == seq {
+				l.recordBreaker(siteOrdinal(si), s.opt.Breaker, *env.Result)
+				s.deliver(l, *env.Result, siteOrdinal(si))
+				return nil
+			}
+			s.routeStray(si, env)
+		case netfloor.MsgError:
+			if env.Seq == seq && env.Device == idx {
+				return fmt.Errorf("lotserver: site rejected device %d of lot %s: %s", idx, l.spec.ID, env.Err)
+			}
+		case netfloor.MsgDrain:
+			// Site-initiated graceful shutdown with our assignment in
+			// flight: give it up; the caller releases and the index is
+			// requeued for another worker.
+			return errSiteDrained
+		}
+	}
+}
+
+// routeStray commits a result that arrived outside its request window —
+// an overdue retry's first answer, or a duplicated frame — to whichever
+// lot it belongs to. A result for a finalized or cancelled lot is
+// dropped; screening is pure, so nothing is lost.
+func (s *Server) routeStray(si int, env *netfloor.Envelope) {
+	if env.Type != netfloor.MsgResult || env.Result == nil || env.Lot == "" {
+		return
+	}
+	l := s.lookupLot(env.Lot)
+	if l == nil || l.spec.Seed != env.Seed {
+		return
+	}
+	l.recordBreaker(siteOrdinal(si), s.opt.Breaker, *env.Result)
+	s.deliver(l, *env.Result, siteOrdinal(si))
+}
+
+// drainConn sends the end-of-service courtesy drain to a site.
+func (s *Server) drainConn(si int, st *siteStats, mc *netfloor.MsgConn) {
+	if err := mc.Write(&netfloor.Envelope{Type: netfloor.MsgDrain}, s.opt.HeartbeatInterval); err != nil {
+		st.update(func(st *siteStats) { st.drainFails++ })
+		s.logf("site %d: drain send failed: %v", si, err)
+	}
+}
+
+// Shutdown is the staged graceful drain:
+//
+//  1. stop admitting (Submit answers ErrDraining; queued lots are
+//     withdrawn — their journals keep any resumed progress);
+//  2. pause the scheduler and wait for every in-flight device to finish;
+//  3. checkpoint: each active lot's collector flushes all buffered
+//     results into its fsync'd journal;
+//  4. answer clients (completed lots deliver results, interrupted ones
+//     ErrAborted/draining) and stop the site loops and workers.
+//
+// ctx bounds the wait for in-flight devices; on expiry the drain degrades
+// to a hard stop (journals are fsync'd per record, so nothing committed
+// is lost either way).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.ctx.Done()
+		s.wg.Wait()
+		return nil
+	}
+	s.draining = true
+	queued := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	s.logf("draining: admission closed, %d queued lots withdrawn", len(queued))
+
+	for _, l := range queued {
+		s.withdrawQueued(l)
+	}
+
+	s.sched.pause()
+	deadlineErr := error(nil)
+	for s.sched.inflightCount() > 0 {
+		select {
+		case <-ctx.Done():
+			deadlineErr = ctx.Err()
+		case <-time.After(pollInterval):
+		}
+		if deadlineErr != nil {
+			break
+		}
+	}
+
+	s.mu.Lock()
+	var actives []*lot
+	for _, l := range s.lots {
+		if l.state == lotActive {
+			actives = append(actives, l)
+		}
+	}
+	s.mu.Unlock()
+	for _, l := range actives {
+		close(l.stopDrain)
+	}
+	for _, l := range actives {
+		<-l.done
+	}
+
+	s.stop()
+	s.wg.Wait()
+	s.logf("drained: %d active lots checkpointed", len(actives))
+	return deadlineErr
+}
+
+// withdrawQueued finalizes a queued lot as draining-rejected.
+func (s *Server) withdrawQueued(l *lot) {
+	s.mu.Lock()
+	if l.state != lotQueued {
+		s.mu.Unlock()
+		return
+	}
+	l.state = lotDone
+	delete(s.lots, l.spec.ID)
+	s.mu.Unlock()
+	if l.journal != nil {
+		l.journal.Close()
+	}
+	l.err = fmt.Errorf("%w: %v", ErrAborted, ErrDraining)
+	close(l.done)
+}
+
+// Kill stops the server immediately — no drain, no checkpoint flush —
+// modeling a crash as closely as a clean process allows. Journals are
+// fsync'd per record, so every committed device survives; Submit the same
+// specs to a new server on the same JournalDir to resume.
+func (s *Server) Kill() {
+	s.stop()
+	s.wg.Wait()
+}

@@ -1,0 +1,192 @@
+package lotserver
+
+// The /statusz surface: a JSON snapshot of everything an operator (or a
+// test) wants to know about the serving floor — active lots and their
+// progress, queue depth, shed counts, per-site connection health,
+// per-(lot, site) breaker states, and device-latency percentiles.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latRing is a fixed-size ring of recent device latencies (milliseconds,
+// first-assignment → commit). Percentiles are computed on snapshot.
+type latRing struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int
+	count int
+}
+
+func newLatRing(n int) *latRing {
+	return &latRing{buf: make([]float64, n)}
+}
+
+func (r *latRing) add(ms float64) {
+	r.mu.Lock()
+	r.buf[r.next] = ms
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+// percentiles returns p50/p95/p99 of the retained window (zeros when
+// empty).
+func (r *latRing) percentiles() (p50, p95, p99 float64) {
+	r.mu.Lock()
+	snap := make([]float64, r.count)
+	if r.count < len(r.buf) {
+		copy(snap, r.buf[:r.count])
+	} else {
+		copy(snap, r.buf)
+	}
+	r.mu.Unlock()
+	if len(snap) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(snap)
+	pick := func(p float64) float64 {
+		i := int(p * float64(len(snap)-1))
+		return snap[i]
+	}
+	return pick(0.50), pick(0.95), pick(0.99)
+}
+
+// LotStatus is one admitted lot's progress snapshot.
+type LotStatus struct {
+	ID        string `json:"id"`
+	Seed      int64  `json:"seed"`
+	Devices   int    `json:"devices"`
+	Committed int    `json:"committed"`
+	Replayed  int    `json:"replayed"`
+	Queued    bool   `json:"queued,omitempty"`
+	Alarms    int    `json:"alarms,omitempty"`
+	// Breakers maps worker name (site address or "localN") to breaker
+	// state for every breaker this lot has exercised.
+	Breakers map[string]string `json:"breakers,omitempty"`
+}
+
+// SiteStatus is one remote site's connection health.
+type SiteStatus struct {
+	Addr       string `json:"addr"`
+	Connected  bool   `json:"connected"`
+	Assigns    int    `json:"assigns"`
+	Retries    int    `json:"retries"`
+	Reassigns  int    `json:"reassigns"`
+	Reconnects int    `json:"reconnects"`
+	DialFails  int    `json:"dial_fails"`
+	DrainFails int    `json:"drain_fails,omitempty"`
+	Abandoned  string `json:"abandoned,omitempty"`
+}
+
+// Status is the full service snapshot.
+type Status struct {
+	Draining      bool        `json:"draining"`
+	ActiveLots    []LotStatus `json:"active_lots"`
+	QueuedLots    []LotStatus `json:"queued_lots"`
+	Inflight      int         `json:"inflight"`
+	MaxActiveLots int         `json:"max_active_lots"`
+	MaxQueuedLots int         `json:"max_queued_lots"`
+	// ShedSaturated counts ErrSaturated backpressure rejections;
+	// RejectedDuplicate and RejectedDraining the other admission refusals.
+	ShedSaturated     int          `json:"shed_saturated"`
+	RejectedDuplicate int          `json:"rejected_duplicate"`
+	RejectedDraining  int          `json:"rejected_draining"`
+	LotsCompleted     int          `json:"lots_completed"`
+	DevicesCommitted  int          `json:"devices_committed"`
+	Sites             []SiteStatus `json:"sites"`
+	LocalWorkers      int          `json:"local_workers"`
+	LatencyP50Ms      float64      `json:"latency_p50_ms"`
+	LatencyP95Ms      float64      `json:"latency_p95_ms"`
+	LatencyP99Ms      float64      `json:"latency_p99_ms"`
+	UptimeS           float64      `json:"uptime_s"`
+}
+
+// workerName names a worker ordinal for the breaker map.
+func (s *Server) workerName(ordinal int) string {
+	if ordinal < len(s.opt.Sites) {
+		return s.opt.Sites[ordinal]
+	}
+	return "local" + strconv.Itoa(ordinal-len(s.opt.Sites))
+}
+
+func (s *Server) lotStatus(l *lot, queued bool) LotStatus {
+	l.mu.Lock()
+	ls := LotStatus{
+		ID: l.spec.ID, Seed: l.spec.Seed, Devices: l.spec.Devices,
+		Committed: l.commits + l.replayed, Replayed: l.replayed,
+		Queued: queued, Alarms: len(l.alarms),
+	}
+	if len(l.breakers) > 0 {
+		ls.Breakers = make(map[string]string, len(l.breakers))
+		for ordinal, br := range l.breakers {
+			ls.Breakers[s.workerName(ordinal)] = br.State()
+		}
+	}
+	l.mu.Unlock()
+	return ls
+}
+
+// Status snapshots the service.
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	st := Status{
+		Draining:          s.draining,
+		MaxActiveLots:     s.opt.MaxActiveLots,
+		MaxQueuedLots:     s.opt.MaxQueuedLots,
+		ShedSaturated:     s.sheds,
+		RejectedDuplicate: s.dupRejs,
+		RejectedDraining:  s.drainRejs,
+		LotsCompleted:     s.lotsDone,
+		DevicesCommitted:  s.devices,
+		LocalWorkers:      s.opt.LocalWorkers,
+		UptimeS:           time.Since(s.start).Seconds(),
+	}
+	var actives []*lot
+	for _, l := range s.lots {
+		if l.state == lotActive {
+			actives = append(actives, l)
+		}
+	}
+	queued := append([]*lot(nil), s.queue...)
+	s.mu.Unlock()
+
+	sort.Slice(actives, func(i, j int) bool { return actives[i].spec.ID < actives[j].spec.ID })
+	for _, l := range actives {
+		st.ActiveLots = append(st.ActiveLots, s.lotStatus(l, false))
+	}
+	for _, l := range queued {
+		st.QueuedLots = append(st.QueuedLots, s.lotStatus(l, true))
+	}
+	st.Inflight = s.sched.inflightCount()
+	for _, site := range s.sites {
+		site.mu.Lock()
+		st.Sites = append(st.Sites, SiteStatus{
+			Addr: site.addr, Connected: site.connected,
+			Assigns: site.assigns, Retries: site.retries, Reassigns: site.reassigns,
+			Reconnects: site.reconnects, DialFails: site.dialFails,
+			DrainFails: site.drainFails, Abandoned: site.abandoned,
+		})
+		site.mu.Unlock()
+	}
+	st.LatencyP50Ms, st.LatencyP95Ms, st.LatencyP99Ms = s.lat.percentiles()
+	return st
+}
+
+// StatusHandler serves the Status snapshot as JSON — mount it at
+// /statusz.
+func (s *Server) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Status())
+	})
+}

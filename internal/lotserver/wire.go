@@ -1,0 +1,225 @@
+package lotserver
+
+// The client front door: a thin submit/await protocol riding the same
+// CRC-framed transport as the site protocol (netfloor.MsgConn's raw
+// frame layer), with its own envelope shape. A client connection submits
+// any number of lots; the server answers each with accepted/rejected,
+// then done (with a bin summary) or aborted. Both sides heartbeat, and a
+// client connection's death cancels every lot it submitted that is still
+// running — a client that goes away takes its interest with it, while
+// the journals keep all progress for a resubmit.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netfloor"
+)
+
+// clientMsg is the client-protocol envelope.
+type clientMsg struct {
+	Type    string `json:"type"` // submit, cancel, accepted, rejected, done, aborted, heartbeat
+	Lot     string `json:"lot,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	Devices int    `json:"devices,omitempty"`
+	// Code classifies a rejection: "saturated" (backpressure, retry
+	// later), "draining", "duplicate", "bad_request".
+	Code    string      `json:"code,omitempty"`
+	Err     string      `json:"err,omitempty"`
+	Summary *LotSummary `json:"summary,omitempty"`
+}
+
+// Rejection codes carried in clientMsg.Code.
+const (
+	CodeSaturated  = "saturated"
+	CodeDraining   = "draining"
+	CodeDuplicate  = "duplicate"
+	CodeBadRequest = "bad_request"
+	CodeAborted    = "aborted"
+)
+
+// LotSummary is the completed lot's wire-sized outcome.
+type LotSummary struct {
+	Devices  int `json:"devices"`
+	Pass     int `json:"pass"`
+	Fail     int `json:"fail"`
+	Fallback int `json:"fallback"`
+	Escapes  int `json:"escapes"`
+	Overkill int `json:"overkill"`
+	Replayed int `json:"replayed,omitempty"`
+	Trips    int `json:"trips,omitempty"`
+	Alarms   int `json:"alarms,omitempty"`
+}
+
+func summarize(res *LotResult) *LotSummary {
+	return &LotSummary{
+		Devices:  res.Report.Devices,
+		Pass:     res.Report.Pass,
+		Fail:     res.Report.Fail,
+		Fallback: res.Report.Fallback,
+		Escapes:  res.Report.Escapes,
+		Overkill: res.Report.Overkill,
+		Replayed: res.Replayed,
+		Trips:    len(res.Trips),
+		Alarms:   len(res.Alarms),
+	}
+}
+
+func writeClientMsg(mc *netfloor.MsgConn, m *clientMsg, timeout time.Duration) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return mc.WriteFrame(payload, timeout)
+}
+
+func readClientMsg(mc *netfloor.MsgConn, idle time.Duration) (*clientMsg, error) {
+	payload, err := mc.ReadFrame(idle)
+	if err != nil {
+		return nil, err
+	}
+	var m clientMsg
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("lotserver: decode client frame: %w", err)
+	}
+	return &m, nil
+}
+
+// rejectionCode classifies an admission error for the wire.
+func rejectionCode(err error) string {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		return CodeSaturated
+	case errors.Is(err, ErrDraining):
+		return CodeDraining
+	case errors.Is(err, ErrDuplicateLot):
+		return CodeDuplicate
+	default:
+		return CodeBadRequest
+	}
+}
+
+// ServeClients accepts client connections on ln until the server stops,
+// handling each on its own goroutine.
+func (s *Server) ServeClients(ln net.Listener) error {
+	go func() {
+		<-s.ctx.Done()
+		ln.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("lotserver: accept client: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handleClient(conn)
+		}()
+	}
+}
+
+// handleClient runs one client connection: a read loop for submissions
+// and cancels, a heartbeat beacon, and a per-lot responder goroutine for
+// every accepted lot. Closing the connection cancels the client's
+// still-running lots.
+func (s *Server) handleClient(conn net.Conn) {
+	mc := netfloor.NewMsgConn(conn)
+	defer mc.Close()
+
+	// connCtx is the client's interest: every Submit inherits it, so the
+	// connection dying mid-lot aborts those lots (journals keep progress).
+	connCtx, connCancel := context.WithCancel(s.ctx)
+	defer connCancel()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	hb := s.opt.HeartbeatInterval
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-connCtx.Done():
+				return
+			case <-t.C:
+				// The write budget is the idle window, not the beacon
+				// period — a loaded scheduler must not look like a dead
+				// peer.
+				if err := writeClientMsg(mc, &clientMsg{Type: "heartbeat"}, s.opt.IdleTimeout); err != nil {
+					conn.Close()
+					return
+				}
+			}
+		}
+	}()
+
+	// cancels maps each submitted lot to its cancel func so the client can
+	// withdraw one lot without dropping the connection.
+	var mu sync.Mutex
+	cancels := make(map[string]context.CancelFunc)
+
+	for {
+		m, err := readClientMsg(mc, s.opt.IdleTimeout)
+		if err != nil {
+			return // connection gone: defer connCancel aborts running lots
+		}
+		switch m.Type {
+		case "heartbeat":
+		case "cancel":
+			mu.Lock()
+			if cancel := cancels[m.Lot]; cancel != nil {
+				cancel()
+			}
+			mu.Unlock()
+		case "submit":
+			spec := LotSpec{ID: m.Lot, Seed: m.Seed, Devices: m.Devices}
+			lotCtx, lotCancel := context.WithCancel(connCtx)
+			h, err := s.Submit(lotCtx, spec)
+			if err != nil {
+				lotCancel()
+				writeClientMsg(mc, &clientMsg{
+					Type: "rejected", Lot: spec.ID, Code: rejectionCode(err), Err: err.Error(),
+				}, s.opt.IdleTimeout)
+				continue
+			}
+			mu.Lock()
+			cancels[spec.ID] = lotCancel
+			mu.Unlock()
+			if err := writeClientMsg(mc, &clientMsg{Type: "accepted", Lot: spec.ID}, s.opt.IdleTimeout); err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer lotCancel()
+				res, err := h.Wait(connCtx)
+				mu.Lock()
+				delete(cancels, spec.ID)
+				mu.Unlock()
+				if err != nil {
+					writeClientMsg(mc, &clientMsg{
+						Type: "aborted", Lot: spec.ID, Code: CodeAborted, Err: err.Error(),
+					}, s.opt.IdleTimeout)
+					return
+				}
+				writeClientMsg(mc, &clientMsg{
+					Type: "done", Lot: spec.ID, Summary: summarize(res),
+				}, s.opt.IdleTimeout)
+			}()
+		}
+	}
+}

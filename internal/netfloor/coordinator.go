@@ -122,14 +122,18 @@ func (o *Options) defaults() {
 // SiteNetStats is one remote site's share of the lot plus its network
 // history.
 type SiteNetStats struct {
-	Site        int
-	Addr        string
-	Devices     int // results from this site that were committed first
-	Insertions  int
-	Assigns     int // assignments sent (including retries and hedges)
-	Retries     int // assignments that timed out or died and were retried
-	Reconnects  int // successful re-dials after the first connection
-	DialFails   int
+	Site       int
+	Addr       string
+	Devices    int // results from this site that were committed first
+	Insertions int
+	Assigns    int // assignments sent (including retries and hedges)
+	Retries    int // assignments that timed out or died and were retried
+	Reconnects int // successful re-dials after the first connection
+	DialFails  int
+	// DrainFails counts drain frames (the end-of-lot courtesy) that failed
+	// to send — the site will still wind down on its own idle timeout, but
+	// the failure is part of the connection's story, not noise.
+	DrainFails  int
 	Trips       int
 	QuarantineS float64
 	// Err is set when the site was permanently abandoned (identity
@@ -191,12 +195,14 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// dispatcher owns the exactly-once assignment state. Delivery is
-// at-least-once (retries, reconnects, hedges, duplicated frames), so the
-// same index can be in flight on several sites at once; complete() is the
-// single commit point — first result wins, everything after is a counted
-// duplicate that never reaches the journal.
-type dispatcher struct {
+// Dispatcher owns the exactly-once assignment state of one lot. Delivery
+// is at-least-once (retries, reconnects, hedges, duplicated frames), so
+// the same index can be in flight on several sites at once; Complete is
+// the single commit point — first result wins, everything after is a
+// counted duplicate that never reaches the journal. It is shared by the
+// single-lot Coordinator and the multi-lot server (internal/lotserver),
+// which runs one Dispatcher per active lot.
+type Dispatcher struct {
 	mu      sync.Mutex
 	queue   []int // pending indices, FIFO
 	holders []int // in-flight holder count per index
@@ -204,8 +210,11 @@ type dispatcher struct {
 	left    int // indices not yet completed
 }
 
-func newDispatcher(pending []int, devices int) *dispatcher {
-	d := &dispatcher{
+// NewDispatcher builds the assignment state: pending lists the indices
+// still to screen, devices is the full lot size (indices outside pending
+// are treated as already complete — journal-replayed devices).
+func NewDispatcher(pending []int, devices int) *Dispatcher {
+	d := &Dispatcher{
 		queue:   append([]int(nil), pending...),
 		holders: make([]int, devices),
 		done:    make([]bool, devices),
@@ -220,12 +229,12 @@ func newDispatcher(pending []int, devices int) *dispatcher {
 	return d
 }
 
-// next hands out the front pending index. When the queue is empty and
+// Next hands out the front pending index. When the queue is empty and
 // hedge is set, it instead picks the lowest in-flight index held by
 // exactly one site — straggler hedging: a second site races the (possibly
 // dead or slow) holder, and the dedup absorbs whichever result loses.
 // Returns (index, hedged, ok).
-func (d *dispatcher) next(hedge bool) (int, bool, bool) {
+func (d *Dispatcher) Next(hedge bool) (int, bool, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for len(d.queue) > 0 {
@@ -248,10 +257,10 @@ func (d *dispatcher) next(hedge bool) (int, bool, bool) {
 	return 0, false, false
 }
 
-// release drops one hold on idx; an undone index with no holders left is
+// Release drops one hold on idx; an undone index with no holders left is
 // requeued at the front (it has waited longest). Reports whether the
 // index was requeued — i.e. reassigned away from a failed site.
-func (d *dispatcher) release(idx int) bool {
+func (d *Dispatcher) Release(idx int) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.holders[idx] > 0 {
@@ -264,8 +273,8 @@ func (d *dispatcher) release(idx int) bool {
 	return false
 }
 
-// complete marks idx done; only the first caller wins.
-func (d *dispatcher) complete(idx int) bool {
+// Complete marks idx done; only the first caller wins.
+func (d *Dispatcher) Complete(idx int) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.done[idx] {
@@ -276,7 +285,8 @@ func (d *dispatcher) complete(idx int) bool {
 	return true
 }
 
-func (d *dispatcher) remaining() int {
+// Remaining reports how many indices have not yet completed.
+func (d *Dispatcher) Remaining() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.left
@@ -284,7 +294,7 @@ func (d *dispatcher) remaining() int {
 
 // runState is the shared state of one distributed lot run.
 type runState struct {
-	disp   *dispatcher
+	disp   *Dispatcher
 	out    chan floor.DeviceResult
 	doneCh chan struct{} // closed by the collector when every device is committed
 	alive  atomic.Int32  // connected remote sites; local fallback screens at 0
@@ -308,7 +318,7 @@ func (rs *runState) addNet(f func(*NetStats)) {
 // first result for an index goes to the collector, later ones are counted
 // and dropped.
 func (rs *runState) deliver(res floor.DeviceResult, siteOrdinal int) bool {
-	if !rs.disp.complete(res.Index) {
+	if !rs.disp.Complete(res.Index) {
 		rs.addNet(func(n *NetStats) { n.DupResults++ })
 		return false
 	}
@@ -346,6 +356,7 @@ var (
 	errRequestTimeout = errors.New("netfloor: assignment overdue (request timeout)")
 	errConnDead       = errors.New("netfloor: connection dead")
 	errLotDone        = errors.New("netfloor: lot complete")
+	errSiteDraining   = errors.New("netfloor: site announced drain")
 )
 
 func isTimeout(err error) bool {
@@ -443,7 +454,7 @@ func (c *Coordinator) run(ctx context.Context, lotSeed int64, lot []*core.Device
 	}
 
 	rs := &runState{
-		disp:   newDispatcher(pending, len(lot)),
+		disp:   NewDispatcher(pending, len(lot)),
 		out:    make(chan floor.DeviceResult, len(lot)),
 		doneCh: make(chan struct{}),
 	}
@@ -634,7 +645,7 @@ func (c *Coordinator) siteLoop(ctx context.Context, rs *runState, opt *Options, 
 		rs.alive.Add(1)
 		err = c.serveAssignments(ctx, rs, opt, site, st, br, mc)
 		rs.alive.Add(-1)
-		mc.close()
+		mc.Close()
 		if errors.Is(err, errLotDone) || ctx.Err() != nil {
 			return
 		}
@@ -658,35 +669,35 @@ type permanentError struct{ msg string }
 func (e *permanentError) Error() string { return e.msg }
 
 // connect dials and handshakes one site.
-func (c *Coordinator) connect(ctx context.Context, opt *Options, hello Hello, addr string) (*msgConn, error) {
+func (c *Coordinator) connect(ctx context.Context, opt *Options, hello Hello, addr string) (*MsgConn, error) {
 	dctx, cancel := context.WithTimeout(ctx, opt.RequestTimeout)
 	defer cancel()
 	conn, err := opt.Dialer(dctx, addr)
 	if err != nil {
 		return nil, err
 	}
-	mc := newMsgConn(conn)
-	if err := mc.write(&Envelope{Type: MsgHello, Hello: &hello}, opt.IdleTimeout); err != nil {
-		mc.close()
+	mc := NewMsgConn(conn)
+	if err := mc.Write(&Envelope{Type: MsgHello, Hello: &hello}, opt.IdleTimeout); err != nil {
+		mc.Close()
 		return nil, err
 	}
-	env, err := mc.read(opt.IdleTimeout)
+	env, err := mc.Read(opt.IdleTimeout)
 	if err != nil {
-		mc.close()
+		mc.Close()
 		return nil, err
 	}
 	switch env.Type {
 	case MsgHelloAck:
 		if env.Hello == nil || *env.Hello != hello {
-			mc.close()
+			mc.Close()
 			return nil, &permanentError{msg: fmt.Sprintf("site %s acked a different identity", addr)}
 		}
 		return mc, nil
 	case MsgError:
-		mc.close()
+		mc.Close()
 		return nil, &permanentError{msg: env.Err}
 	default:
-		mc.close()
+		mc.Close()
 		return nil, fmt.Errorf("netfloor: handshake: expected hello_ack, got %s", env.Type)
 	}
 }
@@ -695,7 +706,7 @@ func (c *Coordinator) connect(ctx context.Context, opt *Options, hello Hello, ad
 // stragglers when the queue is dry), assign it, await the result. Returns
 // errLotDone after a graceful drain, or the connection's fatal error.
 func (c *Coordinator) serveAssignments(ctx context.Context, rs *runState, opt *Options,
-	site int, st *SiteNetStats, br *lotrun.Breaker, mc *msgConn) error {
+	site int, st *SiteNetStats, br *lotrun.Breaker, mc *MsgConn) error {
 
 	var seq uint64
 	lastHeard := time.Now()
@@ -704,10 +715,10 @@ func (c *Coordinator) serveAssignments(ctx context.Context, rs *runState, opt *O
 	for {
 		select {
 		case <-rs.doneCh:
-			c.drain(mc, opt)
+			c.drain(mc, opt, site, st)
 			return errLotDone
 		case <-ctx.Done():
-			c.drain(mc, opt)
+			c.drain(mc, opt, site, st)
 			return ctx.Err()
 		default:
 		}
@@ -718,7 +729,7 @@ func (c *Coordinator) serveAssignments(ctx context.Context, rs *runState, opt *O
 			br.BeginProbe()
 		}
 
-		idx, hedged, ok := rs.disp.next(true)
+		idx, hedged, ok := rs.disp.Next(true)
 		if !ok {
 			// Nothing to hand out: either the lot is finishing elsewhere
 			// or every in-flight index is already hedged. Idle-poll: keep
@@ -726,12 +737,12 @@ func (c *Coordinator) serveAssignments(ctx context.Context, rs *runState, opt *O
 			// in-memory transport an unread beacon would block the site)
 			// and beacon back so the site's idle timer stays fresh.
 			if time.Since(lastBeat) >= opt.HeartbeatInterval {
-				if err := mc.write(&Envelope{Type: MsgHeartbeat}, opt.HeartbeatInterval); err != nil {
+				if err := mc.Write(&Envelope{Type: MsgHeartbeat}, opt.HeartbeatInterval); err != nil {
 					return err
 				}
 				lastBeat = time.Now()
 			}
-			env, err := mc.read(opt.HeartbeatInterval)
+			env, err := mc.Read(opt.HeartbeatInterval)
 			if err != nil {
 				if isTimeout(err) {
 					if time.Since(lastHeard) > opt.IdleTimeout {
@@ -742,13 +753,21 @@ func (c *Coordinator) serveAssignments(ctx context.Context, rs *runState, opt *O
 				return err
 			}
 			lastHeard = time.Now()
-			if env.Type == MsgResult && env.Result != nil {
+			switch {
+			case env.Type == MsgResult && env.Result != nil:
 				// A straggler result from a previous assignment on this
 				// connection: commit-or-dedup it like any other.
 				if rs.deliver(*env.Result, site) {
 					st.Devices++
 					st.Insertions += env.Result.Insertions
 				}
+			case env.Type == MsgDrain:
+				// The site announced its own graceful shutdown: end this
+				// connection now and let siteLoop's backoff re-dial — the
+				// alternative is waiting out the idle timeout on a peer that
+				// already said goodbye.
+				c.logf("site %d: announced drain, closing connection", site)
+				return errSiteDraining
 			}
 			continue
 		}
@@ -762,7 +781,7 @@ func (c *Coordinator) serveAssignments(ctx context.Context, rs *runState, opt *O
 			}
 		})
 		err := c.assignAwait(rs, opt, site, st, br, mc, idx, seq, &lastHeard, &lastBeat)
-		requeued := rs.disp.release(idx)
+		requeued := rs.disp.Release(idx)
 		if err == nil {
 			continue
 		}
@@ -784,9 +803,9 @@ func (c *Coordinator) serveAssignments(ctx context.Context, rs *runState, opt *O
 // assignAwait sends one assignment and waits for its result, absorbing
 // heartbeats and stray results meanwhile.
 func (c *Coordinator) assignAwait(rs *runState, opt *Options, site int, st *SiteNetStats,
-	br *lotrun.Breaker, mc *msgConn, idx int, seq uint64, lastHeard, lastBeat *time.Time) error {
+	br *lotrun.Breaker, mc *MsgConn, idx int, seq uint64, lastHeard, lastBeat *time.Time) error {
 
-	if err := mc.write(&Envelope{Type: MsgAssign, Seq: seq, Device: idx}, opt.IdleTimeout); err != nil {
+	if err := mc.Write(&Envelope{Type: MsgAssign, Seq: seq, Device: idx}, opt.IdleTimeout); err != nil {
 		return err
 	}
 	deadline := time.Now().Add(opt.RequestTimeout)
@@ -801,7 +820,7 @@ func (c *Coordinator) assignAwait(rs *runState, opt *Options, site int, st *Site
 			return errRequestTimeout
 		default:
 		}
-		env, err := mc.read(opt.HeartbeatInterval)
+		env, err := mc.Read(opt.HeartbeatInterval)
 		if err != nil {
 			if isTimeout(err) {
 				if time.Since(*lastHeard) > opt.IdleTimeout {
@@ -831,19 +850,30 @@ func (c *Coordinator) assignAwait(rs *runState, opt *Options, site int, st *Site
 			if env.Device == idx {
 				return fmt.Errorf("netfloor: site rejected device %d: %s", idx, env.Err)
 			}
+		case MsgDrain:
+			// Site-initiated graceful shutdown with our assignment still in
+			// flight: give it up — the caller releases and requeues the
+			// index for another site.
+			return errSiteDraining
 		}
 	}
 }
 
 // drain tells the site no more assignments are coming, waiting briefly
 // for the ack; purely a courtesy — the site would time out on its own.
-func (c *Coordinator) drain(mc *msgConn, opt *Options) {
-	if err := mc.write(&Envelope{Type: MsgDrain}, opt.HeartbeatInterval); err != nil {
+// A failed drain write is recorded and logged rather than dropped: the
+// site will wind down anyway, but the operator should see the failure.
+func (c *Coordinator) drain(mc *MsgConn, opt *Options, site int, st *SiteNetStats) {
+	if err := mc.Write(&Envelope{Type: MsgDrain}, opt.HeartbeatInterval); err != nil {
+		if st != nil {
+			st.DrainFails++
+		}
+		c.logf("site %d: drain send failed: %v", site, err)
 		return
 	}
 	deadline := time.Now().Add(2 * opt.HeartbeatInterval)
 	for time.Now().Before(deadline) {
-		env, err := mc.read(opt.HeartbeatInterval)
+		env, err := mc.Read(opt.HeartbeatInterval)
 		if err != nil {
 			return
 		}
@@ -901,7 +931,7 @@ func (c *Coordinator) localFallback(ctx context.Context, rs *runState, opt *Opti
 				continue
 			}
 		}
-		idx, _, got := rs.disp.next(true)
+		idx, _, got := rs.disp.Next(true)
 		if !got {
 			select {
 			case <-time.After(poll):
@@ -912,14 +942,14 @@ func (c *Coordinator) localFallback(ctx context.Context, rs *runState, opt *Opti
 			}
 			continue
 		}
-		res := superviseScreen(ctx, c.Engine, lotSeed, idx, lot[idx], faults, opt.DeviceTimeout)
+		res := ScreenSupervised(ctx, c.Engine, lotSeed, idx, lot[idx], faults, opt.DeviceTimeout)
 		if res.Err != "" && ctx.Err() != nil {
-			rs.disp.release(idx)
+			rs.disp.Release(idx)
 			return // truncated by shutdown: never commit
 		}
 		if rs.deliver(res, localOrdinal) {
 			rs.addNet(func(n *NetStats) { n.LocalDevices++ })
 		}
-		rs.disp.release(idx)
+		rs.disp.Release(idx)
 	}
 }

@@ -1,0 +1,133 @@
+package netfloor
+
+import "testing"
+
+// Dispatcher edge cases: the hedging/dedup state machine under duplicate
+// hedged results, late losers, and requeue ordering — the exactly-once
+// core both the single-lot coordinator and the multi-lot server lean on.
+
+func TestDispatcherFreshThenHedge(t *testing.T) {
+	d := NewDispatcher([]int{0, 1, 2}, 3)
+	// Fresh queue drains in FIFO order, unhedged.
+	for want := 0; want < 3; want++ {
+		idx, hedged, ok := d.Next(true)
+		if !ok || hedged || idx != want {
+			t.Fatalf("Next #%d = (%d, %v, %v), want (%d, false, true)", want, idx, hedged, ok, want)
+		}
+	}
+	// Queue dry: hedging picks the lowest single-holder index.
+	idx, hedged, ok := d.Next(true)
+	if !ok || !hedged || idx != 0 {
+		t.Fatalf("hedge = (%d, %v, %v), want (0, true, true)", idx, hedged, ok)
+	}
+	// With hedge disabled there is nothing to hand out.
+	if _, _, ok := d.Next(false); ok {
+		t.Fatal("Next(false) handed out work from an empty queue")
+	}
+}
+
+func TestDispatcherHedgeSkipsDoubleHeld(t *testing.T) {
+	d := NewDispatcher([]int{0, 1}, 2)
+	d.Next(true) // 0 in flight
+	d.Next(true) // 1 in flight
+	if idx, _, ok := d.Next(true); !ok || idx != 0 {
+		t.Fatalf("first hedge = (%d, %v), want (0, true)", idx, ok)
+	}
+	// Index 0 now has two holders: the next hedge must pick 1, and once
+	// every index is double-held there is nothing left to hedge.
+	if idx, _, ok := d.Next(true); !ok || idx != 1 {
+		t.Fatalf("second hedge = (%d, %v), want (1, true)", idx, ok)
+	}
+	if _, _, ok := d.Next(true); ok {
+		t.Fatal("hedged an index that already has two holders")
+	}
+}
+
+func TestDispatcherDuplicateHedgedResults(t *testing.T) {
+	d := NewDispatcher([]int{0}, 1)
+	d.Next(true) // original holder
+	d.Next(true) // hedge holder
+	// Both sites answer: only the first commit wins.
+	if !d.Complete(0) {
+		t.Fatal("first result did not commit")
+	}
+	if d.Complete(0) {
+		t.Fatal("duplicate hedged result committed twice")
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", d.Remaining())
+	}
+	// Late losers release without requeuing the finished index.
+	if d.Release(0) {
+		t.Fatal("winner's release requeued a completed index")
+	}
+	if d.Release(0) {
+		t.Fatal("late loser's release requeued a completed index")
+	}
+	if _, _, ok := d.Next(true); ok {
+		t.Fatal("completed index was handed out again")
+	}
+}
+
+func TestDispatcherLateLoserAfterRequeue(t *testing.T) {
+	// A site dies holding index 0; the release requeues it at the FRONT
+	// (it has waited longest), ahead of untouched work.
+	d := NewDispatcher([]int{0, 1}, 2)
+	d.Next(true) // 0 to the doomed site
+	if !d.Release(0) {
+		t.Fatal("sole holder's release did not requeue")
+	}
+	idx, hedged, ok := d.Next(true)
+	if !ok || hedged || idx != 0 {
+		t.Fatalf("after requeue Next = (%d, %v, %v), want (0, false, true)", idx, hedged, ok)
+	}
+	// The dead site's result arrives anyway (the transport delivered it
+	// late): it commits — screening is pure, so it equals the retry's.
+	if !d.Complete(0) {
+		t.Fatal("late result did not commit")
+	}
+	// The retry holder finishes and its duplicate is absorbed.
+	if d.Complete(0) {
+		t.Fatal("retry result committed twice")
+	}
+	d.Release(0)
+	if idx, _, ok := d.Next(true); !ok || idx != 1 {
+		t.Fatalf("Next = (%d, %v), want (1, true)", idx, ok)
+	}
+}
+
+func TestDispatcherRequeueDoesNotResurrectDone(t *testing.T) {
+	// An index completed while queued (a stray duplicate frame landed
+	// before its requeue was handed out) must be skipped by Next.
+	d := NewDispatcher([]int{0, 1}, 2)
+	d.Next(true)  // 0 in flight
+	d.Release(0)  // requeued at front
+	d.Complete(0) // stray result commits it while queued
+	idx, _, ok := d.Next(true)
+	if !ok || idx != 1 {
+		t.Fatalf("Next = (%d, %v), want (1, true) — done index must be skipped", idx, ok)
+	}
+}
+
+func TestDispatcherReplayedDevicesNeverAssigned(t *testing.T) {
+	// Journal replay: only pending indices are handed out; the rest are
+	// born complete.
+	d := NewDispatcher([]int{1, 3}, 4)
+	if d.Remaining() != 2 {
+		t.Fatalf("Remaining = %d, want 2", d.Remaining())
+	}
+	seen := map[int]bool{}
+	for {
+		idx, _, ok := d.Next(false)
+		if !ok {
+			break
+		}
+		seen[idx] = true
+	}
+	if !seen[1] || !seen[3] || len(seen) != 2 {
+		t.Fatalf("assigned %v, want exactly {1, 3}", seen)
+	}
+	if d.Complete(0) || d.Complete(2) {
+		t.Fatal("replayed device committed as if screened")
+	}
+}

@@ -12,7 +12,7 @@ import (
 
 // FaultProfile parameterizes the fault-injecting transport, in the spirit
 // of floor.FaultModel but for the wire instead of the signal path. Faults
-// are rolled per Write call; because msgConn emits exactly one frame per
+// are rolled per Write call; because MsgConn emits exactly one frame per
 // Write, each roll decides the fate of one whole protocol message:
 //
 //   - DropP: the frame is silently discarded (the sender believes it was

@@ -74,6 +74,12 @@ type Hello struct {
 	Devices     int     `json:"devices"`
 	FaultP      float64 `json:"fault_p"`
 	Fingerprint uint64  `json:"fingerprint"`
+	// MultiLot announces a multi-lot coordinator (internal/lotserver): the
+	// connection will carry assignments for many lots, each Assign naming
+	// its own lot seed. The site then pins only the engine fingerprint,
+	// fault load and device-pool size — LotSeed is per-assignment, not
+	// per-connection — and keys its result cache by (seed, index).
+	MultiLot bool `json:"multi_lot,omitempty"`
 }
 
 // Envelope is the one wire message shape; Type selects which fields are
@@ -86,39 +92,44 @@ type Envelope struct {
 	Result *floor.DeviceResult `json:"result,omitempty"`
 	Site   string              `json:"site,omitempty"`
 	Err    string              `json:"err,omitempty"`
+	// Seed is the assignment's lot seed and Lot its lot ID — set on
+	// Assign/Result frames of a multi-lot connection, zero otherwise.
+	Seed int64  `json:"seed,omitempty"`
+	Lot  string `json:"lot,omitempty"`
 }
 
 // ErrCorruptFrame reports a frame whose payload CRC did not verify — the
 // stream can no longer be trusted and the connection must be reset.
 var ErrCorruptFrame = errors.New("netfloor: corrupt frame (payload CRC mismatch)")
 
-// msgConn frames Envelopes over a net.Conn: a 4-byte big-endian payload
+// MsgConn frames messages over a net.Conn: a 4-byte big-endian payload
 // length, a 4-byte IEEE CRC32 of the payload, then the JSON payload. Each
 // frame goes out in a single Write, which keeps the fault-injecting
 // transport's per-write faults aligned with whole messages (a dropped
 // write is a lost message, a doubled write a duplicated one — exactly the
 // failure modes a datagram network would produce).
-type msgConn struct {
+//
+// The frame layer is payload-agnostic (WriteFrame/ReadFrame), so other
+// protocols — the lot server's client front door — ride the same framing
+// and CRC discipline with their own envelope shapes.
+type MsgConn struct {
 	c net.Conn
 	r *bufio.Reader
 
 	wmu sync.Mutex
 }
 
-func newMsgConn(c net.Conn) *msgConn {
-	return &msgConn{c: c, r: bufio.NewReader(c)}
+// NewMsgConn wraps a connection with the CRC framing.
+func NewMsgConn(c net.Conn) *MsgConn {
+	return &MsgConn{c: c, r: bufio.NewReader(c)}
 }
 
-// write sends one envelope; safe for concurrent use (heartbeat senders
-// share the conn with the request path). writeTimeout bounds how long a
-// stalled peer can block the sender (0 = no deadline).
-func (m *msgConn) write(env *Envelope, writeTimeout time.Duration) error {
-	payload, err := json.Marshal(env)
-	if err != nil {
-		return fmt.Errorf("netfloor: marshal %s: %w", env.Type, err)
-	}
+// WriteFrame sends one raw payload frame; safe for concurrent use
+// (heartbeat senders share the conn with the request path). writeTimeout
+// bounds how long a stalled peer can block the sender (0 = no deadline).
+func (m *MsgConn) WriteFrame(payload []byte, writeTimeout time.Duration) error {
 	if len(payload) > maxFrame {
-		return fmt.Errorf("netfloor: %s frame of %d bytes exceeds %d", env.Type, len(payload), maxFrame)
+		return fmt.Errorf("netfloor: frame of %d bytes exceeds %d", len(payload), maxFrame)
 	}
 	frame := make([]byte, 8+len(payload))
 	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
@@ -131,15 +142,15 @@ func (m *msgConn) write(env *Envelope, writeTimeout time.Duration) error {
 		m.c.SetWriteDeadline(time.Now().Add(writeTimeout))
 	}
 	if _, err := m.c.Write(frame); err != nil {
-		return fmt.Errorf("netfloor: write %s: %w", env.Type, err)
+		return fmt.Errorf("netfloor: write frame: %w", err)
 	}
 	return nil
 }
 
-// read receives one envelope, waiting at most idle for bytes to arrive —
-// the liveness contract: a healthy peer heartbeats well inside idle, so
-// an expired deadline means dead or partitioned, not slow.
-func (m *msgConn) read(idle time.Duration) (*Envelope, error) {
+// ReadFrame receives one raw payload frame, waiting at most idle for bytes
+// to arrive — the liveness contract: a healthy peer heartbeats well inside
+// idle, so an expired deadline means dead or partitioned, not slow.
+func (m *MsgConn) ReadFrame(idle time.Duration) ([]byte, error) {
 	if idle > 0 {
 		m.c.SetReadDeadline(time.Now().Add(idle))
 	}
@@ -158,6 +169,27 @@ func (m *msgConn) read(idle time.Duration) (*Envelope, error) {
 	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[4:8]) {
 		return nil, ErrCorruptFrame
 	}
+	return payload, nil
+}
+
+// Write sends one protocol envelope.
+func (m *MsgConn) Write(env *Envelope, writeTimeout time.Duration) error {
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("netfloor: marshal %s: %w", env.Type, err)
+	}
+	if err := m.WriteFrame(payload, writeTimeout); err != nil {
+		return fmt.Errorf("netfloor: %s: %w", env.Type, err)
+	}
+	return nil
+}
+
+// Read receives one protocol envelope.
+func (m *MsgConn) Read(idle time.Duration) (*Envelope, error) {
+	payload, err := m.ReadFrame(idle)
+	if err != nil {
+		return nil, err
+	}
 	var env Envelope
 	if err := json.Unmarshal(payload, &env); err != nil {
 		return nil, fmt.Errorf("netfloor: decode frame: %w", err)
@@ -165,4 +197,5 @@ func (m *msgConn) read(idle time.Duration) (*Envelope, error) {
 	return &env, nil
 }
 
-func (m *msgConn) close() error { return m.c.Close() }
+// Close closes the underlying connection.
+func (m *MsgConn) Close() error { return m.c.Close() }

@@ -19,7 +19,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
-	ma, mb := newMsgConn(a), newMsgConn(b)
+	ma, mb := NewMsgConn(a), NewMsgConn(b)
 
 	res := &floor.DeviceResult{
 		Index: 7, Bin: floor.BinPass, Insertions: 2, CleanD: 0.17,
@@ -37,11 +37,11 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	go func() {
 		for _, env := range msgs {
-			ma.write(env, time.Second)
+			ma.Write(env, time.Second)
 		}
 	}()
 	for _, want := range msgs {
-		got, err := mb.read(time.Second)
+		got, err := mb.Read(time.Second)
 		if err != nil {
 			t.Fatalf("read %s: %v", want.Type, err)
 		}
@@ -67,15 +67,15 @@ func TestFrameCorruptionDetected(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 
-	// Capture one valid frame by writing through a msgConn to a tap.
+	// Capture one valid frame by writing through a MsgConn to a tap.
 	var frame []byte
 	done := make(chan struct{})
 	go func() {
 		frame, _ = io.ReadAll(a)
 		close(done)
 	}()
-	mb := newMsgConn(b)
-	if err := mb.write(&Envelope{Type: MsgAssign, Seq: 9, Device: 4}, time.Second); err != nil {
+	mb := NewMsgConn(b)
+	if err := mb.Write(&Envelope{Type: MsgAssign, Seq: 9, Device: 4}, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	b.Close()
@@ -89,7 +89,7 @@ func TestFrameCorruptionDetected(t *testing.T) {
 			c.Write(raw)
 			c.Close()
 		}()
-		return newMsgConn(d).read(time.Second)
+		return NewMsgConn(d).Read(time.Second)
 	}
 
 	// The untampered frame parses.

@@ -18,6 +18,11 @@ import (
 // index. Screening is a deterministic pure function of (lot seed, index),
 // so re-screening a re-delivered assignment is harmless; the result cache
 // just makes it instant.
+//
+// A site serves both floors: the single-lot Coordinator pins the lot seed
+// in the handshake, while a multi-lot server (internal/lotserver) opens
+// the connection with Hello.MultiLot and names a lot seed on every Assign
+// — the cache is keyed by (seed, index), so lots never collide.
 type Site struct {
 	// Name identifies the site in coordinator reports (default the
 	// listener address).
@@ -45,8 +50,83 @@ type Site struct {
 	// Logf, when set, receives site-side progress lines.
 	Logf func(format string, args ...any)
 
-	mu    sync.Mutex
-	cache map[int]floor.DeviceResult
+	mu       sync.Mutex
+	cache    map[siteCacheKey]floor.DeviceResult
+	stats    ServeStats
+	draining chan struct{}
+}
+
+// siteCacheKey identifies one screened device. Multi-lot connections
+// carry a lot seed per assignment, so the cache must not conflate two
+// lots' screenings of the same index.
+type siteCacheKey struct {
+	seed int64
+	idx  int
+}
+
+// ServeStats counts the site-side write failures that previously vanished
+// silently: a heartbeat or drain-ack write that errors means the peer may
+// be waiting on a frame that will never arrive, and the operator should
+// see that in the site's story rather than infer it from coordinator
+// retries.
+type ServeStats struct {
+	// HeartbeatFails counts liveness beacons that failed to send (each one
+	// also closes its connection so the peer finds out promptly).
+	HeartbeatFails int
+	// DrainAckFails counts drain acknowledgements that failed to send.
+	DrainAckFails int
+	// ErrorSendFails counts MsgError rejections that failed to send.
+	ErrorSendFails int
+	// DrainNotifyFails counts site-initiated drain announcements that
+	// failed to send during a graceful shutdown.
+	DrainNotifyFails int
+}
+
+// Stats returns a snapshot of the site's write-failure counters.
+func (s *Site) Stats() ServeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Site) record(f func(*ServeStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Drain begins a graceful shutdown: every connection finishes its
+// in-flight device, flushes the Result frame, announces the drain to its
+// peer and closes cleanly. Safe to call more than once and from signal
+// handlers. Serve keeps accepting until its context cancels, so callers
+// pair Drain with a context cancel (or listener close) once connections
+// have wound down.
+func (s *Site) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining == nil {
+		s.draining = make(chan struct{})
+	}
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+}
+
+// drainingNow reports whether Drain has been called.
+func (s *Site) drainingNow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining == nil {
+		return false
+	}
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
 }
 
 func (s *Site) logf(format string, args ...any) {
@@ -140,6 +220,23 @@ func (s *Site) Serve(ctx context.Context, ln net.Listener) error {
 	}
 }
 
+// handshake validates the coordinator's Hello against this site's
+// identity. A multi-lot coordinator pins the engine fingerprint, fault
+// load and device-pool size but names its lot seeds per-assignment, so
+// LotSeed is not compared in that mode.
+func (s *Site) handshake(h *Hello) (multiLot bool, err error) {
+	want := s.hello()
+	if h.MultiLot {
+		if h.Version == want.Version && h.Devices == want.Devices &&
+			h.FaultP == want.FaultP && h.Fingerprint == want.Fingerprint {
+			return true, nil
+		}
+	} else if *h == want {
+		return false, nil
+	}
+	return false, fmt.Errorf("identity mismatch: coordinator %+v, site %+v", *h, want)
+}
+
 // ServeConn handles one coordinator connection: handshake, then a serial
 // Assign → screen → Result loop until Drain, error or idle timeout. A
 // heartbeat goroutine beacons throughout so the coordinator can tell a
@@ -152,32 +249,36 @@ func (s *Site) ServeConn(ctx context.Context, conn net.Conn) error {
 	if s.Name == "" {
 		s.Name = conn.LocalAddr().String()
 	}
-	mc := newMsgConn(conn)
-	defer mc.close()
+	mc := NewMsgConn(conn)
+	defer mc.Close()
 
 	// Handshake: the coordinator speaks first; refuse any identity
 	// mismatch — a differently calibrated engine would bin differently,
 	// silently breaking the lot's determinism contract.
-	env, err := mc.read(s.idle())
+	env, err := mc.Read(s.idle())
 	if err != nil {
 		return fmt.Errorf("netfloor: handshake read: %w", err)
 	}
 	if env.Type != MsgHello || env.Hello == nil {
 		return fmt.Errorf("netfloor: expected hello, got %s", env.Type)
 	}
-	want := s.hello()
-	if *env.Hello != want {
-		mc.write(&Envelope{Type: MsgError, Site: s.Name,
-			Err: fmt.Sprintf("identity mismatch: coordinator %+v, site %+v", *env.Hello, want)}, s.heartbeat())
-		return fmt.Errorf("netfloor: identity mismatch: coordinator %+v, site %+v", *env.Hello, want)
+	multiLot, herr := s.handshake(env.Hello)
+	if herr != nil {
+		if werr := mc.Write(&Envelope{Type: MsgError, Site: s.Name, Err: herr.Error()}, s.heartbeat()); werr != nil {
+			s.record(func(st *ServeStats) { st.ErrorSendFails++ })
+			s.logf("site %s: failed to send handshake rejection: %v", s.Name, werr)
+		}
+		return fmt.Errorf("netfloor: %s", herr)
 	}
-	if err := mc.write(&Envelope{Type: MsgHelloAck, Hello: &want, Site: s.Name}, s.idle()); err != nil {
+	ack := *env.Hello // echo the coordinator's identity, multi-lot or not
+	if err := mc.Write(&Envelope{Type: MsgHelloAck, Hello: &ack, Site: s.Name}, s.idle()); err != nil {
 		return err
 	}
 
 	// Heartbeat beacon: a separate goroutine so beacons keep flowing while
-	// a device is on the (simulated) tester. A failed beacon write closes
-	// the conn, which unblocks the read loop below.
+	// a device is on the (simulated) tester. A failed beacon write is
+	// recorded and logged — the peer may be waiting on a frame that will
+	// never arrive — and closes the conn so the read loop below unblocks.
 	hbCtx, hbCancel := context.WithCancel(ctx)
 	defer hbCancel()
 	var hbWG sync.WaitGroup
@@ -191,7 +292,11 @@ func (s *Site) ServeConn(ctx context.Context, conn net.Conn) error {
 			case <-hbCtx.Done():
 				return
 			case <-t.C:
-				if err := mc.write(&Envelope{Type: MsgHeartbeat, Site: s.Name}, s.heartbeat()); err != nil {
+				if err := mc.Write(&Envelope{Type: MsgHeartbeat, Site: s.Name}, s.heartbeat()); err != nil {
+					s.record(func(st *ServeStats) { st.HeartbeatFails++ })
+					if hbCtx.Err() == nil {
+						s.logf("site %s: heartbeat send failed, closing connection: %v", s.Name, err)
+					}
 					conn.Close()
 					return
 				}
@@ -200,40 +305,64 @@ func (s *Site) ServeConn(ctx context.Context, conn net.Conn) error {
 	}()
 	defer hbWG.Wait()
 
+	// Read at heartbeat granularity (not the full idle timeout) so a
+	// graceful drain interrupts an idle connection promptly; lastHeard
+	// preserves the idle-timeout contract across the short reads.
+	lastHeard := time.Now()
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		env, err := mc.read(s.idle())
+		if s.drainingNow() {
+			return s.announceDrain(mc)
+		}
+		env, err := mc.Read(s.heartbeat())
 		if err != nil {
+			if isTimeout(err) {
+				if time.Since(lastHeard) > s.idle() {
+					return fmt.Errorf("netfloor: peer silent for over %v", s.idle())
+				}
+				continue
+			}
 			if errors.Is(err, ErrCorruptFrame) {
 				// The stream is desynchronized; only a reset recovers it.
 				return err
 			}
 			return err
 		}
+		lastHeard = time.Now()
 		switch env.Type {
 		case MsgHeartbeat:
-			// Liveness only; the read deadline was already refreshed.
+			// Liveness only; lastHeard was already refreshed.
 		case MsgAssign:
 			if env.Device < 0 || env.Device >= len(s.Lot) {
-				mc.write(&Envelope{Type: MsgError, Seq: env.Seq, Device: env.Device, Site: s.Name,
-					Err: fmt.Sprintf("device %d outside lot [0,%d)", env.Device, len(s.Lot))}, s.heartbeat())
+				if werr := mc.Write(&Envelope{Type: MsgError, Seq: env.Seq, Device: env.Device, Site: s.Name,
+					Err: fmt.Sprintf("device %d outside lot [0,%d)", env.Device, len(s.Lot))}, s.heartbeat()); werr != nil {
+					s.record(func(st *ServeStats) { st.ErrorSendFails++ })
+					s.logf("site %s: failed to send assignment rejection: %v", s.Name, werr)
+				}
 				continue
 			}
-			res := s.screen(ctx, env.Device)
+			seed := s.LotSeed
+			if multiLot {
+				seed = env.Seed
+			}
+			res := s.screen(ctx, seed, env.Device)
 			if res.Err != "" && ctx.Err() != nil {
 				// The site is shutting down mid-device: the result is a
 				// truncation, not an outcome. Never send it — the coordinator
 				// reassigns and re-screens from the same per-device seed.
 				return ctx.Err()
 			}
-			if err := mc.write(&Envelope{Type: MsgResult, Seq: env.Seq, Device: env.Device,
-				Result: &res, Site: s.Name}, s.idle()); err != nil {
+			if err := mc.Write(&Envelope{Type: MsgResult, Seq: env.Seq, Device: env.Device,
+				Seed: env.Seed, Lot: env.Lot, Result: &res, Site: s.Name}, s.idle()); err != nil {
 				return err
 			}
 		case MsgDrain:
-			mc.write(&Envelope{Type: MsgDrainAck, Seq: env.Seq, Site: s.Name}, s.heartbeat())
+			if werr := mc.Write(&Envelope{Type: MsgDrainAck, Seq: env.Seq, Site: s.Name}, s.heartbeat()); werr != nil {
+				s.record(func(st *ServeStats) { st.DrainAckFails++ })
+				s.logf("site %s: failed to ack drain: %v", s.Name, werr)
+			}
 			return nil
 		default:
 			// Unknown or misdirected message: ignore — a future protocol
@@ -242,47 +371,56 @@ func (s *Site) ServeConn(ctx context.Context, conn net.Conn) error {
 	}
 }
 
+// announceDrain tells the peer this site is going away — a courtesy
+// MsgDrain so the coordinator reassigns immediately instead of waiting
+// out its idle timeout — then ends the connection cleanly.
+func (s *Site) announceDrain(mc *MsgConn) error {
+	if err := mc.Write(&Envelope{Type: MsgDrain, Site: s.Name}, s.heartbeat()); err != nil {
+		s.record(func(st *ServeStats) { st.DrainNotifyFails++ })
+		s.logf("site %s: failed to announce drain: %v", s.Name, err)
+	}
+	return nil
+}
+
 // screen produces the device's result, from cache when this site has
 // already screened it (a re-delivered assignment after a reconnect or a
 // duplicated frame). The cache is shared across connections on purpose:
 // the coordinator that reconnects after a partition gets the same answer
 // instantly.
-func (s *Site) screen(ctx context.Context, idx int) floor.DeviceResult {
+func (s *Site) screen(ctx context.Context, seed int64, idx int) floor.DeviceResult {
+	key := siteCacheKey{seed: seed, idx: idx}
 	s.mu.Lock()
-	if res, ok := s.cache[idx]; ok {
+	if res, ok := s.cache[key]; ok {
 		s.mu.Unlock()
 		return res
 	}
 	s.mu.Unlock()
 
-	res := s.screenSupervised(ctx, idx)
+	res := ScreenSupervised(ctx, s.Engine, seed, idx, s.Lot[idx], s.Faults, s.DeviceTimeout)
 	if res.Err != "" && ctx.Err() != nil {
 		return res // truncated by shutdown: never cache
 	}
 
 	s.mu.Lock()
 	if s.cache == nil {
-		s.cache = make(map[int]floor.DeviceResult)
+		s.cache = make(map[siteCacheKey]floor.DeviceResult)
 	}
-	if prev, ok := s.cache[idx]; ok {
+	if prev, ok := s.cache[key]; ok {
 		res = prev // two connections raced; keep the first
 	} else {
-		s.cache[idx] = res
+		s.cache[key] = res
 	}
 	s.mu.Unlock()
 	return res
 }
 
-func (s *Site) screenSupervised(ctx context.Context, idx int) floor.DeviceResult {
-	return superviseScreen(ctx, s.Engine, s.LotSeed, idx, s.Lot[idx], s.Faults, s.DeviceTimeout)
-}
-
-// superviseScreen mirrors lotrun's per-device supervision: a deadline
+// ScreenSupervised mirrors lotrun's per-device supervision: a deadline
 // bounds the device's wall time and a recover() turns any panic escaping
 // the screening path into a fallback-binned device instead of a dead site.
-// Both the remote site and the coordinator's local fallback screen through
-// it, so a device bins identically wherever it lands.
-func superviseScreen(ctx context.Context, eng *floor.Engine, lotSeed int64, idx int,
+// The remote site, the coordinator's local fallback and the lot server's
+// local workers all screen through it, so a device bins identically
+// wherever it lands.
+func ScreenSupervised(ctx context.Context, eng *floor.Engine, lotSeed int64, idx int,
 	d *core.Device, faults *floor.FaultModel, timeout time.Duration) (res floor.DeviceResult) {
 	res = floor.DeviceResult{Index: idx, CleanD: -1, TruePass: eng.TruePass(d.Specs)}
 	defer func() {

@@ -22,6 +22,10 @@ go test -race -shuffle=on -timeout 45m ./...
 # so its timing-sensitive failover/partition paths see more than one
 # scheduling.
 go test -race -short -count=2 -timeout 30m ./internal/netfloor/
+# Multi-lot service soak: repeat the lotserver suite under the race
+# detector — admission races, concurrent drain, crash-restart-resume and
+# fair scheduling see more than one goroutine interleaving.
+go test -race -count=2 -timeout 30m ./internal/lotserver/
 # Bench smoke: one iteration of the pipeline benchmarks, which also assert
 # parallel results bit-identical to serial.
 go test -run '^$' -bench 'Calibrate|GA' -benchtime 1x .
