@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmtcheck vet build test race netsoak lotsoak bench ci
+.PHONY: all fmt fmtcheck vet build test race netsoak lotsoak rolloutsoak bench ci
 
 all: build
 
@@ -43,6 +43,14 @@ netsoak:
 lotsoak:
 	$(GO) test -race -count=2 -timeout 30m ./internal/lotserver/
 
+# Versioned-calibration lifecycle soak: the model registry, shadow
+# scoring, canary pinning, automatic rollback and journal version pinning
+# repeated under the race detector — the rollout state machine and the
+# shadow worker race against live commits and kill-restart.
+rolloutsoak:
+	$(GO) test -race -count=2 -timeout 30m ./internal/modelreg/
+	$(GO) test -race -count=2 -timeout 30m -run 'Rollout|Shadow|Canary|Drift|Model' ./internal/lotserver/ ./internal/lotrun/
+
 # Serial-vs-parallel benchmarks: lot orchestration (BENCH_lotrun.json),
 # the off-line calibration pipeline (BENCH_pipeline.json), the
 # distributed floor over in-process pipes (BENCH_netfloor.json) and the
@@ -50,10 +58,10 @@ lotsoak:
 # p50/p95/p99 device latency). All assert the parallel/distributed results
 # bit-identical to the serial ones before reporting.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkLot|BenchmarkNetLot|BenchmarkCalibrate|BenchmarkGA|BenchmarkServe)$$' -benchtime 2x .
+	$(GO) test -run '^$$' -bench '^(BenchmarkLot|BenchmarkNetLot|BenchmarkCalibrate|BenchmarkGA|BenchmarkServe|BenchmarkShadowScreen)$$' -benchtime 2x .
 	@echo "--- BENCH_lotrun.json"; cat BENCH_lotrun.json
 	@echo "--- BENCH_pipeline.json"; cat BENCH_pipeline.json
 	@echo "--- BENCH_netfloor.json"; cat BENCH_netfloor.json
 	@echo "--- BENCH_server.json"; cat BENCH_server.json
 
-ci: fmtcheck vet build race netsoak lotsoak
+ci: fmtcheck vet build race netsoak lotsoak rolloutsoak

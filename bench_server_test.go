@@ -17,6 +17,7 @@ import (
 	"repro/internal/floor"
 	"repro/internal/lotrun"
 	"repro/internal/lotserver"
+	"repro/internal/modelreg"
 )
 
 // BenchmarkServe runs three concurrent lots through the multi-lot server
@@ -100,6 +101,102 @@ func BenchmarkServe(b *testing.B) {
 		})
 	}
 
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_server.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkShadowScreen measures what shadow-scoring a candidate
+// calibration costs the serving floor: the same lot screened with no
+// registry and with a shadow candidate being scored on every commit
+// (waiting for the shadow queue to drain), incumbent bins asserted
+// identical in both runs. The with/without ns/device pair is merged into
+// BENCH_server.json.
+func BenchmarkShadowScreen(b *testing.B) {
+	f := getLotBench(b)
+	spec := lotserver.LotSpec{ID: "shadow-bench", Seed: benchLotSeed, Devices: benchLotDevices}
+	rep, err := f.engine.RunLot(spec.Seed, f.lot[:spec.Devices], f.faults)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := lotBins(rep)
+
+	run := func(b *testing.B, withShadow bool) float64 {
+		for i := 0; i < b.N; i++ {
+			opt := lotserver.Options{
+				Engine: f.engine, Pool: f.lot, Faults: f.faults,
+				LocalWorkers: 2,
+				Breaker:      lotrun.BreakerConfig{TripConsecutive: 1 << 20},
+			}
+			if withShadow {
+				reg, err := modelreg.Open("") // in-memory: no fsync in the measurement
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt.Registry = reg
+				// No verdicts during the benchmark: just the scoring work.
+				opt.ShadowBounds = modelreg.Bounds{MinSamples: spec.Devices*b.N + 1}
+			}
+			s, err := lotserver.New(opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if withShadow {
+				v, err := s.StageCandidate(f.engine.Cal, f.engine.Gate, "bench candidate")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.BeginShadow(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			h, err := s.Submit(context.Background(), spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := h.Wait(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k, bin := range lotBins(res.Report) {
+				if bin != ref[k] {
+					b.Fatalf("device %d binned %v with shadow=%v vs %v serially", k, bin, withShadow, ref[k])
+				}
+			}
+			if withShadow {
+				for {
+					rs := s.RolloutStatus()
+					if rs.Shadow != nil && rs.Shadow.Scored+rs.Shadow.Dropped >= spec.Devices {
+						break
+					}
+				}
+			}
+			s.Kill()
+		}
+		return float64(b.Elapsed().Nanoseconds()) / float64(b.N*spec.Devices)
+	}
+
+	out := map[string]any{}
+	if prev, err := os.ReadFile("BENCH_server.json"); err == nil {
+		json.Unmarshal(prev, &out)
+	}
+	b.Run("baseline", func(b *testing.B) {
+		ns := run(b, false)
+		b.ReportMetric(ns, "ns/device")
+		out["shadow_off_ns_per_device"] = ns
+	})
+	b.Run("shadow", func(b *testing.B) {
+		ns := run(b, true)
+		b.ReportMetric(ns, "ns/device")
+		out["shadow_on_ns_per_device"] = ns
+	})
+	if off, on := out["shadow_off_ns_per_device"], out["shadow_on_ns_per_device"]; off != nil && on != nil {
+		out["shadow_overhead_ratio"] = on.(float64) / off.(float64)
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		b.Fatal(err)

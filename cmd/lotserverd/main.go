@@ -15,6 +15,14 @@
 //	sigtest -dut rf2401 -produce 120 \
 //	        -server :7200 -lot waferA -lotseed 99       # terminal 3
 //
+// With -registry DIR the server keeps a durable store of versioned
+// calibration artifacts and runs the staged rollout lifecycle: drift
+// alarms refit the regression and stage a candidate; `sigtest -server
+// -rollout shadow/promote/demote` walks it through shadow screening and
+// a canary fraction of new lots to ACTIVE, with automatic rollback on
+// divergence. Lots are pinned to one version for life (journaled), so a
+// restart resumes every lot under the calibration it started with.
+//
 // Rig flags (-dut, -seed, -train, -produce, -quick, -faultp) must match
 // across all processes; the site handshake pins the engine fingerprint
 // and the client protocol carries only (lot ID, lot seed, device count).
@@ -24,6 +32,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -33,8 +42,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/floor"
 	"repro/internal/lotrun"
 	"repro/internal/lotserver"
+	"repro/internal/modelreg"
 	"repro/internal/rig"
 )
 
@@ -49,6 +61,8 @@ func main() {
 	listen := flag.String("listen", ":7200", "address to serve lot submissions on")
 	statusAddr := flag.String("statusz", "", "address to serve the /statusz JSON snapshot on (empty = off)")
 	journal := flag.String("journal", "", "journal directory: one fsync'd <lot>.journal per lot (empty = no crash safety)")
+	registry := flag.String("registry", "", "model-registry directory: versioned calibration artifacts, shadow screening and staged rollout (empty = base model only)")
+	canary := flag.Float64("canary", 0.25, "fraction of new lots pinned to the candidate during a canary rollout (with -registry)")
 	sites := flag.String("sites", "", "comma-separated remote sitetester addresses")
 	local := flag.Int("local", 0, "local screening workers (default 1 when no -sites)")
 	maxActive := flag.Int("max-active", 0, "max concurrently screening lots (default 4)")
@@ -69,6 +83,9 @@ func main() {
 	if *heartbeat <= 0 {
 		usageFail("-heartbeat %v is not a period; need a positive duration", *heartbeat)
 	}
+	if *canary <= 0 || *canary > 1 {
+		usageFail("-canary %g is not a traffic fraction; need a value in (0, 1]", *canary)
+	}
 
 	fmt.Printf("lotserverd: building rig (dut=%s seed=%d produce=%d)...\n", *dut, *seed, *produce)
 	r, err := rig.Build(rig.Params{
@@ -88,7 +105,7 @@ func main() {
 		}
 	}
 
-	s, err := lotserver.New(lotserver.Options{
+	opt := lotserver.Options{
 		Engine: r.Engine, Pool: r.Lot, Faults: r.Faults,
 		JournalDir:        *journal,
 		Sites:             siteAddrs,
@@ -97,6 +114,7 @@ func main() {
 		MaxQueuedLots:     *maxQueued,
 		HeartbeatInterval: *heartbeat,
 		NetSeed:           *seed,
+		CanaryFraction:    *canary,
 		OnDrift: func(lotID string, a lotrun.DriftAlarm) {
 			fmt.Printf("lotserverd: DRIFT lot=%s device=%d detector=%s (ewma %.2f, cusum %.2f)\n",
 				lotID, a.Device, a.Detector, a.EWMA, a.CUSUM)
@@ -104,7 +122,33 @@ func main() {
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
-	})
+	}
+	if *registry != "" {
+		reg, err := modelreg.Open(*registry)
+		if err != nil {
+			fail("%v", err)
+		}
+		opt.Registry = reg
+		// Drift response: refit the regression on the rig's training set
+		// with a fresh optimizer stream and stage the result as a rollout
+		// candidate — screening never stops for a retrain.
+		opt.Recalibrate = func(lotID string, a lotrun.DriftAlarm) (*core.Calibration, *floor.Gate, error) {
+			rng := rand.New(rand.NewSource(*seed + int64(a.Device) + 1))
+			cal, err := core.Calibrate(rng, r.Stim, r.Train, core.CalibrationOptions{Workers: *workers})
+			if err != nil {
+				return nil, nil, err
+			}
+			return cal, r.Gate, nil
+		}
+		info := reg.LoadInfo()
+		fmt.Printf("lotserverd: model registry %s: %d artifacts, active v%d",
+			*registry, info.Artifacts, reg.Active())
+		if info.Corrupt > 0 {
+			fmt.Printf(" (%d corrupt records skipped)", info.Corrupt)
+		}
+		fmt.Println()
+	}
+	s, err := lotserver.New(opt)
 	if err != nil {
 		fail("%v", err)
 	}

@@ -19,6 +19,10 @@
 //	sigtest -server :7200 -lot waferA -lotseed 99 -produce 120
 //	                                 # thin client: submit a lot to a
 //	                                 # running lotserverd and await bins
+//	sigtest -server :7200 -rollout status          # calibration lifecycle
+//	sigtest -server :7200 -rollout shadow -version 1
+//	sigtest -server :7200 -rollout promote
+//	sigtest -server :7200 -rollout demote -reason "bins shifted"
 package main
 
 import (
@@ -56,6 +60,9 @@ func main() {
 	server := flag.String("server", "", "lotserverd address: submit the lot as a thin client — no rig is built here; the server and its sites own the engine")
 	lotID := flag.String("lot", "", "lot ID for -server submission (journaled under this name; resubmitting resumes it)")
 	lotSeed := flag.Int64("lotseed", 0, "lot seed for -server submission (default -seed)")
+	rollout := flag.String("rollout", "", "calibration-rollout control op for -server: status, shadow, promote or demote")
+	version := flag.Int("version", 0, "staged calibration version for -rollout shadow")
+	reason := flag.String("reason", "", "demotion note for -rollout demote")
 	flag.Parse()
 
 	if *faultP < 0 || *faultP > 1 {
@@ -88,12 +95,19 @@ func main() {
 	if *remote != "" && len(remotes) == 0 {
 		usageFail("-remote %q names no addresses", *remote)
 	}
+	if *rollout != "" && *server == "" {
+		usageFail("-rollout talks to a running lotserverd; add -server")
+	}
 	if *server != "" {
-		if *lotID == "" {
-			usageFail("-server needs -lot: the lot ID names the journal and the resume key")
-		}
 		if *withFaults || *remote != "" {
 			usageFail("-server is a thin client; the server owns the floor (drop -faults/-remote)")
+		}
+		if *rollout != "" {
+			runRolloutControl(*server, *rollout, *version, *reason)
+			return
+		}
+		if *lotID == "" {
+			usageFail("-server needs -lot: the lot ID names the journal and the resume key")
 		}
 		ls := *lotSeed
 		if ls == 0 {
@@ -245,6 +259,54 @@ func runServerClient(addr, id string, lotSeed int64, devices int) {
 		fmt.Printf(", drift alarms: %d", sum.Alarms)
 	}
 	fmt.Println()
+}
+
+// runRolloutControl issues one calibration-lifecycle op against a running
+// lotserverd and renders the post-op rollout snapshot.
+func runRolloutControl(addr, op string, version int, reason string) {
+	switch op {
+	case "status", "shadow", "promote", "demote":
+	default:
+		usageFail("-rollout %q: known ops are status, shadow, promote, demote", op)
+	}
+	if op == "shadow" && version <= 0 {
+		usageFail("-rollout shadow needs -version: the staged calibration to roll out")
+	}
+	cli, err := lotserver.Dial(addr, lotserver.ClientOptions{})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer cli.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rs, err := cli.Rollout(ctx, op, version, reason)
+	if err != nil {
+		fail("%v", err)
+	}
+	if !rs.Enabled {
+		fail("server has no model registry (-registry on lotserverd)")
+	}
+	fmt.Printf("sigtest: rollout %s ok\n", op)
+	fmt.Printf("      active: v%d (0 = base model), staged versions: %v\n", rs.Active, rs.Versions)
+	if rs.Stage != "" {
+		fmt.Printf("      candidate: v%d in %s", rs.Candidate, rs.Stage)
+		if rs.Stage == "canary" {
+			fmt.Printf(" (%.0f%% of new lots)", rs.CanaryFraction*100)
+		}
+		fmt.Println()
+	}
+	if rs.Shadow != nil {
+		fmt.Printf("      shadow evidence: %d scored, %d disagree (rate %.4f), residual EWMA %.3f/%.3f/%.3f\n",
+			rs.Shadow.Scored, rs.Shadow.Disagree, rs.Shadow.DisagreeRate,
+			rs.Shadow.ResidualEWMA[0], rs.Shadow.ResidualEWMA[1], rs.Shadow.ResidualEWMA[2])
+	}
+	if len(rs.Demoted) > 0 {
+		fmt.Printf("      demoted (cannot be re-rolled): %v\n", rs.Demoted)
+	}
+	if rs.Recalibrations > 0 || rs.Rollbacks > 0 {
+		fmt.Printf("      drift recalibrations: %d, rollbacks: %d\n", rs.Recalibrations, rs.Rollbacks)
+	}
 }
 
 func printLimits(l rig.SpecLimits) {

@@ -1,0 +1,62 @@
+package core
+
+// Calibration serialization for the model registry: the stimulus, the
+// three per-spec regression models (via regress's type-tagged envelopes),
+// and the selection metadata round-trip through JSON so a calibration
+// version can be persisted and rebuilt with bit-identical predictions.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/regress"
+	"repro/internal/wave"
+)
+
+type calibrationState struct {
+	Stimulus *wave.PWL          `json:"stimulus"`
+	Models   [3]json.RawMessage `json:"models"`
+	Trainers [3]string          `json:"trainers"`
+	CVRMS    [3]float64         `json:"cvrms"`
+}
+
+// MarshalJSON serializes the calibration for a registry artifact.
+func (c *Calibration) MarshalJSON() ([]byte, error) {
+	var st calibrationState
+	st.Stimulus, st.Trainers, st.CVRMS = c.Stimulus, c.Trainers, c.CVRMS
+	for i, m := range c.Models {
+		if m == nil {
+			return nil, fmt.Errorf("core: calibration model %d is nil", i)
+		}
+		enc, err := regress.EncodeModel(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: encode calibration model %d: %w", i, err)
+		}
+		st.Models[i] = enc
+	}
+	return json.Marshal(&st)
+}
+
+// UnmarshalJSON rebuilds a calibration from its artifact form.
+func (c *Calibration) UnmarshalJSON(data []byte) error {
+	var st calibrationState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: decode calibration: %w", err)
+	}
+	if st.Stimulus == nil || len(st.Stimulus.Levels) < 2 {
+		return fmt.Errorf("core: decoded calibration has no stimulus")
+	}
+	out := Calibration{Stimulus: st.Stimulus, Trainers: st.Trainers, CVRMS: st.CVRMS}
+	for i, raw := range st.Models {
+		if len(raw) == 0 {
+			return fmt.Errorf("core: decoded calibration missing model %d", i)
+		}
+		m, err := regress.DecodeModel(raw)
+		if err != nil {
+			return fmt.Errorf("core: decode calibration model %d: %w", i, err)
+		}
+		out.Models[i] = m
+	}
+	*c = out
+	return nil
+}

@@ -193,6 +193,18 @@ func (e *Engine) Fingerprint() uint64 {
 	return h.Sum64()
 }
 
+// WithModel returns a copy of the engine that screens through a different
+// calibration model and gate, sharing everything else — config, stimulus,
+// policy, and the pass-limit functions. This is how a versioned calibration
+// artifact becomes a runnable engine: the screening semantics (and hence
+// the fingerprint) follow the model, the floor plumbing stays put.
+func (e *Engine) WithModel(cal *core.Calibration, gate *Gate) *Engine {
+	ne := *e
+	ne.Cal = cal
+	ne.Gate = gate
+	return &ne
+}
+
 // MaxAttempts is the per-device insertion budget under the engine's policy:
 // 1 when ungated (first capture trusted), 1+MaxRetests when gated.
 func (e *Engine) MaxAttempts() int {

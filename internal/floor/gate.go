@@ -1,6 +1,7 @@
 package floor
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -250,4 +251,64 @@ func (g *Gate) Classify(sig []float64) Verdict {
 	default:
 		return VerdictClean
 	}
+}
+
+// gateState is the serialized form of a Gate: every field that Classify,
+// Distance, and the engine fingerprint depend on, exported for JSON. The
+// float64 values round-trip exactly (encoding/json emits the shortest
+// representation that parses back to the same bits), so a decoded gate
+// classifies bit-identically to the original.
+type gateState struct {
+	Mean       []float64      `json:"mean"`
+	Sigma      []float64      `json:"sigma"`
+	Basis      *linalg.Matrix `json:"basis"`
+	CompSigma  []float64      `json:"comp_sigma"`
+	ResSigma   float64        `json:"res_sigma"`
+	SuspectD   float64        `json:"suspect_d"`
+	InvalidD   float64        `json:"invalid_d"`
+	SuspectRes float64        `json:"suspect_res"`
+	InvalidRes float64        `json:"invalid_res"`
+	TrainMeanD float64        `json:"train_mean_d"`
+	TrainSigD  float64        `json:"train_sigma_d"`
+	Opt        GateOptions    `json:"opt"`
+}
+
+// MarshalJSON serializes the gate for a calibration artifact.
+func (g *Gate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(gateState{
+		Mean: g.Mean, Sigma: g.Sigma,
+		Basis: g.basis, CompSigma: g.compSigma, ResSigma: g.resSigma,
+		SuspectD: g.SuspectD, InvalidD: g.InvalidD,
+		SuspectRes: g.SuspectRes, InvalidRes: g.InvalidRes,
+		TrainMeanD: g.TrainMeanD, TrainSigD: g.TrainSigmaD,
+		Opt: g.opt,
+	})
+}
+
+// UnmarshalJSON rebuilds a gate from its artifact form.
+func (g *Gate) UnmarshalJSON(data []byte) error {
+	var st gateState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("floor: decode gate: %w", err)
+	}
+	if st.Basis == nil || st.Basis.Rows == 0 || st.Basis.Cols == 0 {
+		return fmt.Errorf("floor: decoded gate has no reduced-space basis")
+	}
+	if len(st.Mean) != st.Basis.Rows || len(st.Sigma) != st.Basis.Rows ||
+		len(st.CompSigma) != st.Basis.Cols {
+		return fmt.Errorf("floor: decoded gate dimensions disagree (%d bins, %dx%d basis, %d comp sigmas)",
+			len(st.Mean), st.Basis.Rows, st.Basis.Cols, len(st.CompSigma))
+	}
+	if st.ResSigma <= 0 {
+		return fmt.Errorf("floor: decoded gate residual sigma %v out of range", st.ResSigma)
+	}
+	*g = Gate{
+		Mean: st.Mean, Sigma: st.Sigma,
+		basis: st.Basis, compSigma: st.CompSigma, resSigma: st.ResSigma,
+		SuspectD: st.SuspectD, InvalidD: st.InvalidD,
+		SuspectRes: st.SuspectRes, InvalidRes: st.InvalidRes,
+		TrainMeanD: st.TrainMeanD, TrainSigmaD: st.TrainSigD,
+		opt: st.Opt,
+	}
+	return nil
 }

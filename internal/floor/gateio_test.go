@@ -1,0 +1,70 @@
+package floor
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func synthSignatures(n, m int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	sigs := make([][]float64, n)
+	for i := range sigs {
+		s := make([]float64, m)
+		for j := range s {
+			s[j] = float64(j)*0.1 + rng.NormFloat64()
+		}
+		sigs[i] = s
+	}
+	return sigs
+}
+
+// TestGateJSONRoundTrip: a gate rebuilt from its artifact form must
+// classify and measure distances bit-identically — otherwise a lot pinned
+// to a persisted calibration version could bin differently after a
+// restart.
+func TestGateJSONRoundTrip(t *testing.T) {
+	sigs := synthSignatures(24, 10, 3)
+	g, err := FitGate(sigs, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Gate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Components() != g.Components() {
+		t.Fatalf("components: got %d want %d", back.Components(), g.Components())
+	}
+	probes := append(sigs, synthSignatures(16, 10, 99)...)
+	for i, s := range probes {
+		d1, r1 := g.Distance(s)
+		d2, r2 := back.Distance(s)
+		if d1 != d2 || r1 != r2 {
+			t.Fatalf("probe %d: distance (%v,%v) != (%v,%v)", i, d2, r2, d1, r1)
+		}
+		if g.Classify(s) != back.Classify(s) {
+			t.Fatalf("probe %d: classification changed after round-trip", i)
+		}
+	}
+}
+
+// TestGateUnmarshalRejectsGarbage: a scribbled artifact must be refused,
+// not half-applied.
+func TestGateUnmarshalRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`{}`,
+		`{"basis":{"Rows":0,"Cols":0}}`,
+		`{"mean":[1,2],"sigma":[1],"basis":{"Rows":2,"Cols":1,"Data":[1,0]},"comp_sigma":[1],"res_sigma":1}`,
+		`{"mean":[1,2],"sigma":[1,1],"basis":{"Rows":2,"Cols":1,"Data":[1,0]},"comp_sigma":[1],"res_sigma":0}`,
+	} {
+		var g Gate
+		if err := json.Unmarshal([]byte(bad), &g); err == nil {
+			t.Fatalf("unmarshal %q succeeded, want error", bad)
+		}
+	}
+}

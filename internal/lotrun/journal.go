@@ -45,6 +45,11 @@ type JournalHeader struct {
 	// calibration, gate and policy identity. 0 on legacy journals (then
 	// the check is skipped on resume).
 	Fingerprint uint64 `json:"fingerprint,omitempty"`
+	// ModelVersion is the calibration registry version the lot is pinned
+	// to (0 = the process's base model, and what legacy journals decode
+	// to). A lot keeps its version for life; resuming under a different
+	// one is refused with ErrModelMismatch.
+	ModelVersion int `json:"model_version,omitempty"`
 }
 
 // journalRecord is one committed device line.
@@ -174,7 +179,7 @@ func ReplayJournal(path string) (JournalHeader, map[int]floor.DeviceResult, int6
 					// The header must be the first valid line.
 					var h JournalHeader
 					if json.Unmarshal(rec, &h) == nil && h.Type == "header" &&
-						h.Version == JournalVersion && h.Devices > 0 {
+						h.Version == JournalVersion && h.Devices > 0 && h.ModelVersion >= 0 {
 						hdr = h
 						haveHeader = true
 						ok = true

@@ -31,6 +31,7 @@ package lotrun
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -39,7 +40,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/floor"
+	"repro/internal/modelreg"
 )
+
+// ErrModelMismatch reports a journal written under a different calibration
+// model than the one trying to resume it — an upgrade problem, not a
+// transport or corruption problem. Callers distinguish it (errors.Is) from
+// retryable failures and react by rebuilding the journal's pinned engine
+// version instead of retrying blindly.
+var ErrModelMismatch = errors.New("lotrun: calibration model mismatch")
 
 // Options configures the orchestrator.
 type Options struct {
@@ -74,12 +83,26 @@ type Options struct {
 	// OnDrift, when set, is called for every drift alarm.
 	OnDrift func(DriftAlarm)
 	// Recalibrate, when set, is invoked on a drift alarm to retrain the
-	// regression map; the returned calibration and gate are swapped in
-	// for all subsequent devices (the watchdog restarts against the new
-	// gate's baseline). Note that devices screened after the swap see the
-	// new map, so bins are no longer scheduling-independent when this
-	// hook is used.
+	// regression map. With a Registry configured the result is staged as
+	// a candidate version for shadow evaluation and the running lot keeps
+	// its pinned model — recalibration no longer stops the world. Without
+	// a Registry the legacy behavior applies: the calibration and gate
+	// are swapped in for all subsequent devices (the watchdog restarts
+	// against the new gate's baseline), and bins are no longer
+	// scheduling-independent for the remainder of the lot.
 	Recalibrate func(DriftAlarm) (*core.Calibration, *floor.Gate, error)
+	// Registry, when set, receives drift-demanded candidate calibrations
+	// as staged versions (see Recalibrate). Staging failures are logged
+	// and the lot continues — the registry is an upgrade path, never a
+	// new way to kill a lot.
+	Registry *modelreg.Registry
+	// ModelVersion is the calibration version this lot is pinned to; it
+	// is recorded in the journal header and verified on Resume. 0 means
+	// the process's base model.
+	ModelVersion int
+	// Logf logs supervision events (registry staging failures); nil
+	// discards.
+	Logf func(format string, args ...any)
 }
 
 func (o *Options) defaults() error {
@@ -115,6 +138,9 @@ type Report struct {
 	Alarms []DriftAlarm
 	// Recalibrations counts successful Recalibrate invocations.
 	Recalibrations int
+	// StagedVersions lists candidate versions enqueued into the registry
+	// by drift-demanded recalibrations (registry mode only).
+	StagedVersions []int
 	// Replayed is how many devices came from the journal instead of being
 	// screened (0 on a fresh run).
 	Replayed int
@@ -255,9 +281,13 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 			return nil, fmt.Errorf("lotrun: journal is for a different lot (seed %d devices %d faultp %g; resuming seed %d devices %d faultp %g)",
 				hdr.LotSeed, hdr.Devices, hdr.FaultP, lotSeed, len(lot), faultP)
 		}
+		if hdr.ModelVersion != opt.ModelVersion {
+			return nil, fmt.Errorf("%w: journal pinned to model version %d, resuming with %d",
+				ErrModelMismatch, hdr.ModelVersion, opt.ModelVersion)
+		}
 		if hdr.Fingerprint != 0 && hdr.Fingerprint != o.Engine.Fingerprint() {
-			return nil, fmt.Errorf("lotrun: journal was written by a differently calibrated engine (fingerprint %x, resuming %x)",
-				hdr.Fingerprint, o.Engine.Fingerprint())
+			return nil, fmt.Errorf("%w: journal was written by a differently calibrated engine (fingerprint %x, resuming %x)",
+				ErrModelMismatch, hdr.Fingerprint, o.Engine.Fingerprint())
 		}
 		for i, res := range done {
 			res := res
@@ -273,7 +303,8 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 		jr, err = CreateJournal(opt.JournalPath, JournalHeader{
 			Type: "header", Version: JournalVersion,
 			LotSeed: lotSeed, Devices: len(lot), FaultP: faultP,
-			Fingerprint: o.Engine.Fingerprint(),
+			Fingerprint:  o.Engine.Fingerprint(),
+			ModelVersion: opt.ModelVersion,
 		})
 		if err != nil {
 			return nil, err
@@ -349,17 +380,35 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 					}
 					if opt.Recalibrate != nil {
 						if cal, gate, err := opt.Recalibrate(*alarm); err == nil && cal != nil {
-							next := *holder.engine()
-							next.Cal = cal
-							if gate != nil {
-								next.Gate = gate
+							if opt.Registry != nil {
+								// Registry mode: the retrained model becomes a
+								// staged candidate for shadow evaluation; this
+								// lot keeps its pinned version, so bins stay a
+								// pure function of (seed, index, version).
+								g := gate
+								if g == nil {
+									g = holder.engine().Gate
+								}
+								if v, serr := stageCandidate(opt.Registry, holder.engine(), cal, g, *alarm); serr != nil {
+									logf(opt.Logf, "lotrun: drift recalibration not staged: %v", serr)
+								} else {
+									rep.StagedVersions = append(rep.StagedVersions, v)
+									rep.Recalibrations++
+									logf(opt.Logf, "lotrun: drift alarm at device %d staged candidate model v%d", alarm.Device, v)
+								}
+							} else {
+								next := *holder.engine()
+								next.Cal = cal
+								if gate != nil {
+									next.Gate = gate
+								}
+								var nwd *Watchdog
+								if next.Gate != nil {
+									nwd = NewWatchdog(next.Gate, opt.Watchdog)
+								}
+								holder.swap(&next, nwd)
+								rep.Recalibrations++
 							}
-							var nwd *Watchdog
-							if next.Gate != nil {
-								nwd = NewWatchdog(next.Gate, opt.Watchdog)
-							}
-							holder.swap(&next, nwd)
-							rep.Recalibrations++
 						}
 					}
 				}
@@ -409,6 +458,24 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 	}
 	rep.Lot = lotRep
 	return rep, nil
+}
+
+// stageCandidate wraps a retrained calibration into an artifact on the
+// current engine and enqueues it as a registry candidate.
+func stageCandidate(reg *modelreg.Registry, eng *floor.Engine, cal *core.Calibration, gate *floor.Gate, alarm DriftAlarm) (int, error) {
+	note := fmt.Sprintf("drift alarm (%s) at device %d: ewma %.2f cusum %.2f over %d samples",
+		alarm.Detector, alarm.Device, alarm.EWMA, alarm.CUSUM, alarm.Samples)
+	art, err := modelreg.NewArtifact(eng, cal, gate, note)
+	if err != nil {
+		return 0, err
+	}
+	return reg.Stage(art)
+}
+
+func logf(f func(string, ...any), format string, args ...any) {
+	if f != nil {
+		f(format, args...)
+	}
 }
 
 // worker is one tester site: it pulls device indices from the shared

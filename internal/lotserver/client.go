@@ -24,6 +24,7 @@ type Client struct {
 
 	mu      sync.Mutex
 	waiters map[string]chan *clientMsg
+	rseq    uint64
 	readErr error
 	closed  chan struct{}
 	once    sync.Once
@@ -118,6 +119,49 @@ func (c *Client) readLoop() {
 	}
 }
 
+// Rollout issues one versioned-calibration control op and returns the
+// server's post-op rollout snapshot. Ops: "status" (read-only), "shadow"
+// (begin a rollout of staged version), "promote" (advance shadow→canary
+// or canary→ACTIVE), "demote" (roll the candidate back with reason).
+func (c *Client) Rollout(ctx context.Context, op string, version int, reason string) (*RolloutStatus, error) {
+	// Replies demux over the same per-lot waiter map; "!r<n>" cannot
+	// collide with a real lot ID.
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrConnectionLost, err)
+	}
+	c.rseq++
+	key := fmt.Sprintf("!r%d", c.rseq)
+	ch := make(chan *clientMsg, 1)
+	c.waiters[key] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, key)
+		c.mu.Unlock()
+	}()
+
+	if err := writeClientMsg(c.mc, &clientMsg{
+		Type: "rollout", Lot: key, Op: op, Version: version, Reason: reason,
+	}, c.idle); err != nil {
+		return nil, err
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case m, ok := <-ch:
+		if !ok {
+			return nil, ErrConnectionLost
+		}
+		if m.Code != "" {
+			return nil, &RejectionError{Code: m.Code, Msg: m.Err}
+		}
+		return m.Rollout, nil
+	}
+}
+
 // RejectionError is a typed admission refusal from the server; Code is
 // one of the Code* constants ("saturated" means backpressure: retry
 // later).
@@ -128,6 +172,9 @@ type RejectionError struct {
 }
 
 func (e *RejectionError) Error() string {
+	if e.Lot == "" {
+		return fmt.Sprintf("lotserver: rejected (%s): %s", e.Code, e.Msg)
+	}
 	return fmt.Sprintf("lotserver: lot %s rejected (%s): %s", e.Lot, e.Code, e.Msg)
 }
 

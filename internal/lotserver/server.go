@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/floor"
 	"repro/internal/lotrun"
+	"repro/internal/modelreg"
 	"repro/internal/netfloor"
 	"repro/internal/parallel"
 )
@@ -133,6 +134,27 @@ type Options struct {
 	JournalSyncS float64
 	// DeviceTimeout bounds one device's screening wall time (0 = none).
 	DeviceTimeout time.Duration
+	// Registry, when set, enables the versioned calibration lifecycle:
+	// every admitted lot is pinned to exactly one model version for its
+	// whole life (the ACTIVE version, or — for a deterministic fraction of
+	// lots during a canary rollout — the candidate), journal headers and
+	// remote assignments carry the version, and candidates are
+	// shadow-scored against the incumbent before promotion. Nil keeps the
+	// single-model behavior (Engine is the only calibration).
+	Registry *modelreg.Registry
+	// ShadowBounds are the divergence tolerances that gate promotion and
+	// trigger automatic rollback (zero values take modelreg defaults).
+	ShadowBounds modelreg.Bounds
+	// CanaryFraction is the fraction of newly admitted lots pinned to the
+	// candidate during the canary stage (default 0.25). The pick is a pure
+	// function of the lot ID, so a kill-restart pins the same lots.
+	CanaryFraction float64
+	// Recalibrate, when set with Registry, turns each drift alarm into a
+	// staged candidate version instead of stopping the world: the retrain
+	// runs off the hot path and the result enters the registry for an
+	// operator (or policy) to roll out. Failures are logged and screening
+	// continues on the pinned models.
+	Recalibrate func(lotID string, a lotrun.DriftAlarm) (*core.Calibration, *floor.Gate, error)
 	// OnDrift, when set, receives every drift alarm with its lot ID.
 	OnDrift func(lotID string, a lotrun.DriftAlarm)
 	// Logf, when set, receives server progress lines.
@@ -173,6 +195,9 @@ func (o *Options) defaults() {
 	if o.JournalSyncS <= 0 {
 		o.JournalSyncS = 0.5e-3
 	}
+	if o.CanaryFraction <= 0 || o.CanaryFraction > 1 {
+		o.CanaryFraction = 0.25
+	}
 }
 
 // lotState is the admission lifecycle, guarded by Server.mu.
@@ -189,6 +214,11 @@ const (
 type lot struct {
 	spec        LotSpec
 	journalPath string
+	// modelVersion pins the lot's calibration for life (0 = the base
+	// model); eng is the engine built for that version. Bins are a pure
+	// function of (lot seed, device index, model version).
+	modelVersion int
+	eng          *floor.Engine
 
 	disp *netfloor.Dispatcher
 	out  chan floor.DeviceResult
@@ -309,6 +339,11 @@ type siteStats struct {
 	dialFails  int
 	drainFails int
 	abandoned  string
+	// models is every calibration version this site has screened under
+	// (the base model, version 0, is implicit); modelSends counts artifact
+	// deliveries in answer to the site's fetches.
+	models     map[int]bool
+	modelSends int
 }
 
 func (st *siteStats) update(f func(*siteStats)) {
@@ -340,6 +375,24 @@ type Server struct {
 	drainRejs int // ErrDraining rejections
 	lotsDone  int // lots finalized successfully
 	devices   int // devices committed across all lots
+
+	// Versioned-calibration state (Registry mode), guarded by romu. Lock
+	// ordering: romu may be taken while holding no other server lock; the
+	// registry's own mutex nests inside romu.
+	romu      sync.Mutex
+	engines   map[int]*floor.Engine // built versioned engines (never 0)
+	payloads  map[int][]byte        // encoded artifacts for wire delivery
+	shadow    *modelreg.ShadowScorer
+	shadowQ   chan shadowItem
+	staging   bool // a drift-alarm recalibration is in flight
+	recals    int  // candidates staged from drift alarms
+	rollbacks int  // automatic demotions
+}
+
+// shadowItem is one committed incumbent result queued for shadow scoring.
+type shadowItem struct {
+	seed int64
+	res  floor.DeviceResult
 }
 
 // New validates the options, starts the site loops and local workers, and
@@ -379,12 +432,26 @@ func New(opt Options) (*Server, error) {
 			Fingerprint: opt.Engine.Fingerprint(),
 			MultiLot:    true,
 		},
-		ctx:   ctx,
-		stop:  cancel,
-		start: time.Now(),
-		sched: &scheduler{},
-		lat:   newLatRing(4096),
-		lots:  make(map[string]*lot),
+		ctx:      ctx,
+		stop:     cancel,
+		start:    time.Now(),
+		sched:    &scheduler{},
+		lat:      newLatRing(4096),
+		lots:     make(map[string]*lot),
+		engines:  make(map[int]*floor.Engine),
+		payloads: make(map[int][]byte),
+	}
+	if opt.Registry != nil {
+		s.shadowQ = make(chan shadowItem, 256)
+		if err := s.resumeRollout(); err != nil {
+			cancel()
+			return nil, err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.shadowWorker()
+		}()
 	}
 	for si, addr := range opt.Sites {
 		st := &siteStats{addr: addr}
@@ -534,6 +601,9 @@ func (s *Server) openJournal(l *lot) error {
 	pending := make([]int, 0, l.spec.Devices)
 	faultP := s.hello.FaultP
 	if s.opt.JournalDir == "" {
+		if err := s.pinLot(l, s.pinVersion(l.spec.ID)); err != nil {
+			return err
+		}
 		for i := 0; i < l.spec.Devices; i++ {
 			pending = append(pending, i)
 		}
@@ -553,8 +623,14 @@ func (s *Server) openJournal(l *lot) error {
 			return fmt.Errorf("lotserver: lot %s: journal is for a different lot (seed %d devices %d faultp %g; submitted seed %d devices %d faultp %g)",
 				l.spec.ID, hdr.LotSeed, hdr.Devices, hdr.FaultP, l.spec.Seed, l.spec.Devices, faultP)
 		}
-		if hdr.Fingerprint != 0 && hdr.Fingerprint != s.hello.Fingerprint {
-			return fmt.Errorf("lotserver: lot %s: journal was written by a differently calibrated engine", l.spec.ID)
+		// The journal's model version is authoritative: the lot keeps the
+		// calibration it started under, whatever rollout has happened since.
+		if err := s.pinLot(l, hdr.ModelVersion); err != nil {
+			return err
+		}
+		if hdr.Fingerprint != 0 && hdr.Fingerprint != l.eng.Fingerprint() {
+			return fmt.Errorf("lotserver: lot %s: journal was written by a differently calibrated engine (fingerprint %016x, model v%d here hashes to %016x): %w",
+				l.spec.ID, hdr.Fingerprint, l.modelVersion, l.eng.Fingerprint(), lotrun.ErrModelMismatch)
 		}
 		for i, res := range done {
 			res := res
@@ -566,10 +642,14 @@ func (s *Server) openJournal(l *lot) error {
 			return fmt.Errorf("lotserver: lot %s: %w", l.spec.ID, err)
 		}
 	} else {
+		if err := s.pinLot(l, s.pinVersion(l.spec.ID)); err != nil {
+			return err
+		}
 		jr, err := lotrun.CreateJournal(l.journalPath, lotrun.JournalHeader{
 			Type: "header", Version: lotrun.JournalVersion,
 			LotSeed: l.spec.Seed, Devices: l.spec.Devices, FaultP: faultP,
-			Fingerprint: s.hello.Fingerprint,
+			Fingerprint:  l.eng.Fingerprint(),
+			ModelVersion: l.modelVersion,
 		})
 		if err != nil {
 			return fmt.Errorf("lotserver: lot %s: %w", l.spec.ID, err)
@@ -588,9 +668,21 @@ func (s *Server) openJournal(l *lot) error {
 	return nil
 }
 
+// pinLot resolves and pins one calibration version for the lot's life.
+func (s *Server) pinLot(l *lot, version int) error {
+	eng, err := s.engineFor(version)
+	if err != nil {
+		return fmt.Errorf("lotserver: lot %s: %w", l.spec.ID, err)
+	}
+	l.modelVersion, l.eng = version, eng
+	return nil
+}
+
 func (l *lot) initWatchdog(s *Server) {
-	if s.opt.Engine.Gate != nil && !s.opt.Watchdog.Disabled {
-		l.wd = lotrun.NewWatchdog(s.opt.Engine.Gate, s.opt.Watchdog)
+	// The watchdog baselines against the pinned model's gate: drift is
+	// measured relative to the calibration actually screening the lot.
+	if l.eng.Gate != nil && !s.opt.Watchdog.Disabled {
+		l.wd = lotrun.NewWatchdog(l.eng.Gate, s.opt.Watchdog)
 	}
 }
 
@@ -711,8 +803,10 @@ func (s *Server) commit(l *lot, res floor.DeviceResult) error {
 			if s.opt.OnDrift != nil {
 				s.opt.OnDrift(l.spec.ID, *alarm)
 			}
+			s.onDriftAlarm(l, *alarm)
 		}
 	}
+	s.feedShadow(l, res)
 	return nil
 }
 
@@ -720,7 +814,7 @@ func (s *Server) commit(l *lot, res floor.DeviceResult) error {
 // order, so bins are independent of which worker screened what, in what
 // order, interleaved with whichever other lots.
 func (s *Server) finalize(l *lot) {
-	rep := s.opt.Engine.NewReport(l.spec.Devices)
+	rep := l.eng.NewReport(l.spec.Devices)
 	for i := 0; i < l.spec.Devices; i++ {
 		r := l.results[i]
 		if r == nil {
@@ -743,7 +837,7 @@ func (s *Server) finalize(l *lot) {
 	l.mu.Unlock()
 	sort.Slice(trips, func(i, j int) bool { return trips[i].AfterDevice < trips[j].AfterDevice })
 	rep.Load.NetworkS = float64(assigns) * s.opt.ModelRTTS
-	if err := s.opt.Engine.Finish(rep); err != nil {
+	if err := l.eng.Finish(rep); err != nil {
 		s.finishLot(l, nil, fmt.Errorf("%w: %v", ErrAborted, err))
 		return
 	}
@@ -857,7 +951,7 @@ func (s *Server) localWorker(ordinal int) {
 		}
 		l.markAssigned(idx, false)
 		l.chargeProbe(ordinal, s.opt.Breaker)
-		res := netfloor.ScreenSupervised(s.ctx, s.opt.Engine, l.spec.Seed, idx,
+		res := netfloor.ScreenSupervised(s.ctx, l.eng, l.spec.Seed, idx,
 			s.opt.Pool[idx], s.opt.Faults, s.opt.DeviceTimeout)
 		if res.Err != "" && s.ctx.Err() != nil {
 			l.disp.Release(idx) // truncated by shutdown: never commit
@@ -1027,6 +1121,12 @@ func (s *Server) serveSite(si int, st *siteStats, mc *netfloor.MsgConn) error {
 			if env.Type == netfloor.MsgDrain {
 				return errSiteDrained
 			}
+			if env.Type == netfloor.MsgModelReq {
+				if err := s.answerModelReq(st, mc, env.Model); err != nil {
+					return err
+				}
+				continue
+			}
 			s.routeStray(si, env)
 			continue
 		}
@@ -1034,7 +1134,15 @@ func (s *Server) serveSite(si int, st *siteStats, mc *netfloor.MsgConn) error {
 		seq++
 		l.markAssigned(idx, true)
 		l.chargeProbe(siteOrdinal(si), s.opt.Breaker)
-		st.update(func(st *siteStats) { st.assigns++ })
+		st.update(func(st *siteStats) {
+			st.assigns++
+			if l.modelVersion != 0 {
+				if st.models == nil {
+					st.models = make(map[int]bool)
+				}
+				st.models[l.modelVersion] = true
+			}
+		})
 		err := s.assignAwait(si, st, mc, l, idx, seq, &lastHeard)
 		requeued := l.disp.Release(idx)
 		s.sched.done()
@@ -1065,10 +1173,15 @@ func siteOrdinal(si int) int { return si }
 func (s *Server) assignAwait(si int, st *siteStats, mc *netfloor.MsgConn,
 	l *lot, idx int, seq uint64, lastHeard *time.Time) error {
 
-	if err := mc.Write(&netfloor.Envelope{
+	assign := &netfloor.Envelope{
 		Type: netfloor.MsgAssign, Seq: seq, Device: idx,
 		Seed: l.spec.Seed, Lot: l.spec.ID,
-	}, s.opt.IdleTimeout); err != nil {
+	}
+	if l.modelVersion != 0 {
+		assign.Model = l.modelVersion
+		assign.ModelFP = l.eng.Fingerprint()
+	}
+	if err := mc.Write(assign, s.opt.IdleTimeout); err != nil {
 		return err
 	}
 	deadline := time.Now().Add(s.opt.RequestTimeout)
@@ -1102,8 +1215,16 @@ func (s *Server) assignAwait(si int, st *siteStats, mc *netfloor.MsgConn,
 				return nil
 			}
 			s.routeStray(si, env)
+		case netfloor.MsgModelReq:
+			if err := s.answerModelReq(st, mc, env.Model); err != nil {
+				return err
+			}
 		case netfloor.MsgError:
 			if env.Seq == seq && env.Device == idx {
+				if env.Code == netfloor.CodeModelMismatch {
+					return fmt.Errorf("lotserver: site cannot build model v%d for lot %s: %s: %w",
+						l.modelVersion, l.spec.ID, env.Err, netfloor.ErrModelMismatch)
+				}
 				return fmt.Errorf("lotserver: site rejected device %d of lot %s: %s", idx, l.spec.ID, env.Err)
 			}
 		case netfloor.MsgDrain:

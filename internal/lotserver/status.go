@@ -68,6 +68,9 @@ type LotStatus struct {
 	Replayed  int    `json:"replayed"`
 	Queued    bool   `json:"queued,omitempty"`
 	Alarms    int    `json:"alarms,omitempty"`
+	// ModelVersion is the calibration version this lot is pinned to for
+	// life (0 = the base model the server booted with).
+	ModelVersion int `json:"model_version,omitempty"`
 	// Breakers maps worker name (site address or "localN") to breaker
 	// state for every breaker this lot has exercised.
 	Breakers map[string]string `json:"breakers,omitempty"`
@@ -84,6 +87,10 @@ type SiteStatus struct {
 	DialFails  int    `json:"dial_fails"`
 	DrainFails int    `json:"drain_fails,omitempty"`
 	Abandoned  string `json:"abandoned,omitempty"`
+	// Models lists every registry version this site has screened under
+	// (0 = base, implicit); ModelSends counts artifact deliveries.
+	Models     []int `json:"models,omitempty"`
+	ModelSends int   `json:"model_sends,omitempty"`
 }
 
 // Status is the full service snapshot.
@@ -107,6 +114,9 @@ type Status struct {
 	LatencyP95Ms      float64      `json:"latency_p95_ms"`
 	LatencyP99Ms      float64      `json:"latency_p99_ms"`
 	UptimeS           float64      `json:"uptime_s"`
+	// Rollout is the versioned-calibration lifecycle snapshot; nil when no
+	// registry is configured.
+	Rollout *RolloutStatus `json:"rollout,omitempty"`
 }
 
 // workerName names a worker ordinal for the breaker map.
@@ -123,6 +133,7 @@ func (s *Server) lotStatus(l *lot, queued bool) LotStatus {
 		ID: l.spec.ID, Seed: l.spec.Seed, Devices: l.spec.Devices,
 		Committed: l.commits + l.replayed, Replayed: l.replayed,
 		Queued: queued, Alarms: len(l.alarms),
+		ModelVersion: l.modelVersion,
 	}
 	if len(l.breakers) > 0 {
 		ls.Breakers = make(map[string]string, len(l.breakers))
@@ -168,15 +179,25 @@ func (s *Server) Status() Status {
 	st.Inflight = s.sched.inflightCount()
 	for _, site := range s.sites {
 		site.mu.Lock()
-		st.Sites = append(st.Sites, SiteStatus{
+		ss := SiteStatus{
 			Addr: site.addr, Connected: site.connected,
 			Assigns: site.assigns, Retries: site.retries, Reassigns: site.reassigns,
 			Reconnects: site.reconnects, DialFails: site.dialFails,
 			DrainFails: site.drainFails, Abandoned: site.abandoned,
-		})
+			ModelSends: site.modelSends,
+		}
+		for v := range site.models {
+			ss.Models = append(ss.Models, v)
+		}
 		site.mu.Unlock()
+		sort.Ints(ss.Models)
+		st.Sites = append(st.Sites, ss)
 	}
 	st.LatencyP50Ms, st.LatencyP95Ms, st.LatencyP99Ms = s.lat.percentiles()
+	if s.opt.Registry != nil {
+		rs := s.RolloutStatus()
+		st.Rollout = &rs
+	}
 	return st
 }
 

@@ -32,6 +32,15 @@ type clientMsg struct {
 	Code    string      `json:"code,omitempty"`
 	Err     string      `json:"err,omitempty"`
 	Summary *LotSummary `json:"summary,omitempty"`
+	// Rollout control (type "rollout"): Op is one of "status", "shadow",
+	// "promote", "demote"; Version names the candidate for "shadow";
+	// Reason is the demotion note. The reply echoes Lot (an out-of-band
+	// "!r<n>" key — '!' cannot start a real lot ID) and carries either a
+	// Rollout snapshot or a coded error.
+	Op      string         `json:"op,omitempty"`
+	Version int            `json:"version,omitempty"`
+	Reason  string         `json:"reason,omitempty"`
+	Rollout *RolloutStatus `json:"rollout,omitempty"`
 }
 
 // Rejection codes carried in clientMsg.Code.
@@ -179,6 +188,29 @@ func (s *Server) handleClient(conn net.Conn) {
 		}
 		switch m.Type {
 		case "heartbeat":
+		case "rollout":
+			reply := &clientMsg{Type: "rollout", Lot: m.Lot}
+			var opErr error
+			switch m.Op {
+			case "status":
+			case "shadow":
+				opErr = s.BeginShadow(m.Version)
+			case "promote":
+				opErr = s.Promote()
+			case "demote":
+				opErr = s.DemoteCandidate(m.Reason)
+			default:
+				opErr = fmt.Errorf("lotserver: unknown rollout op %q", m.Op)
+			}
+			if opErr != nil {
+				reply.Code, reply.Err = CodeBadRequest, opErr.Error()
+			} else {
+				rs := s.RolloutStatus()
+				reply.Rollout = &rs
+			}
+			if err := writeClientMsg(mc, reply, s.opt.IdleTimeout); err != nil {
+				return
+			}
 		case "cancel":
 			mu.Lock()
 			if cancel := cancels[m.Lot]; cancel != nil {

@@ -1,0 +1,115 @@
+// Package modelreg is the versioned calibration-model registry and the
+// rollout machinery around it: the piece that lets a production floor
+// change its signature→spec regression while lots are in flight.
+//
+// The paper's flow calibrates once and screens forever; a floor that runs
+// continuously has to recalibrate live — the drift watchdog demands it —
+// and a new calibration is a new screening function, so swapping it
+// mid-lot would break the contract that bins are a pure function of
+// (lot seed, device index). The registry resolves the tension by making
+// the model version part of the pure function: artifacts (calibration +
+// gate + engine fingerprint) are persisted as fsync'd CRC-framed records
+// keyed by a monotonically assigned version; every lot is pinned to
+// exactly one version for its whole life; and an atomically-swapped
+// ACTIVE pointer decides what new lots get. Bins become a pure function
+// of (lot seed, device index, model version).
+//
+// Promotion is evidence-driven, never blind: a staged candidate is first
+// shadow-scored against the incumbent on live production devices (the
+// incumbent's bins stay authoritative), accumulating divergence
+// statistics — bin disagreement rate and per-spec prediction-residual
+// EWMAs — and only a candidate whose divergence stays within bounds may
+// be promoted, first to a canary fraction of traffic, then to ACTIVE.
+// A candidate that misbehaves (divergence out of bounds, or a drift
+// alarm on a canary lot) is demoted automatically, and the demotion is
+// recorded with its evidence so the failed version cannot be re-promoted
+// by accident.
+package modelreg
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/floor"
+)
+
+// Artifact is one versioned calibration: everything needed to rebuild a
+// screening engine with identical semantics on any process — the
+// regression models, the sanity gate, and the fingerprint the rebuilt
+// engine must hash to.
+type Artifact struct {
+	// Version is assigned by the registry on Stage; 0 means "the base
+	// calibration the process booted with" and never appears in the
+	// registry itself.
+	Version int `json:"version"`
+	// Fingerprint is floor.Engine.Fingerprint of an engine built from
+	// this artifact on its base engine — the identity remote sites and
+	// journal resume verify against.
+	Fingerprint uint64 `json:"fingerprint"`
+	// Note records provenance: who staged it and why (e.g. the drift
+	// alarm that demanded recalibration).
+	Note        string            `json:"note,omitempty"`
+	CreatedUnix int64             `json:"created_unix,omitempty"`
+	Cal         *core.Calibration `json:"cal"`
+	Gate        *floor.Gate       `json:"gate"`
+}
+
+// NewArtifact wraps a freshly trained calibration and gate, stamping the
+// fingerprint of the engine they produce on base.
+func NewArtifact(base *floor.Engine, cal *core.Calibration, gate *floor.Gate, note string) (*Artifact, error) {
+	if base == nil || cal == nil || gate == nil {
+		return nil, fmt.Errorf("modelreg: artifact needs a base engine, calibration and gate")
+	}
+	for i, m := range cal.Models {
+		if m == nil {
+			return nil, fmt.Errorf("modelreg: calibration is missing spec model %d", i)
+		}
+	}
+	eng := base.WithModel(cal, gate)
+	if err := eng.Validate(); err != nil {
+		return nil, fmt.Errorf("modelreg: artifact engine invalid: %w", err)
+	}
+	return &Artifact{Fingerprint: eng.Fingerprint(), Note: note, Cal: cal, Gate: gate}, nil
+}
+
+// Engine builds the runnable screening engine for this artifact on base
+// and verifies it hashes to the artifact's fingerprint — a mismatch means
+// the base was calibrated differently (wrong board geometry or policy)
+// and the artifact's semantics cannot be reproduced here.
+func (a *Artifact) Engine(base *floor.Engine) (*floor.Engine, error) {
+	if a.Cal == nil || a.Gate == nil {
+		return nil, fmt.Errorf("modelreg: artifact v%d has no model", a.Version)
+	}
+	eng := base.WithModel(a.Cal, a.Gate)
+	if err := eng.Validate(); err != nil {
+		return nil, fmt.Errorf("modelreg: artifact v%d engine invalid: %w", a.Version, err)
+	}
+	if fp := eng.Fingerprint(); a.Fingerprint != 0 && fp != a.Fingerprint {
+		return nil, fmt.Errorf("modelreg: artifact v%d fingerprint %016x, built engine hashes to %016x",
+			a.Version, a.Fingerprint, fp)
+	}
+	return eng, nil
+}
+
+// EncodeArtifact serializes an artifact for the wire (the netfloor model
+// fetch) or a registry record. Plain JSON: framing integrity is the
+// caller's concern (wire frames and registry records both carry CRCs).
+func EncodeArtifact(a *Artifact) ([]byte, error) {
+	if a == nil {
+		return nil, fmt.Errorf("modelreg: encode nil artifact")
+	}
+	return json.Marshal(a)
+}
+
+// DecodeArtifact rebuilds an artifact from EncodeArtifact bytes.
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("modelreg: decode artifact: %w", err)
+	}
+	if a.Cal == nil || a.Gate == nil {
+		return nil, fmt.Errorf("modelreg: decoded artifact v%d has no model", a.Version)
+	}
+	return &a, nil
+}

@@ -1,0 +1,395 @@
+package modelreg
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floor"
+	"repro/internal/lna"
+	"repro/internal/wave"
+)
+
+// fixture is the shared engineering phase — the same recipe as the
+// lotrun/netfloor/lotserver test fixtures, so fingerprints and bins are
+// comparable across packages.
+type fixture struct {
+	cfg   *core.TestConfig
+	cal   *core.Calibration
+	stim  *wave.PWL
+	gate  *floor.Gate
+	model core.DeviceModel
+	train []core.TrainingDevice
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		rng := rand.New(rand.NewSource(11))
+		model := core.RF2401Model{}
+		cfg := core.DefaultSimConfig()
+		stim := cfg.RandomStimulus(rng)
+		train, err := core.GeneratePopulation(rng, model, 60, 0.9)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		td, err := core.AcquireTrainingSet(rng, cfg, stim, train,
+			func(d *core.Device) lna.Specs { return d.Specs })
+		if err != nil {
+			fixErr = err
+			return
+		}
+		cal, err := core.Calibrate(rng, stim, td, core.CalibrationOptions{})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		sigs := make([][]float64, len(td))
+		for i := range td {
+			sigs[i] = td[i].Signature
+		}
+		gate, err := floor.FitGate(sigs, floor.GateOptions{})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix = &fixture{cfg: cfg, cal: cal, stim: stim, gate: gate, model: model, train: td}
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
+	}
+	return fix
+}
+
+func rf2401Pass(s lna.Specs) bool {
+	return s.GainDB >= 10.0 && s.NFDB <= 4.2 && s.IIP3DBm >= -9.5
+}
+
+func (f *fixture) engine() *floor.Engine {
+	return &floor.Engine{
+		Cfg:      f.cfg,
+		Cal:      f.cal,
+		Stim:     f.stim,
+		Gate:     f.gate,
+		PredPass: rf2401Pass,
+		TruePass: rf2401Pass,
+		Policy:   floor.DefaultPolicy(),
+	}
+}
+
+// badCalibration retrains the spec maps against shifted targets: its
+// predictions are wrong by tens of dB, so shadow scoring against the
+// incumbent must diverge immediately.
+func badCalibration(t *testing.T, f *fixture) *core.Calibration {
+	t.Helper()
+	mangled := make([]core.TrainingDevice, len(f.train))
+	for i, td := range f.train {
+		td.Specs.GainDB -= 40
+		td.Specs.IIP3DBm -= 40
+		mangled[i] = td
+	}
+	cal, err := core.Calibrate(rand.New(rand.NewSource(5)), f.stim, mangled, core.CalibrationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cal
+}
+
+// TestArtifactRoundTrip: an artifact decoded from its wire/disk bytes
+// must rebuild an engine with the same fingerprint and bit-identical
+// predictions.
+func TestArtifactRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	base := f.engine()
+	art, err := NewArtifact(base, f.cal, f.gate, "round-trip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Fingerprint != base.Fingerprint() {
+		t.Fatalf("artifact fingerprint %016x, base engine %016x", art.Fingerprint, base.Fingerprint())
+	}
+	data, err := EncodeArtifact(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := back.Engine(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Fingerprint() != base.Fingerprint() {
+		t.Fatalf("rebuilt engine fingerprint %016x, want %016x", eng.Fingerprint(), base.Fingerprint())
+	}
+	for i, td := range f.train {
+		want := f.cal.Predict(td.Signature)
+		got := back.Cal.Predict(td.Signature)
+		if want != got {
+			t.Fatalf("training device %d: decoded calibration predicts %+v, want %+v", i, got, want)
+		}
+		if f.gate.Classify(td.Signature) != back.Gate.Classify(td.Signature) {
+			t.Fatalf("training device %d: decoded gate classifies differently", i)
+		}
+	}
+}
+
+// TestArtifactEngineRefusesForeignBase: building an artifact's engine on
+// a base calibrated with a different policy must fail the fingerprint
+// check instead of silently screening with changed semantics.
+func TestArtifactEngineRefusesForeignBase(t *testing.T) {
+	f := getFixture(t)
+	base := f.engine()
+	art, err := NewArtifact(base, f.cal, f.gate, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := f.engine()
+	foreign.Policy.MaxRetests = 7
+	if _, err := art.Engine(foreign); err == nil {
+		t.Fatal("artifact engine built on a foreign base, want fingerprint refusal")
+	}
+}
+
+// TestRegistryLifecycle: stage, activate, demote, and reload from disk —
+// the durable state machine behind rollouts.
+func TestRegistryLifecycle(t *testing.T) {
+	f := getFixture(t)
+	base := f.engine()
+	dir := t.TempDir()
+
+	reg, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := NewArtifact(base, f.cal, f.gate, "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := reg.Stage(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewArtifact(base, f.cal, f.gate, "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := reg.Stage(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("versions %d,%d want 1,2", v1, v2)
+	}
+	if err := reg.SetActive(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetActive(99); err == nil {
+		t.Fatal("SetActive(99) succeeded for an unstaged version")
+	}
+	ev := &DivergenceStats{Version: v2, Scored: 64, Disagree: 9, DisagreeRate: 9.0 / 64}
+	if err := reg.Demote(v2, "bin disagreement out of bounds", ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetActive(v2); err == nil {
+		t.Fatal("SetActive succeeded for a demoted version")
+	}
+	if err := reg.SetRollout(&RolloutState{Candidate: v1, Stage: StageCanary, Fraction: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload: artifacts, pointer, demotion evidence, rollout position.
+	reg2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Active(); got != v1 {
+		t.Fatalf("reloaded active %d want %d", got, v1)
+	}
+	if got := reg2.Versions(); len(got) != 2 {
+		t.Fatalf("reloaded versions %v want 2 entries", got)
+	}
+	d, ok := reg2.Demoted(v2)
+	if !ok || d.Evidence == nil || d.Evidence.Disagree != 9 {
+		t.Fatalf("reloaded demotion %+v lost its evidence", d)
+	}
+	ro := reg2.Rollout()
+	if ro == nil || ro.Candidate != v1 || ro.Stage != StageCanary || ro.Fraction != 0.5 {
+		t.Fatalf("reloaded rollout %+v", ro)
+	}
+	if err := reg2.SetRollout(nil); err != nil {
+		t.Fatal(err)
+	}
+	reg3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg3.Rollout() != nil {
+		t.Fatal("cleared rollout survived reload")
+	}
+
+	// The reloaded artifact still rebuilds a bit-identical engine.
+	art, ok := reg2.Get(v1)
+	if !ok {
+		t.Fatal("reloaded registry lost v1")
+	}
+	eng, err := art.Engine(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Fingerprint() != base.Fingerprint() {
+		t.Fatal("reloaded artifact engine fingerprint changed")
+	}
+}
+
+// TestRegistryTolientCorruption: a scribbled artifact record is skipped
+// on load (counted, not trusted), and a corrupt ACTIVE pointer degrades
+// to "no incumbent" instead of bricking the registry.
+func TestRegistryToleratesCorruption(t *testing.T) {
+	f := getFixture(t)
+	base := f.engine()
+	dir := t.TempDir()
+	reg, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		a, err := NewArtifact(base, f.cal, f.gate, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Stage(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.SetActive(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the middle of v2's record.
+	p2 := filepath.Join(dir, "v000002.art")
+	raw, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(p2, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg2.Get(2); ok {
+		t.Fatal("corrupt artifact v2 was loaded")
+	}
+	if info := reg2.LoadInfo(); info.Corrupt != 1 || info.Artifacts != 1 {
+		t.Fatalf("load info %+v want 1 corrupt, 1 artifact", info)
+	}
+	if reg2.Active() != 1 {
+		t.Fatalf("active %d want 1", reg2.Active())
+	}
+	// A staged version after the corrupt one must not collide with it.
+	a, err := NewArtifact(base, f.cal, f.gate, "post-corruption")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := reg2.Stage(a); err != nil || v != 3 {
+		t.Fatalf("stage after corruption: v=%d err=%v, want v=3", v, err)
+	}
+
+	// Scribble the ACTIVE pointer itself.
+	if err := os.WriteFile(filepath.Join(dir, "ACTIVE"), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg3.Active() != 0 {
+		t.Fatalf("corrupt ACTIVE resolved to %d, want 0", reg3.Active())
+	}
+}
+
+// TestRegistryInMemory: dir == "" keeps the full API without touching
+// disk — the mode single-binary flows use.
+func TestRegistryInMemory(t *testing.T) {
+	f := getFixture(t)
+	reg, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArtifact(f.engine(), f.cal, f.gate, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := reg.Stage(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetActive(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Demote(v, "test", nil); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Active() != 0 {
+		t.Fatal("demoting the active version must clear the pointer")
+	}
+}
+
+// TestShadowScorer: a candidate identical to the incumbent stays healthy;
+// a mis-trained candidate trips the divergence bounds.
+func TestShadowScorer(t *testing.T) {
+	f := getFixture(t)
+	base := f.engine()
+	rng := rand.New(rand.NewSource(23))
+	pool, err := core.GeneratePopulation(rng, f.model, 48, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lotSeed = 777
+	rep, err := base.RunLot(lotSeed, pool, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bounds := Bounds{MinSamples: 16}
+	same := NewShadowScorer(1, base.WithModel(f.cal, f.gate), bounds)
+	bad := NewShadowScorer(2, base.WithModel(badCalibration(t, f), f.gate), bounds)
+	ctx := context.Background()
+	for i, res := range rep.Results {
+		same.Observe(ctx, lotSeed, pool[i], nil, res)
+		bad.Observe(ctx, lotSeed, pool[i], nil, res)
+	}
+	if !same.Healthy() {
+		t.Fatalf("identical candidate unhealthy: %+v", same.Stats())
+	}
+	if ex, _ := same.Exceeded(); ex {
+		t.Fatal("identical candidate exceeded bounds")
+	}
+	st := same.Stats()
+	if st.Disagree != 0 || st.ResidualEWMA[0] != 0 {
+		t.Fatalf("identical candidate diverged: %+v", st)
+	}
+	if ex, reason := bad.Exceeded(); !ex {
+		t.Fatalf("mis-trained candidate not flagged: %+v", bad.Stats())
+	} else if reason == "" {
+		t.Fatal("exceeded without a reason")
+	}
+	if bad.Healthy() {
+		t.Fatal("mis-trained candidate reported healthy")
+	}
+}

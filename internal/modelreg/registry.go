@@ -1,0 +1,396 @@
+package modelreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// On-disk layout of a registry directory:
+//
+//	v000001.art      one CRC-framed JSON record per staged artifact
+//	v000001.demoted  demotion record (reason + divergence evidence)
+//	ACTIVE           CRC-framed {"active":N} — the incumbent pointer
+//	ROLLOUT          CRC-framed rollout state while one is in progress
+//
+// Every record is a single line `{"crc":C,"rec":R}` (IEEE CRC32 of the
+// raw Rec bytes — the lot journal's envelope), written to a temp file,
+// fsync'd, and renamed into place, then the directory fsync'd: a crash
+// leaves either the old record or the new one, never a torn hybrid, and
+// the ACTIVE swap in particular is atomic. Open scans tolerantly — a
+// corrupt artifact is skipped (and counted), never trusted.
+
+// RolloutState is the persisted position of an in-progress rollout, so a
+// killed server resumes staging/canarying the same candidate.
+type RolloutState struct {
+	// Candidate is the version under evaluation.
+	Candidate int `json:"candidate"`
+	// Stage is StageShadow or StageCanary.
+	Stage string `json:"stage"`
+	// Fraction is the canary traffic fraction in [0,1] (canary stage).
+	Fraction float64 `json:"fraction,omitempty"`
+}
+
+// Rollout stages.
+const (
+	StageShadow = "shadow"
+	StageCanary = "canary"
+)
+
+// Demotion records a failed version: why it was pulled and the divergence
+// evidence at the moment of rollback.
+type Demotion struct {
+	Version  int              `json:"version"`
+	Reason   string           `json:"reason"`
+	Unix     int64            `json:"unix,omitempty"`
+	Evidence *DivergenceStats `json:"evidence,omitempty"`
+}
+
+// LoadStats reports what Open found on disk.
+type LoadStats struct {
+	Artifacts int // valid artifacts loaded
+	Corrupt   int // artifact/pointer records skipped as unreadable
+}
+
+// Registry is the versioned artifact store. With a directory it is
+// durable (fsync'd records, atomic pointer swaps, loadable on restart);
+// with dir == "" it is purely in-memory — same API, no persistence —
+// which keeps single-binary flows working without a registry path.
+// All methods are safe for concurrent use.
+type Registry struct {
+	dir string
+
+	mu       sync.Mutex
+	arts     map[int]*Artifact
+	demoted  map[int]*Demotion
+	next     int
+	active   int
+	rollout  *RolloutState
+	loadInfo LoadStats
+}
+
+// Open loads (or initializes) a registry rooted at dir; dir == "" builds
+// an in-memory registry.
+func Open(dir string) (*Registry, error) {
+	r := &Registry{dir: dir, arts: make(map[int]*Artifact), demoted: make(map[int]*Demotion), next: 1}
+	if dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("modelreg: create registry dir: %w", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("modelreg: read registry dir: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		var v int
+		switch {
+		case len(name) > 4 && name[len(name)-4:] == ".art":
+			if _, err := fmt.Sscanf(name, "v%06d.art", &v); err != nil || v <= 0 {
+				continue
+			}
+			// A version number is burned the moment its file exists —
+			// even unreadable — so a corrupt record can never be silently
+			// overwritten by a later Stage reusing its number.
+			if v >= r.next {
+				r.next = v + 1
+			}
+			var a Artifact
+			if err := readRecord(filepath.Join(dir, name), &a); err != nil || a.Cal == nil || a.Gate == nil {
+				r.loadInfo.Corrupt++
+				continue
+			}
+			a.Version = v
+			r.arts[v] = &a
+			r.loadInfo.Artifacts++
+		case len(name) > 8 && name[len(name)-8:] == ".demoted":
+			if _, err := fmt.Sscanf(name, "v%06d.demoted", &v); err != nil || v <= 0 {
+				continue
+			}
+			var d Demotion
+			if err := readRecord(filepath.Join(dir, name), &d); err != nil {
+				r.loadInfo.Corrupt++
+				continue
+			}
+			d.Version = v
+			r.demoted[v] = &d
+		}
+	}
+	// The pointer and rollout records are advisory state: a corrupt or
+	// missing one degrades to "no incumbent staged / no rollout", which
+	// the operator can re-establish — it must not brick the registry.
+	var act struct {
+		Active int `json:"active"`
+	}
+	switch err := readRecord(filepath.Join(dir, "ACTIVE"), &act); {
+	case err == nil:
+		if _, ok := r.arts[act.Active]; ok || act.Active == 0 {
+			r.active = act.Active
+		} else {
+			r.loadInfo.Corrupt++
+		}
+	case os.IsNotExist(err):
+	default:
+		r.loadInfo.Corrupt++
+	}
+	var ro RolloutState
+	switch err := readRecord(filepath.Join(dir, "ROLLOUT"), &ro); {
+	case err == nil:
+		if _, ok := r.arts[ro.Candidate]; ok && (ro.Stage == StageShadow || ro.Stage == StageCanary) {
+			r.rollout = &ro
+		} else {
+			r.loadInfo.Corrupt++
+		}
+	case os.IsNotExist(err):
+	default:
+		r.loadInfo.Corrupt++
+	}
+	return r, nil
+}
+
+// Dir returns the backing directory ("" for in-memory).
+func (r *Registry) Dir() string { return r.dir }
+
+// LoadInfo reports what Open found.
+func (r *Registry) LoadInfo() LoadStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.loadInfo
+}
+
+// Stage assigns the next version to a candidate artifact and persists it.
+// The artifact is durable before Stage returns; it is not yet active.
+func (r *Registry) Stage(a *Artifact) (int, error) {
+	if a == nil || a.Cal == nil || a.Gate == nil {
+		return 0, fmt.Errorf("modelreg: stage: artifact has no model")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.next
+	cp := *a
+	cp.Version = v
+	if cp.CreatedUnix == 0 {
+		cp.CreatedUnix = time.Now().Unix()
+	}
+	if r.dir != "" {
+		if err := writeRecord(r.dir, fmt.Sprintf("v%06d.art", v), &cp); err != nil {
+			return 0, err
+		}
+	}
+	r.arts[v] = &cp
+	r.next = v + 1
+	a.Version = v
+	return v, nil
+}
+
+// Get returns the artifact for a version.
+func (r *Registry) Get(v int) (*Artifact, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.arts[v]
+	return a, ok
+}
+
+// Active returns the incumbent version (0 = the process's base model).
+func (r *Registry) Active() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.active
+}
+
+// SetActive atomically swaps the incumbent pointer to v. v must be a
+// staged, non-demoted version (or 0 to fall back to the base model).
+func (r *Registry) SetActive(v int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v != 0 {
+		if _, ok := r.arts[v]; !ok {
+			return fmt.Errorf("modelreg: set active: version %d not staged", v)
+		}
+		if d := r.demoted[v]; d != nil {
+			return fmt.Errorf("modelreg: set active: version %d was demoted (%s)", v, d.Reason)
+		}
+	}
+	if r.dir != "" {
+		if err := writeRecord(r.dir, "ACTIVE", struct {
+			Active int `json:"active"`
+		}{v}); err != nil {
+			return err
+		}
+	}
+	r.active = v
+	return nil
+}
+
+// Demote records a failed version with its evidence. The artifact stays
+// in the registry — lots already pinned to it must keep resolving it —
+// but it can never become active again.
+func (r *Registry) Demote(v int, reason string, ev *DivergenceStats) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.arts[v]; !ok {
+		return fmt.Errorf("modelreg: demote: version %d not staged", v)
+	}
+	d := &Demotion{Version: v, Reason: reason, Unix: time.Now().Unix(), Evidence: ev}
+	if r.dir != "" {
+		if err := writeRecord(r.dir, fmt.Sprintf("v%06d.demoted", v), d); err != nil {
+			return err
+		}
+	}
+	r.demoted[v] = d
+	if r.active == v {
+		r.active = 0
+	}
+	return nil
+}
+
+// Demoted reports whether v was demoted, and why.
+func (r *Registry) Demoted(v int) (*Demotion, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.demoted[v]
+	return d, ok
+}
+
+// Demotions lists every recorded demotion, oldest version first.
+func (r *Registry) Demotions() []Demotion {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Demotion, 0, len(r.demoted))
+	for _, d := range r.demoted {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}
+
+// Versions lists staged versions in ascending order.
+func (r *Registry) Versions() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, 0, len(r.arts))
+	for v := range r.arts {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SetRollout persists the in-progress rollout position (nil clears it).
+func (r *Registry) SetRollout(st *RolloutState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st != nil {
+		if _, ok := r.arts[st.Candidate]; !ok {
+			return fmt.Errorf("modelreg: rollout: candidate %d not staged", st.Candidate)
+		}
+		cp := *st
+		if r.dir != "" {
+			if err := writeRecord(r.dir, "ROLLOUT", &cp); err != nil {
+				return err
+			}
+		}
+		r.rollout = &cp
+		return nil
+	}
+	if r.dir != "" {
+		if err := os.Remove(filepath.Join(r.dir, "ROLLOUT")); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("modelreg: clear rollout: %w", err)
+		}
+		syncDir(r.dir)
+	}
+	r.rollout = nil
+	return nil
+}
+
+// Rollout returns the persisted rollout position (nil when idle).
+func (r *Registry) Rollout() *RolloutState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rollout == nil {
+		return nil
+	}
+	cp := *r.rollout
+	return &cp
+}
+
+// writeRecord durably replaces dir/name with one CRC-framed record:
+// marshal, envelope, write to a temp file, fsync, rename, fsync dir.
+func writeRecord(dir, name string, rec any) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("modelreg: marshal %s: %w", name, err)
+	}
+	crc := crc32.ChecksumIEEE(raw)
+	line, err := json.Marshal(struct {
+		Crc uint32          `json:"crc"`
+		Rec json.RawMessage `json:"rec"`
+	}{crc, raw})
+	if err != nil {
+		return fmt.Errorf("modelreg: envelope %s: %w", name, err)
+	}
+	tmp := filepath.Join(dir, "."+name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("modelreg: create %s: %w", name, err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("modelreg: write %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("modelreg: fsync %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("modelreg: close %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("modelreg: swap %s: %w", name, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// readRecord loads one CRC-framed record; any framing or checksum
+// violation is an error (the caller decides whether to tolerate it).
+func readRecord(path string, rec any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var env struct {
+		Crc *uint32         `json:"crc"`
+		Rec json.RawMessage `json:"rec"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("modelreg: %s: bad envelope: %w", filepath.Base(path), err)
+	}
+	if env.Crc == nil || env.Rec == nil || crc32.ChecksumIEEE(env.Rec) != *env.Crc {
+		return fmt.Errorf("modelreg: %s: checksum mismatch", filepath.Base(path))
+	}
+	if err := json.Unmarshal(env.Rec, rec); err != nil {
+		return fmt.Errorf("modelreg: %s: bad record: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort on
+// filesystems that refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -418,9 +418,13 @@ func (c *Coordinator) run(ctx context.Context, lotSeed int64, lot []*core.Device
 			return nil, fmt.Errorf("netfloor: journal is for a different lot (seed %d devices %d faultp %g; resuming seed %d devices %d faultp %g)",
 				hdr.LotSeed, hdr.Devices, hdr.FaultP, lotSeed, len(lot), faultP)
 		}
+		if hdr.ModelVersion != 0 {
+			return nil, fmt.Errorf("netfloor: journal pins calibration version %d; the single-lot coordinator runs the base model only: %w",
+				hdr.ModelVersion, lotrun.ErrModelMismatch)
+		}
 		if hdr.Fingerprint != 0 && hdr.Fingerprint != c.Engine.Fingerprint() {
-			return nil, fmt.Errorf("netfloor: journal was written by a differently calibrated engine (fingerprint %x, resuming %x)",
-				hdr.Fingerprint, c.Engine.Fingerprint())
+			return nil, fmt.Errorf("netfloor: journal was written by a differently calibrated engine (fingerprint %x, resuming %x): %w",
+				hdr.Fingerprint, c.Engine.Fingerprint(), lotrun.ErrModelMismatch)
 		}
 		for i, res := range done {
 			res := res
@@ -663,10 +667,23 @@ func (c *Coordinator) siteLoop(ctx context.Context, rs *runState, opt *Options, 
 }
 
 // permanentError marks a site that must not be retried (identity
-// mismatch: its engine would bin differently).
-type permanentError struct{ msg string }
+// mismatch: its engine would bin differently). Its code preserves the
+// wire classification, so errors.Is(err, ErrModelMismatch) works on a
+// model-mismatch rejection — the caller's cue to resolve a calibration
+// version rather than redial.
+type permanentError struct {
+	msg  string
+	code string
+}
 
 func (e *permanentError) Error() string { return e.msg }
+
+func (e *permanentError) Unwrap() error {
+	if e.code == CodeModelMismatch {
+		return ErrModelMismatch
+	}
+	return nil
+}
 
 // connect dials and handshakes one site.
 func (c *Coordinator) connect(ctx context.Context, opt *Options, hello Hello, addr string) (*MsgConn, error) {
@@ -695,7 +712,7 @@ func (c *Coordinator) connect(ctx context.Context, opt *Options, hello Hello, ad
 		return mc, nil
 	case MsgError:
 		mc.Close()
-		return nil, &permanentError{msg: env.Err}
+		return nil, &permanentError{msg: env.Err, code: env.Code}
 	default:
 		mc.Close()
 		return nil, fmt.Errorf("netfloor: handshake: expected hello_ack, got %s", env.Type)

@@ -1,0 +1,275 @@
+package netfloor
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/lotrun"
+	"repro/internal/modelreg"
+)
+
+// readSkippingHeartbeats reads frames until one that is not a heartbeat
+// arrives; the manual-protocol tests below drive a real Site over a pipe,
+// so its liveness beacons interleave with the replies under test.
+func readSkippingHeartbeats(t *testing.T, mc *MsgConn) *Envelope {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		env, err := mc.Read(time.Second)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if env.Type == MsgHeartbeat {
+			continue
+		}
+		return env
+	}
+	t.Fatal("no non-heartbeat frame within deadline")
+	return nil
+}
+
+// TestHandshakeModelMismatchTyped: a site whose engine hashes to a
+// different fingerprint — same lot, same board, different calibration —
+// must be refused with a rejection the coordinator can detect as
+// ErrModelMismatch via errors.Is; a site describing a different floor
+// entirely (wrong lot seed) must NOT read as a model mismatch.
+func TestHandshakeModelMismatchTyped(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 8)
+	const seed = 13
+
+	fm := newFarm(t, f, lot, nil, seed, 1)
+	// Recalibrate the site differently: policy is part of the screening
+	// semantics, so the fingerprint — and only the fingerprint — moves.
+	eng := fm.sites["site0"].Engine
+	eng.Policy.MaxRetests += 2
+
+	opt := coordOpts(fm, fm.dialer(FaultProfile{}, 0))
+	opt.defaults()
+	c := &Coordinator{Engine: f.engine(), Opt: opt}
+	hello := Hello{
+		Version:     ProtocolVersion,
+		LotSeed:     seed,
+		Devices:     len(lot),
+		Fingerprint: f.engine().Fingerprint(),
+	}
+	_, err := c.connect(context.Background(), &opt, hello, "site0")
+	if !errors.Is(err, ErrModelMismatch) {
+		t.Fatalf("fingerprint-only mismatch: err=%v, want ErrModelMismatch", err)
+	}
+
+	// Wrong lot seed: a misconfiguration, not an upgrade problem.
+	badHello := hello
+	badHello.LotSeed = seed + 1
+	badHello.Fingerprint = fm.sites["site0"].Engine.Fingerprint()
+	_, err = c.connect(context.Background(), &opt, badHello, "site0")
+	if err == nil || errors.Is(err, ErrModelMismatch) {
+		t.Fatalf("identity mismatch: err=%v, must be refused but NOT as ErrModelMismatch", err)
+	}
+}
+
+// TestResumeRejectsVersionedJournalTyped: the single-lot coordinator runs
+// the base model only; a journal pinned to a registry version must be
+// refused with the typed lotrun.ErrModelMismatch.
+func TestResumeRejectsVersionedJournalTyped(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 6)
+	const seed = 29
+	path := filepath.Join(t.TempDir(), "versioned.journal")
+
+	jr, err := lotrun.CreateJournal(path, lotrun.JournalHeader{
+		Type: "header", Version: lotrun.JournalVersion,
+		LotSeed: seed, Devices: len(lot),
+		Fingerprint:  f.engine().Fingerprint(),
+		ModelVersion: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+
+	fm := newFarm(t, f, lot, nil, seed, 1)
+	opt := coordOpts(fm, fm.dialer(FaultProfile{}, 0))
+	opt.JournalPath = path
+	c := &Coordinator{Engine: f.engine(), Opt: opt}
+	if _, err := c.Resume(context.Background(), seed, lot, nil); !errors.Is(err, lotrun.ErrModelMismatch) {
+		t.Fatalf("resume of a version-pinned journal: err=%v, want lotrun.ErrModelMismatch", err)
+	}
+}
+
+// dialManual opens one connection to a farm site and completes a
+// multi-lot handshake, returning the client conn.
+func dialManual(t *testing.T, fm *farm, f *fixture, lot int) *MsgConn {
+	t.Helper()
+	d := fm.dialer(FaultProfile{}, 0)
+	conn, err := d(context.Background(), "site0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMsgConn(conn)
+	t.Cleanup(func() { mc.Close() })
+	hello := fm.sites["site0"].hello()
+	hello.MultiLot = true
+	hello.LotSeed = 0
+	if err := mc.Write(&Envelope{Type: MsgHello, Hello: &hello}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ack := readSkippingHeartbeats(t, mc)
+	if ack.Type != MsgHelloAck {
+		t.Fatalf("handshake: got %s (%s)", ack.Type, ack.Err)
+	}
+	return mc
+}
+
+// TestSiteVersionedAssignFetchesModel: an Assign naming an unknown model
+// version makes the site fetch the artifact once, rebuild the engine,
+// serve the queued assignment under it, and serve later assignments for
+// the same version from cache.
+func TestSiteVersionedAssignFetchesModel(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 8)
+	const seed = 7
+
+	fm := newFarm(t, f, lot, nil, seed, 1)
+	mc := dialManual(t, fm, f, len(lot))
+
+	art, err := modelreg.NewArtifact(f.engine(), f.cal, f.gate, "wire test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art.Version = 2
+	raw, err := modelreg.EncodeArtifact(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mc.Write(&Envelope{Type: MsgAssign, Seq: 1, Device: 3, Seed: seed, Model: 2}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	env := readSkippingHeartbeats(t, mc)
+	if env.Type != MsgModelReq || env.Model != 2 {
+		t.Fatalf("expected model_req for v2, got %s (model %d)", env.Type, env.Model)
+	}
+	if err := mc.Write(&Envelope{Type: MsgModel, Model: 2, ModelFP: art.Fingerprint, Artifact: raw}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	env = readSkippingHeartbeats(t, mc)
+	if env.Type != MsgResult || env.Device != 3 || env.Model != 2 {
+		t.Fatalf("expected result for device 3 under v2, got %s device %d model %d", env.Type, env.Device, env.Model)
+	}
+
+	artEng, err := art.Engine(f.engine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ScreenSupervised(context.Background(), artEng, seed, 3, lot[3], nil, 0)
+	if !reflect.DeepEqual(*env.Result, want) {
+		t.Fatalf("wire result diverges from local screening under the artifact engine:\n%+v\nvs\n%+v", *env.Result, want)
+	}
+
+	// Second assignment under the same version: served from cache, no
+	// second fetch.
+	if err := mc.Write(&Envelope{Type: MsgAssign, Seq: 2, Device: 4, Seed: seed, Model: 2}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	env = readSkippingHeartbeats(t, mc)
+	if env.Type != MsgResult || env.Device != 4 {
+		t.Fatalf("cached-version assign: got %s device %d", env.Type, env.Device)
+	}
+	if st := fm.sites["site0"].Stats(); st.ModelFetches != 1 || st.ModelFails != 0 {
+		t.Fatalf("fetches=%d fails=%d, want exactly one fetch and no failures", st.ModelFetches, st.ModelFails)
+	}
+}
+
+// TestSiteRejectsBadModelArtifact: a corrupt or wrong artifact delivery
+// fails the queued assignments with a typed model_mismatch error — and
+// the connection survives to serve base-model work.
+func TestSiteRejectsBadModelArtifact(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 8)
+	const seed = 17
+
+	fm := newFarm(t, f, lot, nil, seed, 1)
+	mc := dialManual(t, fm, f, len(lot))
+
+	if err := mc.Write(&Envelope{Type: MsgAssign, Seq: 5, Device: 2, Seed: seed, Model: 9}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	env := readSkippingHeartbeats(t, mc)
+	if env.Type != MsgModelReq {
+		t.Fatalf("expected model_req, got %s", env.Type)
+	}
+	if err := mc.Write(&Envelope{Type: MsgModel, Model: 9, Artifact: []byte(`{"not":"an artifact"}`)}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	env = readSkippingHeartbeats(t, mc)
+	if env.Type != MsgError || env.Code != CodeModelMismatch || env.Seq != 5 {
+		t.Fatalf("expected coded model_mismatch error for seq 5, got %s code %q seq %d", env.Type, env.Code, env.Seq)
+	}
+
+	// Connection still serves the base model.
+	if err := mc.Write(&Envelope{Type: MsgAssign, Seq: 6, Device: 2, Seed: seed}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	env = readSkippingHeartbeats(t, mc)
+	if env.Type != MsgResult || env.Device != 2 {
+		t.Fatalf("base-model assign after rejection: got %s device %d", env.Type, env.Device)
+	}
+	if st := fm.sites["site0"].Stats(); st.ModelFails != 1 {
+		t.Fatalf("ModelFails=%d, want 1", st.ModelFails)
+	}
+}
+
+// TestSiteModelCacheEviction: the per-site engine cache is bounded; the
+// least-recently-used version is evicted and transparently re-fetched.
+func TestSiteModelCacheEviction(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 8)
+	const seed = 19
+
+	fm := newFarm(t, f, lot, nil, seed, 1)
+	fm.sites["site0"].ModelCacheSize = 2
+	mc := dialManual(t, fm, f, len(lot))
+
+	art, err := modelreg.NewArtifact(f.engine(), f.cal, f.gate, "evict test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignUnder := func(seq uint64, version, device int) {
+		t.Helper()
+		if err := mc.Write(&Envelope{Type: MsgAssign, Seq: seq, Device: device, Seed: seed, Model: version}, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		env := readSkippingHeartbeats(t, mc)
+		if env.Type == MsgModelReq {
+			a := *art
+			a.Version = version
+			raw, err := modelreg.EncodeArtifact(&a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mc.Write(&Envelope{Type: MsgModel, Model: version, ModelFP: a.Fingerprint, Artifact: raw}, time.Second); err != nil {
+				t.Fatal(err)
+			}
+			env = readSkippingHeartbeats(t, mc)
+		}
+		if env.Type != MsgResult || env.Device != device || env.Model != version {
+			t.Fatalf("assign under v%d: got %s device %d model %d", version, env.Type, env.Device, env.Model)
+		}
+	}
+
+	assignUnder(1, 1, 0)
+	assignUnder(2, 2, 1)
+	assignUnder(3, 3, 2) // evicts v1 (LRU)
+	if got := fm.sites["site0"].CachedModels(); len(got) != 2 {
+		t.Fatalf("cache holds %v, want 2 versions", got)
+	}
+	assignUnder(4, 1, 3) // v1 must be re-fetched
+	if st := fm.sites["site0"].Stats(); st.ModelFetches != 4 {
+		t.Fatalf("ModelFetches=%d, want 4 (v1, v2, v3, v1-again)", st.ModelFetches)
+	}
+}

@@ -64,7 +64,33 @@ const (
 	MsgDrainAck MsgType = "drain_ack"
 	// MsgError rejects the peer (identity mismatch, bad assignment).
 	MsgError MsgType = "error"
+	// MsgModelReq asks the coordinator for the calibration artifact of a
+	// model version the site does not have cached (sent in response to an
+	// Assign naming an unknown version).
+	MsgModelReq MsgType = "model_req"
+	// MsgModel delivers a serialized calibration artifact for one version.
+	MsgModel MsgType = "model"
 )
+
+// Error codes carried in Envelope.Code alongside MsgError, so a peer can
+// distinguish failure classes and react: a model mismatch needs an
+// upgrade (fetch the right artifact, rebuild the engine), an identity
+// mismatch is a misconfiguration, and anything uncoded is transport-level
+// and retryable.
+const (
+	// CodeModelMismatch: the engines' calibration fingerprints disagree —
+	// same board, same protocol, different screening semantics.
+	CodeModelMismatch = "model_mismatch"
+	// CodeIdentityMismatch: protocol version, device-pool size or fault
+	// load disagree — the peers are not describing the same floor.
+	CodeIdentityMismatch = "identity_mismatch"
+)
+
+// ErrModelMismatch is the typed form of a CodeModelMismatch rejection:
+// the peer refused to pair because the calibration models differ. Callers
+// detect it with errors.Is and react by upgrading (resolving the right
+// model version) instead of retrying.
+var ErrModelMismatch = errors.New("netfloor: calibration model mismatch")
 
 // Hello is the lot identity both sides must agree on before any device is
 // assigned.
@@ -96,6 +122,19 @@ type Envelope struct {
 	// Assign/Result frames of a multi-lot connection, zero otherwise.
 	Seed int64  `json:"seed,omitempty"`
 	Lot  string `json:"lot,omitempty"`
+	// Code classifies a MsgError (see the Code* constants); empty on
+	// legacy peers, which reads as "uncoded: treat as before".
+	Code string `json:"code,omitempty"`
+	// Model is the calibration version an Assign screens under (0 = the
+	// base model pinned in the handshake) and the version a
+	// MsgModelReq/MsgModel pair is fetching; ModelFP is the expected
+	// engine fingerprint for that version, so a site can verify the
+	// artifact it rebuilt screens identically.
+	Model   int    `json:"model,omitempty"`
+	ModelFP uint64 `json:"model_fp,omitempty"`
+	// Artifact is the serialized calibration artifact on a MsgModel frame
+	// (modelreg.EncodeArtifact bytes; frame CRC covers integrity).
+	Artifact json.RawMessage `json:"artifact,omitempty"`
 }
 
 // ErrCorruptFrame reports a frame whose payload CRC did not verify — the

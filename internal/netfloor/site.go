@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/floor"
+	"repro/internal/modelreg"
 )
 
 // Site is one remote tester site: it owns a screening engine and the full
@@ -47,21 +48,36 @@ type Site struct {
 	// DeviceTimeout bounds one device's screening wall time (0 = none),
 	// mirroring lotrun.Options.DeviceTimeout.
 	DeviceTimeout time.Duration
+	// ModelCacheSize bounds how many versioned model engines the site
+	// keeps built at once (default 4); least-recently-used versions are
+	// evicted and re-fetched on demand. The base engine (version 0) is
+	// never evicted — it is the site's own identity.
+	ModelCacheSize int
 	// Logf, when set, receives site-side progress lines.
 	Logf func(format string, args ...any)
 
-	mu       sync.Mutex
-	cache    map[siteCacheKey]floor.DeviceResult
-	stats    ServeStats
-	draining chan struct{}
+	mu          sync.Mutex
+	cache       map[siteCacheKey]floor.DeviceResult
+	engines     map[int]*modelEngine
+	engineClock uint64
+	stats       ServeStats
+	draining    chan struct{}
 }
 
 // siteCacheKey identifies one screened device. Multi-lot connections
-// carry a lot seed per assignment, so the cache must not conflate two
-// lots' screenings of the same index.
+// carry a lot seed per assignment and pin each lot to a model version, so
+// the cache must conflate neither two lots' screenings of the same index
+// nor two versions' screenings of the same device.
 type siteCacheKey struct {
-	seed int64
-	idx  int
+	seed  int64
+	idx   int
+	model int
+}
+
+// modelEngine is one cached versioned engine with its LRU stamp.
+type modelEngine struct {
+	eng *floor.Engine
+	use uint64
 }
 
 // ServeStats counts the site-side write failures that previously vanished
@@ -80,6 +96,12 @@ type ServeStats struct {
 	// DrainNotifyFails counts site-initiated drain announcements that
 	// failed to send during a graceful shutdown.
 	DrainNotifyFails int
+	// ModelFetches counts calibration artifacts requested over the wire
+	// (assignments naming a version this site had not built yet).
+	ModelFetches int
+	// ModelFails counts artifacts that failed to decode, build or verify
+	// against their expected fingerprint.
+	ModelFails int
 }
 
 // Stats returns a snapshot of the site's write-failure counters.
@@ -223,18 +245,32 @@ func (s *Site) Serve(ctx context.Context, ln net.Listener) error {
 // handshake validates the coordinator's Hello against this site's
 // identity. A multi-lot coordinator pins the engine fingerprint, fault
 // load and device-pool size but names its lot seeds per-assignment, so
-// LotSeed is not compared in that mode.
-func (s *Site) handshake(h *Hello) (multiLot bool, err error) {
+// LotSeed is not compared in that mode. A refusal carries a typed code:
+// a pure fingerprint disagreement is CodeModelMismatch (the peer needs a
+// different calibration version, an upgrade problem), anything else is
+// CodeIdentityMismatch (a misconfigured floor).
+func (s *Site) handshake(h *Hello) (multiLot bool, code string, err error) {
 	want := s.hello()
-	if h.MultiLot {
-		if h.Version == want.Version && h.Devices == want.Devices &&
-			h.FaultP == want.FaultP && h.Fingerprint == want.Fingerprint {
-			return true, nil
-		}
-	} else if *h == want {
-		return false, nil
+	// Normalize away the fields the mode legitimately leaves open, then
+	// compare what remains.
+	same := *h
+	same.MultiLot, same.LotSeed = false, want.LotSeed
+	if !h.MultiLot && h.LotSeed != want.LotSeed {
+		return false, CodeIdentityMismatch,
+			fmt.Errorf("identity mismatch: coordinator %+v, site %+v", *h, want)
 	}
-	return false, fmt.Errorf("identity mismatch: coordinator %+v, site %+v", *h, want)
+	if same == want {
+		return h.MultiLot, "", nil
+	}
+	onlyFP := same
+	onlyFP.Fingerprint = want.Fingerprint
+	if onlyFP == want {
+		return false, CodeModelMismatch,
+			fmt.Errorf("calibration model mismatch: coordinator fingerprint %016x, site %016x",
+				h.Fingerprint, want.Fingerprint)
+	}
+	return false, CodeIdentityMismatch,
+		fmt.Errorf("identity mismatch: coordinator %+v, site %+v", *h, want)
 }
 
 // ServeConn handles one coordinator connection: handshake, then a serial
@@ -262,9 +298,9 @@ func (s *Site) ServeConn(ctx context.Context, conn net.Conn) error {
 	if env.Type != MsgHello || env.Hello == nil {
 		return fmt.Errorf("netfloor: expected hello, got %s", env.Type)
 	}
-	multiLot, herr := s.handshake(env.Hello)
+	multiLot, hcode, herr := s.handshake(env.Hello)
 	if herr != nil {
-		if werr := mc.Write(&Envelope{Type: MsgError, Site: s.Name, Err: herr.Error()}, s.heartbeat()); werr != nil {
+		if werr := mc.Write(&Envelope{Type: MsgError, Site: s.Name, Code: hcode, Err: herr.Error()}, s.heartbeat()); werr != nil {
 			s.record(func(st *ServeStats) { st.ErrorSendFails++ })
 			s.logf("site %s: failed to send handshake rejection: %v", s.Name, werr)
 		}
@@ -309,6 +345,11 @@ func (s *Site) ServeConn(ctx context.Context, conn net.Conn) error {
 	// graceful drain interrupts an idle connection promptly; lastHeard
 	// preserves the idle-timeout contract across the short reads.
 	lastHeard := time.Now()
+	// pending holds assignments for model versions this connection is
+	// still fetching: the first Assign naming an unknown version sends a
+	// MsgModelReq, later ones queue behind it, and the MsgModel reply
+	// serves them all in arrival order.
+	pending := make(map[int][]*Envelope)
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -343,20 +384,44 @@ func (s *Site) ServeConn(ctx context.Context, conn net.Conn) error {
 				}
 				continue
 			}
-			seed := s.LotSeed
-			if multiLot {
-				seed = env.Seed
+			eng := s.Engine
+			if env.Model != 0 {
+				cached, ok := s.modelEngine(env.Model)
+				if !ok {
+					pending[env.Model] = append(pending[env.Model], env)
+					if len(pending[env.Model]) == 1 {
+						s.record(func(st *ServeStats) { st.ModelFetches++ })
+						if err := mc.Write(&Envelope{Type: MsgModelReq, Model: env.Model, Site: s.Name}, s.heartbeat()); err != nil {
+							return err
+						}
+					}
+					continue
+				}
+				eng = cached
 			}
-			res := s.screen(ctx, seed, env.Device)
-			if res.Err != "" && ctx.Err() != nil {
-				// The site is shutting down mid-device: the result is a
-				// truncation, not an outcome. Never send it — the coordinator
-				// reassigns and re-screens from the same per-device seed.
-				return ctx.Err()
-			}
-			if err := mc.Write(&Envelope{Type: MsgResult, Seq: env.Seq, Device: env.Device,
-				Seed: env.Seed, Lot: env.Lot, Result: &res, Site: s.Name}, s.idle()); err != nil {
+			if err := s.serveAssign(ctx, mc, env, eng, multiLot); err != nil {
 				return err
+			}
+		case MsgModel:
+			queued := pending[env.Model]
+			delete(pending, env.Model)
+			eng, merr := s.installModel(env.Model, env.ModelFP, env.Artifact)
+			if merr != nil {
+				s.record(func(st *ServeStats) { st.ModelFails++ })
+				s.logf("site %s: model v%d rejected: %v", s.Name, env.Model, merr)
+				for _, q := range queued {
+					if werr := mc.Write(&Envelope{Type: MsgError, Seq: q.Seq, Device: q.Device, Site: s.Name,
+						Code: CodeModelMismatch, Model: env.Model, Err: merr.Error()}, s.heartbeat()); werr != nil {
+						s.record(func(st *ServeStats) { st.ErrorSendFails++ })
+						return werr
+					}
+				}
+				continue
+			}
+			for _, q := range queued {
+				if err := s.serveAssign(ctx, mc, q, eng, multiLot); err != nil {
+					return err
+				}
 			}
 		case MsgDrain:
 			if werr := mc.Write(&Envelope{Type: MsgDrainAck, Seq: env.Seq, Site: s.Name}, s.heartbeat()); werr != nil {
@@ -382,13 +447,102 @@ func (s *Site) announceDrain(mc *MsgConn) error {
 	return nil
 }
 
+// serveAssign screens one assignment on the resolved engine and writes
+// its Result frame. The returned error is connection-fatal.
+func (s *Site) serveAssign(ctx context.Context, mc *MsgConn, env *Envelope, eng *floor.Engine, multiLot bool) error {
+	seed := s.LotSeed
+	if multiLot {
+		seed = env.Seed
+	}
+	res := s.screen(ctx, eng, seed, env.Device, env.Model)
+	if res.Err != "" && ctx.Err() != nil {
+		// The site is shutting down mid-device: the result is a
+		// truncation, not an outcome. Never send it — the coordinator
+		// reassigns and re-screens from the same per-device seed.
+		return ctx.Err()
+	}
+	return mc.Write(&Envelope{Type: MsgResult, Seq: env.Seq, Device: env.Device,
+		Seed: env.Seed, Lot: env.Lot, Model: env.Model, Result: &res, Site: s.Name}, s.idle())
+}
+
+// modelEngine returns the cached engine for a calibration version,
+// refreshing its LRU stamp.
+func (s *Site) modelEngine(v int) (*floor.Engine, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	me, ok := s.engines[v]
+	if !ok {
+		return nil, false
+	}
+	s.engineClock++
+	me.use = s.engineClock
+	return me.eng, true
+}
+
+// installModel decodes a fetched artifact, builds its engine on this
+// site's base, verifies the expected fingerprint, and caches it with
+// bounded LRU eviction.
+func (s *Site) installModel(v int, wantFP uint64, artifact []byte) (*floor.Engine, error) {
+	if v <= 0 {
+		return nil, fmt.Errorf("netfloor: model delivery for invalid version %d", v)
+	}
+	art, err := modelreg.DecodeArtifact(artifact)
+	if err != nil {
+		return nil, err
+	}
+	if art.Version != 0 && art.Version != v {
+		return nil, fmt.Errorf("netfloor: artifact claims version %d, delivery says %d", art.Version, v)
+	}
+	eng, err := art.Engine(s.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if wantFP != 0 && eng.Fingerprint() != wantFP {
+		return nil, fmt.Errorf("netfloor: model v%d builds fingerprint %016x, coordinator expects %016x",
+			v, eng.Fingerprint(), wantFP)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.engines == nil {
+		s.engines = make(map[int]*modelEngine)
+	}
+	s.engineClock++
+	s.engines[v] = &modelEngine{eng: eng, use: s.engineClock}
+	bound := s.ModelCacheSize
+	if bound <= 0 {
+		bound = 4
+	}
+	for len(s.engines) > bound {
+		victim, oldest := 0, ^uint64(0)
+		for ver, me := range s.engines {
+			if me.use < oldest {
+				victim, oldest = ver, me.use
+			}
+		}
+		delete(s.engines, victim)
+	}
+	return eng, nil
+}
+
+// CachedModels lists the versioned engines currently built (testing and
+// status introspection).
+func (s *Site) CachedModels() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.engines))
+	for v := range s.engines {
+		out = append(out, v)
+	}
+	return out
+}
+
 // screen produces the device's result, from cache when this site has
 // already screened it (a re-delivered assignment after a reconnect or a
 // duplicated frame). The cache is shared across connections on purpose:
 // the coordinator that reconnects after a partition gets the same answer
 // instantly.
-func (s *Site) screen(ctx context.Context, seed int64, idx int) floor.DeviceResult {
-	key := siteCacheKey{seed: seed, idx: idx}
+func (s *Site) screen(ctx context.Context, eng *floor.Engine, seed int64, idx, model int) floor.DeviceResult {
+	key := siteCacheKey{seed: seed, idx: idx, model: model}
 	s.mu.Lock()
 	if res, ok := s.cache[key]; ok {
 		s.mu.Unlock()
@@ -396,7 +550,7 @@ func (s *Site) screen(ctx context.Context, seed int64, idx int) floor.DeviceResu
 	}
 	s.mu.Unlock()
 
-	res := ScreenSupervised(ctx, s.Engine, seed, idx, s.Lot[idx], s.Faults, s.DeviceTimeout)
+	res := ScreenSupervised(ctx, eng, seed, idx, s.Lot[idx], s.Faults, s.DeviceTimeout)
 	if res.Err != "" && ctx.Err() != nil {
 		return res // truncated by shutdown: never cache
 	}

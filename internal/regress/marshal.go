@@ -1,0 +1,122 @@
+package regress
+
+// Model serialization for the calibration registry: every trained model
+// kind round-trips through a type-tagged JSON envelope so a calibration
+// artifact can be persisted, shipped to a remote site, and rebuilt into a
+// model whose Predict is bit-identical to the original (same float64
+// state, same evaluation order).
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// modelEnvelope tags a serialized model with its concrete kind.
+type modelEnvelope struct {
+	Kind  string          `json:"kind"`
+	State json.RawMessage `json:"state"`
+}
+
+type linearState struct {
+	Nz *Normalizer `json:"nz"`
+	W  []float64   `json:"w"`
+	B  float64     `json:"b"`
+}
+
+type polyPCAState struct {
+	Nz    *Normalizer     `json:"nz"`
+	PCA   *linalg.PCA     `json:"pca"`
+	Inner json.RawMessage `json:"inner"`
+}
+
+type marsState struct {
+	Nz    *Normalizer `json:"nz"`
+	Bases [][]hinge   `json:"bases"`
+	Coef  []float64   `json:"coef"`
+}
+
+// EncodeModel serializes a trained model into a type-tagged JSON envelope.
+// Only models produced by this package's trainers are supported.
+func EncodeModel(m Model) ([]byte, error) {
+	var env modelEnvelope
+	switch t := m.(type) {
+	case *linearModel:
+		st, err := json.Marshal(linearState{Nz: t.nz, W: t.w, B: t.b})
+		if err != nil {
+			return nil, err
+		}
+		env = modelEnvelope{Kind: "linear", State: st}
+	case *polyPCAModel:
+		inner, err := EncodeModel(t.inner)
+		if err != nil {
+			return nil, err
+		}
+		st, err := json.Marshal(polyPCAState{Nz: t.nz, PCA: t.pca, Inner: inner})
+		if err != nil {
+			return nil, err
+		}
+		env = modelEnvelope{Kind: "poly-pca", State: st}
+	case *marsModel:
+		bases := make([][]hinge, len(t.bases))
+		for i, b := range t.bases {
+			bases[i] = []hinge(b)
+		}
+		st, err := json.Marshal(marsState{Nz: t.nz, Bases: bases, Coef: t.coef})
+		if err != nil {
+			return nil, err
+		}
+		env = modelEnvelope{Kind: "mars", State: st}
+	default:
+		return nil, fmt.Errorf("regress: cannot encode model of type %T", m)
+	}
+	return json.Marshal(env)
+}
+
+// DecodeModel rebuilds a model from an EncodeModel envelope.
+func DecodeModel(data []byte) (Model, error) {
+	var env modelEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("regress: decode model envelope: %w", err)
+	}
+	switch env.Kind {
+	case "linear":
+		var st linearState
+		if err := json.Unmarshal(env.State, &st); err != nil {
+			return nil, fmt.Errorf("regress: decode linear model: %w", err)
+		}
+		if st.Nz == nil {
+			return nil, fmt.Errorf("regress: linear model missing normalizer")
+		}
+		return &linearModel{nz: st.Nz, w: st.W, b: st.B}, nil
+	case "poly-pca":
+		var st polyPCAState
+		if err := json.Unmarshal(env.State, &st); err != nil {
+			return nil, fmt.Errorf("regress: decode poly-pca model: %w", err)
+		}
+		if st.Nz == nil || st.PCA == nil || st.PCA.Components == nil {
+			return nil, fmt.Errorf("regress: poly-pca model missing state")
+		}
+		inner, err := DecodeModel(st.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return &polyPCAModel{nz: st.Nz, pca: st.PCA, inner: inner}, nil
+	case "mars":
+		var st marsState
+		if err := json.Unmarshal(env.State, &st); err != nil {
+			return nil, fmt.Errorf("regress: decode mars model: %w", err)
+		}
+		if st.Nz == nil {
+			return nil, fmt.Errorf("regress: mars model missing normalizer")
+		}
+		bases := make([]basis, len(st.Bases))
+		for i, b := range st.Bases {
+			bases[i] = basis(b)
+		}
+		return &marsModel{nz: st.Nz, bases: bases, coef: st.Coef}, nil
+	default:
+		return nil, fmt.Errorf("regress: unknown model kind %q", env.Kind)
+	}
+}

@@ -1,0 +1,83 @@
+package regress
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// synthData builds a small nonlinear regression problem.
+func synthData(n, d int, seed int64) (*linalg.Matrix, []float64, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := linalg.NewMatrix(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X.SetRow(i, row)
+		y[i] = 2*row[0] - 0.7*row[1] + 0.3*row[0]*row[1] + 0.1*rng.NormFloat64()
+	}
+	probes := make([][]float64, 16)
+	for i := range probes {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 2
+		}
+		probes[i] = p
+	}
+	return X, y, probes
+}
+
+// TestModelRoundTrip: every trainer family must round-trip through
+// EncodeModel/DecodeModel with bit-identical predictions — the registry's
+// contract that a persisted calibration screens exactly like the
+// original.
+func TestModelRoundTrip(t *testing.T) {
+	X, y, probes := synthData(40, 4, 7)
+	trainers := []Trainer{
+		Ridge{},
+		Ridge{Lambda: 1e-4},
+		PolyPCA{Components: 3},
+		MARS{Interactions: true},
+	}
+	for _, tr := range trainers {
+		m, err := tr.Fit(X, y)
+		if err != nil {
+			t.Fatalf("%s: fit: %v", tr.Name(), err)
+		}
+		enc, err := EncodeModel(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tr.Name(), err)
+		}
+		back, err := DecodeModel(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tr.Name(), err)
+		}
+		for i, p := range probes {
+			want, got := m.Predict(p), back.Predict(p)
+			if want != got {
+				t.Fatalf("%s: probe %d: decoded model predicts %v, original %v", tr.Name(), i, got, want)
+			}
+		}
+	}
+}
+
+// TestDecodeModelRejectsGarbage: malformed envelopes must error, never
+// panic or yield a half-built model.
+func TestDecodeModelRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`not json`,
+		`{"kind":"alien","state":{}}`,
+		`{"kind":"linear","state":{"w":[1,2]}}`,
+		`{"kind":"poly-pca","state":{}}`,
+		`{"kind":"mars","state":{"coef":[1]}}`,
+	} {
+		if _, err := DecodeModel([]byte(bad)); err == nil {
+			t.Fatalf("DecodeModel(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -26,6 +26,11 @@ go test -race -short -count=2 -timeout 30m ./internal/netfloor/
 # detector — admission races, concurrent drain, crash-restart-resume and
 # fair scheduling see more than one goroutine interleaving.
 go test -race -count=2 -timeout 30m ./internal/lotserver/
+# Versioned-calibration lifecycle soak: the model registry, shadow scoring,
+# canary pinning, automatic rollback and journal version pinning repeated
+# under the race detector.
+go test -race -count=2 -timeout 30m ./internal/modelreg/
+go test -race -count=2 -timeout 30m -run 'Rollout|Shadow|Canary|Drift|Model' ./internal/lotserver/ ./internal/lotrun/
 # Bench smoke: one iteration of the pipeline benchmarks, which also assert
 # parallel results bit-identical to serial.
 go test -run '^$' -bench 'Calibrate|GA' -benchtime 1x .
