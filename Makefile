@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmtcheck vet build test race netsoak lotsoak rolloutsoak bench ci
+.PHONY: all fmt fmtcheck vet build test race netsoak lotsoak rolloutsoak bench profile ci
 
 all: build
 
@@ -53,15 +53,27 @@ rolloutsoak:
 
 # Serial-vs-parallel benchmarks: lot orchestration (BENCH_lotrun.json),
 # the off-line calibration pipeline (BENCH_pipeline.json), the
-# distributed floor over in-process pipes (BENCH_netfloor.json) and the
+# distributed floor over in-process pipes (BENCH_netfloor.json), the
 # multi-lot screening service (BENCH_server.json: throughput plus
-# p50/p95/p99 device latency). All assert the parallel/distributed results
-# bit-identical to the serial ones before reporting.
+# p50/p95/p99 device latency) and the batched screening kernel
+# (BENCH_batch.json: devices/sec at K=1/4/16/64). All assert the
+# parallel/distributed/batched results bit-identical to the serial ones
+# before reporting.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkLot|BenchmarkNetLot|BenchmarkCalibrate|BenchmarkGA|BenchmarkServe|BenchmarkShadowScreen)$$' -benchtime 2x .
+	$(GO) test -run '^$$' -bench '^(BenchmarkLot|BenchmarkNetLot|BenchmarkCalibrate|BenchmarkGA|BenchmarkServe|BenchmarkShadowScreen|BenchmarkScreenBatch)$$' -benchtime 2x .
 	@echo "--- BENCH_lotrun.json"; cat BENCH_lotrun.json
 	@echo "--- BENCH_pipeline.json"; cat BENCH_pipeline.json
 	@echo "--- BENCH_netfloor.json"; cat BENCH_netfloor.json
 	@echo "--- BENCH_server.json"; cat BENCH_server.json
+	@echo "--- BENCH_batch.json"; cat BENCH_batch.json
+
+# CPU profile of the batched production floor: build sigtest, screen a
+# 200-device behavioral lot through the batched kernel, and print the
+# hottest frames. floor.pprof is left behind for `go tool pprof`
+# drill-down; swap -batch 16 for -batch 1 to profile the serial path.
+profile:
+	$(GO) build -o bin/sigtest ./cmd/sigtest
+	./bin/sigtest -dut rf2401 -quick -produce 200 -faults -batch 16 -cpuprofile floor.pprof
+	$(GO) tool pprof -top -nodecount 15 bin/sigtest floor.pprof
 
 ci: fmtcheck vet build race netsoak lotsoak rolloutsoak

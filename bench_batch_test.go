@@ -1,0 +1,102 @@
+// Batched screening kernel benchmark (`make bench`). The same seeded lot
+// is screened through floor.Engine.ScreenBatch at increasing batch sizes;
+// per-device wall time, devices/sec and the speedup over K=1 land in
+// BENCH_batch.json. Bins are asserted identical to the serial
+// ScreenDevice loop at every K — the speedup must come entirely from
+// batching the FFT and prediction math, never from changing results.
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floor"
+)
+
+// BenchmarkScreenBatch sweeps the kernel batch size over one lot and
+// writes the throughput table to BENCH_batch.json. The k=1 sub-benchmark
+// is the serial ScreenDevice loop — exactly what every orchestrator
+// (lotrun, netfloor, lotserver) executes at batch size 1 — so the
+// reported speedups are the real floor-throughput gain of raising the
+// batch size.
+func BenchmarkScreenBatch(b *testing.B) {
+	f := getLotBench(b)
+	ctx := context.Background()
+
+	serial := make([]floor.DeviceResult, len(f.lot))
+	for i, d := range f.lot {
+		serial[i] = f.engine.ScreenDevice(ctx, i, d, core.DeviceSeed(benchLotSeed, i), nil)
+	}
+
+	out := map[string]any{
+		"devices": benchLotDevices,
+		"seed":    benchLotSeed,
+	}
+	var k1PerDev float64
+	b.Run("k=1", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			for i, d := range f.lot {
+				res := f.engine.ScreenDevice(ctx, i, d, core.DeviceSeed(benchLotSeed, i), nil)
+				if res.Bin != serial[i].Bin {
+					b.Fatalf("device %d binned %v vs %v on the reference pass", i, res.Bin, serial[i].Bin)
+				}
+			}
+		}
+		k1PerDev = float64(b.Elapsed().Nanoseconds()) / float64(b.N*benchLotDevices)
+		b.ReportMetric(k1PerDev, "ns/device")
+		b.ReportMetric(1e9/k1PerDev, "devices/sec")
+		out["k1_ns_per_device"] = k1PerDev
+		out["k1_devices_per_sec"] = 1e9 / k1PerDev
+	})
+	for _, k := range []int{4, 16, 64} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var batches [][]floor.BatchDevice
+			for start := 0; start < len(f.lot); start += k {
+				end := start + k
+				if end > len(f.lot) {
+					end = len(f.lot)
+				}
+				batch := make([]floor.BatchDevice, 0, end-start)
+				for i := start; i < end; i++ {
+					batch = append(batch, floor.BatchDevice{
+						Index: i, Device: f.lot[i], Seed: core.DeviceSeed(benchLotSeed, i),
+					})
+				}
+				batches = append(batches, batch)
+			}
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				for _, batch := range batches {
+					for _, res := range f.engine.ScreenBatch(ctx, batch, nil) {
+						if res.Bin != serial[res.Index].Bin {
+							b.Fatalf("device %d binned %v at k=%d vs %v serially",
+								res.Index, res.Bin, k, serial[res.Index].Bin)
+						}
+					}
+				}
+			}
+			perDev := float64(b.Elapsed().Nanoseconds()) / float64(b.N*benchLotDevices)
+			b.ReportMetric(perDev, "ns/device")
+			b.ReportMetric(1e9/perDev, "devices/sec")
+			out[fmt.Sprintf("k%d_ns_per_device", k)] = perDev
+			out[fmt.Sprintf("k%d_devices_per_sec", k)] = 1e9 / perDev
+			if k1PerDev > 0 {
+				b.ReportMetric(k1PerDev/perDev, "speedup_vs_k1")
+				out[fmt.Sprintf("k%d_speedup_vs_k1", k)] = k1PerDev / perDev
+			}
+		})
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_batch.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -37,6 +37,8 @@ import (
 	"strings"
 	"syscall"
 
+	"runtime/pprof"
+
 	"repro/internal/lotrun"
 	"repro/internal/lotserver"
 	"repro/internal/netfloor"
@@ -63,6 +65,8 @@ func main() {
 	rollout := flag.String("rollout", "", "calibration-rollout control op for -server: status, shadow, promote or demote")
 	version := flag.Int("version", 0, "staged calibration version for -rollout shadow")
 	reason := flag.String("reason", "", "demotion note for -rollout demote")
+	batch := flag.Int("batch", 1, "devices per batched screening kernel call (with -faults); bins are bit-identical at every batch size; with -remote, each site caps it by its own -batch")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
 	flag.Parse()
 
 	if *faultP < 0 || *faultP > 1 {
@@ -82,6 +86,26 @@ func main() {
 	}
 	if (*sites > 1 || *journal != "" || *resume || *remote != "") && !*withFaults {
 		usageFail("-sites/-journal/-resume/-remote orchestrate the fault-tolerant floor; add -faults")
+	}
+	if *batch < 1 {
+		usageFail("-batch %d is not a batch size; need an integer >= 1", *batch)
+	}
+	if *batch > 1 && !*withFaults {
+		usageFail("-batch drives the floor engine's batched kernel; add -faults")
+	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fail("%v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+			fmt.Printf("      cpu profile written to %s\n", *cpuprofile)
+		}()
 	}
 	if *remote != "" && *sites > 1 {
 		usageFail("-remote and -sites are different floors: remote screening has one site per address")
@@ -141,7 +165,7 @@ func main() {
 
 	fmt.Printf("[4/4] production run: %d devices against limits...\n", *produce)
 	if *withFaults {
-		runFaultyFloor(r, *sites, *journal, *resume, remotes)
+		runFaultyFloor(r, *sites, *batch, *journal, *resume, remotes)
 		return
 	}
 	var pass, escape, overkill int
@@ -174,8 +198,9 @@ func main() {
 // spec test for devices that never capture cleanly. With -sites > 1 or a
 // -journal the lot runs under the supervised concurrent orchestrator;
 // with -remote it runs on the distributed floor across networked
-// sitetester processes. Bins are identical on every floor.
-func runFaultyFloor(r *rig.Rig, sites int, journal string, resume bool, remotes []string) {
+// sitetester processes. Bins are identical on every floor — and at every
+// -batch size, which only changes how many devices share one kernel call.
+func runFaultyFloor(r *rig.Rig, sites, batch int, journal string, resume bool, remotes []string) {
 	fmt.Printf("      fault-tolerant floor: %.0f%% per-insertion fault probability, gate with %d components\n",
 		100*r.Params.FaultP, r.Gate.Components())
 
@@ -185,6 +210,7 @@ func runFaultyFloor(r *rig.Rig, sites int, journal string, resume bool, remotes 
 			Remotes:     remotes,
 			JournalPath: journal,
 			NetSeed:     r.Params.Seed,
+			Batch:       batch,
 			Logf:        logf,
 		}}
 		run := c.Run
@@ -197,9 +223,9 @@ func runFaultyFloor(r *rig.Rig, sites int, journal string, resume bool, remotes 
 		}
 		fmt.Print(nrep.Lot)
 		fmt.Print(nrep)
-	case sites > 1 || journal != "":
+	case sites > 1 || journal != "" || batch > 1:
 		o := &lotrun.Orchestrator{Engine: r.Engine, Opt: lotrun.Options{
-			Sites: sites, JournalPath: journal,
+			Sites: sites, JournalPath: journal, Batch: batch,
 		}}
 		run := o.Run
 		if resume {

@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -44,6 +45,8 @@ func main() {
 	name := flag.String("name", "", "site name in coordinator reports (default the listen address)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "liveness beacon period")
 	idle := flag.Duration("idle", 0, "drop a silent coordinator connection after this long (default 10x heartbeat)")
+	batch := flag.Int("batch", 1, "max devices per batched assignment advertised to coordinators (1 = one device per Assign; bins are bit-identical at every batch size)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the service run to this file (pprof format)")
 	flag.Parse()
 
 	if *faultP < 0 || *faultP > 1 {
@@ -57,6 +60,23 @@ func main() {
 	}
 	if *heartbeat <= 0 {
 		usageFail("-heartbeat %v is not a period; need a positive duration", *heartbeat)
+	}
+	if *batch < 1 {
+		usageFail("-batch %d is not a batch size; need an integer >= 1", *batch)
+	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fail("%v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+			fmt.Printf("sitetester: cpu profile written to %s\n", *cpuprofile)
+		}()
 	}
 
 	fmt.Printf("sitetester: building rig (dut=%s seed=%d produce=%d)...\n", *dut, *seed, *produce)
@@ -76,6 +96,7 @@ func main() {
 		LotSeed:           r.Params.Seed,
 		HeartbeatInterval: *heartbeat,
 		IdleTimeout:       *idle,
+		MaxBatch:          *batch,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/linalg"
+	"repro/internal/lna"
+	"repro/internal/regress"
+	"repro/internal/rf"
+	"repro/internal/wave"
+)
+
+// BatchAcquirer is the batched form of TestConfig.AcquireWithFaults: the
+// time-domain half of an acquisition (envelope run, noise, quantization,
+// window, zero-pad) is produced per device through an rf.BatchRunner, and
+// the FFT half runs once over the whole batch through the cached-plan
+// batched spectrum kernel. Signatures are bit-identical to the serial
+// acquisition: the time-domain stages reuse the exact serial code, and the
+// magnitudes of the batched FFT match MagnitudeSpectrum bin for bin.
+//
+// A BatchAcquirer owns per-device scratch and is not safe for concurrent
+// use: give each worker its own.
+type BatchAcquirer struct {
+	cfg    *TestConfig
+	runner *rf.BatchRunner
+	padN   int
+}
+
+// NewBatchAcquirer validates cfg and prepares the shared per-stimulus state
+// for stim.
+func NewBatchAcquirer(cfg *TestConfig, stim *wave.PWL) (*BatchAcquirer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	runner, err := rf.NewBatchRunner(cfg.Board)
+	if err != nil {
+		return nil, err
+	}
+	runner.Prepare(stim.At)
+	return &BatchAcquirer{cfg: cfg, runner: runner, padN: dsp.NextPow2(cfg.Board.CaptureN)}, nil
+}
+
+// CaptureTime runs one device up to (and including) the windowed,
+// zero-padded time record the FFT consumes. The stage order and the rng
+// consumption match AcquireWithFaults exactly, so per-device noise streams
+// are preserved. Panics from fault hooks propagate like the serial path.
+func (ba *BatchAcquirer) CaptureTime(dut rf.EnvelopeDevice, rng *rand.Rand, flt *rf.InsertionFaults) ([]float64, error) {
+	y, err := ba.runner.RunDevice(dut, flt)
+	if err != nil {
+		return nil, err
+	}
+	if rng != nil && ba.cfg.NoiseSigmaV > 0 {
+		y = wave.AddNoise(rng, y, ba.cfg.NoiseSigmaV)
+	}
+	if ba.cfg.DigitizerBits > 0 {
+		y = quantize(y, ba.cfg.DigitizerBits, ba.cfg.digitizerFullScale())
+	}
+	windowed := ba.cfg.Window.Apply(y)
+	return dsp.ZeroPad(windowed, ba.padN), nil
+}
+
+// Signatures turns a batch of CaptureTime records into feature signatures:
+// one plan lookup and one contiguous scratch region drive every FFT, then
+// each magnitude spectrum is band-averaged exactly like the serial path.
+// Records must all come from the same configuration (equal lengths).
+func (ba *BatchAcquirer) Signatures(records [][]float64) [][]float64 {
+	specs := dsp.MagnitudeSpectrumBatch(records)
+	out := make([][]float64, len(specs))
+	for i, sp := range specs {
+		out[i] = compressSpectrum(sp, ba.cfg.FeatureBins)
+	}
+	return out
+}
+
+// PredictScratch holds the reusable buffers of the scratch and batched
+// calibration predict paths. A zero value is ready to use; not safe for
+// concurrent use.
+type PredictScratch struct {
+	row   regress.Scratch
+	batch regress.BatchScratch
+	col   []float64
+	x     *linalg.Matrix
+}
+
+// PredictScratch is Calibration.Predict without per-call allocations: each
+// spec model that implements the scratch fast path predicts through reused
+// buffers, bit-identical to Predict. Models without the fast path (none of
+// the built-in families) fall back to Predict.
+func (c *Calibration) PredictScratch(signature []float64, s *PredictScratch) lna.Specs {
+	var out lna.Specs
+	v := [3]*float64{&out.GainDB, &out.NFDB, &out.IIP3DBm}
+	for i, m := range c.Models {
+		if sp, ok := m.(regress.ScratchPredictor); ok {
+			*v[i] = sp.PredictScratch(signature, &s.row)
+		} else {
+			*v[i] = m.Predict(signature)
+		}
+	}
+	return out
+}
+
+// PredictBatch maps K stacked signatures to K spec predictions, pushing the
+// whole batch through each model stage as matrix-matrix products. out must
+// have X.Rows entries; out[i] is bit-identical to Predict of row i.
+func (c *Calibration) PredictBatch(X *linalg.Matrix, out []lna.Specs, s *PredictScratch) {
+	n := X.Rows
+	if cap(s.col) < n {
+		s.col = make([]float64, n)
+	}
+	col := s.col[:n]
+	for si, m := range c.Models {
+		if bp, ok := m.(regress.BatchPredictor); ok {
+			bp.PredictBatch(X, col, &s.batch)
+		} else {
+			for i := 0; i < n; i++ {
+				col[i] = m.Predict(X.Data[i*X.Cols : (i+1)*X.Cols])
+			}
+		}
+		for i := 0; i < n; i++ {
+			switch si {
+			case 0:
+				out[i].GainDB = col[i]
+			case 1:
+				out[i].NFDB = col[i]
+			default:
+				out[i].IIP3DBm = col[i]
+			}
+		}
+	}
+}
+
+// StackSignatures packs equal-length signatures into the K x m matrix
+// PredictBatch consumes, reusing the scratch matrix across batches.
+func (s *PredictScratch) StackSignatures(sigs [][]float64) *linalg.Matrix {
+	n := 0
+	m := 0
+	for _, sig := range sigs {
+		n++
+		m = len(sig)
+	}
+	if s.x == nil || cap(s.x.Data) < n*m {
+		s.x = linalg.NewMatrix(n, m)
+	}
+	s.x.Rows, s.x.Cols = n, m
+	s.x.Data = s.x.Data[:n*m]
+	for i, sig := range sigs {
+		copy(s.x.Data[i*m:(i+1)*m], sig)
+	}
+	return s.x
+}

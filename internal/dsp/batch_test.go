@@ -1,0 +1,74 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPeakBinEdges pins the clamping contract: out-of-range and empty
+// search windows return -1 instead of an index that panics the caller.
+func TestPeakBinEdges(t *testing.T) {
+	spec := []float64{1, 5, 2, 9, 3}
+	cases := []struct {
+		name   string
+		spec   []float64
+		lo, hi int
+		want   int
+	}{
+		{"full range", spec, 0, len(spec), 3},
+		{"interior window", spec, 0, 3, 1},
+		{"clamped both ends", spec, -5, 99, 3},
+		{"empty spectrum", nil, 0, 1, -1},
+		{"empty spectrum full ints", []float64{}, -3, 7, -1},
+		{"lo past end", spec, len(spec), len(spec) + 4, -1},
+		{"lo far past end", spec, 100, 200, -1},
+		{"lo > hi", spec, 4, 2, -1},
+		{"lo == hi", spec, 2, 2, -1},
+		{"single bin", spec, 3, 4, 3},
+		{"negative hi", spec, 0, -1, -1},
+	}
+	for _, tc := range cases {
+		if got := PeakBin(tc.spec, tc.lo, tc.hi); got != tc.want {
+			t.Errorf("%s: PeakBin(len=%d, %d, %d) = %d, want %d",
+				tc.name, len(tc.spec), tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+// TestMagnitudeSpectrumBatchBitIdentity checks the batched transform against
+// the serial path bit for bit, across batch sizes and both power-of-two and
+// Bluestein lengths.
+func TestMagnitudeSpectrumBatchBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 128, 100} {
+		for _, k := range []int{1, 3, 16} {
+			xs := make([][]float64, k)
+			for i := range xs {
+				xs[i] = make([]float64, n)
+				for j := range xs[i] {
+					xs[i][j] = rng.NormFloat64()
+				}
+			}
+			got := MagnitudeSpectrumBatch(xs)
+			if len(got) != k {
+				t.Fatalf("n=%d k=%d: %d outputs", n, k, len(got))
+			}
+			for i, x := range xs {
+				want := MagnitudeSpectrum(x)
+				if len(got[i]) != len(want) {
+					t.Fatalf("n=%d k=%d rec %d: len %d vs %d", n, k, i, len(got[i]), len(want))
+				}
+				for j := range want {
+					if math.Float64bits(got[i][j]) != math.Float64bits(want[j]) {
+						t.Fatalf("n=%d k=%d rec %d bin %d: %x vs %x",
+							n, k, i, j, math.Float64bits(got[i][j]), math.Float64bits(want[j]))
+					}
+				}
+			}
+		}
+	}
+	if out := MagnitudeSpectrumBatch(nil); out != nil {
+		t.Fatal("nil batch should return nil")
+	}
+}

@@ -61,7 +61,9 @@ func BinFrequency(k, n int, sampleRateHz float64) float64 {
 }
 
 // PeakBin returns the index of the largest magnitude in spectrum, searching
-// bins [lo, hi).
+// bins [lo, hi). Both bounds are clamped to the spectrum; if the clamped
+// range is empty (empty spectrum, lo >= hi, or lo beyond the last bin) it
+// returns -1 instead of an out-of-range index.
 func PeakBin(spectrum []float64, lo, hi int) int {
 	if lo < 0 {
 		lo = 0
@@ -69,8 +71,11 @@ func PeakBin(spectrum []float64, lo, hi int) int {
 	if hi > len(spectrum) {
 		hi = len(spectrum)
 	}
+	if lo >= hi {
+		return -1
+	}
 	best := lo
-	for i := lo; i < hi; i++ {
+	for i := lo + 1; i < hi; i++ {
 		if spectrum[i] > spectrum[best] {
 			best = i
 		}

@@ -283,20 +283,19 @@ func (e *Engine) ScreenDevice(ctx context.Context, index int, d *core.Device, se
 			continue
 		}
 		verdict := VerdictClean
+		d := -1.0
 		if e.Gate != nil {
-			verdict = e.Gate.Classify(capture)
+			verdict, d = e.Gate.Classify(capture)
 		}
 		res.Verdicts = append(res.Verdicts, verdict)
 		if verdict == VerdictClean {
 			sig = capture
+			res.CleanD = d
 			resolved = true
 			break
 		}
 	}
 	if resolved {
-		if e.Gate != nil {
-			res.CleanD, _ = e.Gate.Distance(sig)
-		}
 		res.Pred = e.Cal.Predict(sig)
 		if e.PredPass(res.Pred) {
 			res.Bin = BinPass

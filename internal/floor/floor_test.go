@@ -181,7 +181,7 @@ func TestGateClassifiesCleanAndFaulted(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if f.gate.Classify(sig) == VerdictClean {
+		if v, _ := f.gate.Classify(sig); v == VerdictClean {
 			cleanOK++
 		}
 	}
@@ -197,7 +197,7 @@ func TestGateClassifiesCleanAndFaulted(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if v := f.gate.Classify(sig); v != VerdictInvalid {
+		if v, _ := f.gate.Classify(sig); v != VerdictInvalid {
 			t.Fatalf("contactor-open capture classified %v, want INVALID", v)
 		}
 	}

@@ -237,19 +237,23 @@ func (g *Gate) EnvelopeOutliers(sig []float64) int {
 	return out
 }
 
-// Classify gates one capture before prediction.
-func (g *Gate) Classify(sig []float64) Verdict {
+// Classify gates one capture before prediction. It also returns the raw
+// reduced-space distance it computed on the way (the same value Distance
+// returns first), so callers that record the distance of an accepted
+// capture — the drift watchdog's observable — don't pay for a second
+// projection.
+func (g *Gate) Classify(sig []float64) (Verdict, float64) {
 	outliers := g.EnvelopeOutliers(sig)
 	d, res := g.Distance(sig)
 	res /= g.resSigma
 	frac := float64(outliers) / float64(len(g.Mean))
 	switch {
 	case frac > g.opt.MaxOutlierFrac || d > g.InvalidD || res > g.InvalidRes:
-		return VerdictInvalid
+		return VerdictInvalid, d
 	case outliers > 0 || d > g.SuspectD || res > g.SuspectRes:
-		return VerdictSuspect
+		return VerdictSuspect, d
 	default:
-		return VerdictClean
+		return VerdictClean, d
 	}
 }
 

@@ -47,7 +47,9 @@ func TestGateJSONRoundTrip(t *testing.T) {
 		if d1 != d2 || r1 != r2 {
 			t.Fatalf("probe %d: distance (%v,%v) != (%v,%v)", i, d2, r2, d1, r1)
 		}
-		if g.Classify(s) != back.Classify(s) {
+		v1, dc1 := g.Classify(s)
+		v2, dc2 := back.Classify(s)
+		if v1 != v2 || dc1 != dc2 {
 			t.Fatalf("probe %d: classification changed after round-trip", i)
 		}
 	}

@@ -1,0 +1,81 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(rng *rand.Rand, r, c int, sparse bool) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		if sparse && rng.Intn(3) == 0 {
+			continue // leave exact zeros so the no-zero-skip contract is exercised
+		}
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestMatMulIntoMatchesDot checks that every element of a MatMulInto product
+// is bit-identical to the Dot of the corresponding row and column — the
+// contract the batched predict path relies on when it stacks K signature
+// vectors into a matrix.
+func TestMatMulIntoMatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 2}, {16, 64, 8}, {7, 4, 9}} {
+		n, d, k := dims[0], dims[1], dims[2]
+		a := randMatrix(rng, n, d, true)
+		b := randMatrix(rng, d, k, true)
+		out := NewMatrix(n, k)
+		for i := range out.Data {
+			out.Data[i] = rng.NormFloat64() // MatMulInto must fully overwrite
+		}
+		MatMulInto(out, a, b)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				want := Dot(a.Row(i), b.Col(j))
+				if math.Float64bits(out.At(i, j)) != math.Float64bits(want) {
+					t.Fatalf("dims %v elem (%d,%d): %x vs %x", dims, i, j,
+						math.Float64bits(out.At(i, j)), math.Float64bits(want))
+				}
+			}
+		}
+		// Also against MulVec column by column.
+		for j := 0; j < k; j++ {
+			mv := a.MulVec(b.Col(j))
+			for i := 0; i < n; i++ {
+				if math.Float64bits(out.At(i, j)) != math.Float64bits(mv[i]) {
+					t.Fatalf("dims %v MulVec col %d row %d mismatch", dims, j, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPCATransformIntoBitIdentity checks scratch and batched PCA projection
+// against the allocating Transform, bit for bit.
+func TestPCATransformIntoBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data := randMatrix(rng, 24, 10, false)
+	p := ComputePCA(data, 4)
+
+	probe := randMatrix(rng, 9, 10, false)
+	scores := NewMatrix(probe.Rows, p.Components.Cols)
+	centered := NewMatrix(probe.Rows, probe.Cols)
+	p.TransformBatchInto(scores, centered, probe)
+	into := make([]float64, p.Components.Cols)
+	for i := 0; i < probe.Rows; i++ {
+		row := probe.Row(i)
+		want := p.Transform(row)
+		p.TransformInto(row, into)
+		for c := range want {
+			if math.Float64bits(into[c]) != math.Float64bits(want[c]) {
+				t.Fatalf("TransformInto row %d comp %d mismatch", i, c)
+			}
+			if math.Float64bits(scores.At(i, c)) != math.Float64bits(want[c]) {
+				t.Fatalf("TransformBatchInto row %d comp %d mismatch", i, c)
+			}
+		}
+	}
+}

@@ -133,6 +133,34 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	return out
 }
 
+// MatMulInto computes out = m * b without allocating. Unlike Mul it never
+// skips zero elements: each out(i,j) accumulates over k in increasing order,
+// the exact term sequence Dot and MulVec produce, so a matrix assembled from
+// stacked row vectors multiplies to results bit-identical (including signed
+// zeros) to the per-vector path. out must be preallocated to m.Rows x b.Cols
+// and must not alias m or b.
+func MatMulInto(out, m, b *Matrix) {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: MatMulInto dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != m.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: MatMulInto output %dx%d, want %dx%d", out.Rows, out.Cols, m.Rows, b.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for j := range oi {
+			oi[j] = 0
+		}
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for k, mik := range mi {
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bkj := range bk {
+				oi[j] += mik * bkj
+			}
+		}
+	}
+}
+
 // MulVec returns m * v as a new slice.
 func (m *Matrix) MulVec(v []float64) []float64 {
 	if m.Cols != len(v) {

@@ -60,6 +60,46 @@ func (p *PCA) Transform(x []float64) []float64 {
 	return out
 }
 
+// TransformInto projects one observation into a caller-provided score
+// slice of length Components.Cols, allocation-free and bit-identical to
+// Transform (same fused center-multiply-accumulate loop).
+func (p *PCA) TransformInto(x, out []float64) {
+	d := len(p.Mean)
+	k := p.Components.Cols
+	if len(out) != k {
+		panic("linalg: TransformInto output length mismatch")
+	}
+	for c := 0; c < k; c++ {
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += (x[j] - p.Mean[j]) * p.Components.At(j, c)
+		}
+		out[c] = s
+	}
+}
+
+// TransformBatchInto projects every row of data (n x d) into scores
+// (n x Components.Cols) as one centered matrix-matrix product: rows are
+// centered into the caller's scratch matrix, then pushed through Components
+// with MatMulInto. Per score this performs subtract, multiply, accumulate
+// over j in increasing order — the same FP sequence as Transform — so the
+// batched scores are bit-identical to the row-at-a-time path. centered must
+// be n x d and scores n x k; neither may alias data.
+func (p *PCA) TransformBatchInto(scores, centered, data *Matrix) {
+	d := len(p.Mean)
+	if data.Cols != d || centered.Rows != data.Rows || centered.Cols != d {
+		panic("linalg: TransformBatchInto shape mismatch")
+	}
+	for i := 0; i < data.Rows; i++ {
+		ci := centered.Data[i*d : (i+1)*d]
+		di := data.Data[i*d : (i+1)*d]
+		for j, v := range di {
+			ci[j] = v - p.Mean[j]
+		}
+	}
+	MatMulInto(scores, centered, p.Components)
+}
+
 // TransformAll projects every row of data.
 func (p *PCA) TransformAll(data *Matrix) *Matrix {
 	out := NewMatrix(data.Rows, p.Components.Cols)

@@ -62,6 +62,13 @@ type Options struct {
 	// The first insertion always runs; an expired deadline stops further
 	// retests and routes the device to fallback.
 	DeviceTimeout time.Duration
+	// Batch is how many devices a site screens per engine call through the
+	// batched kernel (floor.Engine.ScreenBatch): shared stimulus state, one
+	// device-batched FFT per retest round, matrix-matrix prediction.
+	// Default (or 1) keeps the serial per-device path. Bins are
+	// bit-identical at every batch size; only throughput changes. A site
+	// takes whatever is queued up to Batch, so partial batches are normal.
+	Batch int
 	// JournalSyncS is the modeled cost of one journal record fsync charged
 	// to the lot economics (default 0.5 ms). Modeled rather than measured
 	// so serial, concurrent and resumed lots charge identically.
@@ -111,6 +118,12 @@ func (o *Options) defaults() error {
 	}
 	if o.Sites == 0 {
 		o.Sites = 1
+	}
+	if o.Batch < 0 {
+		return fmt.Errorf("lotrun: batch %d; need >= 1", o.Batch)
+	}
+	if o.Batch == 0 {
+		o.Batch = 1
 	}
 	if o.JournalSyncS <= 0 {
 		o.JournalSyncS = 0.5e-3
@@ -351,7 +364,7 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 		var wg sync.WaitGroup
 		for s := 0; s < opt.Sites; s++ {
 			wg.Add(1)
-			go o.worker(runCtx, s, sites[s], holder, lotSeed, lot, faults, queue, out, &wg)
+			go o.worker(runCtx, s, opt.Batch, sites[s], holder, lotSeed, lot, faults, queue, out, &wg)
 		}
 		go func() {
 			wg.Wait()
@@ -481,12 +494,20 @@ func logf(f func(string, ...any), format string, args ...any) {
 // worker is one tester site: it pulls device indices from the shared
 // queue, screens them under supervision, and runs its circuit breaker.
 // While the breaker holds the site in quarantine the shared queue drains
-// to the healthy sites.
-func (o *Orchestrator) worker(ctx context.Context, site int, st *siteState, holder *engineHolder,
+// to the healthy sites. With kBatch > 1 the site greedily takes up to
+// kBatch queued devices per engine call and screens them through the
+// batched kernel — bins stay bit-identical, only the kernel amortization
+// changes.
+func (o *Orchestrator) worker(ctx context.Context, site, kBatch int, st *siteState, holder *engineHolder,
 	lotSeed int64, lot []*core.Device, faults *floor.FaultModel,
 	queue <-chan int, out chan<- floor.DeviceResult, wg *sync.WaitGroup) {
 	defer wg.Done()
-	for idx := range queue {
+	idxs := make([]int, 0, kBatch)
+	for {
+		idx, ok := <-queue
+		if !ok {
+			return
+		}
 		if ctx.Err() != nil {
 			return
 		}
@@ -500,19 +521,45 @@ func (o *Orchestrator) worker(ctx context.Context, site int, st *siteState, hold
 				}
 			}
 		}
-		res := o.screenSupervised(ctx, site, idx, lot[idx], lotSeed, faults, holder)
-		if res.Err != "" && ctx.Err() != nil {
-			// The lot was cancelled while this device was on the tester: its
-			// result is a truncation, not an outcome. Drop it so it is never
-			// journaled; Resume re-screens it from the same per-device seed.
-			return
+		idxs = append(idxs[:0], idx)
+	fill:
+		for len(idxs) < kBatch {
+			select {
+			case next, more := <-queue:
+				if !more {
+					break fill
+				}
+				idxs = append(idxs, next)
+			default:
+				break fill
+			}
 		}
-		st.devices++
-		st.insertions += res.Insertions
-		st.br.Record(res)
-		select {
-		case out <- res:
-		case <-ctx.Done():
+		var results []floor.DeviceResult
+		if len(idxs) == 1 {
+			results = []floor.DeviceResult{o.screenSupervised(ctx, site, idxs[0], lot[idxs[0]], lotSeed, faults, holder)}
+		} else {
+			results = o.screenBatchSupervised(ctx, site, idxs, lot, lotSeed, faults, holder)
+		}
+		truncated := false
+		for _, res := range results {
+			if res.Err != "" && ctx.Err() != nil {
+				// The lot was cancelled while this device was on the tester:
+				// its result is a truncation, not an outcome. Drop it so it
+				// is never journaled; Resume re-screens it from the same
+				// per-device seed.
+				truncated = true
+				continue
+			}
+			st.devices++
+			st.insertions += res.Insertions
+			st.br.Record(res)
+			select {
+			case out <- res:
+			case <-ctx.Done():
+				return
+			}
+		}
+		if truncated {
 			return
 		}
 	}
@@ -547,4 +594,56 @@ func (o *Orchestrator) screenSupervised(ctx context.Context, site, idx int, d *c
 	r.Site = site
 	res = r
 	return res
+}
+
+// screenBatchSupervised screens a batch of devices through the engine's
+// batched kernel with the same supervision contract as screenSupervised:
+// the per-device hook runs inside a per-device supervised region (a hook
+// panic fallback-bins that device and the rest of the batch still
+// screens), and the context deadline scales with the batch size so a
+// batch's per-device wall budget matches the serial path's.
+func (o *Orchestrator) screenBatchSupervised(ctx context.Context, site int, idxs []int, lot []*core.Device,
+	lotSeed int64, faults *floor.FaultModel, holder *engineHolder) []floor.DeviceResult {
+	eng := holder.engine()
+	dctx := ctx
+	if o.Opt.DeviceTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, time.Duration(len(idxs))*o.Opt.DeviceTimeout)
+		defer cancel()
+	}
+
+	results := make([]floor.DeviceResult, len(idxs))
+	batch := make([]floor.BatchDevice, 0, len(idxs))
+	screened := make([]int, 0, len(idxs)) // position in results per batch entry
+	for i, idx := range idxs {
+		hookOK := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					// Keep TruePass if it was already computed; the rest of
+					// the result mirrors the serial hook-panic outcome.
+					results[i].Index = idx
+					results[i].CleanD = -1
+					results[i].Site = site
+					results[i].Bin = floor.BinFallback
+					results[i].Insertions = 1
+					results[i].Err = fmt.Sprintf("panic: %v", r)
+				}
+			}()
+			results[i].TruePass = eng.TruePass(lot[idx].Specs)
+			if o.Opt.Hook != nil {
+				o.Opt.Hook(site, idx)
+			}
+			return true
+		}()
+		if !hookOK {
+			continue
+		}
+		batch = append(batch, floor.BatchDevice{Index: idx, Device: lot[idx], Seed: core.DeviceSeed(lotSeed, idx)})
+		screened = append(screened, i)
+	}
+	for bi, res := range eng.ScreenBatch(dctx, batch, faults) {
+		res.Site = site
+		results[screened[bi]] = res
+	}
+	return results
 }

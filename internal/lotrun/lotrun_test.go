@@ -546,3 +546,62 @@ func TestResumeRejectsWrongLot(t *testing.T) {
 		t.Fatal("wrong fault load must be refused")
 	}
 }
+
+// TestBatchedOrchestratorByteIdentical extends the reproducibility
+// acceptance to the batched kernel: screening the same seeded lot with
+// batched sites (K devices per engine call) yields the same LotReport
+// (modulo Site tags) as the serial engine, for every batch size and site
+// count combination — batching amortizes compute, never semantics.
+func TestBatchedOrchestratorByteIdentical(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 80)
+	faults := floor.DefaultFaultModel(0.15)
+	const seed = 99
+
+	serial, err := f.engine().RunLot(seed, lot, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct{ sites, batch int }{{1, 3}, {1, 16}, {2, 8}, {4, 64}} {
+		o := &Orchestrator{Engine: f.engine(), Opt: Options{
+			Sites: cfg.sites, Batch: cfg.batch, Breaker: quietBreaker(),
+		}}
+		rep, err := o.Run(context.Background(), seed, lot, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, fmt.Sprintf("%d-site batch-%d orchestrator", cfg.sites, cfg.batch), serial, rep.Lot)
+	}
+}
+
+// TestBatchedHookPanicCostsOneDevice: a hook panic inside a batched site
+// fallback-bins only the device it fired on; the rest of the batch screens
+// normally.
+func TestBatchedHookPanicCostsOneDevice(t *testing.T) {
+	f := getFixture(t)
+	lot := testLot(t, f, 24)
+	const victim = 9
+	o := &Orchestrator{Engine: f.engine(), Opt: Options{
+		Sites: 1, Batch: 8, Breaker: quietBreaker(),
+		Hook: func(site, device int) {
+			if device == victim {
+				panic("batched hook boom")
+			}
+		},
+	}}
+	rep, err := o.Run(context.Background(), 5, lot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Lot.Results {
+		if res.Index == victim {
+			if res.Bin != floor.BinFallback || !strings.Contains(res.Err, "batched hook boom") {
+				t.Fatalf("victim device: bin %v err %q, want fallback with the hook panic", res.Bin, res.Err)
+			}
+			continue
+		}
+		if res.Err != "" {
+			t.Fatalf("device %d collateral error: %q", res.Index, res.Err)
+		}
+	}
+}

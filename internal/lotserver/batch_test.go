@@ -1,0 +1,74 @@
+package lotserver
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/floor"
+	"repro/internal/netfloor"
+)
+
+// TestBatchedServerBitIdentical runs the multi-lot server with batching at
+// every layer — batched local workers, one batch-capable remote site and
+// one legacy single-device site — over a faulty transport, and requires
+// every lot's report to match the serial reference bit for bit. This is
+// the lotserver leg of the batched-kernel determinism contract: the fair
+// scheduler hands out same-lot batches, legacy sites negotiate down to
+// K=1, and the exactly-once commit gate absorbs the duplicates that
+// retries and hedges produce.
+func TestBatchedServerBitIdentical(t *testing.T) {
+	f := getFixture(t)
+	pool := testPool(t, f, 36)
+	faults := floor.DefaultFaultModel(0.10)
+
+	specs := []LotSpec{
+		{ID: "alpha", Seed: 99, Devices: 36},
+		{ID: "beta", Seed: 1234, Devices: 25},
+		{ID: "gamma", Seed: 42, Devices: 12},
+	}
+	runAll := func(t *testing.T, opt Options) {
+		t.Helper()
+		s, err := New(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Kill()
+		handles := make([]*LotHandle, len(specs))
+		for i, spec := range specs {
+			h, err := s.Submit(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("submit %s: %v", spec.ID, err)
+			}
+			handles[i] = h
+		}
+		for i, h := range handles {
+			res, err := h.Wait(context.Background())
+			if err != nil {
+				t.Fatalf("lot %s: %v", specs[i].ID, err)
+			}
+			reportsEqual(t, specs[i].ID, res.Report, serialReference(t, f, pool, specs[i], faults))
+		}
+	}
+
+	t.Run("local-workers", func(t *testing.T) {
+		opt := serverOpts(f, pool, faults)
+		opt.LocalWorkers = 2
+		opt.Batch = 8
+		opt.MaxActiveLots = 3
+		runAll(t, opt)
+	})
+
+	t.Run("mixed-sites", func(t *testing.T) {
+		fm := newFarm(t, f, pool, faults, 2)
+		fm.sites["site0"].MaxBatch = 16 // site1 stays legacy: K=1
+		opt := serverOpts(f, pool, faults)
+		opt.Sites = fm.addrs
+		opt.Dialer = fm.dialer(netfloor.FaultProfile{DropP: 0.03, DupP: 0.05, DelayP: 0.10, DelayMax: 2 * time.Millisecond}, 17)
+		opt.NetSeed = 17
+		opt.Batch = 16
+		opt.JournalDir = t.TempDir()
+		opt.MaxActiveLots = 3
+		runAll(t, opt)
+	})
+}

@@ -76,10 +76,41 @@ func (sc *scheduler) next() (l *lot, idx int, hedged bool, ok bool) {
 	return nil, 0, false, false
 }
 
+// nextBatch pulls up to k fresh (never-hedged) indices from a single lot:
+// a batched assignment screens one lot's devices through one kernel call,
+// so the frame carries exactly one (seed, lot) pair. One round-robin pass
+// over the active lots; hedging is left to next(), which batched callers
+// fall back to when every lot's fresh queue is dry. The caller must call
+// doneN(len(idxs)) when the batch resolves.
+func (sc *scheduler) nextBatch(k int) (*lot, []int, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.paused || len(sc.lots) == 0 {
+		return nil, nil, false
+	}
+	n := len(sc.lots)
+	for i := 0; i < n; i++ {
+		cand := sc.lots[(sc.cursor+i)%n]
+		if idxs := cand.disp.NextBatch(k); len(idxs) > 0 {
+			sc.cursor = (sc.cursor + i + 1) % n
+			sc.inflight += len(idxs)
+			return cand, idxs, true
+		}
+	}
+	return nil, nil, false
+}
+
 // done releases the in-flight slot taken by next.
 func (sc *scheduler) done() {
 	sc.mu.Lock()
 	sc.inflight--
+	sc.mu.Unlock()
+}
+
+// doneN releases the n in-flight slots taken by nextBatch.
+func (sc *scheduler) doneN(n int) {
+	sc.mu.Lock()
+	sc.inflight -= n
 	sc.mu.Unlock()
 }
 

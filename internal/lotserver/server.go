@@ -134,6 +134,13 @@ type Options struct {
 	JournalSyncS float64
 	// DeviceTimeout bounds one device's screening wall time (0 = none).
 	DeviceTimeout time.Duration
+	// Batch asks workers to screen up to this many devices per kernel call
+	// (local workers) or per remote assignment (only to sites that
+	// advertise batch support in their handshake ack; the effective size is
+	// the minimum of the two, so legacy sites transparently stay at one
+	// device per Assign). 0 or 1 screens serially. Bins are bit-identical
+	// at every batch size.
+	Batch int
 	// Registry, when set, enables the versioned calibration lifecycle:
 	// every admitted lot is pinned to exactly one model version for its
 	// whole life (the ACTIVE version, or — for a deterministic fraction of
@@ -197,6 +204,9 @@ func (o *Options) defaults() {
 	}
 	if o.CanaryFraction <= 0 || o.CanaryFraction > 1 {
 		o.CanaryFraction = 0.25
+	}
+	if o.Batch < 1 {
+		o.Batch = 1
 	}
 }
 
@@ -286,6 +296,22 @@ func (l *lot) markAssigned(idx int, remote bool) {
 	l.mu.Lock()
 	if _, ok := l.started[idx]; !ok {
 		l.started[idx] = time.Now()
+	}
+	if remote {
+		l.assigns++
+	}
+	l.mu.Unlock()
+}
+
+// markAssignedBatch stamps each device's first assignment time; a batched
+// remote assignment counts as one round-trip regardless of its size, which
+// is exactly the economics batching buys.
+func (l *lot) markAssignedBatch(idxs []int, remote bool) {
+	l.mu.Lock()
+	for _, idx := range idxs {
+		if _, ok := l.started[idx]; !ok {
+			l.started[idx] = time.Now()
+		}
 	}
 	if remote {
 		l.assigns++
@@ -940,6 +966,16 @@ func (s *Server) localWorker(ordinal int) {
 		if s.ctx.Err() != nil {
 			return
 		}
+		if s.opt.Batch > 1 {
+			if l, idxs, ok := s.sched.nextBatch(s.opt.Batch); ok {
+				if !s.screenLocalBatch(ordinal, l, idxs) {
+					return
+				}
+				continue
+			}
+			// Every lot's fresh queue is dry: fall through to the serial
+			// pull, which is also the only path allowed to hedge.
+		}
 		l, idx, _, ok := s.sched.next()
 		if !ok {
 			select {
@@ -965,6 +1001,32 @@ func (s *Server) localWorker(ordinal int) {
 	}
 }
 
+// screenLocalBatch screens one batched scheduler pull through the batched
+// kernel on the server itself; false means the server is shutting down and
+// the worker should exit.
+func (s *Server) screenLocalBatch(ordinal int, l *lot, idxs []int) bool {
+	l.markAssignedBatch(idxs, false)
+	l.chargeProbe(ordinal, s.opt.Breaker)
+	batch := make([]floor.BatchDevice, len(idxs))
+	for i, idx := range idxs {
+		batch[i] = floor.BatchDevice{Index: idx, Device: s.opt.Pool[idx], Seed: core.DeviceSeed(l.spec.Seed, idx)}
+	}
+	results := netfloor.ScreenBatchSupervised(s.ctx, l.eng, batch, s.opt.Faults, s.opt.DeviceTimeout)
+	alive := true
+	for _, res := range results {
+		if res.Err != "" && s.ctx.Err() != nil {
+			l.disp.Release(res.Index) // truncated by shutdown: never commit
+			alive = false
+			continue
+		}
+		l.recordBreaker(ordinal, s.opt.Breaker, res)
+		s.deliver(l, res, ordinal)
+		l.disp.Release(res.Index)
+	}
+	s.sched.doneN(len(idxs))
+	return alive
+}
+
 var (
 	errOverdue     = errors.New("lotserver: assignment overdue")
 	errConnDead    = errors.New("lotserver: connection dead")
@@ -987,7 +1049,7 @@ func (s *Server) siteLoop(si int, addr string, st *siteStats) {
 		if s.ctx.Err() != nil {
 			return
 		}
-		mc, err := s.connect(addr)
+		mc, siteBatch, err := s.connect(addr)
 		if err != nil {
 			if s.ctx.Err() != nil {
 				return
@@ -1011,7 +1073,11 @@ func (s *Server) siteLoop(si int, addr string, st *siteStats) {
 		connected = true
 		attempt = 0
 		st.update(func(st *siteStats) { st.connected = true })
-		err = s.serveSite(si, st, mc)
+		kBatch := s.opt.Batch
+		if siteBatch < kBatch {
+			kBatch = siteBatch
+		}
+		err = s.serveSite(si, st, mc, kBatch)
 		st.update(func(st *siteStats) { st.connected = false })
 		mc.Close()
 		if s.ctx.Err() != nil {
@@ -1049,45 +1115,53 @@ type permanentError struct{ msg string }
 
 func (e *permanentError) Error() string { return e.msg }
 
-// connect dials and handshakes one site in multi-lot mode.
-func (s *Server) connect(addr string) (*netfloor.MsgConn, error) {
+// connect dials and handshakes one site in multi-lot mode. The second
+// return is the site's advertised batch capability (1 for legacy sites).
+func (s *Server) connect(addr string) (*netfloor.MsgConn, int, error) {
 	dctx, cancel := context.WithTimeout(s.ctx, s.opt.RequestTimeout)
 	defer cancel()
 	conn, err := s.opt.Dialer(dctx, addr)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	mc := netfloor.NewMsgConn(conn)
 	hello := s.hello
 	if err := mc.Write(&netfloor.Envelope{Type: netfloor.MsgHello, Hello: &hello}, s.opt.IdleTimeout); err != nil {
 		mc.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	env, err := mc.Read(s.opt.IdleTimeout)
 	if err != nil {
 		mc.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	switch env.Type {
 	case netfloor.MsgHelloAck:
 		if env.Hello == nil || *env.Hello != hello {
 			mc.Close()
-			return nil, &permanentError{msg: fmt.Sprintf("site %s acked a different identity", addr)}
+			return nil, 0, &permanentError{msg: fmt.Sprintf("site %s acked a different identity", addr)}
 		}
-		return mc, nil
+		siteBatch := env.Batch
+		if siteBatch < 1 {
+			siteBatch = 1
+		}
+		return mc, siteBatch, nil
 	case netfloor.MsgError:
 		mc.Close()
-		return nil, &permanentError{msg: env.Err}
+		return nil, 0, &permanentError{msg: env.Err}
 	default:
 		mc.Close()
-		return nil, fmt.Errorf("lotserver: handshake: expected hello_ack, got %s", env.Type)
+		return nil, 0, fmt.Errorf("lotserver: handshake: expected hello_ack, got %s", env.Type)
 	}
 }
 
 // serveSite drives one healthy connection: pull (lot, device) pairs from
 // the fair scheduler, assign, await. Stray results — from overdue retries
 // or other lots' earlier assignments — are routed to their lots by ID.
-func (s *Server) serveSite(si int, st *siteStats, mc *netfloor.MsgConn) error {
+// kBatch is the negotiated assignment size (min of Options.Batch and the
+// site's advertised capability); above 1 the loop prefers batched frames
+// and drops to the single-device path only when fresh queues are dry.
+func (s *Server) serveSite(si int, st *siteStats, mc *netfloor.MsgConn, kBatch int) error {
 	var seq uint64
 	lastHeard := time.Now()
 	lastBeat := time.Now()
@@ -1095,6 +1169,45 @@ func (s *Server) serveSite(si int, st *siteStats, mc *netfloor.MsgConn) error {
 		if s.ctx.Err() != nil {
 			s.drainConn(si, st, mc)
 			return s.ctx.Err()
+		}
+		if kBatch > 1 {
+			if l, idxs, ok := s.sched.nextBatch(kBatch); ok {
+				seq++
+				l.markAssignedBatch(idxs, true)
+				l.chargeProbe(siteOrdinal(si), s.opt.Breaker)
+				st.update(func(st *siteStats) {
+					st.assigns++
+					if l.modelVersion != 0 {
+						if st.models == nil {
+							st.models = make(map[int]bool)
+						}
+						st.models[l.modelVersion] = true
+					}
+				})
+				err := s.assignAwaitBatch(si, st, mc, l, idxs, seq, &lastHeard)
+				requeued := false
+				for _, idx := range idxs {
+					if l.disp.Release(idx) {
+						requeued = true
+					}
+				}
+				s.sched.doneN(len(idxs))
+				if err == nil {
+					continue
+				}
+				st.update(func(st *siteStats) {
+					st.retries++
+					if requeued {
+						st.reassigns++
+					}
+				})
+				if errors.Is(err, errOverdue) {
+					continue
+				}
+				return err
+			}
+			// Fresh queues dry everywhere: fall through to the serial pull,
+			// which is also the only path allowed to hedge stragglers.
 		}
 		l, idx, _, ok := s.sched.next()
 		if !ok {
@@ -1234,6 +1347,81 @@ func (s *Server) assignAwait(si int, st *siteStats, mc *netfloor.MsgConn,
 			return errSiteDrained
 		}
 	}
+}
+
+// assignAwaitBatch sends one batched assignment — every index from the
+// same lot — and waits until each device's result has arrived, absorbing
+// heartbeats and routing stray results meanwhile. The site echoes the
+// frame's Seq on every result of the batch, and its result cache makes a
+// retried batch free for the devices that already screened.
+func (s *Server) assignAwaitBatch(si int, st *siteStats, mc *netfloor.MsgConn,
+	l *lot, idxs []int, seq uint64, lastHeard *time.Time) error {
+
+	assign := &netfloor.Envelope{
+		Type: netfloor.MsgAssign, Seq: seq, Device: idxs[0],
+		Devices: append([]int(nil), idxs...),
+		Seed:    l.spec.Seed, Lot: l.spec.ID,
+	}
+	if l.modelVersion != 0 {
+		assign.Model = l.modelVersion
+		assign.ModelFP = l.eng.Fingerprint()
+	}
+	if err := mc.Write(assign, s.opt.IdleTimeout); err != nil {
+		return err
+	}
+	pending := make(map[int]bool, len(idxs))
+	for _, idx := range idxs {
+		pending[idx] = true
+	}
+	deadline := time.Now().Add(time.Duration(len(idxs)) * s.opt.RequestTimeout)
+	for len(pending) > 0 {
+		if time.Now().After(deadline) {
+			return errOverdue
+		}
+		if s.ctx.Err() != nil {
+			return errOverdue
+		}
+		env, err := mc.Read(s.opt.HeartbeatInterval)
+		if err != nil {
+			if isTimeout(err) {
+				if time.Since(*lastHeard) > s.opt.IdleTimeout {
+					return errConnDead
+				}
+				continue
+			}
+			return err
+		}
+		*lastHeard = time.Now()
+		switch env.Type {
+		case netfloor.MsgHeartbeat:
+		case netfloor.MsgResult:
+			if env.Result == nil {
+				continue
+			}
+			if env.Lot == l.spec.ID && env.Seq == seq && pending[env.Device] {
+				l.recordBreaker(siteOrdinal(si), s.opt.Breaker, *env.Result)
+				s.deliver(l, *env.Result, siteOrdinal(si))
+				delete(pending, env.Device)
+				continue
+			}
+			s.routeStray(si, env)
+		case netfloor.MsgModelReq:
+			if err := s.answerModelReq(st, mc, env.Model); err != nil {
+				return err
+			}
+		case netfloor.MsgError:
+			if env.Seq == seq {
+				if env.Code == netfloor.CodeModelMismatch {
+					return fmt.Errorf("lotserver: site cannot build model v%d for lot %s: %s: %w",
+						l.modelVersion, l.spec.ID, env.Err, netfloor.ErrModelMismatch)
+				}
+				return fmt.Errorf("lotserver: site rejected batch of lot %s: %s", l.spec.ID, env.Err)
+			}
+		case netfloor.MsgDrain:
+			return errSiteDrained
+		}
+	}
+	return nil
 }
 
 // routeStray commits a result that arrived outside its request window —

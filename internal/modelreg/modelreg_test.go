@@ -140,7 +140,9 @@ func TestArtifactRoundTrip(t *testing.T) {
 		if want != got {
 			t.Fatalf("training device %d: decoded calibration predicts %+v, want %+v", i, got, want)
 		}
-		if f.gate.Classify(td.Signature) != back.Gate.Classify(td.Signature) {
+		v1, d1 := f.gate.Classify(td.Signature)
+		v2, d2 := back.Gate.Classify(td.Signature)
+		if v1 != v2 || d1 != d2 {
 			t.Fatalf("training device %d: decoded gate classifies differently", i)
 		}
 	}

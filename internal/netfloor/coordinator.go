@@ -62,6 +62,13 @@ type Options struct {
 	// JournalSyncS is the modeled per-record fsync cost (default 0.5ms),
 	// identical to lotrun's.
 	JournalSyncS float64
+	// Batch is the most devices the coordinator packs into one batched
+	// assignment (default 1 = one device per Assign). The effective batch
+	// per site is min(Batch, the site's advertised maximum), so a mixed
+	// floor of batching and serial sites works transparently; hedged
+	// (straggler) assignments always go out one device at a time. Bins are
+	// bit-identical at every batch size.
+	Batch int
 	// DisableLocalFallback prevents the coordinator from screening devices
 	// itself when every remote is down. With the fallback enabled
 	// (default), the lot always finishes — the local engine is the same
@@ -113,6 +120,9 @@ func (o *Options) defaults() {
 	}
 	if o.ModelRTTS <= 0 {
 		o.ModelRTTS = 2e-3
+	}
+	if o.Batch < 1 {
+		o.Batch = 1
 	}
 	if o.JournalSyncS <= 0 {
 		o.JournalSyncS = 0.5e-3
@@ -255,6 +265,27 @@ func (d *Dispatcher) Next(hedge bool) (int, bool, bool) {
 		}
 	}
 	return 0, false, false
+}
+
+// NextBatch hands out up to k pending indices from the front of the
+// queue. Unlike Next it never hedges: batches are for fresh work, and a
+// straggler hedge wants the smallest possible unit so the dedup wastes at
+// most one device. An empty return means the queue is dry (the caller
+// falls back to Next(true) for hedging).
+func (d *Dispatcher) NextBatch(k int) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var idxs []int
+	for len(idxs) < k && len(d.queue) > 0 {
+		idx := d.queue[0]
+		d.queue = d.queue[1:]
+		if d.done[idx] {
+			continue
+		}
+		d.holders[idx]++
+		idxs = append(idxs, idx)
+	}
+	return idxs
 }
 
 // Release drops one hold on idx; an undone index with no holders left is
@@ -620,7 +651,7 @@ func (c *Coordinator) siteLoop(ctx context.Context, rs *runState, opt *Options, 
 		default:
 		}
 
-		mc, err := c.connect(ctx, opt, hello, addr)
+		mc, siteBatch, err := c.connect(ctx, opt, hello, addr)
 		if !settled {
 			settled = true
 			rs.settled.Add(1)
@@ -646,8 +677,12 @@ func (c *Coordinator) siteLoop(ctx context.Context, rs *runState, opt *Options, 
 		}
 		connected = true
 		attempt = 0
+		kBatch := opt.Batch
+		if siteBatch < kBatch {
+			kBatch = siteBatch
+		}
 		rs.alive.Add(1)
-		err = c.serveAssignments(ctx, rs, opt, site, st, br, mc)
+		err = c.serveAssignments(ctx, rs, opt, site, st, br, mc, kBatch)
 		rs.alive.Add(-1)
 		mc.Close()
 		if errors.Is(err, errLotDone) || ctx.Err() != nil {
@@ -685,45 +720,54 @@ func (e *permanentError) Unwrap() error {
 	return nil
 }
 
-// connect dials and handshakes one site.
-func (c *Coordinator) connect(ctx context.Context, opt *Options, hello Hello, addr string) (*MsgConn, error) {
+// connect dials and handshakes one site, returning the connection and the
+// site's advertised batch capability (1 when the site did not advertise
+// one — it screens one device per Assign).
+func (c *Coordinator) connect(ctx context.Context, opt *Options, hello Hello, addr string) (*MsgConn, int, error) {
 	dctx, cancel := context.WithTimeout(ctx, opt.RequestTimeout)
 	defer cancel()
 	conn, err := opt.Dialer(dctx, addr)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	mc := NewMsgConn(conn)
 	if err := mc.Write(&Envelope{Type: MsgHello, Hello: &hello}, opt.IdleTimeout); err != nil {
 		mc.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	env, err := mc.Read(opt.IdleTimeout)
 	if err != nil {
 		mc.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	switch env.Type {
 	case MsgHelloAck:
 		if env.Hello == nil || *env.Hello != hello {
 			mc.Close()
-			return nil, &permanentError{msg: fmt.Sprintf("site %s acked a different identity", addr)}
+			return nil, 0, &permanentError{msg: fmt.Sprintf("site %s acked a different identity", addr)}
 		}
-		return mc, nil
+		siteBatch := env.Batch
+		if siteBatch < 1 {
+			siteBatch = 1
+		}
+		return mc, siteBatch, nil
 	case MsgError:
 		mc.Close()
-		return nil, &permanentError{msg: env.Err, code: env.Code}
+		return nil, 0, &permanentError{msg: env.Err, code: env.Code}
 	default:
 		mc.Close()
-		return nil, fmt.Errorf("netfloor: handshake: expected hello_ack, got %s", env.Type)
+		return nil, 0, fmt.Errorf("netfloor: handshake: expected hello_ack, got %s", env.Type)
 	}
 }
 
 // serveAssignments drives one healthy connection: pull an index (hedging
-// stragglers when the queue is dry), assign it, await the result. Returns
+// stragglers when the queue is dry), assign it, await the result. With
+// kBatch > 1 (this coordinator batches and the site advertised capacity)
+// it instead pulls up to kBatch fresh indices per assignment; hedges stay
+// single-device so the dedup wastes at most one screening. Returns
 // errLotDone after a graceful drain, or the connection's fatal error.
 func (c *Coordinator) serveAssignments(ctx context.Context, rs *runState, opt *Options,
-	site int, st *SiteNetStats, br *lotrun.Breaker, mc *MsgConn) error {
+	site int, st *SiteNetStats, br *lotrun.Breaker, mc *MsgConn, kBatch int) error {
 
 	var seq uint64
 	lastHeard := time.Now()
@@ -744,6 +788,35 @@ func (c *Coordinator) serveAssignments(ctx context.Context, rs *runState, opt *O
 		// device be the half-open probe insertion.
 		if br.Open() {
 			br.BeginProbe()
+		}
+
+		if kBatch > 1 {
+			if idxs := rs.disp.NextBatch(kBatch); len(idxs) > 0 {
+				seq++
+				st.Assigns++
+				rs.addNet(func(n *NetStats) { n.Assigns++ })
+				err := c.assignAwaitBatch(rs, opt, site, st, br, mc, idxs, seq, &lastHeard, &lastBeat)
+				requeued := false
+				for _, idx := range idxs {
+					if rs.disp.Release(idx) {
+						requeued = true
+					}
+				}
+				if err == nil {
+					continue
+				}
+				if requeued {
+					rs.addNet(func(n *NetStats) { n.Reassigned++ })
+				}
+				rs.addNet(func(n *NetStats) { n.Retries++ })
+				st.Retries++
+				if errors.Is(err, errRequestTimeout) {
+					continue
+				}
+				return err
+			}
+			// Queue dry: fall through to the single-device path, which
+			// hedges stragglers.
 		}
 
 		idx, hedged, ok := rs.disp.Next(true)
@@ -874,6 +947,65 @@ func (c *Coordinator) assignAwait(rs *runState, opt *Options, site int, st *Site
 			return errSiteDraining
 		}
 	}
+}
+
+// assignAwaitBatch sends one batched assignment and waits until every
+// device in it has either returned a result or the deadline (scaled by the
+// batch size — the wall budget per device matches the serial path's)
+// expires. Results for other in-flight work are absorbed like assignAwait.
+func (c *Coordinator) assignAwaitBatch(rs *runState, opt *Options, site int, st *SiteNetStats,
+	br *lotrun.Breaker, mc *MsgConn, idxs []int, seq uint64, lastHeard, lastBeat *time.Time) error {
+
+	if err := mc.Write(&Envelope{Type: MsgAssign, Seq: seq, Device: idxs[0], Devices: idxs}, opt.IdleTimeout); err != nil {
+		return err
+	}
+	pending := make(map[int]bool, len(idxs))
+	for _, idx := range idxs {
+		pending[idx] = true
+	}
+	deadline := time.Now().Add(time.Duration(len(idxs)) * opt.RequestTimeout)
+	for len(pending) > 0 {
+		if time.Now().After(deadline) {
+			return errRequestTimeout
+		}
+		select {
+		case <-rs.doneCh:
+			return errRequestTimeout
+		default:
+		}
+		env, err := mc.Read(opt.HeartbeatInterval)
+		if err != nil {
+			if isTimeout(err) {
+				if time.Since(*lastHeard) > opt.IdleTimeout {
+					return errConnDead
+				}
+				continue
+			}
+			return err
+		}
+		*lastHeard = time.Now()
+		switch env.Type {
+		case MsgHeartbeat:
+		case MsgResult:
+			if env.Result == nil {
+				continue
+			}
+			res := *env.Result
+			br.Record(res)
+			if rs.deliver(res, site) {
+				st.Devices++
+				st.Insertions += res.Insertions
+			}
+			delete(pending, env.Device)
+		case MsgError:
+			if pending[env.Device] {
+				return fmt.Errorf("netfloor: site rejected device %d: %s", env.Device, env.Err)
+			}
+		case MsgDrain:
+			return errSiteDraining
+		}
+	}
+	return nil
 }
 
 // drain tells the site no more assignments are coming, waiting briefly

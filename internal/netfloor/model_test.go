@@ -57,7 +57,7 @@ func TestHandshakeModelMismatchTyped(t *testing.T) {
 		Devices:     len(lot),
 		Fingerprint: f.engine().Fingerprint(),
 	}
-	_, err := c.connect(context.Background(), &opt, hello, "site0")
+	_, _, err := c.connect(context.Background(), &opt, hello, "site0")
 	if !errors.Is(err, ErrModelMismatch) {
 		t.Fatalf("fingerprint-only mismatch: err=%v, want ErrModelMismatch", err)
 	}
@@ -66,7 +66,7 @@ func TestHandshakeModelMismatchTyped(t *testing.T) {
 	badHello := hello
 	badHello.LotSeed = seed + 1
 	badHello.Fingerprint = fm.sites["site0"].Engine.Fingerprint()
-	_, err = c.connect(context.Background(), &opt, badHello, "site0")
+	_, _, err = c.connect(context.Background(), &opt, badHello, "site0")
 	if err == nil || errors.Is(err, ErrModelMismatch) {
 		t.Fatalf("identity mismatch: err=%v, must be refused but NOT as ErrModelMismatch", err)
 	}

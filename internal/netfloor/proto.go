@@ -135,6 +135,19 @@ type Envelope struct {
 	// Artifact is the serialized calibration artifact on a MsgModel frame
 	// (modelreg.EncodeArtifact bytes; frame CRC covers integrity).
 	Artifact json.RawMessage `json:"artifact,omitempty"`
+	// Devices carries a batched assignment: screen all of these indices
+	// through the batched kernel and return one MsgResult per device (all
+	// tagged with this frame's Seq). Empty on a single-device Assign —
+	// legacy frames keep using Device. The capability rides on the
+	// handshake's envelopes, not inside Hello (Hello is compared by value
+	// on both sides, so extending it would break pairing with existing
+	// peers): a site advertises its maximum batch via Batch on the
+	// MsgHelloAck frame, and a coordinator only sends Devices to a site
+	// that advertised Batch > 1.
+	Devices []int `json:"devices,omitempty"`
+	// Batch on a MsgHelloAck frame is the site's maximum devices per
+	// batched assignment (0 or 1: the site screens one device per Assign).
+	Batch int `json:"batch,omitempty"`
 }
 
 // ErrCorruptFrame reports a frame whose payload CRC did not verify — the

@@ -48,6 +48,12 @@ type Site struct {
 	// DeviceTimeout bounds one device's screening wall time (0 = none),
 	// mirroring lotrun.Options.DeviceTimeout.
 	DeviceTimeout time.Duration
+	// MaxBatch is the most devices this site accepts per batched
+	// assignment, advertised to the coordinator during the handshake. 0 or
+	// 1 keeps the site strictly one-device-per-Assign; a larger value lets
+	// a batching coordinator amortize the screening kernels across up to
+	// MaxBatch devices per round trip. Bins are identical either way.
+	MaxBatch int
 	// ModelCacheSize bounds how many versioned model engines the site
 	// keeps built at once (default 4); least-recently-used versions are
 	// evicted and re-fetched on demand. The base engine (version 0) is
@@ -307,7 +313,7 @@ func (s *Site) ServeConn(ctx context.Context, conn net.Conn) error {
 		return fmt.Errorf("netfloor: %s", herr)
 	}
 	ack := *env.Hello // echo the coordinator's identity, multi-lot or not
-	if err := mc.Write(&Envelope{Type: MsgHelloAck, Hello: &ack, Site: s.Name}, s.idle()); err != nil {
+	if err := mc.Write(&Envelope{Type: MsgHelloAck, Hello: &ack, Site: s.Name, Batch: s.maxBatch()}, s.idle()); err != nil {
 		return err
 	}
 
@@ -376,9 +382,9 @@ func (s *Site) ServeConn(ctx context.Context, conn net.Conn) error {
 		case MsgHeartbeat:
 			// Liveness only; lastHeard was already refreshed.
 		case MsgAssign:
-			if env.Device < 0 || env.Device >= len(s.Lot) {
-				if werr := mc.Write(&Envelope{Type: MsgError, Seq: env.Seq, Device: env.Device, Site: s.Name,
-					Err: fmt.Sprintf("device %d outside lot [0,%d)", env.Device, len(s.Lot))}, s.heartbeat()); werr != nil {
+			if bad, ok := s.assignOutOfRange(env); !ok {
+				if werr := mc.Write(&Envelope{Type: MsgError, Seq: env.Seq, Device: bad, Site: s.Name,
+					Err: fmt.Sprintf("device %d outside lot [0,%d)", bad, len(s.Lot))}, s.heartbeat()); werr != nil {
 					s.record(func(st *ServeStats) { st.ErrorSendFails++ })
 					s.logf("site %s: failed to send assignment rejection: %v", s.Name, werr)
 				}
@@ -447,22 +453,113 @@ func (s *Site) announceDrain(mc *MsgConn) error {
 	return nil
 }
 
-// serveAssign screens one assignment on the resolved engine and writes
-// its Result frame. The returned error is connection-fatal.
+// maxBatch is the batch capability this site advertises in its handshake
+// ack.
+func (s *Site) maxBatch() int {
+	if s.MaxBatch > 1 {
+		return s.MaxBatch
+	}
+	return 1
+}
+
+// assignOutOfRange validates every index an Assign names (single Device or
+// batched Devices); on failure it returns the offending index.
+func (s *Site) assignOutOfRange(env *Envelope) (int, bool) {
+	if len(env.Devices) == 0 {
+		if env.Device < 0 || env.Device >= len(s.Lot) {
+			return env.Device, false
+		}
+		return 0, true
+	}
+	for _, idx := range env.Devices {
+		if idx < 0 || idx >= len(s.Lot) {
+			return idx, false
+		}
+	}
+	return 0, true
+}
+
+// serveAssign screens one assignment — a single device or a batch — on the
+// resolved engine and writes one Result frame per device, all under the
+// assignment's Seq. The returned error is connection-fatal.
 func (s *Site) serveAssign(ctx context.Context, mc *MsgConn, env *Envelope, eng *floor.Engine, multiLot bool) error {
 	seed := s.LotSeed
 	if multiLot {
 		seed = env.Seed
 	}
-	res := s.screen(ctx, eng, seed, env.Device, env.Model)
-	if res.Err != "" && ctx.Err() != nil {
-		// The site is shutting down mid-device: the result is a
-		// truncation, not an outcome. Never send it — the coordinator
-		// reassigns and re-screens from the same per-device seed.
-		return ctx.Err()
+	idxs := env.Devices
+	if len(idxs) == 0 {
+		idxs = []int{env.Device}
 	}
-	return mc.Write(&Envelope{Type: MsgResult, Seq: env.Seq, Device: env.Device,
-		Seed: env.Seed, Lot: env.Lot, Model: env.Model, Result: &res, Site: s.Name}, s.idle())
+	results, err := s.screenMany(ctx, eng, seed, idxs, env.Model)
+	if err != nil {
+		// The site is shutting down mid-batch: the results are
+		// truncations, not outcomes. Never send them — the coordinator
+		// reassigns and re-screens from the same per-device seeds.
+		return err
+	}
+	for i := range results {
+		if werr := mc.Write(&Envelope{Type: MsgResult, Seq: env.Seq, Device: results[i].Index,
+			Seed: env.Seed, Lot: env.Lot, Model: env.Model, Result: &results[i], Site: s.Name}, s.idle()); werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// screenMany resolves a batch of indices against the result cache and
+// screens the misses through the engine's batched kernel (or the serial
+// supervised path when only one is missing). Cached and fresh results come
+// back index-aligned with idxs; fresh complete results are cached with the
+// same first-writer-wins race discipline as screen.
+func (s *Site) screenMany(ctx context.Context, eng *floor.Engine, seed int64, idxs []int, model int) ([]floor.DeviceResult, error) {
+	out := make([]floor.DeviceResult, len(idxs))
+	missPos := make([]int, 0, len(idxs))
+	batch := make([]floor.BatchDevice, 0, len(idxs))
+	s.mu.Lock()
+	for i, idx := range idxs {
+		if res, ok := s.cache[siteCacheKey{seed: seed, idx: idx, model: model}]; ok {
+			out[i] = res
+		} else {
+			missPos = append(missPos, i)
+			batch = append(batch, floor.BatchDevice{Index: idx, Device: s.Lot[idx], Seed: core.DeviceSeed(seed, idx)})
+		}
+	}
+	s.mu.Unlock()
+	if len(batch) == 0 {
+		return out, nil
+	}
+
+	var fresh []floor.DeviceResult
+	if len(batch) == 1 {
+		fresh = []floor.DeviceResult{ScreenSupervised(ctx, eng, seed, batch[0].Index, s.Lot[batch[0].Index], s.Faults, s.DeviceTimeout)}
+	} else {
+		fresh = ScreenBatchSupervised(ctx, eng, batch, s.Faults, s.DeviceTimeout)
+	}
+	truncated := false
+	s.mu.Lock()
+	if s.cache == nil {
+		s.cache = make(map[siteCacheKey]floor.DeviceResult)
+	}
+	for bi := range fresh {
+		res := fresh[bi]
+		if res.Err != "" && ctx.Err() != nil {
+			truncated = true
+			continue // a truncation is never cached
+		}
+		key := siteCacheKey{seed: seed, idx: res.Index, model: model}
+		if prev, ok := s.cache[key]; ok {
+			res = prev // two connections raced; keep the first
+		} else {
+			s.cache[key] = res
+		}
+		out[missPos[bi]] = res
+	}
+	s.mu.Unlock()
+	if truncated {
+		return nil, ctx.Err()
+	}
+	return out, nil
 }
 
 // modelEngine returns the cached engine for a calibration version,
@@ -594,4 +691,20 @@ func ScreenSupervised(ctx context.Context, eng *floor.Engine, lotSeed int64, idx
 	}
 	res = eng.ScreenDevice(dctx, idx, d, core.DeviceSeed(lotSeed, idx), faults)
 	return res
+}
+
+// ScreenBatchSupervised is the batched form of ScreenSupervised: the
+// per-device wall budget scales with the batch size, and the engine's
+// batched kernel carries the per-device supervision (it never panics; a
+// device's panic fallback-bins that device alone). Results are
+// batch-aligned and bit-identical to screening each entry serially.
+func ScreenBatchSupervised(ctx context.Context, eng *floor.Engine, batch []floor.BatchDevice,
+	faults *floor.FaultModel, timeout time.Duration) []floor.DeviceResult {
+	dctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, time.Duration(len(batch))*timeout)
+		defer cancel()
+	}
+	return eng.ScreenBatch(dctx, batch, faults)
 }

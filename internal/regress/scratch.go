@@ -1,0 +1,194 @@
+package regress
+
+import (
+	"repro/internal/linalg"
+)
+
+// This file provides the allocation-free variants of the predict path. The
+// production screen calls Predict once per device per spec, and the original
+// implementations allocate fresh slices at every stage (normalize, PCA
+// projection, quadratic expansion); at floor throughput that is pure churn.
+// Every variant below performs exactly the same floating-point operations in
+// exactly the same order as its allocating counterpart, so predictions are
+// bit-identical — the batched screening kernel's determinism contract rests
+// on that.
+
+// ApplyInto normalizes one feature vector into a caller-provided slice,
+// bit-identical to Apply.
+func (nz *Normalizer) ApplyInto(x, out []float64) {
+	if len(out) != len(x) {
+		panic("regress: ApplyInto length mismatch")
+	}
+	for j := range x {
+		out[j] = (x[j] - nz.Mean[j]) / nz.Std[j]
+	}
+}
+
+// quadExpandInto writes the quadratic expansion of z into out, which must
+// have length len(z) + len(z)*(len(z)+1)/2. Values match quadExpand exactly.
+func quadExpandInto(z, out []float64) {
+	k := len(z)
+	if len(out) != k+k*(k+1)/2 {
+		panic("regress: quadExpandInto length mismatch")
+	}
+	copy(out, z)
+	idx := k
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			out[idx] = z[i] * z[j]
+			idx++
+		}
+	}
+}
+
+// Scratch holds the reusable buffers of one scalar predict call. A zero
+// Scratch is ready to use; buffers grow on demand and are reused across
+// calls. Not safe for concurrent use.
+type Scratch struct {
+	nb  []float64 // normalized input
+	pc  []float64 // PCA scores
+	ex  []float64 // quadratic expansion
+	lin []float64 // inner/linear-model normalized features
+}
+
+func growSlice(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// ScratchPredictor is implemented by models whose Predict has an
+// allocation-free variant. Predictions are bit-identical to Predict.
+type ScratchPredictor interface {
+	Model
+	PredictScratch(x []float64, s *Scratch) float64
+}
+
+// BatchPredictor is implemented by models that can predict a whole stacked
+// batch of feature rows at once, pushing the K x d matrix through each model
+// stage as one matrix-matrix product instead of K matrix-vector calls.
+// out[i] is bit-identical to Predict(X.Row(i)).
+type BatchPredictor interface {
+	Model
+	PredictBatch(X *linalg.Matrix, out []float64, s *BatchScratch)
+}
+
+// BatchScratch holds the reusable matrices of one batched predict call. A
+// zero BatchScratch is ready to use. Not safe for concurrent use.
+type BatchScratch struct {
+	z   *linalg.Matrix // normalized rows
+	c   *linalg.Matrix // centered rows (PCA input)
+	s   *linalg.Matrix // PCA scores
+	e   *linalg.Matrix // quadratic expansion
+	w   *linalg.Matrix // weight column
+	o   *linalg.Matrix // output column
+	row Scratch        // row-at-a-time fallback (MARS)
+}
+
+// mat resizes (reusing backing storage) and returns one scratch matrix.
+func mat(m **linalg.Matrix, r, c int) *linalg.Matrix {
+	if *m == nil || cap((*m).Data) < r*c {
+		*m = linalg.NewMatrix(r, c)
+		return *m
+	}
+	(*m).Rows, (*m).Cols = r, c
+	(*m).Data = (*m).Data[:r*c]
+	return *m
+}
+
+// ---- linearModel ----
+
+// PredictScratch is Predict without the per-call normalize allocation.
+func (m *linearModel) PredictScratch(x []float64, s *Scratch) float64 {
+	z := growSlice(&s.lin, len(x))
+	m.nz.ApplyInto(x, z)
+	return linalg.Dot(m.w, z) + m.b
+}
+
+// PredictBatch normalizes the stacked rows and multiplies them through the
+// weight vector as one K x d * d x 1 product. MatMulInto accumulates each
+// row's terms in the same increasing-index order as Dot, so out[i] carries
+// the same bits as Predict(X.Row(i)).
+func (m *linearModel) PredictBatch(X *linalg.Matrix, out []float64, s *BatchScratch) {
+	n, d := X.Rows, X.Cols
+	z := mat(&s.z, n, d)
+	for i := 0; i < n; i++ {
+		m.nz.ApplyInto(X.Data[i*d:(i+1)*d], z.Data[i*d:(i+1)*d])
+	}
+	w := mat(&s.w, d, 1)
+	copy(w.Data, m.w)
+	o := mat(&s.o, n, 1)
+	linalg.MatMulInto(o, z, w)
+	for i := 0; i < n; i++ {
+		out[i] = o.Data[i] + m.b
+	}
+}
+
+// ---- polyPCAModel ----
+
+// PredictScratch is Predict with every stage writing into reused buffers.
+func (m *polyPCAModel) PredictScratch(x []float64, s *Scratch) float64 {
+	z := growSlice(&s.nb, len(x))
+	m.nz.ApplyInto(x, z)
+	k := m.pca.Components.Cols
+	pc := growSlice(&s.pc, k)
+	m.pca.TransformInto(z, pc)
+	ex := growSlice(&s.ex, k+k*(k+1)/2)
+	quadExpandInto(pc, ex)
+	if sp, ok := m.inner.(ScratchPredictor); ok {
+		return sp.PredictScratch(ex, s)
+	}
+	return m.inner.Predict(ex)
+}
+
+// PredictBatch pushes the stacked rows through normalize, PCA projection,
+// quadratic expansion and the inner model, each stage operating on the whole
+// K-row matrix at once.
+func (m *polyPCAModel) PredictBatch(X *linalg.Matrix, out []float64, s *BatchScratch) {
+	n, d := X.Rows, X.Cols
+	z := mat(&s.z, n, d)
+	for i := 0; i < n; i++ {
+		m.nz.ApplyInto(X.Data[i*d:(i+1)*d], z.Data[i*d:(i+1)*d])
+	}
+	k := m.pca.Components.Cols
+	sc := mat(&s.s, n, k)
+	ce := mat(&s.c, n, d)
+	m.pca.TransformBatchInto(sc, ce, z)
+	de := k + k*(k+1)/2
+	e := mat(&s.e, n, de)
+	for i := 0; i < n; i++ {
+		quadExpandInto(sc.Data[i*k:(i+1)*k], e.Data[i*de:(i+1)*de])
+	}
+	if bp, ok := m.inner.(BatchPredictor); ok {
+		bp.PredictBatch(e, out, s)
+		return
+	}
+	for i := 0; i < n; i++ {
+		out[i] = m.inner.Predict(e.Data[i*de : (i+1)*de])
+	}
+}
+
+// ---- marsModel ----
+
+// PredictScratch is Predict without the per-call normalize allocation.
+func (m *marsModel) PredictScratch(x []float64, s *Scratch) float64 {
+	z := growSlice(&s.nb, len(x))
+	m.nz.ApplyInto(x, z)
+	sum := 0.0
+	for i, b := range m.bases {
+		sum += m.coef[i] * b.eval(z)
+	}
+	return sum
+}
+
+// PredictBatch evaluates the hinge bases row by row (hinge products do not
+// decompose into a matrix product) but reuses one normalize buffer across
+// the batch.
+func (m *marsModel) PredictBatch(X *linalg.Matrix, out []float64, s *BatchScratch) {
+	d := X.Cols
+	for i := 0; i < X.Rows; i++ {
+		out[i] = m.PredictScratch(X.Data[i*d:(i+1)*d], &s.row)
+	}
+}

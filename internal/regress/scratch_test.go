@@ -1,0 +1,130 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func fitAllFamilies(t *testing.T, rng *rand.Rand) (X *linalg.Matrix, models []Model) {
+	t.Helper()
+	n, d := 40, 12
+	X = linalg.NewMatrix(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			X.Set(i, j, rng.NormFloat64())
+		}
+		r := X.Row(i)
+		y[i] = 2*r[0] - 0.5*r[3]*r[3] + 0.1*rng.NormFloat64()
+	}
+	for _, tr := range []Trainer{Ridge{Lambda: 1e-6}, PolyPCA{Components: 5}, MARS{MaxTerms: 9, Knots: 4}} {
+		m, err := tr.Fit(X, y)
+		if err != nil {
+			t.Fatalf("%s fit: %v", tr.Name(), err)
+		}
+		models = append(models, m)
+	}
+	return X, models
+}
+
+// TestScratchAndBatchBitIdentity verifies PredictScratch and PredictBatch
+// against Predict bit for bit for every model family, across batch sizes.
+func TestScratchAndBatchBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	_, models := fitAllFamilies(t, rng)
+	for _, kBatch := range []int{1, 3, 16, 64} {
+		P := linalg.NewMatrix(kBatch, 12)
+		for i := range P.Data {
+			P.Data[i] = rng.NormFloat64() * 2
+		}
+		for mi, m := range models {
+			want := make([]float64, kBatch)
+			for i := 0; i < kBatch; i++ {
+				want[i] = m.Predict(P.Row(i))
+			}
+			sp, ok := m.(ScratchPredictor)
+			if !ok {
+				t.Fatalf("model %d does not implement ScratchPredictor", mi)
+			}
+			var s Scratch
+			for i := 0; i < kBatch; i++ {
+				got := sp.PredictScratch(P.Row(i), &s)
+				if math.Float64bits(got) != math.Float64bits(want[i]) {
+					t.Fatalf("model %d K=%d row %d: PredictScratch %v vs %v", mi, kBatch, i, got, want[i])
+				}
+			}
+			bp, ok := m.(BatchPredictor)
+			if !ok {
+				t.Fatalf("model %d does not implement BatchPredictor", mi)
+			}
+			var bs BatchScratch
+			got := make([]float64, kBatch)
+			bp.PredictBatch(P, got, &bs)
+			// Run twice through the same scratch to catch stale-state bugs.
+			bp.PredictBatch(P, got, &bs)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("model %d K=%d row %d: PredictBatch %v vs %v", mi, kBatch, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDecodedModelsKeepFastPaths ensures models that round-trip through the
+// artifact encoding still expose the scratch/batch predictors (they decode
+// to the same concrete types).
+func TestDecodedModelsKeepFastPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	_, models := fitAllFamilies(t, rng)
+	probe := make([]float64, 12)
+	for j := range probe {
+		probe[j] = rng.NormFloat64()
+	}
+	for mi, m := range models {
+		blob, err := EncodeModel(m)
+		if err != nil {
+			t.Fatalf("model %d encode: %v", mi, err)
+		}
+		back, err := DecodeModel(blob)
+		if err != nil {
+			t.Fatalf("model %d decode: %v", mi, err)
+		}
+		sp, ok := back.(ScratchPredictor)
+		if !ok {
+			t.Fatalf("decoded model %d lost ScratchPredictor", mi)
+		}
+		if _, ok := back.(BatchPredictor); !ok {
+			t.Fatalf("decoded model %d lost BatchPredictor", mi)
+		}
+		var s Scratch
+		if got, want := sp.PredictScratch(probe, &s), back.Predict(probe); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("decoded model %d scratch mismatch", mi)
+		}
+	}
+}
+
+// TestPredictScratchAllocFree pins the allocation count of the steady-state
+// scratch predict path at zero for every model family.
+func TestPredictScratchAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	_, models := fitAllFamilies(t, rng)
+	probe := make([]float64, 12)
+	for j := range probe {
+		probe[j] = rng.NormFloat64()
+	}
+	for mi, m := range models {
+		sp := m.(ScratchPredictor)
+		var s Scratch
+		sp.PredictScratch(probe, &s) // warm the buffers
+		allocs := testing.AllocsPerRun(100, func() {
+			sp.PredictScratch(probe, &s)
+		})
+		if allocs != 0 {
+			t.Fatalf("model %d: PredictScratch allocates %.1f per call, want 0", mi, allocs)
+		}
+	}
+}

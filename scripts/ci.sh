@@ -31,6 +31,13 @@ go test -race -count=2 -timeout 30m ./internal/lotserver/
 # under the race detector.
 go test -race -count=2 -timeout 30m ./internal/modelreg/
 go test -race -count=2 -timeout 30m -run 'Rollout|Shadow|Canary|Drift|Model' ./internal/lotserver/ ./internal/lotrun/
-# Bench smoke: one iteration of the pipeline benchmarks, which also assert
-# parallel results bit-identical to serial.
-go test -run '^$' -bench 'Calibrate|GA' -benchtime 1x .
+# Batched-kernel bit-identity: the ScreenBatch determinism contract at
+# every layer — kernel, in-process orchestrator, distributed floor,
+# multi-lot server — under the race detector.
+go test -race -count=1 -timeout 30m \
+	-run 'BitIdentity|ByteIdentical|CleanDRegression|BatchedServerBitIdentical' \
+	./internal/floor/ ./internal/lotrun/ ./internal/netfloor/ ./internal/lotserver/
+# Bench smoke: one iteration of the pipeline and batched-kernel
+# benchmarks, which also assert parallel/batched results bit-identical to
+# serial.
+go test -run '^$' -bench 'Calibrate|GA|ScreenBatch' -benchtime 1x .
