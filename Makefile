@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmtcheck vet build test race netsoak lotsoak rolloutsoak bench profile ci
+.PHONY: all fmt fmtcheck vet build test race netsoak lotsoak rolloutsoak bench benchguard profile ci
 
 all: build
 
@@ -67,9 +67,20 @@ bench:
 	@echo "--- BENCH_server.json"; cat BENCH_server.json
 	@echo "--- BENCH_batch.json"; cat BENCH_batch.json
 
+# Bench-regression gate: a stable ScreenBatch sweep followed by the
+# guard, which fails if ns/device at the guarded batch sizes exceeds
+# scripts/bench_baseline.json by >20% (an accidental fallback from the
+# interleaved kernel to the serial tail is a >50% slowdown and trips it
+# immediately).
+benchguard:
+	$(GO) test -run '^$$' -bench '^BenchmarkScreenBatch$$' -benchtime 3x .
+	$(GO) run ./scripts/benchguard
+
 # CPU profile of the batched production floor: build sigtest, screen a
-# 200-device behavioral lot through the batched kernel, and print the
-# hottest frames. floor.pprof is left behind for `go tool pprof`
+# 200-device behavioral lot at -batch 16 — one tile of the
+# device-interleaved SoA kernel, so the interleaved hot loops (runTile,
+# macPlanes, macPairRealLO, firDecimateTile) show up by name — and print
+# the hottest frames. floor.pprof is left behind for `go tool pprof`
 # drill-down; swap -batch 16 for -batch 1 to profile the serial path.
 profile:
 	$(GO) build -o bin/sigtest ./cmd/sigtest

@@ -25,6 +25,7 @@ type BatchAcquirer struct {
 	cfg    *TestConfig
 	runner *rf.BatchRunner
 	padN   int
+	runs   []rf.DeviceRun // persistent slots: capture buffers pool across calls
 }
 
 // NewBatchAcquirer validates cfg and prepares the shared per-stimulus state
@@ -58,6 +59,72 @@ func (ba *BatchAcquirer) CaptureTime(dut rf.EnvelopeDevice, rng *rand.Rand, flt 
 	}
 	windowed := ba.cfg.Window.Apply(y)
 	return dsp.ZeroPad(windowed, ba.padN), nil
+}
+
+// BatchCapture is one device's outcome of CaptureTimeBatch. Exactly one of
+// Rec, Err, Panic is meaningful: check Panic first (the caller re-raises it
+// under its own per-device supervision so panic routing matches the serial
+// path), then Err, then use Rec. Rec never aliases the acquirer's scratch.
+type BatchCapture struct {
+	Rec   []float64
+	Err   error
+	Panic any
+}
+
+// CaptureTimeBatch is CaptureTime over a whole batch: the envelope tails run
+// device-interleaved through the runner's SoA kernel (grouped by occupancy
+// signature, serial-tail fallback per device), then noise, quantization,
+// window and zero-pad run per device in slot order. Each device's rng
+// consumption and stage order match its own serial CaptureTime call exactly
+// — streams are per-device, so batching reorders nothing within one. duts,
+// rngs, flts and out must have equal length. The call is total: every
+// per-device failure (error or recovered panic) lands in its own slot and
+// never poisons a neighbor.
+func (ba *BatchAcquirer) CaptureTimeBatch(duts []rf.EnvelopeDevice, rngs []*rand.Rand, flts []*rf.InsertionFaults, out []BatchCapture) {
+	k := len(duts)
+	if cap(ba.runs) < k {
+		runs := make([]rf.DeviceRun, k)
+		copy(runs, ba.runs)
+		ba.runs = runs
+	}
+	ba.runs = ba.runs[:k]
+	for i := range ba.runs {
+		ba.runs[i].DUT = duts[i]
+		ba.runs[i].Flt = flts[i]
+	}
+	ba.runner.RunDevices(ba.runs)
+	for i := range ba.runs {
+		out[i] = BatchCapture{}
+		if ba.runs[i].Panic != nil {
+			out[i].Panic = ba.runs[i].Panic
+			continue
+		}
+		if ba.runs[i].Err != nil {
+			out[i].Err = ba.runs[i].Err
+			continue
+		}
+		ba.finishCapture(i, rngs[i], &out[i])
+	}
+}
+
+// finishCapture runs the post-envelope stages (noise, quantize, window,
+// pad) for one slot under per-device panic recovery. Every stage returns a
+// fresh slice, so Rec is independent of the pooled capture scratch.
+func (ba *BatchAcquirer) finishCapture(i int, rng *rand.Rand, out *BatchCapture) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.Panic = r
+		}
+	}()
+	y := ba.runs[i].Capture
+	if rng != nil && ba.cfg.NoiseSigmaV > 0 {
+		y = wave.AddNoise(rng, y, ba.cfg.NoiseSigmaV)
+	}
+	if ba.cfg.DigitizerBits > 0 {
+		y = quantize(y, ba.cfg.DigitizerBits, ba.cfg.digitizerFullScale())
+	}
+	windowed := ba.cfg.Window.Apply(y)
+	out.Rec = dsp.ZeroPad(windowed, ba.padN)
 }
 
 // Signatures turns a batch of CaptureTime records into feature signatures:

@@ -122,3 +122,78 @@ func TestCalibrationPredictBatchBitIdentity(t *testing.T) {
 		}
 	}
 }
+
+// TestCaptureTimeBatchBitIdentity drives the device-interleaved capture path
+// against per-device CaptureTime calls with identical seeds: records must
+// match bit for bit across clean and faulted devices, a panicking fault hook
+// must land in its own slot without touching neighbors, and repeated calls
+// must be stable across the pooled scratch.
+func TestCaptureTimeBatchBitIdentity(t *testing.T) {
+	cfg := batchFixtureConfig()
+	rng := rand.New(rand.NewSource(77))
+	stim := cfg.RandomStimulus(rng)
+	pop, err := GeneratePopulation(rng, RF2401Model{}, 8, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowS := cfg.StimulusDuration()
+	faults := []*rf.InsertionFaults{
+		nil, nil,
+		{ContactGain: func(t float64) float64 {
+			if math.Sin(2*math.Pi*2/windowS*t) > 0 {
+				return 0.5
+			}
+			return 1
+		}},
+		{CaptureTransform: func(x []float64) []float64 { return x[:len(x)-1] }}, // CaptureN contract panic
+		{LOAmpScale: 0.9, LOPhaseRad: 0.2},
+		nil,
+		{StimTransform: func(s rf.StimFunc) rf.StimFunc {
+			return func(t float64) float64 { return s(t) * 0.97 }
+		}},
+		nil,
+	}
+
+	ba, err := NewBatchAcquirer(cfg, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duts := make([]rf.EnvelopeDevice, len(pop))
+	for i, d := range pop {
+		duts[i] = d.Behavioral
+	}
+	for round := 0; round < 3; round++ {
+		rngs := make([]*rand.Rand, len(pop))
+		for i := range rngs {
+			rngs[i] = rand.New(rand.NewSource(DeviceSeed(11, i)))
+		}
+		out := make([]BatchCapture, len(pop))
+		ba.CaptureTimeBatch(duts, rngs, faults, out)
+		for i := range pop {
+			if i == 3 {
+				if out[i].Panic == nil {
+					t.Fatalf("round %d device 3: expected CaptureN contract panic", round)
+				}
+				continue
+			}
+			if out[i].Panic != nil {
+				t.Fatalf("round %d device %d: unexpected panic: %v", round, i, out[i].Panic)
+			}
+			if out[i].Err != nil {
+				t.Fatalf("round %d device %d: %v", round, i, out[i].Err)
+			}
+			want, err := ba.CaptureTime(duts[i], rand.New(rand.NewSource(DeviceSeed(11, i))), faults[i])
+			if err != nil {
+				t.Fatalf("round %d device %d: serial: %v", round, i, err)
+			}
+			if len(out[i].Rec) != len(want) {
+				t.Fatalf("round %d device %d: length %d vs %d", round, i, len(out[i].Rec), len(want))
+			}
+			for s := range want {
+				if math.Float64bits(out[i].Rec[s]) != math.Float64bits(want[s]) {
+					t.Fatalf("round %d device %d sample %d: %v vs %v", round, i, s, out[i].Rec[s], want[s])
+				}
+			}
+		}
+	}
+}

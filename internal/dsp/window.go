@@ -1,6 +1,9 @@
 package dsp
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Window identifies a tapering window used before spectral analysis or in
 // windowed-sinc FIR design.
@@ -59,9 +62,35 @@ func (w Window) Coefficients(n int) []float64 {
 	return out
 }
 
+// The acquisition hot path applies the same window to every capture, and
+// the coefficients are a pure function of (window, length) — recomputing the
+// cosines per device was ~12% of a batched screen. Tables are cached like
+// the FFT plans: computed once per (window, n), stored immutably, shared
+// across goroutines. Only the cache's internal read paths use the shared
+// slice; Coefficients keeps returning a fresh slice callers may mutate.
+type windowKey struct {
+	w Window
+	n int
+}
+
+var windowCoefCache sync.Map // windowKey -> []float64 (read-only once stored)
+
+// coefCached returns the shared, immutable coefficient table for (w, n).
+func (w Window) coefCached(n int) []float64 {
+	key := windowKey{w: w, n: n}
+	if v, ok := windowCoefCache.Load(key); ok {
+		return v.([]float64)
+	}
+	c := w.Coefficients(n)
+	if v, loaded := windowCoefCache.LoadOrStore(key, c); loaded {
+		return v.([]float64)
+	}
+	return c
+}
+
 // Apply returns x multiplied pointwise by the window.
 func (w Window) Apply(x []float64) []float64 {
-	c := w.Coefficients(len(x))
+	c := w.coefCached(len(x))
 	out := make([]float64, len(x))
 	for i := range x {
 		out[i] = x[i] * c[i]
@@ -72,7 +101,7 @@ func (w Window) Apply(x []float64) []float64 {
 // CoherentGain returns the mean of the window coefficients, the factor by
 // which a coherent tone's FFT amplitude is reduced by the taper.
 func (w Window) CoherentGain(n int) float64 {
-	c := w.Coefficients(n)
+	c := w.coefCached(n)
 	s := 0.0
 	for _, v := range c {
 		s += v

@@ -1,0 +1,46 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWindowCoefCacheBitIdentity pins the cached window path to the direct
+// computation: Apply and CoherentGain through the cache must match fresh
+// Coefficients bit for bit for every window kind and several lengths, and
+// repeated applications must not perturb the shared table.
+func TestWindowCoefCacheBitIdentity(t *testing.T) {
+	for _, w := range []Window{Rectangular, Hann, Hamming, Blackman} {
+		for _, n := range []int{1, 2, 33, 100, 128} {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = math.Sin(0.37*float64(i)) + 0.25
+			}
+			fresh := w.Coefficients(n)
+			want := make([]float64, n)
+			for i := range x {
+				want[i] = x[i] * fresh[i]
+			}
+			for rep := 0; rep < 3; rep++ {
+				got := w.Apply(x)
+				for i := range want {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("%v n=%d rep %d: sample %d: %x vs %x",
+							w, n, rep, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+					}
+				}
+				// Mutating the returned slice must never reach the cache.
+				for i := range got {
+					got[i] = -1
+				}
+			}
+			s := 0.0
+			for _, v := range fresh {
+				s += v
+			}
+			if math.Float64bits(w.CoherentGain(n)) != math.Float64bits(s/float64(n)) {
+				t.Fatalf("%v n=%d: CoherentGain diverged from direct computation", w, n)
+			}
+		}
+	}
+}

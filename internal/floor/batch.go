@@ -31,9 +31,34 @@ type batchScreener struct {
 	ps    core.PredictScratch
 	specs []lna.Specs
 	pool  *sync.Pool // nil when the registry was full at construction
+
+	// Stage-1 scratch: the round's attempting devices and the parallel
+	// argument arrays handed to CaptureTimeBatch, pooled across rounds.
+	att  []*batchDevState
+	duts []rf.EnvelopeDevice
+	rngs []*rand.Rand
+	flts []*rf.InsertionFaults
+	caps []core.BatchCapture
 }
 
 func (s *batchScreener) release() {
+	// Drop references into the finished batch so a pooled screener never
+	// pins device state or records beyond the call that produced them.
+	for i := range s.att {
+		s.att[i] = nil
+	}
+	for i := range s.duts {
+		s.duts[i] = nil
+	}
+	for i := range s.rngs {
+		s.rngs[i] = nil
+	}
+	for i := range s.flts {
+		s.flts[i] = nil
+	}
+	for i := range s.caps {
+		s.caps[i] = core.BatchCapture{}
+	}
 	if s.pool != nil {
 		s.pool.Put(s)
 	}
@@ -86,10 +111,12 @@ type batchDevState struct {
 	dev *core.Device
 	rng *rand.Rand
 
-	sig      []float64 // accepted signature
-	rec      []float64 // this round's time record (nil: no capture)
-	resolved bool      // clean capture accepted
-	done     bool      // no further attempts (panic or expired deadline)
+	sig       []float64 // accepted signature
+	rec       []float64 // this round's time record (nil: no capture)
+	flt       *rf.InsertionFaults
+	attempted bool // this round drew an insertion and wants a capture
+	resolved  bool // clean capture accepted
+	done      bool // no further attempts (panic or expired deadline)
 }
 
 // supervised runs fn under the per-device panic contract: a panic is
@@ -162,16 +189,25 @@ func (e *Engine) ScreenBatch(ctx context.Context, batch []BatchDevice, faults *F
 	recs := make([][]float64, 0, len(batch))
 	live := make([]*batchDevState, 0, len(batch))
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		// Stage 1 — per-device insertion: backoff, fault draw, time-domain
-		// capture. Each device's rng consumption matches the serial path
-		// sample for sample.
+		// Stage 1 — per-device insertion bookkeeping (backoff, fault draw)
+		// followed by one device-interleaved capture of the whole round.
+		// Each device's rng consumption matches the serial path sample for
+		// sample: the draw and the noise stream both come from the device's
+		// own rng in the serial order, so splitting the round into
+		// draw-then-capture phases reorders nothing within a device.
 		recs = recs[:0]
 		live = live[:0]
+		att := scr.att[:0]
+		duts := scr.duts[:0]
+		rngs := scr.rngs[:0]
+		flts := scr.flts[:0]
 		for _, st := range states {
 			if st.resolved || st.done {
 				continue
 			}
 			st.rec = nil
+			st.flt = nil
+			st.attempted = false
 			st.supervised(func() {
 				if attempt > 0 {
 					if ctx != nil && ctx.Err() != nil {
@@ -182,26 +218,49 @@ func (e *Engine) ScreenBatch(ctx context.Context, batch []BatchDevice, faults *F
 					st.res.ExtraSettleS += pol.SettleBaseS * math.Pow(pol.BackoffFactor, float64(attempt-1))
 				}
 				var kind FaultKind
-				var flt *rf.InsertionFaults
 				if faults != nil {
-					kind, flt = faults.Draw(st.rng, windowS)
+					kind, st.flt = faults.Draw(st.rng, windowS)
 				}
 				st.res.Insertions++
 				st.res.Faults = append(st.res.Faults, kind)
-
-				rec, err := scr.ba.CaptureTime(st.dev.Behavioral, st.rng, flt)
-				if err != nil {
-					st.res.AcqErrors++
-					st.res.Verdicts = append(st.res.Verdicts, VerdictInvalid)
-					return
-				}
-				st.rec = rec
+				st.attempted = true
 			})
-			if st.rec != nil {
-				recs = append(recs, st.rec)
-				live = append(live, st)
+			if st.attempted && !st.done {
+				att = append(att, st)
+				duts = append(duts, st.dev.Behavioral)
+				rngs = append(rngs, st.rng)
+				flts = append(flts, st.flt)
 			}
 		}
+		if len(att) > 0 {
+			if cap(scr.caps) < len(att) {
+				scr.caps = make([]core.BatchCapture, len(att))
+			}
+			caps := scr.caps[:len(att)]
+			scr.ba.CaptureTimeBatch(duts, rngs, flts, caps)
+			for ci, st := range att {
+				c := &caps[ci]
+				st.supervised(func() {
+					if c.Panic != nil {
+						// Re-raise under this device's supervision: the
+						// fallback-bin routing and "panic: %v" message are
+						// byte-identical to the serial CaptureTime panic.
+						panic(c.Panic)
+					}
+					if c.Err != nil {
+						st.res.AcqErrors++
+						st.res.Verdicts = append(st.res.Verdicts, VerdictInvalid)
+						return
+					}
+					st.rec = c.Rec
+				})
+				if st.rec != nil && !st.done {
+					recs = append(recs, st.rec)
+					live = append(live, st)
+				}
+			}
+		}
+		scr.att, scr.duts, scr.rngs, scr.flts = att, duts, rngs, flts
 		// Stage 2 — one batched FFT turns every surviving capture of the
 		// round into its signature.
 		var sigs [][]float64

@@ -43,6 +43,11 @@ type BatchRunner struct {
 	n      int
 	mz     int
 
+	// InterleaveTile is the device-group width of one SoA pass of the
+	// interleaved kernel (RunDevices): 0 means the cache-sized default,
+	// 1 disables interleaving (every device takes the serial tail).
+	InterleaveTile int
+
 	// Shared per-stimulus state (Prepare).
 	stim      StimFunc
 	rfInSig   *EnvSignal
@@ -64,6 +69,9 @@ type BatchRunner struct {
 	prod     []complex128
 	down0    []complex128
 	base     []float64
+
+	// Interleaved-kernel scratch (interleave.go).
+	il ilState
 }
 
 // envBuf is an occupancy-tracked multi-zone envelope buffer. alloc mirrors
@@ -193,6 +201,9 @@ func (br *BatchRunner) Prepare(stim StimFunc) {
 	br.inPows = nil
 	br.d1 = nil
 	br.loClean = br.buildLoSet(br.lb.CarrierAmp, br.lb.PathPhase, br.mz)
+	// The interleaved kernel's plans are compiled against the clean LO set
+	// above; a new stimulus invalidates them.
+	br.il.plans = nil
 }
 
 func (br *BatchRunner) buildLoSet(amp, phase float64, yAlloc int) *loSet {
@@ -458,17 +469,32 @@ func (br *BatchRunner) RunDevice(dut EnvelopeDevice, flt *InsertionFaults) ([]fl
 	// buffers are recycled between devices, so the cache must not survive.
 	br.powFor = nil
 
-	var y *envBuf
-	var ySig *EnvSignal
+	y, ySig := br.front(dut, nil)
+	if flt != nil && flt.ContactGain != nil {
+		scaleTime(y, flt.ContactGain)
+	}
+	return br.tail(y, ySig, flt), nil
+}
+
+// front replays the DUT half of the chain. For Amplifier/Chain devices the
+// final envelope lands in dst when given (the interleaved kernel's per-slot
+// buffer) and in the shared scratch otherwise; the intermediate buffers and
+// therefore the FP sequence are identical either way. Generic DUTs go
+// through their own ProcessEnvelope and return the wrapped signal for the
+// mixer compatibility check.
+func (br *BatchRunner) front(dut EnvelopeDevice, dst *envBuf) (*envBuf, *EnvSignal) {
 	switch d := dut.(type) {
 	case *Amplifier:
-		y = br.ampBuf
-		br.runAmp(d, br.rfIn, y, true)
+		out := dst
+		if out == nil {
+			out = br.ampBuf
+		}
+		br.runAmp(d, br.rfIn, out, true)
+		return out, nil
 	case *Chain:
 		if len(d.Stages) == 0 {
-			ySig = d.ProcessEnvelope(br.rfInSig.Clone(), br.mz)
-			y = wrapSignal(ySig)
-			break
+			ySig := d.ProcessEnvelope(br.rfInSig.Clone(), br.mz)
+			return wrapSignal(ySig), ySig
 		}
 		in := br.rfIn
 		for si, st := range d.Stages {
@@ -476,19 +502,24 @@ func (br *BatchRunner) RunDevice(dut EnvelopeDevice, flt *InsertionFaults) ([]fl
 			if in == br.ampBuf {
 				out = br.chainBuf
 			}
+			if si == len(d.Stages)-1 && dst != nil {
+				out = dst
+			}
 			br.runAmp(st, in, out, si == 0)
 			in = out
 		}
-		y = in
+		return in, nil
 	default:
-		ySig = dut.ProcessEnvelope(br.rfInSig.Clone(), br.mz)
-		y = wrapSignal(ySig)
+		ySig := dut.ProcessEnvelope(br.rfInSig.Clone(), br.mz)
+		return wrapSignal(ySig), ySig
 	}
+}
 
-	if flt != nil && flt.ContactGain != nil {
-		scaleTime(y, flt.ContactGain)
-	}
-
+// tail completes one device's capture from its post-contact envelope: LO
+// resolution, downmix, filter, decimate, capture-transform fault. This is
+// the per-device (serial) tail; the interleaved kernel replaces it for
+// occupancy groups of two or more devices.
+func (br *BatchRunner) tail(y *envBuf, ySig *EnvSignal, flt *InsertionFaults) []float64 {
 	lo := br.loFor(flt, y.alloc)
 	if ySig != nil {
 		if err := ySig.compatible(lo.sig); err != nil {
@@ -502,6 +533,12 @@ func (br *BatchRunner) RunDevice(dut EnvelopeDevice, flt *InsertionFaults) ([]fl
 	}
 	filtered := br.fir.FilterCompensated(br.base)
 	capture := strideDecimate(filtered, br.os, br.settle*br.os, br.lb.CaptureN)
+	return br.applyCaptureTransform(capture, flt)
+}
+
+// applyCaptureTransform applies the capture-transform fault hook under the
+// CaptureN length contract.
+func (br *BatchRunner) applyCaptureTransform(capture []float64, flt *InsertionFaults) []float64 {
 	if flt != nil && flt.CaptureTransform != nil {
 		capture = flt.CaptureTransform(capture)
 		if len(capture) != br.lb.CaptureN {
@@ -509,7 +546,7 @@ func (br *BatchRunner) RunDevice(dut EnvelopeDevice, flt *InsertionFaults) ([]fl
 				br.lb.CaptureN, len(capture)))
 		}
 	}
-	return capture, nil
+	return capture
 }
 
 // downmixZone0 accumulates zone 0 of the reference down-mixer output into

@@ -1,0 +1,336 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+// runDevicesAgainstReference screens one assignment of (DUT, fault) pairs
+// through RunDevices and demands every slot match the reference
+// RunEnvelopeFaulted capture sample for sample.
+func runDevicesAgainstReference(t *testing.T, lb *Loadboard, br *BatchRunner, stim StimFunc,
+	assign []struct {
+		name string
+		dut  EnvelopeDevice
+		flt  *InsertionFaults
+	}) {
+	t.Helper()
+	devs := make([]DeviceRun, len(assign))
+	for i, a := range assign {
+		devs[i] = DeviceRun{DUT: a.dut, Flt: a.flt}
+	}
+	br.RunDevices(devs)
+	for i, a := range assign {
+		if devs[i].Panic != nil {
+			t.Fatalf("slot %d (%s): unexpected panic: %v", i, a.name, devs[i].Panic)
+		}
+		if devs[i].Err != nil {
+			t.Fatalf("slot %d (%s): unexpected error: %v", i, a.name, devs[i].Err)
+		}
+		ref, err := lb.RunEnvelopeFaulted(a.dut, stim, a.flt)
+		if err != nil {
+			t.Fatalf("slot %d (%s): reference: %v", i, a.name, err)
+		}
+		sameCapture(t, fmt.Sprintf("slot %d (%s)", i, a.name), ref, devs[i].Capture)
+	}
+}
+
+// TestRunDevicesBitIdentity drives mixed batches — every board, every DUT
+// kind, every fault kind, group sizes from singleton to past the tile
+// boundary — through the interleaved kernel and checks each capture against
+// the serial reference.
+func TestRunDevicesBitIdentity(t *testing.T) {
+	for bname, lb := range batchTestBoards() {
+		stim := batchStim(0.18)
+		br, err := NewBatchRunner(lb)
+		if err != nil {
+			t.Fatalf("%s: NewBatchRunner: %v", bname, err)
+		}
+		br.Prepare(stim)
+		windowS := float64(lb.CaptureN) / lb.DigitizerFs
+		duts := batchTestDUTs()
+		faults := batchTestFaults(windowS)
+
+		var assign []struct {
+			name string
+			dut  EnvelopeDevice
+			flt  *InsertionFaults
+		}
+		// A uniform run of clean amp-quad devices crosses the tile boundary;
+		// the rest mixes every DUT and fault so clean groups, serial tails
+		// and reference fallbacks interleave in one call.
+		for i := 0; i < 19; i++ {
+			assign = append(assign, struct {
+				name string
+				dut  EnvelopeDevice
+				flt  *InsertionFaults
+			}{fmt.Sprintf("amp-quad/clean#%d", i), duts["amp-quad"], nil})
+		}
+		for dname, dut := range duts {
+			for fname, flt := range faults {
+				assign = append(assign, struct {
+					name string
+					dut  EnvelopeDevice
+					flt  *InsertionFaults
+				}{dname + "/" + fname, dut, flt})
+			}
+		}
+		runDevicesAgainstReference(t, lb, br, stim, assign)
+	}
+}
+
+// TestRunDevicesTileSweep pins the tile split: every tile width (including 1,
+// which disables interleaving entirely) must reproduce the reference bits.
+func TestRunDevicesTileSweep(t *testing.T) {
+	lb := batchTestBoards()["phased"]
+	stim := batchStim(0.18)
+	duts := batchTestDUTs()
+	for _, tile := range []int{1, 2, 3, 5, 16, 64} {
+		br, err := NewBatchRunner(lb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br.InterleaveTile = tile
+		br.Prepare(stim)
+		assign := make([]struct {
+			name string
+			dut  EnvelopeDevice
+			flt  *InsertionFaults
+		}, 11)
+		for i := range assign {
+			assign[i].name = fmt.Sprintf("tile%d/dev%d", tile, i)
+			assign[i].dut = duts["amp-quad"]
+		}
+		runDevicesAgainstReference(t, lb, br, stim, assign)
+	}
+}
+
+// TestRunDevicesPanicIsolation puts a CaptureN-contract violation in the
+// middle of a clean group: that slot records the panic, its groupmates'
+// captures still match the reference.
+func TestRunDevicesPanicIsolation(t *testing.T) {
+	lb := batchTestBoards()["default"]
+	stim := batchStim(0.18)
+	br, err := NewBatchRunner(lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.Prepare(stim)
+	dut := NewAmplifier(Poly{C: []float64{5.6, 0.8, -120}})
+	bad := &InsertionFaults{CaptureTransform: func(x []float64) []float64 { return x[:len(x)-3] }}
+	devs := make([]DeviceRun, 5)
+	for i := range devs {
+		devs[i].DUT = dut
+	}
+	devs[2].Flt = bad
+	br.RunDevices(devs)
+	if devs[2].Panic == nil {
+		t.Fatal("expected CaptureN contract panic on slot 2")
+	}
+	if msg, ok := devs[2].Panic.(string); !ok || !strings.Contains(msg, "CaptureN contract") {
+		t.Fatalf("unexpected panic payload: %v", devs[2].Panic)
+	}
+	ref, err := lb.RunEnvelopeFaulted(dut, stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if devs[i].Panic != nil || devs[i].Err != nil {
+			t.Fatalf("slot %d poisoned: panic=%v err=%v", i, devs[i].Panic, devs[i].Err)
+		}
+		sameCapture(t, fmt.Sprintf("slot %d beside panic", i), ref, devs[i].Capture)
+	}
+}
+
+// TestRunDevicesRequiresPrepare checks every slot reports the unprepared
+// error.
+func TestRunDevicesRequiresPrepare(t *testing.T) {
+	br, err := NewBatchRunner(DefaultLoadboard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := make([]DeviceRun, 3)
+	for i := range devs {
+		devs[i].DUT = NewAmplifier(PolyFromSpecs(15, -8))
+	}
+	br.RunDevices(devs)
+	for i := range devs {
+		if devs[i].Err == nil {
+			t.Fatalf("slot %d: expected error before Prepare", i)
+		}
+	}
+}
+
+// randomPoly draws a random DUT polynomial: always a linear term, sometimes
+// quadratic/cubic, occasionally purely linear.
+func randomPoly(rng *rand.Rand) Poly {
+	c := []float64{1 + 4*rng.Float64()}
+	for len(c) < 3 && rng.Float64() < 0.7 {
+		c = append(c, (rng.Float64()-0.5)*2*math.Pow(10, float64(len(c))))
+	}
+	return Poly{C: c}
+}
+
+// TestRunDevicesPropertyRandom is the randomized end-to-end property test:
+// random boards (zone counts, capture/settle lengths, phases, mixers),
+// random DUT populations, random fault assignments and random batch sizes,
+// checked against the serial reference with == on captures and Float64bits
+// on the post-|FFT| signature the screen consumes.
+func TestRunDevicesPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 12; trial++ {
+		lb := DefaultLoadboard()
+		lb.CaptureN = 24 + rng.Intn(3)*8
+		lb.SettleN = 4 + rng.Intn(8)
+		lb.MaxZone = 1 + rng.Intn(3)
+		lb.PathPhase = rng.Float64()
+		if rng.Intn(2) == 0 {
+			lb.DownMixer = IdealMixer()
+		}
+		stim := batchStim(0.1 + 0.2*rng.Float64())
+		br, err := NewBatchRunner(lb)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rng.Intn(3) == 0 {
+			br.InterleaveTile = 2 + rng.Intn(6)
+		}
+		br.Prepare(stim)
+		windowS := float64(lb.CaptureN) / lb.DigitizerFs
+
+		faults := []*InsertionFaults{nil, nil, nil} // bias toward clean groups
+		for fname, flt := range batchTestFaults(windowS) {
+			_ = fname
+			faults = append(faults, flt)
+		}
+		var duts []EnvelopeDevice
+		for i := 0; i < 4; i++ {
+			a := NewAmplifier(randomPoly(rng))
+			if rng.Intn(2) == 0 {
+				a.CarrierSlope = complex(rng.Float64()*4e-9, rng.Float64()*1e-9)
+			}
+			duts = append(duts, a)
+		}
+		duts = append(duts, &Chain{Stages: []*Amplifier{
+			NewAmplifier(randomPoly(rng)), NewAmplifier(randomPoly(rng)),
+		}})
+		duts = append(duts, genericDUT{a: NewAmplifier(randomPoly(rng))})
+
+		k := 2 + rng.Intn(20)
+		devs := make([]DeviceRun, k)
+		picks := make([]int, k)
+		fpicks := make([]int, k)
+		for i := range devs {
+			picks[i] = rng.Intn(len(duts))
+			fpicks[i] = rng.Intn(len(faults))
+			devs[i].DUT = duts[picks[i]]
+			devs[i].Flt = faults[fpicks[i]]
+		}
+		br.RunDevices(devs)
+		pad := dsp.NextPow2(lb.CaptureN)
+		for i := range devs {
+			name := fmt.Sprintf("trial %d slot %d (dut %d fault %d)", trial, i, picks[i], fpicks[i])
+			if devs[i].Panic != nil {
+				t.Fatalf("%s: panic: %v", name, devs[i].Panic)
+			}
+			if devs[i].Err != nil {
+				t.Fatalf("%s: error: %v", name, devs[i].Err)
+			}
+			ref, err := lb.RunEnvelopeFaulted(devs[i].DUT, stim, devs[i].Flt)
+			if err != nil {
+				t.Fatalf("%s: reference: %v", name, err)
+			}
+			sameCapture(t, name, ref, devs[i].Capture)
+			refSig := dsp.MagnitudeSpectrum(dsp.ZeroPad(ref, pad))
+			gotSig := dsp.MagnitudeSpectrum(dsp.ZeroPad(devs[i].Capture, pad))
+			for bi := range refSig {
+				if math.Float64bits(refSig[bi]) != math.Float64bits(gotSig[bi]) {
+					t.Fatalf("%s: signature bin %d differs: %x vs %x",
+						name, bi, math.Float64bits(gotSig[bi]), math.Float64bits(refSig[bi]))
+				}
+			}
+		}
+	}
+}
+
+// TestMulOccIntoPropertyRandom pits the occupancy-pruned product against the
+// reference Mul over random zone counts, occupancy patterns and lengths.
+// Zeroed zones are structurally inert, so every output sample must agree
+// under == (signed zeros equal) and every magnitude under Float64bits.
+func TestMulOccIntoPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4096))
+	randSig := func(n, mz int) *EnvSignal {
+		s := NewEnvSignal(40e6, 2.4e9, n, mz)
+		for k := range s.Z {
+			if rng.Float64() < 0.35 {
+				continue // structurally zero zone
+			}
+			for i := range s.Z[k] {
+				s.Z[k][i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+		}
+		return s
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		amz := rng.Intn(5)
+		bmz := rng.Intn(5)
+		outMax := rng.Intn(7)
+		a, b := randSig(n, amz), randSig(n, bmz)
+		ref := Mul(a, b, outMax)
+		out := (&envBuf{}).prep(a.Fs, n, outMax)
+		computeMax := rng.Intn(outMax + 2) // may exceed alloc: must clamp
+		mulOccInto(out, wrapSignal(a), wrapSignal(b), computeMax)
+		for m := 0; m <= outMax; m++ {
+			for i := 0; i < n; i++ {
+				var got complex128
+				if m < len(out.occ) && out.occ[m] {
+					got = out.z[m][i]
+				}
+				want := ref.Z[m][i]
+				if m > computeMax {
+					want = 0 // zones past computeMax are deliberately not computed
+				}
+				if got != want {
+					t.Fatalf("trial %d zone %d sample %d: %v vs %v (computeMax %d, occ %v)",
+						trial, m, i, got, want, computeMax, out.occ)
+				}
+				if cmplx.Abs(got) != cmplx.Abs(want) &&
+					math.Float64bits(cmplx.Abs(got)) != math.Float64bits(cmplx.Abs(want)) {
+					t.Fatalf("trial %d zone %d sample %d: magnitude bits differ", trial, m, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDevicesAllocSteadyState pins the interleaved kernel's steady state
+// to zero allocations per batch: planes, plans, groups and captures are all
+// pooled once warm.
+func TestRunDevicesAllocSteadyState(t *testing.T) {
+	lb := batchTestBoards()["default"]
+	stim := batchStim(0.18)
+	br, err := NewBatchRunner(lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.Prepare(stim)
+	dut := NewAmplifier(Poly{C: []float64{5.6, 0.8, -120}})
+	devs := make([]DeviceRun, 8)
+	for i := range devs {
+		devs[i].DUT = dut
+	}
+	br.RunDevices(devs) // warm pools and plan cache
+	avg := testing.AllocsPerRun(50, func() {
+		br.RunDevices(devs)
+	})
+	if avg != 0 {
+		t.Fatalf("interleaved kernel allocates %v per batch in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,97 @@
+// Command benchguard is the CI bench-regression gate for the batched
+// screening kernel. It reads the freshly generated BENCH_batch.json and
+// the checked-in scripts/bench_baseline.json and fails (exit 1) when the
+// measured ns/device at the guarded batch size exceeds the baseline by
+// more than the allowed margin.
+//
+// The margin (default 20%) absorbs shared-runner noise — the fixture's
+// spread on an otherwise idle machine is ~±7% — while still catching the
+// class of regression that motivated the guard: an accidental fallback
+// from the interleaved kernel to the serial tail is a >50% slowdown and
+// trips the gate immediately.
+//
+// Usage:
+//
+//	go run ./scripts/benchguard [-bench BENCH_batch.json] [-baseline scripts/bench_baseline.json] [-margin 0.20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// guardedKeys are the metrics the gate enforces. Only keys present in the
+// baseline file are checked, so the baseline controls the guard's scope.
+var guardedKeys = []string{
+	"k16_ns_per_device",
+	"k64_ns_per_device",
+}
+
+func load(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func num(m map[string]any, key string) (float64, bool) {
+	v, ok := m[key].(float64)
+	return v, ok
+}
+
+func main() {
+	benchPath := flag.String("bench", "BENCH_batch.json", "measured benchmark table")
+	basePath := flag.String("baseline", "scripts/bench_baseline.json", "checked-in baseline table")
+	margin := flag.Float64("margin", 0.20, "allowed fractional regression over baseline")
+	flag.Parse()
+
+	bench, err := load(*benchPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v (run the ScreenBatch benchmark first)\n", err)
+		os.Exit(1)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	checked := 0
+	for _, key := range guardedKeys {
+		want, ok := num(base, key)
+		if !ok {
+			continue // baseline does not guard this key
+		}
+		got, ok := num(bench, key)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s missing from %s\n", key, *benchPath)
+			failed = true
+			continue
+		}
+		checked++
+		limit := want * (1 + *margin)
+		if got > limit {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s = %.0f ns/device exceeds baseline %.0f by more than %.0f%% (limit %.0f)\n",
+				key, got, want, *margin*100, limit)
+			failed = true
+		} else {
+			fmt.Printf("benchguard: ok   %s = %.0f ns/device (baseline %.0f, limit %.0f)\n",
+				key, got, want, limit)
+		}
+	}
+	if checked == 0 && !failed {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL no guarded keys found in %s\n", *basePath)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -32,12 +32,20 @@ go test -race -count=2 -timeout 30m ./internal/lotserver/
 go test -race -count=2 -timeout 30m ./internal/modelreg/
 go test -race -count=2 -timeout 30m -run 'Rollout|Shadow|Canary|Drift|Model' ./internal/lotserver/ ./internal/lotrun/
 # Batched-kernel bit-identity: the ScreenBatch determinism contract at
-# every layer — kernel, in-process orchestrator, distributed floor,
-# multi-lot server — under the race detector.
+# every layer — interleaved SoA kernel, batched acquirer, in-process
+# orchestrator, distributed floor, multi-lot server — under the race
+# detector. PropertyRandom covers the randomized interleaved-vs-serial
+# and mulOccInto-vs-Mul property suites.
 go test -race -count=1 -timeout 30m \
-	-run 'BitIdentity|ByteIdentical|CleanDRegression|BatchedServerBitIdentical' \
+	-run 'BitIdentity|ByteIdentical|CleanDRegression|BatchedServerBitIdentical|PropertyRandom|RunDevices' \
+	./internal/rf/ ./internal/core/ ./internal/dsp/ \
 	./internal/floor/ ./internal/lotrun/ ./internal/netfloor/ ./internal/lotserver/
 # Bench smoke: one iteration of the pipeline and batched-kernel
 # benchmarks, which also assert parallel/batched results bit-identical to
 # serial.
 go test -run '^$' -bench 'Calibrate|GA|ScreenBatch' -benchtime 1x .
+# Bench-regression gate: re-run the batched-kernel sweep with enough
+# iterations for a stable reading, then fail the build if ns/device at
+# the guarded batch sizes exceeds the checked-in baseline by >20%.
+go test -run '^$' -bench '^BenchmarkScreenBatch$' -benchtime 3x .
+go run ./scripts/benchguard
