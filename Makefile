@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmtcheck vet build test race netsoak lotsoak rolloutsoak bench benchguard profile ci
+.PHONY: all fmt fmtcheck vet build test race netsoak lotsoak rolloutsoak chaossoak bench benchguard profile ci
 
 all: build
 
@@ -51,6 +51,22 @@ rolloutsoak:
 	$(GO) test -race -count=2 -timeout 30m ./internal/modelreg/
 	$(GO) test -race -count=2 -timeout 30m -run 'Rollout|Shadow|Canary|Drift|Model' ./internal/lotserver/ ./internal/lotrun/
 
+# Storage-chaos soak: seeded disk faults (EIO, torn writes, ENOSPC,
+# corrupt renames, latency) composed with network faults and transient
+# worker panics over a multi-lot server run, under the race detector.
+# Asserts committed bins bit-identical to the fault-free serial reference
+# and every lot terminating with a full report or a typed error. Every
+# schedule is a pure function of its seed; replay one failing schedule
+# with:
+#   go test -race -run ChaosSoak ./internal/lotserver/ -args -chaosseed=<seed>
+chaossoak:
+	$(GO) test -race -count=2 -timeout 30m \
+		-run 'ChaosSoak|JournalDegraded|DrainDegraded|ClientDegraded' ./internal/lotserver/
+	$(GO) test -race -count=2 -timeout 30m \
+		-run 'CorruptArtifactTailSweep|ActivePrevFallback|FaultFSCorruptRename' ./internal/modelreg/
+	$(GO) test -race -count=2 -timeout 30m ./internal/diskfault/
+	$(GO) test -race -count=2 -timeout 30m -run 'Journal' ./internal/lotrun/
+
 # Serial-vs-parallel benchmarks: lot orchestration (BENCH_lotrun.json),
 # the off-line calibration pipeline (BENCH_pipeline.json), the
 # distributed floor over in-process pipes (BENCH_netfloor.json), the
@@ -87,4 +103,4 @@ profile:
 	./bin/sigtest -dut rf2401 -quick -produce 200 -faults -batch 16 -cpuprofile floor.pprof
 	$(GO) tool pprof -top -nodecount 15 bin/sigtest floor.pprof
 
-ci: fmtcheck vet build race netsoak lotsoak rolloutsoak
+ci: fmtcheck vet build race netsoak lotsoak rolloutsoak chaossoak

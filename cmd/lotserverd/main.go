@@ -61,6 +61,8 @@ func main() {
 	listen := flag.String("listen", ":7200", "address to serve lot submissions on")
 	statusAddr := flag.String("statusz", "", "address to serve the /statusz JSON snapshot on (empty = off)")
 	journal := flag.String("journal", "", "journal directory: one fsync'd <lot>.journal per lot (empty = no crash safety)")
+	journalRetries := flag.Int("journal-retries", 3, "commit attempts per journal record before the lot degrades to journal-less mode")
+	journalBackoff := flag.Duration("journal-retry-backoff", time.Millisecond, "sleep before the first journal commit retry, doubling per attempt")
 	registry := flag.String("registry", "", "model-registry directory: versioned calibration artifacts, shadow screening and staged rollout (empty = base model only)")
 	canary := flag.Float64("canary", 0.25, "fraction of new lots pinned to the candidate during a canary rollout (with -registry)")
 	sites := flag.String("sites", "", "comma-separated remote sitetester addresses")
@@ -90,6 +92,12 @@ func main() {
 	if *batch < 1 {
 		usageFail("-batch %d is not a batch size; need an integer >= 1", *batch)
 	}
+	if *journalRetries < 1 {
+		usageFail("-journal-retries %d is not an attempt count; need an integer >= 1", *journalRetries)
+	}
+	if *journalBackoff <= 0 {
+		usageFail("-journal-retry-backoff %v is not a backoff; need a positive duration", *journalBackoff)
+	}
 
 	fmt.Printf("lotserverd: building rig (dut=%s seed=%d produce=%d)...\n", *dut, *seed, *produce)
 	r, err := rig.Build(rig.Params{
@@ -112,6 +120,7 @@ func main() {
 	opt := lotserver.Options{
 		Engine: r.Engine, Pool: r.Lot, Faults: r.Faults,
 		JournalDir:        *journal,
+		JournalRetry:      lotrun.RetryPolicy{Attempts: *journalRetries, Backoff: *journalBackoff},
 		Sites:             siteAddrs,
 		LocalWorkers:      *local,
 		MaxActiveLots:     *maxActive,

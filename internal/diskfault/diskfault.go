@@ -1,0 +1,400 @@
+// Package diskfault is the filesystem seam under the lot journal and the
+// model registry, plus a seeded deterministic fault injector over it.
+//
+// Production code talks to the FS interface (OS in real deployments);
+// tests wrap OS in a FaultFS whose fault schedule is a pure function of
+// (seed, operation index) — the same keying contract as netfloor's
+// fault-injecting net.Conn, so a failing chaos run is replayed exactly by
+// re-running its seed. Injected faults cover the failure modes a
+// production floor actually sees from storage: EIO on write or fsync,
+// short (torn) writes, ENOSPC, a rename that lands corrupted, and
+// latency.
+package diskfault
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// File is the subset of *os.File the journal and registry need. Every
+// method that can touch the platter is interceptable.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate changes the file size (torn-tail cleanup on resume).
+	Truncate(size int64) error
+	// Name returns the file's path as opened.
+	Name() string
+}
+
+// FS is the filesystem seam: exactly the operations the durable lot state
+// (journal, registry) performs, so a fault injector can intercept each.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open is os.Open (read-only).
+	Open(name string) (File, error)
+	// Rename is os.Rename — the registry's atomic pointer swap.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// ReadFile is os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// Stat is os.Stat.
+	Stat(name string) (fs.FileInfo, error)
+	// MkdirAll is os.MkdirAll.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadDir is os.ReadDir.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory so a create or rename inside it is
+	// durable. Best-effort on filesystems that refuse directory fsync —
+	// implementations return nil there — but an injected fault does
+	// surface as an error so consumers exercise their failure paths.
+	SyncDir(dir string) error
+}
+
+// osFS is the passthrough production implementation.
+type osFS struct{}
+
+// OS is the real filesystem: every FS call maps 1:1 onto the os package.
+var OS FS = osFS{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)        { return os.Open(name) }
+func (osFS) Rename(oldpath, newpath string) error  { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error              { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error)  { return os.ReadFile(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// SyncDir is best-effort on the real filesystem: some filesystems (and
+// some CI sandboxes) refuse directory fsync, and that must not be treated
+// as data loss.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	d.Sync()
+	d.Close()
+	return nil
+}
+
+// Profile sets per-operation fault probabilities. All zero (or Zero())
+// means passthrough.
+type Profile struct {
+	// WriteErrP is the probability a write fails with EIO before any
+	// bytes reach the file.
+	WriteErrP float64
+	// ShortWriteP is the probability a write is torn: only a prefix of
+	// the buffer lands, and the write reports EIO. This is the crash
+	// shape the journal's CRC envelope exists to catch.
+	ShortWriteP float64
+	// ENOSPCP is the probability a write fails with ENOSPC.
+	ENOSPCP float64
+	// SyncErrP is the probability an fsync (file or directory) fails
+	// with EIO.
+	SyncErrP float64
+	// CorruptRenameP is the probability a rename completes but the
+	// destination content is scribbled (one byte flipped) — the
+	// non-atomic-rename failure the registry's CRC framing must catch.
+	CorruptRenameP float64
+	// DelayP / DelayMax inject latency (uniform in (0, DelayMax]) on any
+	// intercepted operation.
+	DelayP   float64
+	DelayMax time.Duration
+	// FirstFaultOp spares the first N operations: setup (mkdir, header
+	// write, registry scan) proceeds cleanly, faults start at op index
+	// FirstFaultOp. Zero faults from the first op.
+	FirstFaultOp int64
+}
+
+// Zero reports whether the profile injects nothing.
+func (p Profile) Zero() bool {
+	return p.WriteErrP == 0 && p.ShortWriteP == 0 && p.ENOSPCP == 0 &&
+		p.SyncErrP == 0 && p.CorruptRenameP == 0 && p.DelayP == 0
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Ops            int64 // intercepted fault-eligible operations
+	WriteErrs      int64
+	ShortWrites    int64
+	ENOSPCs        int64
+	SyncErrs       int64
+	CorruptRenames int64
+	Delays         int64
+}
+
+// Any reports whether at least one fault was injected.
+func (s Stats) Any() bool {
+	return s.WriteErrs+s.ShortWrites+s.ENOSPCs+s.SyncErrs+s.CorruptRenames+s.Delays > 0
+}
+
+// FaultFS wraps an inner FS with a deterministic fault schedule. The
+// decision for operation n is drawn from a rand stream seeded
+// parallel.SubSeed(seed, n), so the schedule is a pure function of the
+// seed and the operation order — independent of wall clock, file names,
+// or which goroutine performs the op.
+type FaultFS struct {
+	inner FS
+	seed  int64
+	prof  Profile
+
+	op atomic.Int64 // next operation index
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewFaultFS builds a fault-injecting filesystem over inner.
+func NewFaultFS(inner FS, seed int64, prof Profile) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{inner: inner, seed: seed, prof: prof}
+}
+
+// Stats returns a snapshot of injected-fault counts.
+func (f *FaultFS) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.stats
+	s.Ops = f.op.Load()
+	return s
+}
+
+// fault kinds rolled per operation.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultWriteErr
+	faultShortWrite
+	faultENOSPC
+	faultSyncErr
+	faultCorruptRename
+)
+
+// roll decides the fate of the next operation. kinds restricts which
+// error faults apply to this operation class (a read never gets EIO-on-
+// write); delay applies to every class. shortFrac is the torn-write
+// prefix fraction in [0,1) when kind == faultShortWrite.
+func (f *FaultFS) roll(kinds ...faultKind) (kind faultKind, shortFrac float64, delay time.Duration) {
+	n := f.op.Add(1) - 1
+	if f.prof.Zero() {
+		return faultNone, 0, 0
+	}
+	rng := rand.New(rand.NewSource(parallel.SubSeed(f.seed, int(n))))
+	if f.prof.DelayP > 0 && rng.Float64() < f.prof.DelayP && f.prof.DelayMax > 0 {
+		delay = time.Duration(rng.Int63n(int64(f.prof.DelayMax))) + 1
+	}
+	if n < f.prof.FirstFaultOp {
+		f.count(faultNone, delay)
+		return faultNone, 0, delay
+	}
+	for _, k := range kinds {
+		var p float64
+		switch k {
+		case faultWriteErr:
+			p = f.prof.WriteErrP
+		case faultShortWrite:
+			p = f.prof.ShortWriteP
+		case faultENOSPC:
+			p = f.prof.ENOSPCP
+		case faultSyncErr:
+			p = f.prof.SyncErrP
+		case faultCorruptRename:
+			p = f.prof.CorruptRenameP
+		}
+		if p > 0 && rng.Float64() < p {
+			f.count(k, delay)
+			return k, rng.Float64(), delay
+		}
+	}
+	f.count(faultNone, delay)
+	return faultNone, 0, delay
+}
+
+func (f *FaultFS) count(k faultKind, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if delay > 0 {
+		f.stats.Delays++
+	}
+	switch k {
+	case faultWriteErr:
+		f.stats.WriteErrs++
+	case faultShortWrite:
+		f.stats.ShortWrites++
+	case faultENOSPC:
+		f.stats.ENOSPCs++
+	case faultSyncErr:
+		f.stats.SyncErrs++
+	case faultCorruptRename:
+		f.stats.CorruptRenames++
+	}
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	_, _, d := f.roll()
+	sleep(d)
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: inner, fs: f}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	_, _, d := f.roll()
+	sleep(d)
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: inner, fs: f}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	k, frac, d := f.roll(faultCorruptRename)
+	sleep(d)
+	if err := f.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	if k == faultCorruptRename {
+		// The rename "succeeded" but the destination record is torn:
+		// flip one byte at a schedule-determined offset. CRC framing on
+		// the readers must catch this.
+		if data, err := f.inner.ReadFile(newpath); err == nil && len(data) > 0 {
+			pos := int(frac * float64(len(data)))
+			if pos >= len(data) {
+				pos = len(data) - 1
+			}
+			data[pos] ^= 0x5a
+			if w, err := f.inner.OpenFile(newpath, os.O_WRONLY|os.O_TRUNC, 0o644); err == nil {
+				w.Write(data)
+				w.Close()
+			}
+		}
+	}
+	return nil
+}
+
+func (f *FaultFS) Remove(name string) error {
+	_, _, d := f.roll()
+	sleep(d)
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	_, _, d := f.roll()
+	sleep(d)
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	_, _, d := f.roll()
+	sleep(d)
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	_, _, d := f.roll()
+	sleep(d)
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	_, _, d := f.roll()
+	sleep(d)
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	k, _, d := f.roll(faultSyncErr)
+	sleep(d)
+	if k == faultSyncErr {
+		return fmt.Errorf("diskfault: injected dir fsync error on %s: %w", dir, syscall.EIO)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile intercepts the write path of one open file.
+type faultFile struct {
+	inner File
+	fs    *FaultFS
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	_, _, d := ff.fs.roll()
+	sleep(d)
+	return ff.inner.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	k, frac, d := ff.fs.roll(faultWriteErr, faultShortWrite, faultENOSPC)
+	sleep(d)
+	switch k {
+	case faultWriteErr:
+		return 0, fmt.Errorf("diskfault: injected write error on %s: %w", ff.inner.Name(), syscall.EIO)
+	case faultENOSPC:
+		return 0, fmt.Errorf("diskfault: injected write error on %s: %w", ff.inner.Name(), syscall.ENOSPC)
+	case faultShortWrite:
+		// A torn write: a strict prefix lands on disk, then the device
+		// errors. The next process to replay this file must detect the
+		// partial record.
+		n := int(frac * float64(len(p)))
+		if n >= len(p) {
+			n = len(p) - 1
+		}
+		if n < 0 {
+			n = 0
+		}
+		wrote, err := ff.inner.Write(p[:n])
+		if err != nil {
+			return wrote, err
+		}
+		return wrote, fmt.Errorf("diskfault: injected short write on %s (%d of %d bytes): %w",
+			ff.inner.Name(), wrote, len(p), syscall.EIO)
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	k, _, d := ff.fs.roll(faultSyncErr)
+	sleep(d)
+	if k == faultSyncErr {
+		return fmt.Errorf("diskfault: injected fsync error on %s: %w", ff.inner.Name(), syscall.EIO)
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error                       { return ff.inner.Close() }
+func (ff *faultFile) Seek(o int64, w int) (int64, error) { return ff.inner.Seek(o, w) }
+func (ff *faultFile) Truncate(size int64) error          { return ff.inner.Truncate(size) }
+func (ff *faultFile) Name() string                       { return ff.inner.Name() }

@@ -1,0 +1,255 @@
+package diskfault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestOSPassthrough exercises the real-filesystem implementation end to
+// end: open, write, sync, read back, rename, stat, remove, dir sync.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := OS.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	dst := filepath.Join(dir, "b.txt")
+	if err := OS.Rename(path, dst); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if fi, err := OS.Stat(dst); err != nil || fi.Size() != 5 {
+		t.Fatalf("Stat after rename: %v", err)
+	}
+	if _, err := OS.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("old path still exists: %v", err)
+	}
+	if err := OS.Remove(dst); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+// TestZeroProfilePassthrough: a zero profile injects nothing, ever.
+func TestZeroProfilePassthrough(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, 1, Profile{})
+	path := filepath.Join(dir, "a.txt")
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := f.Write([]byte("record\n")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	f.Close()
+	if s := ffs.Stats(); s.Any() {
+		t.Fatalf("zero profile injected faults: %+v", s)
+	}
+}
+
+// TestWriteFaults: with probability-1 profiles each write-path fault
+// fires with its advertised errno and observable effect.
+func TestWriteFaults(t *testing.T) {
+	cases := []struct {
+		name  string
+		prof  Profile
+		errno error
+	}{
+		{"eio", Profile{WriteErrP: 1}, syscall.EIO},
+		{"enospc", Profile{ENOSPCP: 1}, syscall.ENOSPC},
+		{"short", Profile{ShortWriteP: 1}, syscall.EIO},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := NewFaultFS(OS, 7, tc.prof)
+			f, err := ffs.OpenFile(filepath.Join(dir, "j"), os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatalf("OpenFile: %v", err)
+			}
+			defer f.Close()
+			payload := []byte("0123456789abcdef0123456789abcdef\n")
+			n, err := f.Write(payload)
+			if err == nil {
+				t.Fatalf("write succeeded under %s profile", tc.name)
+			}
+			if !errors.Is(err, tc.errno) {
+				t.Fatalf("err = %v, want errors.Is %v", err, tc.errno)
+			}
+			if n >= len(payload) {
+				t.Fatalf("full payload written (%d bytes) despite fault", n)
+			}
+			if tc.name == "short" {
+				// The torn prefix must actually land.
+				data, _ := os.ReadFile(filepath.Join(dir, "j"))
+				if len(data) != n {
+					t.Fatalf("on-disk %d bytes, write reported %d", len(data), n)
+				}
+				if !bytes.Equal(data, payload[:n]) {
+					t.Fatalf("torn prefix differs from payload prefix")
+				}
+			} else if n != 0 {
+				t.Fatalf("bytes written under %s: %d", tc.name, n)
+			}
+		})
+	}
+}
+
+// TestSyncFault: fsync fails with EIO on files and directories.
+func TestSyncFault(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, 3, Profile{SyncErrP: 1})
+	f, err := ffs.OpenFile(filepath.Join(dir, "j"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("file Sync err = %v, want EIO", err)
+	}
+	if err := ffs.SyncDir(dir); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("SyncDir err = %v, want EIO", err)
+	}
+	s := ffs.Stats()
+	if s.SyncErrs != 2 {
+		t.Fatalf("SyncErrs = %d, want 2", s.SyncErrs)
+	}
+}
+
+// TestCorruptRename: the rename lands but the destination differs from
+// the source by exactly one byte.
+func TestCorruptRename(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "tmp")
+	orig := []byte(`{"crc":123,"rec":{"active":2}}` + "\n")
+	if err := os.WriteFile(src, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OS, 9, Profile{CorruptRenameP: 1})
+	dst := filepath.Join(dir, "ACTIVE")
+	if err := ffs.Rename(src, dst); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatalf("read dst: %v", err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("length changed: %d -> %d", len(orig), len(got))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	if s := ffs.Stats(); s.CorruptRenames != 1 {
+		t.Fatalf("CorruptRenames = %d, want 1", s.CorruptRenames)
+	}
+}
+
+// TestDelayInjection: delays are injected and counted.
+func TestDelayInjection(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, 5, Profile{DelayP: 1, DelayMax: time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		ffs.Stat(dir)
+	}
+	if time.Since(start) <= 0 {
+		t.Fatalf("no time elapsed")
+	}
+	if s := ffs.Stats(); s.Delays != 5 {
+		t.Fatalf("Delays = %d, want 5", s.Delays)
+	}
+}
+
+// TestFirstFaultOpSpared: ops before FirstFaultOp never error, ops after
+// do.
+func TestFirstFaultOpSpared(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, 11, Profile{WriteErrP: 1, FirstFaultOp: 3})
+	f, err := ffs.OpenFile(filepath.Join(dir, "j"), os.O_CREATE|os.O_WRONLY, 0o644) // op 0
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ { // ops 1, 2
+		if _, err := f.Write([]byte("ok\n")); err != nil {
+			t.Fatalf("spared write %d failed: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("boom\n")); err == nil { // op 3
+		t.Fatalf("write past FirstFaultOp succeeded")
+	}
+}
+
+// TestDeterministicSchedule: two FaultFS with the same seed over the same
+// op sequence make identical fault decisions; a different seed diverges
+// somewhere.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) (string, Stats) {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS, seed, Profile{WriteErrP: 0.3, SyncErrP: 0.3, ShortWriteP: 0.2})
+		f, err := ffs.OpenFile(filepath.Join(dir, "j"), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatalf("OpenFile: %v", err)
+		}
+		defer f.Close()
+		var trace []byte
+		for i := 0; i < 64; i++ {
+			if _, err := f.Write([]byte("r\n")); err != nil {
+				trace = append(trace, 'W')
+			} else if err := f.Sync(); err != nil {
+				trace = append(trace, 'S')
+			} else {
+				trace = append(trace, '.')
+			}
+		}
+		return string(trace), ffs.Stats()
+	}
+	t1, s1 := run(42)
+	t2, s2 := run(42)
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("same seed diverged:\n%s %+v\n%s %+v", t1, s1, t2, s2)
+	}
+	t3, _ := run(43)
+	if t1 == t3 {
+		t.Fatalf("different seeds produced identical 64-op schedules")
+	}
+	if !s1.Any() {
+		t.Fatalf("no faults injected at these probabilities: %+v", s1)
+	}
+}

@@ -37,6 +37,13 @@ type LotReport struct {
 	// RetestHist[k] counts devices that needed k+1 insertions.
 	RetestHist []int
 
+	// JournalDegraded marks a lot that lost its crash-safe journal to a
+	// persistent storage fault and finished in degraded journal-less
+	// mode: bins are complete and deterministic, but this lot cannot be
+	// crash-resumed. JournalErr carries the final journal error.
+	JournalDegraded bool
+	JournalErr      string
+
 	// Economics.
 	Load ate.RetestLoad
 	Time ate.TimeComparison
@@ -145,6 +152,9 @@ func (r *LotReport) String() string {
 		r.GateCounts[VerdictClean], r.GateCounts[VerdictSuspect], r.GateCounts[VerdictInvalid], r.AcqErrors)
 	if r.SupervisionErrs > 0 {
 		fmt.Fprintf(&b, "supervision: %d devices recovered to fallback (panic/deadline)\n", r.SupervisionErrs)
+	}
+	if r.JournalDegraded {
+		fmt.Fprintf(&b, "WARNING: journal degraded — lot ran journal-less, resume disabled (%s)\n", r.JournalErr)
 	}
 	fmt.Fprintf(&b, "retest histogram (insertions -> devices):")
 	for k, n := range r.RetestHist {

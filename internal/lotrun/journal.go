@@ -3,11 +3,15 @@ package lotrun
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"time"
 
+	"repro/internal/diskfault"
 	"repro/internal/floor"
 )
 
@@ -26,12 +30,26 @@ import (
 // by the checksum instead of being silently committed. The reader stays
 // tolerant of legacy CRC-less lines, which carry the record directly.
 //
+// All file access goes through the diskfault.FS seam: production uses
+// diskfault.OS, fault-injection tests substitute a seeded FaultFS. The
+// journal additionally self-repairs after a failed write — a torn partial
+// line is truncated away (or newline-terminated when truncation itself
+// fails) before the record is retried — so a transient I/O error never
+// leaves a committed record unreadable.
+//
 // The journal is shared infrastructure: the in-process orchestrator
 // (Orchestrator) and the distributed coordinator (internal/netfloor)
 // commit through the same exported API, so a lot started locally can even
 // be resumed distributed — the journal only speaks (lot identity,
 // DeviceResult).
 const JournalVersion = 1
+
+// ErrJournalDegraded marks a lot that ran (or finished) in degraded
+// journal-less mode: the journal failed persistently, the lot's bins are
+// still complete and deterministic, but crash-resume is no longer
+// possible for this lot. It is surfaced in LotReport, /statusz and the
+// client wire protocol rather than aborting the lot.
+var ErrJournalDegraded = errors.New("lotrun: journal degraded — lot ran journal-less, resume disabled")
 
 // JournalHeader is the first line of a lot journal: enough identity to
 // refuse resuming the wrong lot.
@@ -77,16 +95,47 @@ type ReplayStats struct {
 	Duplicates int
 }
 
+// RetryPolicy bounds the journal's retry-with-backoff on commit failure.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per record (default 3).
+	Attempts int
+	// Backoff is the sleep before the first retry, doubling after each
+	// (default 1ms).
+	Backoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = time.Millisecond
+	}
+	return p
+}
+
 // Journal is the append side. Writes go through a single collector
 // goroutine, so no locking is needed here.
 type Journal struct {
-	f *os.File
+	f diskfault.File
+	// off is the file offset at the end of the last committed line — the
+	// truncation target when a failed write leaves a partial line behind.
+	off int64
+	// dirty marks that the last write failed and the tail may hold a
+	// torn partial line that must be repaired before the next record.
+	dirty bool
 }
 
-// CreateJournal starts a fresh journal (truncating any previous file) and
-// commits the header.
+// CreateJournal starts a fresh journal on the real filesystem.
 func CreateJournal(path string, hdr JournalHeader) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	return CreateJournalFS(diskfault.OS, path, hdr)
+}
+
+// CreateJournalFS starts a fresh journal (truncating any previous file),
+// commits the header, and fsyncs the parent directory so a crash between
+// create and the first device commit cannot lose the file entirely.
+func CreateJournalFS(fsys diskfault.FS, path string, hdr JournalHeader) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("lotrun: create journal: %w", err)
 	}
@@ -94,6 +143,12 @@ func CreateJournal(path string, hdr JournalHeader) (*Journal, error) {
 	if err := j.writeLine(hdr); err != nil {
 		f.Close()
 		return nil, err
+	}
+	// Directory fsync makes the journal's existence itself durable —
+	// the same contract modelreg gives its record renames.
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lotrun: fsync journal dir: %w", err)
 	}
 	return j, nil
 }
@@ -108,13 +163,38 @@ func (j *Journal) writeLine(v any) error {
 	if err != nil {
 		return fmt.Errorf("lotrun: journal envelope: %w", err)
 	}
-	if _, err := j.f.Write(append(data, '\n')); err != nil {
+	data = append(data, '\n')
+	if j.dirty {
+		// A previous write failed and may have left a torn partial line
+		// (or an unsynced whole line). Truncate back to the last
+		// committed offset so the retry starts on a clean boundary; if
+		// truncation itself fails, terminate the garbage line with a
+		// newline instead — replay counts it corrupt and skips it, and
+		// the retried record still lands parseable on its own line.
+		if j.f.Truncate(j.off) == nil {
+			if _, err := j.f.Seek(j.off, io.SeekStart); err == nil {
+				j.dirty = false
+			}
+		}
+		if j.dirty {
+			data = append([]byte{'\n'}, data...)
+		}
+	}
+	if _, err := j.f.Write(data); err != nil {
+		j.dirty = true
 		return fmt.Errorf("lotrun: journal write: %w", err)
 	}
 	// fsync per record: the crash-safety contract. The cost is modeled
 	// into the lot economics as RetestLoad.JournalS.
 	if err := j.f.Sync(); err != nil {
+		// The bytes were written but durability is unknown; mark dirty so
+		// a retry truncates and rewrites rather than duplicating.
+		j.dirty = true
 		return fmt.Errorf("lotrun: journal fsync: %w", err)
+	}
+	j.dirty = false
+	if pos, err := j.f.Seek(0, io.SeekCurrent); err == nil {
+		j.off = pos
 	}
 	return nil
 }
@@ -122,6 +202,26 @@ func (j *Journal) writeLine(v any) error {
 // Commit appends one device result.
 func (j *Journal) Commit(res floor.DeviceResult) error {
 	return j.writeLine(journalRecord{Type: "device", Result: res})
+}
+
+// CommitRetry appends one device result with bounded retry-with-backoff:
+// transient I/O faults (a flaky fsync, a torn write) are absorbed here;
+// only a persistently failing journal surfaces an error, at which point
+// the caller decides between aborting and degrading to journal-less mode.
+func (j *Journal) CommitRetry(res floor.DeviceResult, pol RetryPolicy) error {
+	pol = pol.withDefaults()
+	backoff := pol.Backoff
+	var err error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = j.Commit(res); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // Close closes the underlying file (committed records are already synced).
@@ -149,18 +249,23 @@ func unwrapLine(line []byte) []byte {
 	return line
 }
 
-// ReplayJournal reads a journal tolerantly: garbage lines, CRC-mismatched
-// lines and a truncated last line are skipped (counted in stats.Corrupt),
-// duplicate device indices keep the first committed record, and the
-// returned offset is the end of the last valid line — the point a resumed
-// journal truncates to before appending, so a torn tail can never corrupt
-// later records.
+// ReplayJournal reads a journal on the real filesystem.
 func ReplayJournal(path string) (JournalHeader, map[int]floor.DeviceResult, int64, ReplayStats, error) {
+	return ReplayJournalFS(diskfault.OS, path)
+}
+
+// ReplayJournalFS reads a journal tolerantly: garbage lines,
+// CRC-mismatched lines and a truncated last line are skipped (counted in
+// stats.Corrupt), duplicate device indices keep the first committed
+// record, and the returned offset is the end of the last valid line — the
+// point a resumed journal truncates to before appending, so a torn tail
+// can never corrupt later records.
+func ReplayJournalFS(fsys diskfault.FS, path string) (JournalHeader, map[int]floor.DeviceResult, int64, ReplayStats, error) {
 	var hdr JournalHeader
 	var stats ReplayStats
 	results := make(map[int]floor.DeviceResult)
 
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return hdr, nil, 0, stats, fmt.Errorf("lotrun: open journal: %w", err)
 	}
@@ -217,10 +322,15 @@ func ReplayJournal(path string) (JournalHeader, map[int]floor.DeviceResult, int6
 	return hdr, results, validEnd, stats, nil
 }
 
-// ResumeJournal reopens a journal for appending, truncated to the end of
-// its last valid line so new records always start on a fresh line.
+// ResumeJournal reopens a journal for appending on the real filesystem.
 func ResumeJournal(path string, validEnd int64) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	return ResumeJournalFS(diskfault.OS, path, validEnd)
+}
+
+// ResumeJournalFS reopens a journal for appending, truncated to the end
+// of its last valid line so new records always start on a fresh line.
+func ResumeJournalFS(fsys diskfault.FS, path string, validEnd int64) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("lotrun: reopen journal: %w", err)
 	}
@@ -232,5 +342,5 @@ func ResumeJournal(path string, validEnd int64) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("lotrun: seek journal: %w", err)
 	}
-	return &Journal{f: f}, nil
+	return &Journal{f: f, off: validEnd}, nil
 }

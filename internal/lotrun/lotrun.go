@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diskfault"
 	"repro/internal/floor"
 	"repro/internal/modelreg"
 )
@@ -73,6 +74,13 @@ type Options struct {
 	// to the lot economics (default 0.5 ms). Modeled rather than measured
 	// so serial, concurrent and resumed lots charge identically.
 	JournalSyncS float64
+	// FS is the filesystem seam the journal runs on (default diskfault.OS;
+	// tests substitute a seeded diskfault.FaultFS).
+	FS diskfault.FS
+	// JournalRetry bounds the retry-with-backoff applied to each journal
+	// commit before the lot degrades to journal-less mode (zero value:
+	// 3 attempts, 1ms initial backoff).
+	JournalRetry RetryPolicy
 	// QuarantineSleepScale converts modeled quarantine seconds into real
 	// sleep (default 0: quarantine is charged to the economics and the
 	// site re-probes immediately; a positive scale makes the site actually
@@ -128,6 +136,9 @@ func (o *Options) defaults() error {
 	if o.JournalSyncS <= 0 {
 		o.JournalSyncS = 0.5e-3
 	}
+	if o.FS == nil {
+		o.FS = diskfault.OS
+	}
 	return nil
 }
 
@@ -159,6 +170,11 @@ type Report struct {
 	Replayed int
 	// Replay details what journal replay found.
 	Replay ReplayStats
+	// JournalDegraded marks a lot whose journal failed persistently
+	// mid-run: the lot finished journal-less (bins intact, resume
+	// disabled). JournalErr carries the final journal error.
+	JournalDegraded bool
+	JournalErr      string
 }
 
 // String renders the supervision summary (the lot itself renders via
@@ -191,6 +207,9 @@ func (r *Report) String() string {
 	}
 	if r.Recalibrations > 0 {
 		fmt.Fprintf(&b, "  recalibrations triggered: %d\n", r.Recalibrations)
+	}
+	if r.JournalDegraded {
+		fmt.Fprintf(&b, "  WARNING: journal degraded — lot ran journal-less, resume disabled (%s)\n", r.JournalErr)
 	}
 	return b.String()
 }
@@ -286,7 +305,7 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 		if opt.JournalPath == "" {
 			return nil, fmt.Errorf("lotrun: resume needs Options.JournalPath")
 		}
-		hdr, done, validEnd, stats, err := ReplayJournal(opt.JournalPath)
+		hdr, done, validEnd, stats, err := ReplayJournalFS(opt.FS, opt.JournalPath)
 		if err != nil {
 			return nil, err
 		}
@@ -308,24 +327,33 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 		}
 		rep.Replayed = stats.Records
 		rep.Replay = stats
-		if jr, err = ResumeJournal(opt.JournalPath, validEnd); err != nil {
+		if jr, err = ResumeJournalFS(opt.FS, opt.JournalPath, validEnd); err != nil {
 			return nil, err
 		}
 	} else if opt.JournalPath != "" {
 		var err error
-		jr, err = CreateJournal(opt.JournalPath, JournalHeader{
+		jr, err = CreateJournalFS(opt.FS, opt.JournalPath, JournalHeader{
 			Type: "header", Version: JournalVersion,
 			LotSeed: lotSeed, Devices: len(lot), FaultP: faultP,
 			Fingerprint:  o.Engine.Fingerprint(),
 			ModelVersion: opt.ModelVersion,
 		})
 		if err != nil {
-			return nil, err
+			// A journal that cannot even be created is the same storage
+			// fault as one dying mid-lot: screen the lot journal-less in
+			// degraded mode rather than refuse it.
+			logf(opt.Logf, "lotrun: journal create failed, running journal-less: %v", err)
+			rep.JournalDegraded = true
+			rep.JournalErr = err.Error()
+			jr = nil
 		}
 	}
-	if jr != nil {
-		defer jr.Close()
-	}
+	hadJournal := jr != nil
+	defer func() {
+		if jr != nil {
+			jr.Close()
+		}
+	}()
 
 	holder := &engineHolder{cur: o.Engine}
 	if o.Engine.Gate != nil && !opt.Watchdog.Disabled {
@@ -373,15 +401,19 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 
 		// Collector: the single goroutine that commits results, feeds the
 		// watchdog and applies recalibrations.
-		var journalErr error
 		for res := range out {
 			res := res
-			if jr != nil && journalErr == nil {
-				if journalErr = jr.Commit(res); journalErr != nil {
-					// The crash-safety contract is broken: stop taking new
-					// devices (committed ones remain resumable).
-					cancel()
-					continue
+			if jr != nil {
+				if err := jr.CommitRetry(res, opt.JournalRetry); err != nil {
+					// Persistent journal failure: the crash-resume contract
+					// is gone, but the lot's bins are still a pure function
+					// of (seed, index). Degrade to journal-less mode and
+					// finish the lot instead of aborting it.
+					jr.Close()
+					jr = nil
+					rep.JournalDegraded = true
+					rep.JournalErr = err.Error()
+					logf(opt.Logf, "lotrun: journal degraded, continuing journal-less: %v", err)
 				}
 			}
 			results[res.Index] = &res
@@ -427,9 +459,6 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 				}
 			}
 		}
-		if journalErr != nil {
-			return nil, journalErr
-		}
 		if err := ctx.Err(); err != nil {
 			committed := 0
 			for _, r := range results {
@@ -454,9 +483,11 @@ func (o *Orchestrator) run(ctx context.Context, lotSeed int64, lot []*core.Devic
 	for _, r := range results {
 		lotRep.Fold(*r)
 	}
-	if jr != nil {
+	if hadJournal {
 		lotRep.Load.JournalS = float64(len(lot)) * opt.JournalSyncS
 	}
+	lotRep.JournalDegraded = rep.JournalDegraded
+	lotRep.JournalErr = rep.JournalErr
 	for s, st := range sites {
 		lotRep.Load.QuarantineS += st.br.quarantineS
 		rep.Sites = append(rep.Sites, SiteStats{

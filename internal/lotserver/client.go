@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/lotrun"
 	"repro/internal/netfloor"
 )
 
@@ -227,6 +228,15 @@ func (c *Client) Run(ctx context.Context, spec LotSpec) (*LotSummary, error) {
 			case "aborted":
 				return nil, fmt.Errorf("%w: %s", ErrAborted, m.Err)
 			case "done":
+				if m.Summary != nil && m.Summary.JournalDegraded {
+					// The lot finished — bins are complete and correct — but
+					// it lost its journal to a persistent storage fault, so a
+					// crash before this frame could not have been resumed.
+					// Hand back both: the summary for the bins, the typed
+					// error so callers notice the degradation.
+					return m.Summary, fmt.Errorf("lot %s: %w (%s)",
+						spec.ID, lotrun.ErrJournalDegraded, m.Summary.JournalErr)
+				}
 				return m.Summary, nil
 			}
 		}

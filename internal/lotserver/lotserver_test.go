@@ -120,6 +120,10 @@ func stripFloorDependent(rep *floor.LotReport) {
 	rep.Load.QuarantineS = 0
 	rep.Load.JournalS = 0
 	rep.Time = ate.TimeComparison{}
+	// Journal degradation is a storage-fault outcome, not a binning one:
+	// bins stay bit-identical whether or not the journal survived.
+	rep.JournalDegraded = false
+	rep.JournalErr = ""
 }
 
 func reportsEqual(t *testing.T, label string, a, b *floor.LotReport) {

@@ -30,13 +30,13 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diskfault"
 	"repro/internal/floor"
 	"repro/internal/lotrun"
 	"repro/internal/modelreg"
@@ -85,6 +85,13 @@ type LotResult struct {
 	// exactly-once gate.
 	Assigns int
 	Dups    int
+	// JournalDegraded marks a lot whose journal failed persistently: the
+	// lot finished journal-less (bins intact and deterministic) but
+	// cannot be crash-resumed. JournalErr carries the final journal
+	// error; Wait still returns a nil error — degradation is visible
+	// state, not failure.
+	JournalDegraded bool
+	JournalErr      string
 }
 
 // Options configures a Server.
@@ -132,6 +139,20 @@ type Options struct {
 	// 0.5ms, as in netfloor and lotrun).
 	ModelRTTS    float64
 	JournalSyncS float64
+	// FS is the filesystem seam journals are created, replayed and
+	// written through (default diskfault.OS; chaos tests substitute a
+	// seeded diskfault.FaultFS).
+	FS diskfault.FS
+	// JournalRetry bounds the per-record retry-with-backoff before a
+	// lot's journal is declared dead and the lot degrades to journal-less
+	// mode (zero value: 3 attempts, 1ms initial backoff).
+	JournalRetry lotrun.RetryPolicy
+	// Hook, when set, runs on a local worker before each device is
+	// screened — chaos-test instrumentation for injecting panics outside
+	// the supervised screening region. A hook panic is recovered by the
+	// worker and the device requeued untouched, so committed bins are
+	// unaffected.
+	Hook func(lotID string, device int)
 	// DeviceTimeout bounds one device's screening wall time (0 = none).
 	DeviceTimeout time.Duration
 	// Batch asks workers to screen up to this many devices per kernel call
@@ -208,6 +229,9 @@ func (o *Options) defaults() {
 	if o.Batch < 1 {
 		o.Batch = 1
 	}
+	if o.FS == nil {
+		o.FS = diskfault.OS
+	}
 }
 
 // lotState is the admission lifecycle, guarded by Server.mu.
@@ -254,6 +278,8 @@ type lot struct {
 	state lotState // guarded by Server.mu
 
 	mu       sync.Mutex // guards everything below
+	degraded bool       // journal failed persistently; lot runs journal-less
+	jerr     error      // wraps lotrun.ErrJournalDegraded
 	breakers map[int]*lotrun.Breaker
 	started  map[int]time.Time
 	commits  int
@@ -323,6 +349,22 @@ func (l *lot) addDup() {
 	l.mu.Lock()
 	l.dups++
 	l.mu.Unlock()
+}
+
+// setDegraded flips the lot into journal-less degraded mode; err wraps
+// lotrun.ErrJournalDegraded.
+func (l *lot) setDegraded(err error) {
+	l.mu.Lock()
+	l.degraded = true
+	l.jerr = err
+	l.mu.Unlock()
+}
+
+// degradedState reads the degraded flag and its error.
+func (l *lot) degradedState() (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.degraded, l.jerr
 }
 
 func (l *lot) cancel(err error) {
@@ -400,6 +442,7 @@ type Server struct {
 	dupRejs   int // ErrDuplicateLot rejections
 	drainRejs int // ErrDraining rejections
 	lotsDone  int // lots finalized successfully
+	lotsDeg   int // lots that degraded to journal-less mode
 	devices   int // devices committed across all lots
 
 	// Versioned-calibration state (Registry mode), guarded by romu. Lock
@@ -440,7 +483,7 @@ func New(opt Options) (*Server, error) {
 	}
 	opt.defaults()
 	if opt.JournalDir != "" {
-		if err := os.MkdirAll(opt.JournalDir, 0o755); err != nil {
+		if err := opt.FS.MkdirAll(opt.JournalDir, 0o755); err != nil {
 			return nil, fmt.Errorf("lotserver: journal dir: %w", err)
 		}
 	}
@@ -640,8 +683,8 @@ func (s *Server) openJournal(l *lot) error {
 		return nil
 	}
 	l.journalPath = filepath.Join(s.opt.JournalDir, l.spec.ID+".journal")
-	if _, err := os.Stat(l.journalPath); err == nil {
-		hdr, done, validEnd, stats, err := lotrun.ReplayJournal(l.journalPath)
+	if _, err := s.opt.FS.Stat(l.journalPath); err == nil {
+		hdr, done, validEnd, stats, err := lotrun.ReplayJournalFS(s.opt.FS, l.journalPath)
 		if err != nil {
 			return fmt.Errorf("lotserver: lot %s: %w", l.spec.ID, err)
 		}
@@ -664,23 +707,32 @@ func (s *Server) openJournal(l *lot) error {
 		}
 		l.replayed = stats.Records
 		l.replay = stats
-		if l.journal, err = lotrun.ResumeJournal(l.journalPath, validEnd); err != nil {
-			return fmt.Errorf("lotserver: lot %s: %w", l.spec.ID, err)
+		if jr, rerr := lotrun.ResumeJournalFS(s.opt.FS, l.journalPath, validEnd); rerr != nil {
+			// Replay restored every committed device; only the append
+			// side is broken. Run the remainder degraded rather than
+			// refuse the lot.
+			s.degradeLot(l, rerr)
+		} else {
+			l.journal = jr
 		}
 	} else {
 		if err := s.pinLot(l, s.pinVersion(l.spec.ID)); err != nil {
 			return err
 		}
-		jr, err := lotrun.CreateJournal(l.journalPath, lotrun.JournalHeader{
+		jr, err := lotrun.CreateJournalFS(s.opt.FS, l.journalPath, lotrun.JournalHeader{
 			Type: "header", Version: lotrun.JournalVersion,
 			LotSeed: l.spec.Seed, Devices: l.spec.Devices, FaultP: faultP,
 			Fingerprint:  l.eng.Fingerprint(),
 			ModelVersion: l.modelVersion,
 		})
 		if err != nil {
-			return fmt.Errorf("lotserver: lot %s: %w", l.spec.ID, err)
+			// A journal that cannot even be created is the same storage
+			// fault as one dying mid-lot: admit the lot in degraded
+			// journal-less mode rather than reject it.
+			s.degradeLot(l, err)
+		} else {
+			l.journal = jr
 		}
-		l.journal = jr
 	}
 	for i := 0; i < l.spec.Devices; i++ {
 		if l.results[i] == nil {
@@ -735,13 +787,10 @@ func (s *Server) runLot(l *lot) {
 	for received < l.needed {
 		select {
 		case res := <-l.out:
-			if err := s.commit(l, res); err != nil {
-				// Journal failure: this lot dies, the server lives. The
-				// journal's committed prefix stays valid for a resume.
-				s.logf("lot %s: journal failed: %v", l.spec.ID, err)
-				s.finishLot(l, nil, fmt.Errorf("%w: journal: %v", ErrAborted, err))
-				return
-			}
+			// A journal failure inside commit degrades the lot to
+			// journal-less mode (typed, visible in the report and wire
+			// summary); the lot itself keeps going — it no longer dies.
+			s.commit(l, res)
 			received++
 		case <-l.cancelCh:
 			// Client cancel (or deliberate abort): flush what workers
@@ -757,8 +806,17 @@ func (s *Server) runLot(l *lot) {
 			if l.remainingUncommitted() == 0 {
 				break // drain raced completion; fall through to finalize
 			}
-			s.finishLot(l, nil, fmt.Errorf("%w: server draining (%d of %d devices committed)",
-				ErrAborted, l.committedCount(), l.spec.Devices))
+			err := fmt.Errorf("%w: server draining (%d of %d devices committed)",
+				ErrAborted, l.committedCount(), l.spec.Devices)
+			if deg, jerr := l.degradedState(); deg {
+				// The journal died before the drain could checkpoint this
+				// lot: its progress is NOT on disk and a resubmit will
+				// re-screen from scratch. The waiting client gets the
+				// typed degradation instead of a silent partial drain.
+				err = fmt.Errorf("%w: server draining at %d of %d devices with dead journal (%v): %w",
+					ErrAborted, l.committedCount(), l.spec.Devices, jerr, lotrun.ErrJournalDegraded)
+			}
+			s.finishLot(l, nil, err)
 			return
 		case <-s.ctx.Done():
 			// Hard stop (Kill): journals are fsync'd per record, so closing
@@ -773,15 +831,15 @@ func (s *Server) runLot(l *lot) {
 	s.finalize(l)
 }
 
-// flush commits every result already buffered in the lot's channel.
+// flush commits every result already buffered in the lot's channel. A
+// journal failure mid-flush degrades the lot (typed, surfaced to the
+// waiting client by the drain path) and keeps folding the remaining
+// results — buffered work is never silently dropped.
 func (s *Server) flush(l *lot) {
 	for {
 		select {
 		case res := <-l.out:
-			if err := s.commit(l, res); err != nil {
-				s.logf("lot %s: journal failed during flush: %v", l.spec.ID, err)
-				return
-			}
+			s.commit(l, res)
 		default:
 			return
 		}
@@ -800,12 +858,30 @@ func (l *lot) remainingUncommitted() int {
 	return l.spec.Devices - l.replayed - l.commits
 }
 
-// commit journals one result and folds it into the lot's running state.
-// Runs only on the lot's collector goroutine.
-func (s *Server) commit(l *lot, res floor.DeviceResult) error {
+// degradeLot flips one lot into journal-less degraded mode: its journal
+// (if any) is closed, the typed error recorded, and the server-wide
+// counter bumped. The lot keeps screening — bins stay a pure function of
+// (seed, index, version) — but crash-resume is disabled.
+func (s *Server) degradeLot(l *lot, cause error) {
 	if l.journal != nil {
-		if err := l.journal.Commit(res); err != nil {
-			return err
+		l.journal.Close()
+		l.journal = nil
+	}
+	l.setDegraded(fmt.Errorf("%w: %v", lotrun.ErrJournalDegraded, cause))
+	s.mu.Lock()
+	s.lotsDeg++
+	s.mu.Unlock()
+	s.logf("lot %s: journal degraded, continuing journal-less: %v", l.spec.ID, cause)
+}
+
+// commit journals one result and folds it into the lot's running state.
+// Runs only on the lot's collector goroutine. A persistent journal
+// failure (after bounded retry) degrades the lot to journal-less mode
+// instead of failing the commit — the result is always folded.
+func (s *Server) commit(l *lot, res floor.DeviceResult) {
+	if l.journal != nil {
+		if err := l.journal.CommitRetry(res, s.opt.JournalRetry); err != nil {
+			s.degradeLot(l, err)
 		}
 	}
 	r := res
@@ -833,7 +909,6 @@ func (s *Server) commit(l *lot, res floor.DeviceResult) error {
 		}
 	}
 	s.feedShadow(l, res)
-	return nil
 }
 
 // finalize builds the completed lot's report — folding results in index
@@ -849,8 +924,13 @@ func (s *Server) finalize(l *lot) {
 		}
 		rep.Fold(*r)
 	}
-	if l.journal != nil {
+	deg, jerr := l.degradedState()
+	if l.journal != nil || deg {
 		rep.Load.JournalS = float64(l.spec.Devices) * s.opt.JournalSyncS
+	}
+	if deg {
+		rep.JournalDegraded = true
+		rep.JournalErr = jerr.Error()
 	}
 	l.mu.Lock()
 	assigns, dups := l.assigns, l.dups
@@ -867,10 +947,15 @@ func (s *Server) finalize(l *lot) {
 		s.finishLot(l, nil, fmt.Errorf("%w: %v", ErrAborted, err))
 		return
 	}
-	s.finishLot(l, &LotResult{
+	result := &LotResult{
 		Spec: l.spec, Report: rep, Trips: trips, Alarms: alarms,
 		Replayed: l.replayed, Replay: l.replay, Assigns: assigns, Dups: dups,
-	}, nil)
+	}
+	if deg {
+		result.JournalDegraded = true
+		result.JournalErr = jerr.Error()
+	}
+	s.finishLot(l, result, nil)
 }
 
 // finishLot closes the journal, retires the lot's slot (promoting a
@@ -900,6 +985,9 @@ func (s *Server) finishLot(l *lot, result *LotResult, err error) {
 	close(l.done)
 	if err != nil {
 		s.logf("lot %s: %v", l.spec.ID, err)
+	} else if result != nil && result.JournalDegraded {
+		s.logf("lot %s: complete in DEGRADED journal-less mode (%d devices, %d replayed): %s",
+			l.spec.ID, l.spec.Devices, l.replayed, result.JournalErr)
 	} else {
 		s.logf("lot %s: complete (%d devices, %d replayed)", l.spec.ID, l.spec.Devices, l.replayed)
 	}
@@ -959,6 +1047,23 @@ func (s *Server) deliver(l *lot, res floor.DeviceResult, ordinal int) bool {
 	return true
 }
 
+// runHook runs the chaos-test hook for one (lot, device) and recovers a
+// panic from it; false means the hook panicked and the device must be
+// requeued rather than screened.
+func (s *Server) runHook(l *lot, idx int) (ok bool) {
+	if s.opt.Hook == nil {
+		return true
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("lot %s: hook panic at device %d (device requeued): %v", l.spec.ID, idx, r)
+			ok = false
+		}
+	}()
+	s.opt.Hook(l.spec.ID, idx)
+	return true
+}
+
 // localWorker screens devices on the server itself, pulling fairly across
 // lots exactly like a remote site does.
 func (s *Server) localWorker(ordinal int) {
@@ -986,6 +1091,14 @@ func (s *Server) localWorker(ordinal int) {
 			continue
 		}
 		l.markAssigned(idx, false)
+		if !s.runHook(l, idx) {
+			// The chaos hook panicked before screening started: requeue
+			// the device untouched. It will be re-screened from the same
+			// (seed, index), so committed bins are unaffected.
+			l.disp.Release(idx)
+			s.sched.done()
+			continue
+		}
 		l.chargeProbe(ordinal, s.opt.Breaker)
 		res := netfloor.ScreenSupervised(s.ctx, l.eng, l.spec.Seed, idx,
 			s.opt.Pool[idx], s.opt.Faults, s.opt.DeviceTimeout)
@@ -1006,6 +1119,23 @@ func (s *Server) localWorker(ordinal int) {
 // the worker should exit.
 func (s *Server) screenLocalBatch(ordinal int, l *lot, idxs []int) bool {
 	l.markAssignedBatch(idxs, false)
+	if s.opt.Hook != nil {
+		// Run the chaos hook per device before the batch forms; a panicked
+		// device is requeued untouched and drops out of this batch.
+		kept := idxs[:0]
+		for _, idx := range idxs {
+			if s.runHook(l, idx) {
+				kept = append(kept, idx)
+			} else {
+				l.disp.Release(idx)
+				s.sched.done()
+			}
+		}
+		idxs = kept
+		if len(idxs) == 0 {
+			return true
+		}
+	}
 	l.chargeProbe(ordinal, s.opt.Breaker)
 	batch := make([]floor.BatchDevice, len(idxs))
 	for i, idx := range idxs {

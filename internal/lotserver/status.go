@@ -71,6 +71,11 @@ type LotStatus struct {
 	// ModelVersion is the calibration version this lot is pinned to for
 	// life (0 = the base model the server booted with).
 	ModelVersion int `json:"model_version,omitempty"`
+	// JournalDegraded marks a lot running in journal-less degraded mode
+	// after a persistent journal failure (resume disabled); JournalErr
+	// carries the typed error.
+	JournalDegraded bool   `json:"journal_degraded,omitempty"`
+	JournalErr      string `json:"journal_err,omitempty"`
 	// Breakers maps worker name (site address or "localN") to breaker
 	// state for every breaker this lot has exercised.
 	Breakers map[string]string `json:"breakers,omitempty"`
@@ -103,17 +108,20 @@ type Status struct {
 	MaxQueuedLots int         `json:"max_queued_lots"`
 	// ShedSaturated counts ErrSaturated backpressure rejections;
 	// RejectedDuplicate and RejectedDraining the other admission refusals.
-	ShedSaturated     int          `json:"shed_saturated"`
-	RejectedDuplicate int          `json:"rejected_duplicate"`
-	RejectedDraining  int          `json:"rejected_draining"`
-	LotsCompleted     int          `json:"lots_completed"`
-	DevicesCommitted  int          `json:"devices_committed"`
-	Sites             []SiteStatus `json:"sites"`
-	LocalWorkers      int          `json:"local_workers"`
-	LatencyP50Ms      float64      `json:"latency_p50_ms"`
-	LatencyP95Ms      float64      `json:"latency_p95_ms"`
-	LatencyP99Ms      float64      `json:"latency_p99_ms"`
-	UptimeS           float64      `json:"uptime_s"`
+	ShedSaturated     int `json:"shed_saturated"`
+	RejectedDuplicate int `json:"rejected_duplicate"`
+	RejectedDraining  int `json:"rejected_draining"`
+	LotsCompleted     int `json:"lots_completed"`
+	// LotsDegraded counts lots that lost their journal to a persistent
+	// storage fault and ran (or are running) in journal-less mode.
+	LotsDegraded     int          `json:"lots_degraded,omitempty"`
+	DevicesCommitted int          `json:"devices_committed"`
+	Sites            []SiteStatus `json:"sites"`
+	LocalWorkers     int          `json:"local_workers"`
+	LatencyP50Ms     float64      `json:"latency_p50_ms"`
+	LatencyP95Ms     float64      `json:"latency_p95_ms"`
+	LatencyP99Ms     float64      `json:"latency_p99_ms"`
+	UptimeS          float64      `json:"uptime_s"`
 	// Rollout is the versioned-calibration lifecycle snapshot; nil when no
 	// registry is configured.
 	Rollout *RolloutStatus `json:"rollout,omitempty"`
@@ -133,7 +141,11 @@ func (s *Server) lotStatus(l *lot, queued bool) LotStatus {
 		ID: l.spec.ID, Seed: l.spec.Seed, Devices: l.spec.Devices,
 		Committed: l.commits + l.replayed, Replayed: l.replayed,
 		Queued: queued, Alarms: len(l.alarms),
-		ModelVersion: l.modelVersion,
+		ModelVersion:    l.modelVersion,
+		JournalDegraded: l.degraded,
+	}
+	if l.jerr != nil {
+		ls.JournalErr = l.jerr.Error()
 	}
 	if len(l.breakers) > 0 {
 		ls.Breakers = make(map[string]string, len(l.breakers))
@@ -156,6 +168,7 @@ func (s *Server) Status() Status {
 		RejectedDuplicate: s.dupRejs,
 		RejectedDraining:  s.drainRejs,
 		LotsCompleted:     s.lotsDone,
+		LotsDegraded:      s.lotsDeg,
 		DevicesCommitted:  s.devices,
 		LocalWorkers:      s.opt.LocalWorkers,
 		UptimeS:           time.Since(s.start).Seconds(),

@@ -63,19 +63,27 @@ type LotSummary struct {
 	Replayed int `json:"replayed,omitempty"`
 	Trips    int `json:"trips,omitempty"`
 	Alarms   int `json:"alarms,omitempty"`
+	// JournalDegraded marks a lot that completed in journal-less degraded
+	// mode (persistent journal failure; bins intact, resume disabled).
+	// Client.Run surfaces it as lotrun.ErrJournalDegraded alongside the
+	// summary.
+	JournalDegraded bool   `json:"journal_degraded,omitempty"`
+	JournalErr      string `json:"journal_err,omitempty"`
 }
 
 func summarize(res *LotResult) *LotSummary {
 	return &LotSummary{
-		Devices:  res.Report.Devices,
-		Pass:     res.Report.Pass,
-		Fail:     res.Report.Fail,
-		Fallback: res.Report.Fallback,
-		Escapes:  res.Report.Escapes,
-		Overkill: res.Report.Overkill,
-		Replayed: res.Replayed,
-		Trips:    len(res.Trips),
-		Alarms:   len(res.Alarms),
+		Devices:         res.Report.Devices,
+		Pass:            res.Report.Pass,
+		Fail:            res.Report.Fail,
+		Fallback:        res.Report.Fallback,
+		Escapes:         res.Report.Escapes,
+		Overkill:        res.Report.Overkill,
+		Replayed:        res.Replayed,
+		Trips:           len(res.Trips),
+		Alarms:          len(res.Alarms),
+		JournalDegraded: res.JournalDegraded,
+		JournalErr:      res.JournalErr,
 	}
 }
 

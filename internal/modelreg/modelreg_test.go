@@ -2,6 +2,7 @@ package modelreg
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/diskfault"
 	"repro/internal/floor"
 	"repro/internal/lna"
 	"repro/internal/wave"
@@ -393,5 +395,205 @@ func TestShadowScorer(t *testing.T) {
 	}
 	if bad.Healthy() {
 		t.Fatal("mis-trained candidate reported healthy")
+	}
+}
+
+// TestRegistryCorruptArtifactTailSweep: the last staged artifact record
+// damaged at every byte offset — truncated there, and with that byte
+// flipped — must always load as skip-and-count: Open never fails, never
+// trusts the damaged artifact, and never reuses its burned version
+// number. This is the registry mirror of the lot journal's torn-tail
+// test: CRC framing turns every partial or scribbled record into a
+// detected corruption, at every possible damage point.
+func TestRegistryCorruptArtifactTailSweep(t *testing.T) {
+	f := getFixture(t)
+	dir := t.TempDir()
+	reg, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArtifact(f.engine(), f.cal, f.gate, "sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Stage(a); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "v000001.art")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(mutated []byte, desc string) {
+		t.Helper()
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir)
+		if err != nil {
+			t.Fatalf("%s: open failed outright: %v", desc, err)
+		}
+		if info := r.LoadInfo(); info.Artifacts != 0 || info.Corrupt != 1 {
+			t.Fatalf("%s: load info %+v, want 0 artifacts / 1 corrupt", desc, info)
+		}
+		if _, ok := r.Get(1); ok {
+			t.Fatalf("%s: damaged artifact was trusted", desc)
+		}
+	}
+
+	// Truncation at every offset: every crash point mid-write. Dropping
+	// only the trailing newline leaves the envelope complete — that one
+	// "truncation" is a valid record, so the sweep stops one byte short.
+	for cut := 0; cut < len(good)-1; cut++ {
+		check(good[:cut], fmt.Sprintf("truncate@%d", cut))
+	}
+	// One flipped byte at every offset: every scribble point.
+	for pos := 0; pos < len(good); pos++ {
+		mutated := append([]byte(nil), good...)
+		mutated[pos] ^= 0x40
+		check(mutated, fmt.Sprintf("flip@%d", pos))
+	}
+
+	// The burned version number survives any of the above: a post-damage
+	// Stage must take v2, never silently overwrite v1's file.
+	if err := os.WriteFile(path, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewArtifact(f.engine(), f.cal, f.gate, "post-damage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := r.Stage(b); err != nil || v != 2 {
+		t.Fatalf("stage after damage: v=%d err=%v, want v=2", v, err)
+	}
+}
+
+// TestRegistryActivePrevFallback: a corrupt ACTIVE pointer (torn rename,
+// scribble) recovers the last-good incumbent from ACTIVE.prev instead of
+// silently reverting to the base model.
+func TestRegistryActivePrevFallback(t *testing.T) {
+	f := getFixture(t)
+	dir := t.TempDir()
+	reg, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		a, err := NewArtifact(f.engine(), f.cal, f.gate, "prev")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Stage(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two swaps: ACTIVE = 2, ACTIVE.prev preserves the v1 incumbency.
+	if err := reg.SetActive(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetActive(2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scribble ACTIVE: the reopen must fall back to v1, not to base.
+	if err := os.WriteFile(filepath.Join(dir, "ACTIVE"), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg2.Active() != 1 {
+		t.Fatalf("corrupt ACTIVE resolved to %d, want fallback to 1", reg2.Active())
+	}
+	if info := reg2.LoadInfo(); info.Fallbacks != 1 || info.Corrupt != 1 {
+		t.Fatalf("load info %+v, want 1 fallback / 1 corrupt", info)
+	}
+
+	// Both pointer records corrupt: only then does the registry drop to
+	// the base model.
+	if err := os.WriteFile(filepath.Join(dir, "ACTIVE.prev"), []byte("also garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg3.Active() != 0 {
+		t.Fatalf("doubly corrupt pointers resolved to %d, want 0", reg3.Active())
+	}
+	if info := reg3.LoadInfo(); info.Fallbacks != 0 {
+		t.Fatalf("load info %+v, want no fallback when prev is corrupt too", info)
+	}
+}
+
+// TestRegistryFaultFSCorruptRename: an injected corrupt-on-rename on the
+// ACTIVE swap — the write path reports success, the destination record is
+// scribbled — is healed at the next Open via the ACTIVE.prev chain. The
+// fault schedule is a pure function of (seed, op index), like every
+// diskfault schedule.
+func TestRegistryFaultFSCorruptRename(t *testing.T) {
+	f := getFixture(t)
+	dir := t.TempDir()
+
+	// Clean setup on the real filesystem: two staged versions, v1 active.
+	reg, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		a, err := NewArtifact(f.engine(), f.cal, f.gate, "faultfs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Stage(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.SetActive(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen through a FaultFS whose schedule corrupts exactly the rename
+	// that lands the new ACTIVE pointer. Op accounting for this sequence:
+	// OpenFS rolls MkdirAll, ReadDir, two artifact ReadFiles, the ACTIVE
+	// ReadFile and the ROLLOUT ReadFile (ops 0-5); SetActive(2) then
+	// writes ACTIVE.prev (OpenFile/Write/Sync/Rename/SyncDir, ops 6-10)
+	// and ACTIVE (ops 11-15) — its Rename is op 14.
+	ffs := diskfault.NewFaultFS(diskfault.OS, 1, diskfault.Profile{
+		CorruptRenameP: 1, FirstFaultOp: 14,
+	})
+	freg, err := OpenFS(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freg.Active() != 1 {
+		t.Fatalf("faulty reopen active %d, want 1", freg.Active())
+	}
+	// The swap itself reports success — the corruption is silent, which is
+	// exactly why the prev chain has to exist.
+	if err := freg.SetActive(2); err != nil {
+		t.Fatalf("SetActive under corrupt rename errored: %v", err)
+	}
+	if st := ffs.Stats(); st.CorruptRenames != 1 {
+		t.Fatalf("fault stats %+v, want exactly 1 corrupt rename (op accounting drifted?)", st)
+	}
+
+	// The next clean Open detects the scribbled ACTIVE by CRC and recovers
+	// the v1 incumbency from ACTIVE.prev.
+	reg2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg2.Active() != 1 {
+		t.Fatalf("post-fault active %d, want fallback to 1", reg2.Active())
+	}
+	if info := reg2.LoadInfo(); info.Fallbacks != 1 {
+		t.Fatalf("load info %+v, want 1 fallback", info)
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/diskfault"
 )
 
 // On-disk layout of a registry directory:
@@ -55,6 +57,10 @@ type Demotion struct {
 type LoadStats struct {
 	Artifacts int // valid artifacts loaded
 	Corrupt   int // artifact/pointer records skipped as unreadable
+	// Fallbacks counts pointer records recovered from their last-good
+	// predecessor (a corrupt or half-written ACTIVE restored from
+	// ACTIVE.prev) instead of being dropped.
+	Fallbacks int
 }
 
 // Registry is the versioned artifact store. With a directory it is
@@ -63,7 +69,8 @@ type LoadStats struct {
 // which keeps single-binary flows working without a registry path.
 // All methods are safe for concurrent use.
 type Registry struct {
-	dir string
+	dir  string
+	fsys diskfault.FS
 
 	mu       sync.Mutex
 	arts     map[int]*Artifact
@@ -77,14 +84,23 @@ type Registry struct {
 // Open loads (or initializes) a registry rooted at dir; dir == "" builds
 // an in-memory registry.
 func Open(dir string) (*Registry, error) {
-	r := &Registry{dir: dir, arts: make(map[int]*Artifact), demoted: make(map[int]*Demotion), next: 1}
+	return OpenFS(dir, diskfault.OS)
+}
+
+// OpenFS is Open on an explicit filesystem seam — fault-injection tests
+// substitute a seeded diskfault.FaultFS.
+func OpenFS(dir string, fsys diskfault.FS) (*Registry, error) {
+	if fsys == nil {
+		fsys = diskfault.OS
+	}
+	r := &Registry{dir: dir, fsys: fsys, arts: make(map[int]*Artifact), demoted: make(map[int]*Demotion), next: 1}
 	if dir == "" {
 		return r, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("modelreg: create registry dir: %w", err)
 	}
-	ents, err := os.ReadDir(dir)
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("modelreg: read registry dir: %w", err)
 	}
@@ -103,7 +119,7 @@ func Open(dir string) (*Registry, error) {
 				r.next = v + 1
 			}
 			var a Artifact
-			if err := readRecord(filepath.Join(dir, name), &a); err != nil || a.Cal == nil || a.Gate == nil {
+			if err := r.readRecord(filepath.Join(dir, name), &a); err != nil || a.Cal == nil || a.Gate == nil {
 				r.loadInfo.Corrupt++
 				continue
 			}
@@ -115,7 +131,7 @@ func Open(dir string) (*Registry, error) {
 				continue
 			}
 			var d Demotion
-			if err := readRecord(filepath.Join(dir, name), &d); err != nil {
+			if err := r.readRecord(filepath.Join(dir, name), &d); err != nil {
 				r.loadInfo.Corrupt++
 				continue
 			}
@@ -123,25 +139,46 @@ func Open(dir string) (*Registry, error) {
 			r.demoted[v] = &d
 		}
 	}
-	// The pointer and rollout records are advisory state: a corrupt or
-	// missing one degrades to "no incumbent staged / no rollout", which
-	// the operator can re-establish — it must not brick the registry.
+	// The pointer records are critical state with a fallback chain: a
+	// corrupt or half-written ACTIVE (a rename that landed torn) falls
+	// back to the last-good pointer preserved in ACTIVE.prev by the
+	// previous swap, so the incumbent survives a scribbled swap instead
+	// of silently reverting to the base model. The rollout record stays
+	// advisory: a corrupt one degrades to "no rollout in progress".
+	validPointer := func(v int) bool {
+		if v == 0 {
+			return true
+		}
+		_, ok := r.arts[v]
+		return ok && r.demoted[v] == nil
+	}
+	fallbackPrev := func() {
+		var prev struct {
+			Active int `json:"active"`
+		}
+		if err := r.readRecord(filepath.Join(dir, "ACTIVE.prev"), &prev); err == nil && validPointer(prev.Active) {
+			r.active = prev.Active
+			r.loadInfo.Fallbacks++
+		}
+	}
 	var act struct {
 		Active int `json:"active"`
 	}
-	switch err := readRecord(filepath.Join(dir, "ACTIVE"), &act); {
+	switch err := r.readRecord(filepath.Join(dir, "ACTIVE"), &act); {
 	case err == nil:
-		if _, ok := r.arts[act.Active]; ok || act.Active == 0 {
+		if validPointer(act.Active) {
 			r.active = act.Active
 		} else {
 			r.loadInfo.Corrupt++
+			fallbackPrev()
 		}
 	case os.IsNotExist(err):
 	default:
 		r.loadInfo.Corrupt++
+		fallbackPrev()
 	}
 	var ro RolloutState
-	switch err := readRecord(filepath.Join(dir, "ROLLOUT"), &ro); {
+	switch err := r.readRecord(filepath.Join(dir, "ROLLOUT"), &ro); {
 	case err == nil:
 		if _, ok := r.arts[ro.Candidate]; ok && (ro.Stage == StageShadow || ro.Stage == StageCanary) {
 			r.rollout = &ro
@@ -180,7 +217,7 @@ func (r *Registry) Stage(a *Artifact) (int, error) {
 		cp.CreatedUnix = time.Now().Unix()
 	}
 	if r.dir != "" {
-		if err := writeRecord(r.dir, fmt.Sprintf("v%06d.art", v), &cp); err != nil {
+		if err := r.writeRecord(fmt.Sprintf("v%06d.art", v), &cp); err != nil {
 			return 0, err
 		}
 	}
@@ -219,7 +256,15 @@ func (r *Registry) SetActive(v int) error {
 		}
 	}
 	if r.dir != "" {
-		if err := writeRecord(r.dir, "ACTIVE", struct {
+		// Preserve the incumbent pointer first: if the swap below lands
+		// corrupt (torn rename, crash mid-replace), the next Open falls
+		// back to this last-good record instead of the base model.
+		if err := r.writeRecord("ACTIVE.prev", struct {
+			Active int `json:"active"`
+		}{r.active}); err != nil {
+			return err
+		}
+		if err := r.writeRecord("ACTIVE", struct {
 			Active int `json:"active"`
 		}{v}); err != nil {
 			return err
@@ -240,7 +285,7 @@ func (r *Registry) Demote(v int, reason string, ev *DivergenceStats) error {
 	}
 	d := &Demotion{Version: v, Reason: reason, Unix: time.Now().Unix(), Evidence: ev}
 	if r.dir != "" {
-		if err := writeRecord(r.dir, fmt.Sprintf("v%06d.demoted", v), d); err != nil {
+		if err := r.writeRecord(fmt.Sprintf("v%06d.demoted", v), d); err != nil {
 			return err
 		}
 	}
@@ -293,7 +338,7 @@ func (r *Registry) SetRollout(st *RolloutState) error {
 		}
 		cp := *st
 		if r.dir != "" {
-			if err := writeRecord(r.dir, "ROLLOUT", &cp); err != nil {
+			if err := r.writeRecord("ROLLOUT", &cp); err != nil {
 				return err
 			}
 		}
@@ -301,10 +346,10 @@ func (r *Registry) SetRollout(st *RolloutState) error {
 		return nil
 	}
 	if r.dir != "" {
-		if err := os.Remove(filepath.Join(r.dir, "ROLLOUT")); err != nil && !os.IsNotExist(err) {
+		if err := r.fsys.Remove(filepath.Join(r.dir, "ROLLOUT")); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("modelreg: clear rollout: %w", err)
 		}
-		syncDir(r.dir)
+		r.fsys.SyncDir(r.dir)
 	}
 	r.rollout = nil
 	return nil
@@ -322,8 +367,9 @@ func (r *Registry) Rollout() *RolloutState {
 }
 
 // writeRecord durably replaces dir/name with one CRC-framed record:
-// marshal, envelope, write to a temp file, fsync, rename, fsync dir.
-func writeRecord(dir, name string, rec any) error {
+// marshal, envelope, write to a temp file, fsync, rename, fsync dir —
+// every step through the diskfault seam.
+func (r *Registry) writeRecord(name string, rec any) error {
 	raw, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("modelreg: marshal %s: %w", name, err)
@@ -336,37 +382,39 @@ func writeRecord(dir, name string, rec any) error {
 	if err != nil {
 		return fmt.Errorf("modelreg: envelope %s: %w", name, err)
 	}
-	tmp := filepath.Join(dir, "."+name+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	tmp := filepath.Join(r.dir, "."+name+".tmp")
+	f, err := r.fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("modelreg: create %s: %w", name, err)
 	}
 	if _, err := f.Write(append(line, '\n')); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		r.fsys.Remove(tmp)
 		return fmt.Errorf("modelreg: write %s: %w", name, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		r.fsys.Remove(tmp)
 		return fmt.Errorf("modelreg: fsync %s: %w", name, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		r.fsys.Remove(tmp)
 		return fmt.Errorf("modelreg: close %s: %w", name, err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		os.Remove(tmp)
+	if err := r.fsys.Rename(tmp, filepath.Join(r.dir, name)); err != nil {
+		r.fsys.Remove(tmp)
 		return fmt.Errorf("modelreg: swap %s: %w", name, err)
 	}
-	syncDir(dir)
+	// Best-effort on real filesystems; an injected dir-sync fault is not
+	// fatal either — the rename itself already happened.
+	r.fsys.SyncDir(r.dir)
 	return nil
 }
 
 // readRecord loads one CRC-framed record; any framing or checksum
 // violation is an error (the caller decides whether to tolerate it).
-func readRecord(path string, rec any) error {
-	data, err := os.ReadFile(path)
+func (r *Registry) readRecord(path string, rec any) error {
+	data, err := r.fsys.ReadFile(path)
 	if err != nil {
 		return err
 	}
@@ -384,13 +432,4 @@ func readRecord(path string, rec any) error {
 		return fmt.Errorf("modelreg: %s: bad record: %w", filepath.Base(path), err)
 	}
 	return nil
-}
-
-// syncDir fsyncs a directory so a rename is durable; best-effort on
-// filesystems that refuse directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diskfault"
 	"repro/internal/floor"
 	"repro/internal/lotrun"
 	"repro/internal/parallel"
@@ -62,6 +63,13 @@ type Options struct {
 	// JournalSyncS is the modeled per-record fsync cost (default 0.5ms),
 	// identical to lotrun's.
 	JournalSyncS float64
+	// FS is the filesystem seam the journal runs on (default diskfault.OS;
+	// fault-injection tests substitute a seeded diskfault.FaultFS).
+	FS diskfault.FS
+	// JournalRetry bounds the retry-with-backoff applied to each journal
+	// commit before the lot degrades to journal-less mode (zero value:
+	// 3 attempts, 1ms initial backoff).
+	JournalRetry lotrun.RetryPolicy
 	// Batch is the most devices the coordinator packs into one batched
 	// assignment (default 1 = one device per Assign). The effective batch
 	// per site is min(Batch, the site's advertised maximum), so a mixed
@@ -127,6 +135,9 @@ func (o *Options) defaults() {
 	if o.JournalSyncS <= 0 {
 		o.JournalSyncS = 0.5e-3
 	}
+	if o.FS == nil {
+		o.FS = diskfault.OS
+	}
 }
 
 // SiteNetStats is one remote site's share of the lot plus its network
@@ -175,6 +186,11 @@ type Report struct {
 	// run); Replay details what replay found.
 	Replayed int
 	Replay   lotrun.ReplayStats
+	// JournalDegraded marks a lot whose journal failed persistently
+	// mid-run: the lot finished journal-less (bins intact, resume
+	// disabled). JournalErr carries the final journal error.
+	JournalDegraded bool
+	JournalErr      string
 }
 
 // String renders the distributed-floor summary.
@@ -201,6 +217,9 @@ func (r *Report) String() string {
 	for _, a := range r.Alarms {
 		fmt.Fprintf(&b, "  drift alarm (%s) at device %d: ewma %.2f, cusum %.2f over %d samples\n",
 			a.Detector, a.Device, a.EWMA, a.CUSUM, a.Samples)
+	}
+	if r.JournalDegraded {
+		fmt.Fprintf(&b, "  WARNING: journal degraded — lot ran journal-less, resume disabled (%s)\n", r.JournalErr)
 	}
 	return b.String()
 }
@@ -441,7 +460,7 @@ func (c *Coordinator) run(ctx context.Context, lotSeed int64, lot []*core.Device
 		if opt.JournalPath == "" {
 			return nil, fmt.Errorf("netfloor: resume needs Options.JournalPath")
 		}
-		hdr, done, validEnd, stats, err := lotrun.ReplayJournal(opt.JournalPath)
+		hdr, done, validEnd, stats, err := lotrun.ReplayJournalFS(opt.FS, opt.JournalPath)
 		if err != nil {
 			return nil, err
 		}
@@ -463,23 +482,32 @@ func (c *Coordinator) run(ctx context.Context, lotSeed int64, lot []*core.Device
 		}
 		rep.Replayed = stats.Records
 		rep.Replay = stats
-		if jr, err = lotrun.ResumeJournal(opt.JournalPath, validEnd); err != nil {
+		if jr, err = lotrun.ResumeJournalFS(opt.FS, opt.JournalPath, validEnd); err != nil {
 			return nil, err
 		}
 	} else if opt.JournalPath != "" {
 		var err error
-		jr, err = lotrun.CreateJournal(opt.JournalPath, lotrun.JournalHeader{
+		jr, err = lotrun.CreateJournalFS(opt.FS, opt.JournalPath, lotrun.JournalHeader{
 			Type: "header", Version: lotrun.JournalVersion,
 			LotSeed: lotSeed, Devices: len(lot), FaultP: faultP,
 			Fingerprint: c.Engine.Fingerprint(),
 		})
 		if err != nil {
-			return nil, err
+			// A journal that cannot even be created is the same storage
+			// fault as one dying mid-lot: run the lot journal-less in
+			// degraded mode rather than refuse it.
+			c.logf("journal create failed, running journal-less: %v", err)
+			rep.JournalDegraded = true
+			rep.JournalErr = err.Error()
+			jr = nil
 		}
 	}
-	if jr != nil {
-		defer jr.Close()
-	}
+	hadJournal := jr != nil
+	defer func() {
+		if jr != nil {
+			jr.Close()
+		}
+	}()
 
 	var pending []int
 	for i := range lot {
@@ -527,15 +555,20 @@ func (c *Coordinator) run(ctx context.Context, lotSeed int64, lot []*core.Device
 	// exactly-once.
 	needed := len(pending)
 	received := 0
-	var journalErr error
 collect:
 	for received < needed {
 		select {
 		case res := <-rs.out:
-			if jr != nil && journalErr == nil {
-				if journalErr = jr.Commit(res); journalErr != nil {
-					cancel()
-					break collect
+			if jr != nil {
+				if err := jr.CommitRetry(res, opt.JournalRetry); err != nil {
+					// Persistent journal failure: degrade to journal-less
+					// mode and finish the lot — bins stay a pure function
+					// of (seed, index), only crash-resume is lost.
+					jr.Close()
+					jr = nil
+					rep.JournalDegraded = true
+					rep.JournalErr = err.Error()
+					c.logf("journal degraded, continuing journal-less: %v", err)
 				}
 			}
 			results[res.Index] = &res
@@ -557,9 +590,6 @@ collect:
 	}
 	close(rs.doneCh)
 	wg.Wait()
-	if journalErr != nil {
-		return nil, journalErr
-	}
 	if err := ctx.Err(); err != nil {
 		committed := 0
 		for _, r := range results {
@@ -582,9 +612,11 @@ collect:
 	for _, r := range results {
 		lotRep.Fold(*r)
 	}
-	if jr != nil {
+	if hadJournal {
 		lotRep.Load.JournalS = float64(len(lot)) * opt.JournalSyncS
 	}
+	lotRep.JournalDegraded = rep.JournalDegraded
+	lotRep.JournalErr = rep.JournalErr
 	rs.mu.Lock()
 	rep.Net = rs.net
 	rs.mu.Unlock()

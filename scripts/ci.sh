@@ -31,6 +31,21 @@ go test -race -count=2 -timeout 30m ./internal/lotserver/
 # under the race detector.
 go test -race -count=2 -timeout 30m ./internal/modelreg/
 go test -race -count=2 -timeout 30m -run 'Rollout|Shadow|Canary|Drift|Model' ./internal/lotserver/ ./internal/lotrun/
+# Storage-chaos soak: seeded disk faults (EIO, torn writes, ENOSPC,
+# corrupt renames, latency) composed with network faults and transient
+# worker panics over a multi-lot server run, under the race detector.
+# Asserts committed bins bit-identical to the fault-free serial reference,
+# every lot terminating with a full report or a typed error, and a dead
+# journal degrading the lot (ErrJournalDegraded in report, /statusz and
+# client) instead of aborting it. Fixed seeds; a failing schedule replays
+# exactly with:
+#   go test -race -run ChaosSoak ./internal/lotserver/ -args -chaosseed=<seed>
+go test -race -count=2 -timeout 30m \
+	-run 'ChaosSoak|JournalDegraded|DrainDegraded|ClientDegraded' ./internal/lotserver/
+go test -race -count=2 -timeout 30m \
+	-run 'CorruptArtifactTailSweep|ActivePrevFallback|FaultFSCorruptRename' ./internal/modelreg/
+go test -race -count=2 -timeout 30m ./internal/diskfault/
+go test -race -count=2 -timeout 30m -run 'Journal' ./internal/lotrun/
 # Batched-kernel bit-identity: the ScreenBatch determinism contract at
 # every layer — interleaved SoA kernel, batched acquirer, in-process
 # orchestrator, distributed floor, multi-lot server — under the race
